@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/netsim"
+)
+
+// BenchmarkCrashRecovery extends Fig. 4's failure model from pause
+// (volatile state survives) to crash-restart (only the durable store
+// survives — the paper's §III-A crash-recovery fault class). Reported:
+// detection/OTS means plus the restarted node's tuner re-warm time,
+// the cost Dynatune pays for keeping its measurement lists volatile.
+func BenchmarkCrashRecovery(b *testing.B) {
+	const trials = 100
+	run := func(b *testing.B, v cluster.Variant) {
+		var det, ots, retune float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunCrashRecoveryTrials(cluster.Options{
+				N: 5, Seed: 61 + int64(i), Variant: v, Profile: stable100(),
+			}, trials, 4*time.Second, 500*time.Millisecond)
+			d, o := res.Summary()
+			det, ots = d.Mean, o.Mean
+			if len(res.RetuneMs) > 0 {
+				var sum float64
+				for _, m := range res.RetuneMs {
+					sum += m
+				}
+				retune = sum / float64(len(res.RetuneMs))
+			}
+		}
+		b.ReportMetric(det, "detect-ms")
+		b.ReportMetric(ots, "ots-ms")
+		b.ReportMetric(retune, "retune-ms")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+}
+
+// BenchmarkLinearizableReads measures etcd's two linearizable read paths
+// on top of the tuned parameters: ReadIndex pays one heartbeat round
+// (≈RTT); lease reads are free while the check-quorum lease — whose
+// window is the *election timeout* — stays covered by heartbeat traffic.
+// Dynatune's h = Et/K rule keeps the lease alive by construction, even
+// under loss, while shrinking the lease window itself to ≈RTT.
+func BenchmarkLinearizableReads(b *testing.B) {
+	const reads = 400
+	run := func(b *testing.B, v cluster.Variant, mode cluster.ReadMode, loss float64) {
+		prof := netsim.Constant(netsim.Params{
+			RTT: 100 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: loss,
+		})
+		var lat, hitPct, failed float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunReadLatency(cluster.Options{
+				N: 5, Seed: 77 + int64(i), Variant: v, Profile: prof,
+			}, reads, 25*time.Millisecond, mode)
+			lat = res.LatencySummary().Mean
+			if res.Issued > 0 {
+				hitPct = 100 * float64(res.LeaseHits) / float64(res.Issued)
+			}
+			failed = float64(res.Failed)
+		}
+		b.ReportMetric(lat, "read-ms")
+		b.ReportMetric(hitPct, "lease-hit-%")
+		b.ReportMetric(failed, "failed")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Raft/ReadIndex", func(b *testing.B) { run(b, cluster.VariantRaft(), cluster.ReadModeIndex, 0) })
+	b.Run("Raft/Lease", func(b *testing.B) { run(b, cluster.VariantRaft(), cluster.ReadModeLease, 0) })
+	b.Run("Dynatune/ReadIndex", func(b *testing.B) {
+		run(b, cluster.VariantDynatune(dynatune.Options{}), cluster.ReadModeIndex, 0)
+	})
+	b.Run("Dynatune/Lease", func(b *testing.B) {
+		run(b, cluster.VariantDynatune(dynatune.Options{}), cluster.ReadModeLease, 0)
+	})
+	b.Run("Dynatune/Lease/loss25", func(b *testing.B) {
+		run(b, cluster.VariantDynatune(dynatune.Options{}), cluster.ReadModeLease, 0.25)
+	})
+}
+
+// BenchmarkAblationEstimator ablates the §III-D1 design choice: the
+// paper derives Et from the window mean + s·σ; the alternatives are the
+// TCP retransmission-timer EWMA (RFC 6298) and a windowed max. Reported
+// per estimator: detection/OTS under jitter, plus false timeouts and OTS
+// during a radical RTT spike (Fig. 6b's scenario) — where the EWMA's
+// faster forgetting hurts.
+func BenchmarkAblationEstimator(b *testing.B) {
+	jitterProf := netsim.Constant(netsim.Params{RTT: 100 * time.Millisecond, Jitter: 8 * time.Millisecond})
+	spikeProf := netsim.RadicalRTTSpike(netsim.Params{Jitter: 2 * time.Millisecond},
+		50*time.Millisecond, 500*time.Millisecond, time.Minute)
+	run := func(b *testing.B, e dynatune.Estimator) {
+		var det, ots, falseTO, spikeOTS float64
+		for i := 0; i < b.N; i++ {
+			v := cluster.VariantDynatune(dynatune.Options{Estimator: e})
+			elec := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 23 + int64(i), Variant: v, Profile: jitterProf,
+			}, 100, 4*time.Second)
+			d, o := elec.Summary()
+			det, ots = d.Mean, o.Mean
+			spike := cluster.RunFluctuation(cluster.Options{
+				N: 5, Seed: 25 + int64(i), Variant: v, Profile: spikeProf,
+			}, 3*time.Minute, 5*time.Second)
+			falseTO = float64(spike.Timeouts)
+			spikeOTS = spike.OTS.Total().Seconds()
+		}
+		b.ReportMetric(det, "detect-ms")
+		b.ReportMetric(ots, "ots-ms")
+		b.ReportMetric(falseTO, "spike-false-timeouts")
+		b.ReportMetric(spikeOTS, "spike-ots-s")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Window", func(b *testing.B) { run(b, dynatune.EstimatorWindow) })
+	b.Run("EWMA", func(b *testing.B) { run(b, dynatune.EstimatorEWMA) })
+	b.Run("Max", func(b *testing.B) { run(b, dynatune.EstimatorMax) })
+}
+
+// BenchmarkMembershipChange grows a 4-voter cluster by one node
+// (add-learner → catch-up → promote) and then fails the leader: the
+// joiner's Dynatune state is cold right after the join, so detection
+// falls to the warmed-up incumbents. Reported: catch-up and promote
+// latencies, the joiner's tuner warm-up, and the post-change failover OTS.
+func BenchmarkMembershipChange(b *testing.B) {
+	const preload = 500
+	run := func(b *testing.B, v cluster.Variant) {
+		var catchup, tuned, promote, ots float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunMembershipChange(cluster.Options{
+				N: 5, Seed: 91 + int64(i), Variant: v, Profile: stable100(),
+			}, preload)
+			catchup, tuned, promote, ots = res.CatchupMs, res.JoinerTunedMs, res.PromoteMs, res.PostFailoverOTSMs
+		}
+		b.ReportMetric(catchup, "catchup-ms")
+		b.ReportMetric(tuned, "joiner-tuned-ms")
+		b.ReportMetric(promote, "promote-ms")
+		b.ReportMetric(ots, "post-change-ots-ms")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+}

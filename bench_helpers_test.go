@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// raftTuner aliases the tuner interface so bench code reads naturally.
+type raftTuner = raft.Tuner
+
+// newStatic builds a static tuner with h = Et/10 (the etcd ratio).
+func newStatic(et time.Duration) raftTuner {
+	return raft.NewStaticTuner(et, et/10)
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func metricsMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

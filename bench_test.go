@@ -1,0 +1,372 @@
+// Package bench regenerates every figure of the paper's evaluation as a
+// Go benchmark. Each benchmark runs a scaled version of the corresponding
+// experiment (full paper-scale runs live behind cmd/dynabench) and reports
+// the paper's headline quantities as custom benchmark metrics, so
+// `go test -bench=. -benchmem` prints a machine-readable reproduction of
+// the evaluation. EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/geo"
+	"dynatune/internal/netsim"
+	"dynatune/internal/workload"
+)
+
+func stable100() netsim.Profile {
+	return netsim.Constant(netsim.Params{RTT: 100 * time.Millisecond, Jitter: 2 * time.Millisecond})
+}
+
+// BenchmarkFig4ElectionPerformance reproduces Fig. 4: detection and OTS
+// time CDFs over repeated leader failures at RTT 100 ms / 0 % loss,
+// Raft vs Dynatune. Paper means: detection 1205→237 ms (−80 %), OTS
+// 1449→797 ms (−45 %).
+func BenchmarkFig4ElectionPerformance(b *testing.B) {
+	const trials = 300
+	run := func(b *testing.B, v cluster.Variant) {
+		var det, ots float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 42 + int64(i), Variant: v, Profile: stable100(),
+			}, trials, 4*time.Second)
+			d, o := res.Summary()
+			det, ots = d.Mean, o.Mean
+		}
+		b.ReportMetric(det, "detect-ms")
+		b.ReportMetric(ots, "ots-ms")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+}
+
+// BenchmarkFig5PeakThroughput reproduces Fig. 5: open-loop throughput–
+// latency ramp without failures. Paper peaks: Raft 13678 req/s, Dynatune
+// 12800 req/s (−6.4 %).
+func BenchmarkFig5PeakThroughput(b *testing.B) {
+	ramp := workload.PaperRamp(18000)
+	ramp.Poisson = true
+	run := func(b *testing.B, v cluster.Variant) {
+		var peak, knee float64
+		for i := 0; i < b.N; i++ {
+			pts := cluster.RunThroughputRamp(cluster.Options{
+				N: 5, Seed: 21 + int64(i), Variant: v, Profile: stable100(),
+			}, ramp, 1)
+			peak = cluster.PeakThroughput(pts)
+			for _, p := range pts {
+				if p.LatencyMs < 400 && p.ThroughputRS > knee {
+					knee = p.ThroughputRS
+				}
+			}
+		}
+		b.ReportMetric(peak, "peak-req/s")
+		b.ReportMetric(knee, "low-lat-req/s")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+}
+
+// BenchmarkFig6aGradualRTT reproduces Fig. 6a: gradual RTT 50→200→50 ms in
+// 10 ms steps held 1 min each (31 min horizon). Reported: total OTS
+// seconds and mid-run third-smallest randomizedTimeout. Paper: Dynatune
+// and Raft see no OTS; Raft-Low suffers ≈15 s and later ≈10 min of OTS.
+func BenchmarkFig6aGradualRTT(b *testing.B) {
+	prof := netsim.GradualRTTRamp(netsim.Params{Jitter: 2 * time.Millisecond},
+		50*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond, time.Minute)
+	horizon := 31 * time.Minute
+	run := func(b *testing.B, v cluster.Variant) {
+		var otsSec, randMid float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunFluctuation(cluster.Options{
+				N: 5, Seed: 7 + int64(i), Variant: v, Profile: prof,
+			}, horizon, 5*time.Second)
+			otsSec = res.OTS.Total().Seconds()
+			randMid = res.RandTimeout3rdMs.MeanBetween(horizon*2/5, horizon*3/5)
+		}
+		b.ReportMetric(otsSec, "ots-s")
+		b.ReportMetric(randMid, "randTO-ms")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+	b.Run("Raft-Low", func(b *testing.B) { run(b, cluster.VariantRaftLow()) })
+}
+
+// BenchmarkFig6bRadicalRTT reproduces Fig. 6b: abrupt RTT 50→500→50 ms
+// (1 min each). Paper: Dynatune false-detects but aborts at pre-vote (no
+// OTS); Raft rides it out; Raft-Low loses the whole high-RTT minute.
+func BenchmarkFig6bRadicalRTT(b *testing.B) {
+	prof := netsim.RadicalRTTSpike(netsim.Params{Jitter: 2 * time.Millisecond},
+		50*time.Millisecond, 500*time.Millisecond, time.Minute)
+	horizon := 3 * time.Minute
+	run := func(b *testing.B, v cluster.Variant) {
+		var otsSec, reverts, elections float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunFluctuation(cluster.Options{
+				N: 5, Seed: 9 + int64(i), Variant: v, Profile: prof,
+			}, horizon, 5*time.Second)
+			otsSec = res.OTS.Total().Seconds()
+			reverts = float64(res.Reverts)
+			elections = float64(res.Elections)
+		}
+		b.ReportMetric(otsSec, "ots-s")
+		b.ReportMetric(reverts, "reverts")
+		b.ReportMetric(elections, "elections")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+	b.Run("Raft-Low", func(b *testing.B) { run(b, cluster.VariantRaftLow()) })
+}
+
+// lossSweepRun powers Fig. 7a/7b: RTT 200 ms, loss 0→30→0 % in 3-min
+// holds, Dynatune vs Fix-K(10) at N ∈ {5, 17, 65}.
+func lossSweepRun(b *testing.B, n int, v cluster.Variant) cluster.SeriesResult {
+	prof := netsim.LossSweep(netsim.Params{RTT: 200 * time.Millisecond, Jitter: 2 * time.Millisecond}, 3*time.Minute)
+	var res cluster.SeriesResult
+	for i := 0; i < b.N; i++ {
+		res = cluster.RunFluctuation(cluster.Options{
+			N: n, Seed: 3 + int64(i), Variant: v, Profile: prof,
+		}, 39*time.Minute, 5*time.Second)
+	}
+	return res
+}
+
+// BenchmarkFig7aHeartbeatInterval reproduces Fig. 7a: the tuned h over the
+// loss sweep. Paper: Dynatune lowers h as loss grows (≈Et at 0 %, tens of
+// ms at 30 %) and restores it on the way down; Fix-K stays ≈Et/10.
+func BenchmarkFig7aHeartbeatInterval(b *testing.B) {
+	for _, v := range []cluster.Variant{cluster.VariantDynatune(dynatune.Options{}), cluster.VariantFixK(10)} {
+		v := v
+		b.Run(v.Name+"/N=5", func(b *testing.B) {
+			res := lossSweepRun(b, 5, v)
+			b.ReportMetric(res.LeaderHMs.MeanBetween(1*time.Minute, 3*time.Minute), "h0loss-ms")
+			b.ReportMetric(res.LeaderHMs.MeanBetween(19*time.Minute, 21*time.Minute), "h30loss-ms")
+			b.ReportMetric(float64(res.Elections), "elections")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkFig7bCPUUtilization reproduces Fig. 7b: leader/follower CPU
+// under the loss sweep. Paper: the Fix-K leader exceeds 100 % of its
+// 2-core allocation at N=65; Dynatune uses less than half, with a peak
+// tracking the loss rate.
+func BenchmarkFig7bCPUUtilization(b *testing.B) {
+	for _, n := range []int{5, 17, 65} {
+		for _, v := range []cluster.Variant{cluster.VariantDynatune(dynatune.Options{}), cluster.VariantFixK(10)} {
+			n, v := n, v
+			b.Run(v.Name+"/N="+itoa(n), func(b *testing.B) {
+				res := lossSweepRun(b, n, v)
+				b.ReportMetric(res.LeaderCPU.MeanBetween(1*time.Minute, 3*time.Minute), "leadCPU0-%")
+				b.ReportMetric(res.LeaderCPU.MeanBetween(19*time.Minute, 21*time.Minute), "leadCPU30-%")
+				b.ReportMetric(res.FollowerCPU.MeanBetween(19*time.Minute, 21*time.Minute), "folCPU30-%")
+				b.ReportMetric(0, "ns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8GeoDistributed reproduces Fig. 8: the five-region AWS
+// deployment (Tokyo, London, California, Sydney, São Paulo). Paper means:
+// detection 1137→213 ms (−81 %), OTS 1718→1145 ms (−33 %).
+func BenchmarkFig8GeoDistributed(b *testing.B) {
+	const trials = 300
+	run := func(b *testing.B, v cluster.Variant) {
+		var det, ots float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 11 + int64(i), Variant: v,
+				Regions: geo.Regions, GeoJitterFrac: 0.05, GeoLoss: 0.001,
+			}, trials, 5*time.Second)
+			d, o := res.Summary()
+			det, ots = d.Mean, o.Mean
+		}
+		b.ReportMetric(det, "detect-ms")
+		b.ReportMetric(ots, "ots-ms")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+}
+
+// BenchmarkAblationSafetyFactor sweeps the safety factor s (§III-D1
+// design choice): smaller s detects faster but risks false detections
+// under jitter.
+func BenchmarkAblationSafetyFactor(b *testing.B) {
+	prof := netsim.Constant(netsim.Params{RTT: 100 * time.Millisecond, Jitter: 8 * time.Millisecond})
+	for _, s := range []float64{1, 2, 3, 4} {
+		s := s
+		b.Run("s="+ftoa(s), func(b *testing.B) {
+			var det float64
+			var falseTO float64
+			for i := 0; i < b.N; i++ {
+				res := cluster.RunElectionTrials(cluster.Options{
+					N: 5, Seed: 13 + int64(i),
+					Variant: cluster.VariantDynatune(dynatune.Options{SafetyFactor: s}),
+					Profile: prof,
+				}, 100, 4*time.Second)
+				d, _ := res.Summary()
+				det = d.Mean
+				falseTO = float64(res.FailedTrials)
+			}
+			b.ReportMetric(det, "detect-ms")
+			b.ReportMetric(falseTO, "failed-trials")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkAblationArrivalProbability sweeps x (§III-D2): lower x means
+// fewer heartbeats (cheaper) but more spurious timeouts under loss.
+func BenchmarkAblationArrivalProbability(b *testing.B) {
+	prof := netsim.Constant(netsim.Params{RTT: 200 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.2})
+	for _, x := range []float64{0.9, 0.99, 0.999, 0.9999} {
+		x := x
+		b.Run("x="+ftoa(x), func(b *testing.B) {
+			var hMs, timeouts float64
+			for i := 0; i < b.N; i++ {
+				res := cluster.RunFluctuation(cluster.Options{
+					N: 5, Seed: 15 + int64(i),
+					Variant: cluster.VariantDynatune(dynatune.Options{ArrivalProbability: x}),
+					Profile: prof,
+				}, 5*time.Minute, 5*time.Second)
+				hMs = res.LeaderHMs.MeanBetween(2*time.Minute, 5*time.Minute)
+				timeouts = float64(res.Timeouts)
+			}
+			b.ReportMetric(hMs, "h-ms")
+			b.ReportMetric(timeouts, "timeouts")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkAblationMinListSize sweeps the warm-up threshold (§III-E):
+// smaller engages tuning sooner after a leader change but on noisier
+// statistics.
+func BenchmarkAblationMinListSize(b *testing.B) {
+	for _, m := range []int{2, 10, 50} {
+		m := m
+		b.Run("minList="+itoa(m), func(b *testing.B) {
+			var det, ots float64
+			for i := 0; i < b.N; i++ {
+				res := cluster.RunElectionTrials(cluster.Options{
+					N: 5, Seed: 17 + int64(i),
+					Variant: cluster.VariantDynatune(dynatune.Options{MinListSize: m}),
+					Profile: stable100(),
+				}, 100, 8*time.Second)
+				d, o := res.Summary()
+				det, ots = d.Mean, o.Mean
+			}
+			b.ReportMetric(det, "detect-ms")
+			b.ReportMetric(ots, "ots-ms")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkAblationSplitVoteRate quantifies the §IV-E discussion: a
+// smaller Et narrows the randomization window, so more concurrent
+// candidacies and more split votes, lengthening the election phase even
+// as detection shrinks.
+func BenchmarkAblationSplitVoteRate(b *testing.B) {
+	for _, et := range []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 1000 * time.Millisecond} {
+		et := et
+		b.Run("Et="+et.String(), func(b *testing.B) {
+			var splits, electionMs float64
+			for i := 0; i < b.N; i++ {
+				v := cluster.Variant{
+					Name:           "Static",
+					NewTuner:       func() raftTuner { return newStatic(et) },
+					HeartbeatClass: netsim.TCP,
+				}
+				res := cluster.RunElectionTrials(cluster.Options{
+					N: 5, Seed: 19 + int64(i), Variant: v, Profile: stable100(),
+				}, 100, 2*time.Second)
+				d, o := res.Summary()
+				splits = float64(res.SplitVoteRounds)
+				electionMs = o.Mean - d.Mean
+			}
+			b.ReportMetric(splits, "split-rounds")
+			b.ReportMetric(electionMs, "election-ms")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkExtensionFutureWork evaluates the paper's §IV-E proposed
+// optimizations (implemented here as opt-in features): heartbeat
+// suppression under replication load plus a consolidated leader heartbeat
+// timer. The paper predicts they recover part of Dynatune's ≈6% peak
+// throughput deficit.
+func BenchmarkExtensionFutureWork(b *testing.B) {
+	ramp := workload.PaperRamp(18000)
+	ramp.Poisson = true
+	run := func(b *testing.B, v cluster.Variant) {
+		var peak float64
+		for i := 0; i < b.N; i++ {
+			pts := cluster.RunThroughputRamp(cluster.Options{
+				N: 5, Seed: 23 + int64(i), Variant: v, Profile: stable100(),
+			}, ramp, 1)
+			peak = cluster.PeakThroughput(pts)
+		}
+		b.ReportMetric(peak, "peak-req/s")
+		b.ReportMetric(0, "ns/op")
+	}
+	b.Run("Dynatune", func(b *testing.B) { run(b, cluster.VariantDynatune(dynatune.Options{})) })
+	b.Run("Dynatune-Ext", func(b *testing.B) { run(b, cluster.VariantDynatuneExt(dynatune.Options{})) })
+	b.Run("Raft", func(b *testing.B) { run(b, cluster.VariantRaft()) })
+
+	// The extensions must not regress election performance.
+	b.Run("Dynatune-Ext/failover", func(b *testing.B) {
+		var det float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 29 + int64(i), Variant: cluster.VariantDynatuneExt(dynatune.Options{}),
+				Profile: stable100(),
+			}, 100, 4*time.Second)
+			d, _ := res.Summary()
+			det = d.Mean
+		}
+		b.ReportMetric(det, "detect-ms")
+		b.ReportMetric(0, "ns/op")
+	})
+}
+
+// BenchmarkPlannedMaintenance contrasts crash failover (Fig. 4's OTS)
+// with leadership transfer, the etcd mechanism this library adds on top
+// of the paper's scope: planned handover costs ≈1.5 RTT instead of a
+// detection timeout, under both static and tuned parameters.
+func BenchmarkPlannedMaintenance(b *testing.B) {
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		v := v
+		b.Run(v.Name+"/crash", func(b *testing.B) {
+			var ots float64
+			for i := 0; i < b.N; i++ {
+				res := cluster.RunElectionTrials(cluster.Options{
+					N: 5, Seed: 61 + int64(i), Variant: v, Profile: stable100(),
+				}, 100, 4*time.Second)
+				_, o := res.Summary()
+				ots = o.Mean
+			}
+			b.ReportMetric(ots, "ots-ms")
+			b.ReportMetric(0, "ns/op")
+		})
+		b.Run(v.Name+"/transfer", func(b *testing.B) {
+			var handover float64
+			for i := 0; i < b.N; i++ {
+				res := cluster.RunTransferTrials(cluster.Options{
+					N: 5, Seed: 63 + int64(i), Variant: v, Profile: stable100(),
+				}, 100, 4*time.Second)
+				handover = metricsMean(res.HandoverMs)
+			}
+			b.ReportMetric(handover, "handover-ms")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}

@@ -1,0 +1,407 @@
+// Command dynabench regenerates the paper's evaluation figures at full
+// scale on the simulated testbed. Each subcommand corresponds to one
+// figure of the paper (plus the ablations indexed in DESIGN.md) and
+// prints the measured series/rows next to the values the paper reports.
+//
+// Usage:
+//
+//	dynabench fig4  [-trials 1000] [-seed 42]
+//	dynabench fig5  [-reps 10] [-max-rps 18000]
+//	dynabench fig6a [-seed 7]
+//	dynabench fig6b [-seed 9]
+//	dynabench fig7  [-n 5,17,65]
+//	dynabench fig8  [-trials 1000]
+//	dynabench ablate [-which s|x|minlist|split]
+//	dynabench recovery [-trials 300]   (crash-restart failovers + re-warm)
+//	dynabench reads    [-reads 1000]   (ReadIndex vs lease-read latency)
+//	dynabench member   [-preload 500]  (add-learner → promote → failover)
+//	dynabench all   (quick versions of everything)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/geo"
+	"dynatune/internal/metrics"
+	"dynatune/internal/netsim"
+	"dynatune/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "fig4":
+		fig4(args)
+	case "fig5":
+		fig5(args)
+	case "fig6a":
+		fig6(args, false)
+	case "fig6b":
+		fig6(args, true)
+	case "fig7":
+		fig7(args)
+	case "fig8":
+		fig8(args)
+	case "ablate":
+		ablate(args)
+	case "xfer":
+		xfer(args)
+	case "recovery":
+		recovery(args)
+	case "reads":
+		reads(args)
+	case "member":
+		member(args)
+	case "all":
+		fig4([]string{"-trials", "300"})
+		fig5([]string{"-reps", "2"})
+		fig6([]string{}, false)
+		fig6([]string{}, true)
+		fig7([]string{"-n", "5,17"})
+		fig8([]string{"-trials", "300"})
+		ablate([]string{})
+		xfer([]string{"-trials", "100"})
+		recovery([]string{"-trials", "100"})
+		reads([]string{"-reads", "300"})
+		member([]string{})
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dynabench {fig4|fig5|fig6a|fig6b|fig7|fig8|ablate|xfer|recovery|reads|member|all} [flags]")
+}
+
+// recovery runs crash-restart failovers: beyond the paper's pause model,
+// the leader process dies and recovers from its durable store with cold
+// tuner state (§III-A crash-recovery fault class).
+func recovery(args []string) {
+	fs := flag.NewFlagSet("recovery", flag.ExitOnError)
+	trials := fs.Int("trials", 300, "leader crash-restarts per variant")
+	seed := fs.Int64("seed", 61, "simulation seed")
+	downtime := fs.Duration("downtime", 500*time.Millisecond, "crash-to-restart delay")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Crash-recovery failovers (extension; paper §III-A fault model, RTT 100ms) ==")
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		res := cluster.RunCrashRecoveryTrials(cluster.Options{
+			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
+		}, *trials, 4*time.Second, *downtime)
+		det, ots := res.Summary()
+		fmt.Printf("%-9s  detection: mean %6.0fms p99 %6.0fms   OTS: mean %6.0fms p99 %6.0fms  (%d/%d ok, replay %.0f entries)\n",
+			res.Variant, det.Mean, det.P99, ots.Mean, ots.P99, len(res.OTSMs), res.Trials, res.ReplayEntries)
+		if len(res.RetuneMs) > 0 {
+			fmt.Printf("%-9s  restarted-node re-warm: mean %6.0fms over %d restarts (cold fallback until minListSize beats)\n",
+				res.Variant, metrics.Summarize(res.RetuneMs).Mean, len(res.RetuneMs))
+		}
+	}
+}
+
+// reads measures the linearizable-read paths (ReadIndex vs lease) per
+// variant; the lease window is the election timeout, which Dynatune tunes.
+func reads(args []string) {
+	fs := flag.NewFlagSet("reads", flag.ExitOnError)
+	n := fs.Int("reads", 1000, "reads per configuration")
+	seed := fs.Int64("seed", 77, "simulation seed")
+	loss := fs.Float64("loss", 0, "packet loss rate on all links")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Printf("== Linearizable reads (extension; RTT 100ms, loss %.0f%%) ==\n", *loss*100)
+	prof := netsim.Constant(netsim.Params{
+		RTT: 100 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: *loss,
+	})
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		for _, mode := range []cluster.ReadMode{cluster.ReadModeIndex, cluster.ReadModeLease} {
+			res := cluster.RunReadLatency(cluster.Options{
+				N: 5, Seed: *seed, Variant: v, Profile: prof,
+			}, *n, 25*time.Millisecond, mode)
+			s := res.LatencySummary()
+			fmt.Printf("%-9s %-10s  mean %6.1fms p99 %6.1fms   lease hits %4d/%d  fallbacks %4d  failed %d\n",
+				res.Variant, mode, s.Mean, s.P99, res.LeaseHits, res.Issued, res.Fallbacks, res.Failed)
+		}
+	}
+}
+
+// member runs the online-growth scenario: add a learner, promote it, then
+// fail the leader while the joiner's measurement state is still cold.
+func member(args []string) {
+	fs := flag.NewFlagSet("member", flag.ExitOnError)
+	preload := fs.Int("preload", 500, "log entries committed before the join")
+	seed := fs.Int64("seed", 91, "simulation seed")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Membership change: 4 voters + learner → 5 voters → leader failure (extension) ==")
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		res := cluster.RunMembershipChange(cluster.Options{
+			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
+		}, *preload)
+		fmt.Printf("%-9s  catch-up %6.0fms  promote %5.0fms  joiner-tuned %6.0fms  post-change OTS %6.0fms  joiner-won=%v\n",
+			res.Variant, res.CatchupMs, res.PromoteMs, res.JoinerTunedMs, res.PostFailoverOTSMs, res.JoinerBecameLeader)
+	}
+}
+
+func stable100() netsim.Profile {
+	return netsim.Constant(netsim.Params{RTT: 100 * time.Millisecond, Jitter: 2 * time.Millisecond})
+}
+
+// fig4 reproduces §IV-B1 (Fig. 4): detection/OTS CDFs over leader kills.
+func fig4(args []string) {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	trials := fs.Int("trials", 1000, "leader failures per variant (paper: 1000)")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Fig. 4: election performance under stable network (RTT 100ms, loss 0%) ==")
+	fmt.Println("paper: Raft det 1205ms / OTS 1449ms; Dynatune det 237ms / OTS 797ms (-80% / -45%)")
+	cdfs := map[string]*metrics.CDF{}
+	var raftDet, raftOTS, dynDet, dynOTS float64
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		res := cluster.RunElectionTrials(cluster.Options{
+			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
+		}, *trials, 4*time.Second)
+		det, ots := res.Summary()
+		fmt.Printf("%-9s  detection: mean %6.0fms p50 %6.0fms p99 %6.0fms\n", res.Variant, det.Mean, det.P50, det.P99)
+		fmt.Printf("%-9s  OTS:       mean %6.0fms p50 %6.0fms p99 %6.0fms   (randTO %4.0fms, %d split rounds, %d/%d ok)\n",
+			res.Variant, ots.Mean, ots.P50, ots.P99, res.MeanRandTimeoutMs, res.SplitVoteRounds, len(res.OTSMs), res.Trials)
+		cdfs[res.Variant+" detection"] = metrics.NewCDF(res.DetectionMs)
+		cdfs[res.Variant+" OTS"] = metrics.NewCDF(res.OTSMs)
+		if res.Variant == "Raft" {
+			raftDet, raftOTS = det.Mean, ots.Mean
+		} else {
+			dynDet, dynOTS = det.Mean, ots.Mean
+		}
+	}
+	fmt.Printf("reduction: detection %.0f%% (paper 80%%), OTS %.0f%% (paper 45%%)\n",
+		(1-dynDet/raftDet)*100, (1-dynOTS/raftOTS)*100)
+	fmt.Println()
+	fmt.Print(metrics.RenderCDFs(cdfs, 3000, 72))
+}
+
+// fig5 reproduces §IV-B2 (Fig. 5): throughput–latency without failures.
+func fig5(args []string) {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	reps := fs.Int("reps", 10, "ramp repetitions (paper: 10)")
+	maxRPS := fs.Int("max-rps", 18000, "top of the RPS ramp")
+	seed := fs.Int64("seed", 21, "simulation seed")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Fig. 5: peak throughput without failures (RTT 100ms) ==")
+	fmt.Println("paper: Raft 13678 req/s, Dynatune 12800 req/s (-6.4%)")
+	ramp := workload.PaperRamp(*maxRPS)
+	ramp.Poisson = true
+	peaks := map[string]float64{}
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		pts := cluster.RunThroughputRamp(cluster.Options{
+			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
+		}, ramp, *reps)
+		fmt.Printf("%s:\n  offered  throughput      ±std   latency\n", v.Name)
+		for _, p := range pts {
+			fmt.Printf("  %6d  %8.0f req/s %6.0f  %8.1fms\n", p.OfferedRPS, p.ThroughputRS, p.ThroughputStd, p.LatencyMs)
+		}
+		peaks[v.Name] = cluster.PeakThroughput(pts)
+	}
+	fmt.Printf("peak: Raft %.0f req/s, Dynatune %.0f req/s (%.1f%% lower; paper 6.4%%)\n",
+		peaks["Raft"], peaks["Dynatune"], (1-peaks["Dynatune"]/peaks["Raft"])*100)
+}
+
+// fig6 reproduces §IV-C1 (Figs. 6a/6b): RTT fluctuation adaptivity.
+func fig6(args []string, radical bool) {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	seed := fs.Int64("seed", 7, "simulation seed")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	base := netsim.Params{Jitter: 2 * time.Millisecond}
+	var prof netsim.Profile
+	var horizon time.Duration
+	if radical {
+		fmt.Println("== Fig. 6b: radical RTT fluctuation 50→500→50ms (1 min each) ==")
+		fmt.Println("paper: Dynatune false-detects but no OTS; Raft stable; Raft-Low loses the high-RTT minute")
+		prof = netsim.RadicalRTTSpike(base, 50*time.Millisecond, 500*time.Millisecond, time.Minute)
+		horizon = 3 * time.Minute
+	} else {
+		fmt.Println("== Fig. 6a: gradual RTT fluctuation 50→200→50ms (10ms steps, 1 min each) ==")
+		fmt.Println("paper: Dynatune tracks RTT, no OTS; Raft randTO ≈1700ms; Raft-Low ≈15s then ≈10min OTS")
+		prof = netsim.GradualRTTRamp(base, 50*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond, time.Minute)
+		horizon = 31 * time.Minute
+	}
+	for _, v := range []cluster.Variant{cluster.VariantDynatune(dynatune.Options{}), cluster.VariantRaft(), cluster.VariantRaftLow()} {
+		res := cluster.RunFluctuation(cluster.Options{N: 5, Seed: *seed, Variant: v, Profile: prof}, horizon, 5*time.Second)
+		fmt.Printf("%-9s OTS total %7.1fs in %3d spans | timeouts %4d  elections %4d  reverts %4d\n",
+			res.Variant, res.OTS.Total().Seconds(), res.OTS.Count(), res.Timeouts, res.Elections, res.Reverts)
+		fmt.Println(metrics.RenderSeries(12, res.RandTimeout3rdMs, res.LinkRTTMs))
+	}
+}
+
+// fig7 reproduces §IV-C2 (Figs. 7a/7b): packet-loss adaptivity and CPU.
+func fig7(args []string) {
+	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
+	ns := fs.String("n", "5,17,65", "cluster sizes")
+	seed := fs.Int64("seed", 3, "simulation seed")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Fig. 7: loss sweep 0→30→0% (3 min holds), RTT 200ms ==")
+	fmt.Println("paper: Dynatune shrinks h with loss and restores it; Fix-K leader >100% CPU at N=65")
+	prof := netsim.LossSweep(netsim.Params{RTT: 200 * time.Millisecond, Jitter: 2 * time.Millisecond}, 3*time.Minute)
+	horizon := 39 * time.Minute
+	for _, nStr := range strings.Split(*ns, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(nStr))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -n element %q\n", nStr)
+			os.Exit(2)
+		}
+		for _, v := range []cluster.Variant{cluster.VariantDynatune(dynatune.Options{}), cluster.VariantFixK(10)} {
+			res := cluster.RunFluctuation(cluster.Options{N: n, Seed: *seed, Variant: v, Profile: prof}, horizon, 5*time.Second)
+			fmt.Printf("N=%-3d %-10s elections=%d\n", n, res.Variant, res.Elections)
+			fmt.Printf("  h:   0%%loss %5.0fms  15%%loss %5.0fms  30%%loss %5.0fms  back-to-0%% %5.0fms\n",
+				res.LeaderHMs.MeanBetween(1*time.Minute, 3*time.Minute),
+				res.LeaderHMs.MeanBetween(10*time.Minute, 12*time.Minute),
+				res.LeaderHMs.MeanBetween(19*time.Minute, 21*time.Minute),
+				res.LeaderHMs.MeanBetween(37*time.Minute, 39*time.Minute))
+			fmt.Printf("  CPU: leader 0%%loss %5.1f%%  30%%loss %5.1f%%  | follower 30%%loss %4.1f%%\n",
+				res.LeaderCPU.MeanBetween(1*time.Minute, 3*time.Minute),
+				res.LeaderCPU.MeanBetween(19*time.Minute, 21*time.Minute),
+				res.FollowerCPU.MeanBetween(19*time.Minute, 21*time.Minute))
+		}
+	}
+}
+
+// fig8 reproduces §IV-D (Fig. 8): the geo-replicated AWS experiment.
+func fig8(args []string) {
+	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
+	trials := fs.Int("trials", 1000, "leader failures per variant")
+	seed := fs.Int64("seed", 11, "simulation seed")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Fig. 8: geo-replicated (Tokyo, London, California, Sydney, São Paulo) ==")
+	fmt.Println("paper: Raft det 1137ms / OTS 1718ms; Dynatune det 213ms / OTS 1145ms (-81% / -33%)")
+	var raftDet, raftOTS, dynDet, dynOTS float64
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		res := cluster.RunElectionTrials(cluster.Options{
+			N: 5, Seed: *seed, Variant: v,
+			Regions: geo.Regions, GeoJitterFrac: 0.05, GeoLoss: 0.001,
+		}, *trials, 5*time.Second)
+		det, ots := res.Summary()
+		fmt.Printf("%-9s detection mean %6.0fms p50 %6.0f | OTS mean %6.0fms p50 %6.0f (%d/%d ok)\n",
+			res.Variant, det.Mean, det.P50, ots.Mean, ots.P50, len(res.OTSMs), res.Trials)
+		if res.Variant == "Raft" {
+			raftDet, raftOTS = det.Mean, ots.Mean
+		} else {
+			dynDet, dynOTS = det.Mean, ots.Mean
+		}
+	}
+	fmt.Printf("reduction: detection %.0f%% (paper 81%%), OTS %.0f%% (paper 33%%)\n",
+		(1-dynDet/raftDet)*100, (1-dynOTS/raftOTS)*100)
+}
+
+// ablate runs the design-choice sweeps indexed in DESIGN.md.
+func ablate(args []string) {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	which := fs.String("which", "all", "s|x|minlist|split|est|all")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *which == "s" || *which == "all" {
+		fmt.Println("== Ablation: safety factor s (Et = µ + s·σ) under jitter 8ms ==")
+		prof := netsim.Constant(netsim.Params{RTT: 100 * time.Millisecond, Jitter: 8 * time.Millisecond})
+		for _, s := range []float64{1, 2, 3, 4} {
+			res := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 13, Variant: cluster.VariantDynatune(dynatune.Options{SafetyFactor: s}), Profile: prof,
+			}, 200, 4*time.Second)
+			det, ots := res.Summary()
+			fmt.Printf("  s=%v: detection %5.0fms  OTS %5.0fms  failed trials %d\n", s, det.Mean, ots.Mean, res.FailedTrials)
+		}
+	}
+	if *which == "x" || *which == "all" {
+		fmt.Println("== Ablation: arrival probability x under 20% loss, RTT 200ms ==")
+		prof := netsim.Constant(netsim.Params{RTT: 200 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.2})
+		for _, x := range []float64{0.9, 0.99, 0.999, 0.9999} {
+			res := cluster.RunFluctuation(cluster.Options{
+				N: 5, Seed: 15, Variant: cluster.VariantDynatune(dynatune.Options{ArrivalProbability: x}), Profile: prof,
+			}, 5*time.Minute, 5*time.Second)
+			fmt.Printf("  x=%v: h %5.0fms  false timeouts %3d  elections %d\n",
+				x, res.LeaderHMs.MeanBetween(2*time.Minute, 5*time.Minute), res.Timeouts, res.Elections)
+		}
+	}
+	if *which == "minlist" || *which == "all" {
+		fmt.Println("== Ablation: minListSize (tuning warm-up) ==")
+		for _, m := range []int{2, 10, 50} {
+			res := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 17, Variant: cluster.VariantDynatune(dynatune.Options{MinListSize: m}), Profile: stable100(),
+			}, 200, 8*time.Second)
+			det, ots := res.Summary()
+			fmt.Printf("  minListSize=%2d: detection %5.0fms  OTS %5.0fms\n", m, det.Mean, ots.Mean)
+		}
+	}
+	if *which == "est" || *which == "all" {
+		fmt.Println("== Ablation: Et estimator (window µ+sσ [paper] | EWMA [RFC 6298] | window max) ==")
+		ests := []dynatune.Estimator{dynatune.EstimatorWindow, dynatune.EstimatorEWMA, dynatune.EstimatorMax}
+		jitterProf := netsim.Constant(netsim.Params{RTT: 100 * time.Millisecond, Jitter: 8 * time.Millisecond})
+		spikeProf := netsim.RadicalRTTSpike(netsim.Params{Jitter: 2 * time.Millisecond},
+			50*time.Millisecond, 500*time.Millisecond, time.Minute)
+		for _, e := range ests {
+			v := cluster.VariantDynatune(dynatune.Options{Estimator: e})
+			v.Name = "Dyn-" + e.String()
+			elec := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 23, Variant: v, Profile: jitterProf,
+			}, 200, 4*time.Second)
+			det, ots := elec.Summary()
+			spike := cluster.RunFluctuation(cluster.Options{
+				N: 5, Seed: 25, Variant: v, Profile: spikeProf,
+			}, 3*time.Minute, 5*time.Second)
+			fmt.Printf("  %-10s detection %5.0fms  OTS %5.0fms | RTT spike: %2d false timeouts, %4.1fs OTS\n",
+				e, det.Mean, ots.Mean, spike.Timeouts, spike.OTS.Total().Seconds())
+		}
+	}
+	if *which == "split" || *which == "all" {
+		fmt.Println("== Ablation: split-vote rate vs Et (§IV-E discussion) ==")
+		for _, et := range []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 1000 * time.Millisecond} {
+			v := cluster.Variant{
+				Name:           "Static(" + et.String() + ")",
+				NewTuner:       func() raftTuner { return newStatic(et) },
+				HeartbeatClass: netsim.TCP,
+			}
+			res := cluster.RunElectionTrials(cluster.Options{
+				N: 5, Seed: 19, Variant: v, Profile: stable100(),
+			}, 200, 2*time.Second)
+			det, ots := res.Summary()
+			fmt.Printf("  Et=%6s: detection %5.0fms  election %5.0fms  split rounds %d\n",
+				et, det.Mean, ots.Mean-det.Mean, res.SplitVoteRounds)
+		}
+	}
+}
+
+// xfer contrasts crash failover with planned leadership transfer (an
+// extension beyond the paper: handover ≈1.5 RTT instead of a detection
+// timeout).
+func xfer(args []string) {
+	fs := flag.NewFlagSet("xfer", flag.ExitOnError)
+	trials := fs.Int("trials", 300, "handovers / crashes per variant")
+	seed := fs.Int64("seed", 61, "simulation seed")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Planned maintenance: leadership transfer vs crash failover (RTT 100ms) ==")
+	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+		crash := cluster.RunElectionTrials(cluster.Options{
+			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
+		}, *trials, 4*time.Second)
+		_, ots := crash.Summary()
+		tr := cluster.RunTransferTrials(cluster.Options{
+			N: 5, Seed: *seed + 1, Variant: v, Profile: stable100(),
+		}, *trials, 4*time.Second)
+		handover := metrics.Summarize(tr.HandoverMs)
+		fmt.Printf("%-9s crash OTS mean %6.0fms | transfer handover mean %5.0fms p99 %5.0fms (%d/%d ok)\n",
+			v.Name, ots.Mean, handover.Mean, handover.P99, len(tr.HandoverMs), tr.Trials)
+	}
+}

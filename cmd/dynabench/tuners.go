@@ -1,0 +1,15 @@
+package main
+
+import (
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// raftTuner aliases the tuner interface for the ablation variants.
+type raftTuner = raft.Tuner
+
+// newStatic builds a static tuner with the etcd h = Et/10 ratio.
+func newStatic(et time.Duration) raftTuner {
+	return raft.NewStaticTuner(et, et/10)
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeNode serves the subset of the dynatuned HTTP API dynactl uses.
+func fakeNode(t *testing.T, leader bool, store map[string]string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/kv/")
+		switch r.Method {
+		case http.MethodGet:
+			v, ok := store[key]
+			if !ok {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Write([]byte(v)) //nolint:errcheck // test server
+		case http.MethodPut:
+			if !leader {
+				w.Header().Set("X-Raft-Leader", "1")
+				http.Error(w, "not the leader", http.StatusMisdirectedRequest)
+				return
+			}
+			var buf [256]byte
+			n, _ := r.Body.Read(buf[:])
+			store[key] = string(buf[:n])
+			w.WriteHeader(http.StatusOK)
+		case http.MethodDelete:
+			if !leader {
+				http.Error(w, "not the leader", http.StatusMisdirectedRequest)
+				return
+			}
+			delete(store, key)
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		state := "follower"
+		if leader {
+			state = "leader"
+		}
+		w.Write([]byte(`{"state":"` + state + `"}`)) //nolint:errcheck // test server
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newTestClient(eps ...string) *client {
+	return &client{hc: &http.Client{Timeout: 2 * time.Second}, endpoints: eps}
+}
+
+func host(s *httptest.Server) string { return strings.TrimPrefix(s.URL, "http://") }
+
+func TestClientPutGetDelete(t *testing.T) {
+	store := map[string]string{}
+	leader := fakeNode(t, true, store)
+	c := newTestClient(host(leader))
+	if err := c.put("color", "blue"); err != nil {
+		t.Fatal(err)
+	}
+	if store["color"] != "blue" {
+		t.Fatalf("store = %v", store)
+	}
+	if err := c.get("color", "local"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.del("color"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store["color"]; ok {
+		t.Fatal("delete did not remove key")
+	}
+	if err := c.get("color", "local"); err == nil {
+		t.Fatal("get of deleted key succeeded")
+	}
+}
+
+func TestClientFallsThroughToLeader(t *testing.T) {
+	store := map[string]string{}
+	follower := fakeNode(t, false, map[string]string{})
+	leader := fakeNode(t, true, store)
+	c := newTestClient(host(follower), host(leader))
+	if err := c.put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if store["k"] != "v" {
+		t.Fatal("write did not reach the leader")
+	}
+}
+
+func TestClientAllEndpointsDown(t *testing.T) {
+	c := newTestClient("127.0.0.1:1") // nothing listens on port 1 for us
+	if err := c.put("k", "v"); err == nil {
+		t.Fatal("expected error with no reachable endpoint")
+	}
+	if err := c.status(); err == nil {
+		t.Fatal("status should fail with no endpoints")
+	}
+}
+
+func TestClientStatus(t *testing.T) {
+	leader := fakeNode(t, true, map[string]string{})
+	c := newTestClient(host(leader), "127.0.0.1:1")
+	if err := c.status(); err != nil {
+		t.Fatal(err) // one reachable endpoint suffices
+	}
+}
+
+func TestClientBench(t *testing.T) {
+	store := map[string]string{}
+	leader := fakeNode(t, true, store)
+	c := newTestClient(host(leader))
+	if err := c.bench(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(store) != 10 {
+		t.Fatalf("bench wrote %d keys", len(store))
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+func TestParseCluster(t *testing.T) {
+	peers, err := parseCluster("1=10.0.0.1:7001,2=10.0.0.2:7001, 3=10.0.0.3:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("peers = %d", len(peers))
+	}
+	pa := peers[raft.ID(2)]
+	if pa.TCP != "10.0.0.2:7001" || pa.UDP != "10.0.0.2:7001" {
+		t.Fatalf("peer 2 = %+v", pa)
+	}
+}
+
+func TestParseClusterErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1-10.0.0.1:7001",
+		"x=10.0.0.1:7001",
+		"0=10.0.0.1:7001",
+		"1=a,1=b",
+	}
+	for _, spec := range bad {
+		if _, err := parseCluster(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Fluctuating WAN (paper §IV-C1): the RTT between all nodes climbs from
+// 50 ms to 200 ms and back while three systems watch their election
+// timers. Dynatune's randomizedTimeout glides along with the RTT;
+// Raft's stays parked at ~1.5 s; Raft-Low melts down when the RTT crosses
+// its static 100 ms timeout.
+//
+//	go run ./examples/fluctuating-wan
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/metrics"
+	"dynatune/internal/netsim"
+)
+
+func main() {
+	// Compressed version of Fig. 6a: 50→200→50 ms in 25 ms steps held 20 s
+	// each (full-scale schedule: cmd/dynabench fig6a).
+	profile := netsim.GradualRTTRamp(
+		netsim.Params{Jitter: 2 * time.Millisecond},
+		50*time.Millisecond, 200*time.Millisecond, 25*time.Millisecond, 20*time.Second)
+	horizon := 4 * time.Minute
+
+	for _, variant := range []cluster.Variant{
+		cluster.VariantDynatune(dynatune.Options{}),
+		cluster.VariantRaft(),
+		cluster.VariantRaftLow(),
+	} {
+		res := cluster.RunFluctuation(cluster.Options{
+			N: 5, Seed: 7, Variant: variant, Profile: profile,
+		}, horizon, 5*time.Second)
+
+		fmt.Printf("=== %s ===\n", res.Variant)
+		fmt.Printf("out-of-service: %v across %d episodes | false timeouts %d, elections %d\n",
+			res.OTS.Total().Round(time.Second), res.OTS.Count(), res.Timeouts, res.Elections)
+		fmt.Println("time series (3rd-smallest randomizedTimeout vs injected RTT):")
+		fmt.Println(metrics.RenderSeries(9, res.RandTimeout3rdMs, res.LinkRTTMs))
+	}
+	fmt.Println("(paper Fig. 6a: Dynatune adapts with no OTS; Raft-Low accumulates minutes of OTS)")
+}

@@ -1,0 +1,79 @@
+// Geo-replicated SMR (paper §IV-D): five nodes in Tokyo, London,
+// California, Sydney and São Paulo. Dynatune tunes each leader→follower
+// pair separately, so nearby followers get tight timeouts and distant
+// ones get slack — something a single static Et cannot express.
+//
+//	go run ./examples/georeplicated
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/geo"
+	"dynatune/internal/raft"
+)
+
+func main() {
+	c := cluster.New(cluster.Options{
+		N:             5,
+		Seed:          2026,
+		Variant:       cluster.VariantDynatune(dynatune.Options{}),
+		Regions:       geo.Regions,
+		GeoJitterFrac: 0.05,
+		GeoLoss:       0.001,
+	})
+	c.Start()
+	lead := c.WaitLeader(15 * time.Second)
+	if lead == nil {
+		panic("no leader")
+	}
+	c.Run(20 * time.Second) // warm up per-pair measurements
+
+	leadRegion := geo.Regions[lead.ID()-1]
+	fmt.Printf("leader: node %d (%v)\n\n", lead.ID(), leadRegion)
+	fmt.Println("per-pair tuning on the leader (paper §III-B: one h per leader-follower path):")
+
+	tn := c.DynatuneTuner(lead.ID())
+	type row struct {
+		id raft.ID
+		h  time.Duration
+	}
+	var rows []row
+	for id, h := range tn.LeaderIntervals() {
+		rows = append(rows, row{id, h})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	for _, r := range rows {
+		region := geo.Regions[r.id-1]
+		fmt.Printf("  → node %d %-11v  link RTT %-6v  tuned h %v\n",
+			r.id, region, geo.RTT(leadRegion, region), r.h.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nfollower election timeouts (each tracks its own leader-link RTT):")
+	for id := raft.ID(1); id <= 5; id++ {
+		if id == lead.ID() {
+			continue
+		}
+		ft := c.DynatuneTuner(id)
+		mu, sigma := ft.MeasuredRTT()
+		fmt.Printf("  node %d %-11v  µ=%5.0fms σ=%4.1fms → Et %v (fallback would be %v)\n",
+			id, geo.Regions[id-1], mu*1000, sigma*1000,
+			ft.ElectionTimeout().Round(time.Millisecond), dynatune.DefaultEt)
+	}
+
+	// Kill the leader and watch the geo cluster recover (Fig. 8).
+	_, failAt := c.PauseLeader()
+	c.Run(15 * time.Second)
+	detect, _ := c.Recorder().FirstDetectionAfter(failAt)
+	ots, winner, ok := c.Recorder().FirstElectionAfter(failAt)
+	if !ok {
+		panic("no re-election")
+	}
+	fmt.Printf("\nleader (%v) frozen → detected in %v; node %d (%v) took over after %v\n",
+		leadRegion, detect.Round(time.Millisecond), winner, geo.Regions[winner-1], ots.Round(time.Millisecond))
+	fmt.Println("(paper Fig. 8: Dynatune detection ≈213 ms vs Raft ≈1137 ms)")
+}

@@ -1,0 +1,109 @@
+// Membership: grow a running 4-node Dynatune cluster to 5 nodes the safe
+// way — add the newcomer as a non-voting learner, let it catch up and let
+// its tuner warm, promote it to voter, then retire the oldest member with
+// a planned leadership transfer followed by removal. No out-of-service
+// window at any step.
+//
+//	go run ./examples/membership
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/kv"
+	"dynatune/internal/netsim"
+	"dynatune/internal/raft"
+)
+
+func main() {
+	network := netsim.Constant(netsim.Params{
+		RTT:    100 * time.Millisecond,
+		Jitter: 2 * time.Millisecond,
+	})
+	c := cluster.New(cluster.Options{
+		N:              5,
+		InitialMembers: 4, // node 5 exists on the network but is not a member yet
+		Seed:           1,
+		Variant:        cluster.VariantDynatune(dynatune.Options{}),
+		Profile:        network,
+	})
+	c.Start()
+	lead := c.WaitLeader(10 * time.Second)
+	if lead == nil {
+		panic("no leader")
+	}
+	c.Run(4 * time.Second)
+	lead = c.Leader()
+	fmt.Printf("4-voter cluster up; leader node %d, quorum %d\n", lead.ID(), lead.Quorum())
+
+	// Commit some history the newcomer will have to replicate.
+	for i := 1; i <= 200; i++ {
+		cmd := kv.Command{Op: kv.OpPut, Client: 1, Seq: uint64(i),
+			Key: fmt.Sprintf("k%03d", i), Value: []byte("v")}
+		if _, err := lead.Propose(kv.Encode(cmd)); err != nil {
+			panic(err)
+		}
+		if i%64 == 0 {
+			c.Run(100 * time.Millisecond)
+		}
+	}
+	c.Run(time.Second)
+
+	// Step 1: add node 5 as a learner — it replicates but holds no vote,
+	// so a slow newcomer can never stall commits or disrupt elections.
+	joiner := raft.ID(5)
+	t0 := c.Now()
+	if _, err := lead.ProposeConfChange(raft.ConfChange{Op: raft.ConfAddLearner, Node: joiner}); err != nil {
+		panic(err)
+	}
+	target := lead.Log().LastIndex()
+	for c.Node(joiner).Log().Applied() < target {
+		c.Run(50 * time.Millisecond)
+	}
+	fmt.Printf("learner caught up %d entries in %v (quorum still %d)\n",
+		target, c.Now()-t0, c.Leader().Quorum())
+
+	// Its Dynatune state warms from the heartbeats it now receives.
+	tn := c.DynatuneTuner(joiner)
+	for !tn.Tuned() {
+		c.Run(100 * time.Millisecond)
+	}
+	fmt.Printf("joiner's tuner engaged after %v: Et=%v\n", c.Now()-t0, tn.ElectionTimeout())
+
+	// Step 2: promote to voter.
+	if _, err := c.Leader().ProposeConfChange(raft.ConfChange{Op: raft.ConfAddVoter, Node: joiner}); err != nil {
+		panic(err)
+	}
+	c.Run(time.Second)
+	fmt.Printf("promoted: %d voters, quorum %d\n", len(c.Leader().Voters()), c.Leader().Quorum())
+
+	// Step 3: retire node 1 — transfer leadership away first if it leads.
+	retiree := raft.ID(1)
+	if c.Leader().ID() == retiree {
+		if err := c.Leader().TransferLeadership(2); err != nil {
+			panic(err)
+		}
+		c.Run(2 * time.Second)
+		fmt.Printf("leadership handed to node %d (planned transfer, ≈1.5 RTT)\n", c.Leader().ID())
+	}
+	if _, err := c.Leader().ProposeConfChange(raft.ConfChange{Op: raft.ConfRemoveNode, Node: retiree}); err != nil {
+		panic(err)
+	}
+	c.Run(2 * time.Second)
+	fmt.Printf("node %d removed: voters %v, quorum %d\n",
+		retiree, c.Leader().Voters(), c.Leader().Quorum())
+	if !c.Node(retiree).Removed() {
+		panic("retiree does not know it was removed")
+	}
+
+	// The reshaped cluster still serves and fails over fast.
+	old, failAt := c.PauseLeader()
+	if c.WaitLeader(30*time.Second) == nil {
+		panic("no successor")
+	}
+	det, _ := c.Recorder().FirstDetectionAfter(failAt)
+	fmt.Printf("failover drill after reshape: node %d killed, detected in %v\n", old, det)
+}

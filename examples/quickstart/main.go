@@ -1,0 +1,58 @@
+// Quickstart: build a simulated 5-node cluster, kill the leader, and
+// watch Dynatune detect the failure an order of magnitude faster than
+// stock Raft — the paper's headline result in under a minute of reading.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/netsim"
+)
+
+func main() {
+	// A WAN-ish network: 100 ms RTT, a little jitter, no loss.
+	network := netsim.Constant(netsim.Params{
+		RTT:    100 * time.Millisecond,
+		Jitter: 2 * time.Millisecond,
+	})
+
+	for _, variant := range []cluster.Variant{
+		cluster.VariantRaft(),                       // etcd defaults: Et 1000 ms, h 100 ms
+		cluster.VariantDynatune(dynatune.Options{}), // paper defaults: s=2, x=0.999
+	} {
+		c := cluster.New(cluster.Options{N: 5, Seed: 1, Variant: variant, Profile: network})
+		c.Start()
+
+		lead := c.WaitLeader(10 * time.Second)
+		if lead == nil {
+			panic("no leader elected")
+		}
+		// Let Dynatune collect its minListSize=10 RTT samples and engage.
+		c.Run(4 * time.Second)
+
+		fmt.Printf("%s:\n", variant.Name)
+		fmt.Printf("  leader: node %d (term %d)\n", lead.ID(), lead.Term())
+		if tn := c.DynatuneTuner(2); tn != nil && tn.Tuned() {
+			mu, sigma := tn.MeasuredRTT()
+			fmt.Printf("  follower 2 measured RTT µ=%.1fms σ=%.1fms → tuned Et=%v, h=%v\n",
+				mu*1000, sigma*1000, tn.TunedEt().Round(time.Millisecond), tn.TunedH().Round(time.Millisecond))
+		} else {
+			fmt.Printf("  static parameters: Et=%v\n", c.Node(2).ElectionTimeoutBase())
+		}
+
+		// The paper's §IV-B1 experiment, once: freeze the leader.
+		_, failAt := c.PauseLeader()
+		c.Run(10 * time.Second)
+
+		detect, _ := c.Recorder().FirstDetectionAfter(failAt)
+		ots, winner, _ := c.Recorder().FirstElectionAfter(failAt)
+		fmt.Printf("  leader frozen → detected after %v, node %d elected after %v\n\n",
+			detect.Round(time.Millisecond), winner, ots.Round(time.Millisecond))
+	}
+	fmt.Println("(paper Fig. 4: Raft ≈1205/1449 ms, Dynatune ≈237/797 ms)")
+}

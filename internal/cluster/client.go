@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"time"
+
+	"dynatune/internal/kv"
+	"dynatune/internal/metrics"
+	"dynatune/internal/raft"
+	"dynatune/internal/workload"
+)
+
+// LoadGen drives an open-loop client population against the cluster's
+// leader, reproducing §IV-B2: requests arrive on a ramp schedule
+// regardless of completions; the generator batches arrivals into leader
+// proposals every flush interval (etcd's Ready-loop batching) and
+// measures per-request latency from arrival to commit-and-reply.
+type LoadGen struct {
+	c         *Cluster
+	ramp      workload.Ramp
+	gen       *workload.Generator
+	clientRTT time.Duration // client↔leader round trip added to latency
+	flushEach time.Duration
+
+	// queue holds arrival times of requests accepted but not yet proposed
+	// (waiting for the next flush or for a leader).
+	queue []time.Duration
+	// inflight maps log index → arrival time.
+	inflight map[uint64]time.Duration
+
+	// perStep aggregates completions by the ramp step of their arrival.
+	perStep []stepAgg
+
+	proposeErrors uint64
+	seq           uint64
+	base          time.Duration // virtual time of ramp t=0
+}
+
+type stepAgg struct {
+	completed int
+	latency   metrics.Welford
+}
+
+// NewLoadGen attaches a load generator to a not-yet-started cluster.
+func NewLoadGen(c *Cluster, ramp workload.Ramp, clientRTT time.Duration) *LoadGen {
+	g, err := workload.NewGenerator(ramp, c.eng.Rand())
+	if err != nil {
+		panic(err)
+	}
+	lg := &LoadGen{
+		c:         c,
+		ramp:      ramp,
+		gen:       g,
+		clientRTT: clientRTT,
+		flushEach: time.Millisecond,
+		inflight:  make(map[uint64]time.Duration),
+		perStep:   make([]stepAgg, ramp.Steps),
+	}
+	c.onApply = lg.onApply
+	return lg
+}
+
+// Start begins the flush loop at the current virtual time; the ramp's t=0
+// is "now".
+func (lg *LoadGen) Start() {
+	base := lg.c.eng.Now()
+	lg.base = base
+	var tick func()
+	tick = func() {
+		lg.flush(base)
+		if lg.c.eng.Now() < base+lg.ramp.Duration()+10*time.Second {
+			lg.c.eng.After(lg.flushEach, tick)
+		}
+	}
+	lg.c.eng.After(lg.flushEach, tick)
+	// Compact logs periodically so multi-minute ramps stay in memory.
+	var compact func()
+	compact = func() {
+		lg.c.CompactAll(4096)
+		if lg.c.eng.Now() < base+lg.ramp.Duration()+10*time.Second {
+			lg.c.eng.After(time.Second, compact)
+		}
+	}
+	lg.c.eng.After(time.Second, compact)
+}
+
+// flush moves due arrivals into a leader proposal batch.
+func (lg *LoadGen) flush(base time.Duration) {
+	now := lg.c.eng.Now() - base
+	for {
+		at, ok := lg.gen.Next()
+		if !ok || at > now {
+			if ok {
+				// Put the overshoot arrival back by buffering it: the
+				// generator has no un-next, so track it in the queue with
+				// its absolute time and stop pulling.
+				lg.queue = append(lg.queue, at)
+			}
+			break
+		}
+		lg.queue = append(lg.queue, at)
+	}
+	// Partition queue into due and future arrivals.
+	due := lg.queue[:0:0]
+	rest := lg.queue[:0]
+	for _, at := range lg.queue {
+		if at <= now {
+			due = append(due, at)
+		} else {
+			rest = append(rest, at)
+		}
+	}
+	lg.queue = rest
+	if len(due) == 0 {
+		return
+	}
+	lead := lg.c.Leader()
+	if lead == nil {
+		// No leader: requests wait (client retries); put them back.
+		lg.queue = append(due, lg.queue...)
+		return
+	}
+	rt := lg.c.rts[lead.ID()-1]
+	cost := lg.c.cost.ProposeBase + time.Duration(len(due))*lg.c.cost.ProposeEntry
+	arrivals := append([]time.Duration(nil), due...)
+	rt.proc.Exec(cost, func() {
+		datas := make([][]byte, len(arrivals))
+		for i := range arrivals {
+			lg.seq++
+			datas[i] = kv.Encode(kv.Command{Op: kv.OpPut, Client: 1, Seq: lg.seq, Key: "bench", Value: []byte("v")})
+		}
+		first, _, err := lead.ProposeBatch(datas)
+		if err != nil {
+			lg.proposeErrors += uint64(len(arrivals))
+			return
+		}
+		for i, at := range arrivals {
+			lg.inflight[first+uint64(i)] = at
+		}
+	})
+}
+
+// onApply observes applied entries; completions are measured on the node
+// that proposed (the leader), whose apply instant is the commit point at
+// which etcd answers the client.
+func (lg *LoadGen) onApply(node raft.ID, ents []raft.Entry) {
+	lead := lg.c.Leader()
+	if lead == nil || lead.ID() != node {
+		return
+	}
+	now := lg.c.eng.Now() - lg.base
+	for _, e := range ents {
+		at, ok := lg.inflight[e.Index]
+		if !ok {
+			continue
+		}
+		delete(lg.inflight, e.Index)
+		// Bin by completion time: achieved throughput during a ramp level
+		// is what the paper's "average throughput" measures, and it is
+		// what saturates at the service capacity.
+		step := lg.ramp.StepOf(now)
+		if step < 0 || step >= len(lg.perStep) {
+			continue
+		}
+		// Latency: client→leader half, queueing+commit, leader→client half.
+		lat := (now - at) + lg.clientRTT
+		lg.perStep[step].completed++
+		lg.perStep[step].latency.Add(float64(lat) / float64(time.Millisecond))
+	}
+}
+
+// StepResult is the aggregated outcome for one ramp step.
+type StepResult struct {
+	OfferedRPS   int
+	ThroughputRS float64 // completed requests per second
+	LatencyMs    float64 // mean latency
+	Completed    int
+}
+
+// Results returns per-step aggregates. Call after the ramp (plus drain)
+// has run.
+func (lg *LoadGen) Results() []StepResult {
+	out := make([]StepResult, len(lg.perStep))
+	for i := range lg.perStep {
+		rps, _ := lg.ramp.RPSAt(time.Duration(i)*lg.ramp.StepDuration + 1)
+		out[i] = StepResult{
+			OfferedRPS:   rps,
+			ThroughputRS: float64(lg.perStep[i].completed) / lg.ramp.StepDuration.Seconds(),
+			LatencyMs:    lg.perStep[i].latency.Mean(),
+			Completed:    lg.perStep[i].completed,
+		}
+	}
+	return out
+}
+
+// ProposeErrors returns how many requests failed to propose (no leader).
+func (lg *LoadGen) ProposeErrors() uint64 { return lg.proposeErrors }
+
+// Inflight returns the number of requests proposed but not yet committed.
+func (lg *LoadGen) Inflight() int { return len(lg.inflight) }

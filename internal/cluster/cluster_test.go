@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/dynatune"
+	"dynatune/internal/geo"
+	"dynatune/internal/netsim"
+	"dynatune/internal/raft"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func stableNet(rtt int) netsim.Profile {
+	return netsim.Constant(netsim.Params{RTT: ms(rtt), Jitter: 2 * time.Millisecond})
+}
+
+func TestClusterElectsLeader(t *testing.T) {
+	c := New(Options{N: 5, Seed: 1, Variant: VariantRaft(), Profile: stableNet(100)})
+	c.Start()
+	if c.WaitLeader(10*time.Second) == nil {
+		t.Fatal("no leader")
+	}
+}
+
+func TestAllVariantsElectLeaders(t *testing.T) {
+	variants := []Variant{VariantRaft(), VariantRaftLow(), VariantDynatune(dynatune.Options{}), VariantFixK(10)}
+	for _, v := range variants {
+		c := New(Options{N: 5, Seed: 2, Variant: v, Profile: stableNet(50)})
+		c.Start()
+		if c.WaitLeader(10*time.Second) == nil {
+			t.Fatalf("%s: no leader", v.Name)
+		}
+	}
+}
+
+func TestDynatuneEngagesAfterWarmup(t *testing.T) {
+	c := New(Options{N: 5, Seed: 3, Variant: VariantDynatune(dynatune.Options{}), Profile: stableNet(100)})
+	c.Start()
+	lead := c.WaitLeader(10 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	// Warmup: minListSize=10 heartbeats at ≤100ms intervals (the fallback h).
+	c.Run(5 * time.Second)
+	tunedFollowers := 0
+	for id := raft.ID(1); id <= 5; id++ {
+		if id == lead.ID() {
+			continue
+		}
+		tn := c.DynatuneTuner(id)
+		if tn == nil {
+			t.Fatalf("node %d has no dynatune tuner", id)
+		}
+		if tn.Tuned() {
+			tunedFollowers++
+			et := tn.TunedEt()
+			// RTT 100ms with small jitter: Et = µ+2σ should land near
+			// 100-130ms, radically below the 1000ms default.
+			if et < ms(90) || et > ms(200) {
+				t.Fatalf("node %d tuned Et = %v, want ≈100-130ms", id, et)
+			}
+		}
+	}
+	if tunedFollowers < 4 {
+		t.Fatalf("only %d/4 followers engaged tuning", tunedFollowers)
+	}
+	// Leader side must have adopted the piggybacked per-peer h ≈ Et (K=1
+	// at zero loss).
+	if h := c.LeaderMeanHeartbeatInterval(); h < ms(90) || h > ms(250) {
+		t.Fatalf("leader mean h = %v, want ≈Et", h)
+	}
+}
+
+func TestDynatuneDetectsFasterThanRaft(t *testing.T) {
+	// The headline claim (Fig. 4) in miniature: 20 failures each.
+	detect := func(v Variant) float64 {
+		res := RunElectionTrials(Options{N: 5, Seed: 11, Variant: v, Profile: stableNet(100)}, 20, 4*time.Second)
+		if len(res.DetectionMs) < 15 {
+			t.Fatalf("%s: only %d/%d detections", v.Name, len(res.DetectionMs), res.Trials)
+		}
+		d, _ := res.Summary()
+		return d.Mean
+	}
+	raftDet := detect(VariantRaft())
+	dynDet := detect(VariantDynatune(dynatune.Options{}))
+	if dynDet >= raftDet {
+		t.Fatalf("dynatune detection %.0fms not faster than raft %.0fms", dynDet, raftDet)
+	}
+	// Paper: 80% reduction. Accept anything beyond 50% for the miniature.
+	if dynDet > raftDet*0.5 {
+		t.Fatalf("dynatune detection %.0fms, want < half of raft %.0fms", dynDet, raftDet)
+	}
+	// Raft's detection should sit near the min of 4 randomized timeouts
+	// (≈1200ms for Et=1000).
+	if raftDet < 800 || raftDet > 1800 {
+		t.Fatalf("raft mean detection %.0fms outside plausible band", raftDet)
+	}
+}
+
+func TestDynatuneReducesOTS(t *testing.T) {
+	ots := func(v Variant) float64 {
+		res := RunElectionTrials(Options{N: 5, Seed: 13, Variant: v, Profile: stableNet(100)}, 20, 4*time.Second)
+		if len(res.OTSMs) < 15 {
+			t.Fatalf("%s: only %d OTS samples", v.Name, len(res.OTSMs))
+		}
+		_, o := res.Summary()
+		return o.Mean
+	}
+	raftOTS := ots(VariantRaft())
+	dynOTS := ots(VariantDynatune(dynatune.Options{}))
+	if dynOTS >= raftOTS {
+		t.Fatalf("dynatune OTS %.0fms not below raft %.0fms", dynOTS, raftOTS)
+	}
+}
+
+func TestPauseFreezesNode(t *testing.T) {
+	c := New(Options{N: 3, Seed: 5, Variant: VariantRaft(), Profile: stableNet(20)})
+	c.Start()
+	lead := c.WaitLeader(10 * time.Second)
+	id, _ := c.PauseLeader()
+	if id != lead.ID() {
+		t.Fatalf("paused %d, leader was %d", id, lead.ID())
+	}
+	if !c.Paused(id) {
+		t.Fatal("Paused() false")
+	}
+	sent := c.MessagesSent(id)
+	c.Run(3 * time.Second)
+	if c.MessagesSent(id) != sent {
+		t.Fatal("paused node kept sending")
+	}
+	// A new leader emerges among survivors.
+	newLead := c.Leader()
+	if newLead == nil || newLead.ID() == id {
+		t.Fatal("no replacement leader")
+	}
+	// Resume: the stale leader rejoins as follower.
+	c.Resume(id)
+	c.Run(5 * time.Second)
+	if c.Node(id).State() == raft.StateLeader && c.Node(id).Term() <= newLead.Term() {
+		t.Fatal("stale leader did not step down")
+	}
+}
+
+func TestStoresStayConsistent(t *testing.T) {
+	c := New(Options{N: 3, Seed: 7, Variant: VariantDynatune(dynatune.Options{}), Profile: stableNet(30)})
+	c.Start()
+	lead := c.WaitLeader(10 * time.Second)
+	lg := NewLoadGen(c, paperMiniRamp(), ms(60))
+	_ = lg
+	for i := 0; i < 50; i++ {
+		if _, err := lead.Propose(proposeCmd(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(3 * time.Second)
+	if err := c.StoresConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Store(1).AppliedIndex() == 0 {
+		t.Fatal("nothing applied")
+	}
+}
+
+func TestKthSmallestRandomizedTimeout(t *testing.T) {
+	c := New(Options{N: 5, Seed: 9, Variant: VariantRaft(), Profile: stableNet(50)})
+	c.Start()
+	c.WaitLeader(10 * time.Second)
+	k1 := c.KthSmallestRandomizedTimeout(1)
+	k3 := c.KthSmallestRandomizedTimeout(3)
+	k5 := c.KthSmallestRandomizedTimeout(5)
+	if !(k1 <= k3 && k3 <= k5) {
+		t.Fatalf("order statistics wrong: %v %v %v", k1, k3, k5)
+	}
+	if k1 < time.Second || k5 >= 2*time.Second {
+		t.Fatalf("randomized timeouts outside [Et,2Et): %v..%v", k1, k5)
+	}
+	// Out-of-range k clamps.
+	if c.KthSmallestRandomizedTimeout(0) != k1 || c.KthSmallestRandomizedTimeout(99) != k5 {
+		t.Fatal("k clamping broken")
+	}
+}
+
+func TestCPUPercentReflectsLoad(t *testing.T) {
+	c := New(Options{N: 5, Seed: 15, Variant: VariantFixK(10), Profile: stableNet(200)})
+	c.Start()
+	lead := c.WaitLeader(10 * time.Second)
+	c.Run(10 * time.Second) // engage tuning: h = Et/10 ≈ 21ms
+	c.CPUPercent(lead.ID(), time.Second)
+	c.Run(5 * time.Second)
+	leadCPU := c.CPUPercent(lead.ID(), 5*time.Second)
+	var followerID raft.ID = 1
+	if lead.ID() == 1 {
+		followerID = 2
+	}
+	folCPU := c.CPUPercent(followerID, 5*time.Second)
+	if leadCPU <= folCPU {
+		t.Fatalf("leader CPU %.1f%% not above follower %.1f%%", leadCPU, folCPU)
+	}
+	if leadCPU <= 0 || leadCPU > 200 {
+		t.Fatalf("leader CPU %.1f%% out of range", leadCPU)
+	}
+}
+
+func TestGeoClusterElects(t *testing.T) {
+	c := New(Options{
+		N: 5, Seed: 17,
+		Variant:       VariantDynatune(dynatune.Options{}),
+		Regions:       geo.Regions,
+		GeoJitterFrac: 0.05,
+		GeoLoss:       0.001,
+	})
+	c.Start()
+	if c.WaitLeader(15*time.Second) == nil {
+		t.Fatal("geo cluster elected no leader")
+	}
+	// Per-link RTTs must differ (asymmetric topology).
+	if c.LinkRTT(1, 2) == c.LinkRTT(1, 3) {
+		t.Fatal("geo links not applied")
+	}
+}
+
+func TestGeoPerPairTuning(t *testing.T) {
+	// The whole point of per-pair tuning: different followers get
+	// different heartbeat intervals under the geo matrix.
+	c := New(Options{
+		N: 5, Seed: 19,
+		Variant:       VariantDynatune(dynatune.Options{}),
+		Regions:       geo.Regions,
+		GeoJitterFrac: 0.03,
+	})
+	c.Start()
+	lead := c.WaitLeader(15 * time.Second)
+	c.Run(20 * time.Second)
+	tn := c.DynatuneTuner(lead.ID())
+	ivs := tn.LeaderIntervals()
+	if len(ivs) < 2 {
+		t.Fatalf("leader tuned %d pairs, want ≥2", len(ivs))
+	}
+	var lo, hi time.Duration
+	for _, h := range ivs {
+		if lo == 0 || h < lo {
+			lo = h
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	if hi < lo*3/2 {
+		t.Fatalf("per-pair intervals too uniform over geo links: %v .. %v", lo, hi)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.N != 5 || o.Seed != 1 || o.Variant.Name != "Raft" || o.Cost.Cores != 2 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestMismatchedRegionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Options{N: 3, Regions: geo.Regions})
+}
+
+func TestSnapshotCatchUpThroughKVStore(t *testing.T) {
+	c := New(Options{N: 3, Seed: 57, Variant: VariantDynatune(dynatune.Options{}), Profile: stableNet(30)})
+	c.Start()
+	lead := c.WaitLeader(10 * time.Second)
+	var follower raft.ID
+	for id := raft.ID(1); id <= 3; id++ {
+		if id != lead.ID() {
+			follower = id
+			break
+		}
+	}
+	c.Pause(follower)
+	for i := 0; i < 100; i++ {
+		if _, err := lead.Propose(proposeCmd(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(2 * time.Second)
+	lead.CompactLog(2) // deep compaction: snapshots configured, so allowed
+	if lead.Log().FirstIndex() < 50 {
+		t.Fatalf("compaction too shallow: %d", lead.Log().FirstIndex())
+	}
+	c.Resume(follower)
+	c.Run(5 * time.Second)
+	// The follower's kv store must equal the leader's (transferred via
+	// snapshot + tail replication).
+	if !c.Store(follower).Equal(c.Store(lead.ID())) {
+		t.Fatal("kv stores differ after snapshot catch-up")
+	}
+	if c.Store(follower).AppliedIndex() != c.Store(lead.ID()).AppliedIndex() {
+		t.Fatalf("applied %d vs %d", c.Store(follower).AppliedIndex(), c.Store(lead.ID()).AppliedIndex())
+	}
+}

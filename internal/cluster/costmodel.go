@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// CostModel assigns CPU service time to every message and timer a node
+// handles. It substitutes for the paper's `docker stats` measurements
+// (§IV-C2) and for the request-path overhead that shapes the
+// throughput–latency curve (§IV-B2): utilization and queueing delay come
+// out of the *actual simulated message flow* priced by these constants.
+//
+// Calibration targets (documented in EXPERIMENTS.md):
+//   - a 5-node Raft leader saturates near the paper's ≈13.7k req/s;
+//   - a Fix-K leader with 64 followers at h≈21 ms exceeds 100% of its
+//     2-core allocation, as in Fig. 7b;
+//   - Dynatune's tuning work costs a measurable premium per heartbeat and
+//     a small premium per replicated entry (per-follower timer management
+//     in the send path), yielding the paper's ≈6% peak-throughput gap.
+type CostModel struct {
+	// Heartbeat path.
+	HeartbeatSend     time.Duration // leader: build+send one heartbeat
+	HeartbeatRecv     time.Duration // follower: process heartbeat + send response
+	HeartbeatRespRecv time.Duration // leader: process one response
+
+	// Replication path.
+	AppendSendBase  time.Duration // leader: per MsgApp
+	AppendSendEntry time.Duration // leader: per entry marshalled
+	AppendRecv      time.Duration // follower: per MsgApp
+	AppendRecvEntry time.Duration // follower: per entry appended
+	AppendRespRecv  time.Duration // leader: per ack
+	ApplyEntry      time.Duration // any node: apply one committed entry
+
+	// Election path.
+	VoteProc time.Duration // any vote/pre-vote message, either side
+
+	// Client path (leader only).
+	ProposeBase  time.Duration // per flush of the proposal buffer
+	ProposeEntry time.Duration // per proposed command
+
+	// Tuning overhead (applied only when the node runs a measuring tuner):
+	// extra work per heartbeat handled (timestamping, statistics, retune)
+	// and per entry sent (per-follower timer bookkeeping in the hot path).
+	TuneHeartbeat time.Duration
+	TuneSendEntry time.Duration
+
+	// Snapshot path (InstallSnapshot transfers).
+	SnapshotMarshal time.Duration
+	SnapshotRestore time.Duration
+
+	// Timer fire overhead (scheduler wakeup).
+	TimerFire time.Duration
+
+	// Cores is the container's CPU allocation; reported CPU% saturates at
+	// Cores×100 (the paper's plots top out at 200%).
+	Cores int
+}
+
+// DefaultCostModel returns the calibrated model used by all experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		HeartbeatSend:     75 * time.Microsecond,
+		HeartbeatRecv:     40 * time.Microsecond,
+		HeartbeatRespRecv: 70 * time.Microsecond,
+
+		AppendSendBase:  4 * time.Microsecond,
+		AppendSendEntry: 13 * time.Microsecond,
+		AppendRecv:      4 * time.Microsecond,
+		AppendRecvEntry: 6 * time.Microsecond,
+		AppendRespRecv:  4 * time.Microsecond,
+		ApplyEntry:      10 * time.Microsecond,
+
+		VoteProc: 20 * time.Microsecond,
+
+		ProposeBase:  6 * time.Microsecond,
+		ProposeEntry: 8 * time.Microsecond,
+
+		TuneHeartbeat: 18 * time.Microsecond,
+		TuneSendEntry: 1200 * time.Nanosecond,
+
+		SnapshotMarshal: 500 * time.Microsecond,
+		SnapshotRestore: 500 * time.Microsecond,
+
+		TimerFire: 2 * time.Microsecond,
+
+		Cores: 2,
+	}
+}
+
+// sendCost prices an outgoing message on the sender.
+func (c CostModel) sendCost(m raft.Message, tuned bool) time.Duration {
+	switch m.Type {
+	case raft.MsgHeartbeat:
+		d := c.HeartbeatSend
+		if tuned {
+			d += c.TuneHeartbeat
+		}
+		return d
+	case raft.MsgApp:
+		d := c.AppendSendBase + time.Duration(len(m.Entries))*c.AppendSendEntry
+		if tuned {
+			d += time.Duration(len(m.Entries)) * c.TuneSendEntry
+		}
+		return d
+	case raft.MsgVote, raft.MsgPreVote:
+		return c.VoteProc
+	case raft.MsgSnap:
+		return c.AppendSendBase // marshalling already charged via the hook
+	default:
+		// Responses are priced on the receiver; sending them is folded
+		// into the receive cost of the message that triggered them.
+		return 0
+	}
+}
+
+// recvCost prices an incoming message on the receiver.
+func (c CostModel) recvCost(m raft.Message, tuned bool) time.Duration {
+	switch m.Type {
+	case raft.MsgHeartbeat:
+		d := c.HeartbeatRecv
+		if tuned {
+			d += c.TuneHeartbeat
+		}
+		return d
+	case raft.MsgHeartbeatResp:
+		d := c.HeartbeatRespRecv
+		if tuned {
+			d += c.TuneHeartbeat
+		}
+		return d
+	case raft.MsgApp:
+		return c.AppendRecv + time.Duration(len(m.Entries))*c.AppendRecvEntry
+	case raft.MsgAppResp:
+		return c.AppendRespRecv
+	case raft.MsgVote, raft.MsgVoteResp, raft.MsgPreVote, raft.MsgPreVoteResp:
+		return c.VoteProc
+	case raft.MsgSnap:
+		return c.AppendRecv // restore charged via the hook
+	default:
+		return time.Microsecond
+	}
+}

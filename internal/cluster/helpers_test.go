@@ -1,0 +1,16 @@
+package cluster
+
+import (
+	"time"
+
+	"dynatune/internal/kv"
+	"dynatune/internal/workload"
+)
+
+func proposeCmd(seq uint64) []byte {
+	return kv.Encode(kv.Command{Op: kv.OpPut, Client: 2, Seq: seq + 1, Key: "k", Value: []byte("v")})
+}
+
+func paperMiniRamp() workload.Ramp {
+	return workload.Ramp{StartRPS: 100, StepRPS: 100, StepDuration: time.Second, Steps: 3}
+}

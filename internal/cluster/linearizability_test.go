@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/dynatune"
+	"dynatune/internal/kv"
+	"dynatune/internal/raft"
+)
+
+// TestReadsLinearizableAcrossFailovers is the end-to-end linearizability
+// check: a client alternates committed writes and linearizable reads while
+// leaders are repeatedly killed. Every confirmed read must observe the
+// newest value whose write completed before the read was issued — across
+// Raft and Dynatune, ReadIndex and lease mode.
+func TestReadsLinearizableAcrossFailovers(t *testing.T) {
+	for _, variant := range []Variant{VariantRaft(), VariantDynatune(dynatune.Options{})} {
+		for _, lease := range []bool{false, true} {
+			name := fmt.Sprintf("%s/lease=%v", variant.Name, lease)
+			t.Run(name, func(t *testing.T) {
+				runLinearizabilityChurn(t, variant, lease)
+			})
+		}
+	}
+}
+
+func runLinearizabilityChurn(t *testing.T, variant Variant, lease bool) {
+	c := New(Options{N: 5, Seed: 11, Variant: variant})
+	c.Start()
+	if c.WaitLeader(30*time.Second) == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(4 * time.Second)
+
+	var lastCommitted int // newest generation whose write committed
+	gen := 0
+	reads, stale := 0, 0
+
+	write := func() bool {
+		lead := c.Leader()
+		if lead == nil {
+			return false
+		}
+		gen++
+		cmd := kv.Encode(kv.Command{Op: kv.OpPut, Client: 2, Seq: uint64(gen),
+			Key: "x", Value: []byte(fmt.Sprintf("%d", gen))})
+		idx, err := lead.Propose(cmd)
+		if err != nil {
+			gen--
+			return false
+		}
+		// Wait for commit on the proposing leader (or give up on churn).
+		deadline := c.Now() + 10*time.Second
+		for c.Now() < deadline {
+			c.Run(20 * time.Millisecond)
+			if lead.Log().Committed() >= idx && lead.State() == raft.StateLeader {
+				lastCommitted = gen
+				return true
+			}
+			if lead.State() != raft.StateLeader {
+				return false // unknown outcome; do not count the write
+			}
+		}
+		return false
+	}
+
+	read := func() {
+		lead := c.Leader()
+		if lead == nil {
+			return
+		}
+		// The linearizability bound: anything committed before issuing.
+		bound := lastCommitted
+		id := lead.ID()
+		fired := false
+		cb := func(_ uint64, ok bool) {
+			if !ok {
+				return
+			}
+			fired = true
+			v, _ := c.Store(id).Get("x")
+			var got int
+			fmt.Sscanf(string(v), "%d", &got) //nolint:errcheck // empty value parses as 0
+			reads++
+			if got < bound {
+				stale++
+				t.Errorf("stale read: got generation %d, %d had committed before the read", got, bound)
+			}
+		}
+		var err error
+		if lease {
+			if err = lead.LeaseRead(cb); err == raft.ErrLeaseExpired {
+				err = lead.ReadIndex(cb)
+			}
+		} else {
+			err = lead.ReadIndex(cb)
+		}
+		if err != nil {
+			return
+		}
+		deadline := c.Now() + 5*time.Second
+		for !fired && c.Now() < deadline {
+			c.Run(20 * time.Millisecond)
+			if c.Leader() == nil || c.Leader().ID() != id {
+				break // read aborted by churn
+			}
+		}
+	}
+
+	for round := 0; round < 8; round++ {
+		write()
+		read()
+		// Kill the leader and let a successor rise.
+		if l := c.Leader(); l != nil {
+			old := l.ID()
+			c.Pause(old)
+			if c.WaitLeader(60*time.Second) == nil {
+				t.Fatal("no successor during churn")
+			}
+			c.Run(3 * time.Second)
+			c.Resume(old)
+			c.Run(time.Second)
+		}
+		read()
+	}
+	if reads < 8 {
+		t.Fatalf("only %d confirmed reads across the churn — checker starved", reads)
+	}
+	if stale > 0 {
+		t.Fatalf("%d stale reads of %d", stale, reads)
+	}
+}

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/dynatune"
+	"dynatune/internal/kv"
+	"dynatune/internal/netsim"
+	"dynatune/internal/raft"
+)
+
+// putter proposes kv puts through the current leader with idempotence IDs.
+type putter struct {
+	c   *Cluster
+	cli uint64
+	seq uint64
+}
+
+func (p *putter) Put(key string, val []byte) {
+	p.seq++
+	cmd := kv.Encode(kv.Command{Op: kv.OpPut, Client: p.cli, Seq: p.seq, Key: key, Value: val})
+	if l := p.c.Leader(); l != nil {
+		_, _ = l.Propose(cmd)
+	}
+}
+
+func TestCrashRequiresPersist(t *testing.T) {
+	c := New(Options{N: 3, Seed: 1})
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Crash without Persist should panic")
+		}
+	}()
+	c.Crash(1)
+}
+
+func TestCrashRestartFollowerRecoversLog(t *testing.T) {
+	c := New(Options{N: 3, Seed: 2, Persist: true})
+	c.Start()
+	lead := c.WaitLeader(30 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(time.Second)
+	lead = c.Leader()
+
+	cl := &putter{c: c, cli: 7}
+	for i := 0; i < 10; i++ {
+		cl.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	c.Run(2 * time.Second)
+
+	var victim raft.ID
+	for i := 1; i <= 3; i++ {
+		if raft.ID(i) != lead.ID() {
+			victim = raft.ID(i)
+			break
+		}
+	}
+	appliedBefore := c.Store(victim).AppliedIndex()
+	if appliedBefore == 0 {
+		t.Fatal("victim never applied anything")
+	}
+	c.Crash(victim)
+	cl.Put("during", []byte("down"))
+	c.Run(2 * time.Second)
+	c.Restart(victim)
+	c.Run(3 * time.Second)
+
+	// The restarted node replayed its durable log and caught up past it.
+	if got := c.Store(victim).AppliedIndex(); got <= appliedBefore {
+		t.Fatalf("restarted node applied %d, want > %d", got, appliedBefore)
+	}
+	if v, ok := c.Store(victim).Get("during"); !ok || string(v) != "down" {
+		t.Fatalf("missed entry committed while down: %q %v", v, ok)
+	}
+	if err := c.StoresConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRestartLeaderClusterRecovers(t *testing.T) {
+	c := New(Options{N: 5, Seed: 3, Persist: true})
+	c.Start()
+	lead := c.WaitLeader(30 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(time.Second)
+	old, failAt := c.CrashLeader()
+	deadline := c.Now() + 30*time.Second
+	for c.Now() < deadline {
+		c.Run(20 * time.Millisecond)
+		if _, _, ok := c.Recorder().FirstElectionAfter(failAt); ok {
+			break
+		}
+	}
+	if c.Leader() == nil {
+		t.Fatal("no successor elected")
+	}
+	c.Restart(old)
+	c.Run(3 * time.Second)
+	// The old leader rejoined as follower at a newer term.
+	n := c.Node(old)
+	if n.State() == raft.StateLeader && n.Term() <= c.Leader().Term() {
+		t.Fatal("crashed ex-leader did not submit to the successor")
+	}
+	if err := c.StoresConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashLosesDynatuneState(t *testing.T) {
+	// The measurement lists are volatile: a crash-restarted Dynatune node
+	// must come back on fallback parameters and re-warm.
+	c := New(Options{N: 3, Seed: 4, Persist: true, Variant: VariantDynatune(dynatune.Options{})})
+	c.Start()
+	lead := c.WaitLeader(30 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(5 * time.Second) // enough heartbeats to tune
+	var follower raft.ID
+	for i := 1; i <= 3; i++ {
+		if raft.ID(i) != c.Leader().ID() {
+			follower = raft.ID(i)
+			break
+		}
+	}
+	tn := c.DynatuneTuner(follower)
+	if tn == nil || !tn.Tuned() {
+		t.Fatal("follower tuner never engaged")
+	}
+	c.Crash(follower)
+	c.Run(time.Second)
+	c.Restart(follower)
+	tn2 := c.DynatuneTuner(follower)
+	if tn2 == tn {
+		t.Fatal("restart kept the old tuner object")
+	}
+	if tn2.Tuned() {
+		t.Fatal("restarted tuner must start cold (fallback parameters)")
+	}
+	if got := tn2.ElectionTimeout(); got != BaselineEt {
+		t.Fatalf("restarted Et = %v, want fallback %v", got, BaselineEt)
+	}
+	// And it re-warms from fresh heartbeats.
+	deadline := c.Now() + 30*time.Second
+	for c.Now() < deadline && !tn2.Tuned() {
+		c.Run(100 * time.Millisecond)
+	}
+	if !tn2.Tuned() {
+		t.Fatal("restarted tuner never re-engaged")
+	}
+}
+
+func TestRunCrashRecoveryTrialsShapes(t *testing.T) {
+	base := Options{N: 5, Seed: 5}
+	raftRes := RunCrashRecoveryTrials(withVariant(base, VariantRaft()), 8, 2*time.Second, 500*time.Millisecond)
+	dynaRes := RunCrashRecoveryTrials(withVariant(base, VariantDynatune(dynatune.Options{})), 8, 4*time.Second, 500*time.Millisecond)
+
+	rd, _ := raftRes.Summary()
+	dd, _ := dynaRes.Summary()
+	if len(raftRes.DetectionMs) == 0 || len(dynaRes.DetectionMs) == 0 {
+		t.Fatalf("missing samples: raft=%d dyna=%d (failed %d/%d)",
+			len(raftRes.DetectionMs), len(dynaRes.DetectionMs), raftRes.FailedTrials, dynaRes.FailedTrials)
+	}
+	// The paper's headline shape must hold for crashes too: Dynatune
+	// detects the dead leader much faster.
+	if dd.Mean >= rd.Mean/2 {
+		t.Fatalf("crash detection: Dynatune %.0f ms vs Raft %.0f ms — expected <50%%", dd.Mean, rd.Mean)
+	}
+	if len(dynaRes.RetuneMs) == 0 {
+		t.Fatal("no retune (warm-up) samples for Dynatune")
+	}
+	if raftRes.ReplayEntries == 0 {
+		t.Fatal("restarted nodes replayed nothing — persistence inactive?")
+	}
+}
+
+func withVariant(o Options, v Variant) Options {
+	o.Variant = v
+	return o
+}
+
+func TestRunReadLatencyModes(t *testing.T) {
+	base := Options{N: 5, Seed: 6}
+	// Raft, lease mode: Et=1000ms lease refreshed every h=100ms — nearly
+	// all reads are lease hits with ~0 latency.
+	raftLease := RunReadLatency(withVariant(base, VariantRaft()), 100, 50*time.Millisecond, ReadModeLease)
+	if raftLease.LeaseHits < raftLease.Issued*8/10 {
+		t.Fatalf("Raft lease hits %d/%d, expected dominant", raftLease.LeaseHits, raftLease.Issued)
+	}
+	// Raft, read-index mode: every read pays about one RTT (100 ms here).
+	raftRI := RunReadLatency(withVariant(base, VariantRaft()), 100, 50*time.Millisecond, ReadModeIndex)
+	if s := raftRI.LatencySummary(); s.Mean < 50 {
+		t.Fatalf("ReadIndex mean latency %.1f ms, expected ≈ RTT (100 ms)", s.Mean)
+	}
+	// Dynatune, lease mode: although the tuned Et shrinks the lease window
+	// to ≈RTT, the h = Et/K rule guarantees (with probability x) that a
+	// heartbeat response lands inside every Et window per follower — the
+	// same property that prevents false elections also keeps the lease
+	// refreshed, so lease hits must stay dominant.
+	dynaLease := RunReadLatency(withVariant(base, VariantDynatune(dynatune.Options{})), 100, 50*time.Millisecond, ReadModeLease)
+	if dynaLease.LeaseHits < dynaLease.Issued*6/10 {
+		t.Fatalf("Dynatune lease hits %d/%d (+%d fallbacks): the h=Et/K rule should keep the lease alive",
+			dynaLease.LeaseHits, dynaLease.Issued, dynaLease.Fallbacks)
+	}
+}
+
+func TestReadLeaseSurvivesPacketLoss(t *testing.T) {
+	// Under heavy loss Dynatune shrinks h to keep heartbeats arriving
+	// within Et; the read lease inherits that guarantee. This is the
+	// property a static Et/h pair cannot give without overprovisioning.
+	lossy := Options{
+		N:    5,
+		Seed: 9,
+		Profile: netsim.Constant(netsim.Params{
+			RTT: 100 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.25,
+		}),
+		Variant: VariantDynatune(dynatune.Options{}),
+	}
+	res := RunReadLatency(lossy, 150, 50*time.Millisecond, ReadModeLease)
+	if res.LeaseHits < res.Issued/2 {
+		t.Fatalf("lease hits %d/%d under 25%% loss — adaptive h failed to protect the lease",
+			res.LeaseHits, res.Issued)
+	}
+}
+
+func TestRunMembershipChange(t *testing.T) {
+	res := RunMembershipChange(withVariant(Options{N: 5, Seed: 7}, VariantDynatune(dynatune.Options{})), 100)
+	if res.CatchupMs <= 0 {
+		t.Fatalf("catch-up not measured: %+v", res)
+	}
+	if res.PromoteMs <= 0 {
+		t.Fatalf("promotion not measured: %+v", res)
+	}
+	if res.JoinerTunedMs <= res.CatchupMs {
+		t.Fatalf("joiner tuned (%.0f ms) before it caught up (%.0f ms)?", res.JoinerTunedMs, res.CatchupMs)
+	}
+	if res.PostFailoverOTSMs <= 0 {
+		t.Fatalf("post-change failover not measured: %+v", res)
+	}
+}
+
+func TestMembershipGrownClusterSurvivesTwoFailures(t *testing.T) {
+	// After growing 4 -> 5 voters the cluster must tolerate two failures.
+	opts := withVariant(Options{N: 5, Seed: 8, InitialMembers: 4}, VariantRaft())
+	c := New(opts)
+	c.Start()
+	lead := c.WaitLeader(30 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(time.Second)
+	lead = c.Leader()
+	if _, err := lead.ProposeConfChange(raft.ConfChange{Op: raft.ConfAddVoter, Node: 5}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Second)
+	if got := len(c.Leader().Voters()); got != 5 {
+		t.Fatalf("voters = %d, want 5", got)
+	}
+	// Two failures leave 3 of 5 — still a quorum.
+	c.Pause(c.Leader().ID())
+	c.Run(5 * time.Second)
+	if c.Leader() == nil {
+		t.Fatal("no leader after first failure")
+	}
+	c.Pause(c.Leader().ID())
+	c.Run(10 * time.Second)
+	if c.Leader() == nil {
+		t.Fatal("no leader after second failure — grown quorum not in effect")
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/raft"
+	"dynatune/internal/sim"
+)
+
+// nodeRT adapts one raft.Node to the simulated testbed: it implements
+// raft.Runtime, serializes all of the node's work through a sim.Proc
+// (modelling its CPU), routes messages over the netsim mesh, and applies
+// the failure model (a paused node drops everything, like a paused
+// container).
+type nodeRT struct {
+	c    *Cluster
+	id   raft.ID
+	node *raft.Node
+	proc *sim.Proc
+
+	timers map[timerKey]sim.Handle
+
+	// tuned enables the tuning-overhead cost components.
+	tuned bool
+	// hbClass is the delivery class for heartbeats and their responses
+	// (UDP for Dynatune's hybrid transport, TCP for stock etcd).
+	hbClass netsim.Class
+
+	paused bool
+
+	// stats
+	msgsSent, msgsRecv uint64
+}
+
+type timerKey struct {
+	kind raft.TimerKind
+	peer raft.ID
+}
+
+var _ raft.Runtime = (*nodeRT)(nil)
+
+func (rt *nodeRT) Now() time.Duration { return rt.c.eng.Now() }
+func (rt *nodeRT) Rand() *rand.Rand   { return rt.c.eng.Rand() }
+
+func (rt *nodeRT) Send(m raft.Message) {
+	if rt.paused {
+		return
+	}
+	rt.msgsSent++
+	// Sending consumes CPU on this node (it delays this node's future
+	// work) but does not delay the wire departure: the cost accrues to the
+	// processor, the packet leaves now.
+	rt.proc.Charge(rt.c.cost.sendCost(m, rt.tuned))
+	cls := netsim.TCP
+	if m.Type == raft.MsgHeartbeat || m.Type == raft.MsgHeartbeatResp {
+		cls = rt.hbClass
+	}
+	rt.c.net.Send(int(rt.id-1), int(m.To-1), cls, m)
+}
+
+func (rt *nodeRT) deliver(m raft.Message) {
+	if rt.paused {
+		return // frozen container: sockets overflow, packets die
+	}
+	rt.msgsRecv++
+	rt.proc.Exec(rt.c.cost.recvCost(m, rt.tuned), func() {
+		rt.node.Step(m)
+	})
+}
+
+func (rt *nodeRT) SetTimer(kind raft.TimerKind, peer raft.ID, at time.Duration) {
+	key := timerKey{kind, peer}
+	if h, ok := rt.timers[key]; ok {
+		rt.c.eng.Cancel(h)
+	}
+	rt.timers[key] = rt.c.eng.Schedule(at, func() {
+		delete(rt.timers, key)
+		if rt.paused {
+			return
+		}
+		rt.proc.Exec(rt.c.cost.TimerFire, func() {
+			rt.node.OnTimer(kind, peer)
+		})
+	})
+}
+
+func (rt *nodeRT) CancelTimer(kind raft.TimerKind, peer raft.ID) {
+	key := timerKey{kind, peer}
+	if h, ok := rt.timers[key]; ok {
+		rt.c.eng.Cancel(h)
+		delete(rt.timers, key)
+	}
+}
+
+// pause freezes the node (the paper's `docker pause` failure).
+func (rt *nodeRT) pause() {
+	rt.paused = true
+	rt.proc.Pause()
+}
+
+// resume unfreezes the node. Timers that fired while frozen are gone, so
+// the election timer is re-armed; a stale leader will step down via
+// check-quorum or on the first higher-term message.
+func (rt *nodeRT) resume() {
+	rt.paused = false
+	rt.proc.Resume()
+	rt.node.Start()
+}
+
+// dropTimers cancels and forgets every armed timer — a crashed process's
+// timers must never drive its successor.
+func (rt *nodeRT) dropTimers() {
+	for key, h := range rt.timers {
+		rt.c.eng.Cancel(h)
+		delete(rt.timers, key)
+	}
+}

@@ -1,0 +1,40 @@
+package dynatune
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// BenchmarkObserveHeartbeat measures the follower-side per-heartbeat
+// tuning work: id insertion, RTT window update, Et/K/h recomputation —
+// the cost the paper's §IV-B2 throughput discussion worries about.
+func BenchmarkObserveHeartbeat(b *testing.B) {
+	tn := MustNew(Options{})
+	rtt := int64(100 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: uint64(i + 1), SendTime: 1, RTT: rtt}, 0)
+	}
+}
+
+// BenchmarkObserveHeartbeatLossy measures the same path with gaps in the
+// sequence (sorted insertion exercised off the fast append path).
+func BenchmarkObserveHeartbeatLossy(b *testing.B) {
+	tn := MustNew(Options{})
+	rtt := int64(100 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: uint64(i*3 + 1), SendTime: 1, RTT: rtt}, 0)
+	}
+}
+
+// BenchmarkPrepareHeartbeat measures the leader-side stamp.
+func BenchmarkPrepareHeartbeat(b *testing.B) {
+	tn := MustNew(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.PrepareHeartbeat(2, time.Duration(i))
+	}
+}

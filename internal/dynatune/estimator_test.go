@@ -1,0 +1,147 @@
+package dynatune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// feed drives one leader→follower heartbeat exchange per sample through a
+// follower-side tuner: seq increments, the "leader-measured" RTT rides in.
+func feedRTTs(t *Tuner, rtts []time.Duration) {
+	for i, r := range rtts {
+		t.ObserveHeartbeat(1, raft.HeartbeatMeta{
+			Seq:      uint64(i + 1),
+			SendTime: int64(i + 1),
+			RTT:      int64(r),
+		}, 0)
+	}
+}
+
+func repeatRTT(v time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestEstimatorWindowIsDefaultAndMatchesPaperRule(t *testing.T) {
+	tn := MustNew(Options{})
+	if tn.Options().Estimator != EstimatorWindow {
+		t.Fatalf("default estimator = %v, want window", tn.Options().Estimator)
+	}
+	feedRTTs(tn, repeatRTT(100*time.Millisecond, 20))
+	// Constant RTT: σ=0, Et = µ = 100 ms.
+	if got := tn.ElectionTimeout(); got < 99*time.Millisecond || got > 101*time.Millisecond {
+		t.Fatalf("window Et = %v, want ≈100ms", got)
+	}
+}
+
+func TestEstimatorEWMAAdaptsFasterToStep(t *testing.T) {
+	// After an RTT step 50→200 ms, the EWMA estimate must exceed the
+	// equally-weighted window estimate given the same few post-step
+	// samples (recent samples dominate the EWMA).
+	mk := func(e Estimator) *Tuner {
+		return MustNew(Options{Estimator: e, MaxListSize: 100})
+	}
+	samples := append(repeatRTT(50*time.Millisecond, 50), repeatRTT(200*time.Millisecond, 10)...)
+	w, e := mk(EstimatorWindow), mk(EstimatorEWMA)
+	feedRTTs(w, samples)
+	feedRTTs(e, samples)
+	// Window mean after 50×50+10×200 is 75 ms (+2σ ≈ 190ms); EWMA srtt
+	// alone is already pulled well toward 200.
+	if e.ElectionTimeout() <= w.ElectionTimeout() {
+		t.Fatalf("EWMA Et %v should exceed window Et %v shortly after an upward step",
+			e.ElectionTimeout(), w.ElectionTimeout())
+	}
+	if e.ElectionTimeout() < 150*time.Millisecond {
+		t.Fatalf("EWMA Et %v too slow to track the 200ms step", e.ElectionTimeout())
+	}
+}
+
+func TestEstimatorMaxRatchetsOnOutlier(t *testing.T) {
+	samples := repeatRTT(100*time.Millisecond, 30)
+	samples[15] = 400 * time.Millisecond // one spike
+	w := MustNew(Options{Estimator: EstimatorWindow})
+	m := MustNew(Options{Estimator: EstimatorMax})
+	feedRTTs(w, samples)
+	feedRTTs(m, samples)
+	// Max-based Et must cover the spike; the window rule absorbs it into
+	// µ+2σ and lands well below.
+	if got := m.ElectionTimeout(); got < 400*time.Millisecond {
+		t.Fatalf("max Et = %v, want ≥ the 400ms outlier", got)
+	}
+	if w.ElectionTimeout() >= m.ElectionTimeout() {
+		t.Fatalf("window Et %v should sit below max Et %v after a single outlier",
+			w.ElectionTimeout(), m.ElectionTimeout())
+	}
+}
+
+func TestEstimatorsResetTogether(t *testing.T) {
+	for _, e := range []Estimator{EstimatorWindow, EstimatorEWMA, EstimatorMax} {
+		tn := MustNew(Options{Estimator: e})
+		feedRTTs(tn, repeatRTT(80*time.Millisecond, 20))
+		if !tn.Tuned() {
+			t.Fatalf("%v: not tuned after 20 samples", e)
+		}
+		tn.Reset(raft.ResetTimeout)
+		if tn.Tuned() {
+			t.Fatalf("%v: still tuned after reset", e)
+		}
+		if got := tn.ElectionTimeout(); got != DefaultEt {
+			t.Fatalf("%v: Et after reset = %v, want fallback", e, got)
+		}
+		// Re-warm works.
+		feedRTTs(tn, repeatRTT(80*time.Millisecond, 20))
+		if !tn.Tuned() {
+			t.Fatalf("%v: never re-tuned", e)
+		}
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	if _, err := NewTuner(Options{Estimator: Estimator(99)}); err == nil {
+		t.Fatal("bogus estimator accepted")
+	}
+}
+
+// Property: for every estimator, on any positive RTT stream the tuned Et
+// is at least MinEt and at least covers the EWMA/mean floor — i.e. no
+// estimator can produce an Et below the smallest observed RTT's vicinity
+// or a non-positive h.
+func TestEstimatorPropertySane(t *testing.T) {
+	check := func(raw []uint16, which uint8) bool {
+		if len(raw) < 12 {
+			return true
+		}
+		e := Estimator(which % 3)
+		tn := MustNew(Options{Estimator: e})
+		rtts := make([]time.Duration, len(raw))
+		var minRTT time.Duration = math.MaxInt64
+		for i, r := range raw {
+			rtts[i] = time.Duration(r%500+1) * time.Millisecond
+			if rtts[i] < minRTT {
+				minRTT = rtts[i]
+			}
+		}
+		feedRTTs(tn, rtts)
+		if !tn.Tuned() {
+			return false
+		}
+		et, h := tn.ElectionTimeout(), tn.TunedH()
+		if et < DefaultMinEt || h <= 0 || h > et {
+			t.Logf("estimator %v: et=%v h=%v", e, et, h)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

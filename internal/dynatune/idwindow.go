@@ -1,0 +1,53 @@
+package dynatune
+
+import "sort"
+
+// idWindow is the follower's `ids` list (paper §III-C2): a bounded,
+// ascending list of received heartbeat sequence numbers. Packet reordering
+// is handled by sorted insertion and duplicates are ignored; when the list
+// exceeds its capacity the oldest (smallest) IDs are discarded.
+type idWindow struct {
+	ids []uint64
+	cap int
+}
+
+func newIDWindow(capacity int) *idWindow {
+	return &idWindow{cap: capacity}
+}
+
+// Add inserts id, keeping the list sorted and duplicate-free. It reports
+// whether the id was new.
+func (w *idWindow) Add(id uint64) bool {
+	i := sort.Search(len(w.ids), func(i int) bool { return w.ids[i] >= id })
+	if i < len(w.ids) && w.ids[i] == id {
+		return false // duplicate delivery: ignore (paper §III-C2)
+	}
+	w.ids = append(w.ids, 0)
+	copy(w.ids[i+1:], w.ids[i:])
+	w.ids[i] = id
+	if len(w.ids) > w.cap {
+		w.ids = w.ids[len(w.ids)-w.cap:]
+	}
+	return true
+}
+
+// Len returns the number of recorded IDs.
+func (w *idWindow) Len() int { return len(w.ids) }
+
+// Reset discards all IDs.
+func (w *idWindow) Reset() { w.ids = w.ids[:0] }
+
+// LossRate returns the measured packet-loss rate p: the fraction of the
+// expected ID range (ids[len-1] − ids[0] + 1) that never arrived. With
+// fewer than two IDs it returns 0.
+func (w *idWindow) LossRate() float64 {
+	if len(w.ids) < 2 {
+		return 0
+	}
+	expected := w.ids[len(w.ids)-1] - w.ids[0] + 1
+	received := uint64(len(w.ids))
+	if received >= expected {
+		return 0
+	}
+	return 1 - float64(received)/float64(expected)
+}

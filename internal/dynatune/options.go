@@ -1,0 +1,168 @@
+// Package dynatune implements the paper's contribution: dynamic tuning of
+// Raft's election parameters from network metrics measured over heartbeats
+// (Shiozaki & Nakamura, IPPS 2025).
+//
+// Each follower measures, per leader→follower path:
+//
+//   - RTT, from the leader-local send timestamp echoed in heartbeat
+//     responses (the leader computes the RTT and ships it back in the next
+//     heartbeat, so only the leader's clock is involved — §III-C1);
+//   - packet-loss rate p, from gaps in the heartbeat sequence numbers
+//     (§III-C2).
+//
+// and derives (§III-D):
+//
+//	Et = µ_RTT + s·σ_RTT          (election timeout)
+//	K  = ⌈log_p(1 − x)⌉           (heartbeats per timeout window)
+//	h  = Et / K                   (heartbeat interval, piggybacked back)
+//
+// On any local election timeout or leader change the measurement state is
+// discarded and parameters fall back to conservative defaults, preserving
+// availability if tuning went stale (§III-B).
+package dynatune
+
+import (
+	"fmt"
+	"time"
+)
+
+// Defaults mirror the paper's experimental configuration (§IV-A).
+const (
+	DefaultSafetyFactor       = 2.0
+	DefaultArrivalProbability = 0.999
+	DefaultMinListSize        = 10
+	DefaultMaxListSize        = 1000
+	DefaultEt                 = 1000 * time.Millisecond // etcd default election timeout
+	DefaultH                  = 100 * time.Millisecond  // etcd default heartbeat interval
+	DefaultMinEt              = 10 * time.Millisecond
+	DefaultMinH               = time.Millisecond
+)
+
+// Options configure a Tuner. The zero value is completed by
+// (*Options).withDefaults; NewTuner validates ranges.
+type Options struct {
+	// SafetyFactor is s in Et = µ + s·σ (§III-D1): how many standard
+	// deviations of RTT spread the timeout tolerates before false
+	// detection.
+	SafetyFactor float64
+	// ArrivalProbability is x in 1−p^K ≥ x (§III-D2): the target
+	// probability that at least one heartbeat arrives within Et.
+	ArrivalProbability float64
+	// MinListSize is the number of samples required before tuning engages
+	// (below it, Dynatune stays in Step 0 with default parameters).
+	MinListSize int
+	// MaxListSize bounds the measurement windows; the oldest samples are
+	// discarded beyond it.
+	MaxListSize int
+
+	// FallbackEt and FallbackH are the conservative defaults used before
+	// tuning engages and after every reset.
+	FallbackEt time.Duration
+	FallbackH  time.Duration
+
+	// MinEt floors the tuned election timeout (guards against degenerate
+	// sub-millisecond timeouts on near-zero-RTT links).
+	MinEt time.Duration
+	// MinH floors the tuned heartbeat interval (guards against heartbeat
+	// storms when measured loss transiently approaches 1).
+	MinH time.Duration
+
+	// FixK, when positive, disables loss-adaptive K and fixes K = Et/h to
+	// this value — the paper's Fix-K baseline (§IV-C2), which mirrors the
+	// etcd default ratio of 10.
+	FixK int
+
+	// Estimator selects how Et is derived from the RTT samples — an
+	// ablation of the paper's §III-D1 design choice (the paper uses the
+	// sliding-window mean + s·σ; the alternatives trade adaptation speed
+	// against spike robustness). All estimators honour MinListSize before
+	// engaging and are discarded on Reset.
+	Estimator Estimator
+}
+
+// Estimator enumerates Et derivation rules (see Options.Estimator).
+type Estimator int
+
+const (
+	// EstimatorWindow is the paper's rule: Et = µ + s·σ over the sliding
+	// window of the last MaxListSize RTTs. Equal weight to old and new
+	// samples within the window; step changes take ~window/2 to absorb.
+	EstimatorWindow Estimator = iota
+	// EstimatorEWMA is the TCP retransmission-timer rule (Jacobson/Karels,
+	// RFC 6298): SRTT ← 7/8·SRTT + 1/8·r, RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT−r|,
+	// Et = SRTT + 2s·RTTVAR (s=2 reproduces the classic 4·RTTVAR). Recent
+	// samples dominate, so RTT steps are tracked faster, at the cost of
+	// forgetting past spikes sooner.
+	EstimatorEWMA
+	// EstimatorMax is the practitioner's rule of thumb: Et = windowMax ·
+	// (1 + s/20). Immune to distribution-shape assumptions but ratchets up
+	// on a single outlier and only decays when the outlier leaves the
+	// window.
+	EstimatorMax
+)
+
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorWindow:
+		return "window"
+	case EstimatorEWMA:
+		return "ewma"
+	case EstimatorMax:
+		return "max"
+	default:
+		return fmt.Sprintf("estimator(%d)", int(e))
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.SafetyFactor == 0 {
+		o.SafetyFactor = DefaultSafetyFactor
+	}
+	if o.ArrivalProbability == 0 {
+		o.ArrivalProbability = DefaultArrivalProbability
+	}
+	if o.MinListSize == 0 {
+		o.MinListSize = DefaultMinListSize
+	}
+	if o.MaxListSize == 0 {
+		o.MaxListSize = DefaultMaxListSize
+	}
+	if o.FallbackEt == 0 {
+		o.FallbackEt = DefaultEt
+	}
+	if o.FallbackH == 0 {
+		o.FallbackH = DefaultH
+	}
+	if o.MinEt == 0 {
+		o.MinEt = DefaultMinEt
+	}
+	if o.MinH == 0 {
+		o.MinH = DefaultMinH
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.SafetyFactor < 0 {
+		return fmt.Errorf("dynatune: negative safety factor %v", o.SafetyFactor)
+	}
+	if o.ArrivalProbability <= 0 || o.ArrivalProbability >= 1 {
+		return fmt.Errorf("dynatune: arrival probability %v outside (0,1)", o.ArrivalProbability)
+	}
+	if o.MinListSize < 1 {
+		return fmt.Errorf("dynatune: minListSize %d < 1", o.MinListSize)
+	}
+	if o.MaxListSize < o.MinListSize {
+		return fmt.Errorf("dynatune: maxListSize %d < minListSize %d", o.MaxListSize, o.MinListSize)
+	}
+	if o.FallbackEt <= 0 || o.FallbackH <= 0 {
+		return fmt.Errorf("dynatune: non-positive fallback parameters")
+	}
+	if o.FixK < 0 {
+		return fmt.Errorf("dynatune: negative FixK %d", o.FixK)
+	}
+	if o.Estimator < EstimatorWindow || o.Estimator > EstimatorMax {
+		return fmt.Errorf("dynatune: unknown estimator %d", int(o.Estimator))
+	}
+	return nil
+}

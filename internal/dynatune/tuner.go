@@ -1,0 +1,288 @@
+package dynatune
+
+import (
+	"math"
+	"time"
+
+	"dynatune/internal/metrics"
+	"dynatune/internal/raft"
+)
+
+// Tuner implements raft.Tuner with the paper's measurement and tuning
+// rules. One Tuner serves one node: the follower half manages the node's
+// own election timeout from heartbeats it receives; the leader half
+// timestamps outgoing heartbeats and applies per-follower intervals
+// piggybacked on responses. Both halves are driven from the node's event
+// loop — no internal locking.
+type Tuner struct {
+	opts Options
+
+	// --- follower side (one leader at a time) ---
+	rtts    *metrics.Window // RTT samples in seconds
+	ids     *idWindow
+	tunedEt time.Duration // 0 = not tuned, use fallback
+	tunedH  time.Duration // 0 = not tuned, piggyback nothing
+
+	// EWMA estimator state (EstimatorEWMA): Jacobson/Karels smoothed RTT
+	// and deviation, in seconds.
+	srtt, rttvar float64
+	ewmaReady    bool
+
+	// --- leader side (one entry per follower) ---
+	peers map[raft.ID]*peerState
+
+	// resets counts Reset calls (instrumentation).
+	resets int
+}
+
+type peerState struct {
+	seq      uint64
+	lastRTT  time.Duration // most recent measured RTT, shipped in next beat
+	interval time.Duration // follower-requested h; 0 = fallback
+}
+
+// NewTuner validates opts (after filling defaults) and returns a Tuner.
+func NewTuner(opts Options) (*Tuner, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Tuner{
+		opts:  opts,
+		rtts:  metrics.NewWindow(opts.MaxListSize),
+		ids:   newIDWindow(opts.MaxListSize),
+		peers: make(map[raft.ID]*peerState),
+	}, nil
+}
+
+// MustNew is NewTuner that panics on invalid options; convenient in
+// experiment setup code where options are literals.
+func MustNew(opts Options) *Tuner {
+	t, err := NewTuner(opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Options returns the effective (default-filled) options.
+func (t *Tuner) Options() Options { return t.opts }
+
+// --- raft.Tuner: parameters ---
+
+// ElectionTimeout returns the tuned Et, or the conservative fallback
+// before tuning engages (paper §III-B Step 0).
+func (t *Tuner) ElectionTimeout() time.Duration {
+	if t.tunedEt > 0 {
+		return t.tunedEt
+	}
+	return t.opts.FallbackEt
+}
+
+// HeartbeatInterval returns the per-follower interval the leader should
+// use: the follower's piggybacked request if one arrived, else the
+// fallback.
+func (t *Tuner) HeartbeatInterval(peer raft.ID) time.Duration {
+	if st, ok := t.peers[peer]; ok && st.interval > 0 {
+		return st.interval
+	}
+	return t.opts.FallbackH
+}
+
+// --- raft.Tuner: leader side ---
+
+// PrepareHeartbeat stamps the outgoing heartbeat with the next sequence
+// number, the leader-local send time, and the last measured RTT for this
+// pair (paper Fig. 3a: the measured RTT travels to the follower on the
+// *next* heartbeat).
+func (t *Tuner) PrepareHeartbeat(peer raft.ID, now time.Duration) raft.HeartbeatMeta {
+	st := t.peer(peer)
+	st.seq++
+	return raft.HeartbeatMeta{
+		Seq:      st.seq,
+		SendTime: int64(now),
+		RTT:      int64(st.lastRTT),
+	}
+}
+
+// ObserveHeartbeatResp computes the RTT from the echoed send timestamp
+// (leader clock only — immune to clock skew, loss and reordering) and
+// adopts the follower's requested interval.
+func (t *Tuner) ObserveHeartbeatResp(peer raft.ID, meta raft.HeartbeatRespMeta, now time.Duration) {
+	st := t.peer(peer)
+	if meta.EchoTime > 0 {
+		if rtt := now - time.Duration(meta.EchoTime); rtt > 0 {
+			st.lastRTT = rtt
+		}
+	}
+	if meta.Interval > 0 {
+		iv := time.Duration(meta.Interval)
+		if iv < t.opts.MinH {
+			iv = t.opts.MinH
+		}
+		st.interval = iv
+	}
+}
+
+func (t *Tuner) peer(id raft.ID) *peerState {
+	st, ok := t.peers[id]
+	if !ok {
+		st = &peerState{}
+		t.peers[id] = st
+	}
+	return st
+}
+
+// --- raft.Tuner: follower side ---
+
+// ObserveHeartbeat records the heartbeat's sequence number, folds in the
+// RTT the leader measured for the previous beat, retunes (Et, h) when
+// enough samples accumulated, and returns the response metadata: the
+// echoed timestamp plus the tuned h to piggyback (paper §III-B Steps 1–3).
+func (t *Tuner) ObserveHeartbeat(_ raft.ID, meta raft.HeartbeatMeta, _ time.Duration) raft.HeartbeatRespMeta {
+	if meta.Seq == 0 && meta.SendTime == 0 {
+		// A bare heartbeat (e.g. from a static-tuner leader in a mixed
+		// cluster); nothing to measure.
+		return raft.HeartbeatRespMeta{}
+	}
+	if meta.Seq > 0 {
+		t.ids.Add(meta.Seq)
+	}
+	if meta.RTT > 0 {
+		r := time.Duration(meta.RTT).Seconds()
+		t.rtts.Add(r)
+		if !t.ewmaReady {
+			t.srtt, t.rttvar, t.ewmaReady = r, r/2, true
+		} else {
+			t.rttvar = 0.75*t.rttvar + 0.25*abs(t.srtt-r)
+			t.srtt = 0.875*t.srtt + 0.125*r
+		}
+	}
+	t.retune()
+	return raft.HeartbeatRespMeta{
+		EchoTime: meta.SendTime,
+		Interval: int64(t.tunedH),
+	}
+}
+
+// retune recomputes Et from the RTT window and h from the loss rate
+// (§III-D). It leaves parameters untuned until MinListSize samples exist.
+func (t *Tuner) retune() {
+	if t.rtts.Len() < t.opts.MinListSize || t.ids.Len() < t.opts.MinListSize {
+		t.tunedEt, t.tunedH = 0, 0
+		return
+	}
+	var etSec float64
+	switch t.opts.Estimator {
+	case EstimatorEWMA:
+		etSec = t.srtt + 2*t.opts.SafetyFactor*t.rttvar
+	case EstimatorMax:
+		etSec = t.rtts.Max() * (1 + t.opts.SafetyFactor/20)
+	default: // EstimatorWindow — the paper's §III-D1 rule
+		etSec = t.rtts.Mean() + t.opts.SafetyFactor*t.rtts.Std()
+	}
+	et := time.Duration(etSec * float64(time.Second))
+	if et < t.opts.MinEt {
+		et = t.opts.MinEt
+	}
+	t.tunedEt = et
+
+	k := t.requiredK(t.ids.LossRate())
+	h := et / time.Duration(k)
+	if h < t.opts.MinH {
+		h = t.opts.MinH
+	}
+	t.tunedH = h
+}
+
+// requiredK returns K = ⌈log_p(1−x)⌉ clamped to [1, Et/MinH]: the number
+// of heartbeats per Et window needed for arrival probability ≥ x under
+// loss p (§III-D2). Fix-K mode returns the configured constant.
+func (t *Tuner) requiredK(p float64) int {
+	if t.opts.FixK > 0 {
+		return t.opts.FixK
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		// Total loss: K is unbounded; the MinH floor on h takes over.
+		return int(t.tunedEt / t.opts.MinH)
+	}
+	k := math.Ceil(math.Log(1-t.opts.ArrivalProbability) / math.Log(p))
+	if k < 1 {
+		k = 1
+	}
+	if maxK := float64(t.tunedEt / t.opts.MinH); k > maxK && maxK >= 1 {
+		k = maxK
+	}
+	return int(k)
+}
+
+// --- raft.Tuner: reset ---
+
+// Reset discards measurement state (paper §III-B: on timeout or leader
+// change the follower drops its lists and returns to Step 0 with default
+// parameters; a new leader starts its per-follower state fresh).
+func (t *Tuner) Reset(reason raft.ResetReason) {
+	t.resets++
+	t.rtts.Reset()
+	t.ids.Reset()
+	t.srtt, t.rttvar, t.ewmaReady = 0, 0, false
+	t.tunedEt, t.tunedH = 0, 0
+	switch reason {
+	case raft.ResetBecameLeader, raft.ResetLeaderChange, raft.ResetTimeout:
+		// Leader-side per-peer state is stale in every case: sequence
+		// numbers restart under a new regime and old piggybacked
+		// intervals no longer reflect measurements.
+		t.peers = make(map[raft.ID]*peerState)
+	}
+}
+
+// --- instrumentation (used by the experiment harness and tests) ---
+
+// Tuned reports whether the follower side currently applies tuned
+// parameters.
+func (t *Tuner) Tuned() bool { return t.tunedEt > 0 }
+
+// TunedEt returns the tuned election timeout (0 if not tuned).
+func (t *Tuner) TunedEt() time.Duration { return t.tunedEt }
+
+// TunedH returns the h this follower currently piggybacks (0 if not
+// tuned).
+func (t *Tuner) TunedH() time.Duration { return t.tunedH }
+
+// MeasuredRTT returns the current mean and standard deviation of the RTT
+// window, in seconds.
+func (t *Tuner) MeasuredRTT() (mu, sigma float64) { return t.rtts.Mean(), t.rtts.Std() }
+
+// MeasuredLoss returns the current loss estimate.
+func (t *Tuner) MeasuredLoss() float64 { return t.ids.LossRate() }
+
+// SampleCount returns the RTT window population.
+func (t *Tuner) SampleCount() int { return t.rtts.Len() }
+
+// Resets returns how many times the tuner fell back to defaults.
+func (t *Tuner) Resets() int { return t.resets }
+
+// LeaderIntervals returns a copy of the per-peer intervals currently
+// applied on the leader side (fallback entries excluded) — what Fig. 7a
+// plots.
+func (t *Tuner) LeaderIntervals() map[raft.ID]time.Duration {
+	out := make(map[raft.ID]time.Duration, len(t.peers))
+	for id, st := range t.peers {
+		if st.interval > 0 {
+			out[id] = st.interval
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ raft.Tuner = (*Tuner)(nil)

@@ -1,0 +1,443 @@
+package dynatune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+func msd(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func newTuner(t *testing.T, opts Options) *Tuner {
+	t.Helper()
+	tn, err := NewTuner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+// feed simulates min heartbeats arriving with the given RTT (constant) at
+// the follower side, with consecutive sequence numbers.
+func feed(tn *Tuner, n int, rtt time.Duration, startSeq uint64) uint64 {
+	seq := startSeq
+	for i := 0; i < n; i++ {
+		seq++
+		tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: seq, SendTime: 1, RTT: int64(rtt)}, 0)
+	}
+	return seq
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{SafetyFactor: -1},
+		{ArrivalProbability: 1.5},
+		{ArrivalProbability: -0.1},
+		{MinListSize: 5, MaxListSize: 2},
+		{FixK: -3},
+	}
+	for i, o := range bad {
+		if _, err := NewTuner(o); err == nil {
+			t.Errorf("options %d should fail", i)
+		}
+	}
+	if _, err := NewTuner(Options{}); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Options{SafetyFactor: -1})
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	tn := newTuner(t, Options{})
+	o := tn.Options()
+	if o.SafetyFactor != 2 || o.ArrivalProbability != 0.999 ||
+		o.MinListSize != 10 || o.MaxListSize != 1000 ||
+		o.FallbackEt != time.Second || o.FallbackH != 100*time.Millisecond {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestFallbackBeforeMinListSize(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 10})
+	feed(tn, 9, msd(50), 0)
+	if tn.Tuned() {
+		t.Fatal("tuned with fewer than minListSize samples")
+	}
+	if tn.ElectionTimeout() != DefaultEt {
+		t.Fatalf("Et = %v, want fallback", tn.ElectionTimeout())
+	}
+	// The 10th sample engages tuning.
+	feed(tn, 1, msd(50), 9)
+	if !tn.Tuned() {
+		t.Fatal("not tuned at minListSize samples")
+	}
+}
+
+func TestEtFormulaConstantRTT(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 10})
+	feed(tn, 20, msd(100), 0)
+	// σ ≈ 0 → Et ≈ µ = 100ms (floating-point residue allowed).
+	if got := tn.ElectionTimeout(); got < msd(100) || got > msd(100)+time.Microsecond {
+		t.Fatalf("Et = %v, want ≈100ms", got)
+	}
+	mu, sigma := tn.MeasuredRTT()
+	if math.Abs(mu-0.1) > 1e-9 || sigma > 1e-6 {
+		t.Fatalf("measured µ=%v σ=%v", mu, sigma)
+	}
+}
+
+func TestEtFormulaWithSpread(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 2, SafetyFactor: 2})
+	// Alternate 90/110ms: µ=100ms, σ=10ms → Et = 120ms.
+	seq := uint64(0)
+	for i := 0; i < 50; i++ {
+		rtt := msd(90)
+		if i%2 == 1 {
+			rtt = msd(110)
+		}
+		seq++
+		tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: seq, SendTime: 1, RTT: int64(rtt)}, 0)
+	}
+	got := tn.ElectionTimeout()
+	if got < msd(119) || got > msd(121) {
+		t.Fatalf("Et = %v, want ≈120ms", got)
+	}
+}
+
+func TestSafetyFactorScalesEt(t *testing.T) {
+	for _, s := range []float64{1, 2, 4} {
+		tn := newTuner(t, Options{MinListSize: 2, SafetyFactor: s})
+		seq := uint64(0)
+		for i := 0; i < 40; i++ {
+			rtt := msd(90)
+			if i%2 == 1 {
+				rtt = msd(110)
+			}
+			seq++
+			tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: seq, SendTime: 1, RTT: int64(rtt)}, 0)
+		}
+		want := 100 + s*10 // ms
+		got := float64(tn.ElectionTimeout()) / float64(time.Millisecond)
+		if math.Abs(got-want) > 1 {
+			t.Fatalf("s=%v: Et = %vms, want %vms", s, got, want)
+		}
+	}
+}
+
+func TestMinEtFloor(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 2, MinEt: msd(10)})
+	feed(tn, 10, time.Millisecond, 0)
+	if got := tn.ElectionTimeout(); got != msd(10) {
+		t.Fatalf("Et = %v, want MinEt floor 10ms", got)
+	}
+}
+
+func TestKFormulaZeroLoss(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 5})
+	feed(tn, 20, msd(100), 0)
+	// p=0 → K=1 → h=Et.
+	if tn.TunedH() != tn.TunedEt() {
+		t.Fatalf("h = %v, want Et %v at zero loss", tn.TunedH(), tn.TunedEt())
+	}
+}
+
+func TestKFormulaUnderLoss(t *testing.T) {
+	// Feed sequence numbers with every other one missing → p = 0.5 minus
+	// window edge effects. K = ⌈log_0.5(0.001)⌉ = 10.
+	tn := newTuner(t, Options{MinListSize: 5})
+	for seq := uint64(1); seq <= 99; seq += 2 {
+		tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: seq, SendTime: 1, RTT: int64(msd(100))}, 0)
+	}
+	p := tn.MeasuredLoss()
+	if math.Abs(p-0.4949) > 0.01 {
+		t.Fatalf("measured p = %v, want ≈0.49", p)
+	}
+	wantK := math.Ceil(math.Log(0.001) / math.Log(p))
+	gotK := float64(tn.TunedEt()) / float64(tn.TunedH())
+	if math.Abs(gotK-wantK) > 0.5 {
+		t.Fatalf("K = %v, want %v", gotK, wantK)
+	}
+}
+
+// Property: the paper's guarantee 1 − p^K ≥ x holds for every measured
+// loss rate in (0,1) when the MinH floor is not binding.
+func TestPropertyArrivalGuarantee(t *testing.T) {
+	f := func(pRaw uint16) bool {
+		p := float64(pRaw%999+1) / 1000 // (0.001 .. 0.999)
+		tn := MustNew(Options{MinListSize: 2, MinH: time.Nanosecond})
+		tn.tunedEt = time.Second
+		k := tn.requiredK(p)
+		if k < 1 {
+			return false
+		}
+		return 1-math.Pow(p, float64(k)) >= tn.opts.ArrivalProbability-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: K is monotone non-decreasing in p (more loss → more
+// heartbeats).
+func TestPropertyKMonotoneInLoss(t *testing.T) {
+	tn := MustNew(Options{MinH: time.Nanosecond})
+	tn.tunedEt = time.Second
+	prev := 0
+	for p := 0.0; p < 1.0; p += 0.01 {
+		k := tn.requiredK(p)
+		if k < prev {
+			t.Fatalf("K decreased at p=%v: %d after %d", p, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestKTotalLossUsesMinHFloor(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 2, MinH: msd(5)})
+	tn.tunedEt = msd(100)
+	if k := tn.requiredK(1.0); k != 20 {
+		t.Fatalf("K at p=1 = %d, want Et/MinH = 20", k)
+	}
+}
+
+func TestFixKMode(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 5, FixK: 10})
+	feed(tn, 20, msd(200), 0)
+	wantH := tn.TunedEt() / 10
+	if tn.TunedH() != wantH {
+		t.Fatalf("Fix-K h = %v, want Et/10 = %v", tn.TunedH(), wantH)
+	}
+	// Loss must not change K in Fix-K mode.
+	for seq := uint64(100); seq <= 200; seq += 3 {
+		tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: seq, SendTime: 1, RTT: int64(msd(200))}, 0)
+	}
+	if got := tn.TunedEt() / tn.TunedH(); got != 10 {
+		t.Fatalf("Fix-K ratio = %d, want 10", got)
+	}
+}
+
+func TestDuplicateAndReorderedHeartbeats(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 2})
+	// Deliver 1..10 out of order with duplicates; loss must read 0.
+	for _, seq := range []uint64{2, 1, 4, 3, 3, 6, 5, 8, 7, 10, 9, 9, 2} {
+		tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: seq, SendTime: 1, RTT: int64(msd(50))}, 0)
+	}
+	if p := tn.MeasuredLoss(); p != 0 {
+		t.Fatalf("loss = %v with no gaps, want 0", p)
+	}
+}
+
+func TestEchoTimePropagation(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 2})
+	resp := tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: 1, SendTime: 12345}, 0)
+	if resp.EchoTime != 12345 {
+		t.Fatalf("EchoTime = %d, want 12345", resp.EchoTime)
+	}
+	// Untuned follower piggybacks no interval.
+	if resp.Interval != 0 {
+		t.Fatalf("Interval = %d before tuning", resp.Interval)
+	}
+}
+
+func TestLeaderSideRTTMeasurement(t *testing.T) {
+	tn := newTuner(t, Options{})
+	meta := tn.PrepareHeartbeat(2, 1*time.Second)
+	if meta.Seq != 1 || meta.SendTime != int64(time.Second) || meta.RTT != 0 {
+		t.Fatalf("first meta = %+v", meta)
+	}
+	// Response arrives 100ms later echoing our send time.
+	tn.ObserveHeartbeatResp(2, raft.HeartbeatRespMeta{EchoTime: meta.SendTime}, 1100*time.Millisecond)
+	meta2 := tn.PrepareHeartbeat(2, 2*time.Second)
+	if meta2.Seq != 2 {
+		t.Fatalf("seq = %d", meta2.Seq)
+	}
+	if time.Duration(meta2.RTT) != msd(100) {
+		t.Fatalf("RTT in next beat = %v, want 100ms", time.Duration(meta2.RTT))
+	}
+}
+
+func TestLeaderAppliesPiggybackedInterval(t *testing.T) {
+	tn := newTuner(t, Options{})
+	if got := tn.HeartbeatInterval(2); got != DefaultH {
+		t.Fatalf("interval before tuning = %v", got)
+	}
+	tn.ObserveHeartbeatResp(2, raft.HeartbeatRespMeta{Interval: int64(msd(42))}, 0)
+	if got := tn.HeartbeatInterval(2); got != msd(42) {
+		t.Fatalf("interval = %v, want 42ms", got)
+	}
+	// Other peers unaffected.
+	if got := tn.HeartbeatInterval(3); got != DefaultH {
+		t.Fatalf("peer 3 interval = %v", got)
+	}
+	ivs := tn.LeaderIntervals()
+	if len(ivs) != 1 || ivs[2] != msd(42) {
+		t.Fatalf("LeaderIntervals = %v", ivs)
+	}
+}
+
+func TestIntervalFloor(t *testing.T) {
+	tn := newTuner(t, Options{MinH: msd(5)})
+	tn.ObserveHeartbeatResp(2, raft.HeartbeatRespMeta{Interval: int64(time.Microsecond)}, 0)
+	if got := tn.HeartbeatInterval(2); got != msd(5) {
+		t.Fatalf("interval = %v, want MinH floor", got)
+	}
+}
+
+func TestResetDiscardsEverything(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 5})
+	feed(tn, 20, msd(100), 0)
+	tn.ObserveHeartbeatResp(2, raft.HeartbeatRespMeta{Interval: int64(msd(42))}, 0)
+	if !tn.Tuned() {
+		t.Fatal("precondition: tuned")
+	}
+	tn.Reset(raft.ResetTimeout)
+	if tn.Tuned() {
+		t.Fatal("still tuned after reset")
+	}
+	if tn.ElectionTimeout() != DefaultEt {
+		t.Fatalf("Et = %v after reset", tn.ElectionTimeout())
+	}
+	if tn.HeartbeatInterval(2) != DefaultH {
+		t.Fatalf("h = %v after reset", tn.HeartbeatInterval(2))
+	}
+	if tn.SampleCount() != 0 || tn.MeasuredLoss() != 0 {
+		t.Fatal("measurement state survived reset")
+	}
+	if tn.Resets() != 1 {
+		t.Fatalf("Resets = %d", tn.Resets())
+	}
+}
+
+func TestBareHeartbeatIgnored(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 1})
+	resp := tn.ObserveHeartbeat(1, raft.HeartbeatMeta{}, 0)
+	if resp != (raft.HeartbeatRespMeta{}) {
+		t.Fatalf("resp to bare heartbeat = %+v", resp)
+	}
+	if tn.SampleCount() != 0 {
+		t.Fatal("bare heartbeat recorded a sample")
+	}
+}
+
+func TestNegativeRTTIgnoredOnLeader(t *testing.T) {
+	tn := newTuner(t, Options{})
+	// EchoTime in the future (clock anomaly) must not poison lastRTT.
+	tn.ObserveHeartbeatResp(2, raft.HeartbeatRespMeta{EchoTime: int64(time.Hour)}, time.Second)
+	meta := tn.PrepareHeartbeat(2, 2*time.Second)
+	if meta.RTT != 0 {
+		t.Fatalf("RTT = %v from negative measurement", meta.RTT)
+	}
+}
+
+func TestMaxListSizeBoundsWindows(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 2, MaxListSize: 10})
+	feed(tn, 100, msd(50), 0)
+	if tn.SampleCount() != 10 {
+		t.Fatalf("rtts window = %d, want 10", tn.SampleCount())
+	}
+	if tn.ids.Len() != 10 {
+		t.Fatalf("ids window = %d, want 10", tn.ids.Len())
+	}
+	// Old RTT regime (50ms) fully evicted after 10 samples at 200ms.
+	feed(tn, 10, msd(200), 100)
+	mu, _ := tn.MeasuredRTT()
+	if math.Abs(mu-0.2) > 1e-9 {
+		t.Fatalf("µ = %v, want 0.2 after eviction", mu)
+	}
+}
+
+func TestAdaptsToRTTIncrease(t *testing.T) {
+	tn := newTuner(t, Options{MinListSize: 5, MaxListSize: 20})
+	seq := feed(tn, 20, msd(50), 0)
+	etLow := tn.ElectionTimeout()
+	feed(tn, 20, msd(200), seq)
+	etHigh := tn.ElectionTimeout()
+	if etHigh <= etLow {
+		t.Fatalf("Et did not grow with RTT: %v → %v", etLow, etHigh)
+	}
+	if etHigh < msd(195) {
+		t.Fatalf("Et = %v, want ≈200ms after window turnover", etHigh)
+	}
+}
+
+func TestIDWindow(t *testing.T) {
+	w := newIDWindow(5)
+	for _, id := range []uint64{5, 3, 9, 3, 7} {
+		w.Add(id)
+	}
+	if w.Len() != 4 { // 3 deduplicated
+		t.Fatalf("Len = %d", w.Len())
+	}
+	// Expected range 3..9 = 7, received 4 → p = 3/7.
+	if p := w.LossRate(); math.Abs(p-3.0/7.0) > 1e-9 {
+		t.Fatalf("p = %v", p)
+	}
+	// Overflow drops the smallest.
+	w.Add(11)
+	w.Add(13)
+	if w.Len() != 5 {
+		t.Fatalf("Len after overflow = %d", w.Len())
+	}
+	if w.ids[0] != 5 {
+		t.Fatalf("oldest surviving id = %d, want 5", w.ids[0])
+	}
+	w.Reset()
+	if w.Len() != 0 || w.LossRate() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: idWindow stays sorted and duplicate-free under arbitrary
+// insertion orders.
+func TestPropertyIDWindowSorted(t *testing.T) {
+	f := func(ids []uint16) bool {
+		w := newIDWindow(64)
+		for _, id := range ids {
+			w.Add(uint64(id) + 1)
+		}
+		for i := 1; i < len(w.ids); i++ {
+			if w.ids[i] <= w.ids[i-1] {
+				return false
+			}
+		}
+		p := w.LossRate()
+		return p >= 0 && p < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with zero measured loss, h always equals Et (K=1); with any
+// loss, h divides Et into at least 2 beats.
+func TestPropertyHDividesEt(t *testing.T) {
+	f := func(gapRaw uint8) bool {
+		gap := uint64(gapRaw%5) + 1 // stride between received seqs (1 = no loss)
+		tn := MustNew(Options{MinListSize: 5})
+		for seq := uint64(1); seq < 200; seq += gap {
+			tn.ObserveHeartbeat(1, raft.HeartbeatMeta{Seq: seq, SendTime: 1, RTT: int64(msd(100))}, 0)
+		}
+		if !tn.Tuned() {
+			return false
+		}
+		k := int(tn.TunedEt() / tn.TunedH())
+		if gap == 1 {
+			return k == 1
+		}
+		return k >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package geo supplies the wide-area network model for the paper's real
+// distributed experiment (§IV-D): five AWS regions — Tokyo, London,
+// California, Sydney, São Paulo — with measured public inter-region RTTs.
+// The paper's AWS testbed is substituted by feeding this matrix into the
+// network simulator, which preserves the asymmetric-RTT topology that
+// drives per-pair tuning while eliminating the NTP clock-skew the authors
+// flag as a measurement caveat.
+package geo
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/netsim"
+)
+
+// Region identifies an AWS region used in the paper.
+type Region int
+
+const (
+	Tokyo      Region = iota // ap-northeast-1
+	London                   // eu-west-2
+	California               // us-west-1
+	Sydney                   // ap-southeast-2
+	SaoPaulo                 // sa-east-1
+	numRegions
+)
+
+// Regions lists the paper's five regions in order.
+var Regions = []Region{Tokyo, London, California, Sydney, SaoPaulo}
+
+func (r Region) String() string {
+	switch r {
+	case Tokyo:
+		return "tokyo"
+	case London:
+		return "london"
+	case California:
+		return "california"
+	case Sydney:
+		return "sydney"
+	case SaoPaulo:
+		return "sao-paulo"
+	default:
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+}
+
+// rttMS holds typical public inter-region RTTs in milliseconds
+// (symmetric), from published cloud latency measurements; the diagonal is
+// the intra-region RTT.
+var rttMS = [numRegions][numRegions]int{
+	//            Tokyo London Calif Sydney SaoPaulo
+	/*Tokyo*/ {2, 210, 105, 105, 255},
+	/*London*/ {210, 1, 135, 265, 185},
+	/*Calif.*/ {105, 135, 1, 140, 170},
+	/*Sydney*/ {105, 265, 140, 1, 310},
+	/*SaoPa.*/ {255, 185, 170, 310, 1},
+}
+
+// RTT returns the nominal round-trip time between two regions.
+func RTT(a, b Region) time.Duration {
+	return time.Duration(rttMS[a][b]) * time.Millisecond
+}
+
+// LinkParams returns netsim parameters for the a→b path. Jitter and loss
+// model ordinary public-internet conditions between cloud regions
+// (cf. Haq et al. and Mok et al., cited in §II-C): jitter scales with
+// distance; loss is a small base rate.
+func LinkParams(a, b Region, jitterFrac, loss float64) netsim.Params {
+	rtt := RTT(a, b)
+	return netsim.Params{
+		RTT:    rtt,
+		Jitter: time.Duration(float64(rtt) * jitterFrac / 2),
+		Loss:   loss,
+	}
+}
+
+// ApplyToNetwork configures every directed link of a network whose node i
+// lives in regions[i].
+func ApplyToNetwork[T any](nw *netsim.Network[T], regions []Region, jitterFrac, loss float64) {
+	for i := range regions {
+		for j := range regions {
+			if i == j {
+				continue
+			}
+			nw.SetProfile(i, j, netsim.Constant(LinkParams(regions[i], regions[j], jitterFrac, loss)))
+		}
+	}
+}
+
+// MaxRTTFrom returns the largest RTT from region a to any of the given
+// regions — the broadcastTime lower bound the original Raft paper uses to
+// reason about election timeouts (§II-B).
+func MaxRTTFrom(a Region, regions []Region) time.Duration {
+	var m time.Duration
+	for _, b := range regions {
+		if b == a {
+			continue
+		}
+		if r := RTT(a, b); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// MedianQuorumRTT returns, for a leader in region a, the RTT to the
+// f+1-th closest peer — the latency that actually bounds commit, since a
+// quorum only needs the nearest half of the followers.
+func MedianQuorumRTT(a Region, regions []Region) time.Duration {
+	var rtts []time.Duration
+	for _, b := range regions {
+		if b == a {
+			continue
+		}
+		rtts = append(rtts, RTT(a, b))
+	}
+	// insertion sort (n ≤ 4 here)
+	for i := 1; i < len(rtts); i++ {
+		for j := i; j > 0 && rtts[j] < rtts[j-1]; j-- {
+			rtts[j], rtts[j-1] = rtts[j-1], rtts[j]
+		}
+	}
+	if len(rtts) == 0 {
+		return 0
+	}
+	need := (len(rtts)+1)/2 + 1 - 1 // f+1 responders minus the leader itself
+	if need > len(rtts) {
+		need = len(rtts)
+	}
+	return rtts[need-1]
+}

@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/sim"
+)
+
+func TestMatrixSymmetric(t *testing.T) {
+	for _, a := range Regions {
+		for _, b := range Regions {
+			if RTT(a, b) != RTT(b, a) {
+				t.Fatalf("asymmetric RTT %v↔%v", a, b)
+			}
+		}
+	}
+}
+
+func TestDiagonalSmall(t *testing.T) {
+	for _, r := range Regions {
+		if RTT(r, r) > 5*time.Millisecond {
+			t.Fatalf("intra-region RTT %v too large", RTT(r, r))
+		}
+	}
+}
+
+func TestKnownDistances(t *testing.T) {
+	if RTT(Tokyo, London) < 150*time.Millisecond {
+		t.Fatal("Tokyo–London implausibly fast")
+	}
+	if RTT(Sydney, SaoPaulo) < RTT(Tokyo, California) {
+		t.Fatal("antipodal pair should be the slowest")
+	}
+}
+
+func TestRegionStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Regions {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad region string %q", s)
+		}
+		seen[s] = true
+	}
+	if Region(99).String() == "" {
+		t.Fatal("unknown region string empty")
+	}
+}
+
+func TestLinkParams(t *testing.T) {
+	p := LinkParams(Tokyo, London, 0.05, 0.001)
+	if p.RTT != RTT(Tokyo, London) {
+		t.Fatal("RTT not propagated")
+	}
+	if p.Jitter <= 0 || p.Jitter > p.RTT/10 {
+		t.Fatalf("jitter %v out of expected band", p.Jitter)
+	}
+	if p.Loss != 0.001 {
+		t.Fatal("loss not propagated")
+	}
+}
+
+func TestApplyToNetwork(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netsim.New[int](eng, 5, netsim.Constant(netsim.Params{RTT: time.Millisecond}), func(int, int) {})
+	ApplyToNetwork(nw, Regions, 0.05, 0.001)
+	got := nw.Params(0, 1) // Tokyo → London
+	if got.RTT != RTT(Tokyo, London) {
+		t.Fatalf("link RTT = %v, want %v", got.RTT, RTT(Tokyo, London))
+	}
+	got = nw.Params(3, 4) // Sydney → São Paulo
+	if got.RTT != RTT(Sydney, SaoPaulo) {
+		t.Fatalf("link RTT = %v", got.RTT)
+	}
+}
+
+func TestMaxRTTFrom(t *testing.T) {
+	if got := MaxRTTFrom(Tokyo, Regions); got != RTT(Tokyo, SaoPaulo) {
+		t.Fatalf("MaxRTTFrom(Tokyo) = %v", got)
+	}
+}
+
+func TestMedianQuorumRTT(t *testing.T) {
+	// For a Tokyo leader with peers {London 210, California 105, Sydney
+	// 105, SãoPaulo 255}: quorum needs 2 followers → 2nd smallest = 105.
+	if got := MedianQuorumRTT(Tokyo, Regions); got != 105*time.Millisecond {
+		t.Fatalf("MedianQuorumRTT(Tokyo) = %v, want 105ms", got)
+	}
+	// Quorum RTT is always ≤ max RTT.
+	for _, r := range Regions {
+		if MedianQuorumRTT(r, Regions) > MaxRTTFrom(r, Regions) {
+			t.Fatalf("quorum RTT exceeds max for %v", r)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+// BenchmarkEncode measures command serialization (the per-request client
+// cost on the leader's proposal path).
+func BenchmarkEncode(b *testing.B) {
+	c := Command{Op: OpPut, Client: 1, Seq: 42, Key: "some/realistic/key", Value: []byte("value-bytes-here")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(c)
+	}
+}
+
+// BenchmarkDecodeApply measures state-machine application throughput.
+func BenchmarkDecodeApply(b *testing.B) {
+	s := NewStore()
+	ents := make([]raft.Entry, 64)
+	for i := range ents {
+		ents[i] = raft.Entry{
+			Term: 1, Index: uint64(i + 1),
+			Data: Encode(Command{Op: OpPut, Client: 1, Seq: uint64(i + 1), Key: fmt.Sprintf("k%d", i%16), Value: []byte("v")}),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s = NewStore()
+		b.StartTimer()
+		s.Apply(ents)
+	}
+}

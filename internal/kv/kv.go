@@ -1,0 +1,293 @@
+// Package kv implements the replicated key-value state machine standing in
+// for etcd: a binary command codec, a deterministic store that applies
+// committed Raft entries in order, and idempotence bookkeeping via
+// (client, sequence) request IDs.
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dynatune/internal/raft"
+)
+
+// Op is a command type.
+type Op uint8
+
+const (
+	// OpPut sets a key.
+	OpPut Op = iota + 1
+	// OpDelete removes a key.
+	OpDelete
+	// OpNoop does nothing (useful for barriers/leases).
+	OpNoop
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpNoop:
+		return "noop"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Command is one replicated mutation. Reads are served locally from the
+// leader (linearizable reads via read-index are out of scope, as they are
+// for the paper).
+type Command struct {
+	Op     Op
+	Client uint64 // issuing client, for idempotence
+	Seq    uint64 // client-local sequence number
+	Key    string
+	Value  []byte
+}
+
+// ErrCorrupt reports an undecodable command.
+var ErrCorrupt = errors.New("kv: corrupt command encoding")
+
+// Encode serializes c into a compact binary form:
+// op(1) client(8) seq(8) keyLen(4) key valLen(4) val.
+func Encode(c Command) []byte {
+	buf := make([]byte, 0, 1+8+8+4+len(c.Key)+4+len(c.Value))
+	buf = append(buf, byte(c.Op))
+	buf = binary.BigEndian.AppendUint64(buf, c.Client)
+	buf = binary.BigEndian.AppendUint64(buf, c.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Key)))
+	buf = append(buf, c.Key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Value)))
+	buf = append(buf, c.Value...)
+	return buf
+}
+
+// Decode parses a command encoded by Encode.
+func Decode(b []byte) (Command, error) {
+	var c Command
+	if len(b) < 1+8+8+4 {
+		return c, ErrCorrupt
+	}
+	c.Op = Op(b[0])
+	if c.Op < OpPut || c.Op > OpNoop {
+		return c, fmt.Errorf("%w: bad op %d", ErrCorrupt, b[0])
+	}
+	c.Client = binary.BigEndian.Uint64(b[1:])
+	c.Seq = binary.BigEndian.Uint64(b[9:])
+	rest := b[17:]
+	keyLen := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) < keyLen+4 {
+		return c, ErrCorrupt
+	}
+	c.Key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	valLen := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) != valLen {
+		return c, ErrCorrupt
+	}
+	if valLen > 0 {
+		c.Value = append([]byte(nil), rest...)
+	}
+	return c, nil
+}
+
+// Store is the deterministic state machine. Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string][]byte
+	applied uint64 // last applied log index
+	// lastSeq tracks the highest applied sequence per client, making
+	// retried commands idempotent.
+	lastSeq map[uint64]uint64
+
+	applies uint64 // total commands applied (instrumentation)
+	dupes   uint64 // commands skipped as duplicates
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		data:    make(map[string][]byte),
+		lastSeq: make(map[uint64]uint64),
+	}
+}
+
+// Apply consumes committed Raft entries in order. Entries with nil Data
+// (leader no-ops) are skipped; undecodable entries panic, since a
+// replicated corrupt entry means divergence.
+func (s *Store) Apply(ents []raft.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range ents {
+		if e.Index <= s.applied {
+			continue // replay after restart
+		}
+		s.applied = e.Index
+		if e.Data == nil || e.Type != raft.EntryNormal {
+			// Leader no-ops and configuration changes are raft-internal.
+			continue
+		}
+		c, err := Decode(e.Data)
+		if err != nil {
+			panic(fmt.Sprintf("kv: entry %d: %v", e.Index, err))
+		}
+		if c.Client != 0 && c.Seq != 0 && c.Seq <= s.lastSeq[c.Client] {
+			s.dupes++
+			continue
+		}
+		if c.Client != 0 {
+			s.lastSeq[c.Client] = c.Seq
+		}
+		switch c.Op {
+		case OpPut:
+			s.data[c.Key] = c.Value
+		case OpDelete:
+			delete(s.data, c.Key)
+		case OpNoop:
+		}
+		s.applies++
+	}
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// AppliedIndex returns the last applied log index.
+func (s *Store) AppliedIndex() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// Applies returns the number of commands applied (excluding duplicates).
+func (s *Store) Applies() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applies
+}
+
+// Dupes returns the number of duplicate commands suppressed.
+func (s *Store) Dupes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dupes
+}
+
+// Snapshot returns a deep copy of the data (testing and state-transfer
+// scaffolding).
+func (s *Store) Snapshot() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.data))
+	for k, v := range s.data {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// MarshalSnapshot serializes the full store state (data, idempotence
+// table, applied index) for InstallSnapshot transfers. The format is the
+// command codec's style: counts followed by length-prefixed pairs.
+func (s *Store) MarshalSnapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf := binary.BigEndian.AppendUint64(nil, s.applied)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.data)))
+	for k, v := range s.data {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.lastSeq)))
+	for c, seq := range s.lastSeq {
+		buf = binary.BigEndian.AppendUint64(buf, c)
+		buf = binary.BigEndian.AppendUint64(buf, seq)
+	}
+	return buf
+}
+
+// RestoreSnapshot replaces the store's state with a snapshot produced by
+// MarshalSnapshot; index is the snapshot's last included log index and
+// becomes the applied index (overriding the marshalled one, which came
+// from the leader's clock of the same log anyway).
+func (s *Store) RestoreSnapshot(b []byte, index uint64) error {
+	data := make(map[string][]byte)
+	lastSeq := make(map[uint64]uint64)
+	if len(b) < 12 {
+		return ErrCorrupt
+	}
+	b = b[8:] // marshalled applied index superseded by the argument
+	nData := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	for i := uint32(0); i < nData; i++ {
+		if len(b) < 4 {
+			return ErrCorrupt
+		}
+		klen := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < klen+4 {
+			return ErrCorrupt
+		}
+		k := string(b[:klen])
+		b = b[klen:]
+		vlen := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < vlen {
+			return ErrCorrupt
+		}
+		data[k] = append([]byte(nil), b[:vlen]...)
+		b = b[vlen:]
+	}
+	if len(b) < 4 {
+		return ErrCorrupt
+	}
+	nSeq := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) != uint32(nSeq)*16 {
+		return ErrCorrupt
+	}
+	for i := uint32(0); i < nSeq; i++ {
+		lastSeq[binary.BigEndian.Uint64(b)] = binary.BigEndian.Uint64(b[8:])
+		b = b[16:]
+	}
+	s.mu.Lock()
+	s.data = data
+	s.lastSeq = lastSeq
+	s.applied = index
+	s.mu.Unlock()
+	return nil
+}
+
+// Equal reports whether two stores hold identical data (divergence checks
+// in tests).
+func (s *Store) Equal(other *Store) bool {
+	a, b := s.Snapshot(), other.Snapshot()
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if string(b[k]) != string(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,299 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dynatune/internal/raft"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Command{
+		{Op: OpPut, Client: 1, Seq: 1, Key: "k", Value: []byte("v")},
+		{Op: OpDelete, Client: 7, Seq: 99, Key: "some/longer/key"},
+		{Op: OpNoop},
+		{Op: OpPut, Key: "", Value: nil},
+		{Op: OpPut, Key: "empty-value", Value: []byte{}},
+	}
+	for _, c := range cases {
+		got, err := Decode(Encode(c))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", c, err)
+		}
+		if got.Op != c.Op || got.Client != c.Client || got.Seq != c.Seq || got.Key != c.Key {
+			t.Fatalf("round trip %+v → %+v", c, got)
+		}
+		if !bytes.Equal(got.Value, c.Value) && !(len(got.Value) == 0 && len(c.Value) == 0) {
+			t.Fatalf("value mismatch: %q vs %q", got.Value, c.Value)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{1, 2, 3},
+		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // bad op
+		Encode(Command{Op: OpPut, Key: "k"})[:20],                        // truncated
+		append(Encode(Command{Op: OpPut, Key: "k"}), 0xFF),               // trailing junk
+	}
+	for i, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d decoded without error", i)
+		}
+	}
+}
+
+// Property: Encode/Decode is lossless over arbitrary strings and bytes.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(client, seq uint64, key string, value []byte, opRaw uint8) bool {
+		c := Command{Op: Op(opRaw%3) + OpPut, Client: client, Seq: seq, Key: key, Value: value}
+		got, err := Decode(Encode(c))
+		if err != nil {
+			return false
+		}
+		return got.Op == c.Op && got.Client == c.Client && got.Seq == c.Seq &&
+			got.Key == c.Key && bytes.Equal(got.Value, c.Value) ||
+			(len(got.Value) == 0 && len(c.Value) == 0 && got.Key == c.Key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func entry(index uint64, c Command) raft.Entry {
+	return raft.Entry{Term: 1, Index: index, Data: Encode(c)}
+}
+
+func TestStoreApply(t *testing.T) {
+	s := NewStore()
+	s.Apply([]raft.Entry{
+		{Term: 1, Index: 1, Data: nil}, // leader noop
+		entry(2, Command{Op: OpPut, Client: 1, Seq: 1, Key: "a", Value: []byte("1")}),
+		entry(3, Command{Op: OpPut, Client: 1, Seq: 2, Key: "b", Value: []byte("2")}),
+		entry(4, Command{Op: OpDelete, Client: 1, Seq: 3, Key: "a"}),
+	})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key present")
+	}
+	if v, ok := s.Get("b"); !ok || string(v) != "2" {
+		t.Fatalf("b = %q, %v", v, ok)
+	}
+	if s.AppliedIndex() != 4 {
+		t.Fatalf("applied = %d", s.AppliedIndex())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Applies() != 3 {
+		t.Fatalf("applies = %d", s.Applies())
+	}
+}
+
+func TestStoreReplayIgnored(t *testing.T) {
+	s := NewStore()
+	e := entry(1, Command{Op: OpPut, Client: 1, Seq: 1, Key: "k", Value: []byte("v1")})
+	s.Apply([]raft.Entry{e})
+	// Replaying the same index with different content must be ignored
+	// (restart replay of already-applied prefix).
+	s.Apply([]raft.Entry{entry(1, Command{Op: OpPut, Client: 1, Seq: 9, Key: "k", Value: []byte("v2")})})
+	if v, _ := s.Get("k"); string(v) != "v1" {
+		t.Fatalf("replay overwrote value: %q", v)
+	}
+}
+
+func TestStoreIdempotence(t *testing.T) {
+	s := NewStore()
+	s.Apply([]raft.Entry{
+		entry(1, Command{Op: OpPut, Client: 5, Seq: 1, Key: "x", Value: []byte("first")}),
+		// Client retry of seq 1 lands at a later index (e.g. after a
+		// leader change re-proposed it): must be suppressed.
+		entry(2, Command{Op: OpPut, Client: 5, Seq: 1, Key: "x", Value: []byte("retry")}),
+		entry(3, Command{Op: OpPut, Client: 5, Seq: 2, Key: "x", Value: []byte("second")}),
+	})
+	if v, _ := s.Get("x"); string(v) != "second" {
+		t.Fatalf("x = %q", v)
+	}
+	if s.Dupes() != 1 {
+		t.Fatalf("dupes = %d", s.Dupes())
+	}
+}
+
+func TestStoreZeroClientNotDeduped(t *testing.T) {
+	s := NewStore()
+	s.Apply([]raft.Entry{
+		entry(1, Command{Op: OpPut, Key: "k", Value: []byte("a")}),
+		entry(2, Command{Op: OpPut, Key: "k", Value: []byte("b")}),
+	})
+	if v, _ := s.Get("k"); string(v) != "b" {
+		t.Fatalf("k = %q", v)
+	}
+}
+
+func TestStoreEqualAndSnapshot(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	ents := []raft.Entry{
+		entry(1, Command{Op: OpPut, Client: 1, Seq: 1, Key: "k1", Value: []byte("v1")}),
+		entry(2, Command{Op: OpPut, Client: 1, Seq: 2, Key: "k2", Value: []byte("v2")}),
+	}
+	a.Apply(ents)
+	b.Apply(ents)
+	if !a.Equal(b) {
+		t.Fatal("identical histories diverged")
+	}
+	b.Apply([]raft.Entry{entry(3, Command{Op: OpDelete, Client: 1, Seq: 3, Key: "k1"})})
+	if a.Equal(b) {
+		t.Fatal("different stores reported equal")
+	}
+	snap := a.Snapshot()
+	snap["k1"][0] = 'X' // mutating the snapshot must not affect the store
+	if v, _ := a.Get("k1"); string(v) != "v1" {
+		t.Fatal("snapshot aliases store data")
+	}
+}
+
+func TestStoreCorruptEntryPanics(t *testing.T) {
+	s := NewStore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on corrupt replicated entry")
+		}
+	}()
+	s.Apply([]raft.Entry{{Term: 1, Index: 1, Data: []byte{0xFF, 0x01}}})
+}
+
+// Property: two stores applying the same entry sequence are always equal
+// (determinism), regardless of batching boundaries.
+func TestPropertyDeterministicApply(t *testing.T) {
+	f := func(ops []uint8, split uint8) bool {
+		var ents []raft.Entry
+		for i, op := range ops {
+			c := Command{
+				Op:     Op(op%3) + OpPut,
+				Client: uint64(op%4) + 1,
+				Seq:    uint64(i + 1),
+				Key:    string(rune('a' + op%8)),
+				Value:  []byte{op},
+			}
+			ents = append(ents, entry(uint64(i+1), c))
+		}
+		a, b := NewStore(), NewStore()
+		a.Apply(ents)
+		// b applies in two batches split at an arbitrary point.
+		cut := int(split) % (len(ents) + 1)
+		b.Apply(ents[:cut])
+		b.Apply(ents[cut:])
+		return a.Equal(b) && a.AppliedIndex() == b.AppliedIndex()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := NewStore()
+	a.Apply([]raft.Entry{
+		entry(1, Command{Op: OpPut, Client: 1, Seq: 1, Key: "k1", Value: []byte("v1")}),
+		entry(2, Command{Op: OpPut, Client: 2, Seq: 7, Key: "k2", Value: []byte("v2")}),
+		entry(3, Command{Op: OpDelete, Client: 1, Seq: 2, Key: "k1"}),
+	})
+	snap := a.MarshalSnapshot()
+	b := NewStore()
+	if err := b.RestoreSnapshot(snap, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("restored store differs")
+	}
+	if b.AppliedIndex() != 3 {
+		t.Fatalf("applied = %d", b.AppliedIndex())
+	}
+	// Idempotence table survives: a replayed duplicate must be suppressed.
+	b.Apply([]raft.Entry{entry(4, Command{Op: OpPut, Client: 2, Seq: 7, Key: "k2", Value: []byte("stale")})})
+	if v, _ := b.Get("k2"); string(v) != "v2" {
+		t.Fatalf("idempotence lost across snapshot: k2=%q", v)
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	a := NewStore()
+	b := NewStore()
+	if err := b.RestoreSnapshot(a.MarshalSnapshot(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatal("empty snapshot restored non-empty store")
+	}
+}
+
+func TestSnapshotCorruptRejected(t *testing.T) {
+	s := NewStore()
+	good := func() []byte {
+		a := NewStore()
+		a.Apply([]raft.Entry{entry(1, Command{Op: OpPut, Client: 1, Seq: 1, Key: "key", Value: []byte("value")})})
+		return a.MarshalSnapshot()
+	}()
+	bad := [][]byte{
+		nil,
+		{1, 2, 3},
+		good[:len(good)-3],
+		good[:14],
+	}
+	for i, b := range bad {
+		if err := s.RestoreSnapshot(b, 1); err == nil {
+			t.Errorf("corrupt snapshot %d accepted", i)
+		}
+	}
+}
+
+// Property: snapshot round trip preserves arbitrary store contents.
+func TestPropertySnapshotRoundTrip(t *testing.T) {
+	f := func(keys []string, vals [][]byte) bool {
+		a := NewStore()
+		idx := uint64(0)
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			idx++
+			a.Apply([]raft.Entry{entry(idx, Command{Op: OpPut, Client: uint64(i%3) + 1, Seq: idx, Key: k, Value: v})})
+		}
+		b := NewStore()
+		if err := b.RestoreSnapshot(a.MarshalSnapshot(), idx); err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySkipsConfChangeEntries(t *testing.T) {
+	// Raft-internal configuration entries travel through the same Apply
+	// batches as client commands; the state machine must skip them (their
+	// Data is a ConfChange encoding, not a kv command) while still
+	// advancing the applied index.
+	s := NewStore()
+	cmd := Encode(Command{Op: OpPut, Key: "a", Value: []byte("1")})
+	s.Apply([]raft.Entry{
+		{Term: 1, Index: 1, Data: cmd},
+		{Term: 1, Index: 2, Type: raft.EntryConfChange, Data: raft.EncodeConfChange(raft.ConfChange{Op: raft.ConfAddVoter, Node: 9})},
+		{Term: 1, Index: 3, Data: Encode(Command{Op: OpPut, Key: "b", Value: []byte("2")})},
+	})
+	if got := s.AppliedIndex(); got != 3 {
+		t.Fatalf("applied index %d, want 3", got)
+	}
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("a = %q %v", v, ok)
+	}
+	if v, ok := s.Get("b"); !ok || string(v) != "2" {
+		t.Fatalf("b = %q %v", v, ok)
+	}
+	if got := s.Applies(); got != 2 {
+		t.Fatalf("applies = %d, want 2 (conf entry skipped)", got)
+	}
+}

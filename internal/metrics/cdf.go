@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over a fixed sample
+// set, the form in which Figs. 4 and 8 present detection and OTS times.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied, sorted).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Inverse returns the smallest sample x with P(X ≤ x) ≥ p.
+func (c *CDF) Inverse(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	idx := int(p*float64(len(c.sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range c.sorted {
+		s += x
+	}
+	return s / float64(len(c.sorted))
+}
+
+// Points returns up to n evenly spaced (x, P) points suitable for plotting
+// the CDF curve, always including the first and last samples.
+func (c *CDF) Points(n int) [](struct{ X, P float64 }) {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([]struct{ X, P float64 }, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / max(n-1, 1)
+		out = append(out, struct{ X, P float64 }{
+			X: c.sorted[idx],
+			P: float64(idx+1) / float64(len(c.sorted)),
+		})
+	}
+	return out
+}
+
+// Render returns a textual plot of the CDF series on a shared x-axis:
+// a poor man's Fig. 4. Each series is sampled at `cols` x positions across
+// [0, xmax]; rows are probability deciles.
+func RenderCDFs(series map[string]*CDF, xmax float64, cols int) string {
+	if cols <= 0 {
+		cols = 60
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		c := series[name]
+		fmt.Fprintf(&b, "%-24s mean=%8.1f  p50=%8.1f  p90=%8.1f  p99=%8.1f  (n=%d)\n",
+			name, c.Mean(), c.Inverse(0.50), c.Inverse(0.90), c.Inverse(0.99), c.N())
+		b.WriteString("  ")
+		for i := 0; i < cols; i++ {
+			x := xmax * float64(i) / float64(cols-1)
+			p := c.At(x)
+			b.WriteByte(" .:-=+*#%@"[min(int(p*9.999), 9)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

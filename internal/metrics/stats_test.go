@@ -1,0 +1,357 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Std() != 0 {
+		t.Fatal("zero Welford not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if !almostEqual(w.Std(), 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", w.Std())
+	}
+	if w.SampleStd() <= w.Std() {
+		t.Fatalf("SampleStd %v must exceed population Std %v", w.SampleStd(), w.Std())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 || w.SampleStd() != 0 {
+		t.Fatalf("single sample: mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
+// Property: Welford agrees with the naive two-pass computation.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, r := range raw {
+			w.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, r := range raw {
+			d := float64(r) - mean
+			m2 += d * d
+		}
+		return almostEqual(w.Mean(), mean, 1e-6) && almostEqual(w.Var(), m2/float64(len(raw)), 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	for i := 1; i <= 5; i++ {
+		w.Add(float64(i))
+	}
+	// Window holds {3,4,5}.
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if !almostEqual(w.Mean(), 4, 1e-12) {
+		t.Fatalf("Mean = %v, want 4", w.Mean())
+	}
+	wantStd := math.Sqrt(2.0 / 3.0)
+	if !almostEqual(w.Std(), wantStd, 1e-12) {
+		t.Fatalf("Std = %v, want %v", w.Std(), wantStd)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 || w.Std() != 0 {
+		t.Fatal("Reset did not clear window")
+	}
+	w.Add(7)
+	if !almostEqual(w.Mean(), 7, 1e-12) {
+		t.Fatalf("Mean after reset+add = %v", w.Mean())
+	}
+}
+
+func TestWindowCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: a full window's mean/std match a naive computation over the
+// last cap samples.
+func TestWindowMatchesNaive(t *testing.T) {
+	f := func(raw []int16, capRaw uint8) bool {
+		capacity := int(capRaw%31) + 1
+		w := NewWindow(capacity)
+		for _, r := range raw {
+			w.Add(float64(r))
+		}
+		start := 0
+		if len(raw) > capacity {
+			start = len(raw) - capacity
+		}
+		tail := raw[start:]
+		if w.Len() != len(tail) {
+			return false
+		}
+		if len(tail) == 0 {
+			return true
+		}
+		var sum float64
+		for _, r := range tail {
+			sum += float64(r)
+		}
+		mean := sum / float64(len(tail))
+		var m2 float64
+		for _, r := range tail {
+			d := float64(r) - mean
+			m2 += d * d
+		}
+		std := math.Sqrt(m2 / float64(len(tail)))
+		return almostEqual(w.Mean(), mean, 1e-6) && almostEqual(w.Std(), std, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEqual(s.Mean, 5.5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if !almostEqual(s.P50, 5.5, 1e-12) {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P90 < s.P50 || s.P99 < s.P90 {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if Quantile(xs, 0) != 1 {
+		t.Fatal("q=0 should be min")
+	}
+	if Quantile(xs, 1) != 5 {
+		t.Fatal("q=1 should be max")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	if Quantile([]float64{9}, 0.5) != 9 {
+		t.Fatal("single-element quantile")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{100, 200, 300, 400})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{50, 0}, {100, 0.25}, {250, 0.5}, {400, 1}, {1000, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Inverse(0.5); got != 200 {
+		t.Fatalf("Inverse(0.5) = %v, want 200", got)
+	}
+	if got := c.Inverse(1.0); got != 400 {
+		t.Fatalf("Inverse(1.0) = %v, want 400", got)
+	}
+	if !almostEqual(c.Mean(), 250, 1e-12) {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Inverse(0.5) != 0 || c.Mean() != 0 {
+		t.Fatal("empty CDF should return zeros")
+	}
+	if pts := c.Points(5); pts != nil {
+		t.Fatal("empty CDF points should be nil")
+	}
+}
+
+// Property: CDF.At is monotone non-decreasing and hits 0/1 at extremes.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for x := -10.0; x < 1100; x += 7 {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return c.At(-1) == 0 && c.At(1e9) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Inverse is a right-inverse of At: At(Inverse(p)) ≥ p.
+func TestPropertyCDFInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		c := NewCDF(xs)
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 1.0} {
+			if c.At(c.Inverse(p)) < p-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(1*time.Second, 10)
+	ts.Add(2*time.Second, 20)
+	ts.Add(3*time.Second, 30)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if v, ok := ts.At(2500 * time.Millisecond); !ok || v != 20 {
+		t.Fatalf("At(2.5s) = %v, %v", v, ok)
+	}
+	if _, ok := ts.At(500 * time.Millisecond); ok {
+		t.Fatal("At before first point should be not-ok")
+	}
+	if ts.Max() != 30 {
+		t.Fatalf("Max = %v", ts.Max())
+	}
+	if !almostEqual(ts.Mean(), 20, 1e-12) {
+		t.Fatalf("Mean = %v", ts.Mean())
+	}
+	if got := ts.MeanBetween(1500*time.Millisecond, 3500*time.Millisecond); !almostEqual(got, 25, 1e-12) {
+		t.Fatalf("MeanBetween = %v", got)
+	}
+	if got := ts.MeanBetween(10*time.Second, 20*time.Second); got != 0 {
+		t.Fatalf("MeanBetween outside = %v", got)
+	}
+}
+
+func TestTimeSeriesDownsample(t *testing.T) {
+	ts := NewTimeSeries("x")
+	for i := 0; i < 100; i++ {
+		ts.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	d := ts.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled Len = %d", d.Len())
+	}
+	if d.Times[0] != 0 || d.Times[9] != 99*time.Second {
+		t.Fatalf("downsample lost endpoints: %v", d.Times)
+	}
+	if ts.Downsample(1000).Len() != 100 {
+		t.Fatal("upsample should be identity")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	var iv Intervals
+	iv.Add(1*time.Second, 3*time.Second)
+	iv.Add(10*time.Second, 11*time.Second)
+	if iv.Count() != 2 {
+		t.Fatalf("Count = %d", iv.Count())
+	}
+	if iv.Total() != 3*time.Second {
+		t.Fatalf("Total = %v", iv.Total())
+	}
+	if !iv.Contains(2 * time.Second) {
+		t.Fatal("Contains(2s) = false")
+	}
+	if iv.Contains(5 * time.Second) {
+		t.Fatal("Contains(5s) = true")
+	}
+	if got := iv.TotalBetween(2*time.Second, 11*time.Second); got != 2*time.Second {
+		t.Fatalf("TotalBetween = %v", got)
+	}
+	// Reversed span is normalized.
+	iv.Add(20*time.Second, 15*time.Second)
+	if iv.Ends[2] != 20*time.Second || iv.Starts[2] != 15*time.Second {
+		t.Fatal("reversed span not normalized")
+	}
+}
+
+func TestDurationsToMillis(t *testing.T) {
+	out := DurationsToMillis([]time.Duration{time.Second, 250 * time.Millisecond})
+	if out[0] != 1000 || out[1] != 250 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestRenderCDFsAndSeries(t *testing.T) {
+	// Smoke tests: rendering must not panic and must mention series names.
+	s := RenderCDFs(map[string]*CDF{"raft": NewCDF([]float64{1, 2, 3})}, 5, 20)
+	if len(s) == 0 {
+		t.Fatal("empty render")
+	}
+	ts := NewTimeSeries("rtt")
+	ts.Add(time.Second, 50)
+	out := RenderSeries(10, ts)
+	if len(out) == 0 {
+		t.Fatal("empty series render")
+	}
+	if RenderSeries(10) != "" {
+		t.Fatal("no-series render should be empty")
+	}
+}

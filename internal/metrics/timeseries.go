@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TimeSeries records (time, value) points sampled during a run; Figs. 6
+// and 7 are rendered from these.
+type TimeSeries struct {
+	Name   string
+	Times  []time.Duration
+	Values []float64
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{Name: name}
+}
+
+// Add appends a point. Points should be added in time order.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len returns the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// At returns the last value recorded at or before t (0, false if none).
+func (ts *TimeSeries) At(t time.Duration) (float64, bool) {
+	i := sort.Search(len(ts.Times), func(i int) bool { return ts.Times[i] > t })
+	if i == 0 {
+		return 0, false
+	}
+	return ts.Values[i-1], true
+}
+
+// Max returns the maximum value (0 when empty).
+func (ts *TimeSeries) Max() float64 {
+	var m float64
+	for i, v := range ts.Values {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the values (0 when empty).
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range ts.Values {
+		s += v
+	}
+	return s / float64(len(ts.Values))
+}
+
+// MeanBetween returns the mean of values with from ≤ t < to (0 if none).
+func (ts *TimeSeries) MeanBetween(from, to time.Duration) float64 {
+	var s float64
+	n := 0
+	for i, t := range ts.Times {
+		if t >= from && t < to {
+			s += ts.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Downsample returns a copy with at most n points (uniform stride),
+// preserving the first and last points.
+func (ts *TimeSeries) Downsample(n int) *TimeSeries {
+	if n <= 0 || ts.Len() <= n {
+		return ts
+	}
+	out := NewTimeSeries(ts.Name)
+	for i := 0; i < n; i++ {
+		idx := i * (ts.Len() - 1) / (n - 1)
+		out.Add(ts.Times[idx], ts.Values[idx])
+	}
+	return out
+}
+
+// Intervals represents disjoint [start, end) spans of virtual time, used
+// for the OTS shading in Fig. 6 (periods with no elected leader).
+type Intervals struct {
+	Starts []time.Duration
+	Ends   []time.Duration
+}
+
+// Add appends a span. Spans should be added in order and non-overlapping.
+func (iv *Intervals) Add(start, end time.Duration) {
+	if end < start {
+		start, end = end, start
+	}
+	iv.Starts = append(iv.Starts, start)
+	iv.Ends = append(iv.Ends, end)
+}
+
+// Total returns the summed length of all spans.
+func (iv *Intervals) Total() time.Duration {
+	var t time.Duration
+	for i := range iv.Starts {
+		t += iv.Ends[i] - iv.Starts[i]
+	}
+	return t
+}
+
+// Count returns the number of spans.
+func (iv *Intervals) Count() int { return len(iv.Starts) }
+
+// Contains reports whether t falls inside any span.
+func (iv *Intervals) Contains(t time.Duration) bool {
+	for i := range iv.Starts {
+		if t >= iv.Starts[i] && t < iv.Ends[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalBetween returns the overlap between the spans and [from, to).
+func (iv *Intervals) TotalBetween(from, to time.Duration) time.Duration {
+	var t time.Duration
+	for i := range iv.Starts {
+		s, e := iv.Starts[i], iv.Ends[i]
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			t += e - s
+		}
+	}
+	return t
+}
+
+// RenderSeries renders one or more time series as aligned text columns
+// (time, one column per series), downsampled to rows lines — the textual
+// stand-in for the paper's line plots.
+func RenderSeries(rows int, series ...*TimeSeries) string {
+	if len(series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("time(s)")
+	for _, s := range series {
+		fmt.Fprintf(&b, "\t%s", s.Name)
+	}
+	b.WriteByte('\n')
+	base := series[0].Downsample(rows)
+	for i := 0; i < base.Len(); i++ {
+		t := base.Times[i]
+		fmt.Fprintf(&b, "%.1f", t.Seconds())
+		for _, s := range series {
+			if v, ok := s.At(t); ok {
+				fmt.Fprintf(&b, "\t%.1f", v)
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+// BenchmarkUDPSendDeliver measures the full simulated packet lifecycle.
+func BenchmarkUDPSendDeliver(b *testing.B) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	nw := New(eng, 2, Constant(Params{RTT: time.Millisecond, Jitter: 100 * time.Microsecond}),
+		func(to, msg int) { delivered++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(0, 1, UDP, i)
+		eng.Run(eng.Now() + 2*time.Millisecond)
+	}
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkTCPSendDeliver measures the reliable in-order path with loss.
+func BenchmarkTCPSendDeliver(b *testing.B) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	nw := New(eng, 2, Constant(Params{RTT: time.Millisecond, Loss: 0.05}),
+		func(to, msg int) { delivered++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(0, 1, TCP, i)
+		eng.Run(eng.Now() + 2*time.Millisecond)
+	}
+	// Drain in-flight retransmissions before asserting reliability.
+	eng.Run(eng.Now() + time.Second)
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkProfileAt measures schedule lookup on a long tc-style profile.
+func BenchmarkProfileAt(b *testing.B) {
+	p := GradualRTTRamp(Params{}, 50*time.Millisecond, 200*time.Millisecond, time.Millisecond, time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.At(time.Duration(i%300) * time.Second)
+	}
+}

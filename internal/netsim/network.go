@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+// Class selects delivery semantics for a packet.
+type Class int
+
+const (
+	// TCP is reliable and in-order per link; loss costs a retransmission
+	// delay and head-of-line blocks later segments.
+	TCP Class = iota
+	// UDP is best-effort: independent delay, Bernoulli loss, possible
+	// duplication, no ordering.
+	UDP
+)
+
+func (c Class) String() string {
+	switch c {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Stats counts per-link traffic, split by class.
+type Stats struct {
+	Sent      [2]uint64
+	Delivered [2]uint64
+	Dropped   [2]uint64 // UDP losses and flush drops; TCP drops count as retransmissions
+	Retrans   uint64    // TCP segments that needed recovery
+	Dups      uint64
+}
+
+// link is one directed path between two nodes.
+type link struct {
+	profile Profile
+	// tcpFloor enforces in-order delivery: the earliest time the next TCP
+	// segment may be handed to the application.
+	tcpFloor time.Duration
+	down     bool
+	stats    Stats
+}
+
+// Network simulates the mesh between n nodes. The payload type is opaque;
+// the sink receives delivered packets. Not safe for concurrent use — it
+// lives on the simulation goroutine.
+type Network[T any] struct {
+	eng   *sim.Engine
+	n     int
+	links []*link // [from*n+to]
+	sink  func(to int, msg T)
+
+	// minRTO floors the TCP retransmission delay when the pipe is idle
+	// (Linux's 200 ms minimum RTO). When a stream is busy, fast retransmit
+	// recovers in about one RTT; we approximate recovery as
+	// max(RTT, fastRetransFloor) + jitter and never exceed minRTO+RTT.
+	minRTO time.Duration
+
+	// procDelta adds a tiny serialization delay to each delivery so that
+	// simultaneous sends do not produce exactly equal timestamps downstream.
+	seq time.Duration
+}
+
+// DefaultMinRTO mirrors Linux's TCP_RTO_MIN.
+const DefaultMinRTO = 200 * time.Millisecond
+
+// New creates a network of n nodes with every directed link using profile.
+func New[T any](eng *sim.Engine, n int, profile Profile, sink func(to int, msg T)) *Network[T] {
+	if err := profile.Validate(); err != nil {
+		panic(err)
+	}
+	nw := &Network[T]{
+		eng:    eng,
+		n:      n,
+		links:  make([]*link, n*n),
+		sink:   sink,
+		minRTO: DefaultMinRTO,
+	}
+	for i := range nw.links {
+		nw.links[i] = &link{profile: profile}
+	}
+	return nw
+}
+
+// N returns the number of nodes.
+func (nw *Network[T]) N() int { return nw.n }
+
+func (nw *Network[T]) link(from, to int) *link {
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("netsim: link %d->%d out of range (n=%d)", from, to, nw.n))
+	}
+	return nw.links[from*nw.n+to]
+}
+
+// SetProfile replaces the schedule of the directed link from→to.
+func (nw *Network[T]) SetProfile(from, to int, p Profile) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	nw.link(from, to).profile = p
+}
+
+// SetAllProfiles replaces every inter-node link's schedule (self-links are
+// untouched), mirroring the experiment scripts that reconfigure every
+// container identically.
+func (nw *Network[T]) SetAllProfiles(p Profile) {
+	for from := 0; from < nw.n; from++ {
+		for to := 0; to < nw.n; to++ {
+			if from != to {
+				nw.SetProfile(from, to, p)
+			}
+		}
+	}
+}
+
+// SetDown marks the directed link from→to as partitioned (all packets
+// dropped) or restores it.
+func (nw *Network[T]) SetDown(from, to int, down bool) {
+	nw.link(from, to).down = down
+}
+
+// PartitionNode isolates (or reconnects) a node in both directions.
+func (nw *Network[T]) PartitionNode(id int, down bool) {
+	for other := 0; other < nw.n; other++ {
+		if other == id {
+			continue
+		}
+		nw.SetDown(id, other, down)
+		nw.SetDown(other, id, down)
+	}
+}
+
+// StatsFor returns a copy of the directed link's counters.
+func (nw *Network[T]) StatsFor(from, to int) Stats {
+	return nw.link(from, to).stats
+}
+
+// Params returns the link conditions in force right now on from→to.
+func (nw *Network[T]) Params(from, to int) Params {
+	return nw.link(from, to).profile.At(nw.eng.Now())
+}
+
+// Send transmits msg from→to with the given class semantics. Self-sends
+// are delivered after a negligible local delay.
+func (nw *Network[T]) Send(from, to int, cls Class, msg T) {
+	now := nw.eng.Now()
+	if from == to {
+		nw.eng.Schedule(now+time.Microsecond, func() { nw.sink(to, msg) })
+		return
+	}
+	l := nw.link(from, to)
+	l.stats.Sent[cls]++
+	if l.down {
+		l.stats.Dropped[cls]++
+		return
+	}
+	p := l.profile.At(now)
+	rng := nw.eng.Rand()
+
+	oneWay := p.RTT/2 + nw.jitter(p)
+	if oneWay < time.Microsecond {
+		oneWay = time.Microsecond
+	}
+	arrival := now + oneWay
+	flushed := l.profile.FlushOnChange && l.profile.BoundaryBetween(now, arrival)
+
+	switch cls {
+	case UDP:
+		if flushed || rng.Float64() < p.Loss {
+			l.stats.Dropped[UDP]++
+			return
+		}
+		nw.deliver(l, cls, arrival, to, msg)
+		if p.Dup > 0 && rng.Float64() < p.Dup {
+			l.stats.Dups++
+			nw.deliver(l, cls, arrival+nw.jitterAbs(p), to, msg)
+		}
+	case TCP:
+		// Each loss (or a flush of the netem queue) costs one recovery
+		// round. Recovery on a busy stream is roughly one RTT (fast
+		// retransmit); we floor it at a fraction of the idle-stream RTO.
+		// Retransmissions can themselves be lost, adding further rounds
+		// (bounded to keep p=1 from looping forever).
+		lost := flushed || rng.Float64() < p.Loss
+		if lost {
+			l.stats.Retrans++
+			arrival += nw.recovery(p)
+			for round := 0; round < 8 && rng.Float64() < p.Loss; round++ {
+				arrival += nw.recovery(p)
+			}
+		}
+		// In-order delivery: never before a previously sent segment.
+		if arrival <= l.tcpFloor {
+			arrival = l.tcpFloor + time.Microsecond
+		}
+		l.tcpFloor = arrival
+		nw.deliver(l, cls, arrival, to, msg)
+	default:
+		panic(fmt.Sprintf("netsim: unknown class %d", cls))
+	}
+}
+
+func (nw *Network[T]) deliver(l *link, cls Class, at time.Duration, to int, msg T) {
+	l.stats.Delivered[cls]++
+	nw.eng.Schedule(at, func() { nw.sink(to, msg) })
+}
+
+// recovery returns the extra delay for one TCP loss-recovery round.
+func (nw *Network[T]) recovery(p Params) time.Duration {
+	r := p.RTT + 3*p.Jitter + 10*time.Millisecond
+	if min := nw.minRTO / 4; r < min {
+		r = min
+	}
+	return r
+}
+
+// jitter returns a symmetric noise term, clamped so the one-way delay
+// never goes below half its nominal value.
+func (nw *Network[T]) jitter(p Params) time.Duration {
+	if p.Jitter <= 0 {
+		return 0
+	}
+	j := time.Duration(nw.eng.Rand().NormFloat64() * float64(p.Jitter))
+	if low := -p.RTT / 4; j < low {
+		j = low
+	}
+	return j
+}
+
+// jitterAbs returns a non-negative noise term.
+func (nw *Network[T]) jitterAbs(p Params) time.Duration {
+	j := nw.jitter(p)
+	if j < 0 {
+		j = -j
+	}
+	return j + time.Microsecond
+}

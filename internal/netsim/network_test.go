@@ -1,0 +1,351 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+type delivery struct {
+	to  int
+	msg int
+	at  time.Duration
+}
+
+func newTestNet(seed int64, n int, p Params) (*sim.Engine, *Network[int], *[]delivery) {
+	eng := sim.NewEngine(seed)
+	var got []delivery
+	var nw *Network[int]
+	nw = New(eng, n, Constant(p), func(to, msg int) {
+		got = append(got, delivery{to: to, msg: msg, at: eng.Now()})
+	})
+	return eng, nw, &got
+}
+
+func TestProfileAt(t *testing.T) {
+	p := Profile{Segments: []Segment{
+		{Start: 0, Params: Params{RTT: ms(50)}},
+		{Start: time.Minute, Params: Params{RTT: ms(100)}},
+	}}
+	if got := p.At(0); got.RTT != ms(50) {
+		t.Fatalf("At(0).RTT = %v", got.RTT)
+	}
+	if got := p.At(time.Minute - 1); got.RTT != ms(50) {
+		t.Fatalf("At(1m-1).RTT = %v", got.RTT)
+	}
+	if got := p.At(time.Minute); got.RTT != ms(100) {
+		t.Fatalf("At(1m).RTT = %v", got.RTT)
+	}
+	if got := p.At(time.Hour); got.RTT != ms(100) {
+		t.Fatalf("At(1h).RTT = %v", got.RTT)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Segments: []Segment{{Start: 0}, {Start: 0}}},
+		{Segments: []Segment{{Start: 0, Params: Params{Loss: 1.5}}}},
+		{Segments: []Segment{{Start: 0, Params: Params{RTT: -1}}}},
+		{Segments: []Segment{{Start: 0, Params: Params{Dup: -0.1}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should fail validation", i)
+		}
+	}
+	if err := Constant(Params{RTT: ms(10)}).Validate(); err != nil {
+		t.Fatalf("constant profile invalid: %v", err)
+	}
+}
+
+func TestProfileBoundaryBetween(t *testing.T) {
+	p := RTTSteps(Params{}, time.Minute, ms(50), ms(60), ms(70))
+	if p.BoundaryBetween(0, time.Second) {
+		t.Fatal("no boundary in first second")
+	}
+	if !p.BoundaryBetween(time.Minute-time.Second, time.Minute) {
+		t.Fatal("boundary at 1m not detected")
+	}
+	if p.BoundaryBetween(2*time.Minute+time.Second, 3*time.Minute) {
+		t.Fatal("no boundary after last segment")
+	}
+}
+
+func TestGradualRampShape(t *testing.T) {
+	p := GradualRTTRamp(Params{}, ms(50), ms(200), ms(10), time.Minute)
+	// 16 up (50..200) + 15 down (190..50) = 31 segments.
+	if len(p.Segments) != 31 {
+		t.Fatalf("segments = %d, want 31", len(p.Segments))
+	}
+	if p.Segments[0].Params.RTT != ms(50) || p.Segments[15].Params.RTT != ms(200) || p.Segments[30].Params.RTT != ms(50) {
+		t.Fatalf("ramp endpoints wrong: %v %v %v",
+			p.Segments[0].Params.RTT, p.Segments[15].Params.RTT, p.Segments[30].Params.RTT)
+	}
+	if !p.FlushOnChange {
+		t.Fatal("tc-style ramps must flush on change")
+	}
+}
+
+func TestLossSweepShape(t *testing.T) {
+	p := LossSweep(Params{RTT: ms(200)}, 3*time.Minute)
+	if len(p.Segments) != 13 {
+		t.Fatalf("segments = %d, want 13", len(p.Segments))
+	}
+	if p.Segments[6].Params.Loss != 0.30 {
+		t.Fatalf("peak loss = %v, want 0.30", p.Segments[6].Params.Loss)
+	}
+	if p.Segments[6].Params.RTT != ms(200) {
+		t.Fatal("RTT not preserved by loss sweep")
+	}
+}
+
+func TestUDPDelayIsHalfRTT(t *testing.T) {
+	eng, nw, got := newTestNet(1, 2, Params{RTT: ms(100)})
+	eng.Schedule(0, func() { nw.Send(0, 1, UDP, 7) })
+	eng.Run(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*got))
+	}
+	if (*got)[0].at != ms(50) {
+		t.Fatalf("arrival = %v, want 50ms", (*got)[0].at)
+	}
+	if (*got)[0].to != 1 || (*got)[0].msg != 7 {
+		t.Fatalf("delivery = %+v", (*got)[0])
+	}
+}
+
+func TestUDPLossDropsAll(t *testing.T) {
+	eng, nw, got := newTestNet(1, 2, Params{RTT: ms(10), Loss: 1})
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*ms(1), func() { nw.Send(0, 1, UDP, i) })
+	}
+	eng.Run(time.Second)
+	if len(*got) != 0 {
+		t.Fatalf("deliveries = %d, want 0 at loss=1", len(*got))
+	}
+	st := nw.StatsFor(0, 1)
+	if st.Sent[UDP] != 100 || st.Dropped[UDP] != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUDPLossRateApproximate(t *testing.T) {
+	eng, nw, got := newTestNet(42, 2, Params{RTT: ms(10), Loss: 0.3})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*time.Millisecond, func() { nw.Send(0, 1, UDP, i) })
+	}
+	eng.Run(time.Hour)
+	rate := 1 - float64(len(*got))/float64(n)
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("observed loss %v, want ≈0.30", rate)
+	}
+}
+
+func TestUDPDuplication(t *testing.T) {
+	eng, nw, got := newTestNet(7, 2, Params{RTT: ms(10), Dup: 1})
+	eng.Schedule(0, func() { nw.Send(0, 1, UDP, 1) })
+	eng.Run(time.Second)
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d, want 2 with dup=1", len(*got))
+	}
+}
+
+func TestTCPReliableUnderTotalLoss(t *testing.T) {
+	// Even at loss=1 TCP delivers (after bounded retransmission rounds).
+	eng, nw, got := newTestNet(1, 2, Params{RTT: ms(10), Loss: 1})
+	eng.Schedule(0, func() { nw.Send(0, 1, TCP, 9) })
+	eng.Run(time.Minute)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*got))
+	}
+	if (*got)[0].at <= ms(5) {
+		t.Fatalf("arrival %v should include recovery delay", (*got)[0].at)
+	}
+}
+
+func TestTCPInOrder(t *testing.T) {
+	// With heavy jitter and loss, TCP deliveries must still be in send
+	// order; UDP need not be.
+	eng, nw, got := newTestNet(3, 2, Params{RTT: ms(50), Jitter: ms(20), Loss: 0.2})
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*ms(2), func() { nw.Send(0, 1, TCP, i) })
+	}
+	eng.Run(time.Minute)
+	if len(*got) != n {
+		t.Fatalf("deliveries = %d, want %d", len(*got), n)
+	}
+	for i := 1; i < n; i++ {
+		if (*got)[i].msg != (*got)[i-1].msg+1 {
+			t.Fatalf("out of order at %d: %d after %d", i, (*got)[i].msg, (*got)[i-1].msg)
+		}
+		if (*got)[i].at < (*got)[i-1].at {
+			t.Fatalf("time went backwards at %d", i)
+		}
+	}
+}
+
+func TestTCPHeadOfLineBlocking(t *testing.T) {
+	// One lost segment must delay subsequent segments: the gap observed at
+	// the receiver around a loss is on the order of the recovery delay,
+	// not the 2ms send spacing.
+	p := Params{RTT: ms(100)}
+	prof := Profile{Segments: []Segment{
+		{Start: 0, Params: p},
+		{Start: ms(300), Params: p}, // boundary at 300ms flushes in-flight
+	}, FlushOnChange: true}
+	eng := sim.NewEngine(1)
+	var got []delivery
+	nw := New(eng, 2, prof, func(to, msg int) {
+		got = append(got, delivery{to: to, msg: msg, at: eng.Now()})
+	})
+	for i := 0; i < 300; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*ms(2), func() { nw.Send(0, 1, TCP, i) })
+	}
+	eng.Run(time.Minute)
+	var maxGap time.Duration
+	for i := 1; i < len(got); i++ {
+		if g := got[i].at - got[i-1].at; g > maxGap {
+			maxGap = g
+		}
+	}
+	// Recovery ≈ RTT + 10ms; the segment in flight at the boundary is
+	// delayed by that much, and the gap includes the blocked pipeline.
+	if maxGap < ms(80) {
+		t.Fatalf("max HOL gap = %v, want ≥ 80ms", maxGap)
+	}
+}
+
+func TestUDPFlushOnChangeDropsInFlight(t *testing.T) {
+	p := Params{RTT: ms(100)}
+	prof := Profile{Segments: []Segment{
+		{Start: 0, Params: p},
+		{Start: ms(125), Params: p},
+	}, FlushOnChange: true}
+	eng := sim.NewEngine(1)
+	var got []delivery
+	nw := New(eng, 2, prof, func(to, msg int) {
+		got = append(got, delivery{to: to, msg: msg, at: eng.Now()})
+	})
+	// Sent at 100ms, arrives at 150ms — crosses the 125ms boundary → dropped.
+	eng.Schedule(ms(100), func() { nw.Send(0, 1, UDP, 1) })
+	// Sent at 130ms, arrives 180ms — no boundary crossed → delivered.
+	eng.Schedule(ms(130), func() { nw.Send(0, 1, UDP, 2) })
+	eng.Run(time.Second)
+	if len(got) != 1 || got[0].msg != 2 {
+		t.Fatalf("deliveries = %+v, want only msg 2", got)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	eng, nw, got := newTestNet(1, 2, Params{RTT: ms(100), Loss: 1})
+	eng.Schedule(0, func() { nw.Send(1, 1, UDP, 5) })
+	eng.Run(time.Second)
+	if len(*got) != 1 || (*got)[0].to != 1 {
+		t.Fatalf("self-send failed: %+v", *got)
+	}
+	if (*got)[0].at > ms(1) {
+		t.Fatalf("self-send took %v, want ≈0", (*got)[0].at)
+	}
+}
+
+func TestSetDownAndPartition(t *testing.T) {
+	eng, nw, got := newTestNet(1, 3, Params{RTT: ms(10)})
+	nw.SetDown(0, 1, true)
+	eng.Schedule(0, func() {
+		nw.Send(0, 1, TCP, 1) // dropped
+		nw.Send(0, 2, TCP, 2) // delivered
+	})
+	eng.Run(time.Second)
+	if len(*got) != 1 || (*got)[0].msg != 2 {
+		t.Fatalf("deliveries = %+v", *got)
+	}
+	nw.SetDown(0, 1, false)
+	nw.PartitionNode(2, true)
+	*got = (*got)[:0]
+	eng.Schedule(eng.Now()+ms(1), func() {
+		nw.Send(0, 1, UDP, 3) // delivered
+		nw.Send(0, 2, UDP, 4) // partitioned
+		nw.Send(2, 0, UDP, 5) // partitioned
+	})
+	eng.Run(eng.Now() + time.Second)
+	if len(*got) != 1 || (*got)[0].msg != 3 {
+		t.Fatalf("after partition: %+v", *got)
+	}
+}
+
+func TestJitterSpreadsDelays(t *testing.T) {
+	eng, nw, got := newTestNet(11, 2, Params{RTT: ms(100), Jitter: ms(5)})
+	const n = 500
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*ms(10), func() { nw.Send(0, 1, UDP, i) })
+	}
+	eng.Run(time.Minute)
+	var lo, hi time.Duration
+	for i, d := range *got {
+		delay := d.at - time.Duration(d.msg)*ms(10)
+		if i == 0 || delay < lo {
+			lo = delay
+		}
+		if i == 0 || delay > hi {
+			hi = delay
+		}
+	}
+	if hi-lo < ms(5) {
+		t.Fatalf("jitter spread %v too small", hi-lo)
+	}
+	if lo < ms(25) {
+		t.Fatalf("delay %v below clamp", lo)
+	}
+}
+
+func TestParamsReflectSchedule(t *testing.T) {
+	eng, nw, _ := newTestNet(1, 2, Params{RTT: ms(50)})
+	nw.SetAllProfiles(RTTSteps(Params{}, time.Minute, ms(50), ms(500)))
+	eng.Run(90 * time.Second)
+	if got := nw.Params(0, 1).RTT; got != ms(500) {
+		t.Fatalf("Params at 90s RTT = %v, want 500ms", got)
+	}
+}
+
+// Property: whatever the link parameters, TCP never reorders or loses and
+// UDP never delivers more than sent+dups.
+func TestPropertyTCPAlwaysInOrderNoLoss(t *testing.T) {
+	f := func(seed int64, lossRaw, jitRaw uint8) bool {
+		loss := float64(lossRaw%90) / 100
+		jit := time.Duration(jitRaw%20) * time.Millisecond
+		eng := sim.NewEngine(seed)
+		var got []int
+		nw := New(eng, 2, Constant(Params{RTT: ms(40), Jitter: jit, Loss: loss}),
+			func(to, msg int) { got = append(got, msg) })
+		const n = 100
+		for i := 0; i < n; i++ {
+			i := i
+			eng.Schedule(time.Duration(i)*ms(1), func() { nw.Send(0, 1, TCP, i) })
+		}
+		eng.Run(time.Hour)
+		if len(got) != n {
+			return false
+		}
+		for i, m := range got {
+			if m != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

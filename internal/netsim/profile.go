@@ -1,0 +1,161 @@
+// Package netsim models the paper's network testbed: per-link delay,
+// jitter and loss injected with `tc netem` between Docker containers, with
+// time-varying schedules for the fluctuation experiments (§IV-C).
+//
+// Two delivery classes are modeled because the paper's artifact depends on
+// the difference (§III-E): etcd carries everything over TCP, while Dynatune
+// moves heartbeats to UDP.
+//
+//   - UDP: each packet independently delayed (RTT/2 + jitter), dropped with
+//     the link's loss probability, optionally duplicated; no ordering.
+//   - TCP: reliable and in-order per link. A "lost" segment costs a
+//     retransmission delay, and — the operationally important part — later
+//     segments are held behind it (head-of-line blocking), so one drop
+//     opens an application-visible gap that scales with RTT. This is what
+//     defeats aggressive static timeouts (Raft-Low) at high RTT in Fig. 6
+//     and what makes the paper's UDP-heartbeat choice matter.
+//
+// Profile changes model `tc qdisc replace`: packets sitting in netem's
+// delay queue at the moment of reconfiguration are flushed. The experiment
+// scripts reconfigure every container together, so the resulting gap is
+// correlated across links — the trigger for Raft-Low's election cascades.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Params are the instantaneous conditions of one directed link.
+type Params struct {
+	// RTT is the round-trip time of the link; the one-way delay is RTT/2.
+	RTT time.Duration
+	// Jitter is the standard deviation of symmetric per-packet delay noise.
+	Jitter time.Duration
+	// Loss is the per-packet loss probability in [0, 1].
+	Loss float64
+	// Dup is the per-packet duplication probability in [0, 1] (UDP only).
+	Dup float64
+}
+
+// Segment is one piece of a piecewise-constant link schedule.
+type Segment struct {
+	Start  time.Duration
+	Params Params
+}
+
+// Profile is a piecewise-constant schedule of link conditions, mirroring
+// the experiment scripts that re-run `tc` at fixed intervals.
+type Profile struct {
+	// Segments must be sorted by Start; the first segment should start at 0.
+	Segments []Segment
+	// FlushOnChange drops packets in flight across a segment boundary,
+	// modeling `tc qdisc replace` flushing netem's delay queue.
+	FlushOnChange bool
+}
+
+// Constant returns a single-segment profile.
+func Constant(p Params) Profile {
+	return Profile{Segments: []Segment{{Start: 0, Params: p}}}
+}
+
+// Validate checks ordering and parameter ranges.
+func (p Profile) Validate() error {
+	if len(p.Segments) == 0 {
+		return fmt.Errorf("netsim: profile has no segments")
+	}
+	for i, s := range p.Segments {
+		if i > 0 && s.Start <= p.Segments[i-1].Start {
+			return fmt.Errorf("netsim: segment %d start %v not after previous %v", i, s.Start, p.Segments[i-1].Start)
+		}
+		if s.Params.RTT < 0 || s.Params.Jitter < 0 {
+			return fmt.Errorf("netsim: segment %d has negative delay", i)
+		}
+		if s.Params.Loss < 0 || s.Params.Loss > 1 {
+			return fmt.Errorf("netsim: segment %d loss %v out of range", i, s.Params.Loss)
+		}
+		if s.Params.Dup < 0 || s.Params.Dup > 1 {
+			return fmt.Errorf("netsim: segment %d dup %v out of range", i, s.Params.Dup)
+		}
+	}
+	return nil
+}
+
+// At returns the parameters in force at time t. Before the first segment it
+// returns the first segment's parameters.
+func (p Profile) At(t time.Duration) Params {
+	i := sort.Search(len(p.Segments), func(i int) bool { return p.Segments[i].Start > t })
+	if i == 0 {
+		return p.Segments[0].Params
+	}
+	return p.Segments[i-1].Params
+}
+
+// BoundaryBetween reports whether any segment boundary falls in (from, to].
+func (p Profile) BoundaryBetween(from, to time.Duration) bool {
+	for _, s := range p.Segments[1:] {
+		if s.Start > from && s.Start <= to {
+			return true
+		}
+	}
+	return false
+}
+
+// End returns the start of the last segment (useful to size experiment
+// horizons).
+func (p Profile) End() time.Duration {
+	return p.Segments[len(p.Segments)-1].Start
+}
+
+// RTTSteps builds a profile that walks through the given RTT values,
+// holding each for hold, starting from base parameters (jitter/loss/dup
+// copied from base). It reproduces the paper's gradual and radical RTT
+// fluctuation schedules (§IV-C1).
+func RTTSteps(base Params, hold time.Duration, rtts ...time.Duration) Profile {
+	segs := make([]Segment, len(rtts))
+	for i, r := range rtts {
+		p := base
+		p.RTT = r
+		segs[i] = Segment{Start: time.Duration(i) * hold, Params: p}
+	}
+	return Profile{Segments: segs, FlushOnChange: true}
+}
+
+// LossSteps builds a profile that walks through the given loss rates with
+// constant RTT, reproducing the packet-loss sweep of §IV-C2.
+func LossSteps(base Params, hold time.Duration, losses ...float64) Profile {
+	segs := make([]Segment, len(losses))
+	for i, l := range losses {
+		p := base
+		p.Loss = l
+		segs[i] = Segment{Start: time.Duration(i) * hold, Params: p}
+	}
+	return Profile{Segments: segs, FlushOnChange: true}
+}
+
+// GradualRTTRamp reproduces the paper's gradual pattern: RTT from lo to hi
+// and back in `step` increments, each value held for `hold`.
+func GradualRTTRamp(base Params, lo, hi, step, hold time.Duration) Profile {
+	var rtts []time.Duration
+	for r := lo; r <= hi; r += step {
+		rtts = append(rtts, r)
+	}
+	for r := hi - step; r >= lo; r -= step {
+		rtts = append(rtts, r)
+	}
+	return RTTSteps(base, hold, rtts...)
+}
+
+// RadicalRTTSpike reproduces the paper's radical pattern: lo for hold, then
+// an abrupt jump to hi for hold, then back to lo.
+func RadicalRTTSpike(base Params, lo, hi, hold time.Duration) Profile {
+	return RTTSteps(base, hold, lo, hi, lo)
+}
+
+// LossSweep reproduces the paper's §IV-C2 sweep: 0→5→10→15→20→25→30→25→…→0 %
+// with each rate held for `hold`.
+func LossSweep(base Params, hold time.Duration) Profile {
+	rates := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.25, 0.20, 0.15, 0.10, 0.05, 0}
+	return LossSteps(base, hold, rates...)
+}

@@ -1,0 +1,102 @@
+package raft
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkStepHeartbeat measures the hot path of a follower processing a
+// leader heartbeat (reset timer, respond).
+func BenchmarkStepHeartbeat(b *testing.B) {
+	c := newTestCluster(defaultOpts())
+	lead := c.waitLeader(10 * time.Second)
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			follower = n
+			break
+		}
+	}
+	m := Message{Type: MsgHeartbeat, From: lead.ID(), To: follower.ID(), Term: lead.Term()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		follower.Step(m)
+	}
+}
+
+// BenchmarkProposeReplicate measures a leader appending and fanning out
+// one proposal to four followers.
+func BenchmarkProposeReplicate(b *testing.B) {
+	opts := defaultOpts()
+	opts.n = 5
+	c := newTestCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	payload := []byte("benchmark-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lead.Propose(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			b.StopTimer()
+			c.run(time.Second) // drain and commit
+			lead.CompactLog(64)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkLogAppend measures raw log appends with periodic compaction.
+func BenchmarkLogAppend(b *testing.B) {
+	l := NewLog()
+	data := []byte("entry")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(1, data)
+		if l.Len() > 1<<16 {
+			l.CommitTo(l.LastIndex())
+			l.NextToApply()
+			l.CompactTo(l.LastIndex() - 16)
+		}
+	}
+}
+
+// BenchmarkLogMaybeAppend measures the follower-side consistency check and
+// append for batches of 64.
+func BenchmarkLogMaybeAppend(b *testing.B) {
+	batch := make([]Entry, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := NewLog()
+		for j := range batch {
+			batch[j] = Entry{Term: 1, Index: uint64(j + 1), Data: []byte("x")}
+		}
+		b.StartTimer()
+		if _, ok := l.MaybeAppend(0, 0, batch); !ok {
+			b.Fatal("append rejected")
+		}
+	}
+}
+
+// BenchmarkFullElection measures a complete leader election round trip in
+// a 5-node simulated cluster (detection excluded — timers start expired).
+func BenchmarkFullElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := defaultOpts()
+		opts.n = 5
+		opts.seed = int64(i + 1)
+		c := newTestCluster(opts)
+		if c.waitLeader(30*time.Second) == nil {
+			b.Fatal("no leader")
+		}
+	}
+}
+
+// BenchmarkChaosRound measures the chaos harness itself, as a guard
+// against the property tests becoming too slow to run routinely.
+func BenchmarkChaosRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chaosRun(b, int64(i+1), 5, 0, nil)
+	}
+}

@@ -1,0 +1,237 @@
+package raft
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ConfChangeOp enumerates single-step membership operations (etcd's
+// ConfChangeType). One change is in flight at a time — the pending-change
+// guard below — which keeps any old/new quorum overlap safe without joint
+// consensus.
+type ConfChangeOp uint8
+
+const (
+	// ConfAddVoter adds a full voting member (or promotes a learner).
+	ConfAddVoter ConfChangeOp = iota + 1
+	// ConfAddLearner adds a non-voting member that receives the log but
+	// does not count toward quorum — the safe way to bring a fresh node up
+	// to speed before giving it a vote.
+	ConfAddLearner
+	// ConfRemoveNode removes a voter or learner. A leader that removes
+	// itself steps down once the change is applied.
+	ConfRemoveNode
+)
+
+func (o ConfChangeOp) String() string {
+	switch o {
+	case ConfAddVoter:
+		return "add-voter"
+	case ConfAddLearner:
+		return "add-learner"
+	case ConfRemoveNode:
+		return "remove-node"
+	default:
+		return fmt.Sprintf("conf-op(%d)", uint8(o))
+	}
+}
+
+// ConfChange is one membership mutation, carried in an EntryConfChange log
+// entry and applied by every node when the entry is applied.
+type ConfChange struct {
+	Op   ConfChangeOp
+	Node ID
+}
+
+// EncodeConfChange serializes cc for an EntryConfChange's Data.
+func EncodeConfChange(cc ConfChange) []byte {
+	buf := make([]byte, 9)
+	buf[0] = byte(cc.Op)
+	binary.BigEndian.PutUint64(buf[1:], uint64(cc.Node))
+	return buf
+}
+
+// DecodeConfChange parses a ConfChange encoded by EncodeConfChange.
+func DecodeConfChange(b []byte) (ConfChange, error) {
+	if len(b) != 9 {
+		return ConfChange{}, fmt.Errorf("raft: conf change length %d, want 9", len(b))
+	}
+	cc := ConfChange{Op: ConfChangeOp(b[0]), Node: ID(binary.BigEndian.Uint64(b[1:]))}
+	if cc.Op < ConfAddVoter || cc.Op > ConfRemoveNode {
+		return ConfChange{}, fmt.Errorf("raft: bad conf change op %d", b[0])
+	}
+	if cc.Node == None {
+		return ConfChange{}, errors.New("raft: conf change on node 0")
+	}
+	return cc, nil
+}
+
+// ErrPendingConf is returned by ProposeConfChange while an earlier change
+// has not been applied yet: overlapping single-step changes can produce
+// disjoint quorums, so etcd (and this implementation) serialize them.
+var ErrPendingConf = errors.New("raft: a configuration change is already in flight")
+
+// ErrNotMember is returned when a change references a node in a way that
+// makes no sense for the current membership.
+var ErrNotMember = errors.New("raft: conf change references a non-member")
+
+// ProposeConfChange appends a membership change to the log. Like Propose
+// it only works on the leader; unlike Propose at most one change may be
+// unapplied at a time.
+func (n *Node) ProposeConfChange(cc ConfChange) (uint64, error) {
+	if n.state != StateLeader {
+		return 0, ErrNotLeader
+	}
+	if n.transferee != None {
+		return 0, ErrTransferring
+	}
+	if n.pendingConfIndex > n.log.Applied() {
+		return 0, ErrPendingConf
+	}
+	switch cc.Op {
+	case ConfAddVoter:
+		if n.voters[cc.Node] {
+			return 0, fmt.Errorf("%w: %d is already a voter", ErrNotMember, cc.Node)
+		}
+	case ConfAddLearner:
+		if n.voters[cc.Node] || n.learners[cc.Node] {
+			return 0, fmt.Errorf("%w: %d is already a member", ErrNotMember, cc.Node)
+		}
+	case ConfRemoveNode:
+		if !n.voters[cc.Node] && !n.learners[cc.Node] {
+			return 0, fmt.Errorf("%w: %d is not a member", ErrNotMember, cc.Node)
+		}
+	default:
+		return 0, fmt.Errorf("raft: bad conf change op %d", cc.Op)
+	}
+	idx := n.log.AppendTyped(n.term, EntryConfChange, EncodeConfChange(cc))
+	n.pendingConfIndex = idx
+	n.maybeCommit()
+	n.broadcastAppend()
+	return idx, nil
+}
+
+// applyConfChange mutates the membership when an EntryConfChange is
+// applied. It is idempotent: replays (snapshot overlap, restart) converge.
+func (n *Node) applyConfChange(cc ConfChange) {
+	switch cc.Op {
+	case ConfAddVoter:
+		delete(n.learners, cc.Node)
+		n.voters[cc.Node] = true
+	case ConfAddLearner:
+		if !n.voters[cc.Node] {
+			n.learners[cc.Node] = true
+		}
+	case ConfRemoveNode:
+		delete(n.voters, cc.Node)
+		delete(n.learners, cc.Node)
+	}
+	n.rebuildMembership()
+	n.trace(EventConfChange)
+
+	if cc.Node == n.id && cc.Op == ConfRemoveNode {
+		// We are out: stop participating. A removed leader abdicates after
+		// the change commits (which it has, or we would not be applying it).
+		n.removed = true
+		if n.state == StateLeader {
+			n.becomeFollower(n.term, None)
+		}
+		return
+	}
+	if n.state == StateLeader {
+		switch cc.Op {
+		case ConfAddVoter, ConfAddLearner:
+			if cc.Node != n.id {
+				if _, ok := n.prs[cc.Node]; !ok {
+					n.prs[cc.Node] = &progress{next: n.log.LastIndex() + 1}
+					n.sendAppend(cc.Node)
+					n.sendHeartbeat(cc.Node)
+					if !n.cfg.ConsolidatedHeartbeats {
+						now := n.cfg.Runtime.Now()
+						n.cfg.Runtime.SetTimer(TimerHeartbeat, cc.Node, now+n.cfg.Tuner.HeartbeatInterval(cc.Node))
+					}
+				}
+			}
+		case ConfRemoveNode:
+			// One final append delivers the commit index covering the
+			// removal entry, so the victim learns it is out and goes quiet
+			// instead of campaigning against the survivors.
+			n.sendAppend(cc.Node)
+			delete(n.prs, cc.Node)
+			n.cfg.Runtime.CancelTimer(TimerHeartbeat, cc.Node)
+			// The quorum may have shrunk: entries waiting on the removed
+			// node's ack can be committable now.
+			if n.maybeCommit() {
+				n.broadcastAppend()
+			}
+		}
+	}
+}
+
+// adoptMembership replaces the whole membership (snapshot install or
+// restore: the snapshot's ConfState supersedes local knowledge).
+func (n *Node) adoptMembership(voters, learners []ID) {
+	n.voters = make(map[ID]bool, len(voters))
+	n.learners = make(map[ID]bool, len(learners))
+	for _, id := range voters {
+		n.voters[id] = true
+	}
+	for _, id := range learners {
+		n.learners[id] = true
+	}
+	n.rebuildMembership()
+	n.removed = !n.voters[n.id] && !n.learners[n.id]
+}
+
+// rebuildMembership recomputes the caches derived from the voter/learner
+// sets: the remote-member list and the majority size.
+func (n *Node) rebuildMembership() {
+	n.peers = n.peers[:0]
+	for id := range n.voters {
+		if id != n.id {
+			n.peers = append(n.peers, id)
+		}
+	}
+	for id := range n.learners {
+		if id != n.id {
+			n.peers = append(n.peers, id)
+		}
+	}
+	// Deterministic order keeps simulations reproducible (map iteration is
+	// randomized).
+	for i := 1; i < len(n.peers); i++ {
+		for j := i; j > 0 && n.peers[j] < n.peers[j-1]; j-- {
+			n.peers[j], n.peers[j-1] = n.peers[j-1], n.peers[j]
+		}
+	}
+	n.quorum = len(n.voters)/2 + 1
+}
+
+// isVoter reports whether the node itself currently holds a vote.
+func (n *Node) isVoter() bool { return n.voters[n.id] }
+
+// Voters returns the current voting membership (sorted).
+func (n *Node) Voters() []ID { return sortedIDs(n.voters) }
+
+// Learners returns the current non-voting membership (sorted).
+func (n *Node) Learners() []ID { return sortedIDs(n.learners) }
+
+// IsLearner reports whether the node itself is currently a learner.
+func (n *Node) IsLearner() bool { return n.learners[n.id] }
+
+// Removed reports whether the node has been removed from the cluster.
+func (n *Node) Removed() bool { return n.removed }
+
+func sortedIDs(set map[ID]bool) []ID {
+	out := make([]ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

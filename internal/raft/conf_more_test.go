@@ -1,0 +1,193 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+func TestTransferToLearnerRefused(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 4
+	opts.memberN = 3
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.addNode(4, []ID{1, 2, 3}, []ID{4})
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddLearner, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	if err := lead.TransferLeadership(4); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("transfer to learner: err=%v, want ErrUnknownPeer", err)
+	}
+	// After promotion the transfer is allowed.
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddVoter, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	if err := lead.TransferLeadership(4); err != nil {
+		t.Fatalf("transfer to promoted voter: %v", err)
+	}
+	c.run(5 * time.Second)
+	if got := c.leader(); got == nil || got.ID() != 4 {
+		t.Fatalf("leadership did not land on the promoted node: %v", got)
+	}
+}
+
+func TestLearnerCatchesUpViaSnapshot(t *testing.T) {
+	// A learner joining after the log was compacted must be brought up via
+	// InstallSnapshot — and the snapshot carries the membership.
+	opts := defaultOpts()
+	opts.n = 4
+	opts.memberN = 3
+	c, _ := newSnapshotCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := lead.Propose([]byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.run(2 * time.Second)
+	for _, n := range c.nodes {
+		n.CompactLog(4)
+	}
+	if lead.Log().FirstIndex() < 10 {
+		t.Fatalf("compaction did not advance the floor (first=%d)", lead.Log().FirstIndex())
+	}
+	// The tail below FirstIndex is gone; the fresh learner must be fed by
+	// InstallSnapshot, whose membership payload includes its learner role.
+	joinerSM := &miniSM{}
+	rt := &testRuntime{
+		eng:     c.eng,
+		net:     c.net,
+		id:      4,
+		timers:  map[timerKey]sim.Handle{},
+		hbClass: c.rts[0].hbClass,
+	}
+	joiner, err := NewNode(Config{
+		ID:              4,
+		Peers:           []ID{1, 2, 3},
+		Learners:        []ID{4},
+		Runtime:         rt,
+		Tuner:           NewStaticTuner(1000*time.Millisecond, 100*time.Millisecond),
+		Tracer:          recordTracer{c},
+		Apply:           joinerSM.apply,
+		SnapshotData:    joinerSM.snapshot,
+		RestoreSnapshot: joinerSM.restore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.node = joiner
+	c.rts = append(c.rts, rt)
+	c.nodes = append(c.nodes, joiner)
+	joiner.Start()
+
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddLearner, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(5 * time.Second)
+	if joiner.Log().Committed() < lead.Log().Committed()-1 {
+		t.Fatalf("learner commit %d lags leader %d", joiner.Log().Committed(), lead.Log().Committed())
+	}
+	if !joiner.IsLearner() {
+		t.Fatal("joiner lost its learner status")
+	}
+	if len(joiner.Voters()) != 3 {
+		t.Fatalf("joiner's membership after snapshot: voters %v", joiner.Voters())
+	}
+}
+
+func TestReadIndexSurvivesConfChange(t *testing.T) {
+	// A membership change mid-flight must not break read confirmation: the
+	// quorum requirement follows the *new* configuration once applied.
+	opts := defaultOpts()
+	opts.n = 5
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.run(time.Second)
+	var victim ID
+	for _, n := range c.nodes {
+		if n != lead {
+			victim = n.ID()
+			break
+		}
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: victim}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	if lead.Quorum() != 3 {
+		t.Fatalf("quorum = %d, want 3 of 4", lead.Quorum())
+	}
+	confirmed := false
+	if err := lead.ReadIndex(func(_ uint64, ok bool) { confirmed = ok }); err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+	if !confirmed {
+		t.Fatal("read not confirmed under the shrunk membership")
+	}
+}
+
+func TestRemovedNodeVoteNotCounted(t *testing.T) {
+	// After removal commits, the removed node's (stale) vote responses
+	// must not count toward a quorum: with 2 of 4 remaining voters down, a
+	// candidate plus the removed node is NOT a majority.
+	opts := defaultOpts()
+	opts.n = 5
+	opts.seed = 31
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	var victim ID
+	for _, n := range c.nodes {
+		if n != lead {
+			victim = n.ID()
+			break
+		}
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: victim}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	// 4 voters remain; quorum 3. Crash two of them (keep the leader and
+	// one follower): no quorum should be electable if the leader also
+	// dies, regardless of what the removed node says.
+	var keep ID
+	crashed := 0
+	for _, n := range c.nodes {
+		id := n.ID()
+		if id == lead.ID() || id == victim {
+			continue
+		}
+		if keep == None {
+			keep = id
+			continue
+		}
+		c.crash(id)
+		crashed++
+	}
+	if crashed != 2 {
+		t.Fatalf("crashed %d, want 2", crashed)
+	}
+	c.crash(lead.ID())
+	c.run(10 * time.Second)
+	if l := c.leader(); l != nil {
+		t.Fatalf("node %d won with only 1 live voter + a removed node", l.ID())
+	}
+}

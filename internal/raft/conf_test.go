@@ -1,0 +1,373 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+func TestConfChangeCodecRoundtrip(t *testing.T) {
+	for _, cc := range []ConfChange{
+		{Op: ConfAddVoter, Node: 4},
+		{Op: ConfAddLearner, Node: 9},
+		{Op: ConfRemoveNode, Node: 1},
+	} {
+		got, err := DecodeConfChange(EncodeConfChange(cc))
+		if err != nil {
+			t.Fatalf("%+v: %v", cc, err)
+		}
+		if got != cc {
+			t.Fatalf("roundtrip %+v -> %+v", cc, got)
+		}
+	}
+}
+
+func TestConfChangeCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeConfChange(nil); err == nil {
+		t.Fatal("nil should fail")
+	}
+	if _, err := DecodeConfChange(make([]byte, 9)); err == nil {
+		t.Fatal("op 0 should fail")
+	}
+	bad := EncodeConfChange(ConfChange{Op: ConfAddVoter, Node: 1})
+	bad[0] = 99
+	if _, err := DecodeConfChange(bad); err == nil {
+		t.Fatal("bad op should fail")
+	}
+}
+
+// addNodeToCluster grows the harness with a fresh node that believes the
+// membership already includes it, mirroring how an operator boots a
+// joining member.
+func (c *testCluster) addNode(id ID, voters []ID, learners []ID) *Node {
+	rt := &testRuntime{
+		eng:     c.eng,
+		net:     c.net,
+		id:      id,
+		timers:  map[timerKey]sim.Handle{},
+		hbClass: c.rts[0].hbClass,
+	}
+	node, err := NewNode(Config{
+		ID:       id,
+		Peers:    voters,
+		Learners: learners,
+		Runtime:  rt,
+		Tuner:    NewStaticTuner(1000*time.Millisecond, 100*time.Millisecond),
+		Tracer:   recordTracer{c},
+		Apply:    func(ents []Entry) { rt.applied = append(rt.applied, ents...) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	rt.node = node
+	c.rts = append(c.rts, rt)
+	c.nodes = append(c.nodes, node)
+	node.Start()
+	return node
+}
+
+func TestConfChangeAddVoter(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 4 // node 4 exists in the mesh but starts outside the cluster
+	opts.memberN = 3
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	joiner := c.addNode(4, []ID{1, 2, 3, 4}, nil)
+
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddVoter, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+
+	if got := len(lead.Voters()); got != 4 {
+		t.Fatalf("leader sees %d voters, want 4", got)
+	}
+	if lead.Quorum() != 3 {
+		t.Fatalf("quorum = %d, want 3 of 4", lead.Quorum())
+	}
+	// The joiner replicates and can now vote: kill the leader and require
+	// a successor (which may be the joiner).
+	if _, err := lead.Propose([]byte("post-join")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+	if joiner.Log().Committed() == 0 {
+		t.Fatal("joiner never received the log")
+	}
+	c.crash(lead.ID())
+	c.run(5 * time.Second)
+	if c.leader() == nil {
+		t.Fatal("no leader elected after failure with expanded membership")
+	}
+	if err := c.checkElectionSafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfChangeLearnerDoesNotVoteOrCampaign(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 4
+	opts.memberN = 3
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	learner := c.addNode(4, []ID{1, 2, 3}, []ID{4})
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddLearner, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+
+	// Quorum unchanged: learners carry no vote.
+	if lead.Quorum() != 2 {
+		t.Fatalf("quorum = %d, want 2 (learner must not count)", lead.Quorum())
+	}
+	// The learner replicates.
+	if _, err := lead.Propose([]byte("to-learner")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+	if learner.Log().Committed() == 0 {
+		t.Fatal("learner never replicated")
+	}
+	if !learner.IsLearner() {
+		t.Fatal("joiner does not know it is a learner")
+	}
+
+	// Kill everyone but the learner: it must never become leader.
+	c.crash(1)
+	c.crash(2)
+	c.crash(3)
+	c.run(10 * time.Second)
+	if learner.State() == StateLeader || learner.State() == StateCandidate {
+		t.Fatalf("learner reached state %v", learner.State())
+	}
+}
+
+func TestConfChangePromoteLearner(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 4
+	opts.memberN = 3
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.addNode(4, []ID{1, 2, 3}, []ID{4})
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddLearner, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddVoter, Node: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	if lead.Quorum() != 3 {
+		t.Fatalf("quorum after promotion = %d, want 3", lead.Quorum())
+	}
+	if c.nodes[3].IsLearner() {
+		t.Fatal("promoted node still believes it is a learner")
+	}
+	if len(lead.Learners()) != 0 {
+		t.Fatalf("leader still lists learners: %v", lead.Learners())
+	}
+}
+
+func TestConfChangeRemoveFollower(t *testing.T) {
+	c := newTestCluster(defaultOpts())
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	var victim ID
+	for _, n := range c.nodes {
+		if n != lead {
+			victim = n.ID()
+			break
+		}
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: victim}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	if lead.Quorum() != 2 {
+		t.Fatalf("quorum = %d, want 2 of 2", lead.Quorum())
+	}
+	if !c.nodes[victim-1].Removed() {
+		t.Fatal("removed node does not know it was removed")
+	}
+	// The removed node must stay quiet: no campaigns disturbing the
+	// remaining pair.
+	termBefore := lead.Term()
+	c.run(5 * time.Second)
+	if c.leader() == nil || c.leader().Term() != termBefore {
+		t.Fatalf("removal destabilized the cluster (term %d -> %v)", termBefore, c.leader())
+	}
+	// And the 2-node cluster still commits.
+	if _, err := c.leader().Propose([]byte("after-removal")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+	if c.leader().Log().Committed() == 0 {
+		t.Fatal("post-removal proposal never committed")
+	}
+}
+
+func TestConfChangeRemoveLeaderStepsDown(t *testing.T) {
+	c := newTestCluster(defaultOpts())
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: lead.ID()}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(5 * time.Second)
+	if lead.State() == StateLeader {
+		t.Fatal("removed leader did not step down")
+	}
+	if !lead.Removed() {
+		t.Fatal("removed leader does not know it was removed")
+	}
+	newLead := c.leader()
+	if newLead == nil {
+		t.Fatal("survivors elected no successor")
+	}
+	if newLead.ID() == lead.ID() {
+		t.Fatal("removed node regained leadership")
+	}
+	if got := len(newLead.Voters()); got != 2 {
+		t.Fatalf("successor sees %d voters, want 2", got)
+	}
+}
+
+func TestConfChangePendingGuard(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 5
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	var targets []ID
+	for _, n := range c.nodes {
+		if n != lead {
+			targets = append(targets, n.ID())
+		}
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: targets[0]}); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately stacking a second change must be refused.
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: targets[1]}); err != ErrPendingConf {
+		t.Fatalf("second change: err=%v, want ErrPendingConf", err)
+	}
+	c.run(2 * time.Second)
+	// After the first applies, the next is allowed.
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: targets[1]}); err != nil {
+		t.Fatalf("after apply: %v", err)
+	}
+}
+
+func TestConfChangeValidation(t *testing.T) {
+	c := newTestCluster(defaultOpts())
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddVoter, Node: lead.ID()}); err == nil {
+		t.Fatal("re-adding an existing voter should fail")
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: 99}); err == nil {
+		t.Fatal("removing a non-member should fail")
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfAddLearner, Node: lead.ID()}); err == nil {
+		t.Fatal("demoting a voter via add-learner should fail")
+	}
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			follower = n
+			break
+		}
+	}
+	if _, err := follower.ProposeConfChange(ConfChange{Op: ConfAddVoter, Node: 9}); err != ErrNotLeader {
+		t.Fatalf("follower conf change: err=%v, want ErrNotLeader", err)
+	}
+}
+
+func TestConfChangeSnapshotCarriesMembership(t *testing.T) {
+	// Compact conf changes below the snapshot floor, then restore a node
+	// from the snapshot: the membership must arrive via the snapshot.
+	m := &fakePersister{}
+	_ = m
+	snap := Snapshot{Index: 10, Term: 2, Data: []byte("app"), Voters: []ID{1, 2, 3, 4}, Learners: []ID{5}}
+	opts := defaultOpts()
+	c := newTestCluster(opts)
+	rt := c.rts[0]
+	node, err := NewNode(Config{
+		ID:      1,
+		Peers:   []ID{1, 2, 3}, // stale config: snapshot must override
+		Runtime: rt,
+		Tuner:   NewStaticTuner(time.Second, 100*time.Millisecond),
+		Restored: &Restored{
+			HardState: HardState{Term: 2},
+			Snapshot:  &snap,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(node.Voters()); got != 4 {
+		t.Fatalf("restored voters %v, want 4", node.Voters())
+	}
+	if got := node.Learners(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("restored learners %v, want [5]", got)
+	}
+	if node.Quorum() != 3 {
+		t.Fatalf("restored quorum %d, want 3", node.Quorum())
+	}
+}
+
+func TestConfChangeSurvivesLeaderFailover(t *testing.T) {
+	// A conf change committed just before the leader dies must hold on the
+	// successor.
+	opts := defaultOpts()
+	opts.n = 5
+	opts.seed = 7
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	var victim ID
+	for _, n := range c.nodes {
+		if n != lead {
+			victim = n.ID()
+			break
+		}
+	}
+	if _, err := lead.ProposeConfChange(ConfChange{Op: ConfRemoveNode, Node: victim}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	c.crash(lead.ID())
+	c.run(10 * time.Second)
+	newLead := c.leader()
+	if newLead == nil {
+		t.Fatal("no successor")
+	}
+	if got := len(newLead.Voters()); got != 4 {
+		t.Fatalf("successor sees %d voters, want 4", got)
+	}
+	for _, v := range newLead.Voters() {
+		if v == victim {
+			t.Fatalf("removed node %d still a voter on the successor", victim)
+		}
+	}
+}

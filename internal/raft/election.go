@@ -1,0 +1,218 @@
+package raft
+
+// campaign starts a pre-vote round (or a real election when pre-vote is
+// disabled). Called on election timeout. Only voters campaign; vote
+// requests go to voters only — learners hold no vote to ask for.
+func (n *Node) campaign() {
+	if n.removed || !n.isVoter() {
+		return
+	}
+	if n.quorum == 1 {
+		// We are the only voter: win immediately.
+		n.becomeCandidate()
+		n.becomeLeader()
+		return
+	}
+	if n.cfg.DisablePreVote {
+		n.startElection()
+		return
+	}
+	n.becomePreCandidate()
+	n.trace(EventCampaign)
+	last, lastTerm := n.log.LastIndex(), n.log.LastTerm()
+	for _, p := range n.peers {
+		if !n.voters[p] {
+			continue
+		}
+		n.send(Message{
+			Type:    MsgPreVote,
+			To:      p,
+			Term:    n.term + 1, // pre-vote probes the next term without claiming it
+			Index:   last,
+			LogTerm: lastTerm,
+		})
+	}
+}
+
+// startElection begins a real election (term increment + RequestVote).
+func (n *Node) startElection() {
+	n.becomeCandidate()
+	n.trace(EventCampaign)
+	if n.quorum == 1 {
+		n.becomeLeader()
+		return
+	}
+	last, lastTerm := n.log.LastIndex(), n.log.LastTerm()
+	for _, p := range n.peers {
+		if !n.voters[p] {
+			continue
+		}
+		n.send(Message{
+			Type:    MsgVote,
+			To:      p,
+			Term:    n.term,
+			Index:   last,
+			LogTerm: lastTerm,
+		})
+	}
+}
+
+// inLease reports whether this node has heard from a live leader recently
+// enough that it should ignore vote requests (etcd's leader-stickiness /
+// CheckQuorum lease). A current leader is always in lease for itself.
+func (n *Node) inLease() bool {
+	if n.cfg.DisableCheckQuorum {
+		return false
+	}
+	if n.state == StateLeader {
+		return true
+	}
+	if n.lead == None {
+		return false
+	}
+	return n.cfg.Runtime.Now()-n.lastLeaderContact < n.cfg.Tuner.ElectionTimeout()
+}
+
+// Step processes one incoming message. It is the node's main entry point.
+func (n *Node) Step(m Message) {
+	if m.To != n.id && m.To != None {
+		return // misrouted
+	}
+	if (m.Type == MsgVote || m.Type == MsgPreVote) && !m.Transfer && n.inLease() {
+		// Leader stickiness (etcd CheckQuorum lease): while we can still
+		// hear a leader, ignore campaigners entirely — before any term
+		// bump, so a disruptive candidate cannot force the cluster's term
+		// up. This is the behaviour that lets a healthy leader survive
+		// Fig. 6b's false detections.
+		return
+	}
+	switch {
+	case m.Term > n.term:
+		switch {
+		case m.Type == MsgPreVote:
+			// Pre-votes probe term+1 without claiming it; never move our
+			// term in response.
+		case m.Type == MsgPreVoteResp && !m.Reject:
+			// Grants echo the probed future term; no term change either.
+		default:
+			var lead ID
+			if m.Type == MsgApp || m.Type == MsgHeartbeat || m.Type == MsgSnap {
+				lead = m.From
+			}
+			n.becomeFollower(m.Term, lead)
+		}
+	case m.Term < n.term:
+		switch m.Type {
+		case MsgApp, MsgHeartbeat, MsgSnap:
+			// A stale leader: tell it about the newer term so it steps
+			// down (etcd replies MsgAppResp carrying the higher term).
+			n.send(Message{Type: MsgAppResp, To: m.From, Term: n.term, Reject: true, Hint: n.log.LastIndex()})
+		case MsgPreVote, MsgVote:
+			n.send(Message{Type: voteRespType(m.Type), To: m.From, Term: n.term, Reject: true})
+		}
+		return
+	}
+
+	switch m.Type {
+	case MsgPreVote:
+		n.handlePreVote(m)
+	case MsgVote:
+		n.handleVote(m)
+	case MsgPreVoteResp:
+		n.handlePreVoteResp(m)
+	case MsgVoteResp:
+		n.handleVoteResp(m)
+	case MsgApp:
+		n.handleAppend(m)
+	case MsgAppResp:
+		n.handleAppendResp(m)
+	case MsgHeartbeat:
+		n.handleHeartbeat(m)
+	case MsgHeartbeatResp:
+		n.handleHeartbeatResp(m)
+	case MsgSnap:
+		n.handleSnapshot(m)
+	case MsgTimeoutNow:
+		n.handleTimeoutNow(m)
+	}
+}
+
+func voteRespType(t MsgType) MsgType {
+	if t == MsgPreVote {
+		return MsgPreVoteResp
+	}
+	return MsgVoteResp
+}
+
+func (n *Node) handlePreVote(m Message) {
+	// The lease check happened in Step; grant without changing local
+	// state. A grant echoes the probed future term; a rejection carries
+	// our own term (etcd behaviour) so it cannot inflate the candidate's
+	// term unless we genuinely are ahead. Non-voters have no vote to
+	// promise.
+	if n.isVoter() && m.Term > n.term && n.log.IsUpToDate(m.Index, m.LogTerm) {
+		n.send(Message{Type: MsgPreVoteResp, To: m.From, Term: m.Term})
+		return
+	}
+	n.send(Message{Type: MsgPreVoteResp, To: m.From, Term: n.term, Reject: true})
+}
+
+func (n *Node) handleVote(m Message) {
+	// Term handling in Step already bumped us to m.Term if it was ahead.
+	canVote := n.isVoter() &&
+		(n.vote == None || n.vote == m.From) &&
+		n.log.IsUpToDate(m.Index, m.LogTerm) &&
+		n.state == StateFollower
+	if canVote {
+		n.vote = m.From
+		n.persistHardState()
+		n.redrawRandom()
+		n.resetElectionTimer()
+	}
+	n.send(Message{Type: MsgVoteResp, To: m.From, Term: n.term, Reject: !canVote})
+}
+
+func (n *Node) handlePreVoteResp(m Message) {
+	if n.state != StatePreCandidate {
+		return
+	}
+	// Grants echo the probed term (ours+1); rejections carry the
+	// rejecter's term, which is ours when we are merely outvoted (higher
+	// terms were handled in Step by reverting to follower).
+	if (!m.Reject && m.Term != n.term+1) || (m.Reject && m.Term != n.term) {
+		return
+	}
+	n.tally(m.From, !m.Reject)
+	switch {
+	case n.count(n.granted) >= n.quorum:
+		n.startElection()
+	case n.count(n.refused) >= n.quorum:
+		n.becomeFollower(n.term, None)
+	}
+}
+
+func (n *Node) handleVoteResp(m Message) {
+	if n.state != StateCandidate || m.Term != n.term {
+		return
+	}
+	n.tally(m.From, !m.Reject)
+	switch {
+	case n.count(n.granted) >= n.quorum:
+		n.becomeLeader()
+	case n.count(n.refused) >= n.quorum:
+		n.becomeFollower(n.term, None)
+	}
+}
+
+func (n *Node) tally(from ID, granted bool) {
+	if !n.voters[from] {
+		return // a non-voter's opinion carries no weight
+	}
+	if granted {
+		n.granted[from] = true
+	} else {
+		n.refused[from] = true
+	}
+}
+
+func (n *Node) count(set map[ID]bool) int { return len(set) }

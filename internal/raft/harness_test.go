@@ -1,0 +1,283 @@
+package raft
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/sim"
+)
+
+// testRuntime adapts one Node to the sim engine and a netsim network.
+// It is a miniature version of the full cluster harness (which lives in
+// internal/cluster); keeping a local copy lets the raft package be tested
+// in isolation.
+type testRuntime struct {
+	eng    *sim.Engine
+	net    *netsim.Network[Message]
+	id     ID
+	node   *Node
+	timers map[timerKey]sim.Handle
+	// class decides how heartbeats travel; consensus always uses TCP.
+	hbClass netsim.Class
+	applied []Entry
+	down    bool
+}
+
+type timerKey struct {
+	kind TimerKind
+	peer ID
+}
+
+func (rt *testRuntime) Now() time.Duration { return rt.eng.Now() }
+func (rt *testRuntime) Rand() *rand.Rand   { return rt.eng.Rand() }
+
+func (rt *testRuntime) Send(m Message) {
+	cls := netsim.TCP
+	if m.Type == MsgHeartbeat || m.Type == MsgHeartbeatResp {
+		cls = rt.hbClass
+	}
+	rt.net.Send(int(rt.id-1), int(m.To-1), cls, m)
+}
+
+func (rt *testRuntime) SetTimer(kind TimerKind, peer ID, at time.Duration) {
+	key := timerKey{kind, peer}
+	if h, ok := rt.timers[key]; ok {
+		rt.eng.Cancel(h)
+	}
+	rt.timers[key] = rt.eng.Schedule(at, func() {
+		delete(rt.timers, key)
+		if !rt.down {
+			rt.node.OnTimer(kind, peer)
+		}
+	})
+}
+
+func (rt *testRuntime) CancelTimer(kind TimerKind, peer ID) {
+	key := timerKey{kind, peer}
+	if h, ok := rt.timers[key]; ok {
+		rt.eng.Cancel(h)
+		delete(rt.timers, key)
+	}
+}
+
+// testCluster wires n nodes over a simulated network.
+type testCluster struct {
+	eng    *sim.Engine
+	net    *netsim.Network[Message]
+	rts    []*testRuntime
+	nodes  []*Node
+	events []Event
+}
+
+type clusterOpts struct {
+	n int
+	// memberN, when non-zero, makes only the first memberN mesh endpoints
+	// initial cluster members; the rest join later via addNode +
+	// ProposeConfChange.
+	memberN    int
+	seed       int64
+	params     netsim.Params
+	tuners     func(i int) Tuner
+	hbClass    netsim.Class
+	noPreVote  bool
+	noCheckQ   bool
+	dropVotes  bool // used by targeted tests
+	interceptf func(to int, m Message) bool
+	// persisters, if set, supplies one Persister per node.
+	persisters func(i int) Persister
+}
+
+func defaultOpts() clusterOpts {
+	return clusterOpts{
+		n:      3,
+		seed:   1,
+		params: netsim.Params{RTT: 10 * time.Millisecond, Jitter: time.Millisecond},
+		tuners: func(int) Tuner {
+			return NewStaticTuner(1000*time.Millisecond, 100*time.Millisecond)
+		},
+		hbClass: netsim.TCP,
+	}
+}
+
+type recordTracer struct{ c *testCluster }
+
+func (r recordTracer) Trace(ev Event) { r.c.events = append(r.c.events, ev) }
+
+func newTestCluster(opts clusterOpts) *testCluster {
+	c := &testCluster{eng: sim.NewEngine(opts.seed)}
+	c.net = netsim.New[Message](c.eng, opts.n, netsim.Constant(opts.params), func(to int, m Message) {
+		if to >= len(c.rts) {
+			return // endpoint exists in the mesh but has not joined yet
+		}
+		rt := c.rts[to]
+		if rt.down {
+			return
+		}
+		if opts.interceptf != nil && !opts.interceptf(to, m) {
+			return
+		}
+		rt.node.Step(m)
+	})
+	memberN := opts.memberN
+	if memberN == 0 {
+		memberN = opts.n
+	}
+	peers := make([]ID, memberN)
+	for i := range peers {
+		peers[i] = ID(i + 1)
+	}
+	for i := 0; i < memberN; i++ {
+		rt := &testRuntime{
+			eng:     c.eng,
+			net:     c.net,
+			id:      ID(i + 1),
+			timers:  map[timerKey]sim.Handle{},
+			hbClass: opts.hbClass,
+		}
+		var p Persister
+		if opts.persisters != nil {
+			p = opts.persisters(i)
+		}
+		node, err := NewNode(Config{
+			ID:                 ID(i + 1),
+			Peers:              peers,
+			Runtime:            rt,
+			Tuner:              opts.tuners(i),
+			Tracer:             recordTracer{c},
+			Apply:              func(ents []Entry) { rt.applied = append(rt.applied, ents...) },
+			DisablePreVote:     opts.noPreVote,
+			DisableCheckQuorum: opts.noCheckQ,
+			Persister:          p,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt.node = node
+		c.rts = append(c.rts, rt)
+		c.nodes = append(c.nodes, node)
+	}
+	for _, n := range c.nodes {
+		n.Start()
+	}
+	return c
+}
+
+// run advances the simulation d of virtual time.
+func (c *testCluster) run(d time.Duration) {
+	c.eng.Run(c.eng.Now() + d)
+}
+
+// leader returns the unique live leader, or nil.
+func (c *testCluster) leader() *Node {
+	var lead *Node
+	for i, n := range c.nodes {
+		if c.rts[i].down {
+			continue
+		}
+		if n.State() == StateLeader {
+			if lead != nil {
+				// Two leaders may coexist transiently at different terms;
+				// prefer the higher term.
+				if n.Term() > lead.Term() {
+					lead = n
+				}
+				continue
+			}
+			lead = n
+		}
+	}
+	return lead
+}
+
+// waitLeader runs until a leader exists (or the deadline passes) and
+// returns it.
+func (c *testCluster) waitLeader(deadline time.Duration) *Node {
+	for c.eng.Now() < deadline {
+		if l := c.leader(); l != nil {
+			return l
+		}
+		c.run(10 * time.Millisecond)
+	}
+	return c.leader()
+}
+
+// crash freezes a node: it stops processing messages and timers.
+func (c *testCluster) crash(id ID) {
+	c.rts[id-1].down = true
+}
+
+// restart unfreezes a node (its volatile state persists, like a paused
+// container resuming).
+func (c *testCluster) restart(id ID) {
+	rt := c.rts[id-1]
+	rt.down = false
+	// Re-arm its election timer: frozen timers fired into the void.
+	rt.node.Start()
+}
+
+func (c *testCluster) checkElectionSafety() error {
+	// At most one leader per term, ever, judging by trace events.
+	byTerm := map[uint64]ID{}
+	for _, ev := range c.events {
+		if ev.Kind != EventLeaderElected {
+			continue
+		}
+		if prev, ok := byTerm[ev.Term]; ok && prev != ev.Node {
+			return fmt.Errorf("two leaders in term %d: %d and %d", ev.Term, prev, ev.Node)
+		}
+		byTerm[ev.Term] = ev.Node
+	}
+	return nil
+}
+
+func (c *testCluster) checkLogMatching() error {
+	// If two logs contain an entry with the same index and term, the
+	// entries (and all preceding ones) must be identical.
+	for i := 0; i < len(c.nodes); i++ {
+		for j := i + 1; j < len(c.nodes); j++ {
+			li, lj := c.nodes[i].Log(), c.nodes[j].Log()
+			lo := max(li.FirstIndex()+1, lj.FirstIndex()+1)
+			hi := min(li.LastIndex(), lj.LastIndex())
+			for idx := hi; idx >= lo && idx > 0; idx-- {
+				ti, _ := li.Term(idx)
+				tj, _ := lj.Term(idx)
+				if ti == tj {
+					ei, _ := li.Entry(idx)
+					ej, _ := lj.Entry(idx)
+					if string(ei.Data) != string(ej.Data) {
+						return fmt.Errorf("log matching violated at index %d", idx)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *testCluster) checkCommittedPrefixAgreement() error {
+	// Committed entries must agree across all nodes.
+	minCommit := uint64(1<<63 - 1)
+	for _, n := range c.nodes {
+		if cm := n.Log().Committed(); cm < minCommit {
+			minCommit = cm
+		}
+	}
+	for idx := uint64(1); idx <= minCommit; idx++ {
+		var data *string
+		for _, n := range c.nodes {
+			e, ok := n.Log().Entry(idx)
+			if !ok {
+				continue // compacted
+			}
+			s := string(e.Data)
+			if data == nil {
+				data = &s
+			} else if *data != s {
+				return fmt.Errorf("committed entry %d differs across nodes", idx)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package raft
+
+import "fmt"
+
+// Log is the in-memory replicated log. Index 0 is a sentinel (term 0);
+// real entries start at index 1. A production deployment would persist
+// entries and compact with snapshots; the evaluation workloads here are
+// bounded, so the log additionally supports manual compaction that keeps
+// a tail window (CompactTo) to bound memory in long simulations.
+type Log struct {
+	// offset is the index of entries[0]. Compaction advances it.
+	offset  uint64
+	entries []Entry
+
+	committed uint64
+	applied   uint64
+
+	obs LogObserver
+}
+
+// LogObserver is notified synchronously of log mutations that must be made
+// durable; the node installs one when a Persister is configured.
+type LogObserver interface {
+	// Appended reports entries added after the current tail.
+	Appended(entries []Entry)
+	// TruncatedFrom reports that entries with Index >= index were dropped
+	// (a conflicting suffix being replaced).
+	TruncatedFrom(index uint64)
+}
+
+// NewLog returns a log containing only the index-0 sentinel.
+func NewLog() *Log {
+	return &Log{entries: []Entry{{Term: 0, Index: 0}}}
+}
+
+// NewLogFromState rebuilds a log from recovered durable state: a snapshot
+// floor (snapIndex, snapTerm) — zero for none — and the contiguous entry
+// suffix above it. Commit and apply restart at the snapshot floor.
+func NewLogFromState(snapIndex, snapTerm uint64, entries []Entry) *Log {
+	l := &Log{
+		offset:    snapIndex,
+		entries:   make([]Entry, 1, len(entries)+1),
+		committed: snapIndex,
+		applied:   snapIndex,
+	}
+	l.entries[0] = Entry{Term: snapTerm, Index: snapIndex}
+	for _, e := range entries {
+		if e.Index != l.LastIndex()+1 {
+			panic(fmt.Sprintf("raft: restored entries not contiguous at %d (want %d)", e.Index, l.LastIndex()+1))
+		}
+		l.entries = append(l.entries, e)
+	}
+	return l
+}
+
+// SetObserver installs the durability observer. Pre-existing entries (a
+// restored suffix) are not re-notified.
+func (l *Log) SetObserver(obs LogObserver) { l.obs = obs }
+
+// LastIndex returns the index of the last entry.
+func (l *Log) LastIndex() uint64 {
+	return l.offset + uint64(len(l.entries)) - 1
+}
+
+// FirstIndex returns the index of the oldest retained entry (the sentinel
+// counts, so this is offset).
+func (l *Log) FirstIndex() uint64 { return l.offset }
+
+// Committed returns the commit index.
+func (l *Log) Committed() uint64 { return l.committed }
+
+// Applied returns the apply index.
+func (l *Log) Applied() uint64 { return l.applied }
+
+// Term returns the term of the entry at index i, or false if i has been
+// compacted away or lies beyond the last entry.
+func (l *Log) Term(i uint64) (uint64, bool) {
+	if i < l.offset || i > l.LastIndex() {
+		return 0, false
+	}
+	return l.entries[i-l.offset].Term, true
+}
+
+// Entry returns the real entry at index i. The compaction sentinel at
+// FirstIndex does not count (its Data was discarded); use Term for
+// consistency checks at that position.
+func (l *Log) Entry(i uint64) (Entry, bool) {
+	if i <= l.offset || i > l.LastIndex() {
+		return Entry{}, false
+	}
+	return l.entries[i-l.offset], true
+}
+
+// LastTerm returns the term of the last entry.
+func (l *Log) LastTerm() uint64 {
+	t, _ := l.Term(l.LastIndex())
+	return t
+}
+
+// Append adds entries after the current last index, assigning indexes.
+// It returns the new last index.
+func (l *Log) Append(term uint64, data ...[]byte) uint64 {
+	first := len(l.entries)
+	for _, d := range data {
+		l.entries = append(l.entries, Entry{Term: term, Index: l.LastIndex() + 1, Data: d})
+	}
+	if l.obs != nil && len(l.entries) > first {
+		l.obs.Appended(l.entries[first:])
+	}
+	return l.LastIndex()
+}
+
+// AppendTyped adds one entry of an explicit type (conf changes) after the
+// current last index and returns its index.
+func (l *Log) AppendTyped(term uint64, typ EntryType, data []byte) uint64 {
+	e := Entry{Term: term, Index: l.LastIndex() + 1, Type: typ, Data: data}
+	l.entries = append(l.entries, e)
+	if l.obs != nil {
+		l.obs.Appended(l.entries[len(l.entries)-1:])
+	}
+	return l.LastIndex()
+}
+
+// MatchesPrev reports whether the log contains an entry at prevIndex with
+// prevTerm — Raft's AppendEntries consistency check.
+func (l *Log) MatchesPrev(prevIndex, prevTerm uint64) bool {
+	t, ok := l.Term(prevIndex)
+	return ok && t == prevTerm
+}
+
+// MaybeAppend applies the AppendEntries rules: given a consistent
+// (prevIndex, prevTerm), it truncates any conflicting suffix and appends
+// the new entries. It returns the resulting last index of the appended
+// range and true, or 0 and false if the consistency check fails.
+func (l *Log) MaybeAppend(prevIndex, prevTerm uint64, entries []Entry) (uint64, bool) {
+	if !l.MatchesPrev(prevIndex, prevTerm) {
+		return 0, false
+	}
+	lastNew := prevIndex + uint64(len(entries))
+	for i, e := range entries {
+		if t, ok := l.Term(e.Index); ok {
+			if t == e.Term {
+				continue // already have it
+			}
+			if e.Index <= l.committed {
+				panic(fmt.Sprintf("raft: conflict at committed index %d (term %d vs %d)", e.Index, t, e.Term))
+			}
+			l.truncateFrom(e.Index)
+		}
+		l.entries = append(l.entries, entries[i:]...)
+		if l.obs != nil {
+			l.obs.Appended(entries[i:])
+		}
+		break
+	}
+	return lastNew, true
+}
+
+func (l *Log) truncateFrom(i uint64) {
+	if i <= l.offset {
+		panic(fmt.Sprintf("raft: truncate at compacted index %d (offset %d)", i, l.offset))
+	}
+	l.entries = l.entries[:i-l.offset]
+	if l.obs != nil {
+		l.obs.TruncatedFrom(i)
+	}
+}
+
+// Slice returns entries in [lo, hi] inclusive, capped at maxEntries
+// (0 = unlimited). It returns false if lo has been compacted away.
+func (l *Log) Slice(lo, hi uint64, maxEntries int) ([]Entry, bool) {
+	if lo < l.offset || lo > l.LastIndex() {
+		return nil, false
+	}
+	if hi > l.LastIndex() {
+		hi = l.LastIndex()
+	}
+	if hi < lo {
+		return nil, true
+	}
+	n := hi - lo + 1
+	if maxEntries > 0 && n > uint64(maxEntries) {
+		n = uint64(maxEntries)
+	}
+	out := make([]Entry, n)
+	copy(out, l.entries[lo-l.offset:lo-l.offset+n])
+	return out, true
+}
+
+// CommitTo advances the commit index (never backwards past committed,
+// never beyond the last entry).
+func (l *Log) CommitTo(i uint64) {
+	if i > l.LastIndex() {
+		i = l.LastIndex()
+	}
+	if i > l.committed {
+		l.committed = i
+	}
+}
+
+// NextToApply returns committed-but-unapplied entries and marks them
+// applied. Callers feed them to the state machine in order.
+func (l *Log) NextToApply() []Entry {
+	if l.applied >= l.committed {
+		return nil
+	}
+	ents, ok := l.Slice(l.applied+1, l.committed, 0)
+	if !ok {
+		panic(fmt.Sprintf("raft: apply range [%d,%d] compacted (offset %d)", l.applied+1, l.committed, l.offset))
+	}
+	l.applied = l.committed
+	return ents
+}
+
+// IsUpToDate reports whether a candidate whose last entry is (index, term)
+// is at least as up to date as this log — Raft's §5.4.1 voting rule.
+func (l *Log) IsUpToDate(index, term uint64) bool {
+	lt := l.LastTerm()
+	return term > lt || (term == lt && index >= l.LastIndex())
+}
+
+// CompactTo discards entries up to and including index i (which must be
+// applied), keeping i as the new sentinel. Used to bound memory in long
+// throughput simulations.
+func (l *Log) CompactTo(i uint64) {
+	if i > l.applied {
+		panic(fmt.Sprintf("raft: compacting beyond applied (%d > %d)", i, l.applied))
+	}
+	if i <= l.offset {
+		return
+	}
+	keep := l.entries[i-l.offset:]
+	l.entries = append(make([]Entry, 0, len(keep)), keep...)
+	// entries[0] is now the entry at index i, acting as the sentinel: its
+	// Term is preserved so MatchesPrev(i, term) still works.
+	l.entries[0].Data = nil
+	l.offset = i
+}
+
+// Len returns the number of real entries retained (excluding the sentinel).
+func (l *Log) Len() int { return len(l.entries) - 1 }
+
+// RestoreSnapshot discards the entire log and re-bases it on a snapshot
+// whose last included entry is (index, term). Commit and apply indexes
+// jump to the snapshot point; the state machine must be restored
+// separately by the caller.
+func (l *Log) RestoreSnapshot(index, term uint64) {
+	l.offset = index
+	l.entries = []Entry{{Term: term, Index: index}}
+	l.committed = index
+	l.applied = index
+}

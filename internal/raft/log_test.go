@@ -1,0 +1,272 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func entries(pairs ...uint64) []Entry {
+	// pairs are (index, term) couples.
+	var out []Entry
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Entry{Index: pairs[i], Term: pairs[i+1], Data: []byte(fmt.Sprintf("e%d", pairs[i]))})
+	}
+	return out
+}
+
+func TestLogInitialState(t *testing.T) {
+	l := NewLog()
+	if l.LastIndex() != 0 || l.LastTerm() != 0 || l.Committed() != 0 || l.Applied() != 0 {
+		t.Fatal("fresh log not at sentinel state")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if term, ok := l.Term(0); !ok || term != 0 {
+		t.Fatal("sentinel term missing")
+	}
+}
+
+func TestLogAppendAssignsIndexes(t *testing.T) {
+	l := NewLog()
+	last := l.Append(3, []byte("a"), []byte("b"))
+	if last != 2 {
+		t.Fatalf("last = %d", last)
+	}
+	e, ok := l.Entry(2)
+	if !ok || e.Term != 3 || string(e.Data) != "b" {
+		t.Fatalf("entry 2 = %+v", e)
+	}
+	if l.LastTerm() != 3 {
+		t.Fatalf("LastTerm = %d", l.LastTerm())
+	}
+}
+
+func TestMaybeAppendConsistencyCheck(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a")) // index 1 term 1
+	if _, ok := l.MaybeAppend(5, 1, nil); ok {
+		t.Fatal("append with missing prev accepted")
+	}
+	if _, ok := l.MaybeAppend(1, 9, nil); ok {
+		t.Fatal("append with wrong prev term accepted")
+	}
+	last, ok := l.MaybeAppend(1, 1, entries(2, 1))
+	if !ok || last != 2 {
+		t.Fatalf("valid append rejected (%v, %d)", ok, last)
+	}
+}
+
+func TestMaybeAppendTruncatesConflicts(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"), []byte("c")) // 1..3 term 1
+	// New leader at term 2 overwrites index 2 onward.
+	last, ok := l.MaybeAppend(1, 1, entries(2, 2, 3, 2))
+	if !ok || last != 3 {
+		t.Fatalf("conflicting append failed (%v, %d)", ok, last)
+	}
+	if term, _ := l.Term(2); term != 2 {
+		t.Fatalf("index 2 term = %d, want 2", term)
+	}
+	if l.LastIndex() != 3 {
+		t.Fatalf("LastIndex = %d", l.LastIndex())
+	}
+}
+
+func TestMaybeAppendIdempotent(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"))
+	// Re-sending the same entries must not truncate or duplicate.
+	last, ok := l.MaybeAppend(0, 0, entries(1, 1, 2, 1))
+	if !ok || last != 2 {
+		t.Fatalf("idempotent append failed (%v, %d)", ok, last)
+	}
+	if l.LastIndex() != 2 {
+		t.Fatalf("LastIndex = %d after duplicate append", l.LastIndex())
+	}
+}
+
+func TestMaybeAppendPrefixSubset(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"), []byte("c"))
+	// An old MsgApp covering only a prefix must not truncate the suffix.
+	last, ok := l.MaybeAppend(0, 0, entries(1, 1))
+	if !ok || last != 1 {
+		t.Fatalf("prefix append failed (%v, %d)", ok, last)
+	}
+	if l.LastIndex() != 3 {
+		t.Fatalf("suffix truncated by stale prefix append: LastIndex=%d", l.LastIndex())
+	}
+}
+
+func TestCommitToClampsAtLastIndex(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"))
+	l.CommitTo(99)
+	if l.Committed() != 1 {
+		t.Fatalf("Committed = %d, want clamp at 1", l.Committed())
+	}
+	l.CommitTo(0) // never backwards
+	if l.Committed() != 1 {
+		t.Fatal("commit moved backwards")
+	}
+}
+
+func TestNextToApply(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"), []byte("c"))
+	l.CommitTo(2)
+	ents := l.NextToApply()
+	if len(ents) != 2 || ents[0].Index != 1 || ents[1].Index != 2 {
+		t.Fatalf("apply batch = %+v", ents)
+	}
+	if l.NextToApply() != nil {
+		t.Fatal("second apply not empty")
+	}
+	l.CommitTo(3)
+	ents = l.NextToApply()
+	if len(ents) != 1 || ents[0].Index != 3 {
+		t.Fatalf("second batch = %+v", ents)
+	}
+}
+
+func TestIsUpToDate(t *testing.T) {
+	l := NewLog()
+	l.Append(2, []byte("a")) // last (1, 2)
+	cases := []struct {
+		index, term uint64
+		want        bool
+	}{
+		{1, 2, true},  // identical
+		{2, 2, true},  // longer same term
+		{0, 3, true},  // higher term wins regardless of length
+		{0, 2, false}, // shorter same term
+		{5, 1, false}, // longer but lower term
+	}
+	for _, tc := range cases {
+		if got := l.IsUpToDate(tc.index, tc.term); got != tc.want {
+			t.Errorf("IsUpToDate(%d,%d) = %v, want %v", tc.index, tc.term, got, tc.want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"), []byte("c"), []byte("d"))
+	ents, ok := l.Slice(2, 3, 0)
+	if !ok || len(ents) != 2 || ents[0].Index != 2 {
+		t.Fatalf("Slice(2,3) = %+v, %v", ents, ok)
+	}
+	ents, ok = l.Slice(2, 100, 0)
+	if !ok || len(ents) != 3 {
+		t.Fatalf("Slice hi clamp failed: %d", len(ents))
+	}
+	ents, ok = l.Slice(2, 4, 2)
+	if !ok || len(ents) != 2 {
+		t.Fatalf("maxEntries cap failed: %d", len(ents))
+	}
+	if ents, ok := l.Slice(4, 2, 0); !ok || ents != nil {
+		t.Fatal("inverted range should be empty but ok")
+	}
+	if _, ok := l.Slice(9, 9, 0); ok {
+		t.Fatal("out-of-range lo accepted")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"), []byte("c"), []byte("d"))
+	l.CommitTo(3)
+	l.NextToApply()
+	l.CompactTo(2)
+	if l.FirstIndex() != 2 {
+		t.Fatalf("FirstIndex = %d", l.FirstIndex())
+	}
+	if _, ok := l.Entry(1); ok {
+		t.Fatal("compacted entry still visible")
+	}
+	// The new sentinel keeps its term for consistency checks.
+	if term, ok := l.Term(2); !ok || term != 1 {
+		t.Fatalf("sentinel term = %d, %v", term, ok)
+	}
+	if !l.MatchesPrev(2, 1) {
+		t.Fatal("MatchesPrev at sentinel failed")
+	}
+	// Remaining entries still reachable.
+	if e, ok := l.Entry(3); !ok || string(e.Data) != "c" {
+		t.Fatalf("entry 3 = %+v, %v", e, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestCompactBeyondAppliedPanics(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic compacting beyond applied")
+		}
+	}()
+	l.CompactTo(1)
+}
+
+func TestCompactNoopBelowOffset(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"))
+	l.CommitTo(2)
+	l.NextToApply()
+	l.CompactTo(2)
+	l.CompactTo(1) // below offset: no-op
+	if l.FirstIndex() != 2 {
+		t.Fatalf("FirstIndex = %d", l.FirstIndex())
+	}
+}
+
+func TestConflictBelowCommitPanics(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"))
+	l.CommitTo(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on conflict below commit")
+		}
+	}()
+	l.MaybeAppend(0, 0, entries(1, 9))
+}
+
+// Property: after any sequence of valid appends and commits, invariants
+// hold: terms never decrease along the log, committed ≤ last, applied ≤
+// committed.
+func TestPropertyLogInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		l := NewLog()
+		term := uint64(1)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				l.Append(term, []byte{op})
+			case 1:
+				term++ // new leader's term
+			case 2:
+				l.CommitTo(uint64(op))
+			case 3:
+				l.NextToApply()
+			}
+		}
+		prevTerm := uint64(0)
+		for i := l.FirstIndex(); i <= l.LastIndex(); i++ {
+			tm, ok := l.Term(i)
+			if !ok || tm < prevTerm {
+				return false
+			}
+			prevTerm = tm
+		}
+		return l.Committed() <= l.LastIndex() && l.Applied() <= l.Committed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

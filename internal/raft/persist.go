@@ -1,0 +1,105 @@
+package raft
+
+// HardState is the durable per-node state that must survive a crash for
+// Raft's safety arguments to hold: the current term and the vote cast in
+// it (Raft §5.1). Losing either could let a node vote twice in one term.
+type HardState struct {
+	Term uint64
+	Vote ID
+}
+
+// Snapshot is a durable state-machine snapshot: the opaque application
+// state at log position (Index, Term), plus the cluster membership as of
+// that index — configuration changes below the snapshot floor are gone
+// from the log, so the snapshot must carry their net effect (as etcd
+// snapshots embed the ConfState).
+type Snapshot struct {
+	Index    uint64
+	Term     uint64
+	Data     []byte
+	Voters   []ID
+	Learners []ID
+}
+
+// Persister receives the node's durable state transitions. Implementations
+// must make the data durable before returning: the node follows the
+// persist-before-send discipline, so once a message leaves the node the
+// state it implies has already been saved. A nil Config.Persister disables
+// persistence entirely (a pure in-memory node, which is what the paper's
+// pause-failure experiments model — a paused container loses nothing).
+//
+// Persist errors are fatal: a node that cannot make its vote durable must
+// not keep participating, so the node panics (as etcd does) rather than
+// limping on with silently weakened safety.
+type Persister interface {
+	// SaveHardState records a term or vote change.
+	SaveHardState(hs HardState) error
+	// AppendEntries records newly appended log entries (contiguous,
+	// ascending, starting at most one past the previously persisted tail —
+	// a preceding TruncateFrom handles conflicts).
+	AppendEntries(entries []Entry) error
+	// TruncateFrom discards persisted entries with Index >= index.
+	TruncateFrom(index uint64) error
+	// SaveSnapshot records a state-machine snapshot; entries at or below
+	// snap.Index may be discarded afterwards.
+	SaveSnapshot(snap Snapshot) error
+}
+
+// Restored is the state a Persister recovered after a crash; pass it as
+// Config.Restored to resume a node where it left off. Commit and apply
+// indexes are volatile by design (Raft recomputes them): they restart at
+// the snapshot index and catch up from the leader.
+type Restored struct {
+	HardState HardState
+	// Snapshot is the newest durable snapshot, nil if none was taken.
+	Snapshot *Snapshot
+	// Entries is the contiguous log suffix after the snapshot (or from
+	// index 1 when Snapshot is nil).
+	Entries []Entry
+}
+
+// logPersister adapts Log mutation notifications to the Persister. The
+// notifications fire synchronously inside log mutations, which all happen
+// before the node sends any message that depends on them — this is what
+// makes persist-before-send hold without explicit flush points.
+type logPersister struct {
+	p Persister
+}
+
+func (lp logPersister) Appended(entries []Entry) {
+	if err := lp.p.AppendEntries(entries); err != nil {
+		panic("raft: persist append: " + err.Error())
+	}
+}
+
+func (lp logPersister) TruncatedFrom(index uint64) {
+	if err := lp.p.TruncateFrom(index); err != nil {
+		panic("raft: persist truncate: " + err.Error())
+	}
+}
+
+// persistHardState saves (term, vote) when either moved since the last
+// save. Called after every mutation point; cheap when nothing changed.
+func (n *Node) persistHardState() {
+	if n.cfg.Persister == nil {
+		return
+	}
+	hs := HardState{Term: n.term, Vote: n.vote}
+	if hs == n.lastPersisted {
+		return
+	}
+	if err := n.cfg.Persister.SaveHardState(hs); err != nil {
+		panic("raft: persist hard state: " + err.Error())
+	}
+	n.lastPersisted = hs
+}
+
+// persistSnapshot saves an installed or locally taken snapshot.
+func (n *Node) persistSnapshot(snap Snapshot) {
+	if n.cfg.Persister == nil {
+		return
+	}
+	if err := n.cfg.Persister.SaveSnapshot(snap); err != nil {
+		panic("raft: persist snapshot: " + err.Error())
+	}
+}

@@ -1,0 +1,485 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakePersister is an in-test Persister mirroring the semantics of
+// internal/storage (which cannot be imported here without a cycle): it
+// tracks hard state, a contiguous entry suffix above a snapshot floor, and
+// call counters, and can produce a Restored for restart tests.
+type fakePersister struct {
+	hs       HardState
+	haveHS   bool
+	snap     *Snapshot
+	entries  []Entry
+	appends  int
+	hsSaves  int
+	truncs   int
+	snapshot int
+	fail     bool
+}
+
+func (f *fakePersister) floor() uint64 {
+	if f.snap != nil {
+		return f.snap.Index
+	}
+	return 0
+}
+
+func (f *fakePersister) lastIndex() uint64 {
+	if n := len(f.entries); n > 0 {
+		return f.entries[n-1].Index
+	}
+	return f.floor()
+}
+
+func (f *fakePersister) SaveHardState(hs HardState) error {
+	if f.fail {
+		return fmt.Errorf("fake persister: injected failure")
+	}
+	f.hs, f.haveHS = hs, true
+	f.hsSaves++
+	return nil
+}
+
+func (f *fakePersister) AppendEntries(entries []Entry) error {
+	if f.fail {
+		return fmt.Errorf("fake persister: injected failure")
+	}
+	f.appends++
+	for _, e := range entries {
+		switch {
+		case e.Index <= f.floor():
+		case e.Index == f.lastIndex()+1:
+			f.entries = append(f.entries, e)
+		case e.Index <= f.lastIndex():
+			f.entries = append(f.entries[:e.Index-f.floor()-1], e)
+		default:
+			return fmt.Errorf("fake persister: gap at %d after %d", e.Index, f.lastIndex())
+		}
+	}
+	return nil
+}
+
+func (f *fakePersister) TruncateFrom(index uint64) error {
+	f.truncs++
+	if index <= f.floor() {
+		f.entries = f.entries[:0]
+		return nil
+	}
+	if index <= f.lastIndex() {
+		f.entries = f.entries[:index-f.floor()-1]
+	}
+	return nil
+}
+
+func (f *fakePersister) SaveSnapshot(snap Snapshot) error {
+	f.snapshot++
+	if f.snap != nil && snap.Index < f.snap.Index {
+		return nil
+	}
+	if snap.Index > f.floor() {
+		if snap.Index >= f.lastIndex() {
+			f.entries = f.entries[:0]
+		} else {
+			f.entries = append([]Entry(nil), f.entries[snap.Index-f.floor():]...)
+		}
+	}
+	s := snap
+	f.snap = &s
+	return nil
+}
+
+func (f *fakePersister) restored() *Restored {
+	r := &Restored{HardState: f.hs, Entries: append([]Entry(nil), f.entries...)}
+	if f.snap != nil {
+		s := *f.snap
+		r.Snapshot = &s
+	}
+	return r
+}
+
+func (f *fakePersister) has(index uint64, data string) bool {
+	for _, e := range f.entries {
+		if e.Index == index {
+			return string(e.Data) == data
+		}
+	}
+	return false
+}
+
+func persistedCluster(n int, seed int64) (*testCluster, []*fakePersister) {
+	ps := make([]*fakePersister, n)
+	for i := range ps {
+		ps[i] = &fakePersister{}
+	}
+	opts := defaultOpts()
+	opts.n = n
+	opts.seed = seed
+	opts.persisters = func(i int) Persister { return ps[i] }
+	return newTestCluster(opts), ps
+}
+
+func TestPersistElectionSavesTermAndVote(t *testing.T) {
+	c, ps := persistedCluster(3, 1)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	for i, n := range c.nodes {
+		if !ps[i].haveHS {
+			t.Fatalf("node %d never persisted hard state", i+1)
+		}
+		if ps[i].hs.Term != n.Term() {
+			t.Fatalf("node %d persisted term %d, live term %d", i+1, ps[i].hs.Term, n.Term())
+		}
+	}
+	// The leader voted for itself in the winning term; that vote is durable.
+	lp := ps[lead.ID()-1]
+	if lp.hs.Vote != lead.ID() {
+		t.Fatalf("leader's persisted vote = %d, want self (%d)", lp.hs.Vote, lead.ID())
+	}
+	// At least one follower granted a durable vote to the winner.
+	granted := 0
+	for i, n := range c.nodes {
+		if n == lead {
+			continue
+		}
+		if ps[i].hs.Vote == lead.ID() && ps[i].hs.Term == lead.Term() {
+			granted++
+		}
+	}
+	if granted == 0 {
+		t.Fatal("no follower persisted its vote for the winner")
+	}
+}
+
+func TestPersistProposalsReachAllDisks(t *testing.T) {
+	c, ps := persistedCluster(3, 2)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	idx, err := lead.Propose([]byte("durable-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+	for i := range c.nodes {
+		if !ps[i].has(idx, "durable-1") {
+			t.Fatalf("node %d disk lacks entry %d", i+1, idx)
+		}
+	}
+}
+
+func TestPersistBeforeSend(t *testing.T) {
+	// When an MsgApp carrying entries arrives anywhere, the sender's disk
+	// must already hold those entries (persist-before-send).
+	ps := make([]*fakePersister, 3)
+	for i := range ps {
+		ps[i] = &fakePersister{}
+	}
+	opts := defaultOpts()
+	opts.persisters = func(i int) Persister { return ps[i] }
+	var violation error
+	opts.interceptf = func(to int, m Message) bool {
+		if m.Type == MsgApp && len(m.Entries) > 0 && violation == nil {
+			sender := ps[m.From-1]
+			for _, e := range m.Entries {
+				if e.Data == nil {
+					continue
+				}
+				if !sender.has(e.Index, string(e.Data)) {
+					violation = fmt.Errorf("node %d sent entry %d before persisting it", m.From, e.Index)
+				}
+			}
+		}
+		return true
+	}
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	for k := 0; k < 10; k++ {
+		if _, err := lead.Propose([]byte(fmt.Sprintf("cmd-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+		c.run(50 * time.Millisecond)
+	}
+	c.run(time.Second)
+	if violation != nil {
+		t.Fatal(violation)
+	}
+}
+
+func TestPersistRestartRecoversState(t *testing.T) {
+	c, ps := persistedCluster(3, 3)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	for k := 0; k < 5; k++ {
+		if _, err := lead.Propose([]byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.run(time.Second)
+
+	// Pick a follower, note its durable state, and rebuild a node from it.
+	var victim ID
+	for _, n := range c.nodes {
+		if n != lead {
+			victim = n.ID()
+			break
+		}
+	}
+	old := c.nodes[victim-1]
+	restored := ps[victim-1].restored()
+
+	rt := c.rts[victim-1]
+	node2, err := NewNode(Config{
+		ID:        victim,
+		Peers:     []ID{1, 2, 3},
+		Runtime:   rt,
+		Tuner:     NewStaticTuner(time.Second, 100*time.Millisecond),
+		Persister: ps[victim-1],
+		Restored:  restored,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node2.Term() != old.Term() {
+		t.Fatalf("restored term %d, want %d", node2.Term(), old.Term())
+	}
+	if node2.Log().LastIndex() != old.Log().LastIndex() {
+		t.Fatalf("restored last index %d, want %d", node2.Log().LastIndex(), old.Log().LastIndex())
+	}
+	for i := uint64(1); i <= old.Log().LastIndex(); i++ {
+		eo, _ := old.Log().Entry(i)
+		er, ok := node2.Log().Entry(i)
+		if !ok || string(eo.Data) != string(er.Data) || eo.Term != er.Term {
+			t.Fatalf("entry %d mismatch after restore: %+v vs %+v", i, eo, er)
+		}
+	}
+	// Commit index is volatile: it restarts at the snapshot floor.
+	if got := node2.Log().Committed(); got != 0 {
+		t.Fatalf("restored commit index %d, want 0 (volatile)", got)
+	}
+}
+
+func TestPersistRestartDoesNotReappendSuffix(t *testing.T) {
+	c, ps := persistedCluster(3, 4)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	if _, err := lead.Propose([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+	p := ps[0]
+	appendsBefore := p.appends
+	if _, err := NewNode(Config{
+		ID:        1,
+		Peers:     []ID{1, 2, 3},
+		Runtime:   c.rts[0],
+		Tuner:     NewStaticTuner(time.Second, 100*time.Millisecond),
+		Persister: p,
+		Restored:  p.restored(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.appends != appendsBefore {
+		t.Fatalf("restore re-persisted the recovered suffix (%d new appends)", p.appends-appendsBefore)
+	}
+}
+
+func TestPersistRestartedFollowerRejoinsAndCatchesUp(t *testing.T) {
+	c, ps := persistedCluster(3, 5)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	if _, err := lead.Propose([]byte("before-crash")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+
+	var victim ID
+	for _, n := range c.nodes {
+		if n != lead {
+			victim = n.ID()
+			break
+		}
+	}
+	c.crash(victim)
+	idx, err := lead.Propose([]byte("while-down"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+
+	// Crash-recovery restart: a fresh Node from the durable state replaces
+	// the old object (volatile state lost).
+	rt := c.rts[victim-1]
+	node2, err := NewNode(Config{
+		ID:        victim,
+		Peers:     []ID{1, 2, 3},
+		Runtime:   rt,
+		Tuner:     NewStaticTuner(time.Second, 100*time.Millisecond),
+		Tracer:    recordTracer{c},
+		Persister: ps[victim-1],
+		Restored:  ps[victim-1].restored(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[victim-1] = node2
+	rt.node = node2
+	rt.down = false
+	node2.Start()
+
+	c.run(2 * time.Second)
+	if node2.Log().Committed() < idx {
+		t.Fatalf("restarted follower commit %d, want >= %d", node2.Log().Committed(), idx)
+	}
+	e, ok := node2.Log().Entry(idx)
+	if !ok || string(e.Data) != "while-down" {
+		t.Fatalf("restarted follower entry %d = %+v", idx, e)
+	}
+	if err := c.checkElectionSafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistVoteSurvivesRestartNoDoubleVote(t *testing.T) {
+	// The reason HardState exists: a node that granted a vote, crashed and
+	// recovered must not vote again in the same term. Restore a voter and
+	// throw a competing vote request at it for the term it already voted in.
+	c, ps := persistedCluster(3, 6)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	var voter ID
+	for i, n := range c.nodes {
+		if n != lead && ps[i].hs.Vote == lead.ID() && ps[i].hs.Term == lead.Term() {
+			voter = n.ID()
+			break
+		}
+	}
+	if voter == None {
+		t.Skip("no follower recorded a vote for the winner at this seed")
+	}
+	rt := c.rts[voter-1]
+	node2, err := NewNode(Config{
+		ID:        voter,
+		Peers:     []ID{1, 2, 3},
+		Runtime:   rt,
+		Tuner:     NewStaticTuner(time.Second, 100*time.Millisecond),
+		Persister: ps[voter-1],
+		Restored:  ps[voter-1].restored(),
+		// Disable stickiness so the vote rule itself is what rejects.
+		DisableCheckQuorum: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var other ID
+	for _, p := range []ID{1, 2, 3} {
+		if p != voter && p != lead.ID() {
+			other = p
+		}
+	}
+	node2.Start()
+	node2.Step(Message{
+		Type: MsgVote, From: other, To: voter, Term: node2.Term(),
+		Index: 100, LogTerm: node2.Term(), // log more than up to date
+	})
+	// Inspect the node directly: its durable vote must be unchanged.
+	if node2.vote != lead.ID() {
+		t.Fatalf("restored node revoted: vote=%d, want %d", node2.vote, lead.ID())
+	}
+}
+
+func TestPersistFailurePanics(t *testing.T) {
+	p := &fakePersister{}
+	opts := defaultOpts()
+	opts.n = 1
+	opts.persisters = func(int) Persister { return p }
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	p.fail = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("a failing persister must panic the node")
+		}
+	}()
+	_, _ = lead.Propose([]byte("doomed"))
+}
+
+func TestPersistFollowerTruncationRecorded(t *testing.T) {
+	// Force a conflicting suffix: leader 1 writes an entry that only
+	// reaches node 2, dies; node 3 wins and overwrites. Node 2's disk must
+	// reflect the truncation.
+	opts := defaultOpts()
+	ps := []*fakePersister{{}, {}, {}}
+	opts.persisters = func(i int) Persister { return ps[i] }
+	opts.seed = 11
+	c := newTestCluster(opts)
+	lead := c.waitLeader(5 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	// Partition so a proposal reaches at most a minority, then crash the
+	// leader before it commits.
+	var follower, isolated ID
+	for _, n := range c.nodes {
+		if n != lead {
+			if follower == None {
+				follower = n.ID()
+			} else {
+				isolated = n.ID()
+			}
+		}
+	}
+	c.crash(isolated)
+	c.crash(follower)
+	_, err := lead.Propose([]byte("uncommitted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.run(200 * time.Millisecond) // the append leaves, lands nowhere live
+	c.crash(lead.ID())
+	c.restart(follower)
+	c.restart(isolated)
+	c.run(5 * time.Second)
+	newLead := c.leader()
+	if newLead == nil {
+		t.Fatal("no new leader after failover")
+	}
+	if _, err := newLead.Propose([]byte("overwrite")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(time.Second)
+	c.restart(lead.ID())
+	c.run(2 * time.Second)
+
+	// The old leader's disk must no longer hold "uncommitted" anywhere.
+	oldP := ps[lead.ID()-1]
+	for _, e := range oldP.entries {
+		if string(e.Data) == "uncommitted" {
+			t.Fatalf("stale uncommitted entry survived on disk at index %d", e.Index)
+		}
+	}
+	if err := c.checkLogMatching(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package raft
+
+import (
+	"errors"
+	"time"
+)
+
+// Linearizable reads. Raft offers two leader-side read paths that avoid
+// writing a log entry per read (Raft §8, as implemented by etcd):
+//
+//   - ReadIndex: the leader records its commit index, confirms its
+//     leadership with one heartbeat round to the voters, and serves the
+//     read once the state machine has applied up to that index. Costs one
+//     RTT to the nearest quorum.
+//   - Lease read: the leader serves immediately while it holds a
+//     check-quorum lease (a quorum answered within the last election
+//     timeout). Costs nothing but leans on bounded clock drift — and on
+//     the election timeout itself, which under Dynatune is *tuned*: a
+//     smaller Et shrinks the lease window, so lease reads fall back to
+//     ReadIndex more often right after quiet periods. The read-latency
+//     experiment quantifies this interaction.
+//
+// Both paths deliver through a callback (index, ok): ok=false means
+// leadership was lost before the read could be confirmed and the client
+// must retry elsewhere.
+
+// ErrNotReady is returned while the leader has not yet committed an entry
+// in its own term; serving reads before that could miss entries committed
+// by a predecessor (Raft §8's no-op guard).
+var ErrNotReady = errors.New("raft: leader has not committed in its term yet")
+
+// ErrLeaseExpired is returned by LeaseRead when the check-quorum lease has
+// lapsed; callers fall back to ReadIndex.
+var ErrLeaseExpired = errors.New("raft: leader lease expired")
+
+// readRequest is one in-flight ReadIndex round.
+type readRequest struct {
+	ctx   uint64
+	index uint64 // commit index captured at registration
+	acks  map[ID]bool
+	cb    func(index uint64, ok bool)
+}
+
+// readWaiter delays a confirmed read until the apply index catches up.
+type readWaiter struct {
+	index uint64
+	cb    func(index uint64, ok bool)
+}
+
+// ReadIndex registers a linearizable read. The callback fires with the
+// read index once (a) a quorum confirmed this node was still leader after
+// registration and (b) the state machine applied up to that index — or
+// with ok=false if leadership was lost first.
+func (n *Node) ReadIndex(cb func(index uint64, ok bool)) error {
+	if n.state != StateLeader {
+		return ErrNotLeader
+	}
+	if t, ok := n.log.Term(n.log.Committed()); !ok || t != n.term {
+		return ErrNotReady
+	}
+	index := n.log.Committed()
+	if n.quorum == 1 {
+		// Sole voter: leadership is self-evident.
+		n.queueReadWaiter(readWaiter{index: index, cb: cb})
+		return nil
+	}
+	n.readCtx++
+	req := &readRequest{ctx: n.readCtx, index: index, acks: map[ID]bool{}, cb: cb}
+	if n.isVoter() {
+		req.acks[n.id] = true
+	}
+	n.pendingReads = append(n.pendingReads, req)
+	// Confirm with an immediate beat to every voter. The beat carries the
+	// newest context; a response to it also acknowledges all older ones.
+	for _, p := range n.peers {
+		if n.voters[p] {
+			n.sendHeartbeatCtx(p, n.readCtx)
+		}
+	}
+	return nil
+}
+
+// LeaseRead serves a linearizable read from the check-quorum lease: if a
+// quorum of voters answered within the last election timeout, the leader
+// cannot have been supplanted (a new leader needs a quorum that stopped
+// talking to us first, modulo clock drift). Returns ErrLeaseExpired when
+// the lease lapsed; the caller should fall back to ReadIndex.
+func (n *Node) LeaseRead(cb func(index uint64, ok bool)) error {
+	if n.state != StateLeader {
+		return ErrNotLeader
+	}
+	if t, ok := n.log.Term(n.log.Committed()); !ok || t != n.term {
+		return ErrNotReady
+	}
+	if !n.leaseValid() {
+		return ErrLeaseExpired
+	}
+	n.queueReadWaiter(readWaiter{index: n.log.Committed(), cb: cb})
+	return nil
+}
+
+// leaseValid reports whether a quorum of voters (including self) has been
+// heard from within one election timeout.
+func (n *Node) leaseValid() bool {
+	if n.cfg.DisableCheckQuorum {
+		return false // no lease without check-quorum's stepping-down rule
+	}
+	now := n.cfg.Runtime.Now()
+	et := n.cfg.Tuner.ElectionTimeout()
+	active := 0
+	if n.isVoter() {
+		active = 1
+	}
+	for id, pr := range n.prs {
+		if n.voters[id] && pr.lastActive > 0 && now-pr.lastActive < et {
+			active++
+		}
+	}
+	return active >= n.quorum
+}
+
+// LeaseRemaining reports how much of the check-quorum lease is left
+// (instrumentation; zero when no lease is held).
+func (n *Node) LeaseRemaining() time.Duration {
+	if n.state != StateLeader || !n.leaseValid() {
+		return 0
+	}
+	// The lease is bounded by the quorum-th most recent contact.
+	var times []time.Duration
+	now := n.cfg.Runtime.Now()
+	if n.isVoter() {
+		times = append(times, now)
+	}
+	for id, pr := range n.prs {
+		if n.voters[id] && pr.lastActive > 0 {
+			times = append(times, pr.lastActive)
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] > times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	if len(times) < n.quorum {
+		return 0
+	}
+	deadline := times[n.quorum-1] + n.cfg.Tuner.ElectionTimeout()
+	if deadline <= now {
+		return 0
+	}
+	return deadline - now
+}
+
+// sendHeartbeatCtx sends one heartbeat carrying a read context.
+func (n *Node) sendHeartbeatCtx(peer ID, ctx uint64) {
+	now := n.cfg.Runtime.Now()
+	meta := n.cfg.Tuner.PrepareHeartbeat(peer, now)
+	commit := n.log.Committed()
+	if pr := n.prs[peer]; pr != nil && pr.match < commit {
+		commit = pr.match
+	}
+	n.send(Message{Type: MsgHeartbeat, To: peer, Term: n.term, Commit: commit, HB: meta, ReadCtx: ctx})
+}
+
+// onReadAck processes a heartbeat response's read context on the leader:
+// an ack of context c confirms every pending read registered at or before
+// c (the responder saw us as leader no earlier than c's registration).
+func (n *Node) onReadAck(from ID, ctx uint64) {
+	if ctx == 0 || len(n.pendingReads) == 0 || !n.voters[from] {
+		return
+	}
+	confirmed := 0
+	for _, req := range n.pendingReads {
+		if req.ctx > ctx {
+			break
+		}
+		req.acks[from] = true
+		if len(req.acks) >= n.quorum {
+			confirmed++
+		} else {
+			break // older unconfirmed blocks newer (they confirm in order)
+		}
+	}
+	for _, req := range n.pendingReads[:confirmed] {
+		n.queueReadWaiter(readWaiter{index: req.index, cb: req.cb})
+	}
+	n.pendingReads = n.pendingReads[confirmed:]
+}
+
+// queueReadWaiter fires the callback immediately when the apply index
+// already covers it, else parks it until commitTo applies far enough.
+func (n *Node) queueReadWaiter(w readWaiter) {
+	if n.log.Applied() >= w.index {
+		w.cb(w.index, true)
+		return
+	}
+	n.readWaiters = append(n.readWaiters, w)
+}
+
+// notifyReadWaiters fires parked reads covered by the apply index.
+func (n *Node) notifyReadWaiters() {
+	if len(n.readWaiters) == 0 {
+		return
+	}
+	applied := n.log.Applied()
+	kept := n.readWaiters[:0]
+	for _, w := range n.readWaiters {
+		if applied >= w.index {
+			w.cb(w.index, true)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	n.readWaiters = kept
+}
+
+// failPendingReads aborts all in-flight reads (leadership lost); clients
+// retry against the new leader.
+func (n *Node) failPendingReads() {
+	for _, req := range n.pendingReads {
+		req.cb(0, false)
+	}
+	n.pendingReads = nil
+	for _, w := range n.readWaiters {
+		w.cb(0, false)
+	}
+	n.readWaiters = nil
+}
+
+// PendingReads reports in-flight ReadIndex rounds (instrumentation).
+func (n *Node) PendingReads() int { return len(n.pendingReads) }

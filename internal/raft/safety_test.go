@@ -1,0 +1,192 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/netsim"
+)
+
+// chaosRun drives a cluster through a random schedule of crashes,
+// restarts, partitions and proposals under a lossy, jittery network, then
+// verifies the Raft safety invariants. This is the package's main
+// property-based correctness test; the Dynatune experiments inherit its
+// guarantees.
+func chaosRun(t testing.TB, seed int64, n int, hbClass netsim.Class, tuners func(int) Tuner) {
+	t.Helper()
+	opts := defaultOpts()
+	opts.n = n
+	opts.seed = seed
+	opts.params = netsim.Params{
+		RTT:    30 * time.Millisecond,
+		Jitter: 5 * time.Millisecond,
+		Loss:   0.05,
+		Dup:    0.01,
+	}
+	opts.hbClass = hbClass
+	if tuners != nil {
+		opts.tuners = tuners
+	}
+	c := newTestCluster(opts)
+	rng := c.eng.Rand()
+
+	proposed := 0
+	for round := 0; round < 60; round++ {
+		c.run(time.Duration(200+rng.Intn(800)) * time.Millisecond)
+		switch rng.Intn(10) {
+		case 0, 1: // crash a random live node (but keep quorum possible)
+			down := 0
+			for _, rt := range c.rts {
+				if rt.down {
+					down++
+				}
+			}
+			if down < (n-1)/2 {
+				id := ID(rng.Intn(n) + 1)
+				if !c.rts[id-1].down {
+					c.crash(id)
+				}
+			}
+		case 2, 3: // restart a crashed node
+			for id := ID(1); id <= ID(n); id++ {
+				if c.rts[id-1].down {
+					c.restart(id)
+					break
+				}
+			}
+		case 4: // transient partition
+			id := rng.Intn(n)
+			c.net.PartitionNode(id, true)
+			idc := id
+			c.eng.Schedule(c.eng.Now()+time.Duration(1+rng.Intn(3))*time.Second, func() {
+				c.net.PartitionNode(idc, false)
+			})
+		default: // propose on the current leader if any
+			if l := c.leader(); l != nil {
+				if _, err := l.Propose([]byte(fmt.Sprintf("p%d", proposed))); err == nil {
+					proposed++
+				}
+			}
+		}
+	}
+	// Heal everything and let the cluster converge.
+	for id := ID(1); id <= ID(n); id++ {
+		if c.rts[id-1].down {
+			c.restart(id)
+		}
+		c.net.PartitionNode(int(id-1), false)
+	}
+	c.run(20 * time.Second)
+
+	if err := c.checkElectionSafety(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if err := c.checkLogMatching(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if err := c.checkCommittedPrefixAgreement(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if c.leader() == nil {
+		t.Fatalf("seed %d: cluster did not converge to a leader after healing", seed)
+	}
+	// Liveness sanity: some proposals must have committed.
+	if proposed > 10 {
+		var maxCommit uint64
+		for _, node := range c.nodes {
+			if cm := node.Log().Committed(); cm > maxCommit {
+				maxCommit = cm
+			}
+		}
+		if maxCommit == 0 {
+			t.Fatalf("seed %d: nothing ever committed", seed)
+		}
+	}
+}
+
+func TestChaosSafety3Nodes(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		chaosRun(t, seed, 3, netsim.TCP, nil)
+	}
+}
+
+func TestChaosSafety5Nodes(t *testing.T) {
+	for seed := int64(10); seed <= 15; seed++ {
+		chaosRun(t, seed, 5, netsim.TCP, nil)
+	}
+}
+
+func TestChaosSafetyUDPHeartbeats(t *testing.T) {
+	// Dynatune's hybrid transport: heartbeats best-effort, consensus
+	// reliable. Safety must be unaffected by heartbeat loss.
+	for seed := int64(20); seed <= 24; seed++ {
+		chaosRun(t, seed, 5, netsim.UDP, nil)
+	}
+}
+
+func TestChaosSafetyAggressiveTimeouts(t *testing.T) {
+	// Raft-Low-style parameters under chaos: liveness may suffer; safety
+	// must not.
+	tuners := func(int) Tuner { return NewStaticTuner(100*time.Millisecond, 10*time.Millisecond) }
+	for seed := int64(30); seed <= 33; seed++ {
+		chaosRun(t, seed, 5, netsim.TCP, tuners)
+	}
+}
+
+func TestChaosSafetyNoPreVote(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 5
+	opts.seed = 77
+	opts.noPreVote = true
+	opts.params = netsim.Params{RTT: 20 * time.Millisecond, Jitter: 3 * time.Millisecond, Loss: 0.02}
+	c := newTestCluster(opts)
+	rng := c.eng.Rand()
+	for round := 0; round < 30; round++ {
+		c.run(time.Duration(500+rng.Intn(1000)) * time.Millisecond)
+		if l := c.leader(); l != nil {
+			if rng.Intn(3) == 0 {
+				c.crash(l.ID())
+			} else {
+				l.Propose([]byte("x")) //nolint:errcheck // chaos: leadership may race
+			}
+		} else {
+			for id := ID(1); id <= 5; id++ {
+				if c.rts[id-1].down {
+					c.restart(id)
+				}
+			}
+		}
+	}
+	for id := ID(1); id <= 5; id++ {
+		if c.rts[id-1].down {
+			c.restart(id)
+		}
+	}
+	c.run(15 * time.Second)
+	if err := c.checkElectionSafety(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.checkLogMatching(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermsMonotonicPerNode(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 5
+	opts.params.Loss = 0.1
+	c := newTestCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	if lead != nil {
+		c.crash(lead.ID())
+	}
+	c.run(30 * time.Second)
+	lastTerm := map[ID]uint64{}
+	for _, ev := range c.events {
+		if ev.Term < lastTerm[ev.Node] {
+			t.Fatalf("node %d term went backwards: %d after %d", ev.Node, ev.Term, lastTerm[ev.Node])
+		}
+		lastTerm[ev.Node] = ev.Term
+	}
+}

@@ -1,0 +1,217 @@
+package raft
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/sim"
+)
+
+// miniSM is a trivial state machine for snapshot tests: it remembers the
+// highest applied index and a running checksum of entry payloads.
+type miniSM struct {
+	mu      sync.Mutex
+	applied uint64
+	sum     uint64
+}
+
+func (m *miniSM) apply(ents []Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range ents {
+		if e.Index <= m.applied {
+			continue
+		}
+		m.applied = e.Index
+		for _, b := range e.Data {
+			m.sum += uint64(b)
+		}
+	}
+}
+
+func (m *miniSM) snapshot() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf := binary.BigEndian.AppendUint64(nil, m.applied)
+	return binary.BigEndian.AppendUint64(buf, m.sum)
+}
+
+func (m *miniSM) restore(data []byte, index uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.applied = index
+	m.sum = binary.BigEndian.Uint64(data[8:])
+}
+
+// newSnapshotCluster builds a cluster whose nodes support InstallSnapshot.
+func newSnapshotCluster(opts clusterOpts) (*testCluster, []*miniSM) {
+	c := &testCluster{eng: sim.NewEngine(opts.seed)}
+	c.net = netsim.New[Message](c.eng, opts.n, netsim.Constant(opts.params), func(to int, m Message) {
+		if to >= len(c.rts) {
+			return // endpoint not joined yet (memberN < n)
+		}
+		rt := c.rts[to]
+		if rt.down {
+			return
+		}
+		rt.node.Step(m)
+	})
+	memberN := opts.memberN
+	if memberN == 0 {
+		memberN = opts.n
+	}
+	peers := make([]ID, memberN)
+	for i := range peers {
+		peers[i] = ID(i + 1)
+	}
+	sms := make([]*miniSM, memberN)
+	for i := 0; i < memberN; i++ {
+		rt := &testRuntime{
+			eng:     c.eng,
+			net:     c.net,
+			id:      ID(i + 1),
+			timers:  map[timerKey]sim.Handle{},
+			hbClass: opts.hbClass,
+		}
+		sm := &miniSM{}
+		sms[i] = sm
+		node, err := NewNode(Config{
+			ID:              ID(i + 1),
+			Peers:           peers,
+			Runtime:         rt,
+			Tuner:           opts.tuners(i),
+			Tracer:          recordTracer{c},
+			Apply:           sm.apply,
+			SnapshotData:    sm.snapshot,
+			RestoreSnapshot: sm.restore,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt.node = node
+		c.rts = append(c.rts, rt)
+		c.nodes = append(c.nodes, node)
+	}
+	for _, n := range c.nodes {
+		n.Start()
+	}
+	return c, sms
+}
+
+func TestSnapshotCatchUpAfterDeepCompaction(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 3
+	c, sms := newSnapshotCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			follower = n
+			break
+		}
+	}
+	c.crash(follower.ID())
+	for i := 0; i < 100; i++ {
+		if _, err := lead.Propose([]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.run(time.Second)
+	// Compact far past the dead follower's position.
+	lead.CompactLog(2)
+	if lead.Log().FirstIndex() < 50 {
+		t.Fatalf("compaction too shallow: first=%d", lead.Log().FirstIndex())
+	}
+	c.restart(follower.ID())
+	c.run(5 * time.Second)
+	// The follower must now hold the full state via snapshot + tail.
+	if follower.Log().Committed() != lead.Log().Committed() {
+		t.Fatalf("follower committed %d, leader %d", follower.Log().Committed(), lead.Log().Committed())
+	}
+	leadSM := sms[lead.ID()-1]
+	folSM := sms[follower.ID()-1]
+	if folSM.sum != leadSM.sum || folSM.applied != leadSM.applied {
+		t.Fatalf("state machines diverged: follower (%d,%d) vs leader (%d,%d)",
+			folSM.applied, folSM.sum, leadSM.applied, leadSM.sum)
+	}
+	if err := c.checkCommittedPrefixAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotThenNewEntries(t *testing.T) {
+	// After installing a snapshot the follower must continue replicating
+	// normal entries from the snapshot point.
+	opts := defaultOpts()
+	opts.n = 3
+	c, sms := newSnapshotCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			follower = n
+			break
+		}
+	}
+	c.crash(follower.ID())
+	for i := 0; i < 50; i++ {
+		lead.Propose([]byte{1}) //nolint:errcheck // leader is established
+	}
+	c.run(time.Second)
+	lead.CompactLog(0)
+	c.restart(follower.ID())
+	c.run(3 * time.Second)
+	// Now new writes after the snapshot.
+	for i := 0; i < 20; i++ {
+		if _, err := lead.Propose([]byte{2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.run(2 * time.Second)
+	if sms[follower.ID()-1].sum != sms[lead.ID()-1].sum {
+		t.Fatalf("post-snapshot replication diverged: %d vs %d",
+			sms[follower.ID()-1].sum, sms[lead.ID()-1].sum)
+	}
+}
+
+func TestStaleSnapshotIgnored(t *testing.T) {
+	// A snapshot older than the follower's commit point must be refused
+	// without destroying state.
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	n.log.Append(1, []byte("a"), []byte("b"), []byte("c"))
+	n.term = 1
+	n.log.CommitTo(3)
+	n.log.NextToApply()
+	n.Step(Message{Type: MsgSnap, From: 2, To: 1, Term: 1, Index: 2, LogTerm: 1, Snap: []byte("old")})
+	if n.log.Committed() != 3 || n.log.LastIndex() != 3 {
+		t.Fatalf("stale snapshot damaged the log: committed=%d last=%d", n.log.Committed(), n.log.LastIndex())
+	}
+	resp, ok := rt.lastOfType(MsgAppResp)
+	if !ok || resp.Index != 3 {
+		t.Fatalf("stale snapshot response = %+v, %v", resp, ok)
+	}
+}
+
+func TestSnapshotRestoreRebasesLog(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("a"), []byte("b"))
+	l.RestoreSnapshot(10, 4)
+	if l.FirstIndex() != 10 || l.LastIndex() != 10 || l.Committed() != 10 || l.Applied() != 10 {
+		t.Fatalf("log after restore: first=%d last=%d committed=%d applied=%d",
+			l.FirstIndex(), l.LastIndex(), l.Committed(), l.Applied())
+	}
+	if term, ok := l.Term(10); !ok || term != 4 {
+		t.Fatalf("sentinel term = %d, %v", term, ok)
+	}
+	// Appends continue from the snapshot point.
+	if last := l.Append(5, []byte("c")); last != 11 {
+		t.Fatalf("append after restore = %d", last)
+	}
+	if !l.MatchesPrev(10, 4) {
+		t.Fatal("consistency check at snapshot point failed")
+	}
+}

@@ -1,0 +1,357 @@
+package raft
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeRuntime gives tests direct control over a single node: it records
+// sent messages and armed timers and exposes a settable clock.
+type fakeRuntime struct {
+	now    time.Duration
+	sent   []Message
+	timers map[timerKey]time.Duration
+	rng    *rand.Rand
+}
+
+func newFakeRuntime() *fakeRuntime {
+	return &fakeRuntime{
+		timers: map[timerKey]time.Duration{},
+		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+func (f *fakeRuntime) Now() time.Duration { return f.now }
+func (f *fakeRuntime) Rand() *rand.Rand   { return f.rng }
+func (f *fakeRuntime) Send(m Message)     { f.sent = append(f.sent, m) }
+
+func (f *fakeRuntime) SetTimer(kind TimerKind, peer ID, at time.Duration) {
+	f.timers[timerKey{kind, peer}] = at
+}
+
+func (f *fakeRuntime) CancelTimer(kind TimerKind, peer ID) {
+	delete(f.timers, timerKey{kind, peer})
+}
+
+func (f *fakeRuntime) take() []Message {
+	out := f.sent
+	f.sent = nil
+	return out
+}
+
+func (f *fakeRuntime) lastOfType(t MsgType) (Message, bool) {
+	for i := len(f.sent) - 1; i >= 0; i-- {
+		if f.sent[i].Type == t {
+			return f.sent[i], true
+		}
+	}
+	return Message{}, false
+}
+
+func newIsolatedNode(t *testing.T, id ID, peers []ID) (*Node, *fakeRuntime) {
+	t.Helper()
+	rt := newFakeRuntime()
+	n, err := NewNode(Config{
+		ID:      id,
+		Peers:   peers,
+		Runtime: rt,
+		Tuner:   NewStaticTuner(time.Second, 100*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	rt.take()
+	return n, rt
+}
+
+// electIsolated drives node 1 of a 3-node cluster to leadership by
+// answering its pre-vote and vote by hand.
+func electIsolated(t *testing.T, n *Node, rt *fakeRuntime) {
+	t.Helper()
+	rt.now += 3 * time.Second
+	n.OnTimer(TimerElection, None)
+	if n.State() != StatePreCandidate {
+		t.Fatalf("state = %v, want pre-candidate", n.State())
+	}
+	n.Step(Message{Type: MsgPreVoteResp, From: 2, To: 1, Term: n.Term() + 1})
+	if n.State() != StateCandidate {
+		t.Fatalf("state = %v after prevote quorum, want candidate", n.State())
+	}
+	n.Step(Message{Type: MsgVoteResp, From: 2, To: 1, Term: n.Term()})
+	if n.State() != StateLeader {
+		t.Fatalf("state = %v after vote quorum, want leader", n.State())
+	}
+	rt.take()
+}
+
+func TestIsolatedElectionFlow(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	rt.now = 3 * time.Second
+	n.OnTimer(TimerElection, None)
+	msgs := rt.take()
+	// Pre-vote probes to both peers at term+1 without changing the term.
+	pv := 0
+	for _, m := range msgs {
+		if m.Type == MsgPreVote {
+			pv++
+			if m.Term != n.Term()+1 {
+				t.Fatalf("pre-vote term %d, node term %d", m.Term, n.Term())
+			}
+		}
+	}
+	if pv != 2 {
+		t.Fatalf("pre-votes = %d, want 2", pv)
+	}
+	if n.Term() != 0 {
+		t.Fatalf("term advanced to %d during pre-vote", n.Term())
+	}
+}
+
+func TestPreVoteRejectionQuorumReverts(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3, 4, 5})
+	rt.now = 3 * time.Second
+	n.OnTimer(TimerElection, None)
+	// Rejections carry the rejecters' term (equal to ours here).
+	for _, from := range []ID{2, 3, 4} {
+		n.Step(Message{Type: MsgPreVoteResp, From: from, To: 1, Term: n.Term(), Reject: true})
+	}
+	if n.State() != StateFollower {
+		t.Fatalf("state = %v after rejection quorum, want follower", n.State())
+	}
+	if n.Term() != 0 {
+		t.Fatalf("term = %d, want 0", n.Term())
+	}
+}
+
+func TestVoteRejectedWhenLogStale(t *testing.T) {
+	n, _ := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	// Local log has an entry at term 2.
+	n.log.Append(2, []byte("x"))
+	n.term = 2
+	// Candidate with an older log asks for a vote at a higher term.
+	rt := n.cfg.Runtime.(*fakeRuntime)
+	n.Step(Message{Type: MsgVote, From: 2, To: 1, Term: 3, Index: 0, LogTerm: 0})
+	resp, ok := rt.lastOfType(MsgVoteResp)
+	if !ok {
+		t.Fatal("no vote response")
+	}
+	if !resp.Reject {
+		t.Fatal("stale-log candidate granted a vote")
+	}
+	// Term still advances (we learned about term 3).
+	if n.Term() != 3 {
+		t.Fatalf("term = %d, want 3", n.Term())
+	}
+}
+
+func TestVoteGrantedOncePerTerm(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	n.Step(Message{Type: MsgVote, From: 2, To: 1, Term: 1})
+	if resp, _ := rt.lastOfType(MsgVoteResp); resp.Reject {
+		t.Fatal("first vote rejected")
+	}
+	rt.take()
+	// A different candidate at the same term is refused…
+	n.Step(Message{Type: MsgVote, From: 3, To: 1, Term: 1})
+	if resp, _ := rt.lastOfType(MsgVoteResp); !resp.Reject {
+		t.Fatal("second candidate granted in same term")
+	}
+	rt.take()
+	// …but the same candidate is re-granted (vote retransmission).
+	n.Step(Message{Type: MsgVote, From: 2, To: 1, Term: 1})
+	if resp, _ := rt.lastOfType(MsgVoteResp); resp.Reject {
+		t.Fatal("vote retransmission rejected")
+	}
+}
+
+func TestLeaseBlocksVotesNearLiveLeader(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	// Install leader 2 via a heartbeat.
+	n.Step(Message{Type: MsgHeartbeat, From: 2, To: 1, Term: 1})
+	rt.take()
+	// 100ms later (well inside Et=1s), candidate 3 campaigns: both the
+	// pre-vote and the vote must be ignored entirely.
+	rt.now += 100 * time.Millisecond
+	n.Step(Message{Type: MsgPreVote, From: 3, To: 1, Term: 2, Index: 9, LogTerm: 9})
+	n.Step(Message{Type: MsgVote, From: 3, To: 1, Term: 2, Index: 9, LogTerm: 9})
+	if msgs := rt.take(); len(msgs) != 0 {
+		t.Fatalf("lease holder responded to campaigners: %+v", msgs)
+	}
+	if n.Term() != 1 {
+		t.Fatalf("term inflated to %d by ignored vote", n.Term())
+	}
+}
+
+func TestStaleLeaderToldAboutNewTerm(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	n.term = 5
+	n.Step(Message{Type: MsgHeartbeat, From: 2, To: 1, Term: 3})
+	resp, ok := rt.lastOfType(MsgAppResp)
+	if !ok {
+		t.Fatal("no response to stale leader")
+	}
+	if !resp.Reject || resp.Term != 5 {
+		t.Fatalf("stale-leader response = %+v", resp)
+	}
+}
+
+func TestHeartbeatAdoptsLeaderAndCommit(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	n.log.Append(1, []byte("a"), []byte("b"))
+	n.Step(Message{Type: MsgHeartbeat, From: 2, To: 1, Term: 1, Commit: 1})
+	if n.Lead() != 2 {
+		t.Fatalf("lead = %d, want 2", n.Lead())
+	}
+	if n.Log().Committed() != 1 {
+		t.Fatalf("committed = %d, want 1", n.Log().Committed())
+	}
+	if _, ok := rt.lastOfType(MsgHeartbeatResp); !ok {
+		t.Fatal("no heartbeat response")
+	}
+}
+
+func TestLeaderHeartbeatCommitClampedToMatch(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	electIsolated(t, n, rt)
+	// Leader has committed its no-op via the vote from 2... bring log up:
+	n.Step(Message{Type: MsgAppResp, From: 2, To: 1, Term: n.Term(), Index: n.log.LastIndex()})
+	if n.log.Committed() == 0 {
+		t.Fatal("noop not committed")
+	}
+	rt.take()
+	// Peer 3 has matched nothing: its heartbeat must carry commit 0.
+	n.sendHeartbeat(3)
+	hb, _ := rt.lastOfType(MsgHeartbeat)
+	if hb.Commit != 0 {
+		t.Fatalf("heartbeat to unmatched peer carries commit %d", hb.Commit)
+	}
+	// Peer 2 matched everything: full commit index.
+	n.sendHeartbeat(2)
+	hb, _ = rt.lastOfType(MsgHeartbeat)
+	if hb.Commit != n.log.Committed() {
+		t.Fatalf("heartbeat to matched peer carries commit %d, want %d", hb.Commit, n.log.Committed())
+	}
+}
+
+func TestRejectHintRewindsNext(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	electIsolated(t, n, rt)
+	for i := 0; i < 10; i++ {
+		if _, err := n.Propose([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.take()
+	// Follower 2 rejects at prevIndex 10 hinting its log ends at 3.
+	n.Step(Message{Type: MsgAppResp, From: 2, To: 1, Term: n.Term(), Reject: true, Index: 10, Hint: 3})
+	resend, ok := rt.lastOfType(MsgApp)
+	if !ok {
+		t.Fatal("no resend after reject")
+	}
+	if resend.Index != 3 {
+		t.Fatalf("resend prevIndex = %d, want 3 (hint)", resend.Index)
+	}
+}
+
+func TestStaleAckDoesNotRewindOptimisticNext(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	electIsolated(t, n, rt)
+	for i := 0; i < 5; i++ {
+		if _, err := n.Propose([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := n.log.LastIndex()
+	// Ack for an early batch arrives late.
+	n.Step(Message{Type: MsgAppResp, From: 2, To: 1, Term: n.Term(), Index: 2})
+	pr := n.prs[2]
+	if pr.next != last+1 {
+		t.Fatalf("next rewound to %d, want %d", pr.next, last+1)
+	}
+	if pr.match != 2 {
+		t.Fatalf("match = %d, want 2", pr.match)
+	}
+}
+
+func TestCandidateRevertsOnLeaderAtSameTerm(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	rt.now = 3 * time.Second
+	n.OnTimer(TimerElection, None)
+	n.Step(Message{Type: MsgPreVoteResp, From: 2, To: 1, Term: n.Term() + 1})
+	if n.State() != StateCandidate {
+		t.Fatal("not candidate")
+	}
+	term := n.Term()
+	// A leader exists at this very term (we lost the race): revert.
+	n.Step(Message{Type: MsgHeartbeat, From: 3, To: 1, Term: term})
+	if n.State() != StateFollower || n.Lead() != 3 {
+		t.Fatalf("state=%v lead=%d, want follower of 3", n.State(), n.Lead())
+	}
+}
+
+func TestTunedIntervalUsedForNextBeat(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	electIsolated(t, n, rt)
+	st := n.cfg.Tuner.(*StaticTuner)
+	st.H = 25 * time.Millisecond
+	rt.now += time.Millisecond
+	n.OnTimer(TimerHeartbeat, 2)
+	at, ok := rt.timers[timerKey{TimerHeartbeat, 2}]
+	if !ok {
+		t.Fatal("heartbeat timer not re-armed")
+	}
+	if got := at - rt.now; got != 25*time.Millisecond {
+		t.Fatalf("re-arm interval = %v, want 25ms", got)
+	}
+}
+
+func TestHeartbeatTimerIgnoredAfterStepDown(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	electIsolated(t, n, rt)
+	// Step down via higher-term heartbeat, then a stale heartbeat timer
+	// fires: no heartbeat may be sent.
+	n.Step(Message{Type: MsgHeartbeat, From: 2, To: 1, Term: n.Term() + 1})
+	rt.take()
+	n.OnTimer(TimerHeartbeat, 2)
+	if msgs := rt.take(); len(msgs) != 0 {
+		t.Fatalf("follower sent %d messages on stale heartbeat timer", len(msgs))
+	}
+}
+
+func TestMisroutedMessageIgnored(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	n.Step(Message{Type: MsgVote, From: 2, To: 9, Term: 5})
+	if len(rt.take()) != 0 {
+		t.Fatal("responded to misrouted message")
+	}
+	if n.Term() != 0 {
+		t.Fatal("term moved on misrouted message")
+	}
+}
+
+func TestProposeBatchAssignsContiguousIndexes(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	electIsolated(t, n, rt)
+	base := n.log.LastIndex()
+	first, last, err := n.ProposeBatch([][]byte{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != base+1 || last != base+3 {
+		t.Fatalf("batch range [%d,%d], want [%d,%d]", first, last, base+1, base+3)
+	}
+	if _, _, err := n.ProposeBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestTimeSinceLeaderContact(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	n.Step(Message{Type: MsgHeartbeat, From: 2, To: 1, Term: 1})
+	rt.now += 250 * time.Millisecond
+	if got := n.TimeSinceLeaderContact(); got != 250*time.Millisecond {
+		t.Fatalf("TimeSinceLeaderContact = %v", got)
+	}
+}

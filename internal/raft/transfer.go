@@ -1,0 +1,91 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTransferring is returned by Propose while a leadership transfer is
+// in flight: accepting new entries would force the target to catch up
+// again and stall the handover (etcd blocks proposals the same way).
+var ErrTransferring = errors.New("raft: leadership transfer in progress")
+
+// ErrUnknownPeer is returned when a transfer target is not a cluster
+// member.
+var ErrUnknownPeer = errors.New("raft: unknown peer")
+
+// TransferLeadership hands leadership to peer with near-zero
+// out-of-service time: once the target's log is caught up, the leader
+// sends MsgTimeoutNow and the target campaigns immediately, skipping
+// pre-vote and overriding leases. Intended for planned maintenance —
+// the complement of the crash failovers the paper measures.
+//
+// The transfer aborts automatically (and leadership stays put) if the
+// target does not take over within one election timeout.
+func (n *Node) TransferLeadership(peer ID) error {
+	if n.state != StateLeader {
+		return ErrNotLeader
+	}
+	if peer == n.id {
+		return nil // already the leader
+	}
+	pr, ok := n.prs[peer]
+	if !ok {
+		return ErrUnknownPeer
+	}
+	if !n.voters[peer] {
+		// A learner cannot win an election; handing it MsgTimeoutNow would
+		// just burn a term (etcd refuses the same way).
+		return fmt.Errorf("%w: %d is not a voter", ErrUnknownPeer, peer)
+	}
+	n.transferee = peer
+	n.trace(EventTransfer)
+	if pr.match == n.log.LastIndex() {
+		n.sendTimeoutNow(peer)
+	} else {
+		// Catch the target up first; handleAppendResp fires the transfer
+		// when its match reaches our last index.
+		n.sendAppend(peer)
+	}
+	return nil
+}
+
+// Transferring reports whether a leadership transfer is in flight.
+func (n *Node) Transferring() bool {
+	return n.state == StateLeader && n.transferee != None
+}
+
+func (n *Node) sendTimeoutNow(peer ID) {
+	n.send(Message{Type: MsgTimeoutNow, To: peer, Term: n.term})
+}
+
+// handleTimeoutNow makes the transfer target campaign immediately: no
+// pre-vote round, and its vote requests carry the Transfer flag so voters
+// ignore their leader lease.
+func (n *Node) handleTimeoutNow(m Message) {
+	if n.state == StateLeader {
+		return // already leading (duplicate delivery)
+	}
+	n.becomeCandidate()
+	n.trace(EventCampaign)
+	if n.quorum == 1 {
+		n.becomeLeader()
+		return
+	}
+	last, lastTerm := n.log.LastIndex(), n.log.LastTerm()
+	for _, p := range n.peers {
+		n.send(Message{
+			Type:     MsgVote,
+			To:       p,
+			Term:     n.term,
+			Index:    last,
+			LogTerm:  lastTerm,
+			Transfer: true,
+		})
+	}
+}
+
+// abortTransfer clears a pending transfer (target died or timed out).
+func (n *Node) abortTransfer() {
+	n.transferee = None
+}

@@ -1,0 +1,242 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestLeadershipTransferBasic(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 5
+	c := newTestCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	c.run(time.Second)
+	var target *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			target = n
+			break
+		}
+	}
+	if err := lead.TransferLeadership(target.ID()); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	if target.State() != StateLeader {
+		t.Fatalf("target state = %v, want leader", target.State())
+	}
+	if lead.State() == StateLeader {
+		t.Fatal("old leader kept leading")
+	}
+	if err := c.checkElectionSafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferNearZeroOTS(t *testing.T) {
+	// The point of planned handover: OTS is bounded by one RTT, not by a
+	// detection timeout.
+	opts := defaultOpts()
+	opts.n = 5
+	c := newTestCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	c.run(time.Second)
+	var target *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			target = n
+			break
+		}
+	}
+	start := c.eng.Now()
+	if err := lead.TransferLeadership(target.ID()); err != nil {
+		t.Fatal(err)
+	}
+	c.run(2 * time.Second)
+	var electedAt time.Duration
+	for _, ev := range c.events {
+		if ev.Kind == EventLeaderElected && ev.Time > start {
+			electedAt = ev.Time
+			break
+		}
+	}
+	if electedAt == 0 {
+		t.Fatal("no election after transfer")
+	}
+	handover := electedAt - start
+	// RTT 10ms: timeout-now (half RTT) + vote round (one RTT) ≈ 15-30ms;
+	// crash failover with Et=1000ms would take >1000ms.
+	if handover > 100*time.Millisecond {
+		t.Fatalf("handover took %v, want ≈1.5 RTT", handover)
+	}
+}
+
+func TestTransferToLaggingFollowerCatchesUpFirst(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 3
+	c := newTestCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	var target *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			target = n
+			break
+		}
+	}
+	// Lag the target: cut its inbound link while proposing.
+	c.net.SetDown(int(lead.ID()-1), int(target.ID()-1), true)
+	for i := 0; i < 30; i++ {
+		if _, err := lead.Propose([]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.run(500 * time.Millisecond)
+	if err := lead.TransferLeadership(target.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer must stall while the target is unreachable…
+	c.run(200 * time.Millisecond)
+	if target.State() == StateLeader {
+		t.Fatal("lagging target became leader without the log")
+	}
+	// …and complete once it can catch up.
+	c.net.SetDown(int(lead.ID()-1), int(target.ID()-1), false)
+	c.run(5 * time.Second)
+	cur := c.leader()
+	if cur == nil {
+		t.Fatal("no leader after heal")
+	}
+	// Either the transfer completed (target leads) or it timed out and the
+	// old leader kept the seat — both are safe; the log must be intact.
+	if err := c.checkCommittedPrefixAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if cur == target && target.Log().LastIndex() < 30 {
+		t.Fatal("target led without catching up")
+	}
+}
+
+func TestProposalsBlockedDuringTransfer(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	electIsolated(t, n, rt)
+	// Make peer 2 lag so the transfer stays pending.
+	if _, err := n.Propose([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.TransferLeadership(2); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Transferring() {
+		t.Fatal("transfer not pending")
+	}
+	if _, err := n.Propose([]byte("y")); err != ErrTransferring {
+		t.Fatalf("Propose during transfer: %v, want ErrTransferring", err)
+	}
+	if _, _, err := n.ProposeBatch([][]byte{{1}}); err != ErrTransferring {
+		t.Fatalf("ProposeBatch during transfer: %v", err)
+	}
+}
+
+func TestTransferTimesOutAndAborts(t *testing.T) {
+	opts := defaultOpts()
+	opts.n = 3
+	c := newTestCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	c.run(time.Second)
+	var target *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			target = n
+			break
+		}
+	}
+	// Kill the target, then try to transfer to it.
+	c.crash(target.ID())
+	c.run(100 * time.Millisecond)
+	if err := lead.TransferLeadership(target.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// After the check-quorum sweep (≈Et), the transfer must have aborted
+	// and proposals must flow again.
+	c.run(3 * time.Second)
+	if lead.Transferring() {
+		t.Fatal("transfer still pending after timeout")
+	}
+	if _, err := lead.Propose([]byte("alive")); err != nil {
+		t.Fatalf("Propose after aborted transfer: %v", err)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	// Not leader.
+	if err := n.TransferLeadership(2); err != ErrNotLeader {
+		t.Fatalf("err = %v, want ErrNotLeader", err)
+	}
+	electIsolated(t, n, rt)
+	// Unknown peer.
+	if err := n.TransferLeadership(42); err != ErrUnknownPeer {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+	// Self-transfer is a no-op.
+	if err := n.TransferLeadership(1); err != nil {
+		t.Fatalf("self transfer: %v", err)
+	}
+	if n.Transferring() {
+		t.Fatal("self transfer left pending state")
+	}
+}
+
+func TestTransferVoteOverridesLease(t *testing.T) {
+	// A voter inside its leader lease must still grant a Transfer vote.
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	n.Step(Message{Type: MsgHeartbeat, From: 2, To: 1, Term: 1})
+	rt.take()
+	rt.now += 50 * time.Millisecond // well inside the 1s lease
+	n.Step(Message{Type: MsgVote, From: 3, To: 1, Term: 2, Transfer: true})
+	resp, ok := rt.lastOfType(MsgVoteResp)
+	if !ok {
+		t.Fatal("no response to transfer vote")
+	}
+	if resp.Reject {
+		t.Fatal("transfer vote rejected by lease holder")
+	}
+}
+
+func TestTransferWithTunedTimeouts(t *testing.T) {
+	// Transfer under aggressive (Dynatune-like) tuned timeouts: the
+	// handover must not trigger false detections afterwards.
+	opts := defaultOpts()
+	opts.n = 5
+	opts.tuners = func(int) Tuner { return NewStaticTuner(120*time.Millisecond, 40*time.Millisecond) }
+	c := newTestCluster(opts)
+	lead := c.waitLeader(10 * time.Second)
+	c.run(4 * time.Second) // tuning engaged
+	var target *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			target = n
+			break
+		}
+	}
+	if err := lead.TransferLeadership(target.ID()); err != nil {
+		t.Fatal(err)
+	}
+	c.run(5 * time.Second)
+	if c.leader() != target {
+		t.Fatalf("leadership not at target (leader=%v)", c.leader())
+	}
+	// The cluster re-tunes under the new leader: its followers' timers
+	// must drop below the fallback again.
+	if got := target.RandomizedTimeout(); got <= 0 {
+		t.Fatal("no randomized timeout")
+	}
+	settled := c.eng.Now()
+	c.run(30 * time.Second)
+	for _, ev := range c.events {
+		if ev.Kind == EventTimeout && ev.Time > settled+5*time.Second {
+			t.Fatalf("spurious timeout after transfer at %v", ev.Time)
+		}
+	}
+}

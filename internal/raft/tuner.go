@@ -1,0 +1,99 @@
+package raft
+
+import "time"
+
+// ResetReason explains why tuning state is being discarded (paper §III-B
+// Step 0: measurements restart whenever the leader relationship changes or
+// a local timeout fired).
+type ResetReason int
+
+const (
+	// ResetTimeout: the local election timer expired — the node suspects
+	// the leader and must fall back to conservative defaults.
+	ResetTimeout ResetReason = iota
+	// ResetLeaderChange: the node observed a new leader (or itself became
+	// leader); per-pair statistics are stale.
+	ResetLeaderChange
+	// ResetBecameLeader: the node won an election and now runs the
+	// leader-side half of the tuner.
+	ResetBecameLeader
+)
+
+func (r ResetReason) String() string {
+	switch r {
+	case ResetTimeout:
+		return "timeout"
+	case ResetLeaderChange:
+		return "leader-change"
+	case ResetBecameLeader:
+		return "became-leader"
+	default:
+		return "reset"
+	}
+}
+
+// Tuner supplies the node's election parameters and observes heartbeat
+// traffic. It is the exact extension point the paper adds to etcd:
+// the baseline uses StaticTuner; package dynatune implements the adaptive
+// version. Tuners are per-node and are called from the node's event loop
+// (no internal locking needed).
+type Tuner interface {
+	// ElectionTimeout returns the current base election timeout Et. The
+	// node derives randomizedTimeout = Et·(1+u) from it.
+	ElectionTimeout() time.Duration
+
+	// HeartbeatInterval returns the send interval h for heartbeats to
+	// peer. Dynatune tunes this per pair; static tuners return a constant.
+	HeartbeatInterval(peer ID) time.Duration
+
+	// PrepareHeartbeat is called by a leader immediately before sending a
+	// heartbeat to peer; the returned metadata is embedded in the message.
+	PrepareHeartbeat(peer ID, now time.Duration) HeartbeatMeta
+
+	// ObserveHeartbeatResp is called by a leader when a heartbeat response
+	// arrives from peer (RTT computation and tuned-h application).
+	ObserveHeartbeatResp(peer ID, meta HeartbeatRespMeta, now time.Duration)
+
+	// ObserveHeartbeat is called by a follower when a heartbeat arrives
+	// from its leader; the returned metadata is embedded in the response.
+	ObserveHeartbeat(from ID, meta HeartbeatMeta, now time.Duration) HeartbeatRespMeta
+
+	// Reset discards measurement state and reverts parameters to defaults.
+	Reset(reason ResetReason)
+}
+
+// StaticTuner implements the baseline: fixed parameters, no measurement —
+// stock Raft/etcd behaviour. The paper's "Raft" baseline uses the etcd
+// defaults (Et 1000 ms, h 100 ms); "Raft-Low" uses one tenth of those.
+type StaticTuner struct {
+	Et time.Duration
+	H  time.Duration
+}
+
+// NewStaticTuner returns a tuner with fixed election timeout et and
+// heartbeat interval h.
+func NewStaticTuner(et, h time.Duration) *StaticTuner {
+	return &StaticTuner{Et: et, H: h}
+}
+
+// ElectionTimeout implements Tuner.
+func (s *StaticTuner) ElectionTimeout() time.Duration { return s.Et }
+
+// HeartbeatInterval implements Tuner.
+func (s *StaticTuner) HeartbeatInterval(ID) time.Duration { return s.H }
+
+// PrepareHeartbeat implements Tuner; the baseline sends no metadata.
+func (s *StaticTuner) PrepareHeartbeat(ID, time.Duration) HeartbeatMeta { return HeartbeatMeta{} }
+
+// ObserveHeartbeatResp implements Tuner.
+func (s *StaticTuner) ObserveHeartbeatResp(ID, HeartbeatRespMeta, time.Duration) {}
+
+// ObserveHeartbeat implements Tuner.
+func (s *StaticTuner) ObserveHeartbeat(ID, HeartbeatMeta, time.Duration) HeartbeatRespMeta {
+	return HeartbeatRespMeta{}
+}
+
+// Reset implements Tuner.
+func (s *StaticTuner) Reset(ResetReason) {}
+
+var _ Tuner = (*StaticTuner)(nil)

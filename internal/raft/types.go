@@ -1,0 +1,318 @@
+// Package raft implements the Raft consensus algorithm (Ongaro &
+// Ousterhout, USENIX ATC '14) as used by etcd, including the behaviours
+// the Dynatune paper depends on: pre-vote with leader stickiness,
+// check-quorum, randomized election timeouts, per-peer heartbeat timers,
+// and heartbeat metadata hooks for network measurement.
+//
+// A Node is a purely reactive state machine: inputs arrive via Step
+// (messages), OnTimer (timer expirations) and Propose (client commands);
+// outputs leave via the Runtime interface (message sends, timer arming),
+// an Apply callback (committed entries) and a Tracer (observability).
+// The same Node runs on the discrete-event simulator and on real
+// hardware — only the Runtime differs.
+package raft
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ID identifies a node. None (0) means "no node".
+type ID uint64
+
+// None is the absent node ID.
+const None ID = 0
+
+// State is a node's role.
+type State int
+
+const (
+	StateFollower State = iota
+	StatePreCandidate
+	StateCandidate
+	StateLeader
+)
+
+func (s State) String() string {
+	switch s {
+	case StateFollower:
+		return "follower"
+	case StatePreCandidate:
+		return "pre-candidate"
+	case StateCandidate:
+		return "candidate"
+	case StateLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MsgType enumerates protocol messages.
+type MsgType int
+
+const (
+	// MsgApp carries log entries (and commit index) from leader to follower.
+	MsgApp MsgType = iota
+	// MsgAppResp acknowledges or rejects an MsgApp.
+	MsgAppResp
+	// MsgHeartbeat is the leader's liveness beacon; it carries the commit
+	// index and, under Dynatune, measurement metadata (paper Fig. 3).
+	MsgHeartbeat
+	// MsgHeartbeatResp answers a heartbeat; under Dynatune it echoes the
+	// send timestamp and piggybacks the tuned heartbeat interval.
+	MsgHeartbeatResp
+	// MsgPreVote asks for a non-binding vote at term+1 without
+	// incrementing terms (etcd's pre-vote phase, paper §II-A).
+	MsgPreVote
+	MsgPreVoteResp
+	// MsgVote is a RequestVote RPC.
+	MsgVote
+	MsgVoteResp
+	// MsgSnap installs a state-machine snapshot on a follower whose log
+	// tail was compacted away on the leader (InstallSnapshot, Raft §7).
+	MsgSnap
+	// MsgTimeoutNow tells the transfer target to campaign immediately
+	// (leadership transfer, as in etcd): it skips pre-vote and overrides
+	// voters' leases, moving leadership with near-zero out-of-service time
+	// for planned maintenance.
+	MsgTimeoutNow
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgApp:
+		return "MsgApp"
+	case MsgAppResp:
+		return "MsgAppResp"
+	case MsgHeartbeat:
+		return "MsgHeartbeat"
+	case MsgHeartbeatResp:
+		return "MsgHeartbeatResp"
+	case MsgPreVote:
+		return "MsgPreVote"
+	case MsgPreVoteResp:
+		return "MsgPreVoteResp"
+	case MsgVote:
+		return "MsgVote"
+	case MsgVoteResp:
+		return "MsgVoteResp"
+	case MsgSnap:
+		return "MsgSnap"
+	case MsgTimeoutNow:
+		return "MsgTimeoutNow"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(m))
+	}
+}
+
+// EntryType distinguishes client commands from cluster-configuration
+// changes (etcd's EntryNormal vs EntryConfChange).
+type EntryType uint8
+
+const (
+	// EntryNormal carries a client command (or a nil leader no-op).
+	EntryNormal EntryType = iota
+	// EntryConfChange carries an encoded ConfChange; state machines must
+	// skip it — the raft layer applies it to the membership when the entry
+	// is applied.
+	EntryConfChange
+)
+
+func (t EntryType) String() string {
+	switch t {
+	case EntryNormal:
+		return "normal"
+	case EntryConfChange:
+		return "conf-change"
+	default:
+		return fmt.Sprintf("entry-type(%d)", uint8(t))
+	}
+}
+
+// Entry is one log record.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Type  EntryType
+	Data  []byte
+}
+
+// HeartbeatMeta is the measurement metadata Dynatune adds to heartbeats
+// (paper §III-C): a per-pair sequence number for loss detection and the
+// leader-local send timestamp plus the previously measured RTT for the
+// follower's statistics.
+type HeartbeatMeta struct {
+	// Seq is the sequential heartbeat ID on this leader→follower pair.
+	Seq uint64
+	// SendTime is the leader's local clock at transmission, in nanoseconds.
+	SendTime int64
+	// RTT is the last RTT the leader measured for this pair, in
+	// nanoseconds; zero until the first response returns.
+	RTT int64
+}
+
+// HeartbeatRespMeta rides on heartbeat responses.
+type HeartbeatRespMeta struct {
+	// EchoTime returns the heartbeat's SendTime so the leader can compute
+	// the RTT from its own clock alone (robust to loss and reordering,
+	// paper §III-C1).
+	EchoTime int64
+	// Interval is the follower's requested heartbeat interval h in
+	// nanoseconds (paper §III-D2), zero for "no change".
+	Interval int64
+}
+
+// Message is the unit of communication between nodes.
+type Message struct {
+	Type MsgType
+	From ID
+	To   ID
+	Term uint64
+
+	// Log coordinates: for MsgApp, Index/LogTerm describe the entry
+	// preceding Entries; for votes they describe the candidate's last
+	// entry; for MsgAppResp, Index is the follower's resulting last index.
+	Index   uint64
+	LogTerm uint64
+	Commit  uint64
+	Entries []Entry
+
+	// Reject marks a refused append or vote; Hint carries the follower's
+	// last index to accelerate conflict resolution.
+	Reject bool
+	Hint   uint64
+	// Transfer marks votes raised by a leadership transfer: voters grant
+	// them even while holding a leader lease (the old leader asked for
+	// this election).
+	Transfer bool
+
+	HB     HeartbeatMeta
+	HBResp HeartbeatRespMeta
+
+	// ReadCtx threads a linearizable-read context through a heartbeat
+	// round (etcd's ReadIndex): the leader stamps outgoing heartbeats with
+	// the newest pending read's context, followers echo it, and a quorum of
+	// echoes confirms every read registered at or before that context.
+	ReadCtx uint64
+
+	// Snap carries an opaque state-machine snapshot for MsgSnap; Index and
+	// LogTerm describe its last included entry. SnapVoters/SnapLearners
+	// carry the membership at that point — conf changes compacted into the
+	// snapshot are invisible in the log, so the receiver adopts these.
+	Snap         []byte
+	SnapVoters   []ID
+	SnapLearners []ID
+}
+
+// TimerKind distinguishes the node's timers.
+type TimerKind int
+
+const (
+	// TimerElection is the follower/candidate election timer; the leader
+	// also arms it for check-quorum.
+	TimerElection TimerKind = iota
+	// TimerHeartbeat is the leader's per-peer heartbeat timer. Dynatune
+	// requires one per follower because each pair has its own h (paper
+	// §IV-E); the baseline simply arms them all with the same interval.
+	TimerHeartbeat
+)
+
+// Runtime is everything a Node needs from its environment. The simulator
+// and the real-time server both implement it.
+type Runtime interface {
+	// Now returns the node-local monotonic clock.
+	Now() time.Duration
+	// Send transmits m to m.To (best effort; the transport decides class
+	// and reliability).
+	Send(m Message)
+	// SetTimer (re)arms the timer (kind, peer) to fire OnTimer at absolute
+	// time at. peer is None for TimerElection.
+	SetTimer(kind TimerKind, peer ID, at time.Duration)
+	// CancelTimer disarms the timer if armed.
+	CancelTimer(kind TimerKind, peer ID)
+	// Rand is the node's randomness source (deterministic under the
+	// simulator).
+	Rand() *rand.Rand
+}
+
+// EventKind enumerates trace events, the stand-in for the etcd log lines
+// the paper parses to measure detection and OTS times (§IV-A).
+type EventKind int
+
+const (
+	// EventTimeout fires when an election timer expires on a node that
+	// believed a leader existed — the paper's "failure detected" instant.
+	EventTimeout EventKind = iota
+	// EventCampaign fires when a node starts a pre-vote or vote round.
+	EventCampaign
+	// EventLeaderElected fires on the new leader when it wins.
+	EventLeaderElected
+	// EventStateChange fires on any role transition.
+	EventStateChange
+	// EventTermChange fires when the current term advances.
+	EventTermChange
+	// EventRevert fires when a pre-candidate/candidate hears a live leader
+	// and steps back to follower (Fig. 6b's aborted false detection).
+	EventRevert
+	// EventSplitVote fires on a candidate whose election round ended
+	// without a winner (timer expired while campaigning).
+	EventSplitVote
+	// EventTransfer fires on a leader that initiated a leadership
+	// transfer.
+	EventTransfer
+	// EventConfChange fires when a node applies a committed membership
+	// change.
+	EventConfChange
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventTimeout:
+		return "timeout"
+	case EventCampaign:
+		return "campaign"
+	case EventLeaderElected:
+		return "leader-elected"
+	case EventStateChange:
+		return "state-change"
+	case EventTermChange:
+		return "term-change"
+	case EventRevert:
+		return "revert"
+	case EventSplitVote:
+		return "split-vote"
+	case EventTransfer:
+		return "transfer"
+	case EventConfChange:
+		return "conf-change"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	Time  time.Duration
+	Node  ID
+	Kind  EventKind
+	Term  uint64
+	State State
+	Lead  ID
+	// RandomizedTimeout is the node's randomized election timeout at the
+	// moment of the event (what Fig. 6 plots).
+	RandomizedTimeout time.Duration
+}
+
+// Tracer receives trace events. Implementations must not call back into
+// the node.
+type Tracer interface {
+	Trace(Event)
+}
+
+// NopTracer discards events.
+type NopTracer struct{}
+
+// Trace implements Tracer.
+func (NopTracer) Trace(Event) {}

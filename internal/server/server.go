@@ -1,0 +1,451 @@
+// Package server runs one Dynatune/Raft node on real hardware and wall
+// clocks: it drives a raft.Node from a single event loop, uses the hybrid
+// UDP/TCP transport, applies commands to the kv store, and exposes a
+// small HTTP API (put/get/status) that cmd/dynactl and the examples use.
+// It is the real-world counterpart of internal/cluster's simulated
+// runtime — the raft.Node and tuner code are identical.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dynatune/internal/kv"
+	"dynatune/internal/raft"
+	"dynatune/internal/transport"
+)
+
+// Config configures a Server.
+type Config struct {
+	ID    raft.ID
+	Peers map[raft.ID]transport.PeerAddr // all peers including self
+	// Listen addresses; zero ports pick ephemeral ones.
+	Listen transport.PeerAddr
+	// HTTPListen is the client API address (":0" for ephemeral).
+	HTTPListen string
+	// Tuner for this node (static baseline or dynatune).
+	Tuner raft.Tuner
+	// Tracer is optional.
+	Tracer raft.Tracer
+	// Logger defaults to a prefixed standard logger.
+	Logger *log.Logger
+	// ProposeTimeout bounds how long a PUT waits for commit (default 5s).
+	ProposeTimeout time.Duration
+	// Persister, when set, makes the node's term/vote/log durable
+	// (typically a *storage.WAL); Restored resumes from a previous run's
+	// recovered state. Both nil for a volatile node.
+	Persister raft.Persister
+	Restored  *raft.Restored
+}
+
+// Server is a running node.
+type Server struct {
+	cfg   Config
+	lg    *log.Logger
+	node  *raft.Node
+	store *kv.Store
+	tr    *transport.Transport
+	httpl net.Listener
+	hsrv  *http.Server
+
+	start time.Time
+
+	// events serializes all node interaction onto the loop goroutine.
+	events   chan func()
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// loop-owned state
+	timers  map[timerKey]*time.Timer
+	rng     *rand.Rand
+	pending map[uint64]chan error // log index → commit waiter
+}
+
+type timerKey struct {
+	kind raft.TimerKind
+	peer raft.ID
+}
+
+// Start launches the node. Call Stop to shut down.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Tuner == nil {
+		return nil, errors.New("server: need a tuner")
+	}
+	if cfg.ProposeTimeout == 0 {
+		cfg.ProposeTimeout = 5 * time.Second
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = log.New(log.Writer(), fmt.Sprintf("node[%d] ", cfg.ID), log.LstdFlags|log.Lmicroseconds)
+	}
+	s := &Server{
+		cfg:     cfg,
+		lg:      lg,
+		store:   kv.NewStore(),
+		start:   time.Now(),
+		events:  make(chan func(), 4096),
+		done:    make(chan struct{}),
+		timers:  map[timerKey]*time.Timer{},
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(cfg.ID)<<32)),
+		pending: map[uint64]chan error{},
+	}
+
+	tr, err := transport.Start(transport.Config{
+		ID:      cfg.ID,
+		Listen:  cfg.Listen,
+		Peers:   cfg.Peers,
+		Logger:  lg,
+		Handler: func(m raft.Message) { s.exec(func() { s.node.Step(m) }) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.tr = tr
+
+	peers := make([]raft.ID, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		peers = append(peers, id)
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		peers = append(peers, cfg.ID)
+	}
+	node, err := raft.NewNode(raft.Config{
+		ID:           cfg.ID,
+		Peers:        peers,
+		Runtime:      (*runtime)(s),
+		Tuner:        cfg.Tuner,
+		Tracer:       cfg.Tracer,
+		Persister:    cfg.Persister,
+		Restored:     cfg.Restored,
+		Apply:        s.onApply,
+		SnapshotData: s.store.MarshalSnapshot,
+		RestoreSnapshot: func(data []byte, index uint64) {
+			if err := s.store.RestoreSnapshot(data, index); err != nil {
+				lg.Printf("snapshot restore failed: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	s.node = node
+
+	if cfg.HTTPListen != "" {
+		ln, err := net.Listen("tcp", cfg.HTTPListen)
+		if err != nil {
+			tr.Close()
+			return nil, fmt.Errorf("server: http listen: %w", err)
+		}
+		s.httpl = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/kv/", s.handleKV)
+		mux.HandleFunc("/status", s.handleStatus)
+		s.hsrv = &http.Server{Handler: mux}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				lg.Printf("http: %v", err)
+			}
+		}()
+	}
+
+	s.wg.Add(1)
+	go s.loop()
+	s.exec(func() { s.node.Start() })
+	return s, nil
+}
+
+// exec enqueues fn onto the event loop (drops after shutdown).
+func (s *Server) exec(fn func()) {
+	select {
+	case s.events <- fn:
+	case <-s.done:
+	}
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	compact := time.NewTicker(5 * time.Second)
+	defer compact.Stop()
+	for {
+		select {
+		case fn := <-s.events:
+			fn()
+		case <-compact.C:
+			s.node.CompactLog(1024)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Server) onApply(ents []raft.Entry) {
+	s.store.Apply(ents)
+	for _, e := range ents {
+		if ch, ok := s.pending[e.Index]; ok {
+			delete(s.pending, e.Index)
+			ch <- nil
+		}
+	}
+}
+
+// --- raft.Runtime (all methods invoked from the loop goroutine) ---
+
+// runtime is Server viewed as a raft.Runtime; a distinct type keeps the
+// Runtime methods out of Server's public API.
+type runtime Server
+
+func (r *runtime) Now() time.Duration { return time.Since(r.start) }
+func (r *runtime) Rand() *rand.Rand   { return r.rng }
+
+func (r *runtime) Send(m raft.Message) { r.tr.Send(m) }
+
+func (r *runtime) SetTimer(kind raft.TimerKind, peer raft.ID, at time.Duration) {
+	s := (*Server)(r)
+	key := timerKey{kind, peer}
+	if t, ok := s.timers[key]; ok {
+		t.Stop()
+	}
+	delay := at - time.Since(s.start)
+	if delay < 0 {
+		delay = 0
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(delay, func() {
+		s.exec(func() {
+			// A replaced timer's callback may already be queued when the
+			// replacement happens; the identity check discards it.
+			if cur, ok := s.timers[key]; ok && cur == tm {
+				delete(s.timers, key)
+				s.node.OnTimer(kind, peer)
+			}
+		})
+	})
+	s.timers[key] = tm
+}
+
+func (r *runtime) CancelTimer(kind raft.TimerKind, peer raft.ID) {
+	s := (*Server)(r)
+	key := timerKey{kind, peer}
+	if t, ok := s.timers[key]; ok {
+		t.Stop()
+		delete(s.timers, key)
+	}
+}
+
+// --- client API ---
+
+// Status is the /status payload.
+type Status struct {
+	ID        raft.ID `json:"id"`
+	State     string  `json:"state"`
+	Term      uint64  `json:"term"`
+	Leader    raft.ID `json:"leader"`
+	Committed uint64  `json:"committed"`
+	Applied   uint64  `json:"applied"`
+	EtMs      float64 `json:"et_ms"`
+	RandTOMs  float64 `json:"randomized_timeout_ms"`
+}
+
+// Propose replicates a command and waits for it to commit locally.
+func (s *Server) Propose(cmd kv.Command) error {
+	errc := make(chan error, 1)
+	s.exec(func() {
+		idx, err := s.node.Propose(kv.Encode(cmd))
+		if err != nil {
+			errc <- err
+			return
+		}
+		s.pending[idx] = errc
+	})
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(s.cfg.ProposeTimeout):
+		return fmt.Errorf("server: propose timed out after %v", s.cfg.ProposeTimeout)
+	case <-s.done:
+		return errors.New("server: shut down")
+	}
+}
+
+// Get reads a key from the local store (leader reads are fresh up to the
+// apply point, as in the paper's etcd usage).
+func (s *Server) Get(key string) ([]byte, bool) { return s.store.Get(key) }
+
+// ErrReadAborted reports a linearizable read cancelled by leadership loss;
+// clients retry against the new leader.
+var ErrReadAborted = errors.New("server: read aborted by leadership change")
+
+// GetLinearizable reads a key with linearizable semantics: the value is
+// served only after the leader confirmed its authority past the read's
+// registration point. With lease=true the check-quorum lease short-cuts
+// the quorum round when it still holds (etcd's default); the lease window
+// is the election timeout, i.e. the *tuned* Et under Dynatune.
+func (s *Server) GetLinearizable(key string, lease bool) ([]byte, bool, error) {
+	errc := make(chan error, 1)
+	s.exec(func() {
+		cb := func(_ uint64, ok bool) {
+			if ok {
+				errc <- nil
+			} else {
+				errc <- ErrReadAborted
+			}
+		}
+		var err error
+		if lease {
+			if err = s.node.LeaseRead(cb); errors.Is(err, raft.ErrLeaseExpired) {
+				err = s.node.ReadIndex(cb)
+			}
+		} else {
+			err = s.node.ReadIndex(cb)
+		}
+		if err != nil {
+			errc <- err
+		}
+	})
+	select {
+	case err := <-errc:
+		if err != nil {
+			return nil, false, err
+		}
+		v, ok := s.store.Get(key)
+		return v, ok, nil
+	case <-time.After(s.cfg.ProposeTimeout):
+		return nil, false, fmt.Errorf("server: linearizable read timed out after %v", s.cfg.ProposeTimeout)
+	case <-s.done:
+		return nil, false, errors.New("server: shut down")
+	}
+}
+
+// Status snapshots the node state (loop-synchronized).
+func (s *Server) Status() Status {
+	ch := make(chan Status, 1)
+	s.exec(func() {
+		ch <- Status{
+			ID:        s.node.ID(),
+			State:     s.node.State().String(),
+			Term:      s.node.Term(),
+			Leader:    s.node.Lead(),
+			Committed: s.node.Log().Committed(),
+			Applied:   s.node.Log().Applied(),
+			EtMs:      float64(s.node.ElectionTimeoutBase()) / float64(time.Millisecond),
+			RandTOMs:  float64(s.node.RandomizedTimeout()) / float64(time.Millisecond),
+		}
+	})
+	select {
+	case st := <-ch:
+		return st
+	case <-time.After(2 * time.Second):
+		return Status{ID: s.cfg.ID, State: "unresponsive"}
+	}
+}
+
+// Addrs returns the transport listen addresses.
+func (s *Server) Addrs() transport.PeerAddr { return s.tr.Addrs() }
+
+// HTTPAddr returns the client API address ("" if disabled).
+func (s *Server) HTTPAddr() string {
+	if s.httpl == nil {
+		return ""
+	}
+	return s.httpl.Addr().String()
+}
+
+// SetPeer updates a peer's transport addresses.
+func (s *Server) SetPeer(id raft.ID, pa transport.PeerAddr) { s.tr.SetPeer(id, pa) }
+
+// Store exposes the kv state machine.
+func (s *Server) Store() *kv.Store { return s.store }
+
+func (s *Server) handleKV(w http.ResponseWriter, req *http.Request) {
+	key := strings.TrimPrefix(req.URL.Path, "/kv/")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	switch req.Method {
+	case http.MethodGet:
+		var v []byte
+		var ok bool
+		switch c := req.URL.Query().Get("consistency"); c {
+		case "", "local":
+			v, ok = s.Get(key)
+		case "linearizable", "lease":
+			var err error
+			v, ok, err = s.GetLinearizable(key, c == "lease")
+			if errors.Is(err, raft.ErrNotLeader) || errors.Is(err, raft.ErrNotReady) || errors.Is(err, ErrReadAborted) {
+				st := s.Status()
+				w.Header().Set("X-Raft-Leader", fmt.Sprint(st.Leader))
+				http.Error(w, err.Error(), http.StatusMisdirectedRequest)
+				return
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		default:
+			http.Error(w, "bad consistency (want local|linearizable|lease)", http.StatusBadRequest)
+			return
+		}
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.Write(v) //nolint:errcheck // best-effort response body
+	case http.MethodPut, http.MethodPost:
+		var body [4096]byte
+		n, _ := req.Body.Read(body[:])
+		err := s.Propose(kv.Command{Op: kv.OpPut, Key: key, Value: append([]byte(nil), body[:n]...)})
+		if errors.Is(err, raft.ErrNotLeader) {
+			st := s.Status()
+			w.Header().Set("X-Raft-Leader", fmt.Sprint(st.Leader))
+			http.Error(w, "not the leader", http.StatusMisdirectedRequest)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodDelete:
+		if err := s.Propose(kv.Command{Op: kv.OpDelete, Key: key}); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Status()) //nolint:errcheck // best-effort response body
+}
+
+// Stop shuts the server down. It is idempotent.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		if s.hsrv != nil {
+			s.hsrv.Close()
+		}
+		s.tr.Close()
+		s.wg.Wait()
+		// Stop loop-owned timers; the loop has exited, so this is safe.
+		for _, t := range s.timers {
+			t.Stop()
+		}
+	})
+}

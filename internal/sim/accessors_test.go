@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHandleValidity(t *testing.T) {
+	var zero Handle
+	if zero.Valid() {
+		t.Fatal("zero handle reports valid")
+	}
+	eng := NewEngine(1)
+	h := eng.Schedule(time.Second, func() {})
+	if !h.Valid() {
+		t.Fatal("scheduled handle reports invalid")
+	}
+	eng.Cancel(h)
+	if !h.Valid() {
+		t.Fatal("Valid is about referencing an event, not liveness")
+	}
+}
+
+func TestProcChargeDelaysFutureWork(t *testing.T) {
+	eng := NewEngine(1)
+	p := NewProc(eng)
+	// Charging 50ms of send work makes later Exec'd work finish after the
+	// backlog drains, not at its nominal cost.
+	p.Charge(50 * time.Millisecond)
+	var doneAt time.Duration
+	p.Exec(10*time.Millisecond, func() { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	if doneAt != 60*time.Millisecond {
+		t.Fatalf("work completed at %v, want 60ms (50ms backlog + 10ms cost)", doneAt)
+	}
+	if p.Busy() != 60*time.Millisecond {
+		t.Fatalf("busy = %v, want 60ms", p.Busy())
+	}
+}
+
+func TestProcChargeIgnoredWhilePausedOrFree(t *testing.T) {
+	eng := NewEngine(1)
+	p := NewProc(eng)
+	p.Charge(0)
+	p.Charge(-time.Second)
+	if p.Busy() != 0 {
+		t.Fatalf("non-positive charges accrued busy %v", p.Busy())
+	}
+	p.Pause()
+	if !p.Paused() {
+		t.Fatal("Paused() false after Pause")
+	}
+	p.Charge(time.Second)
+	if p.Busy() != 0 {
+		t.Fatal("paused processor accrued work")
+	}
+	p.Resume()
+	if p.Paused() {
+		t.Fatal("Paused() true after Resume")
+	}
+}
+
+func TestProcChargeAfterIdleGapStartsFromNow(t *testing.T) {
+	eng := NewEngine(1)
+	p := NewProc(eng)
+	p.Charge(10 * time.Millisecond)
+	eng.Run(100 * time.Millisecond) // backlog drains, processor idles
+	p.Charge(10 * time.Millisecond)
+	var doneAt time.Duration
+	p.Exec(0, func() { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	// The second charge starts at t=100ms, not stacked on the first.
+	if doneAt != 110*time.Millisecond {
+		t.Fatalf("work completed at %v, want 110ms", doneAt)
+	}
+}

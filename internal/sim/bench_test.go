@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire measures raw event throughput — the budget every
+// simulated experiment spends.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+time.Microsecond, func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkTimerChurn measures the set/cancel pattern raft timers follow.
+func BenchmarkTimerChurn(b *testing.B) {
+	e := NewEngine(1)
+	b.ResetTimer()
+	var h Handle
+	for i := 0; i < b.N; i++ {
+		e.Cancel(h)
+		h = e.Schedule(e.Now()+time.Millisecond, func() {})
+		if i%64 == 0 {
+			e.Step()
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run(time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("Now() = %v, want horizon 1s", e.Now())
+	}
+}
+
+func TestEqualTimestampsFIFOs(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	h := e.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel(h)
+	e.Run(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling again (and cancelling a zero handle) must be harmless.
+	e.Cancel(h)
+	e.Cancel(Handle{})
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	h1 := e.Schedule(time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Cancel(h1)
+	e.Run(time.Second)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want [2]", got)
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine(1)
+	var times []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		times = append(times, e.Now())
+		e.After(time.Millisecond, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run(time.Second)
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 2*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*time.Millisecond, func() {})
+	e.Run(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(5*time.Millisecond, func() {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic with nil fn")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+func TestRunHorizonExcludesLaterEvents(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(2*time.Second, func() { fired = true })
+	e.Run(time.Second)
+	if fired {
+		t.Fatal("event past horizon fired")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", e.Now())
+	}
+	e.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire on later Run")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(time.Millisecond, func() { count++; e.Halt() })
+	e.Schedule(2*time.Millisecond, func() { count++ })
+	e.Run(time.Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (halted)", count)
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 3 })
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(time.Millisecond, func() {
+		e.After(-5*time.Millisecond, func() { fired = true })
+	})
+	e.Run(time.Second)
+	if !fired {
+		t.Fatal("clamped event did not fire")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := NewEngine(seed)
+		var out []time.Duration
+		var schedule func()
+		n := 0
+		schedule = func() {
+			if n > 200 {
+				return
+			}
+			n++
+			out = append(out, e.Now())
+			e.After(time.Duration(e.Rand().Intn(1000))*time.Microsecond, schedule)
+		}
+		e.Schedule(0, schedule)
+		e.Run(time.Second)
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events with random timestamps, execution order
+// is sorted by timestamp with FIFO tie-break, and the clock never goes
+// backwards.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var fireTimes []time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Microsecond
+			e.Schedule(at, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run(time.Hour)
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(1)
+		n := 50
+		fired := make([]bool, n)
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = e.Schedule(time.Duration(rng.Intn(100))*time.Millisecond, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = true
+				e.Cancel(handles[i])
+			}
+		}
+		e.Run(time.Hour)
+		for i := 0; i < n; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSerializesWork(t *testing.T) {
+	e := NewEngine(1)
+	p := NewProc(e)
+	var done []time.Duration
+	e.Schedule(0, func() {
+		p.Exec(10*time.Millisecond, func() { done = append(done, e.Now()) })
+		p.Exec(5*time.Millisecond, func() { done = append(done, e.Now()) })
+	})
+	e.Run(time.Second)
+	if len(done) != 2 {
+		t.Fatalf("completions = %d, want 2", len(done))
+	}
+	if done[0] != 10*time.Millisecond || done[1] != 15*time.Millisecond {
+		t.Fatalf("completion times = %v, want [10ms 15ms]", done)
+	}
+	if p.Busy() != 15*time.Millisecond {
+		t.Fatalf("Busy() = %v, want 15ms", p.Busy())
+	}
+}
+
+func TestProcIdleGap(t *testing.T) {
+	e := NewEngine(1)
+	p := NewProc(e)
+	var done []time.Duration
+	e.Schedule(0, func() {
+		p.Exec(time.Millisecond, func() { done = append(done, e.Now()) })
+	})
+	e.Schedule(100*time.Millisecond, func() {
+		p.Exec(time.Millisecond, func() { done = append(done, e.Now()) })
+	})
+	e.Run(time.Second)
+	if done[1] != 101*time.Millisecond {
+		t.Fatalf("second completion = %v, want 101ms (idle gap not carried over)", done[1])
+	}
+	if p.Busy() != 2*time.Millisecond {
+		t.Fatalf("Busy() = %v, want 2ms", p.Busy())
+	}
+}
+
+func TestProcPauseDropsWork(t *testing.T) {
+	e := NewEngine(1)
+	p := NewProc(e)
+	completed := 0
+	e.Schedule(0, func() {
+		p.Exec(20*time.Millisecond, func() { completed++ })
+	})
+	e.Schedule(5*time.Millisecond, func() { p.Pause() })
+	e.Schedule(50*time.Millisecond, func() {
+		if p.Exec(time.Millisecond, func() { completed++ }) {
+			t.Error("Exec accepted work while paused")
+		}
+	})
+	e.Run(time.Second)
+	if completed != 0 {
+		t.Fatalf("completed = %d, want 0 (pause must suppress in-flight completion)", completed)
+	}
+}
+
+func TestProcResume(t *testing.T) {
+	e := NewEngine(1)
+	p := NewProc(e)
+	completed := 0
+	e.Schedule(0, func() { p.Pause() })
+	e.Schedule(10*time.Millisecond, func() { p.Resume() })
+	e.Schedule(20*time.Millisecond, func() {
+		if !p.Exec(time.Millisecond, func() { completed++ }) {
+			t.Error("Exec rejected after Resume")
+		}
+	})
+	e.Run(time.Second)
+	if completed != 1 {
+		t.Fatalf("completed = %d, want 1", completed)
+	}
+}
+
+func TestProcWindowBusy(t *testing.T) {
+	e := NewEngine(1)
+	p := NewProc(e)
+	e.Schedule(0, func() { p.Exec(3*time.Millisecond, func() {}) })
+	e.Run(time.Second)
+	if got := p.TakeWindowBusy(); got != 3*time.Millisecond {
+		t.Fatalf("window busy = %v, want 3ms", got)
+	}
+	if got := p.TakeWindowBusy(); got != 0 {
+		t.Fatalf("window busy after take = %v, want 0", got)
+	}
+}
+
+func TestProcBacklog(t *testing.T) {
+	e := NewEngine(1)
+	p := NewProc(e)
+	e.Schedule(0, func() {
+		p.Exec(10*time.Millisecond, func() {})
+		if p.Backlog() != 10*time.Millisecond {
+			t.Errorf("Backlog = %v, want 10ms", p.Backlog())
+		}
+	})
+	e.Run(time.Second)
+	if p.Backlog() != 0 {
+		t.Fatalf("Backlog after drain = %v, want 0", p.Backlog())
+	}
+}

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+func benchEntries(n int, size int) [][]raft.Entry {
+	payload := make([]byte, size)
+	out := make([][]raft.Entry, n)
+	for i := range out {
+		out[i] = []raft.Entry{{Term: 1, Index: uint64(i + 1), Data: payload}}
+	}
+	return out
+}
+
+// BenchmarkWALAppendNoSync measures the WAL's framing/bookkeeping cost
+// alone (no fsync) — the per-entry floor for the simulated persistence
+// cost model.
+func BenchmarkWALAppendNoSync(b *testing.B) {
+	for _, size := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			w, _, err := Open(b.TempDir(), WALOptions{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			batches := benchEntries(b.N, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.AppendEntries(batches[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALAppendSync includes the fsync after every record — what a
+// real deployment pays per committed batch (persist-before-send).
+func BenchmarkWALAppendSync(b *testing.B) {
+	w, _, err := Open(b.TempDir(), WALOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	batches := benchEntries(b.N, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.AppendEntries(batches[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALRecovery measures cold-start replay of a 10k-entry chain —
+// the restart cost the crash-recovery experiment's downtime includes.
+func BenchmarkWALRecovery(b *testing.B) {
+	dir := b.TempDir()
+	w, _, err := Open(dir, WALOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range benchEntries(10000, 64) {
+		if err := w.AppendEntries(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w2, restored, err := Open(dir, WALOptions{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(restored.Entries) != 10000 {
+			b.Fatalf("replayed %d entries", len(restored.Entries))
+		}
+		w2.Close()
+	}
+}
+
+// BenchmarkMemoryPersister measures the simulator-side persister, which
+// sits on every simulated proposal when Options.Persist is set.
+func BenchmarkMemoryPersister(b *testing.B) {
+	m := NewMemory()
+	batches := benchEntries(b.N, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.AppendEntries(batches[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotCompaction measures the rewrite compaction triggered
+// by SaveSnapshot over a 1000-entry suffix.
+func BenchmarkSnapshotCompaction(b *testing.B) {
+	w, _, err := Open(b.TempDir(), WALOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	idx := uint64(0)
+	for i := 0; i < 2000; i++ {
+		idx++
+		if err := w.AppendEntries([]raft.Entry{{Term: 1, Index: idx, Data: make([]byte, 64)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snapAt := idx - 1000
+		if err := w.SaveSnapshot(raft.Snapshot{Index: snapAt, Term: 1, Data: []byte("s")}); err != nil {
+			b.Fatal(err)
+		}
+		idx++
+		if err := w.AppendEntries([]raft.Entry{{Term: 1, Index: idx, Data: make([]byte, 64)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"sync"
+
+	"dynatune/internal/raft"
+)
+
+// Memory is an in-process raft.Persister. The simulated testbed gives each
+// node one Memory that outlives the node object itself: crashing a node
+// discards the raft.Node (and its tuner — Dynatune's measurement state is
+// volatile, paper §III-B), while the Memory plays the role of the disk the
+// crash-recovery model assumes survives.
+//
+// It is safe for concurrent use so the real-network server can share it
+// between its event loop and tests.
+type Memory struct {
+	mu  sync.Mutex
+	rec recovery
+	// counters for tests and the cost model
+	stateSaves, appends, truncates, snapSaves uint64
+}
+
+// NewMemory returns an empty in-memory persister.
+func NewMemory() *Memory { return &Memory{} }
+
+var _ raft.Persister = (*Memory)(nil)
+
+// SaveHardState implements raft.Persister.
+func (m *Memory) SaveHardState(hs raft.HardState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec.setHardState(hs)
+	m.stateSaves++
+	return nil
+}
+
+// AppendEntries implements raft.Persister.
+func (m *Memory) AppendEntries(entries []raft.Entry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appends++
+	return m.rec.appendEntries(cloneEntries(entries))
+}
+
+// TruncateFrom implements raft.Persister.
+func (m *Memory) TruncateFrom(index uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec.truncateFrom(index)
+	m.truncates++
+	return nil
+}
+
+// SaveSnapshot implements raft.Persister.
+func (m *Memory) SaveSnapshot(snap raft.Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap.Data = append([]byte(nil), snap.Data...)
+	snap.Voters = append([]raft.ID(nil), snap.Voters...)
+	snap.Learners = append([]raft.ID(nil), snap.Learners...)
+	m.rec.setSnapshot(snap)
+	m.snapSaves++
+	return nil
+}
+
+// Restored returns the state a restarting node should resume from, or nil
+// if nothing was ever saved (fresh boot).
+func (m *Memory) Restored() *raft.Restored {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.rec.restored()
+	if r == nil {
+		return nil
+	}
+	r.Entries = cloneEntries(r.Entries)
+	if r.Snapshot != nil {
+		r.Snapshot.Data = append([]byte(nil), r.Snapshot.Data...)
+	}
+	return r
+}
+
+// LastIndex returns the highest persisted entry index (snapshot floor if
+// the suffix is empty).
+func (m *Memory) LastIndex() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rec.lastIndex()
+}
+
+// Counters returns (hard-state saves, entry-append calls, truncations,
+// snapshot saves) — instrumentation for tests and the CPU cost model.
+func (m *Memory) Counters() (states, appends, truncates, snaps uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stateSaves, m.appends, m.truncates, m.snapSaves
+}
+
+func cloneEntries(entries []raft.Entry) []raft.Entry {
+	out := make([]raft.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = e
+		if e.Data != nil {
+			out[i].Data = append([]byte(nil), e.Data...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+func entry(term, index uint64, data string) raft.Entry {
+	return raft.Entry{Term: term, Index: index, Data: []byte(data)}
+}
+
+func TestMemoryFreshIsNil(t *testing.T) {
+	m := NewMemory()
+	if r := m.Restored(); r != nil {
+		t.Fatalf("fresh Memory restored %+v, want nil", r)
+	}
+}
+
+func TestMemoryHardStateRoundtrip(t *testing.T) {
+	m := NewMemory()
+	hs := raft.HardState{Term: 7, Vote: 3}
+	if err := m.SaveHardState(hs); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Restored()
+	if r == nil || r.HardState != hs {
+		t.Fatalf("restored %+v, want hard state %+v", r, hs)
+	}
+}
+
+func TestMemoryAppendAndRestore(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendEntries([]raft.Entry{entry(1, 1, "a"), entry(1, 2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendEntries([]raft.Entry{entry(2, 3, "c")}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Restored()
+	if len(r.Entries) != 3 {
+		t.Fatalf("restored %d entries, want 3", len(r.Entries))
+	}
+	if string(r.Entries[2].Data) != "c" || r.Entries[2].Term != 2 {
+		t.Fatalf("entry 3 = %+v", r.Entries[2])
+	}
+}
+
+func TestMemoryAppendGapFails(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendEntries([]raft.Entry{entry(1, 1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendEntries([]raft.Entry{entry(1, 5, "gap")}); err == nil {
+		t.Fatal("appending with an index gap should fail")
+	}
+}
+
+func TestMemoryTruncateThenReappend(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendEntries([]raft.Entry{entry(1, 1, "a"), entry(1, 2, "b"), entry(1, 3, "c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TruncateFrom(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LastIndex(); got != 1 {
+		t.Fatalf("last index after truncate = %d, want 1", got)
+	}
+	if err := m.AppendEntries([]raft.Entry{entry(2, 2, "b2")}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Restored()
+	if len(r.Entries) != 2 || string(r.Entries[1].Data) != "b2" || r.Entries[1].Term != 2 {
+		t.Fatalf("restored entries %+v", r.Entries)
+	}
+}
+
+func TestMemoryOverwriteTruncatesSuffix(t *testing.T) {
+	// An append at an existing index replaces it and drops everything
+	// above — the conflicting-suffix rule replay depends on.
+	m := NewMemory()
+	if err := m.AppendEntries([]raft.Entry{entry(1, 1, "a"), entry(1, 2, "b"), entry(1, 3, "c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendEntries([]raft.Entry{entry(3, 2, "B")}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Restored()
+	if len(r.Entries) != 2 {
+		t.Fatalf("restored %d entries, want 2 (suffix dropped)", len(r.Entries))
+	}
+	if string(r.Entries[1].Data) != "B" {
+		t.Fatalf("entry 2 = %q, want B", r.Entries[1].Data)
+	}
+}
+
+func TestMemorySnapshotDropsCoveredEntries(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendEntries([]raft.Entry{entry(1, 1, "a"), entry(1, 2, "b"), entry(1, 3, "c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveSnapshot(raft.Snapshot{Index: 2, Term: 1, Data: []byte("snap")}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Restored()
+	if r.Snapshot == nil || r.Snapshot.Index != 2 {
+		t.Fatalf("restored snapshot %+v", r.Snapshot)
+	}
+	if len(r.Entries) != 1 || r.Entries[0].Index != 3 {
+		t.Fatalf("restored suffix %+v, want only index 3", r.Entries)
+	}
+	if err := m.AppendEntries([]raft.Entry{entry(1, 4, "d")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LastIndex(); got != 4 {
+		t.Fatalf("last index = %d, want 4", got)
+	}
+}
+
+func TestMemorySnapshotBeyondTailClearsEntries(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendEntries([]raft.Entry{entry(1, 1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveSnapshot(raft.Snapshot{Index: 10, Term: 4, Data: nil}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Restored()
+	if len(r.Entries) != 0 {
+		t.Fatalf("entries %+v, want none", r.Entries)
+	}
+	// The next append must continue above the snapshot floor.
+	if err := m.AppendEntries([]raft.Entry{entry(4, 11, "k")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendEntries([]raft.Entry{entry(4, 2, "stale")}); err != nil {
+		t.Fatal(err) // below the floor: silently skipped, not an error
+	}
+	if got := m.LastIndex(); got != 11 {
+		t.Fatalf("last index = %d, want 11", got)
+	}
+}
+
+func TestMemoryRestoredIsACopy(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendEntries([]raft.Entry{entry(1, 1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Restored()
+	r.Entries[0].Data[0] = 'X'
+	r2 := m.Restored()
+	if !bytes.Equal(r2.Entries[0].Data, []byte("a")) {
+		t.Fatal("Restored shares backing arrays with the store")
+	}
+}
+
+func TestMemoryCounters(t *testing.T) {
+	m := NewMemory()
+	_ = m.SaveHardState(raft.HardState{Term: 1})
+	_ = m.AppendEntries([]raft.Entry{entry(1, 1, "a")})
+	_ = m.TruncateFrom(1)
+	_ = m.SaveSnapshot(raft.Snapshot{Index: 0, Term: 0})
+	s, a, tr, sn := m.Counters()
+	if s != 1 || a != 1 || tr != 1 || sn != 1 {
+		t.Fatalf("counters = %d %d %d %d, want all 1", s, a, tr, sn)
+	}
+}
+
+// TestMemoryEquivalentToWAL drives the same random-ish operation sequence
+// through Memory and a NoSync WAL and requires identical recovery — the
+// two persisters must never diverge semantically.
+func TestMemoryEquivalentToWAL(t *testing.T) {
+	mem := NewMemory()
+	wal, restored, err := Open(t.TempDir(), WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if restored != nil {
+		t.Fatal("fresh WAL restored non-nil")
+	}
+	both := func(f func(p raft.Persister) error) {
+		t.Helper()
+		if err := f(mem); err != nil {
+			t.Fatal(err)
+		}
+		if err := f(wal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := uint64(0)
+	for round := 0; round < 50; round++ {
+		switch round % 5 {
+		case 0:
+			term := uint64(round/5 + 1)
+			both(func(p raft.Persister) error {
+				return p.SaveHardState(raft.HardState{Term: term, Vote: raft.ID(round % 3)})
+			})
+		case 1, 2:
+			var batch []raft.Entry
+			for j := 0; j < 3; j++ {
+				idx++
+				batch = append(batch, entry(uint64(round/5+1), idx, fmt.Sprintf("v%d", idx)))
+			}
+			both(func(p raft.Persister) error { return p.AppendEntries(batch) })
+		case 3:
+			if idx > 2 {
+				idx -= 2
+				cut := idx + 1
+				both(func(p raft.Persister) error { return p.TruncateFrom(cut) })
+			}
+		case 4:
+			if round%10 == 9 && idx > 0 {
+				snapIdx := idx - 1
+				both(func(p raft.Persister) error {
+					return p.SaveSnapshot(raft.Snapshot{Index: snapIdx, Term: 1, Data: []byte("s")})
+				})
+			}
+		}
+	}
+	a, b := mem.Restored(), wal.Restored()
+	if err := restoredEqual(a, b); err != nil {
+		t.Fatalf("Memory and WAL diverged: %v", err)
+	}
+}
+
+func restoredEqual(a, b *raft.Restored) error {
+	if (a == nil) != (b == nil) {
+		return fmt.Errorf("nil mismatch: %v vs %v", a == nil, b == nil)
+	}
+	if a == nil {
+		return nil
+	}
+	if a.HardState != b.HardState {
+		return fmt.Errorf("hard state %+v vs %+v", a.HardState, b.HardState)
+	}
+	if (a.Snapshot == nil) != (b.Snapshot == nil) {
+		return fmt.Errorf("snapshot presence mismatch")
+	}
+	if a.Snapshot != nil {
+		if a.Snapshot.Index != b.Snapshot.Index || a.Snapshot.Term != b.Snapshot.Term || !bytes.Equal(a.Snapshot.Data, b.Snapshot.Data) {
+			return fmt.Errorf("snapshot %+v vs %+v", a.Snapshot, b.Snapshot)
+		}
+	}
+	if len(a.Entries) != len(b.Entries) {
+		return fmt.Errorf("entry count %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		x, y := a.Entries[i], b.Entries[i]
+		if x.Term != y.Term || x.Index != y.Index || x.Type != y.Type || !bytes.Equal(x.Data, y.Data) {
+			return fmt.Errorf("entry %d: %+v vs %+v", i, x, y)
+		}
+	}
+	return nil
+}

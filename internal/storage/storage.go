@@ -1,0 +1,113 @@
+// Package storage makes Raft's durable state survive crashes: the current
+// term and vote, the log, and state-machine snapshots. It provides two
+// raft.Persister implementations with identical semantics:
+//
+//   - Memory, an in-process store the simulated testbed uses to model
+//     crash-recovery failures (the "disk" survives while the node's
+//     volatile state — including Dynatune's measurement lists — is lost,
+//     exactly the paper's §III-A crash-recovery fault model);
+//   - WAL, a CRC-framed append-only log plus atomically written snapshot
+//     files, used by the real-network daemon (cmd/dynatuned).
+//
+// Both recover to a raft.Restored that Config.Restored resumes from.
+package storage
+
+import (
+	"fmt"
+
+	"dynatune/internal/raft"
+)
+
+// applyRecord folds one logical WAL record into an accumulating recovery
+// state; Memory and WAL replay share it so their semantics cannot drift.
+type recovery struct {
+	hs        raft.HardState
+	snap      *raft.Snapshot
+	entries   []raft.Entry // contiguous, entries[0].Index == floor+1
+	haveState bool
+}
+
+func (r *recovery) floor() uint64 {
+	if r.snap != nil {
+		return r.snap.Index
+	}
+	return 0
+}
+
+func (r *recovery) lastIndex() uint64 {
+	if n := len(r.entries); n > 0 {
+		return r.entries[n-1].Index
+	}
+	return r.floor()
+}
+
+func (r *recovery) setHardState(hs raft.HardState) {
+	r.hs = hs
+	r.haveState = true
+}
+
+// appendEntries applies the overwrite semantics replay needs: an entry at
+// an index we already hold replaces it and truncates everything above
+// (the conflicting-suffix rule), so replaying a history that contains
+// superseded appends converges to the final log.
+func (r *recovery) appendEntries(entries []raft.Entry) error {
+	for _, e := range entries {
+		switch {
+		case e.Index <= r.floor():
+			// Below the snapshot floor: already covered, skip.
+			continue
+		case e.Index == r.lastIndex()+1:
+			r.entries = append(r.entries, e)
+		case e.Index <= r.lastIndex():
+			r.entries = r.entries[:e.Index-r.floor()-1]
+			r.entries = append(r.entries, e)
+		default:
+			return fmt.Errorf("storage: entry gap: got index %d after %d", e.Index, r.lastIndex())
+		}
+	}
+	return nil
+}
+
+func (r *recovery) truncateFrom(index uint64) {
+	if index <= r.floor() {
+		r.entries = r.entries[:0]
+		return
+	}
+	if index <= r.lastIndex() {
+		r.entries = r.entries[:index-r.floor()-1]
+	}
+}
+
+func (r *recovery) setSnapshot(snap raft.Snapshot) {
+	if snap.Index < r.floor() {
+		// A stale snapshot must not regress the floor: entries below the
+		// current floor are already gone, so adopting an older snapshot
+		// would leave a gap between it and the retained suffix.
+		return
+	}
+	// Drop entries the snapshot covers; keep any suffix above it.
+	if snap.Index > r.floor() {
+		if snap.Index >= r.lastIndex() {
+			r.entries = r.entries[:0]
+		} else {
+			r.entries = append([]raft.Entry(nil), r.entries[snap.Index-r.floor():]...)
+		}
+	}
+	s := snap
+	r.snap = &s
+}
+
+func (r *recovery) restored() *raft.Restored {
+	if !r.haveState && r.snap == nil && len(r.entries) == 0 {
+		return nil // fresh store
+	}
+	out := &raft.Restored{HardState: r.hs}
+	if r.snap != nil {
+		s := *r.snap
+		out.Snapshot = &s
+	}
+	if len(r.entries) > 0 {
+		out.Entries = append([]raft.Entry(nil), r.entries...)
+	}
+	return out
+}

@@ -1,0 +1,539 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dynatune/internal/raft"
+)
+
+// WAL is a file-backed raft.Persister: an append-only log of CRC-framed
+// records in numbered segment files, plus snapshot files written
+// atomically (tmp + rename). Recovery replays segments in order and
+// tolerates a torn tail — a partially written final record is truncated
+// away, everything before it is kept.
+//
+// Record framing: len(4) crc32c(4) payload, where payload[0] is the record
+// type. Saving a snapshot rewrites the durable state into a fresh segment
+// (hard state + snapshot pointer + log suffix) and deletes older segments,
+// bounding disk usage the same way etcd's snapshot-then-purge does.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	f      *os.File
+	seq    uint64 // current segment number
+	size   int64  // bytes written to the current segment
+	rec    recovery
+	closed bool
+}
+
+// WALOptions tune a WAL.
+type WALOptions struct {
+	// SegmentBytes rotates to a new segment file after this many bytes
+	// (default 16 MiB).
+	SegmentBytes int64
+	// NoSync skips fsync after each record. Only for tests and
+	// simulations; real deployments must keep it false or a crash can lose
+	// acknowledged state.
+	NoSync bool
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o
+}
+
+const (
+	recState    byte = 1
+	recEntries  byte = 2
+	recTruncate byte = 3
+	recSnapMeta byte = 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports unreadable durable state that is not a torn tail
+// (mid-chain damage recovery cannot safely skip).
+var ErrCorrupt = errors.New("storage: corrupt WAL")
+
+// Open opens (creating if needed) the WAL in dir, replays it, and returns
+// the WAL ready for appends plus the recovered state (nil on a fresh
+// directory).
+func Open(dir string, opts WALOptions) (*WAL, *raft.Restored, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{dir: dir, opts: opts}
+	segs, err := w.segments()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if err := w.replaySegment(seg, last); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(segs) > 0 {
+		w.seq = segs[len(segs)-1]
+		path := w.segPath(w.seq)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.f, w.size = f, st.Size()
+	} else {
+		if err := w.rotate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return w, w.rec.restored(), nil
+}
+
+func (w *WAL) segPath(seq uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+func (w *WAL) snapPath(index uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("snap-%016x.snap", index))
+}
+
+// segments lists existing segment numbers in ascending order.
+func (w *WAL) segments() ([]uint64, error) {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err != nil {
+			continue
+		}
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// replaySegment folds one segment into the recovery state. On the final
+// segment a torn tail is truncated in place; anywhere else it is an error.
+func (w *WAL) replaySegment(seq uint64, last bool) error {
+	path := w.segPath(seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, ok := readRecord(data[off:])
+		if !ok {
+			if !last {
+				return fmt.Errorf("%w: segment %d damaged at offset %d", ErrCorrupt, seq, off)
+			}
+			// Torn tail: drop the partial record and everything after it.
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return err
+			}
+			break
+		}
+		if err := w.applyRecord(rec); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// readRecord parses one framed record, returning (payload, total frame
+// length, ok). ok is false on a short or CRC-failing frame.
+func readRecord(b []byte) ([]byte, int, bool) {
+	if len(b) < 8 {
+		return nil, 0, false
+	}
+	n := binary.BigEndian.Uint32(b)
+	sum := binary.BigEndian.Uint32(b[4:])
+	if n == 0 || uint64(len(b)) < 8+uint64(n) {
+		return nil, 0, false
+	}
+	payload := b[8 : 8+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, false
+	}
+	return payload, 8 + int(n), true
+}
+
+func (w *WAL) applyRecord(payload []byte) error {
+	switch payload[0] {
+	case recState:
+		if len(payload) != 17 {
+			return fmt.Errorf("%w: bad state record length %d", ErrCorrupt, len(payload))
+		}
+		w.rec.setHardState(raft.HardState{
+			Term: binary.BigEndian.Uint64(payload[1:]),
+			Vote: raft.ID(binary.BigEndian.Uint64(payload[9:])),
+		})
+	case recEntries:
+		entries, err := decodeEntries(payload[1:])
+		if err != nil {
+			return err
+		}
+		return w.rec.appendEntries(entries)
+	case recTruncate:
+		if len(payload) != 9 {
+			return fmt.Errorf("%w: bad truncate record length %d", ErrCorrupt, len(payload))
+		}
+		w.rec.truncateFrom(binary.BigEndian.Uint64(payload[1:]))
+	case recSnapMeta:
+		if len(payload) != 17 {
+			return fmt.Errorf("%w: bad snapshot record length %d", ErrCorrupt, len(payload))
+		}
+		index := binary.BigEndian.Uint64(payload[1:])
+		term := binary.BigEndian.Uint64(payload[9:])
+		blob, err := os.ReadFile(w.snapPath(index))
+		if err != nil {
+			return fmt.Errorf("%w: snapshot %d referenced but unreadable: %v", ErrCorrupt, index, err)
+		}
+		snap, err := decodeSnapshotFile(index, term, blob)
+		if err != nil {
+			return err
+		}
+		w.rec.setSnapshot(snap)
+	default:
+		return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, payload[0])
+	}
+	return nil
+}
+
+// append frames, writes and (unless NoSync) fsyncs one record.
+func (w *WAL) append(payload []byte) error {
+	if w.closed {
+		return errors.New("storage: WAL is closed")
+	}
+	frame := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	w.size += int64(len(frame))
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if w.size >= w.opts.SegmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+func (w *WAL) rotate() error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+	}
+	w.seq++
+	f, err := os.OpenFile(w.segPath(w.seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f, w.size = f, 0
+	return nil
+}
+
+var _ raft.Persister = (*WAL)(nil)
+
+// SaveHardState implements raft.Persister.
+func (w *WAL) SaveHardState(hs raft.HardState) error {
+	payload := make([]byte, 17)
+	payload[0] = recState
+	binary.BigEndian.PutUint64(payload[1:], hs.Term)
+	binary.BigEndian.PutUint64(payload[9:], uint64(hs.Vote))
+	if err := w.append(payload); err != nil {
+		return err
+	}
+	w.rec.setHardState(hs)
+	return nil
+}
+
+// AppendEntries implements raft.Persister.
+func (w *WAL) AppendEntries(entries []raft.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	payload := encodeEntries(entries)
+	if err := w.append(payload); err != nil {
+		return err
+	}
+	return w.rec.appendEntries(cloneEntries(entries))
+}
+
+// TruncateFrom implements raft.Persister.
+func (w *WAL) TruncateFrom(index uint64) error {
+	payload := make([]byte, 9)
+	payload[0] = recTruncate
+	binary.BigEndian.PutUint64(payload[1:], index)
+	if err := w.append(payload); err != nil {
+		return err
+	}
+	w.rec.truncateFrom(index)
+	return nil
+}
+
+// SaveSnapshot implements raft.Persister. The snapshot file is made
+// durable before the WAL record that references it, so replay never sees a
+// dangling pointer; afterwards the durable state is rewritten into a fresh
+// segment and older segments and snapshots are purged.
+func (w *WAL) SaveSnapshot(snap raft.Snapshot) error {
+	if err := writeFileAtomic(w.snapPath(snap.Index), encodeSnapshotFile(snap)); err != nil {
+		return err
+	}
+	payload := make([]byte, 17)
+	payload[0] = recSnapMeta
+	binary.BigEndian.PutUint64(payload[1:], snap.Index)
+	binary.BigEndian.PutUint64(payload[9:], snap.Term)
+	if err := w.append(payload); err != nil {
+		return err
+	}
+	snap.Data = append([]byte(nil), snap.Data...)
+	w.rec.setSnapshot(snap)
+	return w.compact()
+}
+
+// compact rewrites the current durable state (hard state, snapshot
+// pointer, log suffix) into a fresh segment and deletes everything older.
+// A crash at any point leaves a replayable chain: replay's overwrite
+// semantics make the rewritten records idempotent.
+func (w *WAL) compact() error {
+	oldSegs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	if err := w.rotate(); err != nil {
+		return err
+	}
+	if w.rec.haveState {
+		if err := w.SaveHardState(w.rec.hs); err != nil {
+			return err
+		}
+	}
+	if w.rec.snap != nil {
+		payload := make([]byte, 17)
+		payload[0] = recSnapMeta
+		binary.BigEndian.PutUint64(payload[1:], w.rec.snap.Index)
+		binary.BigEndian.PutUint64(payload[9:], w.rec.snap.Term)
+		if err := w.append(payload); err != nil {
+			return err
+		}
+	}
+	if len(w.rec.entries) > 0 {
+		if err := w.append(encodeEntries(w.rec.entries)); err != nil {
+			return err
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	for _, seq := range oldSegs {
+		if seq < w.seq {
+			if err := os.Remove(w.segPath(seq)); err != nil {
+				return err
+			}
+		}
+	}
+	return w.purgeSnapshots()
+}
+
+// purgeSnapshots removes snapshot files older than the current one.
+func (w *WAL) purgeSnapshots() error {
+	if w.rec.snap == nil {
+		return nil
+	}
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		var index uint64
+		if _, err := fmt.Sscanf(name, "snap-%016x.snap", &index); err != nil {
+			continue
+		}
+		if index < w.rec.snap.Index {
+			if err := os.Remove(filepath.Join(w.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Restored returns the current durable state (what a crash right now would
+// recover), or nil if nothing was saved.
+func (w *WAL) Restored() *raft.Restored { return w.rec.restored() }
+
+// Sync forces buffered records to disk (meaningful under NoSync).
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Close syncs and closes the WAL.
+func (w *WAL) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func encodeEntries(entries []raft.Entry) []byte {
+	size := 1 + 4
+	for _, e := range entries {
+		size += 8 + 8 + 1 + 4 + len(e.Data)
+	}
+	payload := make([]byte, 0, size)
+	payload = append(payload, recEntries)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(entries)))
+	for _, e := range entries {
+		payload = binary.BigEndian.AppendUint64(payload, e.Term)
+		payload = binary.BigEndian.AppendUint64(payload, e.Index)
+		payload = append(payload, byte(e.Type))
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(e.Data)))
+		payload = append(payload, e.Data...)
+	}
+	return payload
+}
+
+func decodeEntries(b []byte) ([]raft.Entry, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: short entries record", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	entries := make([]raft.Entry, 0, min(int(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 21 {
+			return nil, fmt.Errorf("%w: truncated entry %d", ErrCorrupt, i)
+		}
+		var e raft.Entry
+		e.Term = binary.BigEndian.Uint64(b)
+		e.Index = binary.BigEndian.Uint64(b[8:])
+		e.Type = raft.EntryType(b[16])
+		dlen := binary.BigEndian.Uint32(b[17:])
+		b = b[21:]
+		if uint32(len(b)) < dlen {
+			return nil, fmt.Errorf("%w: truncated entry data %d", ErrCorrupt, i)
+		}
+		if dlen > 0 {
+			e.Data = append([]byte(nil), b[:dlen]...)
+		}
+		b = b[dlen:]
+		entries = append(entries, e)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in entries record", ErrCorrupt, len(b))
+	}
+	return entries, nil
+}
+
+// encodeSnapshotFile lays out a snapshot file: membership (count-prefixed
+// voter and learner ID lists) followed by the opaque state-machine data.
+// Conf changes compacted below the snapshot floor survive only here.
+func encodeSnapshotFile(snap raft.Snapshot) []byte {
+	buf := make([]byte, 0, 8+8*(len(snap.Voters)+len(snap.Learners))+len(snap.Data))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(snap.Voters)))
+	for _, id := range snap.Voters {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(snap.Learners)))
+	for _, id := range snap.Learners {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
+	}
+	return append(buf, snap.Data...)
+}
+
+func decodeSnapshotFile(index, term uint64, blob []byte) (raft.Snapshot, error) {
+	snap := raft.Snapshot{Index: index, Term: term}
+	readIDs := func() ([]raft.ID, error) {
+		if len(blob) < 4 {
+			return nil, fmt.Errorf("%w: snapshot %d membership truncated", ErrCorrupt, index)
+		}
+		n := binary.BigEndian.Uint32(blob)
+		blob = blob[4:]
+		if uint64(len(blob)) < 8*uint64(n) {
+			return nil, fmt.Errorf("%w: snapshot %d membership truncated", ErrCorrupt, index)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]raft.ID, n)
+		for i := range out {
+			out[i] = raft.ID(binary.BigEndian.Uint64(blob))
+			blob = blob[8:]
+		}
+		return out, nil
+	}
+	var err error
+	if snap.Voters, err = readIDs(); err != nil {
+		return snap, err
+	}
+	if snap.Learners, err = readIDs(); err != nil {
+		return snap, err
+	}
+	if len(blob) > 0 {
+		snap.Data = append([]byte(nil), blob...)
+	}
+	return snap, nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename so a crash
+// never leaves a half-written file under the final name.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,218 @@
+// Package trace collects protocol events and derives from them the
+// quantities the paper measures: detection time, out-of-service (OTS)
+// time, leadership reigns and split-vote counts. It plays the role of the
+// etcd log files the authors parse (§IV-A) — with the advantage that all
+// nodes share the simulator's virtual clock, so there is no NTP skew.
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"dynatune/internal/metrics"
+	"dynatune/internal/raft"
+)
+
+// Recorder implements raft.Tracer for a whole cluster and supports
+// post-hoc queries. It is safe for concurrent use (the real-time server
+// traces from multiple goroutines; the simulator from one).
+type Recorder struct {
+	mu     sync.Mutex
+	events []raft.Event
+
+	// downMarks records harness-injected leader failures (the paper's
+	// `docker pause` instants), which produce no protocol event of their
+	// own.
+	downMarks []downMark
+}
+
+type downMark struct {
+	time time.Duration
+	node raft.ID
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Trace implements raft.Tracer.
+func (r *Recorder) Trace(ev raft.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// MarkNodeDown records that the harness froze node at t (failure
+// injection). Used to terminate that node's leadership reign.
+func (r *Recorder) MarkNodeDown(t time.Duration, node raft.ID) {
+	r.mu.Lock()
+	r.downMarks = append(r.downMarks, downMark{t, node})
+	r.mu.Unlock()
+}
+
+// Reset discards all recorded data.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.downMarks = r.downMarks[:0]
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of all events in arrival order.
+func (r *Recorder) Events() []raft.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]raft.Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// CountKind returns how many events of the given kind lie in [from, to).
+func (r *Recorder) CountKind(kind raft.EventKind, from, to time.Duration) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range r.events {
+		if ev.Kind == kind && ev.Time >= from && ev.Time < to {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstDetectionAfter returns the delay between t and the first follower
+// timeout event after t — the paper's detection time for a failure
+// injected at t.
+func (r *Recorder) FirstDetectionAfter(t time.Duration) (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ev := range r.events {
+		if ev.Kind == raft.EventTimeout && ev.Time > t {
+			return ev.Time - t, true
+		}
+	}
+	return 0, false
+}
+
+// FirstElectionAfter returns the delay between t and the next
+// EventLeaderElected — the paper's OTS time for a failure at t — plus the
+// winner's identity.
+func (r *Recorder) FirstElectionAfter(t time.Duration) (time.Duration, raft.ID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ev := range r.events {
+		if ev.Kind == raft.EventLeaderElected && ev.Time > t {
+			return ev.Time - t, ev.Node, true
+		}
+	}
+	return 0, None, false
+}
+
+// None re-exports raft.None for callers that only import trace.
+const None = raft.None
+
+// Reign is one leadership tenure.
+type Reign struct {
+	Leader raft.ID
+	Term   uint64
+	Start  time.Duration
+	End    time.Duration // horizon if still leading
+}
+
+// Reigns reconstructs leadership tenures up to horizon. A reign starts at
+// EventLeaderElected and ends at the earliest of: the leader leaving the
+// leader state (any EventStateChange for that node), the harness freezing
+// it (MarkNodeDown), or the horizon.
+func (r *Recorder) Reigns(horizon time.Duration) []Reign {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var reigns []Reign
+	open := map[raft.ID]int{} // node → index into reigns of its open reign
+	endReign := func(node raft.ID, at time.Duration) {
+		if i, ok := open[node]; ok {
+			if at < reigns[i].Start {
+				at = reigns[i].Start
+			}
+			reigns[i].End = at
+			delete(open, node)
+		}
+	}
+
+	// Merge events and down-marks in time order. Both slices are already
+	// time-ordered (single virtual clock).
+	di := 0
+	for _, ev := range r.events {
+		for di < len(r.downMarks) && r.downMarks[di].time <= ev.Time {
+			endReign(r.downMarks[di].node, r.downMarks[di].time)
+			di++
+		}
+		switch ev.Kind {
+		case raft.EventLeaderElected:
+			endReign(ev.Node, ev.Time) // re-election by same node
+			open[ev.Node] = len(reigns)
+			reigns = append(reigns, Reign{Leader: ev.Node, Term: ev.Term, Start: ev.Time, End: horizon})
+		case raft.EventStateChange:
+			if ev.State != raft.StateLeader {
+				endReign(ev.Node, ev.Time)
+			}
+		}
+	}
+	for ; di < len(r.downMarks); di++ {
+		endReign(r.downMarks[di].node, r.downMarks[di].time)
+	}
+	return reigns
+}
+
+// OTSIntervals returns the spans within [from, horizon) during which no
+// leader reigned — the shaded regions of Fig. 6.
+func (r *Recorder) OTSIntervals(from, horizon time.Duration) *metrics.Intervals {
+	reigns := r.Reigns(horizon)
+	// Collect a coverage timeline from the union of reigns.
+	type edge struct {
+		t     time.Duration
+		delta int
+	}
+	var edges []edge
+	for _, rg := range reigns {
+		if rg.End <= from || rg.Start >= horizon {
+			continue
+		}
+		s, e := rg.Start, rg.End
+		if s < from {
+			s = from
+		}
+		if e > horizon {
+			e = horizon
+		}
+		edges = append(edges, edge{s, +1}, edge{e, -1})
+	}
+	// Sort edges by time (+1 before -1 at equal times to avoid phantom
+	// zero-length gaps).
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && (edges[j].t < edges[j-1].t ||
+			(edges[j].t == edges[j-1].t && edges[j].delta > edges[j-1].delta)); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	out := &metrics.Intervals{}
+	depth := 0
+	cursor := from
+	for _, e := range edges {
+		if depth == 0 && e.t > cursor {
+			out.Add(cursor, e.t)
+		}
+		depth += e.delta
+		if depth == 0 {
+			cursor = e.t
+		}
+	}
+	if cursor < horizon {
+		out.Add(cursor, horizon)
+	}
+	return out
+}

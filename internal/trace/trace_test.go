@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func elected(t time.Duration, node raft.ID, term uint64) raft.Event {
+	return raft.Event{Time: t, Node: node, Term: term, Kind: raft.EventLeaderElected, State: raft.StateLeader}
+}
+
+func stateChange(t time.Duration, node raft.ID, st raft.State) raft.Event {
+	return raft.Event{Time: t, Node: node, Kind: raft.EventStateChange, State: st}
+}
+
+func timeout(t time.Duration, node raft.ID) raft.Event {
+	return raft.Event{Time: t, Node: node, Kind: raft.EventTimeout}
+}
+
+func TestFirstDetectionAfter(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(timeout(sec(1), 2))
+	r.Trace(timeout(sec(5), 3))
+	d, ok := r.FirstDetectionAfter(sec(2))
+	if !ok || d != sec(3) {
+		t.Fatalf("detection = %v, %v", d, ok)
+	}
+	if _, ok := r.FirstDetectionAfter(sec(10)); ok {
+		t.Fatal("detection found past last event")
+	}
+	// Events exactly at t do not count (failure happens at t).
+	d, ok = r.FirstDetectionAfter(sec(1))
+	if !ok || d != sec(4) {
+		t.Fatalf("detection at boundary = %v, %v", d, ok)
+	}
+}
+
+func TestFirstElectionAfter(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(elected(sec(2), 4, 7))
+	d, who, ok := r.FirstElectionAfter(sec(1))
+	if !ok || d != sec(1) || who != 4 {
+		t.Fatalf("election = %v by %d, %v", d, who, ok)
+	}
+}
+
+func TestReignsBasic(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(elected(sec(1), 1, 1))
+	r.Trace(stateChange(sec(5), 1, raft.StateFollower))
+	r.Trace(elected(sec(7), 2, 2))
+	reigns := r.Reigns(sec(10))
+	if len(reigns) != 2 {
+		t.Fatalf("reigns = %+v", reigns)
+	}
+	if reigns[0].Start != sec(1) || reigns[0].End != sec(5) || reigns[0].Leader != 1 {
+		t.Fatalf("reign 0 = %+v", reigns[0])
+	}
+	if reigns[1].Start != sec(7) || reigns[1].End != sec(10) {
+		t.Fatalf("reign 1 = %+v (should extend to horizon)", reigns[1])
+	}
+}
+
+func TestReignEndedByDownMark(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(elected(sec(1), 1, 1))
+	r.MarkNodeDown(sec(3), 1)
+	r.Trace(elected(sec(6), 2, 2))
+	reigns := r.Reigns(sec(10))
+	if reigns[0].End != sec(3) {
+		t.Fatalf("reign not ended by down mark: %+v", reigns[0])
+	}
+}
+
+func TestDownMarkForNonLeaderIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(elected(sec(1), 1, 1))
+	r.MarkNodeDown(sec(2), 5) // a follower
+	reigns := r.Reigns(sec(10))
+	if len(reigns) != 1 || reigns[0].End != sec(10) {
+		t.Fatalf("follower down-mark disturbed reigns: %+v", reigns)
+	}
+}
+
+func TestOTSIntervals(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(elected(sec(1), 1, 1))
+	r.Trace(stateChange(sec(4), 1, raft.StateFollower))
+	r.Trace(elected(sec(6), 2, 2))
+	ots := r.OTSIntervals(0, sec(10))
+	// Gaps: [0,1) and [4,6).
+	if ots.Count() != 2 {
+		t.Fatalf("OTS count = %d: %+v", ots.Count(), ots)
+	}
+	if ots.Total() != sec(3) {
+		t.Fatalf("OTS total = %v, want 3s", ots.Total())
+	}
+	if !ots.Contains(sec(5)) || ots.Contains(sec(2)) {
+		t.Fatal("OTS membership wrong")
+	}
+}
+
+func TestOTSWithOverlappingReigns(t *testing.T) {
+	// A stale leader overlaps the new one; no phantom OTS in between.
+	r := NewRecorder()
+	r.Trace(elected(sec(1), 1, 1))
+	r.Trace(elected(sec(3), 2, 2))                      // new leader while 1 is stale
+	r.Trace(stateChange(sec(4), 1, raft.StateFollower)) // stale one finally yields
+	ots := r.OTSIntervals(0, sec(8))
+	if ots.Total() != sec(1) { // only [0,1)
+		t.Fatalf("OTS = %v, want 1s: %+v", ots.Total(), ots)
+	}
+}
+
+func TestOTSFullWindowWhenNoLeader(t *testing.T) {
+	r := NewRecorder()
+	ots := r.OTSIntervals(sec(2), sec(5))
+	if ots.Total() != sec(3) || ots.Count() != 1 {
+		t.Fatalf("empty-trace OTS = %+v", ots)
+	}
+}
+
+func TestReelectionBySameNode(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(elected(sec(1), 1, 1))
+	r.Trace(elected(sec(5), 1, 3)) // same node wins again at higher term
+	reigns := r.Reigns(sec(10))
+	if len(reigns) != 2 {
+		t.Fatalf("reigns = %+v", reigns)
+	}
+	if reigns[0].End != sec(5) {
+		t.Fatalf("first reign end = %v", reigns[0].End)
+	}
+}
+
+func TestCountKindAndReset(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(timeout(sec(1), 1))
+	r.Trace(timeout(sec(2), 2))
+	r.Trace(elected(sec(3), 1, 1))
+	if got := r.CountKind(raft.EventTimeout, 0, sec(10)); got != 2 {
+		t.Fatalf("CountKind = %d", got)
+	}
+	if got := r.CountKind(raft.EventTimeout, sec(1.5), sec(10)); got != 1 {
+		t.Fatalf("CountKind windowed = %d", got)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset failed")
+	}
+}

@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+// BenchmarkEncodeHeartbeat measures the wire cost of the most frequent
+// message.
+func BenchmarkEncodeHeartbeat(b *testing.B) {
+	m := raft.Message{Type: raft.MsgHeartbeat, From: 1, To: 2, Term: 7,
+		HB: raft.HeartbeatMeta{Seq: 99, SendTime: 1234, RTT: 5678}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+// BenchmarkDecodeAppend measures decoding a 64-entry replication frame.
+func BenchmarkDecodeAppend(b *testing.B) {
+	m := raft.Message{Type: raft.MsgApp, From: 1, To: 2, Term: 7, Index: 10, LogTerm: 6}
+	for i := 0; i < 64; i++ {
+		m.Entries = append(m.Entries, raft.Entry{Term: 7, Index: uint64(11 + i), Data: []byte("payload-data")})
+	}
+	buf := Encode(m)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dynatune/internal/raft"
+)
+
+func sampleMessages() []raft.Message {
+	return []raft.Message{
+		{Type: raft.MsgHeartbeat, From: 1, To: 2, Term: 7, Commit: 42,
+			HB: raft.HeartbeatMeta{Seq: 9, SendTime: 123456789, RTT: 1000000}},
+		{Type: raft.MsgHeartbeatResp, From: 2, To: 1, Term: 7,
+			HBResp: raft.HeartbeatRespMeta{EchoTime: 123456789, Interval: 55000000}},
+		{Type: raft.MsgApp, From: 1, To: 3, Term: 7, Index: 10, LogTerm: 6, Commit: 9,
+			Entries: []raft.Entry{
+				{Term: 7, Index: 11, Data: []byte("hello")},
+				{Term: 7, Index: 12, Data: nil},
+				{Term: 7, Index: 13, Data: []byte{}},
+			}},
+		{Type: raft.MsgAppResp, From: 3, To: 1, Term: 7, Index: 13, Reject: true, Hint: 10},
+		{Type: raft.MsgPreVote, From: 4, To: 5, Term: 8, Index: 13, LogTerm: 7},
+		{Type: raft.MsgSnap, From: 1, To: 3, Term: 8, Index: 100, LogTerm: 7,
+			Snap:       []byte("opaque-state-machine-snapshot"),
+			SnapVoters: []raft.ID{1, 2, 3, 4}, SnapLearners: []raft.ID{9}},
+		{Type: raft.MsgVoteResp, From: 5, To: 4, Term: 8, Reject: false},
+		{Type: raft.MsgHeartbeat, From: 1, To: 2, Term: 7, Commit: 42, ReadCtx: 17},
+		{Type: raft.MsgHeartbeatResp, From: 2, To: 1, Term: 7, ReadCtx: 17},
+		{Type: raft.MsgApp, From: 1, To: 2, Term: 9, Index: 20, LogTerm: 9,
+			Entries: []raft.Entry{
+				{Term: 9, Index: 21, Type: raft.EntryConfChange,
+					Data: raft.EncodeConfChange(raft.ConfChange{Op: raft.ConfAddLearner, Node: 6})},
+			}},
+	}
+}
+
+func msgEqual(a, b raft.Message) bool {
+	normalize := func(m *raft.Message) {
+		for i := range m.Entries {
+			if len(m.Entries[i].Data) == 0 {
+				m.Entries[i].Data = nil
+			}
+		}
+		if len(m.Entries) == 0 {
+			m.Entries = nil
+		}
+		if len(m.Snap) == 0 {
+			m.Snap = nil
+		}
+		if len(m.SnapVoters) == 0 {
+			m.SnapVoters = nil
+		}
+		if len(m.SnapLearners) == 0 {
+			m.SnapLearners = nil
+		}
+	}
+	normalize(&a)
+	normalize(&b)
+	return reflect.DeepEqual(a, b)
+}
+
+func TestRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !msgEqual(got, m) {
+			t.Fatalf("msg %d round trip:\n got %+v\nwant %+v", i, got, m)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := Encode(sampleMessages()[2])
+	bad := [][]byte{
+		nil,
+		valid[:10],           // short header
+		append(valid, 0xAB),  // trailing garbage
+		valid[:len(valid)-3], // truncated entry data
+		func() []byte { b := append([]byte(nil), valid...); b[0] = 200; return b }(), // bad type
+	}
+	for i, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !msgEqual(got, want) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	buf := bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})
+	if _, err := ReadFrame(buf); err == nil {
+		t.Fatal("accepted oversized frame")
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, sampleMessages()[0]); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated frame")
+	}
+}
+
+// Property: round trip preserves arbitrary messages.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(typRaw uint8, from, to, term, index, logterm, commit, hint uint64,
+		reject bool, seq uint64, sendTime, rtt, echo, interval int64, datas [][]byte,
+		readCtx uint64, voters, learners []uint64, confEntry bool) bool {
+		m := raft.Message{
+			Type: raft.MsgType(typRaw % 8), From: raft.ID(from), To: raft.ID(to),
+			Term: term, Index: index, LogTerm: logterm, Commit: commit,
+			Reject: reject, Hint: hint,
+			HB:      raft.HeartbeatMeta{Seq: seq, SendTime: sendTime, RTT: rtt},
+			HBResp:  raft.HeartbeatRespMeta{EchoTime: echo, Interval: interval},
+			ReadCtx: readCtx,
+		}
+		for _, v := range voters {
+			m.SnapVoters = append(m.SnapVoters, raft.ID(v))
+		}
+		for _, l := range learners {
+			m.SnapLearners = append(m.SnapLearners, raft.ID(l))
+		}
+		for i, d := range datas {
+			typ := raft.EntryNormal
+			if confEntry && i == 0 {
+				typ = raft.EntryConfChange
+			}
+			m.Entries = append(m.Entries, raft.Entry{Term: term, Index: index + uint64(i), Type: typ, Data: d})
+		}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		return msgEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics and never succeeds on random garbage that
+// fails re-encoding equality — i.e. arbitrary network bytes are safe.
+func TestPropertyDecodeRobustOnGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		m, err := Decode(raw)
+		if err != nil {
+			return true // rejected cleanly
+		}
+		// Anything accepted must round-trip back to identical bytes'
+		// semantic content.
+		again, err := Decode(Encode(m))
+		return err == nil && msgEqual(m, again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of a valid encoding either fails to
+// decode or decodes to a (possibly different) message without panicking.
+func TestPropertyDecodeBitflipSafe(t *testing.T) {
+	base := Encode(sampleMessages()[2])
+	for i := range base {
+		mut := append([]byte(nil), base...)
+		mut[i] ^= 0xFF
+		_, _ = Decode(mut) // must not panic
+	}
+}

@@ -1,0 +1,117 @@
+// Package workload generates client load for the throughput experiment
+// (paper §IV-B2): open-loop request arrivals whose rate ramps up in fixed
+// increments — "we gradually increased the number of requests per second
+// (RPS) in increments of 1000, with each RPS level sustained for 10 s".
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Ramp describes a stepped open-loop arrival schedule.
+type Ramp struct {
+	// StartRPS is the first step's request rate.
+	StartRPS int
+	// StepRPS is the increment between steps.
+	StepRPS int
+	// StepDuration is how long each rate is sustained.
+	StepDuration time.Duration
+	// Steps is the number of rate levels.
+	Steps int
+	// Poisson selects exponential inter-arrivals (open loop with Poisson
+	// arrivals) instead of uniform spacing.
+	Poisson bool
+}
+
+// Validate checks the ramp parameters.
+func (r Ramp) Validate() error {
+	if r.StartRPS <= 0 || r.Steps <= 0 || r.StepDuration <= 0 {
+		return fmt.Errorf("workload: invalid ramp %+v", r)
+	}
+	if r.StepRPS < 0 {
+		return fmt.Errorf("workload: negative step %d", r.StepRPS)
+	}
+	return nil
+}
+
+// RPSAt returns the target rate at time t, and false when t is past the
+// end of the schedule.
+func (r Ramp) RPSAt(t time.Duration) (int, bool) {
+	step := int(t / r.StepDuration)
+	if step >= r.Steps {
+		return 0, false
+	}
+	return r.StartRPS + step*r.StepRPS, true
+}
+
+// Duration returns the schedule's total length.
+func (r Ramp) Duration() time.Duration {
+	return time.Duration(r.Steps) * r.StepDuration
+}
+
+// Generator produces arrival instants for a Ramp. It is deterministic
+// given its rng.
+type Generator struct {
+	ramp Ramp
+	rng  *rand.Rand
+	next time.Duration
+	done bool
+}
+
+// NewGenerator returns a generator starting at t=0. rng may be nil for
+// uniformly spaced arrivals.
+func NewGenerator(ramp Ramp, rng *rand.Rand) (*Generator, error) {
+	if err := ramp.Validate(); err != nil {
+		return nil, err
+	}
+	if ramp.Poisson && rng == nil {
+		return nil, fmt.Errorf("workload: Poisson arrivals need an rng")
+	}
+	return &Generator{ramp: ramp, rng: rng}, nil
+}
+
+// Next returns the next arrival time, and false when the schedule is
+// exhausted. Arrival times are strictly increasing.
+func (g *Generator) Next() (time.Duration, bool) {
+	if g.done {
+		return 0, false
+	}
+	for {
+		rps, ok := g.ramp.RPSAt(g.next)
+		if !ok {
+			g.done = true
+			return 0, false
+		}
+		gap := time.Duration(float64(time.Second) / float64(rps))
+		if g.ramp.Poisson {
+			gap = time.Duration(g.rng.ExpFloat64() * float64(time.Second) / float64(rps))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+		}
+		at := g.next
+		g.next += gap
+		if at >= g.ramp.Duration() {
+			g.done = true
+			return 0, false
+		}
+		return at, true
+	}
+}
+
+// StepOf returns which ramp step the instant t belongs to.
+func (r Ramp) StepOf(t time.Duration) int {
+	return int(t / r.StepDuration)
+}
+
+// PaperRamp reproduces §IV-B2: +1000 RPS every 10 s. Levels up to maxRPS.
+func PaperRamp(maxRPS int) Ramp {
+	return Ramp{
+		StartRPS:     1000,
+		StepRPS:      1000,
+		StepDuration: 10 * time.Second,
+		Steps:        maxRPS / 1000,
+	}
+}

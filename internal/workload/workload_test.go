@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRampValidate(t *testing.T) {
+	bad := []Ramp{
+		{},
+		{StartRPS: -1, Steps: 1, StepDuration: time.Second},
+		{StartRPS: 100, Steps: 0, StepDuration: time.Second},
+		{StartRPS: 100, Steps: 1, StepDuration: 0},
+		{StartRPS: 100, StepRPS: -5, Steps: 1, StepDuration: time.Second},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("ramp %d should fail", i)
+		}
+	}
+}
+
+func TestRPSAt(t *testing.T) {
+	r := Ramp{StartRPS: 1000, StepRPS: 1000, StepDuration: 10 * time.Second, Steps: 3}
+	cases := []struct {
+		t    time.Duration
+		want int
+		ok   bool
+	}{
+		{0, 1000, true},
+		{9 * time.Second, 1000, true},
+		{10 * time.Second, 2000, true},
+		{25 * time.Second, 3000, true},
+		{30 * time.Second, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := r.RPSAt(tc.t)
+		if got != tc.want || ok != tc.ok {
+			t.Fatalf("RPSAt(%v) = %d,%v want %d,%v", tc.t, got, ok, tc.want, tc.ok)
+		}
+	}
+	if r.Duration() != 30*time.Second {
+		t.Fatalf("Duration = %v", r.Duration())
+	}
+}
+
+func TestGeneratorUniformRate(t *testing.T) {
+	r := Ramp{StartRPS: 100, StepRPS: 100, StepDuration: time.Second, Steps: 2}
+	g, err := NewGenerator(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perStep [2]int
+	prev := time.Duration(-1)
+	for {
+		at, ok := g.Next()
+		if !ok {
+			break
+		}
+		if at <= prev {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		prev = at
+		perStep[r.StepOf(at)]++
+	}
+	// Step 0: 100 RPS for 1s ≈ 100 arrivals; step 1: 200.
+	if perStep[0] < 95 || perStep[0] > 105 {
+		t.Fatalf("step 0 arrivals = %d", perStep[0])
+	}
+	if perStep[1] < 190 || perStep[1] > 210 {
+		t.Fatalf("step 1 arrivals = %d", perStep[1])
+	}
+	// Exhausted generator stays exhausted.
+	if _, ok := g.Next(); ok {
+		t.Fatal("generator revived")
+	}
+}
+
+func TestGeneratorPoissonRate(t *testing.T) {
+	r := Ramp{StartRPS: 1000, StepDuration: 5 * time.Second, Steps: 1, Poisson: true}
+	g, err := NewGenerator(r, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+		count++
+	}
+	// 1000 RPS × 5s = 5000 expected; Poisson σ≈71.
+	if count < 4700 || count > 5300 {
+		t.Fatalf("poisson arrivals = %d, want ≈5000", count)
+	}
+}
+
+func TestPoissonRequiresRNG(t *testing.T) {
+	if _, err := NewGenerator(Ramp{StartRPS: 1, Steps: 1, StepDuration: time.Second, Poisson: true}, nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPaperRamp(t *testing.T) {
+	r := PaperRamp(15000)
+	if r.Steps != 15 || r.StartRPS != 1000 || r.StepRPS != 1000 || r.StepDuration != 10*time.Second {
+		t.Fatalf("paper ramp = %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arrivals are strictly increasing and all fall inside the
+// schedule, for any ramp shape.
+func TestPropertyArrivalsOrderedAndBounded(t *testing.T) {
+	f := func(startRaw, stepRaw uint8, poisson bool) bool {
+		r := Ramp{
+			StartRPS:     int(startRaw%50) + 1,
+			StepRPS:      int(stepRaw % 50),
+			StepDuration: 100 * time.Millisecond,
+			Steps:        4,
+			Poisson:      poisson,
+		}
+		g, err := NewGenerator(r, rand.New(rand.NewSource(int64(startRaw)*7+int64(stepRaw))))
+		if err != nil {
+			return false
+		}
+		prev := time.Duration(-1)
+		for {
+			at, ok := g.Next()
+			if !ok {
+				return true
+			}
+			if at <= prev || at >= r.Duration() {
+				return false
+			}
+			prev = at
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
