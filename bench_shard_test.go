@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/netsim"
+	"dynatune/internal/shard"
+	"dynatune/internal/workload"
+)
+
+// BenchmarkShardedScaling measures the sharded multi-Raft layer beyond
+// the paper's single-group scope: the same keyed open-loop workload is
+// offered to 1 group and to 4 groups (consistent-hash routed, each group
+// its own Dynatune-tuned 3-node Raft) under a compressed version of the
+// paper's fluctuating-WAN profile (RTT 50→200→50 ms). One leader's CPU
+// caps a single group near the Fig. 5 service capacity; four leaders
+// commit in parallel, so aggregate committed-ops throughput must scale
+// ≥2× while the saturated tail latency collapses.
+func BenchmarkShardedScaling(b *testing.B) {
+	prof := netsim.GradualRTTRamp(netsim.Params{Jitter: 2 * time.Millisecond},
+		50*time.Millisecond, 200*time.Millisecond, 50*time.Millisecond, 4*time.Second)
+	ramp := workload.Ramp{StartRPS: 60000, StepRPS: 0, StepDuration: 5 * time.Second, Steps: 3, Poisson: true}
+	run := func(groups int, seed int64) shard.RampResult {
+		return shard.RunRamp(shard.Options{
+			Groups: groups, NodesPerGroup: 3, Seed: seed,
+			Variant: cluster.VariantDynatune(dynatune.Options{}),
+			Profile: prof,
+		}, ramp, shard.LoadOptions{Keys: 4096})
+	}
+	b.Run("FluctuatingWAN/1v4", func(b *testing.B) {
+		var r1, r4 shard.RampResult
+		for i := 0; i < b.N; i++ {
+			r1 = run(1, 41+int64(i))
+			r4 = run(4, 41+int64(i))
+		}
+		b.ReportMetric(r1.AggThroughput, "agg1-req/s")
+		b.ReportMetric(r4.AggThroughput, "agg4-req/s")
+		b.ReportMetric(r1.P99Ms, "p99-1shard-ms")
+		b.ReportMetric(r4.P99Ms, "p99-4shard-ms")
+		b.ReportMetric(r4.AggThroughput/r1.AggThroughput, "speedup-x")
+		b.ReportMetric(0, "ns/op")
+	})
+}

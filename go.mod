@@ -1,0 +1,3 @@
+module dynatune
+
+go 1.24.0

@@ -21,11 +21,15 @@ type LoadGen struct {
 	clientRTT time.Duration // client↔leader round trip added to latency
 	flushEach time.Duration
 
-	// queue holds arrival times of requests accepted but not yet proposed
-	// (waiting for the next flush or for a leader).
+	// queue holds arrival times of requests accepted but not yet due.
 	queue []time.Duration
-	// inflight maps log index → arrival time.
-	inflight map[uint64]time.Duration
+	// parked holds due arrivals waiting out a leaderless window. Keeping
+	// them out of queue means an election costs one leader check per
+	// tick, not a rescan and copy of the whole backlog (quadratic at the
+	// benchmark's offered rates).
+	parked []time.Duration
+	// inflight tracks proposed-but-uncommitted requests.
+	inflight *Inflight
 
 	// perStep aggregates completions by the ramp step of their arrival.
 	perStep []stepAgg
@@ -34,6 +38,100 @@ type LoadGen struct {
 	seq           uint64
 	base          time.Duration // virtual time of ramp t=0
 }
+
+// Inflight tracks one Raft group's proposed-but-uncommitted requests and
+// resolves applied entries against them, keyed with the leader term each
+// batch was appended under so an entry overwritten by a newer leader is
+// counted as lost instead of mistaken for a completion. Both this
+// package's load generator and the shard layer's complete requests
+// through it, keeping the term-check semantics in one place.
+type Inflight struct {
+	m    map[uint64]pending
+	lost uint64
+}
+
+// pending is one proposed-but-uncommitted request.
+type pending struct {
+	at   time.Duration // arrival time, relative to ramp t=0
+	term uint64        // leader term the entry was appended under
+}
+
+// NewInflight returns an empty tracker.
+func NewInflight() *Inflight { return &Inflight{m: make(map[uint64]pending)} }
+
+// Record registers a proposed batch: arrival ats[i] sits at log index
+// first+i, appended under term. appliedFloor is the group's highest
+// applied index at record time — a fresh proposal always lands above it,
+// so an index at or below the floor means a stale deposed leader
+// appended onto its obsolete log after the slot was already committed
+// (and applied) under a newer term; no future apply event will carry
+// that index, so the request is counted lost immediately instead of
+// leaking in the tracker. Surviving index collisions resolve by term —
+// the higher-term proposal is the one that can still commit, the other
+// was fed to a since-truncated log (older-term pending displaced after
+// its leader died unreplicated) or to a stale leader's busy queue.
+// Either way each losing request is counted lost exactly once.
+func (f *Inflight) Record(first, term uint64, ats []time.Duration, appliedFloor uint64) {
+	for i, at := range ats {
+		idx := first + uint64(i)
+		if idx <= appliedFloor {
+			f.lost++
+			continue
+		}
+		if old, ok := f.m[idx]; ok {
+			f.lost++
+			if old.term >= term {
+				// The tracked pending is the newer proposal: this batch
+				// came from a stale leader and is the lost one; keep the
+				// entry that can still complete.
+				continue
+			}
+		}
+		f.m[idx] = pending{at: at, term: term}
+	}
+}
+
+// Resolve matches an applied entry against the tracked proposals. It
+// returns the request's arrival time when e completes one; an entry whose
+// index is tracked but whose term differs was overwritten by a newer
+// leader — the proposal was lost, not committed, and counting it as a
+// completion would inflate throughput and fabricate a latency sample.
+func (f *Inflight) Resolve(e raft.Entry) (at time.Duration, ok bool) {
+	p, ok := f.m[e.Index]
+	if !ok {
+		return 0, false
+	}
+	delete(f.m, e.Index)
+	if e.Term != p.term {
+		f.lost++
+		return 0, false
+	}
+	return p.at, true
+}
+
+// ResolveApplied runs the completion gate shared by both load
+// generators: a request completes once the group's current leader has
+// applied its entry — the client-visible commit point — so entries a
+// node applies ahead of the leader wait for the leader's own apply
+// event, while entries a new leader applied back when it was still a
+// follower drain at the next apply observation instead of stranding.
+// complete receives each resolved request's arrival time.
+func (f *Inflight) ResolveApplied(leaderApplied uint64, ents []raft.Entry, complete func(at time.Duration)) {
+	for _, e := range ents {
+		if e.Index > leaderApplied {
+			continue // resolved later, at the leader's own apply event
+		}
+		if at, ok := f.Resolve(e); ok {
+			complete(at)
+		}
+	}
+}
+
+// Len returns the number of tracked proposals.
+func (f *Inflight) Len() int { return len(f.m) }
+
+// Lost returns how many proposals a newer leader overwrote.
+func (f *Inflight) Lost() uint64 { return f.lost }
 
 type stepAgg struct {
 	completed int
@@ -52,11 +150,37 @@ func NewLoadGen(c *Cluster, ramp workload.Ramp, clientRTT time.Duration) *LoadGe
 		gen:       g,
 		clientRTT: clientRTT,
 		flushEach: time.Millisecond,
-		inflight:  make(map[uint64]time.Duration),
+		inflight:  NewInflight(),
 		perStep:   make([]stepAgg, ramp.Steps),
 	}
-	c.onApply = lg.onApply
+	c.SetOnApply(lg.onApply)
 	return lg
+}
+
+// LeaderProposeBatch charges the current leader's CPU for one client
+// batch (etcd's Ready-loop flush) and proposes it, invoking done with the
+// first assigned log index and the leader term it was appended under once
+// the leader's processor gets to the work. It reports false — without
+// calling done — when no leader exists; the caller requeues and retries,
+// modelling client retry against a new leader.
+func (c *Cluster) LeaderProposeBatch(datas [][]byte, done func(first, term uint64, err error)) bool {
+	lead := c.Leader()
+	if lead == nil {
+		return false
+	}
+	rt := c.rts[lead.ID()-1]
+	cost := c.cost.ProposeBase + time.Duration(len(datas))*c.cost.ProposeEntry
+	rt.proc.ExecNotify(cost, func() {
+		first, _, err := lead.ProposeBatch(datas)
+		done(first, lead.Term(), err)
+	}, func() {
+		// The leader froze between accepting the batch and processing it
+		// (pause injection lands in the busy-queue window): the client's
+		// RPC dies with the frozen server, and done must still learn it or
+		// the batch would vanish from all accounting.
+		done(0, 0, raft.ErrNotLeader)
+	})
+	return true
 }
 
 // Start begins the flush loop at the current virtual time; the ramp's t=0
@@ -64,23 +188,10 @@ func NewLoadGen(c *Cluster, ramp workload.Ramp, clientRTT time.Duration) *LoadGe
 func (lg *LoadGen) Start() {
 	base := lg.c.eng.Now()
 	lg.base = base
-	var tick func()
-	tick = func() {
-		lg.flush(base)
-		if lg.c.eng.Now() < base+lg.ramp.Duration()+10*time.Second {
-			lg.c.eng.After(lg.flushEach, tick)
-		}
-	}
-	lg.c.eng.After(lg.flushEach, tick)
-	// Compact logs periodically so multi-minute ramps stay in memory.
-	var compact func()
-	compact = func() {
-		lg.c.CompactAll(4096)
-		if lg.c.eng.Now() < base+lg.ramp.Duration()+10*time.Second {
-			lg.c.eng.After(time.Second, compact)
-		}
-	}
-	lg.c.eng.After(time.Second, compact)
+	end := base + lg.ramp.Duration() + 10*time.Second
+	RunPump(lg.c.eng, end, lg.flushEach,
+		func() { lg.flush(base) },
+		func() { lg.c.CompactAll(4096) })
 }
 
 // flush moves due arrivals into a leader proposal batch.
@@ -99,73 +210,34 @@ func (lg *LoadGen) flush(base time.Duration) {
 		}
 		lg.queue = append(lg.queue, at)
 	}
-	// Partition queue into due and future arrivals.
-	due := lg.queue[:0:0]
-	rest := lg.queue[:0]
-	for _, at := range lg.queue {
-		if at <= now {
-			due = append(due, at)
-		} else {
-			rest = append(rest, at)
-		}
-	}
+	due, rest := SplitDue(lg.queue, now, func(at time.Duration) time.Duration { return at })
 	lg.queue = rest
-	if len(due) == 0 {
-		return
-	}
-	lead := lg.c.Leader()
-	if lead == nil {
-		// No leader: requests wait (client retries); put them back.
-		lg.queue = append(due, lg.queue...)
-		return
-	}
-	rt := lg.c.rts[lead.ID()-1]
-	cost := lg.c.cost.ProposeBase + time.Duration(len(due))*lg.c.cost.ProposeEntry
-	arrivals := append([]time.Duration(nil), due...)
-	rt.proc.Exec(cost, func() {
-		datas := make([][]byte, len(arrivals))
-		for i := range arrivals {
+	lg.parked = ProposeParked(lg.c, lg.inflight, lg.parked, due,
+		func(at time.Duration) time.Duration { return at },
+		func(time.Duration) []byte {
 			lg.seq++
-			datas[i] = kv.Encode(kv.Command{Op: kv.OpPut, Client: 1, Seq: lg.seq, Key: "bench", Value: []byte("v")})
-		}
-		first, _, err := lead.ProposeBatch(datas)
-		if err != nil {
-			lg.proposeErrors += uint64(len(arrivals))
-			return
-		}
-		for i, at := range arrivals {
-			lg.inflight[first+uint64(i)] = at
-		}
-	})
+			return kv.Encode(kv.Command{Op: kv.OpPut, Client: 1, Seq: lg.seq, Key: "bench", Value: []byte("v")})
+		},
+		&lg.proposeErrors)
 }
 
-// onApply observes applied entries; completions are measured on the node
-// that proposed (the leader), whose apply instant is the commit point at
-// which etcd answers the client.
+// onApply observes applied entries and completes requests through the
+// shared Inflight.ResolveApplied gate (see its doc for the semantics).
 func (lg *LoadGen) onApply(node raft.ID, ents []raft.Entry) {
-	lead := lg.c.Leader()
-	if lead == nil || lead.ID() != node {
-		return
-	}
 	now := lg.c.eng.Now() - lg.base
-	for _, e := range ents {
-		at, ok := lg.inflight[e.Index]
-		if !ok {
-			continue
-		}
-		delete(lg.inflight, e.Index)
+	lg.inflight.ResolveApplied(lg.c.ApplyGate(), ents, func(at time.Duration) {
 		// Bin by completion time: achieved throughput during a ramp level
 		// is what the paper's "average throughput" measures, and it is
 		// what saturates at the service capacity.
 		step := lg.ramp.StepOf(now)
 		if step < 0 || step >= len(lg.perStep) {
-			continue
+			return
 		}
 		// Latency: client→leader half, queueing+commit, leader→client half.
 		lat := (now - at) + lg.clientRTT
 		lg.perStep[step].completed++
 		lg.perStep[step].latency.Add(float64(lat) / float64(time.Millisecond))
-	}
+	})
 }
 
 // StepResult is the aggregated outcome for one ramp step.
@@ -195,5 +267,14 @@ func (lg *LoadGen) Results() []StepResult {
 // ProposeErrors returns how many requests failed to propose (no leader).
 func (lg *LoadGen) ProposeErrors() uint64 { return lg.proposeErrors }
 
+// Lost returns how many proposed requests were overwritten by a newer
+// leader before committing (client would retry; the testbed just counts).
+func (lg *LoadGen) Lost() uint64 { return lg.inflight.Lost() }
+
 // Inflight returns the number of requests proposed but not yet committed.
-func (lg *LoadGen) Inflight() int { return len(lg.inflight) }
+func (lg *LoadGen) Inflight() int { return lg.inflight.Len() }
+
+// Pending returns the number of arrivals accepted but never proposed
+// (still queued, or parked behind a leaderless window when the run
+// ended).
+func (lg *LoadGen) Pending() int { return len(lg.queue) + len(lg.parked) }

@@ -167,12 +167,25 @@ type Cluster struct {
 	onApply func(raft.ID, []raft.Entry)
 }
 
-// New builds (but does not start) a cluster.
+// New builds (but does not start) a cluster with its own private engine.
 func New(opts Options) *Cluster {
 	opts = opts.withDefaults()
+	return build(sim.NewEngine(opts.Seed), opts)
+}
+
+// NewWithEngine builds a cluster on a caller-owned engine, letting several
+// clusters share one virtual clock — the shard layer runs N independent
+// Raft groups on a single engine this way. opts.Seed is ignored: all
+// randomness comes from eng.
+func NewWithEngine(eng *sim.Engine, opts Options) *Cluster {
+	opts = opts.withDefaults()
+	return build(eng, opts)
+}
+
+func build(eng *sim.Engine, opts Options) *Cluster {
 	c := &Cluster{
 		opts: opts,
-		eng:  sim.NewEngine(opts.Seed),
+		eng:  eng,
 		rec:  trace.NewRecorder(),
 		cost: opts.Cost,
 	}
@@ -283,8 +296,40 @@ func (c *Cluster) Start() {
 // Engine exposes the simulation engine.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
 
+// SetOnApply registers an observer of every node's applied entries. It
+// must be called before Start; the load generators (cluster.LoadGen and
+// the shard layer's) use it to complete in-flight requests.
+func (c *Cluster) SetOnApply(fn func(raft.ID, []raft.Entry)) { c.onApply = fn }
+
 // Network exposes the simulated mesh.
 func (c *Cluster) Network() *netsim.Network[raft.Message] { return c.net }
+
+// MaxApplied returns the highest applied index across the cluster's
+// nodes — the floor below which no fresh proposal can land (see
+// Inflight.Record).
+func (c *Cluster) MaxApplied() uint64 {
+	var m uint64
+	for _, st := range c.stores {
+		if a := st.AppliedIndex(); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ApplyGate returns the completion gate both load generators feed to
+// Inflight.ResolveApplied: the current leader's applied index — the
+// client-visible commit point — or, during a leaderless window (e.g. the
+// committing leader paused after broadcasting commit but before
+// applying), the highest applied index across nodes, since each node
+// applies an index exactly once and deferring would strand committed
+// entries.
+func (c *Cluster) ApplyGate() uint64 {
+	if lead := c.Leader(); lead != nil {
+		return c.Store(lead.ID()).AppliedIndex()
+	}
+	return c.MaxApplied()
+}
 
 // Recorder exposes the event trace.
 func (c *Cluster) Recorder() *trace.Recorder { return c.rec }

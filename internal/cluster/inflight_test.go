@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// TestInflightTermAccounting pins the collision semantics the load
+// generators' metrics rest on: index reuse across terms counts the losing
+// proposal lost exactly once, keeps the winner, and term-mismatched
+// applies never fabricate completions.
+func TestInflightTermAccounting(t *testing.T) {
+	f := NewInflight()
+	f.Record(100, 2, []time.Duration{1, 2}, 99) // indexes 100,101 under term 2
+
+	// A newer-term batch reusing index 100 (the old leader died with it
+	// unreplicated, the log was truncated): old pending displaced, lost.
+	f.Record(100, 3, []time.Duration{5}, 99)
+	if got := f.Lost(); got != 1 {
+		t.Fatalf("lost after displacement = %d, want 1", got)
+	}
+	if at, ok := f.Resolve(raft.Entry{Index: 100, Term: 3}); !ok || at != 5 {
+		t.Fatalf("resolve(100,t3) = %v,%v, want 5,true", at, ok)
+	}
+
+	// A stale deposed leader's late propose reusing a tracked index with
+	// an OLDER term: the stale batch is the lost one, the tracked pending
+	// stays and still completes.
+	f.Record(101, 1, []time.Duration{9}, 99)
+	if got := f.Lost(); got != 2 {
+		t.Fatalf("lost after stale propose = %d, want 2", got)
+	}
+	if at, ok := f.Resolve(raft.Entry{Index: 101, Term: 2}); !ok || at != 2 {
+		t.Fatalf("resolve(101,t2) = %v,%v, want 2,true", at, ok)
+	}
+
+	// An entry applied with a different term than proposed: not a
+	// completion, counted lost, and the slot is cleared.
+	f.Record(200, 4, []time.Duration{7}, 199)
+	if _, ok := f.Resolve(raft.Entry{Index: 200, Term: 5}); ok {
+		t.Fatal("term-mismatched apply must not complete")
+	}
+	if got := f.Lost(); got != 3 {
+		t.Fatalf("lost after term mismatch = %d, want 3", got)
+	}
+	if got := f.Len(); got != 0 {
+		t.Fatalf("len = %d, want 0", got)
+	}
+	// Untracked entries resolve to nothing.
+	if _, ok := f.Resolve(raft.Entry{Index: 999, Term: 1}); ok {
+		t.Fatal("untracked index must not complete")
+	}
+
+	// A stale leader proposing at or below the group's applied watermark:
+	// the slot was already committed and applied under a newer term, no
+	// future apply event will carry it — counted lost immediately, never
+	// tracked (a tracked copy would leak forever).
+	f.Record(300, 6, []time.Duration{1, 2, 3}, 301)
+	if got := f.Lost(); got != 5 {
+		t.Fatalf("lost after stale-floor record = %d, want 5", got)
+	}
+	if got := f.Len(); got != 1 {
+		t.Fatalf("len after stale-floor record = %d, want 1 (only index 302)", got)
+	}
+	if at, ok := f.Resolve(raft.Entry{Index: 302, Term: 6}); !ok || at != 3 {
+		t.Fatalf("resolve(302,t6) = %v,%v, want 3,true", at, ok)
+	}
+}

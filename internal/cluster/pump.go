@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+// RunPump drives a load generator's periodic work on the engine until the
+// given virtual instant: flush fires every flushEach, compact once a
+// second (keeping multi-minute ramps in memory). The single-group and
+// shard load generators share this scheduling so their pacing cannot
+// drift apart.
+func RunPump(eng *sim.Engine, until, flushEach time.Duration, flush, compact func()) {
+	var tick func()
+	tick = func() {
+		flush()
+		if eng.Now() < until {
+			eng.After(flushEach, tick)
+		}
+	}
+	eng.After(flushEach, tick)
+	var comp func()
+	comp = func() {
+		compact()
+		if eng.Now() < until {
+			eng.After(time.Second, comp)
+		}
+	}
+	eng.After(time.Second, comp)
+}
+
+// ProposeParked is the propose-or-park tail both load generators share:
+// parked arrivals (waiting out an earlier leaderless window) go ahead of
+// the fresh batch to preserve arrival order; while the group has no
+// leader the merged batch parks without paying for encoding; otherwise
+// it is encoded (encode also advances the caller's seq) and proposed,
+// with failed proposes counted per request into proposeErrors and
+// accepted ones Recorded against the group's applied floor. It returns
+// the new parked slice — nil once the batch was handed to the leader.
+// Keeping this in one place stops the accounting invariants from
+// drifting between the single-group and sharded generators.
+func ProposeParked[T any](c *Cluster, f *Inflight, parked, fresh []T, at func(T) time.Duration, encode func(T) []byte, proposeErrors *uint64) []T {
+	batch := append(parked, fresh...)
+	if len(batch) == 0 {
+		return nil
+	}
+	if c.Leader() == nil {
+		return batch
+	}
+	datas := make([][]byte, len(batch))
+	ats := make([]time.Duration, len(batch))
+	for i, a := range batch {
+		datas[i] = encode(a)
+		ats[i] = at(a)
+	}
+	ok := c.LeaderProposeBatch(datas, func(first, term uint64, err error) {
+		if err != nil {
+			*proposeErrors += uint64(len(batch))
+			return
+		}
+		f.Record(first, term, ats, c.MaxApplied())
+	})
+	if !ok {
+		// Unreachable today — this runs in the same synchronous engine
+		// callback as the leader check above — but kept so arrivals are
+		// never silently dropped if that ever changes.
+		return batch
+	}
+	return nil
+}
+
+// SplitDue partitions queued arrivals into those due at or before now and
+// the rest, preserving order. rest reuses the queue's backing array; due
+// gets a fresh one, so a later requeue never aliases rest's elements.
+func SplitDue[T any](queue []T, now time.Duration, at func(T) time.Duration) (due, rest []T) {
+	due = queue[:0:0]
+	rest = queue[:0]
+	for _, a := range queue {
+		if at(a) <= now {
+			due = append(due, a)
+		} else {
+			rest = append(rest, a)
+		}
+	}
+	return due, rest
+}

@@ -155,6 +155,17 @@ func (s *Store) Apply(ents []raft.Entry) {
 	}
 }
 
+// LastSeq returns the highest applied sequence for client (0 when the
+// client has none). It lets a synchronous client confirm whether its
+// command survived a leader change: unlike inspecting the log at the
+// proposed index, the idempotence table rides in snapshots, so the answer
+// stays valid even after the index was compacted away.
+func (s *Store) LastSeq(client uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastSeq[client]
+}
+
 // Get returns the value for key.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.RLock()

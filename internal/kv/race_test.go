@@ -1,0 +1,141 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+// TestStoreConcurrentApplyAndReads drives Apply from one goroutine while
+// others hammer every read path. The sharded layer multiplies per-shard
+// state machines, each applied from its group's loop while probes read
+// concurrently, so this must be race-clean (run under -race in CI).
+func TestStoreConcurrentApplyAndReads(t *testing.T) {
+	s := NewStore()
+	const (
+		batches = 200
+		perEach = 16
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		idx := uint64(0)
+		for b := 0; b < batches; b++ {
+			ents := make([]raft.Entry, perEach)
+			for i := range ents {
+				idx++
+				ents[i] = raft.Entry{
+					Index: idx,
+					Type:  raft.EntryNormal,
+					Data: Encode(Command{
+						Op: OpPut, Client: 1, Seq: idx,
+						Key:   fmt.Sprintf("k-%03d", int(idx)%64),
+						Value: []byte("v"),
+					}),
+				}
+			}
+			s.Apply(ents)
+		}
+	}()
+
+	readers := []func(){
+		func() { s.Get("k-000") },
+		func() { s.Len() },
+		func() { s.AppliedIndex() },
+		func() { s.Applies() },
+		func() { s.Dupes() },
+		func() { s.Snapshot() },
+		func() { s.MarshalSnapshot() },
+	}
+	for _, read := range readers {
+		read := read
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					read()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := s.AppliedIndex(); got != batches*perEach {
+		t.Fatalf("applied index = %d, want %d", got, batches*perEach)
+	}
+	if got := s.Applies(); got != batches*perEach {
+		t.Fatalf("applies = %d, want %d", got, batches*perEach)
+	}
+	if s.Len() != 64 {
+		t.Fatalf("len = %d, want 64", s.Len())
+	}
+}
+
+// TestStoreConcurrentSnapshotRoundTrip races MarshalSnapshot against
+// Apply and checks that a snapshot taken mid-stream restores to a
+// consistent store.
+func TestStoreConcurrentSnapshotRoundTrip(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var snaps [][]byte
+	var mu sync.Mutex
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := uint64(1); i <= 2000; i++ {
+			s.Apply([]raft.Entry{{
+				Index: i, Type: raft.EntryNormal,
+				Data: Encode(Command{Op: OpPut, Client: 2, Seq: i, Key: fmt.Sprintf("s-%02d", i%32), Value: []byte("x")}),
+			}})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Marshal before checking done so at least one snapshot is taken
+		// even if the writer finishes first.
+		for {
+			b := s.MarshalSnapshot()
+			mu.Lock()
+			snaps = append(snaps, b)
+			mu.Unlock()
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	// Every snapshot restores cleanly into a fresh store.
+	for _, b := range snaps[:min(len(snaps), 8)] {
+		fresh := NewStore()
+		if err := fresh.RestoreSnapshot(b, 1); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+	last := NewStore()
+	if err := last.RestoreSnapshot(s.MarshalSnapshot(), 2000); err != nil {
+		t.Fatal(err)
+	}
+	if !last.Equal(s) {
+		t.Fatal("final snapshot does not round-trip")
+	}
+}

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dynatune/internal/shard"
+)
+
+// Front is the real-hardware counterpart of the shard layer's simulated
+// router: a stateless HTTP front that partitions the keyspace across
+// Raft groups with a shard.Router, forwards each /kv/{key} request to the
+// owning group's current leader, and serves /multiget as the cross-shard
+// read path. It learns leader moves from the X-Raft-Leader hint that
+// servers attach to 421 responses and otherwise walks the group's
+// members, so it needs no configuration beyond the member URLs.
+type Front struct {
+	router *shard.Router
+	groups [][]string // per group: member base URLs, index = node ID-1
+	client *http.Client
+
+	mu     sync.Mutex
+	leader []int // cached leader index per group
+}
+
+const (
+	// maxMultiGetKeys bounds one /multiget request; larger batches are
+	// rejected with 400 rather than amplified onto the backends.
+	maxMultiGetKeys = 1024
+	// multiGetParallel bounds concurrent backend reads per /multiget.
+	multiGetParallel = 32
+	// notReadyBackoff is how long forward() waits before retrying a
+	// member that hinted at itself — an elected leader whose term no-op
+	// or lease has not committed yet.
+	notReadyBackoff = 50 * time.Millisecond
+)
+
+// NewFront builds a front over the given groups; groups[g] lists group
+// g's member base URLs ("http://host:port") indexed by node ID-1.
+func NewFront(groups [][]string) (*Front, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("server: front needs at least one group")
+	}
+	for g, members := range groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("server: front group %d has no members", g)
+		}
+	}
+	return &Front{
+		router: shard.NewRouter(len(groups), 0),
+		groups: groups,
+		client: &http.Client{
+			Timeout: 10 * time.Second,
+			// The multiget fan-out sends up to multiGetParallel concurrent
+			// requests at one leader; keep that many idle conns per host
+			// or every burst re-handshakes ~30 TCP connections.
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: multiGetParallel,
+			},
+		},
+		leader: make([]int, len(groups)),
+	}, nil
+}
+
+// Router exposes the key→group mapping (tests and status pages).
+func (f *Front) Router() *shard.Router { return f.router }
+
+// ServeHTTP routes /kv/{key} and /multiget.
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/kv/"):
+		f.handleKV(w, r)
+	case r.URL.Path == "/multiget":
+		f.handleMultiGet(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (f *Front) handleKV(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/kv/")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	body, ok := readValue(w, r)
+	if !ok {
+		return
+	}
+	g := f.router.Route(key)
+	path, leaderOnly := forwardURL(r)
+	resp, payload, err := f.forward(r.Context(), g, r.Method, path, body, leaderOnly)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("group %d: %v", g, err), http.StatusBadGateway)
+		return
+	}
+	// Relay the Content-Type clients branch on; WriteHeader finalizes the
+	// set. (X-Raft-Leader never reaches here — forward() consumes every
+	// 421 internally.)
+	if v := resp.Header.Get("Content-Type"); v != "" {
+		w.Header().Set("Content-Type", v)
+	}
+	w.Header().Set("X-Shard-Group", strconv.Itoa(int(g)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(payload) //nolint:errcheck // best-effort response body
+}
+
+// forwardURL rebuilds the request's escaped path and query for
+// forwarding, defaulting GETs to lease reads: a plain local read would be
+// answered by whichever member the front happens to hit — a lagging
+// follower serves stale or missing values and never sends the 421 that
+// steers the front to the leader. Lease reads hold the documented
+// per-group leader-local guarantee; clients can still pass
+// consistency=local|linearizable explicitly. The escaped path (not the
+// decoded r.URL.Path) must be forwarded so keys containing reserved
+// characters ("a?b", "100%") survive the hop intact.
+//
+// The second return reports whether only a leader answers the request
+// without a 421 (everything except explicit local reads) — the condition
+// under which forward() may cache the responder as the group's leader.
+func forwardURL(r *http.Request) (string, bool) {
+	q := r.URL.Query()
+	if r.Method == http.MethodGet && q.Get("consistency") == "" {
+		q.Set("consistency", "lease")
+	}
+	leaderOnly := r.Method != http.MethodGet || q.Get("consistency") != "local"
+	path := r.URL.EscapedPath()
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	return path, leaderOnly
+}
+
+// handleMultiGet fans ?key=a&key=b out across the owning groups and
+// returns a JSON object of the found keys, values base64-encoded (JSON
+// []byte encoding) so binary data survives. Reads are per-group
+// leader-local, not a cross-shard snapshot.
+func (f *Front) handleMultiGet(w http.ResponseWriter, r *http.Request) {
+	keys := r.URL.Query()["key"]
+	if len(keys) == 0 {
+		http.Error(w, "missing key parameters", http.StatusBadRequest)
+		return
+	}
+	if len(keys) > maxMultiGetKeys {
+		http.Error(w, fmt.Sprintf("at most %d keys per multiget", maxMultiGetKeys), http.StatusBadRequest)
+		return
+	}
+	seen := make(map[string]bool, len(keys))
+	uniq := keys[:0]
+	for _, k := range keys {
+		if k == "" {
+			http.Error(w, "empty key parameter", http.StatusBadRequest)
+			return
+		}
+		if seen[k] {
+			continue // repeated params would each cost a backend read
+		}
+		seen[k] = true
+		uniq = append(uniq, k)
+	}
+	keys = uniq
+	type result struct {
+		key string
+		val []byte
+		ok  bool
+		err error
+	}
+	// Fan out per key, not per group: hot-key workloads land many keys on
+	// one group, and serializing those reads would cost K round trips. The
+	// semaphore bounds concurrent backend connections so one request
+	// cannot exhaust file descriptors or stampede the leaders.
+	results := make(chan result, len(keys))
+	sem := make(chan struct{}, multiGetParallel)
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			g := f.router.Route(k)
+			resp, payload, err := f.forward(r.Context(), g, http.MethodGet, "/kv/"+url.PathEscape(k)+"?consistency=lease", nil, true)
+			switch {
+			case err != nil:
+				results <- result{key: k, err: err}
+			case resp.StatusCode == http.StatusOK:
+				results <- result{key: k, val: payload, ok: true}
+			case resp.StatusCode == http.StatusNotFound:
+				results <- result{key: k} // absent
+			default:
+				// A transient backend failure (e.g. a lease-read
+				// timeout's 503) must not masquerade as key-absent.
+				results <- result{key: k, err: fmt.Errorf("backend: %s", resp.Status)}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(results)
+	// Values are []byte so the JSON encoder emits base64: converting to
+	// string would replace invalid-UTF-8 bytes with U+FFFD, silently
+	// corrupting binary values that the single-key GET path relays
+	// verbatim.
+	out := make(map[string][]byte, len(keys))
+	for res := range results {
+		if res.err != nil {
+			http.Error(w, fmt.Sprintf("key %q: %v", res.key, res.err), http.StatusBadGateway)
+			return
+		}
+		if res.ok {
+			out[res.key] = res.val
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // best-effort response body
+}
+
+// retrySafe reports whether a failed attempt may be re-sent to another
+// member. Reads always can. Writes can only when the request provably
+// never reached a server — a dial failure — because the backend commands
+// carry no dedup token: re-sending a write the leader already committed
+// (response lost to a timeout or reset) would apply it twice, silently
+// resurrecting overwritten values. 421 responses stay retryable for every
+// method — the server answered without proposing.
+func retrySafe(method string, err error) bool {
+	if method == http.MethodGet {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// forward sends the request to group g's believed leader, following
+// X-Raft-Leader hints and walking members on connection failure. It
+// returns the final response with its body fully read. The walk is bound
+// to ctx (the client's request lifetime) so retries and backoffs stop
+// when the client is gone instead of pinning goroutines and multiget
+// semaphore slots against dead members. leaderOnly marks requests only a
+// leader answers without a 421; only those may update the cached leader
+// — caching whoever answered an explicit local read would pin a follower
+// in front of every subsequent write.
+func (f *Front) forward(ctx context.Context, g shard.GroupID, method, pathAndQuery string, body []byte, leaderOnly bool) (*http.Response, []byte, error) {
+	members := f.groups[g]
+	f.mu.Lock()
+	idx := f.leader[g]
+	f.mu.Unlock()
+	var lastErr error
+	// failed remembers members that already failed this call: a stale
+	// X-Raft-Leader hint pointing at a just-dead member must not ping-pong
+	// the walk back to it until the attempt budget burns out while live
+	// members go untried.
+	failed := make(map[int]bool, len(members))
+	// misdirected remembers members that answered 421 this call: two live
+	// members with mutually stale leader views must not bounce the walk
+	// between each other while the real leader goes untried.
+	misdirected := make(map[int]bool, len(members))
+	backedOff := false
+	// One pass over the members plus slack for leader-hint hops.
+	for attempt := 0; attempt < len(members)+2; attempt++ {
+		for n := 0; failed[idx%len(members)] && n < len(members); n++ {
+			idx++
+		}
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		cur := idx % len(members)
+		req, err := http.NewRequestWithContext(ctx, method, members[cur]+pathAndQuery, bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			if !retrySafe(method, err) {
+				// A write may have reached the server before the failure
+				// (timeout mid-propose, connection reset after send):
+				// re-sending could apply it twice — commands carry no
+				// client/seq dedup token — so surface the error instead.
+				return nil, nil, fmt.Errorf("write outcome unknown: %w", err)
+			}
+			lastErr = err
+			failed[cur] = true
+			idx++ // member unreachable: try the next one
+			continue
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			if !retrySafe(method, err) {
+				return nil, nil, fmt.Errorf("write outcome unknown: %w", err)
+			}
+			lastErr = err
+			failed[cur] = true
+			idx++
+			continue
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			misdirected[cur] = true
+			// Not the leader; follow the hint when present and not already
+			// known dead or known stale, else walk on.
+			if hint, err := strconv.Atoi(resp.Header.Get("X-Raft-Leader")); err == nil && hint >= 1 && hint <= len(members) && !failed[hint-1] && (!misdirected[hint-1] || hint-1 == cur) {
+				if hint-1 == cur {
+					// The member IS the leader but not ready to serve yet
+					// (fresh election: term no-op or lease still
+					// uncommitted). Immediate identical retries would burn
+					// the whole budget inside that milliseconds-wide
+					// window; wait one beat — once per call, so a slow
+					// group adds bounded latency (this goroutine may hold
+					// a multiget semaphore slot).
+					if backedOff {
+						idx++
+						lastErr = fmt.Errorf("group %d: no leader found", g)
+						continue
+					}
+					backedOff = true
+					select {
+					case <-ctx.Done():
+						return nil, nil, ctx.Err()
+					case <-time.After(notReadyBackoff):
+					}
+				}
+				idx = hint - 1
+			} else {
+				idx++
+			}
+			lastErr = fmt.Errorf("group %d: no leader found", g)
+			continue
+		}
+		// 2xx and 404 got past the handler's leader check (a non-leader
+		// would have answered 421); 400s and 5xxs prove nothing.
+		if leaderOnly && (resp.StatusCode < 300 || resp.StatusCode == http.StatusNotFound) {
+			f.mu.Lock()
+			f.leader[g] = cur
+			f.mu.Unlock()
+		}
+		return resp, payload, nil
+	}
+	return nil, nil, lastErr
+}

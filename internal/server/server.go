@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -368,6 +369,35 @@ func (s *Server) SetPeer(id raft.ID, pa transport.PeerAddr) { s.tr.SetPeer(id, p
 // Store exposes the kv state machine.
 func (s *Server) Store() *kv.Store { return s.store }
 
+// maxValueBytes caps PUT/POST value sizes on both the node API and the
+// sharded Front; larger bodies are rejected with 413, never truncated.
+const maxValueBytes = 1 << 20
+
+// misdirected answers 421 with the X-Raft-Leader hint — the one protocol
+// clients (dynactl, the sharded Front) follow to find the leader; every
+// leader-only branch must emit it through here so the contract cannot
+// drift.
+func (s *Server) misdirected(w http.ResponseWriter, msg string) {
+	w.Header().Set("X-Raft-Leader", fmt.Sprint(s.Status().Leader))
+	http.Error(w, msg, http.StatusMisdirectedRequest)
+}
+
+// readValue reads a PUT/POST value in full (a single Read may return a
+// partial TCP segment), rejecting oversize bodies with 413 rather than
+// truncating. On false the response has been written.
+func readValue(w http.ResponseWriter, req *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxValueBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > maxValueBytes {
+		http.Error(w, fmt.Sprintf("value exceeds %d bytes", maxValueBytes), http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	return body, true
+}
+
 func (s *Server) handleKV(w http.ResponseWriter, req *http.Request) {
 	key := strings.TrimPrefix(req.URL.Path, "/kv/")
 	if key == "" {
@@ -385,9 +415,7 @@ func (s *Server) handleKV(w http.ResponseWriter, req *http.Request) {
 			var err error
 			v, ok, err = s.GetLinearizable(key, c == "lease")
 			if errors.Is(err, raft.ErrNotLeader) || errors.Is(err, raft.ErrNotReady) || errors.Is(err, ErrReadAborted) {
-				st := s.Status()
-				w.Header().Set("X-Raft-Leader", fmt.Sprint(st.Leader))
-				http.Error(w, err.Error(), http.StatusMisdirectedRequest)
+				s.misdirected(w, err.Error())
 				return
 			}
 			if err != nil {
@@ -404,13 +432,13 @@ func (s *Server) handleKV(w http.ResponseWriter, req *http.Request) {
 		}
 		w.Write(v) //nolint:errcheck // best-effort response body
 	case http.MethodPut, http.MethodPost:
-		var body [4096]byte
-		n, _ := req.Body.Read(body[:])
-		err := s.Propose(kv.Command{Op: kv.OpPut, Key: key, Value: append([]byte(nil), body[:n]...)})
+		body, ok := readValue(w, req)
+		if !ok {
+			return
+		}
+		err := s.Propose(kv.Command{Op: kv.OpPut, Key: key, Value: body})
 		if errors.Is(err, raft.ErrNotLeader) {
-			st := s.Status()
-			w.Header().Set("X-Raft-Leader", fmt.Sprint(st.Leader))
-			http.Error(w, "not the leader", http.StatusMisdirectedRequest)
+			s.misdirected(w, "not the leader")
 			return
 		}
 		if err != nil {
@@ -419,7 +447,12 @@ func (s *Server) handleKV(w http.ResponseWriter, req *http.Request) {
 		}
 		w.WriteHeader(http.StatusOK)
 	case http.MethodDelete:
-		if err := s.Propose(kv.Command{Op: kv.OpDelete, Key: key}); err != nil {
+		err := s.Propose(kv.Command{Op: kv.OpDelete, Key: key})
+		if errors.Is(err, raft.ErrNotLeader) {
+			s.misdirected(w, "not the leader")
+			return
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/workload"
+)
+
+// RampResult aggregates one sharded ramp run.
+type RampResult struct {
+	Groups int
+	Points []StepResult
+	// AggThroughput is the mean aggregate committed-ops rate over the
+	// whole ramp (completed / ramp duration) — the scaling benchmark's
+	// headline metric.
+	AggThroughput float64
+	// PeakThroughput is the best single step.
+	PeakThroughput float64
+	// P99Ms is the tail latency over the whole ramp.
+	P99Ms         float64
+	Completed     int
+	ProposeErrors uint64
+	// Lost counts proposals overwritten by a newer leader before
+	// committing; Pending counts arrivals never proposed (stuck behind a
+	// leaderless group at run end). Without them a leader-churn
+	// throughput dip is indistinguishable from capacity loss.
+	Lost    uint64
+	Pending int
+}
+
+// RunRamp runs one keyed open-loop ramp against a sharded cluster built
+// from opts: start all groups, wait for every leader, settle, drive the
+// ramp, drain, aggregate. It mirrors cluster.RunThroughputRamp for the
+// multi-group world.
+func RunRamp(opts Options, ramp workload.Ramp, load LoadOptions) RampResult {
+	s := New(opts)
+	lg := NewLoadGen(s, ramp, load)
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		panic(fmt.Sprintf("shard: not all of %d groups elected a leader", s.Groups()))
+	}
+	s.Run(3 * time.Second) // settle + tuner warmup
+	lg.Start()
+	s.Run(ramp.Duration() + 5*time.Second) // drain tail
+
+	res := RampResult{
+		Groups:        s.Groups(),
+		Points:        lg.Results(),
+		P99Ms:         lg.P99Ms(),
+		Completed:     lg.TotalCompleted(),
+		ProposeErrors: lg.ProposeErrors(),
+		Lost:          lg.Lost(),
+		Pending:       lg.Pending(),
+	}
+	res.AggThroughput = float64(res.Completed) / ramp.Duration().Seconds()
+	for _, p := range res.Points {
+		if p.ThroughputRS > res.PeakThroughput {
+			res.PeakThroughput = p.ThroughputRS
+		}
+	}
+	return res
+}

@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/kv"
+	"dynatune/internal/metrics"
+	"dynatune/internal/raft"
+	"dynatune/internal/workload"
+)
+
+// LoadGen drives keyed open-loop traffic against a sharded cluster: one
+// aggregate arrival ramp (as in §IV-B2) whose requests each carry a key
+// drawn from a KeySampler, routed through the Router and batched into
+// per-group leader proposals every flush interval. Latency is measured
+// per request from arrival to commit-and-reply on the owning group's
+// leader.
+type LoadGen struct {
+	s         *Cluster
+	ramp      workload.Ramp
+	gen       *workload.Generator
+	keys      *workload.KeySampler
+	clientRTT time.Duration
+	flushEach time.Duration
+
+	// queue holds arrivals accepted but not yet routed (waiting for the
+	// next flush).
+	queue []arrival
+	// parked holds, per group, arrivals already routed to a group that
+	// had no leader at flush time. Keeping them here instead of back on
+	// queue means an election window costs one leader check per tick, not
+	// a re-scan and re-hash of every delayed arrival (quadratic at the
+	// benchmark's offered rates).
+	parked [][]arrival
+	// inflight tracks, per group, proposed-but-uncommitted requests with
+	// the shared term-checked tracker (see cluster.Inflight).
+	inflight []*cluster.Inflight
+
+	perStep []stepAgg
+
+	proposeErrors uint64
+	seq           uint64
+	base          time.Duration // virtual time of ramp t=0
+}
+
+type arrival struct {
+	at  time.Duration
+	key string
+}
+
+type stepAgg struct {
+	completed int
+	lats      []float64 // per-request latency, ms
+}
+
+// LoadOptions tune a sharded load generator.
+type LoadOptions struct {
+	// Keys is the keyspace size (default 4096).
+	Keys int
+	// Zipf, when non-zero, draws keys Zipf-distributed with this exponent
+	// instead of uniformly (hot-key skew). The exponent must exceed 1 (the
+	// standard library's parameterization); values in (0,1] are rejected
+	// rather than silently falling back to uniform.
+	Zipf float64
+	// ClientRTT is the client↔leader round trip added to every latency
+	// (default 100ms, as in the single-group generator usage).
+	ClientRTT time.Duration
+}
+
+// NewLoadGen attaches a keyed load generator to a not-yet-started sharded
+// cluster.
+func NewLoadGen(s *Cluster, ramp workload.Ramp, opts LoadOptions) *LoadGen {
+	if opts.Keys == 0 {
+		opts.Keys = 4096
+	}
+	if opts.ClientRTT == 0 {
+		opts.ClientRTT = 100 * time.Millisecond
+	}
+	gen, err := workload.NewGenerator(ramp, s.eng.Rand())
+	if err != nil {
+		panic(err)
+	}
+	var keys *workload.KeySampler
+	if opts.Zipf != 0 {
+		keys, err = workload.NewZipfKeySampler(opts.Keys, opts.Zipf, s.eng.Rand())
+	} else {
+		keys, err = workload.NewKeySampler(opts.Keys, s.eng.Rand())
+	}
+	if err != nil {
+		panic(err)
+	}
+	lg := &LoadGen{
+		s:         s,
+		ramp:      ramp,
+		gen:       gen,
+		keys:      keys,
+		clientRTT: opts.ClientRTT,
+		flushEach: time.Millisecond,
+		parked:    make([][]arrival, s.Groups()),
+		inflight:  make([]*cluster.Inflight, s.Groups()),
+		perStep:   make([]stepAgg, ramp.Steps),
+	}
+	for g := range lg.inflight {
+		lg.inflight[g] = cluster.NewInflight()
+		g := GroupID(g)
+		s.Group(g).SetOnApply(func(node raft.ID, ents []raft.Entry) {
+			lg.onApply(g, node, ents)
+		})
+	}
+	return lg
+}
+
+// Start begins the flush loop at the current virtual time; the ramp's t=0
+// is "now".
+func (lg *LoadGen) Start() {
+	base := lg.s.eng.Now()
+	lg.base = base
+	end := base + lg.ramp.Duration() + 10*time.Second
+	cluster.RunPump(lg.s.eng, end, lg.flushEach,
+		func() { lg.flush(base) },
+		func() { lg.s.CompactAll(4096) })
+}
+
+// flush moves due arrivals into per-group leader proposal batches.
+func (lg *LoadGen) flush(base time.Duration) {
+	now := lg.s.eng.Now() - base
+	for {
+		at, ok := lg.gen.Next()
+		if !ok {
+			break
+		}
+		lg.queue = append(lg.queue, arrival{at: at, key: lg.keys.Next()})
+		if at > now {
+			break // overshoot arrival buffered for a later flush
+		}
+	}
+	due, rest := cluster.SplitDue(lg.queue, now, func(a arrival) time.Duration { return a.at })
+	lg.queue = rest
+	// Fan new arrivals out across groups (group order is deterministic);
+	// each key is hashed exactly once, even if its group is mid-election.
+	batches := make([][]arrival, lg.s.Groups())
+	for _, a := range due {
+		g := lg.s.router.Route(a.key)
+		batches[g] = append(batches[g], a)
+	}
+	for g := range batches {
+		lg.parked[g] = cluster.ProposeParked(lg.s.Group(GroupID(g)), lg.inflight[g], lg.parked[g], batches[g],
+			func(a arrival) time.Duration { return a.at },
+			func(a arrival) []byte {
+				lg.seq++
+				return kv.Encode(kv.Command{Op: kv.OpPut, Client: 1, Seq: lg.seq, Key: a.key, Value: []byte("v")})
+			},
+			&lg.proposeErrors)
+	}
+}
+
+// onApply observes one group's applied entries and completes requests
+// through the shared cluster.Inflight.ResolveApplied gate (see its doc
+// for the semantics).
+func (lg *LoadGen) onApply(g GroupID, node raft.ID, ents []raft.Entry) {
+	now := lg.s.eng.Now() - lg.base
+	lg.inflight[g].ResolveApplied(lg.s.Group(g).ApplyGate(), ents, func(at time.Duration) {
+		step := lg.ramp.StepOf(now)
+		if step < 0 || step >= len(lg.perStep) {
+			return
+		}
+		lat := (now - at) + lg.clientRTT
+		lg.perStep[step].completed++
+		lg.perStep[step].lats = append(lg.perStep[step].lats, float64(lat)/float64(time.Millisecond))
+	})
+}
+
+// StepResult is the aggregated outcome for one ramp step across all
+// groups.
+type StepResult struct {
+	OfferedRPS   int
+	ThroughputRS float64 // aggregate committed requests per second
+	LatencyMs    float64 // mean latency
+	P99Ms        float64 // tail latency
+	Completed    int
+}
+
+// Results returns per-step aggregates. Call after the ramp (plus drain)
+// has run.
+func (lg *LoadGen) Results() []StepResult {
+	out := make([]StepResult, len(lg.perStep))
+	for i := range lg.perStep {
+		rps, _ := lg.ramp.RPSAt(time.Duration(i)*lg.ramp.StepDuration + 1)
+		var w metrics.Welford
+		for _, l := range lg.perStep[i].lats {
+			w.Add(l)
+		}
+		out[i] = StepResult{
+			OfferedRPS:   rps,
+			ThroughputRS: float64(lg.perStep[i].completed) / lg.ramp.StepDuration.Seconds(),
+			LatencyMs:    w.Mean(),
+			P99Ms:        metrics.Quantile(lg.perStep[i].lats, 0.99),
+			Completed:    lg.perStep[i].completed,
+		}
+	}
+	return out
+}
+
+// TotalCompleted returns the number of requests committed during the
+// ramp.
+func (lg *LoadGen) TotalCompleted() int {
+	total := 0
+	for i := range lg.perStep {
+		total += lg.perStep[i].completed
+	}
+	return total
+}
+
+// P99Ms returns the tail latency over the whole ramp.
+func (lg *LoadGen) P99Ms() float64 {
+	var all []float64
+	for i := range lg.perStep {
+		all = append(all, lg.perStep[i].lats...)
+	}
+	return metrics.Quantile(all, 0.99)
+}
+
+// ProposeErrors returns how many requests failed to propose.
+func (lg *LoadGen) ProposeErrors() uint64 { return lg.proposeErrors }
+
+// Lost returns how many proposed requests were overwritten by a newer
+// leader before committing (client would retry; the testbed just counts),
+// summed over groups.
+func (lg *LoadGen) Lost() uint64 {
+	var n uint64
+	for _, f := range lg.inflight {
+		n += f.Lost()
+	}
+	return n
+}
+
+// Inflight returns the number of requests proposed but not yet committed,
+// summed over groups.
+func (lg *LoadGen) Inflight() int {
+	n := 0
+	for _, f := range lg.inflight {
+		n += f.Len()
+	}
+	return n
+}
+
+// Pending returns the number of arrivals accepted but never proposed —
+// still queued, or parked at a group whose election outlasted the run.
+// Without it, arrivals stuck behind a leaderless group would vanish from
+// every counter and read as capacity loss.
+func (lg *LoadGen) Pending() int {
+	n := len(lg.queue)
+	for _, p := range lg.parked {
+		n += len(p)
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d", i)
+	}
+	return keys
+}
+
+func TestRouterDeterministicAndInRange(t *testing.T) {
+	r := NewRouter(8, 0)
+	for _, k := range testKeys(2000) {
+		g := r.Route(k)
+		if g < 0 || int(g) >= r.Groups() {
+			t.Fatalf("Route(%q) = %d out of [0,%d)", k, g, r.Groups())
+		}
+		if again := r.Route(k); again != g {
+			t.Fatalf("Route(%q) unstable: %d then %d", k, g, again)
+		}
+	}
+}
+
+func TestRouterStableAcrossInstantiation(t *testing.T) {
+	a := NewRouter(4, 64)
+	b := NewRouter(4, 64)
+	for _, k := range testKeys(5000) {
+		if a.Route(k) != b.Route(k) {
+			t.Fatalf("key %q routed to %d and %d by identical routers", k, a.Route(k), b.Route(k))
+		}
+	}
+}
+
+func TestRouterUniformity(t *testing.T) {
+	const nKeys = 40000
+	keys := testKeys(nKeys)
+	for _, groups := range []int{4, 8, 16} {
+		r := NewRouter(groups, 0)
+		counts := make([]int, groups)
+		for _, k := range keys {
+			counts[r.Route(k)]++
+		}
+		want := nKeys / groups
+		for g, c := range counts {
+			// Consistent hashing with 256 virtual nodes keeps per-group
+			// share within ≈±10% of uniform; allow ±25%.
+			if c < want*75/100 || c > want*125/100 {
+				t.Fatalf("groups=%d: group %d owns %d of %d keys (want ≈%d)", groups, g, c, nKeys, want)
+			}
+		}
+	}
+}
+
+func TestRouterPartitionCoversAllKeys(t *testing.T) {
+	r := NewRouter(4, 0)
+	keys := testKeys(1000)
+	parts := r.Partition(keys)
+	total := 0
+	for g, ks := range parts {
+		total += len(ks)
+		for _, k := range ks {
+			if r.Route(k) != g {
+				t.Fatalf("key %q partitioned into %d but routes to %d", k, g, r.Route(k))
+			}
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("partition dropped keys: %d of %d", total, len(keys))
+	}
+}
+
+func TestRouterConsistentGrowth(t *testing.T) {
+	// Growing 4 → 5 groups must move only a minority of the keyspace, and
+	// every moved key must land on the new group (consistent hashing's
+	// minimal-disruption property, which the future rebalance PR depends
+	// on).
+	small := NewRouter(4, 0)
+	big := NewRouter(5, 0)
+	keys := testKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		a, b := small.Route(k), big.Route(k)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != GroupID(4) {
+			t.Fatalf("key %q moved %d→%d instead of onto the new group", k, a, b)
+		}
+	}
+	// Expected ≈1/5 of keys move; allow generous slack but far below a
+	// rehash-everything router (which would move ≈4/5).
+	if moved == 0 || moved > len(keys)*35/100 {
+		t.Fatalf("growth moved %d of %d keys; want ≈%d", moved, len(keys), len(keys)/5)
+	}
+}
+
+func TestRouterPanicsOnNoGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRouter(0, _) did not panic")
+		}
+	}()
+	NewRouter(0, 8)
+}

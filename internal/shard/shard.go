@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/kv"
+	"dynatune/internal/netsim"
+	"dynatune/internal/raft"
+	"dynatune/internal/sim"
+)
+
+// Options configure a sharded Cluster.
+type Options struct {
+	// Groups is the number of independent Raft groups (default 4).
+	Groups int
+	// NodesPerGroup is each group's replication factor (default 3).
+	NodesPerGroup int
+	Seed          int64
+	// Variant selects the system under test per group; every group gets
+	// its own tuner instances (one per node, as in the single-group
+	// testbed).
+	Variant cluster.Variant
+	// Profile is the shared WAN schedule: every group's links follow the
+	// same netsim profile, modelling shards co-deployed on one network.
+	Profile netsim.Profile
+	// Replicas is the router's virtual-node count (0 = DefaultReplicas).
+	Replicas int
+	// Cost overrides the per-node CPU cost model (zero = calibrated
+	// default).
+	Cost cluster.CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Groups == 0 {
+		o.Groups = 4
+	}
+	if o.NodesPerGroup == 0 {
+		o.NodesPerGroup = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Cluster is a sharded deployment: G Raft groups sharing one virtual
+// clock, with a consistent-hash router in front. Each group is a full
+// cluster.Cluster — own netsim mesh (same profile), own kv stores, own
+// tuners, own leader — so failures and tuning in one group never touch
+// another.
+type Cluster struct {
+	opts   Options
+	eng    *sim.Engine
+	router *Router
+	groups []*cluster.Cluster
+
+	seq uint64 // client sequence for direct Puts
+}
+
+// shardClientID marks direct Put traffic in the kv idempotence table,
+// distinct from the load generator's client 1.
+const shardClientID = 2
+
+// New builds (but does not start) a sharded cluster.
+func New(opts Options) *Cluster {
+	opts = opts.withDefaults()
+	s := &Cluster{
+		opts:   opts,
+		eng:    sim.NewEngine(opts.Seed),
+		router: NewRouter(opts.Groups, opts.Replicas),
+	}
+	s.groups = make([]*cluster.Cluster, opts.Groups)
+	for g := range s.groups {
+		s.groups[g] = cluster.NewWithEngine(s.eng, cluster.Options{
+			N:       opts.NodesPerGroup,
+			Variant: opts.Variant,
+			Profile: opts.Profile,
+			Cost:    opts.Cost,
+		})
+	}
+	return s
+}
+
+// Start arms every node in every group; per-group elections follow.
+func (s *Cluster) Start() {
+	for _, c := range s.groups {
+		c.Start()
+	}
+}
+
+// Engine exposes the shared simulation engine.
+func (s *Cluster) Engine() *sim.Engine { return s.eng }
+
+// Router exposes the key→group mapping.
+func (s *Cluster) Router() *Router { return s.router }
+
+// Groups returns the number of Raft groups.
+func (s *Cluster) Groups() int { return len(s.groups) }
+
+// Group returns one group's underlying cluster.
+func (s *Cluster) Group(g GroupID) *cluster.Cluster { return s.groups[g] }
+
+// Now returns virtual time.
+func (s *Cluster) Now() time.Duration { return s.eng.Now() }
+
+// Run advances the whole deployment (all groups share the clock) by d.
+func (s *Cluster) Run(d time.Duration) { s.eng.Run(s.eng.Now() + d) }
+
+// Leader returns group g's live leader, or nil.
+func (s *Cluster) Leader(g GroupID) *raft.Node { return s.groups[g].Leader() }
+
+// HasLeaders reports whether every group currently has a leader.
+func (s *Cluster) HasLeaders() bool {
+	for _, c := range s.groups {
+		if c.Leader() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitLeaders runs until every group has elected a leader, up to timeout.
+func (s *Cluster) WaitLeaders(timeout time.Duration) bool {
+	deadline := s.eng.Now() + timeout
+	for s.eng.Now() < deadline {
+		if s.HasLeaders() {
+			return true
+		}
+		s.Run(10 * time.Millisecond)
+	}
+	return s.HasLeaders()
+}
+
+// Put routes key to its group, proposes the write on that group's leader
+// and advances the simulation until the command applies there (or timeout
+// elapses). It is the testbed's synchronous client call.
+func (s *Cluster) Put(key string, value []byte, timeout time.Duration) error {
+	g := s.router.Route(key)
+	c := s.groups[g]
+	s.seq++
+	seq := s.seq
+	data := kv.Encode(kv.Command{
+		Op: kv.OpPut, Client: shardClientID, Seq: seq, Key: key, Value: value,
+	})
+	// Propose through LeaderProposeBatch so synchronous Puts pay the same
+	// leader CPU cost (and queue behind the same backlog) as every other
+	// client path — a free side door would skew the utilization and
+	// saturation curves the testbed measures.
+	var (
+		idx      uint64
+		perr     error
+		proposed bool
+	)
+	if !c.LeaderProposeBatch([][]byte{data}, func(first, _ uint64, err error) {
+		idx, perr, proposed = first, err, true
+	}) {
+		return fmt.Errorf("shard: group %d has no leader", g)
+	}
+	deadline := s.eng.Now() + timeout
+	for s.eng.Now() < deadline && !proposed {
+		s.Run(time.Millisecond)
+	}
+	if !proposed {
+		return fmt.Errorf("shard: group %d leader did not process the propose within %v", g, timeout)
+	}
+	if perr != nil {
+		return fmt.Errorf("shard: group %d propose: %w", g, perr)
+	}
+	for s.eng.Now() < deadline {
+		// Poll the group's *current* leader each iteration: the proposer
+		// may be paused or deposed mid-wait, and its stalled store would
+		// time out a write that in fact committed on its successor.
+		if cur := c.Leader(); cur != nil {
+			store := c.Store(cur.ID())
+			if store.AppliedIndex() >= idx {
+				// Applied is not committed-as-proposed: a newer leader may
+				// have overwritten idx with its own entry. The idempotence
+				// table is the authoritative witness — no later seq of this
+				// client can exist while this call blocks, and it rides in
+				// snapshots, so it stays valid even if idx was compacted
+				// away before this node caught up.
+				if store.LastSeq(shardClientID) >= seq {
+					return nil
+				}
+				return fmt.Errorf("shard: group %d write at index %d was superseded by a newer leader", g, idx)
+			}
+		}
+		s.Run(time.Millisecond)
+	}
+	return fmt.Errorf("shard: group %d did not commit index %d within %v", g, idx, timeout)
+}
+
+// Get reads key from its group leader's store (leader-local reads, the
+// same consistency the single-group testbed serves). It returns false
+// when the key is absent or the group momentarily has no leader.
+func (s *Cluster) Get(key string) ([]byte, bool) {
+	g := s.router.Route(key)
+	lead := s.groups[g].Leader()
+	if lead == nil {
+		return nil, false
+	}
+	return s.groups[g].Store(lead.ID()).Get(key)
+}
+
+// MultiGet is the cross-shard read path: it partitions keys by group and
+// reads each batch from that group's leader. The result is per-group
+// leader-local consistent but is not a snapshot across groups — groups
+// commit independently, which is the price of sharding (and exactly what
+// a future cross-shard transaction PR would address). Missing keys are
+// absent from the result.
+func (s *Cluster) MultiGet(keys ...string) map[string][]byte {
+	out := make(map[string][]byte, len(keys))
+	for g, ks := range s.router.Partition(keys) {
+		lead := s.groups[g].Leader()
+		if lead == nil {
+			continue
+		}
+		store := s.groups[g].Store(lead.ID())
+		for _, k := range ks {
+			if v, ok := store.Get(k); ok {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// CompactAll compacts every node's log in every group.
+func (s *Cluster) CompactAll(keepLast uint64) {
+	for _, c := range s.groups {
+		c.CompactAll(keepLast)
+	}
+}

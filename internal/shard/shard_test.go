@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/netsim"
+	"dynatune/internal/workload"
+)
+
+func fastProfile() netsim.Profile {
+	return netsim.Constant(netsim.Params{RTT: 10 * time.Millisecond, Jitter: time.Millisecond})
+}
+
+func TestShardedClusterElectsAllGroups(t *testing.T) {
+	s := New(Options{Groups: 4, NodesPerGroup: 3, Seed: 11, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("not every group elected a leader")
+	}
+	// Leaders are independent per group: each group has exactly one.
+	for g := 0; g < s.Groups(); g++ {
+		if s.Leader(GroupID(g)) == nil {
+			t.Fatalf("group %d lost its leader", g)
+		}
+	}
+}
+
+func TestShardedPutGetRoutesByKey(t *testing.T) {
+	s := New(Options{Groups: 4, NodesPerGroup: 3, Seed: 5, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user-%04d", i)
+		if err := s.Put(keys[i], []byte(fmt.Sprintf("v%d", i)), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every key reads back through the router.
+	for i, k := range keys {
+		v, ok := s.Get(k)
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q) = %q, %v", k, v, ok)
+		}
+	}
+	// Writes landed only on the owning group: the key must exist in the
+	// routed group's store and in no other group's.
+	for _, k := range keys {
+		owner := s.Router().Route(k)
+		for g := 0; g < s.Groups(); g++ {
+			lead := s.Leader(GroupID(g))
+			if lead == nil {
+				t.Fatalf("group %d lost its leader before verification", g)
+			}
+			_, ok := s.Group(GroupID(g)).Store(lead.ID()).Get(k)
+			if ok != (GroupID(g) == owner) {
+				t.Fatalf("key %q present=%v in group %d (owner %d)", k, ok, g, owner)
+			}
+		}
+	}
+	// The traffic actually fanned out: more than one group holds data.
+	used := 0
+	for g := 0; g < s.Groups(); g++ {
+		lead := s.Leader(GroupID(g))
+		if lead == nil {
+			t.Fatalf("group %d lost its leader before verification", g)
+		}
+		if s.Group(GroupID(g)).Store(lead.ID()).Len() > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("only %d group(s) received writes; router not fanning out", used)
+	}
+}
+
+func TestShardedMultiGet(t *testing.T) {
+	s := New(Options{Groups: 4, NodesPerGroup: 3, Seed: 9, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mg-%03d", i)
+		if err := s.Put(keys[i], []byte("x"), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.MultiGet(append(keys, "absent-key")...)
+	if len(got) != len(keys) {
+		t.Fatalf("MultiGet returned %d of %d keys", len(got), len(keys))
+	}
+	for _, k := range keys {
+		if string(got[k]) != "x" {
+			t.Fatalf("MultiGet[%q] = %q", k, got[k])
+		}
+	}
+	if _, ok := got["absent-key"]; ok {
+		t.Fatal("MultiGet invented a value for an absent key")
+	}
+}
+
+func TestShardedGroupFailureIsIsolated(t *testing.T) {
+	s := New(Options{Groups: 2, NodesPerGroup: 3, Seed: 13, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	// Freeze group 0's leader: group 1 must keep serving throughout.
+	s.Group(0).PauseLeader()
+	var key1 string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("iso-%04d", i)
+		if s.Router().Route(k) == 1 {
+			key1 = k
+			break
+		}
+	}
+	if err := s.Put(key1, []byte("alive"), 10*time.Second); err != nil {
+		t.Fatalf("healthy group failed during sibling outage: %v", err)
+	}
+	// Group 0 recovers on its own (new election) within its timeout.
+	deadline := s.Now() + 30*time.Second
+	for s.Now() < deadline && s.Leader(0) == nil {
+		s.Run(50 * time.Millisecond)
+	}
+	if s.Leader(0) == nil {
+		t.Fatal("group 0 never re-elected")
+	}
+}
+
+func TestShardedStoresConsistentPerGroup(t *testing.T) {
+	s := New(Options{Groups: 2, NodesPerGroup: 3, Seed: 17, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Put(fmt.Sprintf("c-%03d", i), []byte("v"), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(2 * time.Second) // let followers catch up
+	for g := 0; g < s.Groups(); g++ {
+		if err := s.Group(GroupID(g)).StoresConsistent(); err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+	}
+}
+
+// inflatedCost scales the client-path and apply costs so one leader
+// saturates around ~2k req/s, letting the scaling test drive deep
+// saturation cheaply.
+func inflatedCost() cluster.CostModel {
+	c := cluster.DefaultCostModel()
+	c.ProposeEntry = 400 * time.Microsecond
+	c.ApplyEntry = 50 * time.Microsecond
+	return c
+}
+
+func TestShardedThroughputScalesWithGroups(t *testing.T) {
+	ramp := workload.Ramp{StartRPS: 8000, StepRPS: 0, StepDuration: time.Second, Steps: 4}
+	run := func(groups int) RampResult {
+		return RunRamp(Options{
+			Groups: groups, NodesPerGroup: 3, Seed: 23,
+			Variant: cluster.VariantRaft(), Profile: fastProfile(),
+			Cost: inflatedCost(),
+		}, ramp, LoadOptions{Keys: 1024})
+	}
+	r1 := run(1)
+	r4 := run(4)
+	if r1.Completed == 0 || r4.Completed == 0 {
+		t.Fatalf("no completions: 1-shard %d, 4-shard %d", r1.Completed, r4.Completed)
+	}
+	speedup := r4.AggThroughput / r1.AggThroughput
+	t.Logf("1-shard %.0f req/s (p99 %.0f ms), 4-shard %.0f req/s (p99 %.0f ms), speedup %.2fx",
+		r1.AggThroughput, r1.P99Ms, r4.AggThroughput, r4.P99Ms, speedup)
+	if speedup < 2 {
+		t.Fatalf("4-shard speedup %.2fx < 2x (1-shard %.0f req/s, 4-shard %.0f req/s)",
+			speedup, r1.AggThroughput, r4.AggThroughput)
+	}
+	// Sharding must also relieve the saturated tail.
+	if r4.P99Ms >= r1.P99Ms {
+		t.Fatalf("4-shard p99 %.0f ms not below saturated 1-shard p99 %.0f ms", r4.P99Ms, r1.P99Ms)
+	}
+}
+
+func TestLoadGenFansAcrossGroups(t *testing.T) {
+	s := New(Options{Groups: 4, NodesPerGroup: 3, Seed: 29, Profile: fastProfile()})
+	ramp := workload.Ramp{StartRPS: 500, StepRPS: 0, StepDuration: time.Second, Steps: 2}
+	lg := NewLoadGen(s, ramp, LoadOptions{Keys: 512})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	s.Run(2 * time.Second)
+	lg.Start()
+	s.Run(ramp.Duration() + 5*time.Second)
+	if lg.TotalCompleted() == 0 {
+		t.Fatal("no requests completed")
+	}
+	// All groups saw applied client traffic.
+	for g := 0; g < s.Groups(); g++ {
+		lead := s.Leader(GroupID(g))
+		if lead == nil {
+			t.Fatalf("group %d has no leader", g)
+		}
+		if s.Group(GroupID(g)).Store(lead.ID()).Applies() == 0 {
+			t.Fatalf("group %d applied no client commands", g)
+		}
+	}
+	if lg.Inflight() != 0 {
+		t.Fatalf("%d requests still in flight after drain", lg.Inflight())
+	}
+}

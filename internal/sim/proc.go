@@ -24,10 +24,10 @@ type Proc struct {
 	busy       time.Duration
 	windowBusy time.Duration
 
-	paused bool
-	// queued holds work accepted while paused... work submitted while
+	// paused freezes the processor: work submitted (or completing) while
 	// paused is dropped (a paused container's process is frozen and its
 	// sockets overflow), matching the paper's `docker pause` failure mode.
+	paused bool
 }
 
 // NewProc returns a processor bound to the engine's clock.
@@ -40,7 +40,18 @@ func NewProc(eng *Engine) *Proc {
 // cost executes at max(now, busyUntil) — still serialized. Returns false if
 // the processor is paused (the work is dropped).
 func (p *Proc) Exec(cost time.Duration, fn func()) bool {
+	return p.ExecNotify(cost, fn, func() {})
+}
+
+// ExecNotify behaves like Exec but calls dropped — immediately when the
+// work is rejected outright, or at the completion instant when a pause
+// landed between acceptance and execution — whenever fn will never run.
+// Exec's silent skip models the frozen node itself; a caller acting for a
+// remote client (which observes its RPC die with the frozen server) needs
+// the notification to keep its accounting complete.
+func (p *Proc) ExecNotify(cost time.Duration, fn, dropped func()) bool {
 	if p.paused {
+		dropped()
 		return false
 	}
 	if cost < 0 {
@@ -57,6 +68,7 @@ func (p *Proc) Exec(cost time.Duration, fn func()) bool {
 	p.windowBusy += cost
 	p.eng.Schedule(done, func() {
 		if p.paused {
+			dropped()
 			return
 		}
 		fn()

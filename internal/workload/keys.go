@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeySampler draws keys from a fixed keyspace, giving the load generators
+// keyed traffic to fan out across shards. Popularity is either uniform or
+// Zipfian (hot keys concentrate on few shards, the adversarial case for a
+// hash router). Deterministic given its rng.
+type KeySampler struct {
+	keys []string
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewKeySampler returns a uniform sampler over n keys.
+func NewKeySampler(n int, rng *rand.Rand) (*KeySampler, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: keyspace size %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: key sampler needs an rng")
+	}
+	return &KeySampler{keys: makeKeys(n), rng: rng}, nil
+}
+
+// NewZipfKeySampler returns a Zipf(s)-distributed sampler over n keys;
+// s must be > 1 (the standard library's parameterization).
+func NewZipfKeySampler(n int, s float64, rng *rand.Rand) (*KeySampler, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: keyspace size %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: key sampler needs an rng")
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent %v must exceed 1", s)
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return &KeySampler{keys: makeKeys(n), rng: rng, zipf: z}, nil
+}
+
+func makeKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d", i)
+	}
+	return keys
+}
+
+// N returns the keyspace size.
+func (ks *KeySampler) N() int { return len(ks.keys) }
+
+// Key returns the i-th key of the keyspace (stable naming, useful for
+// direct reads in tests and MultiGet demos).
+func (ks *KeySampler) Key(i int) string { return ks.keys[i] }
+
+// Next draws the next key.
+func (ks *KeySampler) Next() string {
+	if ks.zipf != nil {
+		return ks.keys[ks.zipf.Uint64()]
+	}
+	return ks.keys[ks.rng.Intn(len(ks.keys))]
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKeySamplerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewKeySampler(0, rng); err == nil {
+		t.Fatal("expected error for empty keyspace")
+	}
+	if _, err := NewKeySampler(10, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+	if _, err := NewZipfKeySampler(10, 1.0, rng); err == nil {
+		t.Fatal("expected error for zipf exponent <= 1")
+	}
+}
+
+func TestKeySamplerDeterminism(t *testing.T) {
+	a, err := NewKeySampler(1000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewKeySampler(1000, rand.New(rand.NewSource(7)))
+	for i := 0; i < 200; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("draw %d: %q != %q", i, ka, kb)
+		}
+	}
+}
+
+func TestKeySamplerUniformCoverage(t *testing.T) {
+	const n = 16
+	ks, err := NewKeySampler(n, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const draws = 16000
+	for i := 0; i < draws; i++ {
+		counts[ks.Next()]++
+	}
+	if len(counts) != n {
+		t.Fatalf("covered %d of %d keys", len(counts), n)
+	}
+	// Uniform draws land within ±30% of the expected n-th share.
+	want := draws / n
+	for k, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Fatalf("key %s drawn %d times, expected ≈%d", k, c, want)
+		}
+	}
+}
+
+func TestZipfKeySamplerSkew(t *testing.T) {
+	ks, err := NewZipfKeySampler(1000, 1.5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[ks.Next()]++
+	}
+	// The head key dominates: Zipf(1.5) puts well over a third of mass on
+	// rank 0.
+	if head := counts[ks.Key(0)]; head < draws/4 {
+		t.Fatalf("head key drawn %d of %d times; distribution not skewed", head, draws)
+	}
+}
