@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/netsim"
+	"dynatune/internal/shard"
+	"dynatune/internal/sim"
+	"dynatune/internal/workload"
+)
+
+// MicroBench is one hot-path microbenchmark result.
+type MicroBench struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// FigureWall is the wall-clock cost of regenerating one (scaled-down)
+// figure on this machine.
+type FigureWall struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// ParallelTrials reports the parallel trial runner's wall time against the
+// one-worker path, plus the determinism check: both runs must summarize
+// identically or the speedup is meaningless.
+type ParallelTrials struct {
+	Trials       int     `json:"trials"`
+	Workers      int     `json:"workers"`
+	SequentialMs float64 `json:"sequential_ms"`
+	ParallelMs   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"identical"`
+}
+
+// BenchReport is the BENCH.json schema: the per-PR perf trajectory record
+// CI uploads as an artifact.
+type BenchReport struct {
+	Schema        string                `json:"schema"`
+	GeneratedUnix int64                 `json:"generated_unix"`
+	GoVersion     string                `json:"go_version"`
+	GoMaxProcs    int                   `json:"gomaxprocs"`
+	Micro         map[string]MicroBench `json:"microbench"`
+	Figures       []FigureWall          `json:"figures"`
+	Parallel      ParallelTrials        `json:"parallel_trials"`
+}
+
+func toMicro(r testing.BenchmarkResult) MicroBench {
+	ns := float64(r.NsPerOp())
+	eps := 0.0
+	if ns > 0 {
+		eps = 1e9 / ns
+	}
+	return MicroBench{NsPerOp: ns, EventsPerSec: eps, AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+}
+
+// bench runs the hot-path microbenchmarks, times quick versions of the
+// figures, exercises the parallel trial runner, and (with -json) writes
+// the whole report as BENCH.json.
+func bench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonPath := fs.String("json", "", "write the report as JSON to this path (e.g. BENCH.json)")
+	trials := fs.Int("trials", 150, "election trials for the parallel-runner timing")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	rep := BenchReport{
+		Schema:        "dynatune-bench/v1",
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Micro:         map[string]MicroBench{},
+	}
+
+	fmt.Println("== Hot-path microbenchmarks (allocation-free sim core) ==")
+	rep.Micro["engine_schedule_fire"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1)
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(e.Now()+time.Microsecond, fn)
+			e.Step()
+		}
+	}))
+	rep.Micro["engine_timer_churn"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1)
+		fn := func() {}
+		var h sim.Handle
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Cancel(h)
+			h = e.Schedule(e.Now()+time.Millisecond, fn)
+			if i%64 == 0 {
+				e.Step()
+			}
+		}
+	}))
+	rep.Micro["engine_deep_queue"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1)
+		fn := func() {}
+		for i := 0; i < 4096; i++ { // steady 4k-event backlog
+			e.Schedule(e.Now()+time.Duration(i)*time.Microsecond, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(e.Now()+4096*time.Microsecond, fn)
+			e.Step()
+		}
+	}))
+	rep.Micro["netsim_udp_send_deliver"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine(1)
+		nw := netsim.New(eng, 2, netsim.Constant(netsim.Params{RTT: time.Millisecond, Jitter: 100 * time.Microsecond}),
+			func(to, msg int) {})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nw.Send(0, 1, netsim.UDP, i)
+			eng.Run(eng.Now() + 2*time.Millisecond)
+		}
+	}))
+	rep.Micro["netsim_tcp_send_deliver"] = toMicro(testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine(1)
+		nw := netsim.New(eng, 2, netsim.Constant(netsim.Params{RTT: time.Millisecond, Loss: 0.05}),
+			func(to, msg int) {})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nw.Send(0, 1, netsim.TCP, i)
+			eng.Run(eng.Now() + 2*time.Millisecond)
+		}
+	}))
+	for _, k := range []string{"engine_schedule_fire", "engine_timer_churn", "engine_deep_queue", "netsim_udp_send_deliver", "netsim_tcp_send_deliver"} {
+		m := rep.Micro[k]
+		fmt.Printf("  %-24s %8.1f ns/op  %12.0f events/s  %3d allocs/op  %4d B/op\n",
+			k, m.NsPerOp, m.EventsPerSec, m.AllocsPerOp, m.BytesPerOp)
+	}
+
+	fmt.Println("== Per-figure wall time (scaled-down experiments) ==")
+	timeFig := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		rep.Figures = append(rep.Figures, FigureWall{Name: name, WallMs: ms})
+		fmt.Printf("  %-16s %8.0f ms\n", name, ms)
+	}
+	timeFig("fig4-elections", func() {
+		for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
+			cluster.RunElectionTrials(cluster.Options{N: 5, Seed: 42, Variant: v, Profile: stable100()}, 60, 4*time.Second)
+		}
+	})
+	timeFig("fig5-ramp", func() {
+		ramp := workload.Ramp{StartRPS: 4000, StepRPS: 4000, StepDuration: 2 * time.Second, Steps: 4}
+		cluster.RunThroughputRamp(cluster.Options{N: 5, Seed: 21, Variant: cluster.VariantRaft(), Profile: stable100()}, ramp, 2)
+	})
+	timeFig("xfer-handover", func() {
+		cluster.RunTransferTrials(cluster.Options{N: 5, Seed: 61, Variant: cluster.VariantRaft(), Profile: stable100()}, 30, time.Second)
+	})
+	timeFig("sharded-ramp", func() {
+		ramp := workload.Ramp{StartRPS: 2000, StepRPS: 0, StepDuration: time.Second, Steps: 3}
+		shard.RunRamp(shard.Options{Groups: 4, NodesPerGroup: 3, Seed: 23, Variant: cluster.VariantRaft(),
+			Profile: stable100()}, ramp, shard.LoadOptions{Keys: 1024})
+	})
+
+	fmt.Println("== Parallel trial runner (workers vs 1, identical results required) ==")
+	opts := cluster.Options{N: 5, Seed: 42, Variant: cluster.VariantRaft(), Profile: stable100()}
+	fingerprint := func(r cluster.ElectionResult) string {
+		det, ots := r.Summary()
+		return fmt.Sprintf("%d/%d/%v/%v/%v", len(r.DetectionMs), r.FailedTrials, det, ots, r.MeanRandTimeoutMs)
+	}
+	prevWorkers, hadWorkers := os.LookupEnv("DYNATUNE_TRIAL_WORKERS")
+	os.Setenv("DYNATUNE_TRIAL_WORKERS", "1")
+	start := time.Now()
+	seq := cluster.RunElectionTrials(opts, *trials, 4*time.Second)
+	seqMs := float64(time.Since(start)) / float64(time.Millisecond)
+	if hadWorkers {
+		os.Setenv("DYNATUNE_TRIAL_WORKERS", prevWorkers)
+	} else {
+		os.Unsetenv("DYNATUNE_TRIAL_WORKERS")
+	}
+	workers := cluster.TrialWorkers()
+	start = time.Now()
+	par := cluster.RunElectionTrials(opts, *trials, 4*time.Second)
+	parMs := float64(time.Since(start)) / float64(time.Millisecond)
+	rep.Parallel = ParallelTrials{
+		Trials: *trials, Workers: workers,
+		SequentialMs: seqMs, ParallelMs: parMs,
+		Speedup:   seqMs / parMs,
+		Identical: fingerprint(seq) == fingerprint(par),
+	}
+	fmt.Printf("  %d trials: 1 worker %.0f ms, %d workers %.0f ms (%.2fx), identical=%v\n",
+		*trials, seqMs, workers, parMs, rep.Parallel.Speedup, rep.Parallel.Identical)
+	if !rep.Parallel.Identical {
+		fmt.Fprintln(os.Stderr, "bench: parallel trial runner diverged from sequential results")
+		os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

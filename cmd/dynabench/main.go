@@ -15,6 +15,9 @@
 //	dynabench recovery [-trials 300]   (crash-restart failovers + re-warm)
 //	dynabench reads    [-reads 1000]   (ReadIndex vs lease-read latency)
 //	dynabench member   [-preload 500]  (add-learner → promote → failover)
+//	dynabench bench [-json BENCH.json] (sim-core microbenchmarks, per-figure
+//	                                    wall time, parallel-runner timing —
+//	                                    the per-PR perf trajectory record)
 //	dynabench all   (quick versions of everything)
 package main
 
@@ -63,6 +66,8 @@ func main() {
 		reads(args)
 	case "member":
 		member(args)
+	case "bench":
+		bench(args)
 	case "all":
 		fig4([]string{"-trials", "300"})
 		fig5([]string{"-reps", "2"})
@@ -82,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynabench {fig4|fig5|fig6a|fig6b|fig7|fig8|ablate|xfer|recovery|reads|member|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dynabench {fig4|fig5|fig6a|fig6b|fig7|fig8|ablate|xfer|recovery|reads|member|bench|all} [flags]")
 }
 
 // recovery runs crash-restart failovers: beyond the paper's pause model,

@@ -55,11 +55,49 @@ func RunElectionTrials(opts Options, trials int, settle time.Duration) ElectionR
 }
 
 // RunElectionTrialsWithFailure is RunElectionTrials with a selectable
-// failure mode.
+// failure mode. Trials run in shards of trialShardSize — each shard an
+// independent cluster on its own engine — spread across TrialWorkers()
+// workers and merged in shard order, so the result is deterministic for a
+// given seed regardless of parallelism (and identical to the historical
+// sequential runner whenever trials fit one shard).
 func RunElectionTrialsWithFailure(opts Options, trials int, settle time.Duration, mode FailureMode) ElectionResult {
+	counts := shardTrialCounts(trials, trialShardSize)
+	parts := RunSharded(TrialWorkers(), len(counts), func(s int) electionShard {
+		o := opts
+		o.Seed = shardSeed(opts.Seed, s)
+		return runElectionShard(o, counts[s], settle, mode)
+	})
+	res := ElectionResult{Variant: opts.Variant.Name, Trials: trials}
+	var randSum float64
+	randN := 0
+	for _, p := range parts {
+		res.DetectionMs = append(res.DetectionMs, p.DetectionMs...)
+		res.OTSMs = append(res.OTSMs, p.OTSMs...)
+		res.SplitVoteRounds += p.SplitVoteRounds
+		res.FailedTrials += p.FailedTrials
+		randSum += p.randSum
+		randN += p.randN
+	}
+	if randN > 0 {
+		res.MeanRandTimeoutMs = randSum / float64(randN)
+	}
+	return res
+}
+
+// electionShard is one shard's raw output: the samples plus the
+// randomized-timeout sums, which merge exactly (unlike a per-shard mean).
+type electionShard struct {
+	ElectionResult
+	randSum float64
+	randN   int
+}
+
+// runElectionShard is the historical sequential trial loop, verbatim, over
+// one dedicated cluster.
+func runElectionShard(opts Options, trials int, settle time.Duration, mode FailureMode) electionShard {
 	c := New(opts)
 	c.Start()
-	res := ElectionResult{Variant: opts.Variant.Name, Trials: trials}
+	res := electionShard{ElectionResult: ElectionResult{Variant: opts.Variant.Name, Trials: trials}}
 	rng := c.eng.Rand()
 	var randSum float64
 	randN := 0
@@ -139,9 +177,7 @@ func RunElectionTrialsWithFailure(opts Options, trials int, settle time.Duration
 		c.rec.Reset() // keep the event log O(trial)
 		c.CompactAll(64)
 	}
-	if randN > 0 {
-		res.MeanRandTimeoutMs = randSum / float64(randN)
-	}
+	res.randSum, res.randN = randSum, randN
 	return res
 }
 
@@ -268,16 +304,17 @@ type ThroughputPoint struct {
 
 // RunThroughputRamp reproduces §IV-B2: an open-loop RPS ramp against a
 // healthy cluster, repeated reps times with distinct seeds; per-step
-// throughput is averaged and its standard deviation reported.
+// throughput is averaged and its standard deviation reported. Repetitions
+// run in parallel (each on its own engine) and accumulate in rep order,
+// producing byte-identical output to a sequential run.
 func RunThroughputRamp(opts Options, ramp workload.Ramp, reps int) []ThroughputPoint {
 	type acc struct {
 		thr metrics.Welford
 		lat metrics.Welford
 	}
-	accs := make([]acc, ramp.Steps)
-	for rep := 0; rep < reps; rep++ {
+	repSteps := RunSharded(TrialWorkers(), reps, func(rep int) []StepResult {
 		o := opts
-		o.Seed = opts.Seed + int64(rep)*1000003
+		o.Seed = shardSeed(opts.Seed, rep)
 		c := New(o)
 		lg := NewLoadGen(c, ramp, 100*time.Millisecond)
 		c.Start()
@@ -287,7 +324,11 @@ func RunThroughputRamp(opts Options, ramp workload.Ramp, reps int) []ThroughputP
 		c.Run(3 * time.Second) // settle + tuner warmup
 		lg.Start()
 		c.Run(ramp.Duration() + 5*time.Second) // drain tail
-		for i, s := range lg.Results() {
+		return lg.Results()
+	})
+	accs := make([]acc, ramp.Steps)
+	for _, steps := range repSteps {
+		for i, s := range steps {
 			accs[i].thr.Add(s.ThroughputRS)
 			if s.Completed > 0 {
 				accs[i].lat.Add(s.LatencyMs)
@@ -330,8 +371,26 @@ type TransferResult struct {
 // transfer) latency — the complement of the crash failovers in Fig. 4:
 // instead of freezing the leader, it hands leadership to a follower and
 // measures the out-of-service window, which is bounded by one RTT rather
-// than a detection timeout.
+// than a detection timeout. Like the election trials it shards across the
+// parallel runner with deterministic merge order.
 func RunTransferTrials(opts Options, trials int, settle time.Duration) TransferResult {
+	counts := shardTrialCounts(trials, trialShardSize)
+	parts := RunSharded(TrialWorkers(), len(counts), func(s int) TransferResult {
+		o := opts
+		o.Seed = shardSeed(opts.Seed, s)
+		return runTransferShard(o, counts[s], settle)
+	})
+	res := TransferResult{Variant: opts.Variant.Name, Trials: trials}
+	for _, p := range parts {
+		res.HandoverMs = append(res.HandoverMs, p.HandoverMs...)
+		res.FailedTrials += p.FailedTrials
+	}
+	return res
+}
+
+// runTransferShard is the historical sequential transfer loop over one
+// dedicated cluster.
+func runTransferShard(opts Options, trials int, settle time.Duration) TransferResult {
 	c := New(opts)
 	c.Start()
 	res := TransferResult{Variant: opts.Variant.Name, Trials: trials}

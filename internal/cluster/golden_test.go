@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/dynatune"
+	"dynatune/internal/workload"
+)
+
+// The golden strings below were captured from the experiment runners as
+// they shipped before the allocation-free engine rewrite and the parallel
+// trial runner. They pin that, for a fixed seed, the refactor changes
+// nothing observable: same trials succeed, same samples, same summaries to
+// the microsecond. Trial counts stay within one runner shard so the
+// sequential shard body — which is byte-identical to the old sequential
+// runners — produces them.
+
+func electionFingerprint(res ElectionResult) string {
+	det, ots := res.Summary()
+	return fmt.Sprintf("n=%d/%d det=%.6f/%.6f ots=%.6f/%.6f rand=%.6f split=%d failed=%d",
+		len(res.DetectionMs), len(res.OTSMs), det.Mean, det.P99, ots.Mean, ots.P99,
+		res.MeanRandTimeoutMs, res.SplitVoteRounds, res.FailedTrials)
+}
+
+const (
+	goldenRaftElections     = "n=10/10 det=1184.494167/1488.969720 ots=1385.221193/1690.389227 rand=1515.754110 split=0 failed=0"
+	goldenDynatuneElections = "n=10/10 det=127.260055/161.603909 ots=1401.907059/2057.647634 rand=161.265327 split=4 failed=0"
+	goldenTransfers         = "n=10 failed=0 147.984547 148.934541 150.058138 148.030553 151.545019 145.931394 147.442209 147.625909 155.071104 149.955285"
+	goldenRamp              = "[2000 1894.500000 1.000000 203.202141][4000 3899.000000 0.000000 203.430166]"
+)
+
+func TestGoldenElectionSummaries(t *testing.T) {
+	raft := RunElectionTrials(Options{N: 5, Seed: 31, Variant: VariantRaft(), Profile: stableNet(100)}, 10, 3*time.Second)
+	if got := electionFingerprint(raft); got != goldenRaftElections {
+		t.Errorf("Raft elections diverged:\n got %q\nwant %q", got, goldenRaftElections)
+	}
+	dyn := RunElectionTrials(Options{N: 5, Seed: 33, Variant: VariantDynatune(dynatune.Options{}), Profile: stableNet(100)}, 10, 4*time.Second)
+	if got := electionFingerprint(dyn); got != goldenDynatuneElections {
+		t.Errorf("Dynatune elections diverged:\n got %q\nwant %q", got, goldenDynatuneElections)
+	}
+}
+
+func TestGoldenTransferSummaries(t *testing.T) {
+	res := RunTransferTrials(Options{N: 5, Seed: 59, Variant: VariantRaft(), Profile: stableNet(100)}, 10, time.Second)
+	s := fmt.Sprintf("n=%d failed=%d", len(res.HandoverMs), res.FailedTrials)
+	for _, v := range res.HandoverMs {
+		s += fmt.Sprintf(" %.6f", v)
+	}
+	if s != goldenTransfers {
+		t.Errorf("transfers diverged:\n got %q\nwant %q", s, goldenTransfers)
+	}
+}
+
+func TestGoldenThroughputRamp(t *testing.T) {
+	ramp := workload.Ramp{StartRPS: 2000, StepRPS: 2000, StepDuration: 2 * time.Second, Steps: 2}
+	pts := RunThroughputRamp(Options{N: 5, Seed: 43, Variant: VariantRaft(), Profile: stableNet(100)}, ramp, 2)
+	s := ""
+	for _, p := range pts {
+		s += fmt.Sprintf("[%d %.6f %.6f %.6f]", p.OfferedRPS, p.ThroughputRS, p.ThroughputStd, p.LatencyMs)
+	}
+	if s != goldenRamp {
+		t.Errorf("ramp diverged:\n got %q\nwant %q", s, goldenRamp)
+	}
+}

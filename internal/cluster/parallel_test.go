@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardTrialCounts(t *testing.T) {
+	cases := []struct {
+		trials int
+		want   []int
+	}{
+		{0, nil},
+		{1, []int{1}},
+		{trialShardSize, []int{trialShardSize}},
+		{trialShardSize + 1, []int{trialShardSize, 1}},
+		{3 * trialShardSize, []int{trialShardSize, trialShardSize, trialShardSize}},
+	}
+	for _, c := range cases {
+		got := shardTrialCounts(c.trials, trialShardSize)
+		if len(got) != len(c.want) {
+			t.Fatalf("shardTrialCounts(%d): %v, want %v", c.trials, got, c.want)
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Fatalf("shardTrialCounts(%d): %v, want %v", c.trials, got, c.want)
+			}
+		}
+		if sum != c.trials {
+			t.Fatalf("shardTrialCounts(%d) sums to %d", c.trials, sum)
+		}
+	}
+}
+
+func TestShardSeedKeepsShardZero(t *testing.T) {
+	if shardSeed(42, 0) != 42 {
+		t.Fatal("shard 0 must keep the experiment seed for historical reproducibility")
+	}
+	if shardSeed(42, 1) == shardSeed(42, 2) {
+		t.Fatal("distinct shards share a seed")
+	}
+}
+
+func TestRunShardedOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out := RunSharded(workers, 37, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+	if got := RunSharded(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("zero shards returned %v", got)
+	}
+}
+
+func TestRunShardedPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	RunSharded(4, 8, func(i int) int {
+		if i == 5 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+// TestElectionTrialsIdenticalAcrossWorkerCounts is the parallel-runner
+// acceptance check: a multi-shard experiment must produce byte-identical
+// summaries no matter how many workers execute it.
+func TestElectionTrialsIdenticalAcrossWorkerCounts(t *testing.T) {
+	const trials = 2*trialShardSize + 10 // 3 shards
+	opts := Options{N: 5, Seed: 63, Variant: VariantRaft(), Profile: stableNet(100)}
+	t.Setenv("DYNATUNE_TRIAL_WORKERS", "1")
+	seq := electionFingerprint(RunElectionTrials(opts, trials, 3*time.Second))
+	t.Setenv("DYNATUNE_TRIAL_WORKERS", "7")
+	par := electionFingerprint(RunElectionTrials(opts, trials, 3*time.Second))
+	if seq != par {
+		t.Fatalf("parallel election trials diverged from sequential:\n seq %q\n par %q", seq, par)
+	}
+}
+
+func TestTransferTrialsIdenticalAcrossWorkerCounts(t *testing.T) {
+	const trials = trialShardSize + 5 // 2 shards
+	opts := Options{N: 5, Seed: 65, Variant: VariantRaft(), Profile: stableNet(100)}
+	t.Setenv("DYNATUNE_TRIAL_WORKERS", "1")
+	a := RunTransferTrials(opts, trials, time.Second)
+	t.Setenv("DYNATUNE_TRIAL_WORKERS", "5")
+	b := RunTransferTrials(opts, trials, time.Second)
+	if len(a.HandoverMs) != len(b.HandoverMs) || a.FailedTrials != b.FailedTrials {
+		t.Fatalf("shape diverged: %d/%d vs %d/%d", len(a.HandoverMs), a.FailedTrials, len(b.HandoverMs), b.FailedTrials)
+	}
+	for i := range a.HandoverMs {
+		if a.HandoverMs[i] != b.HandoverMs[i] {
+			t.Fatalf("sample %d diverged: %v vs %v", i, a.HandoverMs[i], b.HandoverMs[i])
+		}
+	}
+}
+
+func TestTrialWorkersEnvOverride(t *testing.T) {
+	t.Setenv("DYNATUNE_TRIAL_WORKERS", "3")
+	if got := TrialWorkers(); got != 3 {
+		t.Fatalf("TrialWorkers() = %d with env 3", got)
+	}
+	t.Setenv("DYNATUNE_TRIAL_WORKERS", "bogus")
+	if got := TrialWorkers(); got < 1 {
+		t.Fatalf("TrialWorkers() = %d with bogus env", got)
+	}
+}

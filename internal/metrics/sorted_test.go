@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSummarizeSortedMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	want := Summarize(xs)
+	got := SummarizeSorted(SortedCopy(xs))
+	if got != want {
+		t.Fatalf("SummarizeSorted diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// And it must not have mutated the caller's slice order.
+	if sort.Float64sAreSorted(xs) {
+		t.Fatal("input was mutated (or the rng is broken)")
+	}
+}
+
+func TestQuantilesOneSortManyQuantiles(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	qs := Quantiles(xs, 0, 0.5, 0.9, 1)
+	want := []float64{Quantile(xs, 0), Quantile(xs, 0.5), Quantile(xs, 0.9), Quantile(xs, 1)}
+	for i := range qs {
+		if qs[i] != want[i] {
+			t.Fatalf("Quantiles[%d] = %v, want %v", i, qs[i], want[i])
+		}
+	}
+	if got := Quantiles(nil, 0.5, 0.99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("Quantiles(nil) = %v", got)
+	}
+	sorted := SortedCopy(xs)
+	if QuantileSorted(sorted, 0.5) != 5 {
+		t.Fatalf("QuantileSorted median = %v", QuantileSorted(sorted, 0.5))
+	}
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Fatal("QuantileSorted(nil) != 0")
+	}
+}
+
+func TestSummarizeSortedEmpty(t *testing.T) {
+	if s := SummarizeSorted(nil); s != (Summary{}) {
+		t.Fatalf("empty summary %+v", s)
+	}
+}

@@ -158,13 +158,20 @@ type Summary struct {
 }
 
 // Summarize computes a Summary over xs. An empty slice yields a zero
-// Summary.
+// Summary. It copies and sorts xs; callers that already hold sorted data
+// (or need several statistics from one sample set) should sort once and
+// use SummarizeSorted / QuantileSorted instead.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	return SummarizeSorted(SortedCopy(xs))
+}
+
+// SummarizeSorted computes a Summary over already-sorted data without
+// copying. This is the sort-once path the experiment result aggregators
+// use: one SortedCopy feeds the mean, extrema, and every quantile.
+func SummarizeSorted(sorted []float64) Summary {
+	if len(sorted) == 0 {
 		return Summary{}
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	var w Welford
 	for _, x := range sorted {
 		w.Add(x)
@@ -181,15 +188,45 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
+// SortedCopy returns an ascending copy of xs (nil stays an empty,
+// non-nil-safe-to-use slice).
+func SortedCopy(xs []float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted
+}
+
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
-// interpolation between order statistics. It copies and sorts xs.
+// interpolation between order statistics. It copies and sorts xs; for
+// several quantiles of one sample set use Quantiles or QuantileSorted.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	return quantileSorted(SortedCopy(xs), q)
+}
+
+// QuantileSorted returns the q-quantile of already-sorted data.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns the requested quantiles from a single sorted copy of
+// xs — one sort for any number of quantiles, where repeated Quantile
+// calls would re-copy and re-sort per call.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := SortedCopy(xs)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
 }
 
 func quantileSorted(sorted []float64, q float64) float64 {

@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+// goldenDelivery drives a fixed mixed-class send pattern over a lossy,
+// jittery, duplicating mesh and hashes every delivered (to, msg, time)
+// triple. It pins the full delivery path — jitter draws, loss draws, TCP
+// in-order floors, UDP duplication — against refactors of the scheduling
+// internals.
+func goldenDelivery(seed int64) (hash uint64, delivered int, stats Stats) {
+	eng := sim.NewEngine(seed)
+	h := fnv.New64a()
+	var buf [24]byte
+	count := 0
+	nw := New[int](eng, 3, Constant(Params{
+		RTT: 20 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.1, Dup: 0.05,
+	}), func(to, msg int) {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(to))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(msg))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(eng.Now()))
+		h.Write(buf[:])
+		count++
+	})
+	i := 0
+	var tick func()
+	tick = func() {
+		from, to := i%3, (i+1)%3
+		cls := TCP
+		if i%2 == 0 {
+			cls = UDP
+		}
+		if i%17 == 0 {
+			to = from // self-send path
+		}
+		nw.Send(from, to, cls, i)
+		i++
+		if i < 600 {
+			eng.After(500*time.Microsecond, tick)
+		}
+	}
+	eng.Schedule(0, tick)
+	eng.Run(time.Minute)
+	return h.Sum64(), count, nw.StatsFor(0, 1)
+}
+
+// Captured from the closure-per-Send delivery path that shipped before
+// the pooled typed delivery rewrite.
+const (
+	goldenDeliveryHash  = uint64(0x8682da0e21dabd49)
+	goldenDeliveryCount = 581
+)
+
+func TestGoldenDeliveryMatchesPreRewriteNetwork(t *testing.T) {
+	hash, count, stats := goldenDelivery(1234)
+	t.Logf("seed 1234: hash %#x delivered %d stats %+v", hash, count, stats)
+	if hash != goldenDeliveryHash || count != goldenDeliveryCount {
+		t.Fatalf("golden delivery diverged: hash %#x delivered %d, want hash %#x delivered %d",
+			hash, count, goldenDeliveryHash, goldenDeliveryCount)
+	}
+}
+
+func TestGoldenDeliveryDeterministic(t *testing.T) {
+	h1, c1, s1 := goldenDelivery(5)
+	h2, c2, s2 := goldenDelivery(5)
+	if h1 != h2 || c1 != c2 || s1 != s2 {
+		t.Fatalf("same seed diverged: (%#x,%d) vs (%#x,%d)", h1, c1, h2, c2)
+	}
+}

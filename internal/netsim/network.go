@@ -49,6 +49,29 @@ type link struct {
 	stats    Stats
 }
 
+// pending is one pooled in-flight delivery. Each pooled packet owns a
+// single reusable callback (built once, when the packet is first created)
+// so that scheduling a delivery allocates neither a closure nor a packet
+// in the steady state — the per-Send capturing closures this replaces were
+// the simulator's dominant allocation after the event queue itself.
+type pending[T any] struct {
+	nw   *Network[T]
+	to   int
+	msg  T
+	fire func()
+}
+
+// run hands the packet to the sink and returns it to the pool. The packet
+// is released before the sink runs so a sink that immediately Sends again
+// can reuse it.
+func (p *pending[T]) run() {
+	nw, to, msg := p.nw, p.to, p.msg
+	var zero T
+	p.msg = zero // drop payload references while pooled
+	nw.pool = append(nw.pool, p)
+	nw.sink(to, msg)
+}
+
 // Network simulates the mesh between n nodes. The payload type is opaque;
 // the sink receives delivered packets. Not safe for concurrent use — it
 // lives on the simulation goroutine.
@@ -57,6 +80,7 @@ type Network[T any] struct {
 	n     int
 	links []*link // [from*n+to]
 	sink  func(to int, msg T)
+	pool  []*pending[T] // recycled in-flight packets
 
 	// minRTO floors the TCP retransmission delay when the pipe is idle
 	// (Linux's 200 ms minimum RTO). When a stream is busy, fast retransmit
@@ -153,7 +177,7 @@ func (nw *Network[T]) Params(from, to int) Params {
 func (nw *Network[T]) Send(from, to int, cls Class, msg T) {
 	now := nw.eng.Now()
 	if from == to {
-		nw.eng.Schedule(now+time.Microsecond, func() { nw.sink(to, msg) })
+		nw.scheduleDelivery(now+time.Microsecond, to, msg)
 		return
 	}
 	l := nw.link(from, to)
@@ -210,7 +234,23 @@ func (nw *Network[T]) Send(from, to int, cls Class, msg T) {
 
 func (nw *Network[T]) deliver(l *link, cls Class, at time.Duration, to int, msg T) {
 	l.stats.Delivered[cls]++
-	nw.eng.Schedule(at, func() { nw.sink(to, msg) })
+	nw.scheduleDelivery(at, to, msg)
+}
+
+// scheduleDelivery queues (to, msg) for the sink at the given instant
+// through the pending-packet pool: zero allocations once the pool has
+// grown to the network's in-flight high-water mark.
+func (nw *Network[T]) scheduleDelivery(at time.Duration, to int, msg T) {
+	var p *pending[T]
+	if n := len(nw.pool); n > 0 {
+		p = nw.pool[n-1]
+		nw.pool = nw.pool[:n-1]
+	} else {
+		p = &pending[T]{nw: nw}
+		p.fire = p.run
+	}
+	p.to, p.msg = to, msg
+	nw.eng.Schedule(at, p.fire)
 }
 
 // recovery returns the extra delay for one TCP loss-recovery round.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dynatune/internal/cluster"
 	"dynatune/internal/workload"
 )
 
@@ -60,4 +61,31 @@ func RunRamp(opts Options, ramp workload.Ramp, load LoadOptions) RampResult {
 		}
 	}
 	return res
+}
+
+// RunRampReps repeats the sharded ramp across reps derived seeds on the
+// parallel trial runner (each repetition is a full independent multi-group
+// simulation on its own engine) and returns the per-rep results in seed
+// order — deterministic for any worker count.
+func RunRampReps(opts Options, ramp workload.Ramp, load LoadOptions, reps int) []RampResult {
+	return cluster.RunSharded(cluster.TrialWorkers(), reps, func(rep int) RampResult {
+		o := opts
+		if rep > 0 {
+			o.Seed = o.withDefaults().Seed + int64(rep)*1000003
+		}
+		return RunRamp(o, ramp, load)
+	})
+}
+
+// MeanAggThroughput averages the headline aggregate-throughput metric over
+// repetitions.
+func MeanAggThroughput(results []RampResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.AggThroughput
+	}
+	return sum / float64(len(results))
 }

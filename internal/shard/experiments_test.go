@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/workload"
+)
+
+// TestRunRampRepsDeterministicAcrossWorkers pins that the sharded-ramp
+// repetitions — routed through the parallel trial runner — produce
+// identical per-rep results for any worker count.
+func TestRunRampRepsDeterministicAcrossWorkers(t *testing.T) {
+	ramp := workload.Ramp{StartRPS: 1000, StepRPS: 0, StepDuration: time.Second, Steps: 2}
+	opts := Options{Groups: 2, NodesPerGroup: 3, Seed: 71, Variant: cluster.VariantRaft(), Profile: fastProfile()}
+	run := func(workers string) []RampResult {
+		t.Setenv("DYNATUNE_TRIAL_WORKERS", workers)
+		return RunRampReps(opts, ramp, LoadOptions{Keys: 256}, 3)
+	}
+	seq := run("1")
+	par := run("4")
+	if len(seq) != 3 || len(par) != 3 {
+		t.Fatalf("rep counts: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Completed != par[i].Completed || seq[i].AggThroughput != par[i].AggThroughput ||
+			seq[i].P99Ms != par[i].P99Ms || seq[i].Lost != par[i].Lost {
+			t.Fatalf("rep %d diverged: %+v vs %+v", i, seq[i], par[i])
+		}
+		if seq[i].Completed == 0 {
+			t.Fatalf("rep %d completed nothing", i)
+		}
+	}
+	// Reps use distinct seeds, so at least one pair must differ.
+	if seq[0].Completed == seq[1].Completed && seq[0].P99Ms == seq[1].P99Ms {
+		t.Log("warning: reps 0 and 1 identical — seed derivation may be inert")
+	}
+	if m := MeanAggThroughput(seq); m <= 0 {
+		t.Fatalf("mean aggregate throughput %v", m)
+	}
+	if MeanAggThroughput(nil) != 0 {
+		t.Fatal("MeanAggThroughput(nil) != 0")
+	}
+}

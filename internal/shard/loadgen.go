@@ -187,15 +187,14 @@ func (lg *LoadGen) Results() []StepResult {
 	out := make([]StepResult, len(lg.perStep))
 	for i := range lg.perStep {
 		rps, _ := lg.ramp.RPSAt(time.Duration(i)*lg.ramp.StepDuration + 1)
-		var w metrics.Welford
-		for _, l := range lg.perStep[i].lats {
-			w.Add(l)
-		}
+		// Summarize sorts once and feeds mean and tail together (the old
+		// code paired a Welford pass with a separate copy+sort Quantile).
+		s := metrics.Summarize(lg.perStep[i].lats)
 		out[i] = StepResult{
 			OfferedRPS:   rps,
 			ThroughputRS: float64(lg.perStep[i].completed) / lg.ramp.StepDuration.Seconds(),
-			LatencyMs:    w.Mean(),
-			P99Ms:        metrics.Quantile(lg.perStep[i].lats, 0.99),
+			LatencyMs:    s.Mean,
+			P99Ms:        s.P99,
 			Completed:    lg.perStep[i].completed,
 		}
 	}
@@ -214,7 +213,11 @@ func (lg *LoadGen) TotalCompleted() int {
 
 // P99Ms returns the tail latency over the whole ramp.
 func (lg *LoadGen) P99Ms() float64 {
-	var all []float64
+	n := 0
+	for i := range lg.perStep {
+		n += len(lg.perStep[i].lats)
+	}
+	all := make([]float64, 0, n)
 	for i := range lg.perStep {
 		all = append(all, lg.perStep[i].lats...)
 	}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPendingExcludesCancelled pins the Pending() fix: lazily cancelled
+// events still occupy the queue but are not pending.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, e.Schedule(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", e.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		e.Cancel(hs[i])
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending() = %d after 4 cancels, want 6 (cancelled events must not count)", e.Pending())
+	}
+	if e.queueLen() != 10 {
+		t.Fatalf("queueLen() = %d, want 10 (cancellation is lazy)", e.queueLen())
+	}
+	if e.Cancelled() != 4 {
+		t.Fatalf("Cancelled() = %d, want 4", e.Cancelled())
+	}
+	// Double-cancel must not double-count.
+	e.Cancel(hs[0])
+	if e.Pending() != 6 || e.Cancelled() != 4 {
+		t.Fatalf("double cancel changed counters: pending %d cancelled %d", e.Pending(), e.Cancelled())
+	}
+	e.Run(time.Second)
+	if e.Pending() != 0 || e.Fired() != 6 {
+		t.Fatalf("after run: pending %d fired %d", e.Pending(), e.Fired())
+	}
+}
+
+// TestHandleGenerationCancelAfterFire pins that cancelling a handle whose
+// event already fired never touches the event that now occupies the
+// recycled slot.
+func TestHandleGenerationCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	fired1, fired2 := false, false
+	h1 := e.Schedule(time.Millisecond, func() { fired1 = true })
+	e.Run(10 * time.Millisecond) // h1 fires; its slot returns to the free list
+	if !fired1 {
+		t.Fatal("first event did not fire")
+	}
+	// The next schedule recycles h1's slot (single-event engine).
+	h2 := e.Schedule(20*time.Millisecond, func() { fired2 = true })
+	e.Cancel(h1) // stale: must NOT cancel the second event
+	e.Run(time.Second)
+	if !fired2 {
+		t.Fatal("cancel of a fired handle killed the event reusing its slot")
+	}
+	// And cancelling h2 after it fired is equally inert.
+	e.Cancel(h2)
+	if e.Cancelled() != 0 {
+		t.Fatalf("stale cancels counted: %d", e.Cancelled())
+	}
+}
+
+// TestHandleGenerationCancelAfterReuse pins the cancel-after-cancel-after-
+// reuse chain: a handle cancelled once, whose slot was then reused, must
+// stay inert forever.
+func TestHandleGenerationCancelAfterReuse(t *testing.T) {
+	e := NewEngine(1)
+	h := e.Schedule(time.Millisecond, func() { t.Error("cancelled event fired") })
+	e.Cancel(h)
+	e.Run(10 * time.Millisecond) // pops the dead entry, frees the slot
+	ok := false
+	e.Schedule(20*time.Millisecond, func() { ok = true }) // reuses the slot
+	e.Cancel(h)                                           // stale generation: no-op
+	e.Run(time.Second)
+	if !ok {
+		t.Fatal("stale cancel killed the slot's new occupant")
+	}
+}
+
+// TestCompactionPurgesCancelledBacklog drives the raft-timer churn pattern
+// past the compaction threshold and checks that dead entries are evicted
+// eagerly instead of accumulating until their (far-future) timestamps pop.
+func TestCompactionPurgesCancelledBacklog(t *testing.T) {
+	e := NewEngine(1)
+	// One far-future live event, then churn: schedule + immediately cancel.
+	fired := false
+	e.Schedule(time.Hour, func() { fired = true })
+	for i := 0; i < 10*compactMinCancelled; i++ {
+		h := e.Schedule(time.Hour, func() {})
+		e.Cancel(h)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// Eager compaction must have bounded the raw queue well below the
+	// churn volume (policy: cancelled fraction may not exceed ~half).
+	if q := e.queueLen(); q > compactMinCancelled+1 {
+		t.Fatalf("queueLen() = %d after churn — compaction did not run", q)
+	}
+	e.Run(2 * time.Hour)
+	if !fired || e.Fired() != 1 {
+		t.Fatalf("live event lost by compaction: fired=%v count=%d", fired, e.Fired())
+	}
+}
+
+// TestCompactionPreservesOrdering interleaves cancels with keeps across
+// many timestamps and checks the survivors still fire in order after a
+// forced compaction.
+func TestCompactionPreservesOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	n := 4 * compactMinCancelled
+	for i := 0; i < n; i++ {
+		i := i
+		h := e.Schedule(time.Duration(n-i)*time.Millisecond, func() { got = append(got, n-i) })
+		if i%2 == 0 {
+			e.Cancel(h)
+		}
+	}
+	e.Run(time.Hour)
+	if len(got) != n/2 {
+		t.Fatalf("fired %d, want %d", len(got), n/2)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order after compaction at %d: %d then %d", i, got[i-1], got[i])
+		}
+	}
+}
+
+// Property: equal-timestamp events fire strictly in scheduling order
+// (FIFO), for any batch size and any interleaving with other timestamps.
+func TestPropertyEqualTimestampFIFO(t *testing.T) {
+	f := func(batchSizes []uint8) bool {
+		e := NewEngine(3)
+		type fireRec struct{ batch, k int }
+		var got []fireRec
+		for b, sz := range batchSizes {
+			at := time.Duration(sz%7) * time.Millisecond // many collisions across batches
+			for k := 0; k < int(sz%5)+1; k++ {
+				b, k := b, k
+				e.Schedule(at, func() { got = append(got, fireRec{b, k}) })
+			}
+		}
+		e.Run(time.Second)
+		// Within each batch (same timestamp by construction) order must be
+		// ascending in k; across batches at the same timestamp, ascending b.
+		seen := map[int]fireRec{} // timestamp bucket → last fired
+		for _, r := range got {
+			at := int(batchSizes[r.batch] % 7)
+			if last, ok := seen[at]; ok {
+				if r.batch < last.batch || (r.batch == last.batch && r.k <= last.k) {
+					return false
+				}
+			}
+			seen[at] = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaReuseIsAllocationFree pins the tentpole property: steady-state
+// schedule/fire cycles allocate nothing once the arena has warmed up.
+func TestArenaReuseIsAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the arena and heap
+		e.Schedule(e.Now()+time.Microsecond, fn)
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+time.Microsecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestTimerChurnIsAllocationFree pins the set/cancel pattern raft timers
+// follow.
+func TestTimerChurnIsAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	var h Handle
+	for i := 0; i < 1024; i++ {
+		e.Cancel(h)
+		h = e.Schedule(e.Now()+time.Millisecond, fn)
+		if i%8 == 0 {
+			e.Step()
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Cancel(h)
+		h = e.Schedule(e.Now()+time.Millisecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("timer churn allocates %.1f objects per op, want 0", allocs)
+	}
+}

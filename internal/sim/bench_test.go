@@ -29,3 +29,36 @@ func BenchmarkTimerChurn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDeepQueue measures schedule+fire against a steady 4k-event
+// backlog — the regime a large cluster simulation actually runs in, where
+// heap depth (and the 4-ary layout's shallower tree) dominates.
+func BenchmarkDeepQueue(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.Schedule(e.Now()+time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+4096*time.Microsecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkCancelHeavy measures the compaction regime: most scheduled
+// events are cancelled before firing, so eager compaction (not root
+// drainage) is what keeps the queue bounded.
+func BenchmarkCancelHeavy(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.Schedule(e.Now()+time.Hour, fn)
+		e.Cancel(h)
+		if i%16 == 0 {
+			e.Schedule(e.Now()+time.Microsecond, fn)
+			e.Step()
+		}
+	}
+}
