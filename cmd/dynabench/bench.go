@@ -12,6 +12,7 @@ import (
 	"dynatune/internal/cluster"
 	"dynatune/internal/dynatune"
 	"dynatune/internal/netsim"
+	"dynatune/internal/scenario/bind"
 	"dynatune/internal/shard"
 	"dynatune/internal/sim"
 	"dynatune/internal/workload"
@@ -44,6 +45,15 @@ type ParallelTrials struct {
 	Identical    bool    `json:"identical"`
 }
 
+// ScenarioWall times the declarative scenario engine end to end (registry
+// lookup → bind realization → sharded execution), so the perf trajectory
+// covers the orchestration layer and not just the raw loops.
+type ScenarioWall struct {
+	Name   string  `json:"name"`
+	Scale  float64 `json:"scale"`
+	WallMs float64 `json:"wall_ms"`
+}
+
 // BenchReport is the BENCH.json schema: the per-PR perf trajectory record
 // CI uploads as an artifact.
 type BenchReport struct {
@@ -54,6 +64,7 @@ type BenchReport struct {
 	Micro         map[string]MicroBench `json:"microbench"`
 	Figures       []FigureWall          `json:"figures"`
 	Parallel      ParallelTrials        `json:"parallel_trials"`
+	Scenarios     []ScenarioWall        `json:"scenario_runner"`
 }
 
 func toMicro(r testing.BenchmarkResult) MicroBench {
@@ -169,6 +180,25 @@ func bench(args []string) {
 		shard.RunRamp(shard.Options{Groups: 4, NodesPerGroup: 3, Seed: 23, Variant: cluster.VariantRaft(),
 			Profile: stable100()}, ramp, shard.LoadOptions{Keys: 1024})
 	})
+
+	fmt.Println("== Scenario engine wall time (registry → bind → sharded execution) ==")
+	for _, sc := range []struct {
+		name  string
+		scale float64
+	}{
+		{"asym-partition-abdication", 0.15},
+		{"cascading-leader-failures", 1},
+		{"loss-pulse-degrade", 1},
+	} {
+		start := time.Now()
+		if _, err := bind.RunNamed(sc.name, sc.scale); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: scenario %s: %v\n", sc.name, err)
+			os.Exit(1)
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		rep.Scenarios = append(rep.Scenarios, ScenarioWall{Name: sc.name, Scale: sc.scale, WallMs: ms})
+		fmt.Printf("  %-28s (x%.2f) %8.0f ms\n", sc.name, sc.scale, ms)
+	}
 
 	fmt.Println("== Parallel trial runner (workers vs 1, identical results required) ==")
 	opts := cluster.Options{N: 5, Seed: 42, Variant: cluster.VariantRaft(), Profile: stable100()}

@@ -1,7 +1,11 @@
 // Command dynabench regenerates the paper's evaluation figures at full
-// scale on the simulated testbed. Each subcommand corresponds to one
-// figure of the paper (plus the ablations indexed in DESIGN.md) and
-// prints the measured series/rows next to the values the paper reports.
+// scale on the simulated testbed. Each per-figure subcommand is a thin
+// front over the scenario registry (internal/scenario): it looks up the
+// figure's declarative spec, applies the flag overrides, executes it
+// through scenario/bind and prints the measured rows next to the values
+// the paper reports. `dynabench scenario` exposes the registry directly —
+// named scenarios, JSON spec files, scaling — so new experiments need no
+// new subcommand.
 //
 // Usage:
 //
@@ -11,13 +15,16 @@
 //	dynabench fig6b [-seed 9]
 //	dynabench fig7  [-n 5,17,65]
 //	dynabench fig8  [-trials 1000]
-//	dynabench ablate [-which s|x|minlist|split]
+//	dynabench ablate [-which s|x|minlist|split|est]
+//	dynabench xfer     [-trials 300]   (planned handover vs crash failover)
 //	dynabench recovery [-trials 300]   (crash-restart failovers + re-warm)
 //	dynabench reads    [-reads 1000]   (ReadIndex vs lease-read latency)
 //	dynabench member   [-preload 500]  (add-learner → promote → failover)
+//	dynabench scenario -list | <name> [-scale 0.1] | -file spec.json
 //	dynabench bench [-json BENCH.json] (sim-core microbenchmarks, per-figure
-//	                                    wall time, parallel-runner timing —
-//	                                    the per-PR perf trajectory record)
+//	                                    wall time, parallel-runner and
+//	                                    scenario-engine timing — the per-PR
+//	                                    perf trajectory record)
 //	dynabench all   (quick versions of everything)
 package main
 
@@ -31,9 +38,10 @@ import (
 
 	"dynatune/internal/cluster"
 	"dynatune/internal/dynatune"
-	"dynatune/internal/geo"
 	"dynatune/internal/metrics"
 	"dynatune/internal/netsim"
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
 	"dynatune/internal/workload"
 )
 
@@ -66,6 +74,8 @@ func main() {
 		reads(args)
 	case "member":
 		member(args)
+	case "scenario":
+		scenarioCmd(args)
 	case "bench":
 		bench(args)
 	case "all":
@@ -80,6 +90,7 @@ func main() {
 		recovery([]string{"-trials", "100"})
 		reads([]string{"-reads", "300"})
 		member([]string{})
+		scenarioCmd([]string{"asym-partition-abdication", "-scale", "0.1"})
 	default:
 		usage()
 		os.Exit(2)
@@ -87,75 +98,64 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynabench {fig4|fig5|fig6a|fig6b|fig7|fig8|ablate|xfer|recovery|reads|member|bench|all} [flags]")
+	fmt.Fprint(os.Stderr, `usage: dynabench <subcommand> [flags]
+
+paper figures (scenario registry + paper-reported values):
+  fig4      §IV-B1 election performance under a stable network
+  fig5      §IV-B2 peak throughput without failures
+  fig6a     §IV-C1 gradual RTT fluctuation adaptivity
+  fig6b     §IV-C1 radical RTT fluctuation adaptivity
+  fig7      §IV-C2 packet-loss adaptivity and CPU cost
+  fig8      §IV-D  geo-replicated (five AWS regions)
+  ablate    design-choice sweeps (s, x, minListSize, estimator, split votes)
+
+extensions beyond the paper:
+  xfer      planned leadership transfer vs crash failover
+  recovery  crash-restart failovers with durable stores + tuner re-warm
+  reads     linearizable read latency (ReadIndex vs lease)
+  member    online membership change with a cold joiner
+
+scenario engine:
+  scenario  -list | <name> [-scale f] [-seed n] [-trials n] [-show] | -file spec.json
+  bench     hot-path microbenchmarks + BENCH.json perf trajectory
+  all       quick versions of everything
+`)
 }
 
-// recovery runs crash-restart failovers: beyond the paper's pause model,
-// the leader process dies and recovers from its durable store with cold
-// tuner state (§III-A crash-recovery fault class).
-func recovery(args []string) {
-	fs := flag.NewFlagSet("recovery", flag.ExitOnError)
-	trials := fs.Int("trials", 300, "leader crash-restarts per variant")
-	seed := fs.Int64("seed", 61, "simulation seed")
-	downtime := fs.Duration("downtime", 500*time.Millisecond, "crash-to-restart delay")
-	fs.Parse(args) //nolint:errcheck // ExitOnError
-
-	fmt.Println("== Crash-recovery failovers (extension; paper §III-A fault model, RTT 100ms) ==")
-	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
-		res := cluster.RunCrashRecoveryTrials(cluster.Options{
-			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
-		}, *trials, 4*time.Second, *downtime)
-		det, ots := res.Summary()
-		fmt.Printf("%-9s  detection: mean %6.0fms p99 %6.0fms   OTS: mean %6.0fms p99 %6.0fms  (%d/%d ok, replay %.0f entries)\n",
-			res.Variant, det.Mean, det.P99, ots.Mean, ots.P99, len(res.OTSMs), res.Trials, res.ReplayEntries)
-		if len(res.RetuneMs) > 0 {
-			fmt.Printf("%-9s  restarted-node re-warm: mean %6.0fms over %d restarts (cold fallback until minListSize beats)\n",
-				res.Variant, metrics.Summarize(res.RetuneMs).Mean, len(res.RetuneMs))
-		}
-	}
+// subFlags bundles the boilerplate every subcommand repeated: a flagset
+// plus the -seed flag they all share (0 keeps the spec's seed).
+func subFlags(name string, defSeed int64) (*flag.FlagSet, *int64) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	seed := fs.Int64("seed", defSeed, "simulation seed")
+	return fs, seed
 }
 
-// reads measures the linearizable-read paths (ReadIndex vs lease) per
-// variant; the lease window is the election timeout, which Dynatune tunes.
-func reads(args []string) {
-	fs := flag.NewFlagSet("reads", flag.ExitOnError)
-	n := fs.Int("reads", 1000, "reads per configuration")
-	seed := fs.Int64("seed", 77, "simulation seed")
-	loss := fs.Float64("loss", 0, "packet loss rate on all links")
-	fs.Parse(args) //nolint:errcheck // ExitOnError
-
-	fmt.Printf("== Linearizable reads (extension; RTT 100ms, loss %.0f%%) ==\n", *loss*100)
-	prof := netsim.Constant(netsim.Params{
-		RTT: 100 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: *loss,
-	})
-	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
-		for _, mode := range []cluster.ReadMode{cluster.ReadModeIndex, cluster.ReadModeLease} {
-			res := cluster.RunReadLatency(cluster.Options{
-				N: 5, Seed: *seed, Variant: v, Profile: prof,
-			}, *n, 25*time.Millisecond, mode)
-			s := res.LatencySummary()
-			fmt.Printf("%-9s %-10s  mean %6.1fms p99 %6.1fms   lease hits %4d/%d  fallbacks %4d  failed %d\n",
-				res.Variant, mode, s.Mean, s.P99, res.LeaseHits, res.Issued, res.Fallbacks, res.Failed)
-		}
-	}
+// trialFlags adds the -trials flag the failover experiments share.
+func trialFlags(name string, defTrials int, defSeed int64) (*flag.FlagSet, *int, *int64) {
+	fs, seed := subFlags(name, defSeed)
+	trials := fs.Int("trials", defTrials, "trials per variant")
+	return fs, trials, seed
 }
 
-// member runs the online-growth scenario: add a learner, promote it, then
-// fail the leader while the joiner's measurement state is still cold.
-func member(args []string) {
-	fs := flag.NewFlagSet("member", flag.ExitOnError)
-	preload := fs.Int("preload", 500, "log entries committed before the join")
-	seed := fs.Int64("seed", 91, "simulation seed")
-	fs.Parse(args) //nolint:errcheck // ExitOnError
-
-	fmt.Println("== Membership change: 4 voters + learner → 5 voters → leader failure (extension) ==")
-	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
-		res := cluster.RunMembershipChange(cluster.Options{
-			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
-		}, *preload)
-		fmt.Printf("%-9s  catch-up %6.0fms  promote %5.0fms  joiner-tuned %6.0fms  post-change OTS %6.0fms  joiner-won=%v\n",
-			res.Variant, res.CatchupMs, res.PromoteMs, res.JoinerTunedMs, res.PostFailoverOTSMs, res.JoinerBecameLeader)
+// mustSpec pulls a registry entry or dies; the registry is this binary's
+// own, so absence is a build bug.
+func mustSpec(name string) scenario.Spec {
+	spec, ok := scenario.Lookup(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dynabench: scenario %q missing from registry\n", name)
+		os.Exit(1)
 	}
+	return spec
+}
+
+// mustBindRun executes a spec, dying on realization errors.
+func mustBindRun(spec scenario.Spec) *scenario.Result {
+	res, err := bind.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+	return res
 }
 
 func stable100() netsim.Profile {
@@ -164,19 +164,17 @@ func stable100() netsim.Profile {
 
 // fig4 reproduces §IV-B1 (Fig. 4): detection/OTS CDFs over leader kills.
 func fig4(args []string) {
-	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
-	trials := fs.Int("trials", 1000, "leader failures per variant (paper: 1000)")
-	seed := fs.Int64("seed", 42, "simulation seed")
+	fs, trials, seed := trialFlags("fig4", 1000, 42)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	fmt.Println("== Fig. 4: election performance under stable network (RTT 100ms, loss 0%) ==")
 	fmt.Println("paper: Raft det 1205ms / OTS 1449ms; Dynatune det 237ms / OTS 797ms (-80% / -45%)")
 	cdfs := map[string]*metrics.CDF{}
 	var raftDet, raftOTS, dynDet, dynOTS float64
-	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
-		res := cluster.RunElectionTrials(cluster.Options{
-			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
-		}, *trials, 4*time.Second)
+	for _, name := range []string{"paper-elections-raft", "paper-elections"} {
+		spec := mustSpec(name)
+		spec.Trials, spec.Seed = *trials, *seed
+		res := mustBindRun(spec).Failover
 		det, ots := res.Summary()
 		fmt.Printf("%-9s  detection: mean %6.0fms p50 %6.0fms p99 %6.0fms\n", res.Variant, det.Mean, det.P50, det.P99)
 		fmt.Printf("%-9s  OTS:       mean %6.0fms p50 %6.0fms p99 %6.0fms   (randTO %4.0fms, %d split rounds, %d/%d ok)\n",
@@ -197,26 +195,27 @@ func fig4(args []string) {
 
 // fig5 reproduces §IV-B2 (Fig. 5): throughput–latency without failures.
 func fig5(args []string) {
-	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	fs, seed := subFlags("fig5", 21)
 	reps := fs.Int("reps", 10, "ramp repetitions (paper: 10)")
 	maxRPS := fs.Int("max-rps", 18000, "top of the RPS ramp")
-	seed := fs.Int64("seed", 21, "simulation seed")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	fmt.Println("== Fig. 5: peak throughput without failures (RTT 100ms) ==")
 	fmt.Println("paper: Raft 13678 req/s, Dynatune 12800 req/s (-6.4%)")
+	peaks := map[string]float64{}
 	ramp := workload.PaperRamp(*maxRPS)
 	ramp.Poisson = true
-	peaks := map[string]float64{}
-	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
-		pts := cluster.RunThroughputRamp(cluster.Options{
-			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
-		}, ramp, *reps)
-		fmt.Printf("%s:\n  offered  throughput      ±std   latency\n", v.Name)
-		for _, p := range pts {
+	for _, v := range []string{"raft", "dynatune"} {
+		spec := mustSpec("paper-throughput")
+		spec.Variant = scenario.VariantSpec{Name: v}
+		spec.Reps, spec.Seed = *reps, *seed
+		spec.Workload = scenario.WorkloadFrom(ramp, spec.Workload.ClientRTT.D())
+		res := mustBindRun(spec).Ramp
+		fmt.Printf("%s:\n  offered  throughput      ±std   latency\n", res.Variant)
+		for _, p := range res.Points {
 			fmt.Printf("  %6d  %8.0f req/s %6.0f  %8.1fms\n", p.OfferedRPS, p.ThroughputRS, p.ThroughputStd, p.LatencyMs)
 		}
-		peaks[v.Name] = cluster.PeakThroughput(pts)
+		peaks[res.Variant] = cluster.PeakThroughput(res.Points)
 	}
 	fmt.Printf("peak: Raft %.0f req/s, Dynatune %.0f req/s (%.1f%% lower; paper 6.4%%)\n",
 		peaks["Raft"], peaks["Dynatune"], (1-peaks["Dynatune"]/peaks["Raft"])*100)
@@ -224,26 +223,25 @@ func fig5(args []string) {
 
 // fig6 reproduces §IV-C1 (Figs. 6a/6b): RTT fluctuation adaptivity.
 func fig6(args []string, radical bool) {
-	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
-	seed := fs.Int64("seed", 7, "simulation seed")
+	fs, seed := subFlags("fig6", 7)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	base := netsim.Params{Jitter: 2 * time.Millisecond}
-	var prof netsim.Profile
-	var horizon time.Duration
+	spec := mustSpec("paper-rtt-gradual")
 	if radical {
 		fmt.Println("== Fig. 6b: radical RTT fluctuation 50→500→50ms (1 min each) ==")
 		fmt.Println("paper: Dynatune false-detects but no OTS; Raft stable; Raft-Low loses the high-RTT minute")
-		prof = netsim.RadicalRTTSpike(base, 50*time.Millisecond, 500*time.Millisecond, time.Minute)
-		horizon = 3 * time.Minute
+		spec.Network = scenario.NetFrom(netsim.RadicalRTTSpike(netsim.Params{Jitter: 2 * time.Millisecond},
+			50*time.Millisecond, 500*time.Millisecond, time.Minute))
+		spec.Horizon = scenario.Duration(3 * time.Minute)
 	} else {
 		fmt.Println("== Fig. 6a: gradual RTT fluctuation 50→200→50ms (10ms steps, 1 min each) ==")
 		fmt.Println("paper: Dynatune tracks RTT, no OTS; Raft randTO ≈1700ms; Raft-Low ≈15s then ≈10min OTS")
-		prof = netsim.GradualRTTRamp(base, 50*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond, time.Minute)
-		horizon = 31 * time.Minute
 	}
-	for _, v := range []cluster.Variant{cluster.VariantDynatune(dynatune.Options{}), cluster.VariantRaft(), cluster.VariantRaftLow()} {
-		res := cluster.RunFluctuation(cluster.Options{N: 5, Seed: *seed, Variant: v, Profile: prof}, horizon, 5*time.Second)
+	for _, v := range []string{"dynatune", "raft", "raft-low"} {
+		s := spec
+		s.Variant = scenario.VariantSpec{Name: v}
+		s.Seed = *seed
+		res := mustBindRun(s).Series
 		fmt.Printf("%-9s OTS total %7.1fs in %3d spans | timeouts %4d  elections %4d  reverts %4d\n",
 			res.Variant, res.OTS.Total().Seconds(), res.OTS.Count(), res.Timeouts, res.Elections, res.Reverts)
 		fmt.Println(metrics.RenderSeries(12, res.RandTimeout3rdMs, res.LinkRTTMs))
@@ -252,23 +250,24 @@ func fig6(args []string, radical bool) {
 
 // fig7 reproduces §IV-C2 (Figs. 7a/7b): packet-loss adaptivity and CPU.
 func fig7(args []string) {
-	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
+	fs, seed := subFlags("fig7", 3)
 	ns := fs.String("n", "5,17,65", "cluster sizes")
-	seed := fs.Int64("seed", 3, "simulation seed")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	fmt.Println("== Fig. 7: loss sweep 0→30→0% (3 min holds), RTT 200ms ==")
 	fmt.Println("paper: Dynatune shrinks h with loss and restores it; Fix-K leader >100% CPU at N=65")
-	prof := netsim.LossSweep(netsim.Params{RTT: 200 * time.Millisecond, Jitter: 2 * time.Millisecond}, 3*time.Minute)
-	horizon := 39 * time.Minute
 	for _, nStr := range strings.Split(*ns, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(nStr))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bad -n element %q\n", nStr)
 			os.Exit(2)
 		}
-		for _, v := range []cluster.Variant{cluster.VariantDynatune(dynatune.Options{}), cluster.VariantFixK(10)} {
-			res := cluster.RunFluctuation(cluster.Options{N: n, Seed: *seed, Variant: v, Profile: prof}, horizon, 5*time.Second)
+		for _, v := range []string{"dynatune", "fix-k"} {
+			spec := mustSpec("paper-loss-sweep")
+			spec.Topology.N = n
+			spec.Variant = scenario.VariantSpec{Name: v, FixK: 10}
+			spec.Seed = *seed
+			res := mustBindRun(spec).Series
 			fmt.Printf("N=%-3d %-10s elections=%d\n", n, res.Variant, res.Elections)
 			fmt.Printf("  h:   0%%loss %5.0fms  15%%loss %5.0fms  30%%loss %5.0fms  back-to-0%% %5.0fms\n",
 				res.LeaderHMs.MeanBetween(1*time.Minute, 3*time.Minute),
@@ -285,19 +284,17 @@ func fig7(args []string) {
 
 // fig8 reproduces §IV-D (Fig. 8): the geo-replicated AWS experiment.
 func fig8(args []string) {
-	fs := flag.NewFlagSet("fig8", flag.ExitOnError)
-	trials := fs.Int("trials", 1000, "leader failures per variant")
-	seed := fs.Int64("seed", 11, "simulation seed")
+	fs, trials, seed := trialFlags("fig8", 1000, 11)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	fmt.Println("== Fig. 8: geo-replicated (Tokyo, London, California, Sydney, São Paulo) ==")
 	fmt.Println("paper: Raft det 1137ms / OTS 1718ms; Dynatune det 213ms / OTS 1145ms (-81% / -33%)")
 	var raftDet, raftOTS, dynDet, dynOTS float64
-	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
-		res := cluster.RunElectionTrials(cluster.Options{
-			N: 5, Seed: *seed, Variant: v,
-			Regions: geo.Regions, GeoJitterFrac: 0.05, GeoLoss: 0.001,
-		}, *trials, 5*time.Second)
+	for _, v := range []string{"raft", "dynatune"} {
+		spec := mustSpec("paper-geo-elections")
+		spec.Variant = scenario.VariantSpec{Name: v}
+		spec.Trials, spec.Seed = *trials, *seed
+		res := mustBindRun(spec).Failover
 		det, ots := res.Summary()
 		fmt.Printf("%-9s detection mean %6.0fms p50 %6.0f | OTS mean %6.0fms p50 %6.0f (%d/%d ok)\n",
 			res.Variant, det.Mean, det.P50, ots.Mean, ots.P50, len(res.OTSMs), res.Trials)
@@ -311,7 +308,107 @@ func fig8(args []string) {
 		(1-dynDet/raftDet)*100, (1-dynOTS/raftOTS)*100)
 }
 
-// ablate runs the design-choice sweeps indexed in DESIGN.md.
+// xfer contrasts crash failover with planned leadership transfer (an
+// extension beyond the paper: handover ≈1.5 RTT instead of a detection
+// timeout).
+func xfer(args []string) {
+	fs, trials, seed := trialFlags("xfer", 300, 61)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Planned maintenance: leadership transfer vs crash failover (RTT 100ms) ==")
+	for _, v := range []string{"raft", "dynatune"} {
+		crash := mustSpec("paper-elections")
+		crash.Variant = scenario.VariantSpec{Name: v}
+		crash.Trials, crash.Seed = *trials, *seed
+		_, ots := mustBindRun(crash).Failover.Summary()
+
+		tr := mustSpec("planned-handover")
+		tr.Variant = scenario.VariantSpec{Name: v}
+		tr.Trials, tr.Seed = *trials, *seed+1
+		res := mustBindRun(tr).Failover
+		handover := metrics.Summarize(res.HandoverMs)
+		fmt.Printf("%-9s crash OTS mean %6.0fms | transfer handover mean %5.0fms p99 %5.0fms (%d/%d ok)\n",
+			res.Variant, ots.Mean, handover.Mean, handover.P99, len(res.HandoverMs), res.Trials)
+	}
+}
+
+// recovery runs crash-restart failovers: beyond the paper's pause model,
+// the leader process dies and recovers from its durable store with cold
+// tuner state (§III-A crash-recovery fault class).
+func recovery(args []string) {
+	fs, trials, seed := trialFlags("recovery", 300, 61)
+	downtime := fs.Duration("downtime", 500*time.Millisecond, "crash-to-restart delay")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Crash-recovery failovers (extension; paper §III-A fault model, RTT 100ms) ==")
+	for _, v := range []string{"raft", "dynatune"} {
+		spec := mustSpec("crash-recovery")
+		spec.Variant = scenario.VariantSpec{Name: v}
+		spec.Trials, spec.Seed = *trials, *seed
+		spec.Downtime = scenario.Duration(*downtime)
+		res := mustBindRun(spec).Failover
+		det, ots := res.Summary()
+		fmt.Printf("%-9s  detection: mean %6.0fms p99 %6.0fms   OTS: mean %6.0fms p99 %6.0fms  (%d/%d ok, replay %.0f entries)\n",
+			res.Variant, det.Mean, det.P99, ots.Mean, ots.P99, len(res.OTSMs), res.Trials, res.ReplayEntries)
+		if len(res.RetuneMs) > 0 {
+			fmt.Printf("%-9s  restarted-node re-warm: mean %6.0fms over %d restarts (cold fallback until minListSize beats)\n",
+				res.Variant, metrics.Summarize(res.RetuneMs).Mean, len(res.RetuneMs))
+		}
+	}
+}
+
+// reads measures the linearizable-read paths (ReadIndex vs lease) per
+// variant; the lease window is the election timeout, which Dynatune tunes.
+func reads(args []string) {
+	fs, seed := subFlags("reads", 77)
+	n := fs.Int("reads", 1000, "reads per configuration")
+	loss := fs.Float64("loss", 0, "packet loss rate on all links")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Printf("== Linearizable reads (extension; RTT 100ms, loss %.0f%%) ==\n", *loss*100)
+	for _, v := range []string{"raft", "dynatune"} {
+		for _, mode := range []string{"read-index", "lease"} {
+			spec := mustSpec("read-latency-lease")
+			spec.Variant = scenario.VariantSpec{Name: v}
+			spec.Seed = *seed
+			spec.Reads.Reads, spec.Reads.Mode = *n, mode
+			if *loss > 0 {
+				for i := range spec.Network.Segments {
+					spec.Network.Segments[i].Loss = *loss
+				}
+			}
+			res := mustBindRun(spec).Reads
+			s := res.LatencySummary()
+			fmt.Printf("%-9s %-10s  mean %6.1fms p99 %6.1fms   lease hits %4d/%d  fallbacks %4d  failed %d\n",
+				res.Variant, res.Mode, s.Mean, s.P99, res.LeaseHits, res.Issued, res.Fallbacks, res.Failed)
+		}
+	}
+}
+
+// member runs the online-growth scenario: add a learner, promote it, then
+// fail the leader while the joiner's measurement state is still cold.
+func member(args []string) {
+	fs, seed := subFlags("member", 91)
+	preload := fs.Int("preload", 500, "log entries committed before the join")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	fmt.Println("== Membership change: 4 voters + learner → 5 voters → leader failure (extension) ==")
+	for _, v := range []string{"raft", "dynatune"} {
+		spec := mustSpec("membership-growth")
+		spec.Variant = scenario.VariantSpec{Name: v}
+		spec.Seed = *seed
+		spec.Membership.Preload = *preload
+		res := mustBindRun(spec).Membership
+		fmt.Printf("%-9s  catch-up %6.0fms  promote %5.0fms  joiner-tuned %6.0fms  post-change OTS %6.0fms  joiner-won=%v\n",
+			res.Variant, res.CatchupMs, res.PromoteMs, res.JoinerTunedMs, res.PostFailoverOTSMs, res.JoinerBecameLeader)
+	}
+}
+
+// ablate runs the design-choice sweeps indexed in DESIGN.md. The custom
+// static-tuner variant of the split-vote sweep cannot be expressed as a
+// JSON spec (it needs a tuner closure), so this subcommand drives the
+// cluster entry points directly — which themselves route through the
+// scenario engine.
 func ablate(args []string) {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
 	which := fs.String("which", "all", "s|x|minlist|split|est|all")
@@ -384,29 +481,5 @@ func ablate(args []string) {
 			fmt.Printf("  Et=%6s: detection %5.0fms  election %5.0fms  split rounds %d\n",
 				et, det.Mean, ots.Mean-det.Mean, res.SplitVoteRounds)
 		}
-	}
-}
-
-// xfer contrasts crash failover with planned leadership transfer (an
-// extension beyond the paper: handover ≈1.5 RTT instead of a detection
-// timeout).
-func xfer(args []string) {
-	fs := flag.NewFlagSet("xfer", flag.ExitOnError)
-	trials := fs.Int("trials", 300, "handovers / crashes per variant")
-	seed := fs.Int64("seed", 61, "simulation seed")
-	fs.Parse(args) //nolint:errcheck // ExitOnError
-
-	fmt.Println("== Planned maintenance: leadership transfer vs crash failover (RTT 100ms) ==")
-	for _, v := range []cluster.Variant{cluster.VariantRaft(), cluster.VariantDynatune(dynatune.Options{})} {
-		crash := cluster.RunElectionTrials(cluster.Options{
-			N: 5, Seed: *seed, Variant: v, Profile: stable100(),
-		}, *trials, 4*time.Second)
-		_, ots := crash.Summary()
-		tr := cluster.RunTransferTrials(cluster.Options{
-			N: 5, Seed: *seed + 1, Variant: v, Profile: stable100(),
-		}, *trials, 4*time.Second)
-		handover := metrics.Summarize(tr.HandoverMs)
-		fmt.Printf("%-9s crash OTS mean %6.0fms | transfer handover mean %5.0fms p99 %5.0fms (%d/%d ok)\n",
-			v.Name, ots.Mean, handover.Mean, handover.P99, len(tr.HandoverMs), tr.Trials)
 	}
 }

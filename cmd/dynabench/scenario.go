@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
+)
+
+// scenarioCmd is the registry front end: list the named scenarios, run
+// one (optionally scaled), or run a JSON spec file. `-show` prints the
+// resolved spec as JSON instead of running it — the quickest way to
+// bootstrap a spec file from a named scenario.
+func scenarioCmd(args []string) {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the named scenarios and exit")
+	file := fs.String("file", "", "run a JSON spec from this file instead of a named scenario")
+	scale := fs.Float64("scale", 1, "shrink trial counts/horizons by this factor (0 < f <= 1)")
+	seed := fs.Int64("seed", 0, "override the spec's seed (0 keeps it)")
+	trials := fs.Int("trials", 0, "override the spec's trial count (0 keeps it)")
+	show := fs.Bool("show", false, "print the resolved spec as JSON and exit without running")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dynabench scenario -list | <name> [flags] | -file spec.json [flags]")
+		fs.PrintDefaults()
+	}
+	// Accept `dynabench scenario <name> -scale 0.1`: flag.Parse stops at
+	// the first non-flag argument, so pull the name off the front first.
+	name := ""
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		name, args = args[0], args[1:]
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *list {
+		for _, n := range scenario.Names() {
+			spec, _ := scenario.Lookup(n)
+			fmt.Printf("%-28s %s\n", n, spec.Description)
+		}
+		return
+	}
+
+	var spec scenario.Spec
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			fmt.Fprintf(os.Stderr, "dynabench: %s: %v\n", *file, err)
+			os.Exit(1)
+		}
+	case name != "":
+		var ok bool
+		spec, ok = scenario.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dynabench: unknown scenario %q; `dynabench scenario -list` shows the registry\n", name)
+			os.Exit(1)
+		}
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *trials != 0 {
+		if spec.Measure != scenario.MeasureFailover {
+			fmt.Fprintf(os.Stderr, "dynabench: -trials only applies to failover scenarios; %q measures %q (use -scale to shrink it)\n",
+				spec.Name, spec.Measure)
+			os.Exit(2)
+		}
+		spec.Trials = *trials
+	}
+	spec = scenario.Scale(spec, *scale)
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+	if *show {
+		data, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", data)
+		return
+	}
+
+	start := time.Now()
+	res, err := bind.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(bind.Summarize(res))
+	fmt.Printf("  wall time %.0f ms\n", float64(time.Since(start))/float64(time.Millisecond))
+}

@@ -1,0 +1,36 @@
+// Crash-recovery, declaratively: the same experiment as
+// examples/crash-recovery (kept alongside as the raw-API variant), but
+// expressed as a scenario spec — durable 5-node Dynatune cluster, the
+// leader crashes, the cluster fails over, the node restarts from its
+// persisted state and re-warms its tuner. The spec is ~10 lines of data;
+// the engine supplies the trial loop, fault injection and probes.
+//
+//	go run ./examples/crash-recovery-scenario
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
+)
+
+func main() {
+	spec := scenario.Spec{
+		Name:     "crash-recovery-demo",
+		Measure:  scenario.MeasureFailover,
+		Topology: scenario.Topology{N: 5, Persist: true},
+		Network:  scenario.Stable(100 * time.Millisecond),
+		Variant:  scenario.VariantSpec{Name: "dynatune"},
+		Faults:   []scenario.Fault{{Kind: scenario.FaultCrashLeader}},
+		Trials:   5, Seed: 1,
+		Settle:   scenario.Duration(4 * time.Second),
+		Downtime: scenario.Duration(500 * time.Millisecond),
+	}
+	res, err := bind.Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(bind.Summarize(res))
+}

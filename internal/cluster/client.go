@@ -6,6 +6,7 @@ import (
 	"dynatune/internal/kv"
 	"dynatune/internal/metrics"
 	"dynatune/internal/raft"
+	"dynatune/internal/scenario"
 	"dynatune/internal/workload"
 )
 
@@ -240,13 +241,9 @@ func (lg *LoadGen) onApply(node raft.ID, ents []raft.Entry) {
 	})
 }
 
-// StepResult is the aggregated outcome for one ramp step.
-type StepResult struct {
-	OfferedRPS   int
-	ThroughputRS float64 // completed requests per second
-	LatencyMs    float64 // mean latency
-	Completed    int
-}
+// StepResult is the aggregated outcome for one ramp step (the engine's
+// shared step type; this generator leaves P99Ms zero).
+type StepResult = scenario.Step
 
 // Results returns per-step aggregates. Call after the ramp (plus drain)
 // has run.

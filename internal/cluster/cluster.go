@@ -1,8 +1,10 @@
 // Package cluster is the simulated testbed: it wires raft nodes, tuners,
 // the kv state machine, the network simulator and a CPU cost model into a
-// reproducible cluster, provides the paper's failure injection
-// (`docker pause` of the leader) and measurement probes, and hosts the
-// experiment runners that regenerate every figure of the evaluation.
+// reproducible cluster, and provides the failure-injection primitives
+// (pause, crash+restart, partitions) and measurement probes the
+// experiments use. Experiment orchestration itself lives in
+// internal/scenario — the Run* entry points here are thin spec
+// constructors over that engine, bound to this testbed via ScenarioEnv.
 package cluster
 
 import (

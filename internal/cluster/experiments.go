@@ -1,38 +1,36 @@
 package cluster
 
 import (
-	"fmt"
 	"time"
 
-	"dynatune/internal/metrics"
-	"dynatune/internal/raft"
+	"dynatune/internal/scenario"
 	"dynatune/internal/workload"
 )
 
-// ElectionResult aggregates the paper's §IV-B1 measurement: detection and
-// OTS times over repeated leader failures.
-type ElectionResult struct {
-	Variant string
-	Trials  int
-	// Per-trial samples in milliseconds.
-	DetectionMs []float64
-	OTSMs       []float64
-	// MeanRandTimeoutMs is the mean randomized timeout across live
-	// followers sampled at each failure instant (the paper reports 1454 ms
-	// for Raft and 152 ms for Dynatune).
-	MeanRandTimeoutMs float64
-	// SplitVoteRounds counts candidate re-timeouts during the measured
-	// elections (the §IV-E discussion).
-	SplitVoteRounds int
-	// FailedTrials counts trials where no leader emerged within the
-	// per-trial timeout (excluded from the samples).
-	FailedTrials int
-}
+// The experiment entry points below are thin spec constructors: each one
+// describes its measurement as a scenario.Spec and hands execution to the
+// declarative engine in internal/scenario, bound to these options via
+// ScenarioEnv. The engine's trial bodies are verbatim ports of the
+// historical loops and its shard/seed derivation is unchanged, so for a
+// fixed seed the results — pinned by golden_test.go to the microsecond —
+// are byte-identical to the pre-scenario code.
 
-// Summary bundles detection/OTS summaries.
-func (r ElectionResult) Summary() (det, ots metrics.Summary) {
-	return metrics.Summarize(r.DetectionMs), metrics.Summarize(r.OTSMs)
-}
+// ElectionResult aggregates the paper's §IV-B1 measurement: detection and
+// OTS times over repeated leader failures. It is the engine's unified
+// failover result; election trials leave the transfer/crash fields empty.
+type ElectionResult = scenario.FailoverResult
+
+// SeriesResult holds the time-series probes of a fluctuation run
+// (Figs. 6 and 7).
+type SeriesResult = scenario.SeriesResult
+
+// ThroughputPoint is one (offered RPS → achieved throughput, latency)
+// measurement averaged over repetitions (Fig. 5).
+type ThroughputPoint = scenario.RampPoint
+
+// TransferResult aggregates planned leadership handovers (HandoverMs:
+// transfer initiation → new leader elected).
+type TransferResult = scenario.FailoverResult
 
 // FailureMode selects how the leader is killed in election trials.
 type FailureMode int
@@ -44,7 +42,23 @@ const (
 	// running and must abdicate via check-quorum, exercising the
 	// stale-leader path (an extra scenario beyond the paper's).
 	FailPartition
+	// FailAsymPartition cuts only the links INTO the leader: heartbeats
+	// still reach the followers, so the outage window is governed entirely
+	// by the deaf leader's check-quorum abdication.
+	FailAsymPartition
 )
+
+// faultKind maps the mode to the engine's injector.
+func (m FailureMode) faultKind() scenario.FaultKind {
+	switch m {
+	case FailPartition:
+		return scenario.FaultPartitionLeader
+	case FailAsymPartition:
+		return scenario.FaultAsymPartitionLeader
+	default:
+		return scenario.FaultPauseLeader
+	}
+}
 
 // RunElectionTrials reproduces Fig. 4 / Fig. 8: repeatedly freeze the
 // leader, measure detection (first follower timeout) and OTS (new leader
@@ -55,251 +69,33 @@ func RunElectionTrials(opts Options, trials int, settle time.Duration) ElectionR
 }
 
 // RunElectionTrialsWithFailure is RunElectionTrials with a selectable
-// failure mode. Trials run in shards of trialShardSize — each shard an
-// independent cluster on its own engine — spread across TrialWorkers()
-// workers and merged in shard order, so the result is deterministic for a
-// given seed regardless of parallelism (and identical to the historical
-// sequential runner whenever trials fit one shard).
+// failure mode. Trials run in engine-sized shards — each an independent
+// cluster on its own engine — spread across TrialWorkers() workers and
+// merged in shard order, so the result is deterministic for a given seed
+// regardless of parallelism.
 func RunElectionTrialsWithFailure(opts Options, trials int, settle time.Duration, mode FailureMode) ElectionResult {
-	counts := shardTrialCounts(trials, trialShardSize)
-	parts := RunSharded(TrialWorkers(), len(counts), func(s int) electionShard {
-		o := opts
-		o.Seed = shardSeed(opts.Seed, s)
-		return runElectionShard(o, counts[s], settle, mode)
-	})
-	res := ElectionResult{Variant: opts.Variant.Name, Trials: trials}
-	var randSum float64
-	randN := 0
-	for _, p := range parts {
-		res.DetectionMs = append(res.DetectionMs, p.DetectionMs...)
-		res.OTSMs = append(res.OTSMs, p.OTSMs...)
-		res.SplitVoteRounds += p.SplitVoteRounds
-		res.FailedTrials += p.FailedTrials
-		randSum += p.randSum
-		randN += p.randN
+	if trials <= 0 {
+		return ElectionResult{Variant: opts.Variant.Name}
 	}
-	if randN > 0 {
-		res.MeanRandTimeoutMs = randSum / float64(randN)
-	}
-	return res
-}
-
-// electionShard is one shard's raw output: the samples plus the
-// randomized-timeout sums, which merge exactly (unlike a per-shard mean).
-type electionShard struct {
-	ElectionResult
-	randSum float64
-	randN   int
-}
-
-// runElectionShard is the historical sequential trial loop, verbatim, over
-// one dedicated cluster.
-func runElectionShard(opts Options, trials int, settle time.Duration, mode FailureMode) electionShard {
-	c := New(opts)
-	c.Start()
-	res := electionShard{ElectionResult: ElectionResult{Variant: opts.Variant.Name, Trials: trials}}
-	rng := c.eng.Rand()
-	var randSum float64
-	randN := 0
-
-	const trialTimeout = 60 * time.Second
-	for t := 0; t < trials; t++ {
-		lead := c.WaitLeader(30 * time.Second)
-		if lead == nil {
-			res.FailedTrials++
-			continue
-		}
-		c.Run(settle)
-		if c.Leader() == nil {
-			// Settle disturbed leadership (possible under loss); retry.
-			res.FailedTrials++
-			continue
-		}
-		// Randomize the failure phase within a heartbeat period.
-		c.Run(time.Duration(rng.Int63n(int64(BaselineH))))
-		if c.Leader() == nil {
-			res.FailedTrials++
-			continue
-		}
-		// Sample follower randomized timeouts at the failure instant.
-		for _, d := range c.FollowerRandomizedTimeouts() {
-			randSum += float64(d) / float64(time.Millisecond)
-			randN++
-		}
-		var old raft.ID
-		var failAt time.Duration
-		switch mode {
-		case FailPause:
-			old, failAt = c.PauseLeader()
-		case FailPartition:
-			lead := c.Leader()
-			old, failAt = lead.ID(), c.eng.Now()
-			c.net.PartitionNode(int(old-1), true)
-			// The isolated leader keeps "reigning" in its own view until
-			// check-quorum; end its reign for OTS accounting at the cut.
-			c.rec.MarkNodeDown(failAt, old)
-		}
-
-		splitBefore := c.rec.CountKind(raft.EventSplitVote, 0, failAt)
-		deadline := c.eng.Now() + trialTimeout
-		var otsD time.Duration
-		elected := false
-		for c.eng.Now() < deadline {
-			c.Run(20 * time.Millisecond)
-			if d, _, ok := c.rec.FirstElectionAfter(failAt); ok {
-				otsD, elected = d, true
-				break
-			}
-		}
-		recover := func() {
-			switch mode {
-			case FailPause:
-				c.Resume(old)
-			case FailPartition:
-				c.net.PartitionNode(int(old-1), false)
-			}
-		}
-		if !elected {
-			res.FailedTrials++
-			recover()
-			c.Run(2 * time.Second)
-			c.rec.Reset()
-			continue
-		}
-		if det, ok := c.rec.FirstDetectionAfter(failAt); ok {
-			res.DetectionMs = append(res.DetectionMs, float64(det)/float64(time.Millisecond))
-		}
-		res.OTSMs = append(res.OTSMs, float64(otsD)/float64(time.Millisecond))
-		res.SplitVoteRounds += c.rec.CountKind(raft.EventSplitVote, failAt, c.eng.Now()) - splitBefore
-
-		recover()
-		c.Run(2 * time.Second)
-		c.rec.Reset() // keep the event log O(trial)
-		c.CompactAll(64)
-	}
-	res.randSum, res.randN = randSum, randN
-	return res
-}
-
-// SeriesResult holds the time-series probes of a fluctuation run
-// (Figs. 6 and 7).
-type SeriesResult struct {
-	Variant string
-	Horizon time.Duration
-	// RandTimeout3rdMs is the third-smallest randomized timeout across
-	// live nodes, sampled once per second (Fig. 6).
-	RandTimeout3rdMs *metrics.TimeSeries
-	// LinkRTTMs is the nominal RTT of the 1↔2 link (the x-axis context of
-	// Fig. 6).
-	LinkRTTMs *metrics.TimeSeries
-	// LeaderHMs is the mean tuned heartbeat interval on the leader
-	// (Fig. 7a).
-	LeaderHMs *metrics.TimeSeries
-	// LeaderCPU / FollowerCPU are docker-stats-style percentages sampled
-	// every 5 s (Fig. 7b).
-	LeaderCPU   *metrics.TimeSeries
-	FollowerCPU *metrics.TimeSeries
-	// MeasuredLossPct is a live follower tuner's loss estimate (×100).
-	MeasuredLossPct *metrics.TimeSeries
-	// OTS spans observed after the first election (Fig. 6 shading).
-	OTS *metrics.Intervals
-	// Timeouts / Elections / Reverts count protocol events in the window.
-	Timeouts  int
-	Elections int
-	Reverts   int
+	spec := specFor(opts)
+	spec.Name = "elections"
+	spec.Measure = scenario.MeasureFailover
+	spec.Faults = []scenario.Fault{{Kind: mode.faultKind()}}
+	spec.Trials = trials
+	spec.Settle = scenario.Duration(settle)
+	return *mustRun(spec, opts.ScenarioEnv()).Failover
 }
 
 // RunFluctuation reproduces the §IV-C scenario shape: start a cluster
 // under opts.Profile, wait for a leader, then probe once per second for
 // horizon. cpuEvery controls the CPU sampling window (the paper uses 5 s).
 func RunFluctuation(opts Options, horizon time.Duration, cpuEvery time.Duration) SeriesResult {
-	c := New(opts)
-	c.Start()
-	lead := c.WaitLeader(30 * time.Second)
-	if lead == nil {
-		panic(fmt.Sprintf("cluster(%s): no initial leader", opts.Variant.Name))
-	}
-	leadID := lead.ID()
-	// Pick the observation follower: the next node after the leader.
-	followerID := raft.ID(1)
-	if leadID == 1 {
-		followerID = 2
-	}
-	start := c.eng.Now()
-
-	res := SeriesResult{
-		Variant:          opts.Variant.Name,
-		Horizon:          horizon,
-		RandTimeout3rdMs: metrics.NewTimeSeries("randomizedTimeout(ms)"),
-		LinkRTTMs:        metrics.NewTimeSeries("rtt(ms)"),
-		LeaderHMs:        metrics.NewTimeSeries("h(ms)"),
-		LeaderCPU:        metrics.NewTimeSeries("leaderCPU(%)"),
-		FollowerCPU:      metrics.NewTimeSeries("followerCPU(%)"),
-		MeasuredLossPct:  metrics.NewTimeSeries("loss(%)"),
-	}
-
-	// Per-second probes.
-	var probe func()
-	probe = func() {
-		t := c.eng.Now() - start
-		if t > horizon {
-			return
-		}
-		res.RandTimeout3rdMs.Add(t, float64(c.KthSmallestRandomizedTimeout(3))/float64(time.Millisecond))
-		res.LinkRTTMs.Add(t, float64(c.LinkRTT(1, 2))/float64(time.Millisecond))
-		if h := c.LeaderMeanHeartbeatInterval(); h > 0 {
-			res.LeaderHMs.Add(t, float64(h)/float64(time.Millisecond))
-		}
-		if tn := c.DynatuneTuner(followerID); tn != nil {
-			res.MeasuredLossPct.Add(t, tn.MeasuredLoss()*100)
-		}
-		c.eng.After(time.Second, probe)
-	}
-	c.eng.After(time.Second, probe)
-
-	// CPU probes (leader identity may move; sample the *current* leader's
-	// runtime and the fixed observation follower).
-	var cpu func()
-	cpu = func() {
-		t := c.eng.Now() - start
-		if t > horizon {
-			return
-		}
-		if l := c.Leader(); l != nil {
-			res.LeaderCPU.Add(t, c.CPUPercent(l.ID(), cpuEvery))
-		}
-		res.FollowerCPU.Add(t, c.CPUPercent(followerID, cpuEvery))
-		c.eng.After(cpuEvery, cpu)
-	}
-	c.eng.After(cpuEvery, cpu)
-
-	// Periodic compaction keeps week-long runs bounded.
-	var compact func()
-	compact = func() {
-		if c.eng.Now()-start > horizon {
-			return
-		}
-		c.CompactAll(64)
-		c.eng.After(10*time.Second, compact)
-	}
-	c.eng.After(10*time.Second, compact)
-
-	c.Run(horizon)
-
-	res.OTS = c.rec.OTSIntervals(start, start+horizon)
-	res.Timeouts = c.rec.CountKind(raft.EventTimeout, start, start+horizon)
-	res.Elections = c.rec.CountKind(raft.EventLeaderElected, start, start+horizon)
-	res.Reverts = c.rec.CountKind(raft.EventRevert, start, start+horizon)
-	return res
-}
-
-// ThroughputPoint is one (offered RPS → achieved throughput, latency)
-// measurement averaged over repetitions (Fig. 5).
-type ThroughputPoint struct {
-	OfferedRPS    int
-	ThroughputRS  float64
-	ThroughputStd float64
-	LatencyMs     float64
+	spec := specFor(opts)
+	spec.Name = "fluctuation"
+	spec.Measure = scenario.MeasureSeries
+	spec.Horizon = scenario.Duration(horizon)
+	spec.CPUEvery = scenario.Duration(cpuEvery)
+	return *mustRun(spec, opts.ScenarioEnv()).Series
 }
 
 // RunThroughputRamp reproduces §IV-B2: an open-loop RPS ramp against a
@@ -308,44 +104,12 @@ type ThroughputPoint struct {
 // run in parallel (each on its own engine) and accumulate in rep order,
 // producing byte-identical output to a sequential run.
 func RunThroughputRamp(opts Options, ramp workload.Ramp, reps int) []ThroughputPoint {
-	type acc struct {
-		thr metrics.Welford
-		lat metrics.Welford
-	}
-	repSteps := RunSharded(TrialWorkers(), reps, func(rep int) []StepResult {
-		o := opts
-		o.Seed = shardSeed(opts.Seed, rep)
-		c := New(o)
-		lg := NewLoadGen(c, ramp, 100*time.Millisecond)
-		c.Start()
-		if c.WaitLeader(30*time.Second) == nil {
-			panic("throughput ramp: no leader")
-		}
-		c.Run(3 * time.Second) // settle + tuner warmup
-		lg.Start()
-		c.Run(ramp.Duration() + 5*time.Second) // drain tail
-		return lg.Results()
-	})
-	accs := make([]acc, ramp.Steps)
-	for _, steps := range repSteps {
-		for i, s := range steps {
-			accs[i].thr.Add(s.ThroughputRS)
-			if s.Completed > 0 {
-				accs[i].lat.Add(s.LatencyMs)
-			}
-		}
-	}
-	out := make([]ThroughputPoint, ramp.Steps)
-	for i := range accs {
-		rps, _ := ramp.RPSAt(time.Duration(i)*ramp.StepDuration + 1)
-		out[i] = ThroughputPoint{
-			OfferedRPS:    rps,
-			ThroughputRS:  accs[i].thr.Mean(),
-			ThroughputStd: accs[i].thr.Std(),
-			LatencyMs:     accs[i].lat.Mean(),
-		}
-	}
-	return out
+	spec := specFor(opts)
+	spec.Name = "throughput-ramp"
+	spec.Measure = scenario.MeasureThroughput
+	spec.Workload = scenario.WorkloadFrom(ramp, 100*time.Millisecond)
+	spec.Reps = reps
+	return mustRun(spec, opts.ScenarioEnv()).Ramp.Points
 }
 
 // PeakThroughput returns the highest achieved throughput on the curve.
@@ -359,14 +123,6 @@ func PeakThroughput(points []ThroughputPoint) float64 {
 	return peak
 }
 
-// TransferResult aggregates planned leadership handovers.
-type TransferResult struct {
-	Variant      string
-	Trials       int
-	HandoverMs   []float64 // transfer initiation → new leader elected
-	FailedTrials int
-}
-
 // RunTransferTrials measures planned-maintenance handover (leadership
 // transfer) latency — the complement of the crash failovers in Fig. 4:
 // instead of freezing the leader, it hands leadership to a follower and
@@ -374,63 +130,14 @@ type TransferResult struct {
 // than a detection timeout. Like the election trials it shards across the
 // parallel runner with deterministic merge order.
 func RunTransferTrials(opts Options, trials int, settle time.Duration) TransferResult {
-	counts := shardTrialCounts(trials, trialShardSize)
-	parts := RunSharded(TrialWorkers(), len(counts), func(s int) TransferResult {
-		o := opts
-		o.Seed = shardSeed(opts.Seed, s)
-		return runTransferShard(o, counts[s], settle)
-	})
-	res := TransferResult{Variant: opts.Variant.Name, Trials: trials}
-	for _, p := range parts {
-		res.HandoverMs = append(res.HandoverMs, p.HandoverMs...)
-		res.FailedTrials += p.FailedTrials
+	if trials <= 0 {
+		return TransferResult{Variant: opts.Variant.Name}
 	}
-	return res
-}
-
-// runTransferShard is the historical sequential transfer loop over one
-// dedicated cluster.
-func runTransferShard(opts Options, trials int, settle time.Duration) TransferResult {
-	c := New(opts)
-	c.Start()
-	res := TransferResult{Variant: opts.Variant.Name, Trials: trials}
-	for t := 0; t < trials; t++ {
-		lead := c.WaitLeader(30 * time.Second)
-		if lead == nil {
-			res.FailedTrials++
-			continue
-		}
-		c.Run(settle)
-		lead = c.Leader()
-		if lead == nil {
-			res.FailedTrials++
-			continue
-		}
-		// Pick the next node around the ring as the target.
-		target := raft.ID(int(lead.ID())%c.N() + 1)
-		start := c.Now()
-		if err := lead.TransferLeadership(target); err != nil {
-			res.FailedTrials++
-			continue
-		}
-		deadline := c.Now() + 30*time.Second
-		done := false
-		for c.Now() < deadline {
-			c.Run(5 * time.Millisecond)
-			if d, who, ok := c.rec.FirstElectionAfter(start); ok {
-				if who != target {
-					break // transfer lost a race; discard the trial
-				}
-				res.HandoverMs = append(res.HandoverMs, float64(d)/float64(time.Millisecond))
-				done = true
-				break
-			}
-		}
-		if !done {
-			res.FailedTrials++
-		}
-		c.Run(time.Second)
-		c.rec.Reset()
-	}
-	return res
+	spec := specFor(opts)
+	spec.Name = "transfers"
+	spec.Measure = scenario.MeasureFailover
+	spec.Faults = []scenario.Fault{{Kind: scenario.FaultTransferLeader}}
+	spec.Trials = trials
+	spec.Settle = scenario.Duration(settle)
+	return *mustRun(spec, opts.ScenarioEnv()).Failover
 }

@@ -1,44 +1,23 @@
 package cluster
 
 import (
-	"fmt"
 	"time"
 
-	"dynatune/internal/kv"
-	"dynatune/internal/metrics"
-	"dynatune/internal/raft"
+	"dynatune/internal/scenario"
 )
-
-// proposePut proposes one kv put through the leader (the state machine
-// decodes every normal entry, so experiments must write real commands).
-func proposePut(lead *raft.Node, client, seq uint64, key string, val []byte) error {
-	_, err := lead.Propose(kv.Encode(kv.Command{Op: kv.OpPut, Client: client, Seq: seq, Key: key, Value: val}))
-	return err
-}
 
 // This file hosts the experiments that go beyond the paper's figures:
 // crash-recovery failovers (the paper's §III-A fault model includes
 // crash-recovery but its evaluation only pauses containers), linearizable
 // read latency (etcd's ReadIndex/lease-read paths interact with the tuned
 // election timeout), and online membership changes (a joining node starts
-// with cold measurement state).
+// with cold measurement state). Like the figure experiments they are thin
+// spec constructors over the scenario engine.
 
-// CrashRecoveryResult aggregates crash-restart failover trials.
-type CrashRecoveryResult struct {
-	Variant string
-	Trials  int
-	// DetectionMs / OTSMs as in ElectionResult, for the crash failover.
-	DetectionMs []float64
-	OTSMs       []float64
-	// RetuneMs measures, per trial, how long the restarted node takes to
-	// re-apply tuned parameters after rejoining (warm-up: minListSize
-	// heartbeats on fallback defaults). Empty for static variants.
-	RetuneMs []float64
-	// ReplayEntries is the mean number of log entries the restarted node
-	// replayed from its durable store.
-	ReplayEntries float64
-	FailedTrials  int
-}
+// CrashRecoveryResult aggregates crash-restart failover trials: the
+// engine's unified failover result with RetuneMs (restarted node's tuner
+// re-warm) and ReplayEntries (mean durable-log replay length) filled.
+type CrashRecoveryResult = scenario.FailoverResult
 
 // RunCrashRecoveryTrials crash-restarts the leader repeatedly: the leader
 // process dies (volatile state lost), stays down for downtime, then
@@ -46,122 +25,32 @@ type CrashRecoveryResult struct {
 // as in Fig. 4; additionally the restarted node's tuner warm-up is timed.
 func RunCrashRecoveryTrials(opts Options, trials int, settle, downtime time.Duration) CrashRecoveryResult {
 	opts.Persist = true
-	c := New(opts)
-	c.Start()
-	res := CrashRecoveryResult{Variant: opts.Variant.Name, Trials: trials}
-	var replaySum float64
-	replayN := 0
-
-	const trialTimeout = 60 * time.Second
-	for t := 0; t < trials; t++ {
-		lead := c.WaitLeader(30 * time.Second)
-		if lead == nil {
-			res.FailedTrials++
-			continue
-		}
-		c.Run(settle)
-		if c.Leader() == nil {
-			res.FailedTrials++
-			continue
-		}
-		// Keep some replicated state flowing so recovery has work to do.
-		if err := proposePut(c.Leader(), 1, uint64(t+1), "trial", []byte(fmt.Sprintf("%d", t))); err == nil {
-			c.Run(100 * time.Millisecond)
-		}
-
-		old, failAt := c.CrashLeader()
-		deadline := c.eng.Now() + trialTimeout
-		elected := false
-		var otsD time.Duration
-		for c.eng.Now() < deadline {
-			c.Run(20 * time.Millisecond)
-			if d, _, ok := c.rec.FirstElectionAfter(failAt); ok {
-				otsD, elected = d, true
-				break
-			}
-		}
-		if !elected {
-			res.FailedTrials++
-			c.Restart(old)
-			c.Run(2 * time.Second)
-			c.rec.Reset()
-			continue
-		}
-		if det, ok := c.rec.FirstDetectionAfter(failAt); ok {
-			res.DetectionMs = append(res.DetectionMs, float64(det)/float64(time.Millisecond))
-		}
-		res.OTSMs = append(res.OTSMs, float64(otsD)/float64(time.Millisecond))
-
-		c.Run(downtime)
-		restored := c.Persister(old).Restored()
-		if restored != nil {
-			replaySum += float64(len(restored.Entries))
-			replayN++
-		}
-		restartAt := c.eng.Now()
-		c.Restart(old)
-
-		// Time the rejoined node's tuner warm-up (Dynatune only).
-		if tn := c.DynatuneTuner(old); tn != nil {
-			warmDeadline := c.eng.Now() + 30*time.Second
-			for c.eng.Now() < warmDeadline {
-				c.Run(20 * time.Millisecond)
-				if tn.Tuned() {
-					res.RetuneMs = append(res.RetuneMs,
-						float64(c.eng.Now()-restartAt)/float64(time.Millisecond))
-					break
-				}
-			}
-		} else {
-			c.Run(2 * time.Second)
-		}
-		c.rec.Reset()
-		c.CompactAll(64)
+	if trials <= 0 {
+		return CrashRecoveryResult{Variant: opts.Variant.Name}
 	}
-	if replayN > 0 {
-		res.ReplayEntries = replaySum / float64(replayN)
-	}
-	return res
-}
-
-// Summary bundles detection/OTS summaries.
-func (r CrashRecoveryResult) Summary() (det, ots metrics.Summary) {
-	return metrics.Summarize(r.DetectionMs), metrics.Summarize(r.OTSMs)
+	spec := specFor(opts)
+	spec.Name = "crash-recovery"
+	spec.Measure = scenario.MeasureFailover
+	spec.Faults = []scenario.Fault{{Kind: scenario.FaultCrashLeader}}
+	spec.Trials = trials
+	spec.Settle = scenario.Duration(settle)
+	spec.Downtime = scenario.Duration(downtime)
+	return *mustRun(spec, opts.ScenarioEnv()).Failover
 }
 
 // ReadMode selects the linearizable-read path under test.
-type ReadMode int
+type ReadMode = scenario.ReadMode
 
 const (
 	// ReadModeIndex always uses ReadIndex (one heartbeat round per read).
-	ReadModeIndex ReadMode = iota
+	ReadModeIndex = scenario.ReadModeIndex
 	// ReadModeLease serves from the check-quorum lease when it holds and
 	// falls back to ReadIndex when it lapsed (etcd's default read path).
-	ReadModeLease
+	ReadModeLease = scenario.ReadModeLease
 )
 
-func (m ReadMode) String() string {
-	if m == ReadModeLease {
-		return "lease"
-	}
-	return "read-index"
-}
-
 // ReadLatencyResult aggregates a linearizable-read run.
-type ReadLatencyResult struct {
-	Variant string
-	Mode    ReadMode
-	Issued  int
-	// LatencyMs is the registration→confirmation delay of each successful
-	// read (0 for lease hits: they confirm synchronously).
-	LatencyMs []float64
-	// LeaseHits counts reads served from the lease without a quorum round.
-	LeaseHits int
-	// Fallbacks counts lease-mode reads that fell back to ReadIndex.
-	Fallbacks int
-	// Failed counts reads aborted by leadership churn or not-ready leaders.
-	Failed int
-}
+type ReadLatencyResult = scenario.ReadsResult
 
 // RunReadLatency issues `reads` linearizable reads against the leader at
 // the given interval and measures confirmation latency on the virtual
@@ -172,76 +61,17 @@ type ReadLatencyResult struct {
 // reads pay the ReadIndex round instead. Fast failover is traded against
 // cheap reads.
 func RunReadLatency(opts Options, reads int, every time.Duration, mode ReadMode) ReadLatencyResult {
-	c := New(opts)
-	c.Start()
-	if c.WaitLeader(30*time.Second) == nil {
-		panic(fmt.Sprintf("read latency(%s): no leader", opts.Variant.Name))
+	spec := specFor(opts)
+	spec.Name = "read-latency"
+	spec.Measure = scenario.MeasureReads
+	spec.Reads = &scenario.ReadProbe{
+		Reads: reads, Every: scenario.Duration(every), Mode: mode.String(),
 	}
-	c.Run(3 * time.Second) // settle + tuner warm-up
-	res := ReadLatencyResult{Variant: opts.Variant.Name, Mode: mode}
-
-	issue := func() {
-		lead := c.Leader()
-		if lead == nil {
-			res.Failed++
-			return
-		}
-		res.Issued++
-		start := c.eng.Now()
-		cb := func(_ uint64, ok bool) {
-			if !ok {
-				res.Failed++
-				return
-			}
-			res.LatencyMs = append(res.LatencyMs, float64(c.eng.Now()-start)/float64(time.Millisecond))
-		}
-		var err error
-		switch mode {
-		case ReadModeIndex:
-			err = lead.ReadIndex(cb)
-		case ReadModeLease:
-			err = lead.LeaseRead(cb)
-			if err == nil {
-				res.LeaseHits++
-			} else if err == raft.ErrLeaseExpired {
-				res.Fallbacks++
-				err = lead.ReadIndex(cb)
-			}
-		}
-		if err != nil {
-			res.Failed++
-		}
-	}
-	for i := 0; i < reads; i++ {
-		issue()
-		c.Run(every)
-	}
-	c.Run(2 * time.Second) // drain confirmations
-	return res
-}
-
-// LatencySummary summarizes the successful read latencies.
-func (r ReadLatencyResult) LatencySummary() metrics.Summary {
-	return metrics.Summarize(r.LatencyMs)
+	return *mustRun(spec, opts.ScenarioEnv()).Reads
 }
 
 // MembershipResult records one add-learner → catch-up → promote cycle.
-type MembershipResult struct {
-	Variant string
-	// CatchupMs: add-learner commit → learner's applied index reaches the
-	// leader's at proposal time.
-	CatchupMs float64
-	// JoinerTunedMs: learner added → the joiner's Dynatune engages (0 for
-	// static variants).
-	JoinerTunedMs float64
-	// PromoteMs: promotion proposal → applied on the leader.
-	PromoteMs float64
-	// PostFailoverOTSMs: OTS of a leader crash performed right after the
-	// promotion, while the joiner's parameters may still be cold.
-	PostFailoverOTSMs float64
-	// JoinerBecameLeader reports whether the failover elected the joiner.
-	JoinerBecameLeader bool
-}
+type MembershipResult = scenario.MembershipResult
 
 // RunMembershipChange grows an (N−1)-voter cluster by one node: add it as
 // a learner, wait for catch-up, promote it to voter, then crash the leader
@@ -256,77 +86,9 @@ func RunMembershipChange(opts Options, preload int) MembershipResult {
 		panic("membership change needs N >= 3")
 	}
 	opts.InitialMembers = opts.N - 1
-	c := New(opts)
-	c.Start()
-	lead := c.WaitLeader(30 * time.Second)
-	if lead == nil {
-		panic(fmt.Sprintf("membership(%s): no leader", opts.Variant.Name))
-	}
-	c.Run(3 * time.Second)
-	lead = c.Leader()
-	for i := 0; i < preload; i++ {
-		if err := proposePut(lead, 1, uint64(i+1), fmt.Sprintf("preload-%d", i), []byte("x")); err != nil {
-			panic(err)
-		}
-		if i%64 == 63 {
-			c.Run(50 * time.Millisecond)
-		}
-	}
-	c.Run(2 * time.Second)
-
-	res := MembershipResult{Variant: opts.Variant.Name}
-	joiner := raft.ID(opts.N)
-	target := lead.Log().LastIndex()
-
-	addAt := c.eng.Now()
-	if _, err := lead.ProposeConfChange(raft.ConfChange{Op: raft.ConfAddLearner, Node: joiner}); err != nil {
-		panic(err)
-	}
-	deadline := c.eng.Now() + 60*time.Second
-	for c.eng.Now() < deadline {
-		c.Run(20 * time.Millisecond)
-		if c.Node(joiner).Log().Applied() >= target {
-			break
-		}
-	}
-	res.CatchupMs = float64(c.eng.Now()-addAt) / float64(time.Millisecond)
-
-	if tn := c.DynatuneTuner(joiner); tn != nil {
-		for c.eng.Now() < deadline {
-			if tn.Tuned() {
-				res.JoinerTunedMs = float64(c.eng.Now()-addAt) / float64(time.Millisecond)
-				break
-			}
-			c.Run(20 * time.Millisecond)
-		}
-	}
-
-	lead = c.Leader()
-	promoteAt := c.eng.Now()
-	idx, err := lead.ProposeConfChange(raft.ConfChange{Op: raft.ConfAddVoter, Node: joiner})
-	if err != nil {
-		panic(err)
-	}
-	for c.eng.Now() < deadline {
-		c.Run(10 * time.Millisecond)
-		if lead.Log().Applied() >= idx {
-			break
-		}
-	}
-	res.PromoteMs = float64(c.eng.Now()-promoteAt) / float64(time.Millisecond)
-	c.Run(500 * time.Millisecond)
-
-	// Failover with the fresh voter in place.
-	old, failAt := c.PauseLeader()
-	fDeadline := c.eng.Now() + 60*time.Second
-	for c.eng.Now() < fDeadline {
-		c.Run(20 * time.Millisecond)
-		if d, who, ok := c.rec.FirstElectionAfter(failAt); ok {
-			res.PostFailoverOTSMs = float64(d) / float64(time.Millisecond)
-			res.JoinerBecameLeader = who == joiner
-			break
-		}
-	}
-	c.Resume(old)
-	return res
+	spec := specFor(opts)
+	spec.Name = "membership"
+	spec.Measure = scenario.MeasureMembership
+	spec.Membership = &scenario.MembershipProbe{Preload: preload}
+	return *mustRun(spec, opts.ScenarioEnv()).Membership
 }

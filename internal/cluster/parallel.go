@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"dynatune/internal/scenario"
 )
 
 // This file is the parallel trial runner. Every experiment in the testbed
@@ -20,7 +22,9 @@ import (
 // one seed) runs sequentially. Trials within a shard share warmed tuner
 // state exactly as the original sequential runners did; experiments with
 // at most this many trials are bit-identical to the pre-parallel code.
-const trialShardSize = 50
+// The scenario engine owns the canonical value; this name keeps the
+// package's determinism tests reading naturally.
+const trialShardSize = scenario.TrialShardSize
 
 // TrialWorkers returns the worker count for parallel experiment runs: the
 // DYNATUNE_TRIAL_WORKERS environment variable if set to a positive
@@ -83,26 +87,14 @@ func RunSharded[T any](workers, shards int, run func(shard int) T) []T {
 }
 
 // shardTrialCounts splits trials into shard-sized blocks: [size, size,
-// ..., remainder].
+// ..., remainder]. Delegates to the scenario engine's canonical split.
 func shardTrialCounts(trials, size int) []int {
-	if trials <= 0 {
-		return nil
-	}
-	n := (trials + size - 1) / size
-	out := make([]int, n)
-	for i := range out {
-		out[i] = size
-	}
-	if rem := trials % size; rem != 0 {
-		out[n-1] = rem
-	}
-	return out
+	return scenario.ShardCounts(trials, size)
 }
 
-// shardSeed derives shard s's engine seed. Shard 0 keeps the experiment
-// seed unchanged so single-shard runs reproduce the historical sequential
-// results exactly; later shards stride by a large odd constant (the same
-// scheme the ramp repetitions have always used).
+// shardSeed derives shard s's engine seed; the scenario engine owns the
+// scheme (shard 0 keeps the experiment seed for historical
+// reproducibility, later shards stride by a large odd constant).
 func shardSeed(seed int64, s int) int64 {
-	return seed + int64(s)*1000003
+	return scenario.ShardSeed(seed, s)
 }

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/dynatune"
+	"dynatune/internal/raft"
+)
+
+// These tests extend the single FailPartition case in experiments_test.go
+// with the properties that distinguish the stale-leader path from the
+// paper's pause model.
+
+// TestPartitionVsPauseDetectionGap pins that follower-side detection is
+// the same mechanism under both failure modes: a symmetric partition cuts
+// the heartbeat stream exactly like a frozen process does, so for the
+// same deployment the detection means must sit within one tuned
+// randomized-timeout spread of each other. (The asymmetric partition is
+// the mode with a real gap — see below.)
+func TestPartitionVsPauseDetectionGap(t *testing.T) {
+	opts := Options{N: 5, Seed: 51, Variant: VariantDynatune(dynatune.Options{}), Profile: stableNet(100)}
+	paused := RunElectionTrialsWithFailure(opts, 10, 4*time.Second, FailPause)
+	parted := RunElectionTrialsWithFailure(opts, 10, 4*time.Second, FailPartition)
+	pd, _ := paused.Summary()
+	qd, _ := parted.Summary()
+	if len(paused.DetectionMs) < 8 || len(parted.DetectionMs) < 8 {
+		t.Fatalf("samples: pause=%d partition=%d", len(paused.DetectionMs), len(parted.DetectionMs))
+	}
+	gap := qd.Mean - pd.Mean
+	if gap < 0 {
+		gap = -gap
+	}
+	// Tuned detection sits near 130 ms at RTT 100 ms; the two failure
+	// modes must agree to well within one detection time.
+	if gap > pd.Mean/2 {
+		t.Fatalf("pause vs partition detection gap %.0fms (pause %.0f, partition %.0f) — modes should match",
+			gap, pd.Mean, qd.Mean)
+	}
+}
+
+// TestAsymPartitionDetectionSlowerThanPause pins the opposite property
+// for the asymmetric cut: the deaf leader keeps heartbeating, so the
+// followers' detectors are suppressed until check-quorum forces
+// abdication, and detection is materially later than under pause.
+func TestAsymPartitionDetectionSlowerThanPause(t *testing.T) {
+	opts := Options{N: 5, Seed: 51, Variant: VariantDynatune(dynatune.Options{}), Profile: stableNet(100)}
+	paused := RunElectionTrialsWithFailure(opts, 10, 4*time.Second, FailPause)
+	deaf := RunElectionTrialsWithFailure(opts, 10, 4*time.Second, FailAsymPartition)
+	if len(deaf.OTSMs) < 8 {
+		t.Fatalf("only %d/%d asym trials succeeded", len(deaf.OTSMs), deaf.Trials)
+	}
+	pd, _ := paused.Summary()
+	ad, aots := deaf.Summary()
+	if ad.Mean < 2*pd.Mean {
+		t.Fatalf("asym detection %.0fms not clearly beyond pause %.0fms — heartbeat suppression missing",
+			ad.Mean, pd.Mean)
+	}
+	if aots.Mean <= ad.Mean {
+		t.Fatalf("asym OTS %.0f <= detection %.0f", aots.Mean, ad.Mean)
+	}
+}
+
+// TestPartitionedLeaderAbdicatesByCheckQuorumNotTerm pins *how* the old
+// leader yields: while its links are still cut no higher-term message can
+// reach it, so when it stops leading its term must be unchanged —
+// check-quorum abdication, not a term bump. Only after the heal does it
+// adopt the majority's newer term.
+func TestPartitionedLeaderAbdicatesByCheckQuorumNotTerm(t *testing.T) {
+	c := New(Options{N: 5, Seed: 57, Variant: VariantRaft(), Profile: stableNet(50)})
+	c.Start()
+	lead := c.WaitLeader(10 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(time.Second)
+	lead = c.Leader()
+	reignTerm := lead.Term()
+	c.Network().PartitionNode(int(lead.ID()-1), true)
+
+	deadline := c.Now() + 10*time.Second
+	for c.Now() < deadline && lead.State() == raft.StateLeader {
+		c.Run(10 * time.Millisecond)
+	}
+	if lead.State() == raft.StateLeader {
+		t.Fatal("isolated leader never abdicated")
+	}
+	// Still partitioned: abdication happened with no outside information.
+	if got := lead.Term(); got != reignTerm {
+		t.Fatalf("old leader's term moved %d -> %d while isolated — stepped down on a term, not check-quorum",
+			reignTerm, got)
+	}
+	// The majority side elects at a higher term while the cut holds; the
+	// isolated ex-leader still cannot learn about it.
+	var nl *raft.Node
+	for c.Now() < deadline {
+		if nl = c.Leader(); nl != nil && nl.ID() != lead.ID() {
+			break
+		}
+		c.Run(10 * time.Millisecond)
+	}
+	if nl == nil || nl.ID() == lead.ID() {
+		t.Fatal("majority side did not elect a successor")
+	}
+	if got := lead.Term(); got != reignTerm {
+		t.Fatalf("isolated ex-leader's term moved %d -> %d before the heal", reignTerm, got)
+	}
+	if nl.Term() <= reignTerm {
+		t.Fatalf("successor term %d not beyond the old reign %d", nl.Term(), reignTerm)
+	}
+
+	// Heal: the stale leader must now adopt the newer term and submit.
+	c.Network().PartitionNode(int(lead.ID()-1), false)
+	c.Run(5 * time.Second)
+	if lead.State() == raft.StateLeader {
+		t.Fatal("stale leader still leading after heal")
+	}
+	if lead.Term() < nl.Term() {
+		t.Fatalf("stale leader never caught up: term %d vs %d", lead.Term(), nl.Term())
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"time"
+
+	"dynatune/internal/scenario"
+	"dynatune/internal/workload"
+)
+
+// This file binds the declarative scenario engine to this package's
+// testbed. The engine (internal/scenario) owns all experiment
+// orchestration — trial loops, fault injection, probes, sharded
+// parallelism — and drives *Cluster through the scenario.Cluster
+// interface; this env supplies the constructors, keeping per-shard seed
+// derivation in the engine and cluster construction here.
+
+// ScenarioEnv returns the execution environment for specs bound to these
+// options: every cluster the engine asks for is built from opts with the
+// engine-derived seed, and trial shards run on the parallel runner
+// (RunSharded), so results are byte-identical for any worker count.
+func (o Options) ScenarioEnv() scenario.Env {
+	return scenario.Env{
+		Variant: o.Variant.Name,
+		NewCluster: func(seed int64) scenario.Cluster {
+			co := o
+			co.Seed = seed
+			return New(co)
+		},
+		NewLoadGen: func(c scenario.Cluster, ramp workload.Ramp, clientRTT time.Duration) scenario.LoadGen {
+			return NewLoadGen(c.(*Cluster), ramp, clientRTT)
+		},
+		Workers:   TrialWorkers(),
+		RunShards: RunShardsOn,
+	}
+}
+
+// RunShardsOn adapts RunSharded to the scenario engine's side-effect
+// contract: run(i) fills the engine's own result slot for shard i, so the
+// merge order is the engine's and the determinism guarantee is
+// RunSharded's.
+func RunShardsOn(workers, shards int, run func(shard int)) {
+	RunSharded(workers, shards, func(i int) struct{} {
+		run(i)
+		return struct{}{}
+	})
+}
+
+// specFor seeds a Spec with the descriptive half of these options; the
+// caller fills the measurement half. The spec's topology/network sections
+// document what the env will build — execution flows through ScenarioEnv,
+// which uses opts verbatim (including pieces a JSON spec cannot carry,
+// like custom tuner closures and cost models).
+func specFor(o Options) scenario.Spec {
+	d := o.withDefaults()
+	return scenario.Spec{
+		Topology: scenario.Topology{
+			N: d.N, Persist: d.Persist, InitialMembers: d.InitialMembers,
+			GeoJitterFrac: d.GeoJitterFrac, GeoLoss: d.GeoLoss,
+			Regions: regionNames(d),
+		},
+		Network: scenario.NetFrom(d.Profile),
+		Variant: scenario.VariantSpec{Name: d.Variant.Name},
+		Seed:    o.Seed,
+	}
+}
+
+func regionNames(o Options) []string {
+	if len(o.Regions) == 0 {
+		return nil
+	}
+	out := make([]string, len(o.Regions))
+	for i, r := range o.Regions {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// mustRun executes a spec the wrappers constructed; their specs are valid
+// by construction, so an error is a programming bug.
+func mustRun(spec scenario.Spec, env scenario.Env) *scenario.Result {
+	res, err := scenario.Run(spec, env)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,19 @@
+package cluster
+
+import (
+	"testing"
+
+	"dynatune/internal/scenario"
+)
+
+// TestPhaseJitterWindowMatchesBaselineH pins the constant the scenario
+// engine had to copy (the import points cluster → scenario, so it cannot
+// reference BaselineH): the election trials' failure-phase randomization
+// must span exactly one baseline heartbeat period, or the byte-identical
+// golden summaries silently stop meaning "one heartbeat period".
+func TestPhaseJitterWindowMatchesBaselineH(t *testing.T) {
+	if scenario.PhaseJitterWindow != BaselineH {
+		t.Fatalf("scenario.PhaseJitterWindow = %v, cluster.BaselineH = %v — the engine's copy drifted",
+			scenario.PhaseJitterWindow, BaselineH)
+	}
+}

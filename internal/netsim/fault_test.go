@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/sim"
+)
+
+// newFaultNet builds a 4-node mesh recording deliveries per node.
+func newFaultNet(t *testing.T) (*sim.Engine, *Network[int], *[4]int) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	var got [4]int
+	nw := New(eng, 4, Constant(Params{RTT: 2 * time.Millisecond}), func(to, msg int) {
+		got[to]++
+	})
+	return eng, nw, &got
+}
+
+func sendAll(eng *sim.Engine, nw *Network[int]) {
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			if from != to {
+				nw.Send(from, to, UDP, 1)
+			}
+		}
+	}
+	eng.Run(eng.Now() + 10*time.Millisecond)
+}
+
+func TestSetNodeInboundIsAsymmetric(t *testing.T) {
+	eng, nw, got := newFaultNet(t)
+	nw.SetNodeInbound(0, true)
+	sendAll(eng, nw)
+	if got[0] != 0 {
+		t.Fatalf("deaf node received %d", got[0])
+	}
+	// Node 0's outbound still works: every other node hears 3 peers.
+	for i := 1; i < 4; i++ {
+		if got[i] != 3 {
+			t.Fatalf("node %d received %d, want 3 (node 0 still talking)", i, got[i])
+		}
+	}
+	nw.SetNodeInbound(0, false)
+	*got = [4]int{}
+	sendAll(eng, nw)
+	if got[0] != 3 {
+		t.Fatalf("healed node received %d, want 3", got[0])
+	}
+}
+
+func TestSetNodeOutboundIsAsymmetric(t *testing.T) {
+	eng, nw, got := newFaultNet(t)
+	nw.SetNodeOutbound(0, true)
+	sendAll(eng, nw)
+	if got[0] != 3 {
+		t.Fatalf("mute node received %d, want 3 (inbound open)", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if got[i] != 2 {
+			t.Fatalf("node %d received %d, want 2 (node 0 muted)", i, got[i])
+		}
+	}
+}
+
+func TestPartitionGroupsCutsOnlyCrossLinks(t *testing.T) {
+	eng, nw, got := newFaultNet(t)
+	nw.PartitionGroups([]int{0, 1}, []int{2, 3}, true)
+	sendAll(eng, nw)
+	// Each node hears only its side's other member.
+	for i := 0; i < 4; i++ {
+		if got[i] != 1 {
+			t.Fatalf("node %d received %d, want 1 (intra-side only)", i, got[i])
+		}
+	}
+	nw.PartitionGroups([]int{0, 1}, []int{2, 3}, false)
+	*got = [4]int{}
+	sendAll(eng, nw)
+	for i := 0; i < 4; i++ {
+		if got[i] != 3 {
+			t.Fatalf("node %d received %d after heal, want 3", i, got[i])
+		}
+	}
+}
+
+func TestProfileOfRoundTripsThroughSetProfile(t *testing.T) {
+	_, nw, _ := newFaultNet(t)
+	orig := nw.ProfileOf(0, 1)
+	degraded := Constant(Params{RTT: 300 * time.Millisecond, Loss: 0.25})
+	nw.SetAllProfiles(degraded)
+	if got := nw.ProfileOf(0, 1).Segments[0].Params; got.Loss != 0.25 {
+		t.Fatalf("degrade not installed: %+v", got)
+	}
+	nw.SetAllProfiles(orig)
+	if got := nw.ProfileOf(0, 1).Segments[0].Params; got != orig.Segments[0].Params {
+		t.Fatalf("restore mismatch: %+v vs %+v", got, orig.Segments[0].Params)
+	}
+}

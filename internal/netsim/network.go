@@ -162,6 +162,55 @@ func (nw *Network[T]) PartitionNode(id int, down bool) {
 	}
 }
 
+// SetNodeInbound cuts (or restores) every link delivering TO node id while
+// leaving its outbound links alone: the node keeps talking but hears
+// nothing. An asymmetric partition of a leader this way suppresses the
+// followers' failure detectors (heartbeats still arrive) until the deaf
+// leader abdicates via check-quorum — the stale-leader path the symmetric
+// partition never exercises.
+func (nw *Network[T]) SetNodeInbound(id int, down bool) {
+	for other := 0; other < nw.n; other++ {
+		if other != id {
+			nw.SetDown(other, id, down)
+		}
+	}
+}
+
+// SetNodeOutbound cuts (or restores) every link sending FROM node id while
+// leaving its inbound links alone: the node hears everything but cannot be
+// heard.
+func (nw *Network[T]) SetNodeOutbound(id int, down bool) {
+	for other := 0; other < nw.n; other++ {
+		if other != id {
+			nw.SetDown(id, other, down)
+		}
+	}
+}
+
+// PartitionGroups cuts (or heals) every directed link crossing between the
+// two node sets, in both directions — the classic split-brain injection.
+// Links inside either set are untouched; membership of both sets is the
+// caller's problem (a node listed in both ends up disconnected from both
+// sides' complements, which is also a valid, if cruel, scenario).
+func (nw *Network[T]) PartitionGroups(a, b []int, down bool) {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				continue
+			}
+			nw.SetDown(x, y, down)
+			nw.SetDown(y, x, down)
+		}
+	}
+}
+
+// ProfileOf returns the schedule currently installed on from→to, so a
+// fault injector can degrade a link and later restore exactly what it
+// displaced.
+func (nw *Network[T]) ProfileOf(from, to int) Profile {
+	return nw.link(from, to).profile
+}
+
 // StatsFor returns a copy of the directed link's counters.
 func (nw *Network[T]) StatsFor(from, to int) Stats {
 	return nw.link(from, to).stats

@@ -1,0 +1,225 @@
+// Package bind realizes declarative scenario.Specs into the concrete
+// simulated testbeds: it maps the spec's variant name to a tuner factory,
+// its topology to cluster/shard Options (including the geo RTT matrix),
+// and its network section to a netsim profile, then executes the spec on
+// the scenario engine. It lives below cmd/dynabench and above
+// cluster/shard; the scenario package itself stays free of testbed
+// imports so the testbeds can expose their legacy Run* APIs as thin spec
+// constructors without an import cycle.
+package bind
+
+import (
+	"fmt"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/dynatune"
+	"dynatune/internal/geo"
+	"dynatune/internal/metrics"
+	"dynatune/internal/scenario"
+	"dynatune/internal/shard"
+)
+
+// Variant realizes a spec's variant section. Names are the registry keys
+// (case-insensitive display names also accepted).
+func Variant(v scenario.VariantSpec) (cluster.Variant, error) {
+	var est dynatune.Estimator
+	switch v.Estimator {
+	case "", "window":
+		est = dynatune.EstimatorWindow
+	case "ewma":
+		est = dynatune.EstimatorEWMA
+	case "max":
+		est = dynatune.EstimatorMax
+	default:
+		return cluster.Variant{}, fmt.Errorf("bind: unknown estimator %q", v.Estimator)
+	}
+	dyn := dynatune.Options{
+		SafetyFactor:       v.SafetyFactor,
+		ArrivalProbability: v.ArrivalProbability,
+		MinListSize:        v.MinListSize,
+		Estimator:          est,
+	}
+	switch v.Name {
+	case "raft", "Raft":
+		return cluster.VariantRaft(), nil
+	case "raft-low", "Raft-Low":
+		return cluster.VariantRaftLow(), nil
+	case "dynatune", "Dynatune":
+		return cluster.VariantDynatune(dyn), nil
+	case "dynatune-ext", "Dynatune-Ext":
+		return cluster.VariantDynatuneExt(dyn), nil
+	case "fix-k":
+		k := v.FixK
+		if k <= 0 {
+			k = 10
+		}
+		return cluster.VariantFixK(k), nil
+	}
+	return cluster.Variant{}, fmt.Errorf("bind: unknown variant %q", v.Name)
+}
+
+// regions maps the spec's region names to the geo model.
+func regions(names []string) ([]geo.Region, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]geo.Region, len(names))
+	for i, n := range names {
+		found := false
+		for _, r := range geo.Regions {
+			if r.String() == n {
+				out[i], found = r, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("bind: unknown region %q", n)
+		}
+	}
+	return out, nil
+}
+
+// ClusterOptions realizes the single-group testbed options of a spec.
+func ClusterOptions(spec scenario.Spec) (cluster.Options, error) {
+	v, err := Variant(spec.Variant)
+	if err != nil {
+		return cluster.Options{}, err
+	}
+	regs, err := regions(spec.Topology.Regions)
+	if err != nil {
+		return cluster.Options{}, err
+	}
+	opts := cluster.Options{
+		N:              spec.Topology.N,
+		Seed:           spec.Seed,
+		Variant:        v,
+		Regions:        regs,
+		GeoJitterFrac:  spec.Topology.GeoJitterFrac,
+		GeoLoss:        spec.Topology.GeoLoss,
+		InitialMembers: spec.Topology.InitialMembers,
+		Persist:        spec.Topology.Persist,
+	}
+	if len(regs) == 0 && len(spec.Network.Segments) > 0 {
+		opts.Profile = spec.Network.Profile()
+	}
+	return opts, nil
+}
+
+// EnvFor realizes the execution environment of a spec: a sharded env when
+// the topology declares groups, the single-group testbed otherwise.
+func EnvFor(spec scenario.Spec) (scenario.Env, error) {
+	if spec.Topology.Groups > 0 {
+		v, err := Variant(spec.Variant)
+		if err != nil {
+			return scenario.Env{}, err
+		}
+		npg := spec.Topology.NodesPerGroup
+		if npg == 0 {
+			// "n" documents the per-group size; without this, shard's own
+			// default (3) would silently shrink a {"n":5,"groups":4} spec.
+			npg = spec.Topology.N
+		}
+		opts := shard.Options{
+			Groups:        spec.Topology.Groups,
+			NodesPerGroup: npg,
+			Seed:          spec.Seed,
+			Variant:       v,
+		}
+		if len(spec.Network.Segments) > 0 {
+			opts.Profile = spec.Network.Profile()
+		}
+		load := shard.LoadOptions{}
+		if w := spec.Workload; w != nil {
+			load.Keys = w.Keys
+			load.Zipf = w.Zipf
+			load.ClientRTT = w.ClientRTT.D()
+		}
+		return opts.ScenarioEnv(load), nil
+	}
+	opts, err := ClusterOptions(spec)
+	if err != nil {
+		return scenario.Env{}, err
+	}
+	return opts.ScenarioEnv(), nil
+}
+
+// Run realizes and executes one spec.
+func Run(spec scenario.Spec) (*scenario.Result, error) {
+	// Membership specs grow an (N−1)-voter cluster; default the initial
+	// membership the way the legacy entry point always has.
+	if spec.Measure == scenario.MeasureMembership && spec.Topology.InitialMembers == 0 {
+		spec.Topology.InitialMembers = spec.Topology.N - 1
+	}
+	env, err := EnvFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Run(spec, env)
+}
+
+// RunNamed looks up and executes a registry scenario, scaled by frac
+// (1 = full size).
+func RunNamed(name string, frac float64) (*scenario.Result, error) {
+	spec, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("bind: unknown scenario %q (see `dynabench scenario -list`)", name)
+	}
+	return Run(scenario.Scale(spec, frac))
+}
+
+// Summarize renders a result compactly for the CLI.
+func Summarize(res *scenario.Result) string {
+	spec := res.Spec
+	head := fmt.Sprintf("scenario %-28s variant=%s seed=%d\n", spec.Name, spec.Variant.Name, spec.Seed)
+	switch {
+	case res.Failover != nil:
+		f := res.Failover
+		det, ots := f.Summary()
+		s := head + fmt.Sprintf("  trials %d (%d failed)\n", f.Trials, f.FailedTrials)
+		if len(f.DetectionMs) > 0 {
+			s += fmt.Sprintf("  detection: mean %6.0fms p50 %6.0fms p99 %6.0fms\n", det.Mean, det.P50, det.P99)
+			s += fmt.Sprintf("  OTS:       mean %6.0fms p50 %6.0fms p99 %6.0fms  (randTO %4.0fms, %d split rounds)\n",
+				ots.Mean, ots.P50, ots.P99, f.MeanRandTimeoutMs, f.SplitVoteRounds)
+		}
+		if len(f.HandoverMs) > 0 {
+			h := metrics.Summarize(f.HandoverMs)
+			s += fmt.Sprintf("  handover:  mean %6.0fms p99 %6.0fms over %d transfers\n", h.Mean, h.P99, len(f.HandoverMs))
+		}
+		if len(f.RetuneMs) > 0 {
+			s += fmt.Sprintf("  re-warm:   mean %6.0fms over %d restarts, replay %.0f entries\n",
+				metrics.Summarize(f.RetuneMs).Mean, len(f.RetuneMs), f.ReplayEntries)
+		}
+		return s
+	case res.Series != nil:
+		sr := res.Series
+		return head + fmt.Sprintf("  horizon %v: OTS total %.1fs in %d spans | timeouts %d  elections %d  reverts %d\n",
+			sr.Horizon, sr.OTS.Total().Seconds(), sr.OTS.Count(), sr.Timeouts, sr.Elections, sr.Reverts)
+	case res.Ramp != nil:
+		r := res.Ramp
+		peak := 0.0
+		for _, p := range r.Points {
+			if p.ThroughputRS > peak {
+				peak = p.ThroughputRS
+			}
+		}
+		return head + fmt.Sprintf("  %d steps, peak %.0f req/s | propose errors %d  lost %d  pending %d\n",
+			len(r.Points), peak, r.ProposeErrors, r.Lost, r.Pending)
+	case len(res.ShardRamps) > 0:
+		s := head
+		for i, r := range res.ShardRamps {
+			s += fmt.Sprintf("  rep %d: %d groups, agg %.0f req/s, peak %.0f, p99 %.0fms | lost %d pending %d\n",
+				i, r.Groups, r.AggThroughput, r.PeakThroughput, r.P99Ms, r.Lost, r.Pending)
+		}
+		return s
+	case res.Reads != nil:
+		r := res.Reads
+		ls := r.LatencySummary()
+		return head + fmt.Sprintf("  %s: mean %.1fms p99 %.1fms | lease hits %d/%d  fallbacks %d  failed %d\n",
+			r.Mode, ls.Mean, ls.P99, r.LeaseHits, r.Issued, r.Fallbacks, r.Failed)
+	case res.Membership != nil:
+		m := res.Membership
+		return head + fmt.Sprintf("  catch-up %.0fms  promote %.0fms  joiner-tuned %.0fms  post-change OTS %.0fms  joiner-won=%v\n",
+			m.CatchupMs, m.PromoteMs, m.JoinerTunedMs, m.PostFailoverOTSMs, m.JoinerBecameLeader)
+	}
+	return head
+}

@@ -1,0 +1,282 @@
+package bind
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/netsim"
+	"dynatune/internal/scenario"
+)
+
+// TestSpecPathMatchesLegacyAPI pins the refactor's core invariant from
+// the declarative side: a file-shaped spec realized by bind must produce
+// byte-identical samples to the legacy cluster entry point it replaced
+// (both route through the same engine, shard split, and seed derivation).
+func TestSpecPathMatchesLegacyAPI(t *testing.T) {
+	spec := scenario.Spec{
+		Name:     "equivalence",
+		Measure:  scenario.MeasureFailover,
+		Topology: scenario.Topology{N: 5},
+		Network:  scenario.Stable(100 * time.Millisecond),
+		Variant:  scenario.VariantSpec{Name: "raft"},
+		Faults:   []scenario.Fault{{Kind: scenario.FaultPauseLeader}},
+		Trials:   10, Seed: 31, Settle: scenario.Duration(3 * time.Second),
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := cluster.RunElectionTrials(cluster.Options{
+		N: 5, Seed: 31, Variant: cluster.VariantRaft(),
+		Profile: netsim.Constant(netsim.Params{RTT: 100 * time.Millisecond, Jitter: 2 * time.Millisecond}),
+	}, 10, 3*time.Second)
+	got, want := res.Failover, legacy
+	if len(got.OTSMs) != len(want.OTSMs) || got.FailedTrials != want.FailedTrials {
+		t.Fatalf("shape diverged: %d/%d vs %d/%d", len(got.OTSMs), got.FailedTrials, len(want.OTSMs), want.FailedTrials)
+	}
+	for i := range got.OTSMs {
+		if got.OTSMs[i] != want.OTSMs[i] || got.DetectionMs[i] != want.DetectionMs[i] {
+			t.Fatalf("sample %d diverged: %v/%v vs %v/%v",
+				i, got.DetectionMs[i], got.OTSMs[i], want.DetectionMs[i], want.OTSMs[i])
+		}
+	}
+	if got.MeanRandTimeoutMs != want.MeanRandTimeoutMs {
+		t.Fatalf("randTO diverged: %v vs %v", got.MeanRandTimeoutMs, want.MeanRandTimeoutMs)
+	}
+}
+
+// TestSpecFromJSONRuns exercises the file-driven path end to end: a spec
+// decoded from JSON (as `dynabench scenario -file` would) runs on the
+// engine and produces samples.
+func TestSpecFromJSONRuns(t *testing.T) {
+	raw := `{
+	  "name": "json-elections",
+	  "measure": "failover",
+	  "topology": {"n": 5},
+	  "network": {"segments": [{"start": "0s", "rtt": "100ms", "jitter": "2ms"}]},
+	  "variant": {"name": "dynatune"},
+	  "faults": [{"kind": "pause-leader"}],
+	  "trials": 6, "seed": 33, "settle": "4s"
+	}`
+	var spec scenario.Spec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failover.OTSMs) < 5 {
+		t.Fatalf("only %d/%d trials produced samples", len(res.Failover.OTSMs), spec.Trials)
+	}
+}
+
+// Each named scenario beyond the paper gets a smoke run (scaled down) and
+// a scenario-specific invariant, so the registry cannot rot.
+
+func TestCascadingLeaderFailuresSmoke(t *testing.T) {
+	spec := mustLookup(t, "cascading-leader-failures")
+	res, err := Run(spec) // 60 s of sim time — already smoke-sized
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	// Two overlapping leader freezes must force (at least) two elections
+	// and visible OTS.
+	if s.Elections < 2 {
+		t.Fatalf("cascade produced %d elections, want >= 2", s.Elections)
+	}
+	if s.OTS.Total() <= 0 {
+		t.Fatal("cascade produced no out-of-service time")
+	}
+}
+
+func TestAsymPartitionAbdicationSmoke(t *testing.T) {
+	spec := mustLookup(t, "asym-partition-abdication")
+	spec.Trials = 8
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Failover
+	if len(f.OTSMs) < 6 {
+		t.Fatalf("only %d/%d asym trials succeeded", len(f.OTSMs), f.Trials)
+	}
+	det, ots := f.Summary()
+	if ots.Mean <= det.Mean {
+		t.Fatalf("OTS %.0f <= detection %.0f", ots.Mean, det.Mean)
+	}
+	// The deaf leader keeps heartbeating, so followers cannot detect until
+	// check-quorum abdication — detection must be later than under a
+	// symmetric cut of the same deployment.
+	sym := spec
+	sym.Faults = []scenario.Fault{{Kind: scenario.FaultPartitionLeader}}
+	symRes, err := Run(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, symOTS := symRes.Failover.Summary()
+	if ots.Mean <= symOTS.Mean {
+		t.Fatalf("asym OTS %.0fms not slower than symmetric %.0fms — abdication path not exercised",
+			ots.Mean, symOTS.Mean)
+	}
+}
+
+func TestRollingRestartUnderLoadSmoke(t *testing.T) {
+	spec := mustLookup(t, "rolling-restart-under-load")
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Ramp
+	var completed int
+	for _, p := range r.Points {
+		completed += int(p.ThroughputRS * spec.Workload.StepDuration.D().Seconds())
+	}
+	offered := spec.Workload.StartRPS * spec.Workload.Steps * int(spec.Workload.StepDuration.D().Seconds())
+	if completed < offered/2 {
+		t.Fatalf("rolling restart collapsed throughput: %d of %d offered", completed, offered)
+	}
+	if completed >= offered {
+		t.Fatalf("no visible restart impact: %d of %d offered", completed, offered)
+	}
+}
+
+func TestWanFlapRampSmoke(t *testing.T) {
+	spec := mustLookup(t, "wan-flap-ramp")
+	spec.Workload.Steps = 2 // smoke-size the ramp
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardRamps) != 1 {
+		t.Fatalf("reps: %d", len(res.ShardRamps))
+	}
+	r := res.ShardRamps[0]
+	if r.Groups != 4 {
+		t.Fatalf("groups: %d", r.Groups)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no requests completed under the flapping WAN")
+	}
+	if r.AggThroughput <= 0 || r.P99Ms <= 0 {
+		t.Fatalf("empty aggregates: %+v", r)
+	}
+}
+
+func TestLossPulseDegradeSmoke(t *testing.T) {
+	spec := mustLookup(t, "loss-pulse-degrade")
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	// The follower's tuner must have measured real loss inside the first
+	// pulse (t=10s..18s) and seen none before it.
+	before := s.MeasuredLossPct.MeanBetween(2*time.Second, 9*time.Second)
+	during := s.MeasuredLossPct.MeanBetween(13*time.Second, 19*time.Second)
+	if during < before+2 {
+		t.Fatalf("loss pulse invisible to the tuner: before %.2f%% during %.2f%%", before, during)
+	}
+	// Adaptive h must keep the cluster stable: no elections.
+	if s.Elections != 0 {
+		t.Fatalf("loss pulse caused %d elections", s.Elections)
+	}
+}
+
+func TestPaperScenariosRealize(t *testing.T) {
+	// Every registry entry must realize into an executable env (variant,
+	// regions, profile all resolvable) without running the heavy ones.
+	for _, name := range scenario.Names() {
+		spec := mustLookup(t, name)
+		if _, err := EnvFor(spec); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunNamedUnknown(t *testing.T) {
+	if _, err := RunNamed("no-such-scenario", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestShardedTopologyDefaultsNodesPerGroupToN pins that {"n":5,"groups":2}
+// means 2 groups of 5 — not shard's internal default of 3.
+func TestShardedTopologyDefaultsNodesPerGroupToN(t *testing.T) {
+	spec := scenario.Spec{
+		Name:     "npg-default",
+		Measure:  scenario.MeasureThroughput,
+		Topology: scenario.Topology{N: 5, Groups: 2},
+		Network:  scenario.Stable(20 * time.Millisecond),
+		Variant:  scenario.VariantSpec{Name: "raft"},
+		Workload: &scenario.Workload{StartRPS: 200, StepRPS: 0,
+			StepDuration: scenario.Duration(time.Second), Steps: 1, Keys: 64},
+		Seed: 5,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.ShardRamps[0]
+	if r.Groups != 2 {
+		t.Fatalf("groups: %d", r.Groups)
+	}
+	if r.Completed == 0 {
+		t.Fatal("nothing completed — 5-node groups never elected?")
+	}
+}
+
+func TestVariantRealization(t *testing.T) {
+	for _, tc := range []struct {
+		in   scenario.VariantSpec
+		want string
+	}{
+		{scenario.VariantSpec{Name: "raft"}, "Raft"},
+		{scenario.VariantSpec{Name: "raft-low"}, "Raft-Low"},
+		{scenario.VariantSpec{Name: "dynatune", Estimator: "ewma"}, "Dynatune"},
+		{scenario.VariantSpec{Name: "dynatune-ext"}, "Dynatune-Ext"},
+		{scenario.VariantSpec{Name: "fix-k", FixK: 10}, "Fix-K(10)"},
+	} {
+		v, err := Variant(tc.in)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.in, err)
+		}
+		if v.Name != tc.want {
+			t.Fatalf("%+v -> %q, want %q", tc.in, v.Name, tc.want)
+		}
+	}
+	if _, err := Variant(scenario.VariantSpec{Name: "nope"}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := Variant(scenario.VariantSpec{Name: "dynatune", Estimator: "nope"}); err == nil {
+		t.Fatal("unknown estimator accepted")
+	}
+}
+
+func TestSummarizeCoversPayloads(t *testing.T) {
+	spec := scenario.Spec{Name: "x", Variant: scenario.VariantSpec{Name: "raft"}}
+	for _, res := range []*scenario.Result{
+		{Spec: spec, Failover: &scenario.FailoverResult{Trials: 1, DetectionMs: []float64{1}, OTSMs: []float64{2},
+			HandoverMs: []float64{3}, RetuneMs: []float64{4}}},
+		{Spec: spec, Ramp: &scenario.RampResult{Points: []scenario.RampPoint{{OfferedRPS: 1, ThroughputRS: 2}}}},
+		{Spec: spec, Reads: &scenario.ReadsResult{Issued: 1}},
+		{Spec: spec, Membership: &scenario.MembershipResult{}},
+		{Spec: spec, ShardRamps: []scenario.ShardRampResult{{Groups: 2}}},
+	} {
+		if s := Summarize(res); len(s) == 0 {
+			t.Fatalf("empty summary for %+v", res)
+		}
+	}
+}
+
+func mustLookup(t *testing.T, name string) scenario.Spec {
+	t.Helper()
+	spec, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	return spec
+}

@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/kv"
+	"dynatune/internal/raft"
+)
+
+// This file is the generic sharded failover-trial runner: every repeated
+// fault experiment — leader pause (Fig. 4/8), symmetric and asymmetric
+// partitions, crash+restart with persistence, planned leadership
+// transfer — runs through runFailover, which splits the trial count into
+// engine-sized shards, derives each shard's seed from the shard index
+// alone, executes the shards on Env.RunShards (cluster.RunSharded) and
+// merges in shard order. The per-trial bodies are verbatim ports of the
+// historical cluster loops, so for a fixed seed the golden figure
+// summaries are byte-identical to the pre-scenario code.
+
+// PhaseJitterWindow randomizes the failure instant within one baseline
+// heartbeat period, as the paper's scripts did. It must equal
+// cluster.BaselineH — the byte-identical-to-legacy guarantee depends on
+// it, and since the import must point from cluster to this package, a
+// test on the cluster side pins the equality.
+const PhaseJitterWindow = 100 * time.Millisecond
+
+// failoverShard is one shard's raw output: the samples plus the
+// randomized-timeout sums, which merge exactly (unlike a per-shard mean).
+type failoverShard struct {
+	FailoverResult
+	randSum float64
+	randN   int
+}
+
+func runFailover(spec Spec, env Env) *FailoverResult {
+	kind := spec.TrialFault()
+	var counts []int
+	if kind == FaultCrashLeader {
+		// Crash-recovery historically runs every trial on one durable
+		// cluster (the restarted node must carry its store across trials),
+		// so it stays a single shard on the experiment seed.
+		counts = []int{spec.Trials}
+	} else {
+		counts = ShardCounts(spec.Trials, TrialShardSize)
+	}
+	parts := make([]failoverShard, len(counts))
+	env.runShards(len(counts), func(s int) {
+		c := env.NewCluster(ShardSeed(spec.Seed, s))
+		switch kind {
+		case FaultTransferLeader:
+			parts[s] = runTransferShard(c, counts[s], spec.Settle.D())
+		case FaultCrashLeader:
+			parts[s] = runCrashShard(c, counts[s], spec.Settle.D(), spec.Downtime.D())
+		default:
+			parts[s] = runElectionShard(c, counts[s], spec.Settle.D(), kind)
+		}
+	})
+	res := &FailoverResult{Variant: env.variantName(spec), Trials: spec.Trials}
+	var randSum float64
+	randN := 0
+	for _, p := range parts {
+		res.DetectionMs = append(res.DetectionMs, p.DetectionMs...)
+		res.OTSMs = append(res.OTSMs, p.OTSMs...)
+		res.HandoverMs = append(res.HandoverMs, p.HandoverMs...)
+		res.RetuneMs = append(res.RetuneMs, p.RetuneMs...)
+		res.SplitVoteRounds += p.SplitVoteRounds
+		res.FailedTrials += p.FailedTrials
+		res.ReplayEntries += p.ReplayEntries // single crash shard; others zero
+		randSum += p.randSum
+		randN += p.randN
+	}
+	if randN > 0 {
+		res.MeanRandTimeoutMs = randSum / float64(randN)
+	}
+	return res
+}
+
+// runElectionShard repeatedly kills the leader with the selected injector
+// and measures detection (first follower timeout) and OTS (new leader
+// elected) — the historical sequential election loop, with the asymmetric
+// partition as a third injector alongside pause and symmetric partition.
+func runElectionShard(c Cluster, trials int, settle time.Duration, kind FaultKind) failoverShard {
+	c.Start()
+	res := failoverShard{FailoverResult: FailoverResult{Trials: trials}}
+	eng := c.Engine()
+	rec := c.Recorder()
+	rng := eng.Rand()
+	var randSum float64
+	randN := 0
+
+	const trialTimeout = 60 * time.Second
+	for t := 0; t < trials; t++ {
+		lead := c.WaitLeader(30 * time.Second)
+		if lead == nil {
+			res.FailedTrials++
+			continue
+		}
+		c.Run(settle)
+		if c.Leader() == nil {
+			// Settle disturbed leadership (possible under loss); retry.
+			res.FailedTrials++
+			continue
+		}
+		// Randomize the failure phase within a heartbeat period.
+		c.Run(time.Duration(rng.Int63n(int64(PhaseJitterWindow))))
+		if c.Leader() == nil {
+			res.FailedTrials++
+			continue
+		}
+		// Sample follower randomized timeouts at the failure instant.
+		for _, d := range c.FollowerRandomizedTimeouts() {
+			randSum += float64(d) / float64(time.Millisecond)
+			randN++
+		}
+		var old raft.ID
+		var failAt time.Duration
+		switch kind {
+		case FaultPauseLeader:
+			old, failAt = c.PauseLeader()
+		case FaultPartitionLeader:
+			lead := c.Leader()
+			old, failAt = lead.ID(), eng.Now()
+			c.Network().PartitionNode(int(old-1), true)
+			// The isolated leader keeps "reigning" in its own view until
+			// check-quorum; end its reign for OTS accounting at the cut.
+			rec.MarkNodeDown(failAt, old)
+		case FaultAsymPartitionLeader:
+			lead := c.Leader()
+			old, failAt = lead.ID(), eng.Now()
+			// Deaf leader: its heartbeats still reach the followers, so
+			// nothing times out until check-quorum makes it abdicate.
+			c.Network().SetNodeInbound(int(old-1), true)
+			rec.MarkNodeDown(failAt, old)
+		}
+
+		splitBefore := rec.CountKind(raft.EventSplitVote, 0, failAt)
+		deadline := eng.Now() + trialTimeout
+		var otsD time.Duration
+		elected := false
+		for eng.Now() < deadline {
+			c.Run(20 * time.Millisecond)
+			if d, _, ok := rec.FirstElectionAfter(failAt); ok {
+				otsD, elected = d, true
+				break
+			}
+		}
+		recover := func() {
+			switch kind {
+			case FaultPauseLeader:
+				c.Resume(old)
+			case FaultPartitionLeader:
+				c.Network().PartitionNode(int(old-1), false)
+			case FaultAsymPartitionLeader:
+				c.Network().SetNodeInbound(int(old-1), false)
+			}
+		}
+		if !elected {
+			res.FailedTrials++
+			recover()
+			c.Run(2 * time.Second)
+			rec.Reset()
+			continue
+		}
+		if det, ok := rec.FirstDetectionAfter(failAt); ok {
+			res.DetectionMs = append(res.DetectionMs, float64(det)/float64(time.Millisecond))
+		}
+		res.OTSMs = append(res.OTSMs, float64(otsD)/float64(time.Millisecond))
+		res.SplitVoteRounds += rec.CountKind(raft.EventSplitVote, failAt, eng.Now()) - splitBefore
+
+		recover()
+		c.Run(2 * time.Second)
+		rec.Reset() // keep the event log O(trial)
+		c.CompactAll(64)
+	}
+	res.randSum, res.randN = randSum, randN
+	return res
+}
+
+// runTransferShard measures planned-maintenance handovers: leadership is
+// transferred to the next node around the ring and the out-of-service
+// window is bounded by one RTT rather than a detection timeout.
+func runTransferShard(c Cluster, trials int, settle time.Duration) failoverShard {
+	c.Start()
+	res := failoverShard{FailoverResult: FailoverResult{Trials: trials}}
+	rec := c.Recorder()
+	for t := 0; t < trials; t++ {
+		lead := c.WaitLeader(30 * time.Second)
+		if lead == nil {
+			res.FailedTrials++
+			continue
+		}
+		c.Run(settle)
+		lead = c.Leader()
+		if lead == nil {
+			res.FailedTrials++
+			continue
+		}
+		// Pick the next node around the ring as the target.
+		target := raft.ID(int(lead.ID())%c.N() + 1)
+		start := c.Now()
+		if err := lead.TransferLeadership(target); err != nil {
+			res.FailedTrials++
+			continue
+		}
+		deadline := c.Now() + 30*time.Second
+		done := false
+		for c.Now() < deadline {
+			c.Run(5 * time.Millisecond)
+			if d, who, ok := rec.FirstElectionAfter(start); ok {
+				if who != target {
+					break // transfer lost a race; discard the trial
+				}
+				res.HandoverMs = append(res.HandoverMs, float64(d)/float64(time.Millisecond))
+				done = true
+				break
+			}
+		}
+		if !done {
+			res.FailedTrials++
+		}
+		c.Run(time.Second)
+		rec.Reset()
+	}
+	return res
+}
+
+// runCrashShard crash-restarts the leader repeatedly: the process dies
+// (volatile state lost), stays down for downtime, then recovers from its
+// durable store and rejoins; the restarted node's tuner warm-up is timed.
+func runCrashShard(c Cluster, trials int, settle, downtime time.Duration) failoverShard {
+	c.Start()
+	res := failoverShard{FailoverResult: FailoverResult{Trials: trials}}
+	eng := c.Engine()
+	rec := c.Recorder()
+	var replaySum float64
+	replayN := 0
+
+	const trialTimeout = 60 * time.Second
+	for t := 0; t < trials; t++ {
+		lead := c.WaitLeader(30 * time.Second)
+		if lead == nil {
+			res.FailedTrials++
+			continue
+		}
+		c.Run(settle)
+		if c.Leader() == nil {
+			res.FailedTrials++
+			continue
+		}
+		// Keep some replicated state flowing so recovery has work to do.
+		if err := proposePut(c.Leader(), 1, uint64(t+1), "trial", []byte(fmt.Sprintf("%d", t))); err == nil {
+			c.Run(100 * time.Millisecond)
+		}
+
+		old, failAt := c.CrashLeader()
+		deadline := eng.Now() + trialTimeout
+		elected := false
+		var otsD time.Duration
+		for eng.Now() < deadline {
+			c.Run(20 * time.Millisecond)
+			if d, _, ok := rec.FirstElectionAfter(failAt); ok {
+				otsD, elected = d, true
+				break
+			}
+		}
+		if !elected {
+			res.FailedTrials++
+			c.Restart(old)
+			c.Run(2 * time.Second)
+			rec.Reset()
+			continue
+		}
+		if det, ok := rec.FirstDetectionAfter(failAt); ok {
+			res.DetectionMs = append(res.DetectionMs, float64(det)/float64(time.Millisecond))
+		}
+		res.OTSMs = append(res.OTSMs, float64(otsD)/float64(time.Millisecond))
+
+		c.Run(downtime)
+		restored := c.Persister(old).Restored()
+		if restored != nil {
+			replaySum += float64(len(restored.Entries))
+			replayN++
+		}
+		restartAt := eng.Now()
+		c.Restart(old)
+
+		// Time the rejoined node's tuner warm-up (Dynatune only).
+		if tn := c.DynatuneTuner(old); tn != nil {
+			warmDeadline := eng.Now() + 30*time.Second
+			for eng.Now() < warmDeadline {
+				c.Run(20 * time.Millisecond)
+				if tn.Tuned() {
+					res.RetuneMs = append(res.RetuneMs,
+						float64(eng.Now()-restartAt)/float64(time.Millisecond))
+					break
+				}
+			}
+		} else {
+			c.Run(2 * time.Second)
+		}
+		rec.Reset()
+		c.CompactAll(64)
+	}
+	if replayN > 0 {
+		res.ReplayEntries = replaySum / float64(replayN)
+	}
+	return res
+}
+
+// proposePut proposes one kv put through the leader (the state machine
+// decodes every normal entry, so experiments must write real commands).
+func proposePut(lead *raft.Node, client, seq uint64, key string, val []byte) error {
+	_, err := lead.Propose(kv.Encode(kv.Command{Op: kv.OpPut, Client: client, Seq: seq, Key: key, Value: val}))
+	return err
+}

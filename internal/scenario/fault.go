@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/raft"
+)
+
+// FaultKind names one injector.
+type FaultKind string
+
+const (
+	// FaultPauseLeader freezes the current leader (the paper's
+	// `docker pause`); heals by resuming it.
+	FaultPauseLeader FaultKind = "pause-leader"
+	// FaultPartitionLeader cuts the leader's links in both directions: the
+	// process keeps running and must abdicate via check-quorum.
+	FaultPartitionLeader FaultKind = "partition-leader"
+	// FaultAsymPartitionLeader cuts only the links INTO the leader: its
+	// heartbeats still reach the followers (suppressing their failure
+	// detectors) while no responses come back, so the out-of-service
+	// window is governed entirely by the deaf leader's check-quorum
+	// abdication — a scenario the paper's pause model cannot produce.
+	FaultAsymPartitionLeader FaultKind = "asym-partition-leader"
+	// FaultCrashLeader kills the leader process (volatile state lost) and
+	// restarts it from its durable store after the spec's downtime.
+	// Requires Topology.Persist.
+	FaultCrashLeader FaultKind = "crash-leader"
+	// FaultTransferLeader initiates a planned leadership transfer to the
+	// next node around the ring instead of killing anything.
+	FaultTransferLeader FaultKind = "transfer-leader"
+
+	// FaultPauseNode / FaultCrashNode / FaultPartitionNode target the
+	// fixed node in Fault.Node (1-based) instead of the leader.
+	FaultPauseNode     FaultKind = "pause-node"
+	FaultCrashNode     FaultKind = "crash-node"
+	FaultPartitionNode FaultKind = "partition-node"
+	// FaultLinkDown cuts the Fault.From↔Fault.To link in both directions.
+	FaultLinkDown FaultKind = "link-down"
+	// FaultRollingRestart crashes nodes 1..N in turn, one per occurrence
+	// (Every/Count), each down for Duration before restarting from its
+	// durable store. Requires Topology.Persist.
+	FaultRollingRestart FaultKind = "rolling-restart"
+	// FaultDegradeLinks replaces every link's schedule with the fault's
+	// RTT/Jitter/Loss for Duration, then restores what it displaced —
+	// `tc qdisc replace` as a fault, not a profile.
+	FaultDegradeLinks FaultKind = "degrade-links"
+)
+
+// Fault is one entry of the schedule. In failover trials only the first
+// fault's Kind is used (one injection per trial); in series and
+// throughput runs each fault fires at At, At+Every, ... (Count
+// occurrences, clock-relative to the measurement start) and heals
+// Duration later when Duration is set.
+type Fault struct {
+	Kind     FaultKind `json:"kind"`
+	At       Duration  `json:"at,omitempty"`
+	Every    Duration  `json:"every,omitempty"`
+	Count    int       `json:"count,omitempty"`
+	Duration Duration  `json:"duration,omitempty"`
+	// Node is the 1-based fixed target of the *-node kinds.
+	Node int `json:"node,omitempty"`
+	// From/To are the 1-based endpoints of link faults.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Degraded link conditions for degrade-links.
+	RTT    Duration `json:"rtt,omitempty"`
+	Jitter Duration `json:"jitter,omitempty"`
+	Loss   float64  `json:"loss,omitempty"`
+}
+
+// trialInjector reports whether the kind can drive a failover trial.
+func (k FaultKind) trialInjector() bool {
+	switch k {
+	case FaultPauseLeader, FaultPartitionLeader, FaultAsymPartitionLeader,
+		FaultCrashLeader, FaultTransferLeader:
+		return true
+	}
+	return false
+}
+
+// needsPersist reports whether the kind restarts crashed processes.
+func (k FaultKind) needsPersist() bool {
+	return k == FaultCrashLeader || k == FaultCrashNode || k == FaultRollingRestart
+}
+
+func (f Fault) validate() error {
+	switch f.Kind {
+	case FaultPauseLeader, FaultPartitionLeader, FaultAsymPartitionLeader,
+		FaultCrashLeader, FaultTransferLeader, FaultRollingRestart:
+	case FaultPauseNode, FaultCrashNode, FaultPartitionNode:
+		if f.Node < 1 {
+			return fmt.Errorf("%s needs a 1-based node", f.Kind)
+		}
+	case FaultLinkDown:
+		if f.From < 1 || f.To < 1 || f.From == f.To {
+			return fmt.Errorf("link-down needs distinct 1-based from/to")
+		}
+	case FaultDegradeLinks:
+		if f.RTT <= 0 {
+			return fmt.Errorf("degrade-links needs an rtt")
+		}
+		if f.Duration <= 0 {
+			return fmt.Errorf("degrade-links needs a duration to restore after")
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %q", f.Kind)
+	}
+	if f.Count > 1 && f.Every <= 0 {
+		return fmt.Errorf("%s repeats %d times but has no every", f.Kind, f.Count)
+	}
+	if f.Count < 0 {
+		return fmt.Errorf("negative count")
+	}
+	return nil
+}
+
+// occurrences returns the fire times of one schedule entry, relative to
+// the measurement start.
+func (f Fault) occurrences() []time.Duration {
+	n := f.Count
+	if n < 1 {
+		n = 1
+	}
+	out := make([]time.Duration, n)
+	for k := range out {
+		out[k] = f.At.D() + time.Duration(k)*f.Every.D()
+	}
+	return out
+}
+
+// linkCuts refcounts directed-link cuts across one run's fault schedule,
+// so overlapping faults compose: a link stays down until every fault that
+// cut it has healed, instead of the first heal silently restoring a path
+// another fault still needs severed.
+type linkCuts struct {
+	n    int
+	nw   *netsim.Network[raft.Message]
+	refs map[int]int // from*n+to → active cuts
+}
+
+func newLinkCuts(c Cluster) *linkCuts {
+	return &linkCuts{n: c.N(), nw: c.Network(), refs: map[int]int{}}
+}
+
+func (lc *linkCuts) cut(from, to int) {
+	key := from*lc.n + to
+	lc.refs[key]++
+	if lc.refs[key] == 1 {
+		lc.nw.SetDown(from, to, true)
+	}
+}
+
+func (lc *linkCuts) heal(from, to int) {
+	key := from*lc.n + to
+	if lc.refs[key] == 0 {
+		return
+	}
+	lc.refs[key]--
+	if lc.refs[key] == 0 {
+		lc.nw.SetDown(from, to, false)
+	}
+}
+
+// cutNode / healNode cut or release both directions of every link
+// touching id (0-based) — the refcounted equivalent of PartitionNode.
+func (lc *linkCuts) cutNode(id int)  { lc.eachLink(id, lc.cut) }
+func (lc *linkCuts) healNode(id int) { lc.eachLink(id, lc.heal) }
+
+// cutInbound / healInbound handle the asymmetric (deaf-node) cut.
+func (lc *linkCuts) cutInbound(id int) {
+	lc.eachPeer(id, func(other int) { lc.cut(other, id) })
+}
+func (lc *linkCuts) healInbound(id int) {
+	lc.eachPeer(id, func(other int) { lc.heal(other, id) })
+}
+
+func (lc *linkCuts) eachLink(id int, op func(from, to int)) {
+	lc.eachPeer(id, func(other int) {
+		op(id, other)
+		op(other, id)
+	})
+}
+
+func (lc *linkCuts) eachPeer(id int, fn func(other int)) {
+	for other := 0; other < lc.n; other++ {
+		if other != id {
+			fn(other)
+		}
+	}
+}
+
+// armFaults schedules every fault of the spec on the cluster's engine,
+// with fire times relative to start (virtual time). Targets are resolved
+// at fire time — "the leader" means the leader at that instant — so a
+// cascading schedule naturally chases leadership as it moves.
+func armFaults(c Cluster, start time.Duration, faults []Fault) {
+	if len(faults) == 0 {
+		return
+	}
+	eng := c.Engine()
+	lc := newLinkCuts(c)
+	for _, f := range faults {
+		f := f
+		for occ, at := range f.occurrences() {
+			occ := occ
+			eng.Schedule(start+at, func() { fire(c, f, occ, lc) })
+		}
+	}
+}
+
+// fire injects one fault occurrence and, when the fault has a Duration,
+// schedules its heal.
+func fire(c Cluster, f Fault, occ int, lc *linkCuts) {
+	eng := c.Engine()
+	heal := func(fn func()) {
+		if f.Duration > 0 {
+			eng.After(f.Duration.D(), fn)
+		}
+	}
+	leaderID := func() (raft.ID, bool) {
+		l := c.Leader()
+		if l == nil {
+			return 0, false
+		}
+		return l.ID(), true
+	}
+	switch f.Kind {
+	case FaultPauseLeader:
+		if id, ok := leaderID(); ok && !c.Paused(id) {
+			c.Pause(id)
+			heal(func() { c.Resume(id) })
+		}
+	case FaultCrashLeader:
+		if id, ok := leaderID(); ok && !c.Paused(id) {
+			c.Crash(id)
+			heal(func() { c.Restart(id) })
+		}
+	case FaultPartitionLeader:
+		if id, ok := leaderID(); ok {
+			lc.cutNode(int(id - 1))
+			c.Recorder().MarkNodeDown(eng.Now(), id)
+			heal(func() { lc.healNode(int(id - 1)) })
+		}
+	case FaultAsymPartitionLeader:
+		if id, ok := leaderID(); ok {
+			lc.cutInbound(int(id - 1))
+			c.Recorder().MarkNodeDown(eng.Now(), id)
+			heal(func() { lc.healInbound(int(id - 1)) })
+		}
+	case FaultTransferLeader:
+		if l := c.Leader(); l != nil {
+			target := raft.ID(int(l.ID())%c.N() + 1)
+			_ = l.TransferLeadership(target)
+		}
+	case FaultPauseNode:
+		id := raft.ID(f.Node)
+		if !c.Paused(id) {
+			c.Pause(id)
+			heal(func() { c.Resume(id) })
+		}
+	case FaultCrashNode:
+		id := raft.ID(f.Node)
+		if !c.Paused(id) {
+			c.Crash(id)
+			heal(func() { c.Restart(id) })
+		}
+	case FaultPartitionNode:
+		id := raft.ID(f.Node)
+		lc.cutNode(f.Node - 1)
+		c.Recorder().MarkNodeDown(eng.Now(), id)
+		heal(func() { lc.healNode(f.Node - 1) })
+	case FaultLinkDown:
+		lc.cut(f.From-1, f.To-1)
+		lc.cut(f.To-1, f.From-1)
+		heal(func() {
+			lc.heal(f.From-1, f.To-1)
+			lc.heal(f.To-1, f.From-1)
+		})
+	case FaultRollingRestart:
+		id := raft.ID(occ%c.N() + 1)
+		if !c.Paused(id) {
+			c.Crash(id)
+			heal(func() { c.Restart(id) })
+		}
+	case FaultDegradeLinks:
+		nw := c.Network()
+		// Snapshot every directed link's own schedule so heterogeneous
+		// topologies (geo matrices) restore exactly; uniform profiles cost
+		// the same. Overlapping degrade pulses restore last-writer-wins —
+		// schedule them disjoint.
+		n := c.N()
+		type linkProfile struct {
+			from, to int
+			p        netsim.Profile
+		}
+		prev := make([]linkProfile, 0, n*(n-1))
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from != to {
+					prev = append(prev, linkProfile{from, to, nw.ProfileOf(from, to)})
+				}
+			}
+		}
+		nw.SetAllProfiles(netsim.Constant(netsim.Params{
+			RTT: f.RTT.D(), Jitter: f.Jitter.D(), Loss: f.Loss,
+		}))
+		heal(func() {
+			for _, lp := range prev {
+				nw.SetProfile(lp.from, lp.to, lp.p)
+			}
+		})
+	}
+}

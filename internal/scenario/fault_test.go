@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/raft"
+	"dynatune/internal/sim"
+)
+
+// TestLinkCutsRefcountOverlap pins the composition rule of a fault
+// schedule: when two faults cut the same link with overlapping windows,
+// the earlier heal must NOT restore a path the later fault still needs
+// severed — the link reopens only after the last cut releases it.
+func TestLinkCutsRefcountOverlap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	delivered := 0
+	nw := netsim.New(eng, 4, netsim.Constant(netsim.Params{RTT: time.Millisecond}),
+		func(to int, m raft.Message) { delivered++ })
+	lc := &linkCuts{n: 4, nw: nw, refs: map[int]int{}}
+
+	probe := func() bool {
+		before := delivered
+		nw.Send(3, 2, netsim.UDP, raft.Message{})
+		eng.Run(eng.Now() + 5*time.Millisecond)
+		return delivered > before
+	}
+
+	lc.cutNode(2)     // fault A: node 3 (0-based 2) fully partitioned
+	lc.cut(3, 2)      // fault B: link 4→3 cut too
+	lc.cut(2, 3)      // ... and 3→4
+	lc.heal(3, 2)     // fault B heals first
+	lc.heal(2, 3)
+	if probe() {
+		t.Fatal("link-down heal reopened a link the node partition still holds cut")
+	}
+	lc.healNode(2) // fault A heals: now the link really reopens
+	if !probe() {
+		t.Fatal("link stayed cut after every fault healed")
+	}
+}
+
+// TestLinkCutsAsymmetric pins that inbound cuts leave outbound links
+// refcounted independently.
+func TestLinkCutsAsymmetric(t *testing.T) {
+	eng := sim.NewEngine(1)
+	got := map[int]int{}
+	nw := netsim.New(eng, 3, netsim.Constant(netsim.Params{RTT: time.Millisecond}),
+		func(to int, m raft.Message) { got[to]++ })
+	lc := &linkCuts{n: 3, nw: nw, refs: map[int]int{}}
+
+	lc.cutInbound(0)
+	nw.Send(1, 0, netsim.UDP, raft.Message{}) // into the deaf node: dropped
+	nw.Send(0, 1, netsim.UDP, raft.Message{}) // out of it: delivered
+	eng.Run(eng.Now() + 5*time.Millisecond)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("asym cut wrong: deaf received %d, peer received %d", got[0], got[1])
+	}
+	lc.healInbound(0)
+	nw.Send(1, 0, netsim.UDP, raft.Message{})
+	eng.Run(eng.Now() + 5*time.Millisecond)
+	if got[0] != 1 {
+		t.Fatalf("inbound heal did not reopen: %d", got[0])
+	}
+}

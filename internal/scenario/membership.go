@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// runMembership grows an (N−1)-voter cluster by one node: add it as a
+// learner, wait for catch-up, promote it to voter, then crash the leader
+// to measure failover with the fresh member in place. Under Dynatune the
+// joiner starts with cold measurement state — its election timeout sits
+// at the conservative fallback until minListSize heartbeats arrive, so a
+// failover immediately after the join is detected by the *old* members'
+// tuned timers, not the joiner's. The Env's cluster must be built with
+// InitialMembers = N−1 (the legacy wrapper and bind both arrange this).
+func runMembership(spec Spec, env Env) *MembershipResult {
+	preload := 0
+	if spec.Membership != nil {
+		preload = spec.Membership.Preload
+	}
+	c := env.NewCluster(spec.Seed)
+	c.Start()
+	lead := c.WaitLeader(30 * time.Second)
+	if lead == nil {
+		panic(fmt.Sprintf("membership(%s): no leader", env.variantName(spec)))
+	}
+	c.Run(3 * time.Second)
+	lead = c.Leader()
+	for i := 0; i < preload; i++ {
+		if err := proposePut(lead, 1, uint64(i+1), fmt.Sprintf("preload-%d", i), []byte("x")); err != nil {
+			panic(err)
+		}
+		if i%64 == 63 {
+			c.Run(50 * time.Millisecond)
+		}
+	}
+	c.Run(2 * time.Second)
+
+	eng := c.Engine()
+	rec := c.Recorder()
+	res := &MembershipResult{Variant: env.variantName(spec)}
+	joiner := raft.ID(c.N())
+	target := lead.Log().LastIndex()
+
+	addAt := eng.Now()
+	if _, err := lead.ProposeConfChange(raft.ConfChange{Op: raft.ConfAddLearner, Node: joiner}); err != nil {
+		panic(err)
+	}
+	deadline := eng.Now() + 60*time.Second
+	for eng.Now() < deadline {
+		c.Run(20 * time.Millisecond)
+		if c.Node(joiner).Log().Applied() >= target {
+			break
+		}
+	}
+	res.CatchupMs = float64(eng.Now()-addAt) / float64(time.Millisecond)
+
+	if tn := c.DynatuneTuner(joiner); tn != nil {
+		for eng.Now() < deadline {
+			if tn.Tuned() {
+				res.JoinerTunedMs = float64(eng.Now()-addAt) / float64(time.Millisecond)
+				break
+			}
+			c.Run(20 * time.Millisecond)
+		}
+	}
+
+	lead = c.Leader()
+	promoteAt := eng.Now()
+	idx, err := lead.ProposeConfChange(raft.ConfChange{Op: raft.ConfAddVoter, Node: joiner})
+	if err != nil {
+		panic(err)
+	}
+	for eng.Now() < deadline {
+		c.Run(10 * time.Millisecond)
+		if lead.Log().Applied() >= idx {
+			break
+		}
+	}
+	res.PromoteMs = float64(eng.Now()-promoteAt) / float64(time.Millisecond)
+	c.Run(500 * time.Millisecond)
+
+	// Failover with the fresh voter in place.
+	old, failAt := c.PauseLeader()
+	fDeadline := eng.Now() + 60*time.Second
+	for eng.Now() < fDeadline {
+		c.Run(20 * time.Millisecond)
+		if d, who, ok := rec.FirstElectionAfter(failAt); ok {
+			res.PostFailoverOTSMs = float64(d) / float64(time.Millisecond)
+			res.JoinerBecameLeader = who == joiner
+			break
+		}
+	}
+	c.Resume(old)
+	return res
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"time"
+
+	"dynatune/internal/metrics"
+	"dynatune/internal/workload"
+)
+
+// runRamp is the §IV-B2 open-loop RPS ramp against a single-group
+// cluster, repeated Reps times with distinct seeds; per-step throughput
+// is averaged and its standard deviation reported. Repetitions run on the
+// sharded trial runner (each on its own engine) and accumulate in rep
+// order, so output is byte-identical for any worker count. The fault
+// schedule (if any) is armed at ramp start, which is how the
+// under-load fault scenarios (rolling restarts, cascades) compose with
+// the workload.
+func runRamp(spec Spec, env Env) *RampResult {
+	ramp := spec.Workload.Ramp()
+	clientRTT := spec.Workload.ClientRTT.D()
+	if clientRTT <= 0 {
+		clientRTT = 100 * time.Millisecond
+	}
+	reps := spec.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	type repOut struct {
+		steps         []Step
+		proposeErrors uint64
+		lost          uint64
+		pending       int
+	}
+	outs := make([]repOut, reps)
+	env.runShards(reps, func(rep int) {
+		c := env.NewCluster(ShardSeed(spec.Seed, rep))
+		lg := env.NewLoadGen(c, ramp, clientRTT)
+		c.Start()
+		if c.WaitLeader(30*time.Second) == nil {
+			panic("throughput ramp: no leader")
+		}
+		c.Run(3 * time.Second) // settle + tuner warmup
+		armFaults(c, c.Now(), spec.Faults)
+		lg.Start()
+		c.Run(ramp.Duration() + 5*time.Second) // drain tail
+		outs[rep] = repOut{
+			steps:         lg.Results(),
+			proposeErrors: lg.ProposeErrors(),
+			lost:          lg.Lost(),
+			pending:       lg.Pending(),
+		}
+	})
+	type acc struct {
+		thr metrics.Welford
+		lat metrics.Welford
+	}
+	accs := make([]acc, ramp.Steps)
+	res := &RampResult{Variant: env.variantName(spec)}
+	for _, rep := range outs {
+		for i, s := range rep.steps {
+			accs[i].thr.Add(s.ThroughputRS)
+			if s.Completed > 0 {
+				accs[i].lat.Add(s.LatencyMs)
+			}
+		}
+		res.ProposeErrors += rep.proposeErrors
+		res.Lost += rep.lost
+		res.Pending += rep.pending
+	}
+	res.Points = make([]RampPoint, ramp.Steps)
+	for i := range accs {
+		rps, _ := ramp.RPSAt(time.Duration(i)*ramp.StepDuration + 1)
+		res.Points[i] = RampPoint{
+			OfferedRPS:    rps,
+			ThroughputRS:  accs[i].thr.Mean(),
+			ThroughputStd: accs[i].thr.Std(),
+			LatencyMs:     accs[i].lat.Mean(),
+		}
+	}
+	return res
+}
+
+// runShardRampReps repeats the sharded multi-Raft ramp across Reps
+// derived seeds on the trial runner (each repetition a full independent
+// multi-group simulation on its own engine), returning per-rep results in
+// seed order.
+func runShardRampReps(spec Spec, env Env) []ShardRampResult {
+	ramp := spec.Workload.Ramp()
+	reps := spec.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	outs := make([]ShardRampResult, reps)
+	env.runShards(reps, func(rep int) {
+		outs[rep] = runShardRamp(spec, env, ramp, ShardSeed(spec.Seed, rep))
+	})
+	return outs
+}
+
+// runShardRamp runs one keyed open-loop ramp against a sharded cluster:
+// start all groups, wait for every leader, settle, drive the ramp, drain,
+// aggregate — the multi-group mirror of runRamp.
+func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampResult {
+	s, lg := env.NewMulti(seed, ramp)
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		panic("shard: not all groups elected a leader")
+	}
+	s.Run(3 * time.Second) // settle + tuner warmup
+	lg.Start()
+	s.Run(ramp.Duration() + 5*time.Second) // drain tail
+
+	res := ShardRampResult{
+		Groups:        s.Groups(),
+		Points:        lg.Results(),
+		P99Ms:         lg.P99Ms(),
+		Completed:     lg.TotalCompleted(),
+		ProposeErrors: lg.ProposeErrors(),
+		Lost:          lg.Lost(),
+		Pending:       lg.Pending(),
+	}
+	res.AggThroughput = float64(res.Completed) / ramp.Duration().Seconds()
+	for _, p := range res.Points {
+		if p.ThroughputRS > res.PeakThroughput {
+			res.PeakThroughput = p.ThroughputRS
+		}
+	}
+	return res
+}

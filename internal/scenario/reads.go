@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// runReads issues linearizable reads against the leader at a fixed
+// interval and measures confirmation latency on the virtual clock. The
+// interesting comparison is Raft vs Dynatune under the lease mode: the
+// lease window equals the election timeout, so a tuned-down Et shrinks
+// the lease while the tuned h=Et/K stretches the gap between refreshes —
+// fast failover is traded against cheap reads.
+func runReads(spec Spec, env Env) *ReadsResult {
+	mode := ReadModeIndex
+	if spec.Reads.Mode == "lease" {
+		mode = ReadModeLease
+	}
+	every := spec.Reads.Every.D()
+	c := env.NewCluster(spec.Seed)
+	c.Start()
+	if c.WaitLeader(30*time.Second) == nil {
+		panic(fmt.Sprintf("read latency(%s): no leader", env.variantName(spec)))
+	}
+	c.Run(3 * time.Second) // settle + tuner warm-up
+	eng := c.Engine()
+	res := &ReadsResult{Variant: env.variantName(spec), Mode: mode}
+
+	issue := func() {
+		lead := c.Leader()
+		if lead == nil {
+			res.Failed++
+			return
+		}
+		res.Issued++
+		start := eng.Now()
+		cb := func(_ uint64, ok bool) {
+			if !ok {
+				res.Failed++
+				return
+			}
+			res.LatencyMs = append(res.LatencyMs, float64(eng.Now()-start)/float64(time.Millisecond))
+		}
+		var err error
+		switch mode {
+		case ReadModeIndex:
+			err = lead.ReadIndex(cb)
+		case ReadModeLease:
+			err = lead.LeaseRead(cb)
+			if err == nil {
+				res.LeaseHits++
+			} else if err == raft.ErrLeaseExpired {
+				res.Fallbacks++
+				err = lead.ReadIndex(cb)
+			}
+		}
+		if err != nil {
+			res.Failed++
+		}
+	}
+	for i := 0; i < spec.Reads.Reads; i++ {
+		issue()
+		c.Run(every)
+	}
+	c.Run(2 * time.Second) // drain confirmations
+	return res
+}

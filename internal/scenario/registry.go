@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/workload"
+)
+
+// The registry of named scenarios: the paper's figures as declarative
+// specs, plus the scenarios the engine makes cheap that the bespoke
+// trial loops never covered. `dynabench scenario -list` prints this
+// table; `dynabench scenario <name>` runs an entry through scenario/bind.
+
+// registry maps name → spec. Populated at init; effectively immutable
+// afterwards (Lookup returns copies of the value type).
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: duplicate registration of " + s.Name)
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	registry[s.Name] = s
+}
+
+// Names lists the registered scenarios in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns a deep copy of the named spec, so callers can override
+// trial counts, seeds or workload knobs without mutating the registry.
+func Lookup(name string) (Spec, bool) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return s.clone(), true
+}
+
+// clone deep-copies the spec's pointer/slice sections.
+func (s Spec) clone() Spec {
+	out := s
+	if s.Topology.Regions != nil {
+		out.Topology.Regions = append([]string(nil), s.Topology.Regions...)
+	}
+	if s.Network.Segments != nil {
+		out.Network.Segments = append([]Segment(nil), s.Network.Segments...)
+	}
+	if s.Faults != nil {
+		out.Faults = append([]Fault(nil), s.Faults...)
+	}
+	if s.Workload != nil {
+		w := *s.Workload
+		out.Workload = &w
+	}
+	if s.Reads != nil {
+		r := *s.Reads
+		out.Reads = &r
+	}
+	if s.Membership != nil {
+		m := *s.Membership
+		out.Membership = &m
+	}
+	return out
+}
+
+func init() {
+	dynatune := VariantSpec{Name: "dynatune"}
+	raftV := VariantSpec{Name: "raft"}
+	n5 := Topology{N: 5}
+
+	// --- The paper's figures as named specs ---
+
+	register(Spec{
+		Name:        "paper-elections",
+		Description: "Fig. 4: leader-pause failovers on the stable 100ms network (Dynatune)",
+		Measure:     MeasureFailover,
+		Topology:    n5, Network: Stable(100 * time.Millisecond), Variant: dynatune,
+		Faults: []Fault{{Kind: FaultPauseLeader}},
+		Trials: 1000, Seed: 42, Settle: Duration(4 * time.Second),
+	})
+	register(Spec{
+		Name:        "paper-elections-raft",
+		Description: "Fig. 4 baseline: the same failovers under stock etcd timeouts",
+		Measure:     MeasureFailover,
+		Topology:    n5, Network: Stable(100 * time.Millisecond), Variant: raftV,
+		Faults: []Fault{{Kind: FaultPauseLeader}},
+		Trials: 1000, Seed: 42, Settle: Duration(4 * time.Second),
+	})
+	register(Spec{
+		Name:        "paper-geo-elections",
+		Description: "Fig. 8: failovers across the five-region WAN matrix (Dynatune)",
+		Measure:     MeasureFailover,
+		Topology: Topology{N: 5,
+			Regions:       []string{"tokyo", "london", "california", "sydney", "sao-paulo"},
+			GeoJitterFrac: 0.05, GeoLoss: 0.001},
+		Variant: dynatune,
+		Faults:  []Fault{{Kind: FaultPauseLeader}},
+		Trials:  1000, Seed: 11, Settle: Duration(5 * time.Second),
+	})
+	paperRamp := workload.PaperRamp(18000)
+	paperRamp.Poisson = true
+	register(Spec{
+		Name:        "paper-throughput",
+		Description: "Fig. 5: open-loop Poisson RPS ramp to 18k req/s without failures (Raft)",
+		Measure:     MeasureThroughput,
+		Topology:    n5, Network: Stable(100 * time.Millisecond), Variant: raftV,
+		Workload:    WorkloadFrom(paperRamp, 0),
+		Reps:        10, Seed: 21,
+	})
+	register(Spec{
+		Name:        "paper-rtt-gradual",
+		Description: "Fig. 6a: gradual RTT ramp 50→200→50ms, 1 min holds (Dynatune)",
+		Measure:     MeasureSeries,
+		Topology:    n5,
+		Network: NetFrom(netsim.GradualRTTRamp(netsim.Params{Jitter: 2 * time.Millisecond},
+			50*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond, time.Minute)),
+		Variant: dynatune,
+		Seed:    7, Horizon: Duration(31 * time.Minute), CPUEvery: Duration(5 * time.Second),
+	})
+	register(Spec{
+		Name:        "paper-loss-sweep",
+		Description: "Fig. 7: loss sweep 0→30→0% at RTT 200ms, 3 min holds (Dynatune)",
+		Measure:     MeasureSeries,
+		Topology:    n5,
+		Network: NetFrom(netsim.LossSweep(netsim.Params{RTT: 200 * time.Millisecond,
+			Jitter: 2 * time.Millisecond}, 3*time.Minute)),
+		Variant: dynatune,
+		Seed:    3, Horizon: Duration(39 * time.Minute), CPUEvery: Duration(5 * time.Second),
+	})
+	register(Spec{
+		Name:        "crash-recovery",
+		Description: "§III-A crash-recovery class: leader dies, recovers from its durable store, re-warms its tuner",
+		Measure:     MeasureFailover,
+		Topology:    Topology{N: 5, Persist: true}, Network: Stable(100 * time.Millisecond),
+		Variant: dynatune,
+		Faults:  []Fault{{Kind: FaultCrashLeader}},
+		Trials:  300, Seed: 61, Settle: Duration(4 * time.Second), Downtime: Duration(500 * time.Millisecond),
+	})
+	register(Spec{
+		Name:        "planned-handover",
+		Description: "Planned maintenance: leadership transfer instead of a crash — handover ≈1.5 RTT",
+		Measure:     MeasureFailover,
+		Topology:    n5, Network: Stable(100 * time.Millisecond), Variant: raftV,
+		Faults: []Fault{{Kind: FaultTransferLeader}},
+		Trials: 300, Seed: 62, Settle: Duration(4 * time.Second),
+	})
+	register(Spec{
+		Name:        "read-latency-lease",
+		Description: "Linearizable lease reads vs the tuned election timeout (Dynatune)",
+		Measure:     MeasureReads,
+		Topology:    n5, Network: Stable(100 * time.Millisecond), Variant: dynatune,
+		Seed:  77,
+		Reads: &ReadProbe{Reads: 1000, Every: Duration(25 * time.Millisecond), Mode: "lease"},
+	})
+	register(Spec{
+		Name:        "membership-growth",
+		Description: "Add-learner → catch-up → promote → failover while the joiner's tuner is cold (Dynatune)",
+		Measure:     MeasureMembership,
+		Topology:    Topology{N: 5, InitialMembers: 4}, Network: Stable(100 * time.Millisecond),
+		Variant: dynatune,
+		Seed:    91, Membership: &MembershipProbe{Preload: 500},
+	})
+
+	// --- Beyond the paper: scenarios the declarative engine makes cheap ---
+
+	register(Spec{
+		Name: "cascading-leader-failures",
+		Description: "Two successive leaders freeze with overlapping outages; the surviving " +
+			"3/5 quorum must elect twice while the cascade deepens",
+		Measure:  MeasureSeries,
+		Topology: n5, Network: Stable(100 * time.Millisecond), Variant: dynatune,
+		Faults: []Fault{
+			{Kind: FaultPauseLeader, At: Duration(10 * time.Second), Duration: Duration(40 * time.Second)},
+			{Kind: FaultPauseLeader, At: Duration(15 * time.Second), Duration: Duration(35 * time.Second)},
+		},
+		Seed: 101, Horizon: Duration(60 * time.Second), CPUEvery: Duration(5 * time.Second),
+	})
+	register(Spec{
+		Name: "asym-partition-abdication",
+		Description: "Asymmetric partition: the leader goes deaf but keeps heartbeating, so " +
+			"followers stay quiet until check-quorum forces abdication — the stale-leader " +
+			"path pause trials never exercise",
+		Measure:  MeasureFailover,
+		Topology: n5, Network: Stable(100 * time.Millisecond), Variant: dynatune,
+		Faults: []Fault{{Kind: FaultAsymPartitionLeader}},
+		Trials: 200, Seed: 103, Settle: Duration(4 * time.Second),
+	})
+	register(Spec{
+		Name: "rolling-restart-under-load",
+		Description: "A rolling restart sweeps all five durable nodes (leader included) while " +
+			"the open-loop workload keeps arriving; measures throughput dips and lost proposals",
+		Measure:  MeasureThroughput,
+		Topology: Topology{N: 5, Persist: true}, Network: Stable(50 * time.Millisecond),
+		Variant: dynatune,
+		Workload: &Workload{StartRPS: 1500, StepRPS: 0,
+			StepDuration: Duration(2 * time.Second), Steps: 14},
+		Faults: []Fault{{Kind: FaultRollingRestart, At: Duration(3 * time.Second),
+			Every: Duration(5 * time.Second), Count: 5, Duration: Duration(1500 * time.Millisecond)}},
+		Reps: 1, Seed: 107,
+	})
+	register(Spec{
+		Name: "wan-flap-ramp",
+		Description: "Sharded throughput ramp while the shared WAN flaps 80↔240ms every 15s " +
+			"(netem queue flushed at each flap), 4 Raft groups of 3",
+		Measure:  MeasureThroughput,
+		Topology: Topology{N: 3, Groups: 4, NodesPerGroup: 3},
+		Network: NetFrom(netsim.RTTSteps(netsim.Params{Jitter: 2 * time.Millisecond}, 15*time.Second,
+			80*time.Millisecond, 240*time.Millisecond, 80*time.Millisecond,
+			240*time.Millisecond, 80*time.Millisecond, 240*time.Millisecond)),
+		Variant: dynatune,
+		Workload: &Workload{StartRPS: 2000, StepRPS: 2000,
+			StepDuration: Duration(10 * time.Second), Steps: 4, Keys: 4096},
+		Reps: 1, Seed: 109,
+	})
+	register(Spec{
+		Name: "loss-pulse-degrade",
+		Description: "All links degrade to 25% loss in two 8s pulses; the tuner must measure " +
+			"the loss, shrink h, and restore it after each pulse without an election",
+		Measure:  MeasureSeries,
+		Topology: n5, Network: Stable(100 * time.Millisecond), Variant: dynatune,
+		Faults: []Fault{{Kind: FaultDegradeLinks, At: Duration(10 * time.Second),
+			Every: Duration(25 * time.Second), Count: 2, Duration: Duration(8 * time.Second),
+			RTT: Duration(100 * time.Millisecond), Jitter: Duration(2 * time.Millisecond), Loss: 0.25}},
+		Seed: 113, Horizon: Duration(60 * time.Second), CPUEvery: Duration(5 * time.Second),
+	})
+}

@@ -1,0 +1,393 @@
+// Package scenario is the declarative experiment layer: every evaluation
+// run in the repo — the paper's figures (§IV) and the extensions beyond
+// them — is described by a Spec composing a topology (size, geo
+// placement, shard count), a network-profile schedule, a fault schedule
+// (leader pause/resume, crash+restart with persistence, symmetric and
+// asymmetric partitions, flapping and degrading links, rolling restarts —
+// each a timed, seedable injector driven off the sim engine), a workload
+// (key sampler + arrival ramp), a tuner variant, and a measurement
+// (failover trials, time-series probes, throughput, linearizable reads,
+// membership change).
+//
+// Specs are plain data: they marshal to JSON, so experiments can live in
+// files (`dynabench scenario -file spec.json`) and in the named registry
+// (registry.go) instead of bespoke 100-line trial loops. Execution is
+// split from description: the engine (engine.go and the per-measure
+// runners) drives any testbed satisfying the small Cluster/MultiCluster
+// interfaces, and an Env supplies the constructors — either bound to
+// concrete cluster/shard Options by the legacy Run* wrappers, or realized
+// from the Spec itself by scenario/bind. All repeated-trial measures run
+// on one generic sharded trial runner routed through cluster.RunSharded
+// (via Env.RunShards), so results are byte-identical for any worker
+// count.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/workload"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("150ms", "4s") and unmarshals from either a string or a nanosecond
+// number, so JSON specs stay legible.
+type Duration time.Duration
+
+// D converts back to the standard type.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or raw nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("scenario: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Measure selects which probe set the engine runs over the composed
+// topology/network/faults/workload.
+type Measure string
+
+const (
+	// MeasureFailover runs repeated fault trials measuring detection and
+	// out-of-service (OTS) times — the Fig. 4 / Fig. 8 shape. The first
+	// fault in Spec.Faults selects the per-trial injector.
+	MeasureFailover Measure = "failover"
+	// MeasureSeries runs one long simulation probing once per second
+	// (randomized timeouts, link RTT, tuned h, CPU, measured loss) — the
+	// Fig. 6 / Fig. 7 shape — with the fault schedule injected on absolute
+	// times.
+	MeasureSeries Measure = "series"
+	// MeasureThroughput drives the open-loop arrival ramp (Fig. 5); with
+	// Topology.Groups > 0 it runs the sharded multi-Raft ramp instead.
+	MeasureThroughput Measure = "throughput"
+	// MeasureReads issues linearizable reads (ReadIndex / lease paths).
+	MeasureReads Measure = "reads"
+	// MeasureMembership runs the add-learner → promote → failover cycle.
+	MeasureMembership Measure = "membership"
+)
+
+// Topology places the nodes.
+type Topology struct {
+	// N is the (per-group) cluster size.
+	N int `json:"n"`
+	// Groups > 0 selects the sharded multi-Raft testbed with this many
+	// independent Raft groups of NodesPerGroup nodes each.
+	Groups        int `json:"groups,omitempty"`
+	NodesPerGroup int `json:"nodes_per_group,omitempty"`
+	// Regions, when set, overrides the uniform profile with the geo RTT
+	// matrix; names follow internal/geo ("tokyo", "london", "california",
+	// "sydney", "sao-paulo"), one per node.
+	Regions       []string `json:"regions,omitempty"`
+	GeoJitterFrac float64  `json:"geo_jitter_frac,omitempty"`
+	GeoLoss       float64  `json:"geo_loss,omitempty"`
+	// InitialMembers, when non-zero, starts only nodes 1..InitialMembers
+	// as voters (the membership experiment grows the rest in).
+	InitialMembers int `json:"initial_members,omitempty"`
+	// Persist gives every node a durable store; required by crash faults.
+	Persist bool `json:"persist,omitempty"`
+}
+
+// Segment is one piece of the piecewise-constant link schedule — the JSON
+// mirror of netsim.Segment.
+type Segment struct {
+	Start  Duration `json:"start"`
+	RTT    Duration `json:"rtt"`
+	Jitter Duration `json:"jitter,omitempty"`
+	Loss   float64  `json:"loss,omitempty"`
+	Dup    float64  `json:"dup,omitempty"`
+}
+
+// Net is the JSON mirror of netsim.Profile: the uniform all-links
+// schedule (ignored when Topology.Regions is set).
+type Net struct {
+	Segments      []Segment `json:"segments"`
+	FlushOnChange bool      `json:"flush_on_change,omitempty"`
+}
+
+// Profile converts to the simulator's schedule.
+func (n Net) Profile() netsim.Profile {
+	segs := make([]netsim.Segment, len(n.Segments))
+	for i, s := range n.Segments {
+		segs[i] = netsim.Segment{Start: s.Start.D(), Params: netsim.Params{
+			RTT: s.RTT.D(), Jitter: s.Jitter.D(), Loss: s.Loss, Dup: s.Dup,
+		}}
+	}
+	return netsim.Profile{Segments: segs, FlushOnChange: n.FlushOnChange}
+}
+
+// NetFrom captures a simulator schedule as its JSON mirror, so registry
+// entries can reuse the netsim profile constructors.
+func NetFrom(p netsim.Profile) Net {
+	n := Net{FlushOnChange: p.FlushOnChange, Segments: make([]Segment, len(p.Segments))}
+	for i, s := range p.Segments {
+		n.Segments[i] = Segment{
+			Start: Duration(s.Start), RTT: Duration(s.Params.RTT),
+			Jitter: Duration(s.Params.Jitter), Loss: s.Params.Loss, Dup: s.Params.Dup,
+		}
+	}
+	return n
+}
+
+// Stable returns the evaluation's default healthy network: the given RTT
+// with 2 ms jitter (the paper's §IV-A baseline uses 100 ms).
+func Stable(rtt time.Duration) Net {
+	return NetFrom(netsim.Constant(netsim.Params{RTT: rtt, Jitter: 2 * time.Millisecond}))
+}
+
+// VariantSpec names the system under test. The bind layer realizes it
+// into a concrete tuner factory; the legacy wrappers carry their already-
+// constructed cluster.Variant through the Env and use only Name.
+type VariantSpec struct {
+	// Name: "raft" | "raft-low" | "dynatune" | "dynatune-ext" | "fix-k"
+	// (bind keys; the legacy wrappers put the display name here).
+	Name string `json:"name"`
+	// FixK sets the fixed heartbeat divisor for "fix-k".
+	FixK int `json:"fix_k,omitempty"`
+	// Dynatune option overrides for file-driven ablations.
+	SafetyFactor       float64 `json:"safety_factor,omitempty"`
+	ArrivalProbability float64 `json:"arrival_probability,omitempty"`
+	MinListSize        int     `json:"min_list_size,omitempty"`
+	Estimator          string  `json:"estimator,omitempty"`
+}
+
+// Workload describes the open-loop arrival ramp and its keyed traffic.
+type Workload struct {
+	StartRPS     int      `json:"start_rps"`
+	StepRPS      int      `json:"step_rps"`
+	StepDuration Duration `json:"step_duration"`
+	Steps        int      `json:"steps"`
+	Poisson      bool     `json:"poisson,omitempty"`
+	// Keys / Zipf parameterize the sharded key sampler (Zipf exponent
+	// must exceed 1 when set).
+	Keys int     `json:"keys,omitempty"`
+	Zipf float64 `json:"zipf,omitempty"`
+	// ClientRTT is the client↔leader round trip added to every latency
+	// (default 100 ms, the evaluation's setting).
+	ClientRTT Duration `json:"client_rtt,omitempty"`
+}
+
+// ReadProbe parameterizes MeasureReads.
+type ReadProbe struct {
+	Reads int      `json:"reads"`
+	Every Duration `json:"every"`
+	// Mode: "read-index" | "lease".
+	Mode string `json:"mode"`
+}
+
+// MembershipProbe parameterizes MeasureMembership.
+type MembershipProbe struct {
+	// Preload is how many log entries are committed before the join.
+	Preload int `json:"preload"`
+}
+
+// Spec is one declarative experiment.
+type Spec struct {
+	Name        string `json:"name,omitempty"`
+	Description string `json:"description,omitempty"`
+
+	Measure  Measure     `json:"measure"`
+	Topology Topology    `json:"topology"`
+	Network  Net         `json:"network"`
+	Variant  VariantSpec `json:"variant"`
+	Faults   []Fault     `json:"faults,omitempty"`
+	Workload *Workload   `json:"workload,omitempty"`
+
+	// Trials counts failover trials; Reps counts ramp repetitions.
+	Trials int   `json:"trials,omitempty"`
+	Reps   int   `json:"reps,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+	// Settle is the per-trial warm-up before the fault (should exceed the
+	// tuner's engagement time).
+	Settle Duration `json:"settle,omitempty"`
+	// Horizon bounds a series run; CPUEvery is its CPU sampling window.
+	Horizon  Duration `json:"horizon,omitempty"`
+	CPUEvery Duration `json:"cpu_every,omitempty"`
+	// Downtime is the crash→restart delay of crash-leader trials.
+	Downtime Duration `json:"downtime,omitempty"`
+
+	Reads      *ReadProbe       `json:"reads,omitempty"`
+	Membership *MembershipProbe `json:"membership,omitempty"`
+}
+
+// Ramp converts the workload section to the generator's schedule.
+func (w *Workload) Ramp() workload.Ramp {
+	return workload.Ramp{
+		StartRPS: w.StartRPS, StepRPS: w.StepRPS,
+		StepDuration: w.StepDuration.D(), Steps: w.Steps, Poisson: w.Poisson,
+	}
+}
+
+// WorkloadFrom captures a generator schedule as its JSON mirror.
+func WorkloadFrom(r workload.Ramp, clientRTT time.Duration) *Workload {
+	return &Workload{
+		StartRPS: r.StartRPS, StepRPS: r.StepRPS,
+		StepDuration: Duration(r.StepDuration), Steps: r.Steps, Poisson: r.Poisson,
+		ClientRTT: Duration(clientRTT),
+	}
+}
+
+// Validate rejects specs the engine cannot run — including fault
+// schedules a measure would silently ignore, so a file-driven spec can
+// never report fault-free results while claiming to have injected
+// faults.
+func (s Spec) Validate() error {
+	switch s.Measure {
+	case MeasureFailover:
+		if s.Trials <= 0 {
+			return fmt.Errorf("scenario %q: failover needs trials > 0", s.Name)
+		}
+		if k := s.TrialFault(); !k.trialInjector() {
+			return fmt.Errorf("scenario %q: fault %q cannot drive failover trials", s.Name, k)
+		}
+		if len(s.Faults) > 1 {
+			return fmt.Errorf("scenario %q: failover trials inject exactly one fault per trial; %d scheduled (use a series measure for composite schedules)", s.Name, len(s.Faults))
+		}
+		if len(s.Faults) == 1 {
+			// The trial runner fires the injector once per trial after
+			// settle; schedule timing would be silently ignored.
+			if f := s.Faults[0]; f.At != 0 || f.Every != 0 || f.Count != 0 || f.Duration != 0 {
+				return fmt.Errorf("scenario %q: failover trial faults take no at/every/count/duration — trials use settle (and downtime for crash-leader); use a series measure for timed schedules", s.Name)
+			}
+		}
+	case MeasureSeries:
+		if s.Horizon <= 0 {
+			return fmt.Errorf("scenario %q: series needs horizon > 0", s.Name)
+		}
+	case MeasureThroughput:
+		if s.Workload == nil {
+			return fmt.Errorf("scenario %q: throughput needs a workload", s.Name)
+		}
+		if err := s.Workload.Ramp().Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if s.Topology.Groups > 0 && len(s.Faults) > 0 {
+			return fmt.Errorf("scenario %q: the sharded throughput runner does not inject faults yet; drop the fault schedule or use groups = 0", s.Name)
+		}
+	case MeasureReads:
+		if s.Reads == nil || s.Reads.Reads <= 0 || s.Reads.Every <= 0 {
+			return fmt.Errorf("scenario %q: reads needs a read probe", s.Name)
+		}
+		if m := s.Reads.Mode; m != "" && m != "read-index" && m != "lease" {
+			return fmt.Errorf("scenario %q: unknown read mode %q", s.Name, m)
+		}
+		if len(s.Faults) > 0 {
+			return fmt.Errorf("scenario %q: the reads runner does not inject faults", s.Name)
+		}
+	case MeasureMembership:
+		if s.Topology.N < 3 {
+			return fmt.Errorf("scenario %q: membership change needs N >= 3", s.Name)
+		}
+		if len(s.Faults) > 0 {
+			return fmt.Errorf("scenario %q: the membership runner injects its own failover; a fault schedule is not supported", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown measure %q", s.Name, s.Measure)
+	}
+	for i, f := range s.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("scenario %q: fault %d: %w", s.Name, i, err)
+		}
+		// Bounds-check fixed targets against the topology: an out-of-range
+		// node would otherwise surface as an index panic at fire time.
+		if n := s.Topology.N; n > 0 {
+			if f.Node > n {
+				return fmt.Errorf("scenario %q: fault %d targets node %d of %d", s.Name, i, f.Node, n)
+			}
+			if f.From > n || f.To > n {
+				return fmt.Errorf("scenario %q: fault %d targets link %d→%d of %d nodes", s.Name, i, f.From, f.To, n)
+			}
+		}
+		if f.Kind.needsPersist() && !s.Topology.Persist {
+			return fmt.Errorf("scenario %q: fault %q needs topology.persist", s.Name, f.Kind)
+		}
+		// In a timed schedule a crash with no Duration never restarts and
+		// the cluster bleeds quorum permanently; a failover crash trial
+		// takes its downtime from Spec.Downtime instead (checked above).
+		if s.Measure != MeasureFailover && f.Kind.needsPersist() && f.Duration <= 0 {
+			return fmt.Errorf("scenario %q: fault %q needs a duration (crash → restart delay); for a permanent outage use %q", s.Name, f.Kind, FaultPauseNode)
+		}
+	}
+	if s.Topology.Groups > 0 {
+		// The sharded testbed runs uniform co-deployed groups; sections it
+		// would silently drop are rejected instead.
+		switch {
+		case len(s.Topology.Regions) > 0:
+			return fmt.Errorf("scenario %q: geo regions are not supported for sharded topologies", s.Name)
+		case s.Topology.Persist:
+			return fmt.Errorf("scenario %q: persistence is not supported for sharded topologies", s.Name)
+		case s.Topology.InitialMembers != 0:
+			return fmt.Errorf("scenario %q: initial_members is not supported for sharded topologies", s.Name)
+		}
+	}
+	return nil
+}
+
+// TrialFault returns the per-trial injector of a failover spec: the first
+// fault's kind, defaulting to the paper's leader pause.
+func (s Spec) TrialFault() FaultKind {
+	if len(s.Faults) == 0 {
+		return FaultPauseLeader
+	}
+	return s.Faults[0].Kind
+}
+
+// Scale shrinks a spec's cost by frac (0 < frac ≤ 1) for smoke runs:
+// trial counts, repetitions, horizon, reads and workload steps scale
+// down; everything structural (topology, faults, variant) is preserved.
+// Fault times are NOT scaled — they are part of the scenario's meaning —
+// so callers shrinking a series below its fault schedule get exactly what
+// they asked for.
+func Scale(s Spec, frac float64) Spec {
+	if frac >= 1 || frac <= 0 {
+		return s
+	}
+	scaleInt := func(v int) int {
+		if v <= 0 {
+			return v
+		}
+		n := int(float64(v) * frac)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	s.Trials = scaleInt(s.Trials)
+	s.Reps = scaleInt(s.Reps)
+	s.Horizon = Duration(float64(s.Horizon) * frac)
+	if s.Reads != nil {
+		r := *s.Reads
+		r.Reads = scaleInt(r.Reads)
+		s.Reads = &r
+	}
+	if s.Workload != nil {
+		w := *s.Workload
+		w.Steps = scaleInt(w.Steps)
+		s.Workload = &w
+	}
+	if s.Membership != nil {
+		m := *s.Membership
+		m.Preload = scaleInt(m.Preload)
+		s.Membership = &m
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/metrics"
+	"dynatune/internal/raft"
+)
+
+// runSeries is the §IV-C scenario shape: start a cluster under the
+// spec's profile, wait for a leader, then probe once per second for the
+// horizon while the fault schedule (if any) fires on absolute times.
+// With an empty schedule the event sequence is identical to the
+// historical RunFluctuation, which the behavioral tests pin.
+func runSeries(spec Spec, env Env) *SeriesResult {
+	horizon := spec.Horizon.D()
+	cpuEvery := spec.CPUEvery.D()
+	if cpuEvery <= 0 {
+		cpuEvery = 5 * time.Second
+	}
+	c := env.NewCluster(spec.Seed)
+	c.Start()
+	lead := c.WaitLeader(30 * time.Second)
+	if lead == nil {
+		panic(fmt.Sprintf("cluster(%s): no initial leader", env.variantName(spec)))
+	}
+	leadID := lead.ID()
+	// Pick the observation follower: the next node after the leader.
+	followerID := raft.ID(1)
+	if leadID == 1 {
+		followerID = 2
+	}
+	eng := c.Engine()
+	rec := c.Recorder()
+	start := eng.Now()
+
+	res := &SeriesResult{
+		Variant:          env.variantName(spec),
+		Horizon:          horizon,
+		RandTimeout3rdMs: metrics.NewTimeSeries("randomizedTimeout(ms)"),
+		LinkRTTMs:        metrics.NewTimeSeries("rtt(ms)"),
+		LeaderHMs:        metrics.NewTimeSeries("h(ms)"),
+		LeaderCPU:        metrics.NewTimeSeries("leaderCPU(%)"),
+		FollowerCPU:      metrics.NewTimeSeries("followerCPU(%)"),
+		MeasuredLossPct:  metrics.NewTimeSeries("loss(%)"),
+	}
+
+	// Per-second probes.
+	var probe func()
+	probe = func() {
+		t := eng.Now() - start
+		if t > horizon {
+			return
+		}
+		res.RandTimeout3rdMs.Add(t, float64(c.KthSmallestRandomizedTimeout(3))/float64(time.Millisecond))
+		res.LinkRTTMs.Add(t, float64(c.LinkRTT(1, 2))/float64(time.Millisecond))
+		if h := c.LeaderMeanHeartbeatInterval(); h > 0 {
+			res.LeaderHMs.Add(t, float64(h)/float64(time.Millisecond))
+		}
+		if tn := c.DynatuneTuner(followerID); tn != nil {
+			res.MeasuredLossPct.Add(t, tn.MeasuredLoss()*100)
+		}
+		eng.After(time.Second, probe)
+	}
+	eng.After(time.Second, probe)
+
+	// CPU probes (leader identity may move; sample the *current* leader's
+	// runtime and the fixed observation follower).
+	var cpu func()
+	cpu = func() {
+		t := eng.Now() - start
+		if t > horizon {
+			return
+		}
+		if l := c.Leader(); l != nil {
+			res.LeaderCPU.Add(t, c.CPUPercent(l.ID(), cpuEvery))
+		}
+		res.FollowerCPU.Add(t, c.CPUPercent(followerID, cpuEvery))
+		eng.After(cpuEvery, cpu)
+	}
+	eng.After(cpuEvery, cpu)
+
+	// Periodic compaction keeps week-long runs bounded.
+	var compact func()
+	compact = func() {
+		if eng.Now()-start > horizon {
+			return
+		}
+		c.CompactAll(64)
+		eng.After(10*time.Second, compact)
+	}
+	eng.After(10*time.Second, compact)
+
+	armFaults(c, start, spec.Faults)
+
+	c.Run(horizon)
+
+	res.OTS = rec.OTSIntervals(start, start+horizon)
+	res.Timeouts = rec.CountKind(raft.EventTimeout, start, start+horizon)
+	res.Elections = rec.CountKind(raft.EventLeaderElected, start, start+horizon)
+	res.Reverts = rec.CountKind(raft.EventRevert, start, start+horizon)
+	return res
+}

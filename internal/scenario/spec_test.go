@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fullSpec populates every field of the spec tree, so the round-trip test
+// fails if a field loses its JSON tag (a file-driven spec would silently
+// drop it).
+func fullSpec() Spec {
+	return Spec{
+		Name:        "round-trip",
+		Description: "every field populated",
+		Measure:     MeasureFailover,
+		Topology: Topology{
+			N: 5, Groups: 4, NodesPerGroup: 3,
+			Regions:       []string{"tokyo", "london", "california", "sydney", "sao-paulo"},
+			GeoJitterFrac: 0.05, GeoLoss: 0.001,
+			InitialMembers: 4, Persist: true,
+		},
+		Network: Net{
+			Segments: []Segment{
+				{Start: 0, RTT: Duration(100 * time.Millisecond), Jitter: Duration(2 * time.Millisecond), Loss: 0.1, Dup: 0.01},
+				{Start: Duration(time.Minute), RTT: Duration(250 * time.Millisecond)},
+			},
+			FlushOnChange: true,
+		},
+		Variant: VariantSpec{
+			Name: "dynatune", FixK: 10, SafetyFactor: 3,
+			ArrivalProbability: 0.999, MinListSize: 7, Estimator: "ewma",
+		},
+		Faults: []Fault{
+			{Kind: FaultPauseLeader, At: Duration(10 * time.Second), Every: Duration(5 * time.Second),
+				Count: 3, Duration: Duration(2 * time.Second)},
+			{Kind: FaultLinkDown, From: 1, To: 2, At: Duration(time.Second), Duration: Duration(time.Second)},
+			{Kind: FaultDegradeLinks, At: Duration(3 * time.Second), Duration: Duration(4 * time.Second),
+				RTT: Duration(300 * time.Millisecond), Jitter: Duration(5 * time.Millisecond), Loss: 0.25},
+			{Kind: FaultPartitionNode, Node: 3, At: Duration(8 * time.Second)},
+		},
+		Workload: &Workload{
+			StartRPS: 1000, StepRPS: 500, StepDuration: Duration(10 * time.Second),
+			Steps: 8, Poisson: true, Keys: 4096, Zipf: 1.2,
+			ClientRTT: Duration(100 * time.Millisecond),
+		},
+		Trials: 100, Reps: 3, Seed: 42,
+		Settle:  Duration(4 * time.Second),
+		Horizon: Duration(3 * time.Minute), CPUEvery: Duration(5 * time.Second),
+		Downtime:   Duration(500 * time.Millisecond),
+		Reads:      &ReadProbe{Reads: 1000, Every: Duration(25 * time.Millisecond), Mode: "lease"},
+		Membership: &MembershipProbe{Preload: 500},
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := fullSpec()
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round-trip changed the spec:\n in: %+v\nout: %+v\njson: %s", in, out, data)
+	}
+}
+
+func TestRegistrySpecsRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		spec, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) after Names listed it", name)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var out Spec
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if !reflect.DeepEqual(spec, out) {
+			t.Fatalf("%s: round-trip changed the spec:\n in: %+v\nout: %+v", name, spec, out)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("%s: decoded spec invalid: %v", name, err)
+		}
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"150ms"`), &d); err != nil || d.D() != 150*time.Millisecond {
+		t.Fatalf("string form: %v %v", d.D(), err)
+	}
+	if err := json.Unmarshal([]byte(`2000000`), &d); err != nil || d.D() != 2*time.Millisecond {
+		t.Fatalf("numeric form: %v %v", d.D(), err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &d); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	b, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil || string(b) != `"1m30s"` {
+		t.Fatalf("marshal: %s %v", b, err)
+	}
+}
+
+func TestSpecValidateRejectsNonsense(t *testing.T) {
+	cases := []Spec{
+		{Measure: "nope"},
+		{Measure: MeasureFailover},                                                           // no trials
+		{Measure: MeasureFailover, Trials: 1, Faults: []Fault{{Kind: FaultLinkDown}}},        // not a trial injector (and bad link)
+		{Measure: MeasureSeries},                                                             // no horizon
+		{Measure: MeasureThroughput},                                                         // no workload
+		{Measure: MeasureReads},                                                              // no probe
+		{Measure: MeasureMembership, Topology: Topology{N: 2}},                               // too small
+		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultCrashLeader}}},      // crash without persist
+		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultPauseNode}}},        // no node
+		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultPauseLeader, Count: 3}}}, // repeat without every
+		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultDegradeLinks}}},     // no rtt/duration
+		// Fault schedules a measure would silently ignore must be rejected.
+		{Measure: MeasureFailover, Trials: 1,
+			Faults: []Fault{{Kind: FaultPauseLeader}, {Kind: FaultPauseLeader, At: 1}}}, // >1 trial fault
+		{Measure: MeasureFailover, Trials: 1,
+			Faults: []Fault{{Kind: FaultPauseLeader, Duration: Duration(2 * time.Second)}}}, // timing on a trial fault
+		{Measure: MeasureReads, Reads: &ReadProbe{Reads: 1, Every: 1},
+			Faults: []Fault{{Kind: FaultPauseLeader}}},
+		{Measure: MeasureMembership, Topology: Topology{N: 5},
+			Faults: []Fault{{Kind: FaultPauseLeader}}},
+		{Measure: MeasureThroughput, Topology: Topology{N: 3, Groups: 4},
+			Workload: &Workload{StartRPS: 1, Steps: 1, StepDuration: 1},
+			Faults:   []Fault{{Kind: FaultPauseLeader}}},
+		{Measure: MeasureThroughput, Topology: Topology{N: 3, Groups: 4},
+			Workload: &Workload{StartRPS: 100}}, // zero-length ramp → NaN aggregates
+		{Measure: MeasureSeries, Horizon: 1, Topology: Topology{N: 5, Persist: true},
+			Faults: []Fault{{Kind: FaultRollingRestart, Every: 1, Count: 5}}}, // crash with no restart
+		{Measure: MeasureThroughput, Topology: Topology{N: 3, Groups: 4, Regions: []string{"tokyo", "london", "california"}},
+			Workload: &Workload{StartRPS: 1, Steps: 1, StepDuration: 1}}, // geo dropped by sharded testbed
+		{Measure: MeasureThroughput, Topology: Topology{N: 3, Groups: 4, Persist: true},
+			Workload: &Workload{StartRPS: 1, Steps: 1, StepDuration: 1}}, // persist dropped by sharded testbed
+		{Measure: MeasureSeries, Horizon: 1, Topology: Topology{N: 5},
+			Faults: []Fault{{Kind: FaultPauseNode, Node: 7}}}, // node out of range
+		{Measure: MeasureSeries, Horizon: 1, Topology: Topology{N: 5},
+			Faults: []Fault{{Kind: FaultLinkDown, From: 1, To: 6}}}, // link endpoint out of range
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestScaleShrinksOnlyCost(t *testing.T) {
+	s := fullSpec()
+	small := Scale(s, 0.1)
+	if small.Trials != 10 || small.Reps != 1 {
+		t.Fatalf("trials/reps: %d/%d", small.Trials, small.Reps)
+	}
+	if small.Horizon.D() != 18*time.Second {
+		t.Fatalf("horizon: %v", small.Horizon.D())
+	}
+	if small.Reads.Reads != 100 || small.Workload.Steps != 1 {
+		t.Fatalf("reads/steps: %d/%d", small.Reads.Reads, small.Workload.Steps)
+	}
+	// Structure is untouched; fault times keep their meaning.
+	if !reflect.DeepEqual(small.Faults, s.Faults) || !reflect.DeepEqual(small.Topology, s.Topology) {
+		t.Fatal("Scale changed scenario structure")
+	}
+	// Scale copies the nested sections it shrinks.
+	if s.Reads.Reads != 1000 || s.Workload.Steps != 8 {
+		t.Fatal("Scale mutated the original spec")
+	}
+	if got := Scale(s, 1); !reflect.DeepEqual(got, s) {
+		t.Fatal("Scale(1) should be identity")
+	}
+}

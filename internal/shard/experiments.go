@@ -1,66 +1,66 @@
 package shard
 
 import (
-	"fmt"
 	"time"
 
 	"dynatune/internal/cluster"
+	"dynatune/internal/scenario"
 	"dynatune/internal/workload"
 )
 
-// RampResult aggregates one sharded ramp run.
-type RampResult struct {
-	Groups int
-	Points []StepResult
-	// AggThroughput is the mean aggregate committed-ops rate over the
-	// whole ramp (completed / ramp duration) — the scaling benchmark's
-	// headline metric.
-	AggThroughput float64
-	// PeakThroughput is the best single step.
-	PeakThroughput float64
-	// P99Ms is the tail latency over the whole ramp.
-	P99Ms         float64
-	Completed     int
-	ProposeErrors uint64
-	// Lost counts proposals overwritten by a newer leader before
-	// committing; Pending counts arrivals never proposed (stuck behind a
-	// leaderless group at run end). Without them a leader-churn
-	// throughput dip is indistinguishable from capacity loss.
-	Lost    uint64
-	Pending int
+// RampResult aggregates one sharded ramp run — the engine's unified
+// sharded-throughput result (aggregate/peak throughput, tail latency,
+// and the Lost/Pending accounting that distinguishes leader-churn dips
+// from capacity loss).
+type RampResult = scenario.ShardRampResult
+
+// ScenarioEnv binds the scenario engine to sharded clusters built from
+// opts + load; the engine derives per-repetition seeds and drives the
+// multi-group testbed through the MultiCluster/MultiLoadGen interfaces.
+func (o Options) ScenarioEnv(load LoadOptions) scenario.Env {
+	return scenario.Env{
+		Variant: o.Variant.Name,
+		NewMulti: func(seed int64, ramp workload.Ramp) (scenario.MultiCluster, scenario.MultiLoadGen) {
+			so := o
+			so.Seed = seed
+			s := New(so)
+			return s, NewLoadGen(s, ramp, load)
+		},
+		Workers:   cluster.TrialWorkers(),
+		RunShards: cluster.RunShardsOn,
+	}
+}
+
+// specFor seeds the sharded throughput spec; the caller sets reps.
+func specFor(o Options, ramp workload.Ramp, load LoadOptions) scenario.Spec {
+	d := o.withDefaults()
+	w := scenario.WorkloadFrom(ramp, load.ClientRTT)
+	w.Keys = load.Keys
+	w.Zipf = load.Zipf
+	net := scenario.NetFrom(d.Profile)
+	if d.Profile.Segments == nil {
+		// Descriptive only: the group builder applies the testbed default.
+		net = scenario.Stable(100 * time.Millisecond)
+	}
+	return scenario.Spec{
+		Name:    "sharded-ramp",
+		Measure: scenario.MeasureThroughput,
+		Topology: scenario.Topology{
+			N: d.NodesPerGroup, Groups: d.Groups, NodesPerGroup: d.NodesPerGroup,
+		},
+		Network:  net,
+		Variant:  scenario.VariantSpec{Name: d.Variant.Name},
+		Workload: w,
+		Seed:     d.Seed,
+	}
 }
 
 // RunRamp runs one keyed open-loop ramp against a sharded cluster built
 // from opts: start all groups, wait for every leader, settle, drive the
 // ramp, drain, aggregate. It mirrors cluster.RunThroughputRamp for the
-// multi-group world.
+// multi-group world and executes on the scenario engine.
 func RunRamp(opts Options, ramp workload.Ramp, load LoadOptions) RampResult {
-	s := New(opts)
-	lg := NewLoadGen(s, ramp, load)
-	s.Start()
-	if !s.WaitLeaders(30 * time.Second) {
-		panic(fmt.Sprintf("shard: not all of %d groups elected a leader", s.Groups()))
-	}
-	s.Run(3 * time.Second) // settle + tuner warmup
-	lg.Start()
-	s.Run(ramp.Duration() + 5*time.Second) // drain tail
-
-	res := RampResult{
-		Groups:        s.Groups(),
-		Points:        lg.Results(),
-		P99Ms:         lg.P99Ms(),
-		Completed:     lg.TotalCompleted(),
-		ProposeErrors: lg.ProposeErrors(),
-		Lost:          lg.Lost(),
-		Pending:       lg.Pending(),
-	}
-	res.AggThroughput = float64(res.Completed) / ramp.Duration().Seconds()
-	for _, p := range res.Points {
-		if p.ThroughputRS > res.PeakThroughput {
-			res.PeakThroughput = p.ThroughputRS
-		}
-	}
-	return res
+	return RunRampReps(opts, ramp, load, 1)[0]
 }
 
 // RunRampReps repeats the sharded ramp across reps derived seeds on the
@@ -68,13 +68,13 @@ func RunRamp(opts Options, ramp workload.Ramp, load LoadOptions) RampResult {
 // simulation on its own engine) and returns the per-rep results in seed
 // order — deterministic for any worker count.
 func RunRampReps(opts Options, ramp workload.Ramp, load LoadOptions, reps int) []RampResult {
-	return cluster.RunSharded(cluster.TrialWorkers(), reps, func(rep int) RampResult {
-		o := opts
-		if rep > 0 {
-			o.Seed = o.withDefaults().Seed + int64(rep)*1000003
-		}
-		return RunRamp(o, ramp, load)
-	})
+	spec := specFor(opts, ramp, load)
+	spec.Reps = reps
+	res, err := scenario.Run(spec, opts.ScenarioEnv(load))
+	if err != nil {
+		panic(err)
+	}
+	return res.ShardRamps
 }
 
 // MeanAggThroughput averages the headline aggregate-throughput metric over

@@ -7,6 +7,7 @@ import (
 	"dynatune/internal/kv"
 	"dynatune/internal/metrics"
 	"dynatune/internal/raft"
+	"dynatune/internal/scenario"
 	"dynatune/internal/workload"
 )
 
@@ -172,14 +173,8 @@ func (lg *LoadGen) onApply(g GroupID, node raft.ID, ents []raft.Entry) {
 }
 
 // StepResult is the aggregated outcome for one ramp step across all
-// groups.
-type StepResult struct {
-	OfferedRPS   int
-	ThroughputRS float64 // aggregate committed requests per second
-	LatencyMs    float64 // mean latency
-	P99Ms        float64 // tail latency
-	Completed    int
-}
+// groups (the engine's shared step type).
+type StepResult = scenario.Step
 
 // Results returns per-step aggregates. Call after the ramp (plus drain)
 // has run.
