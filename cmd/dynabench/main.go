@@ -21,6 +21,8 @@
 //	dynabench reads    [-reads 1000]   (ReadIndex vs lease-read latency)
 //	dynabench member   [-preload 500]  (add-learner → promote → failover)
 //	dynabench scenario -list | <name> [-scale 0.1] | -file spec.json
+//	dynabench sweep -scenario <name> -axis n=3,5 -axis loss=0,0.1 [-reps 2]
+//	                [-format csv|json] [-out report] [-baseline prior.json]
 //	dynabench bench [-json BENCH.json] (sim-core microbenchmarks, per-figure
 //	                                    wall time, parallel-runner and
 //	                                    scenario-engine timing — the per-PR
@@ -76,6 +78,8 @@ func main() {
 		member(args)
 	case "scenario":
 		scenarioCmd(args)
+	case "sweep":
+		sweepCmd(args)
 	case "bench":
 		bench(args)
 	case "all":
@@ -117,6 +121,8 @@ extensions beyond the paper:
 
 scenario engine:
   scenario  -list | <name> [-scale f] [-seed n] [-trials n] [-show] | -file spec.json
+  sweep     parameter-grid campaign over one scenario: -axis n=3,5 -axis loss=0,0.1 ...
+            emits CSV/JSON reports; -baseline gates against a prior report
   bench     hot-path microbenchmarks + BENCH.json perf trajectory
   all       quick versions of everything
 `)

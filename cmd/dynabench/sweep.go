@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dynatune/internal/scenario"
+	"dynatune/internal/sweep"
+)
+
+// axisFlags collects the repeatable -axis name=v1,v2,... flag.
+type axisFlags []sweep.Axis
+
+func (a *axisFlags) String() string { return fmt.Sprintf("%v", []sweep.Axis(*a)) }
+
+func (a *axisFlags) Set(s string) error {
+	ax, err := sweep.ParseAxis(s)
+	if err != nil {
+		return err
+	}
+	*a = append(*a, ax)
+	return nil
+}
+
+// sweepCmd runs one named scenario (or spec file) across a parameter
+// grid and emits a machine-readable campaign report; with -baseline it
+// additionally diffs against a prior JSON report and exits non-zero on
+// any per-cell regression beyond -threshold.
+func sweepCmd(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	name := fs.String("scenario", "", "base scenario from the registry")
+	file := fs.String("file", "", "base scenario from a JSON spec file instead")
+	var axes axisFlags
+	fs.Var(&axes, "axis", "grid axis name=v1,v2,... (repeatable; axes: "+strings.Join(sweep.AxisNames(), ", ")+")")
+	reps := fs.Int("reps", 1, "independent repetitions per grid cell")
+	seed := fs.Int64("seed", 1, "campaign seed (unit seeds derive from it)")
+	scale := fs.Float64("scale", 1, "shrink the base scenario's trials/horizons first (0 < f <= 1)")
+	out := fs.String("out", "", "write the report here (default stdout)")
+	format := fs.String("format", "csv", "report format: csv | json")
+	baseline := fs.String("baseline", "", "prior JSON report to gate against")
+	threshold := fs.Float64("threshold", 0.10, "relative worsening that counts as a regression")
+	maxCells := fs.Int("max-cells", sweep.DefaultMaxCells, "refuse grids larger than this")
+	workers := fs.Int("workers", 0, "parallel workers over grid cells (0 = DYNATUNE_TRIAL_WORKERS/GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dynabench sweep -scenario <name> | -file spec.json  -axis n=3,5 [-axis loss=0,0.1 ...] [flags]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	var base scenario.Spec
+	switch {
+	case *name != "" && *file != "":
+		fmt.Fprintln(os.Stderr, "dynabench: -scenario and -file are mutually exclusive")
+		os.Exit(2)
+	case *name != "":
+		var ok bool
+		base, ok = scenario.Lookup(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dynabench: unknown scenario %q; `dynabench scenario -list` shows the registry\n", *name)
+			os.Exit(1)
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "dynabench: %s: %v\n", *file, err)
+			os.Exit(1)
+		}
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+	base = scenario.Scale(base, *scale)
+
+	campaign := sweep.Campaign{
+		Base: base, Axes: axes,
+		Reps: *reps, Seed: *seed,
+		MaxCells: *maxCells, Workers: *workers,
+	}
+	start := time.Now()
+	report, err := sweep.Run(campaign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = report.WriteCSV(w)
+	case "json":
+		err = report.WriteJSON(w)
+	default:
+		fmt.Fprintf(os.Stderr, "dynabench: unknown format %q (csv | json)\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells x %d reps in %.0f ms\n",
+		len(report.Rows), report.Reps, float64(time.Since(start))/float64(time.Millisecond))
+
+	if *baseline != "" {
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		baseRep, err := sweep.ReadReport(bf)
+		bf.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynabench: %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		regs, err := sweep.Compare(report, baseRep, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d regression(s) beyond %.0f%% vs %s:\n", len(regs), *threshold*100, *baseline)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: no regressions beyond %.0f%% vs %s\n", *threshold*100, *baseline)
+	}
+}

@@ -1,0 +1,43 @@
+// A parameter-grid campaign in ~20 lines: sweep the paper's election
+// experiment across cluster sizes and loss rates, two repetitions per
+// cell, and print the CSV report. The engine expands the cross-product,
+// derives every unit's seed from the campaign seed and grid coordinates
+// (so any worker count emits these exact bytes), runs the cells on the
+// parallel trial runner, and aggregates mean/p50/p99 + a 95% CI per
+// cell. The CLI twin is:
+//
+//	dynabench sweep -scenario paper-elections \
+//	    -axis n=3,5 -axis loss=0,0.05 -reps 2 -scale 0.01
+//
+// Store the JSON form of a run (-format json) and a later run with
+// -baseline gates against it, failing on any per-cell regression.
+package main
+
+import (
+	"os"
+
+	"dynatune/internal/scenario"
+	"dynatune/internal/sweep"
+)
+
+func main() {
+	base, ok := scenario.Lookup("paper-elections")
+	if !ok {
+		panic("paper-elections missing from the registry")
+	}
+	report, err := sweep.Run(sweep.Campaign{
+		Base: scenario.Scale(base, 0.01), // 10 trials per cell: demo-sized
+		Axes: []sweep.Axis{
+			{Name: "n", Values: []string{"3", "5"}},
+			{Name: "loss", Values: []string{"0", "0.05"}},
+		},
+		Reps: 2,
+		Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := report.WriteCSV(os.Stdout); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// TestClockSkewFastFollowerAbsorbed pins the clock-skew fault's §IV-D
+// story: a follower whose election timer runs 20× fast (drift −0.95
+// drops its ~1–2 s randomized timeout below the 100 ms heartbeat
+// interval) times out over and over, but pre-vote plus leader stickiness
+// must absorb every premature campaign — no election, no term movement,
+// same leader — and restoring the true clock silences it again.
+func TestClockSkewFastFollowerAbsorbed(t *testing.T) {
+	c := New(Options{N: 5, Seed: 71, Variant: VariantRaft(), Profile: stableNet(100)})
+	c.Start()
+	if c.WaitLeader(10*time.Second) == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(2 * time.Second)
+	lead := c.Leader()
+	reignTerm := lead.Term()
+	var skewed raft.ID
+	for i := 1; i <= 5; i++ {
+		if raft.ID(i) != lead.ID() {
+			skewed = raft.ID(i)
+			break
+		}
+	}
+	rec := c.Recorder()
+
+	start := c.Now()
+	c.SetClockSkew(skewed, 0, -0.95)
+	c.Run(10 * time.Second)
+	if n := rec.CountKind(raft.EventTimeout, start, c.Now()); n == 0 {
+		t.Fatal("fast clock never fired a premature timeout — skew had no effect")
+	}
+	if n := rec.CountKind(raft.EventLeaderElected, start, c.Now()); n != 0 {
+		t.Fatalf("skewed follower forced %d elections", n)
+	}
+	if l := c.Leader(); l == nil || l.ID() != lead.ID() || l.Term() != reignTerm {
+		t.Fatalf("leadership moved under clock skew: %v", l)
+	}
+
+	// Heal. The timer armed under skew may fire once more; after the next
+	// leader contact re-arms it on the true clock, the quiet must return.
+	c.SetClockSkew(skewed, 0, 0)
+	c.Run(2 * time.Second)
+	quiet := c.Now()
+	c.Run(5 * time.Second)
+	if n := rec.CountKind(raft.EventTimeout, quiet, c.Now()); n != 0 {
+		t.Fatalf("%d timeouts after the skew healed", n)
+	}
+	if l := c.Leader(); l == nil || l.Term() != reignTerm {
+		t.Fatal("cluster did not return to the original reign")
+	}
+}
+
+// TestClockSkewOffsetDelaysDetection pins the offset half: a follower
+// whose election deadline is shifted +2 s cannot be the one that detects
+// a leader failure first, so with every follower skewed, detection of a
+// pause moves out by about the offset.
+func TestClockSkewOffsetDelaysDetection(t *testing.T) {
+	run := func(offset time.Duration) float64 {
+		c := New(Options{N: 3, Seed: 73, Variant: VariantRaft(), Profile: stableNet(100)})
+		c.Start()
+		if c.WaitLeader(10*time.Second) == nil {
+			t.Fatal("no leader")
+		}
+		c.Run(2 * time.Second)
+		lead := c.Leader()
+		for i := 1; i <= 3; i++ {
+			if raft.ID(i) != lead.ID() {
+				c.SetClockSkew(raft.ID(i), offset, 0)
+			}
+		}
+		c.Run(500 * time.Millisecond) // let the next timer arming pick up the skew
+		_, failAt := c.PauseLeader()
+		deadline := c.Now() + 30*time.Second
+		for c.Now() < deadline {
+			c.Run(20 * time.Millisecond)
+			if det, ok := c.Recorder().FirstDetectionAfter(failAt); ok {
+				return float64(det) / float64(time.Millisecond)
+			}
+		}
+		t.Fatal("no detection")
+		return 0
+	}
+	base := run(0)
+	slow := run(2 * time.Second)
+	if slow < base+1500 {
+		t.Fatalf("offset skew moved detection %0.f -> %.0f ms; want ≥ +1500", base, slow)
+	}
+}

@@ -457,6 +457,20 @@ func (c *Cluster) CrashLeader() (raft.ID, time.Duration) {
 // Persister exposes node id's durable store (nil unless Options.Persist).
 func (c *Cluster) Persister(id raft.ID) *storage.Memory { return c.persisters[id-1] }
 
+// SetClockSkew skews node id's election timer: every armed delay is
+// scaled by (1+drift) and shifted by offset from then on (already-armed
+// timers keep their fire times). Drift < 0 models a fast clock — the
+// timer fires early, the NTP-error failure mode of the paper's §IV-D
+// caveat; (0, 0) restores the true clock. Skew survives Crash/Restart:
+// it is a property of the machine, not the process.
+func (c *Cluster) SetClockSkew(id raft.ID, offset time.Duration, drift float64) {
+	if drift <= -1 {
+		panic(fmt.Sprintf("cluster: clock drift %v would run node %d's clock backwards", drift, id))
+	}
+	rt := c.rts[id-1]
+	rt.skewOffset, rt.skewDrift = offset, drift
+}
+
 // --- probes ---
 
 // RandomizedTimeouts returns every live node's current randomized election

@@ -30,6 +30,13 @@ type nodeRT struct {
 
 	paused bool
 
+	// skewOffset / skewDrift skew this node's election timer (the clock-skew
+	// fault): each armed delay is scaled by (1+drift) and shifted by offset.
+	// Heartbeat timers are untouched — the fault models NTP error on the
+	// failure detector, not a wholesale slowdown of the process.
+	skewOffset time.Duration
+	skewDrift  float64
+
 	// stats
 	msgsSent, msgsRecv uint64
 }
@@ -74,6 +81,18 @@ func (rt *nodeRT) SetTimer(kind raft.TimerKind, peer raft.ID, at time.Duration) 
 	key := timerKey{kind, peer}
 	if h, ok := rt.timers[key]; ok {
 		rt.c.eng.Cancel(h)
+	}
+	if kind == raft.TimerElection && (rt.skewDrift != 0 || rt.skewOffset != 0) {
+		now := rt.c.eng.Now()
+		d := at - now
+		if d < 0 {
+			d = 0
+		}
+		d = time.Duration(float64(d)*(1+rt.skewDrift)) + rt.skewOffset
+		if d < 0 {
+			d = 0
+		}
+		at = now + d
 	}
 	rt.timers[key] = rt.c.eng.Schedule(at, func() {
 		delete(rt.timers, key)

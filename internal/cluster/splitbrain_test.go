@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/kv"
+	"dynatune/internal/raft"
+)
+
+// TestSplitBrainNoDoubleCommit is the safety assertion behind the
+// split-brain-2-3 scenario: across a 2/3 group partition the minority
+// side — which keeps a reigning leader for up to one check-quorum sweep —
+// must never commit a write, the majority side must keep committing, and
+// after the heal every store converges on the majority's history with
+// the minority's write nowhere.
+func TestSplitBrainNoDoubleCommit(t *testing.T) {
+	c := New(Options{N: 5, Seed: 63, Variant: VariantRaft(), Profile: stableNet(50)})
+	c.Start()
+	if c.WaitLeader(10*time.Second) == nil {
+		t.Fatal("no initial leader")
+	}
+	c.Run(2 * time.Second)
+	old := c.Leader()
+
+	// Put the current leader on the minority side with one neighbour; the
+	// other three nodes form the majority.
+	minority := []int{int(old.ID() - 1), int(old.ID()) % 5}
+	inMinority := map[int]bool{minority[0]: true, minority[1]: true}
+	var majority []int
+	for i := 0; i < 5; i++ {
+		if !inMinority[i] {
+			majority = append(majority, i)
+		}
+	}
+	c.Network().PartitionGroups(minority, majority, true)
+
+	// The cut leader still believes it reigns: it must accept — and never
+	// commit — a proposal.
+	put := func(l *raft.Node, seq uint64, key string) {
+		t.Helper()
+		if _, err := l.Propose(kv.Encode(kv.Command{Op: kv.OpPut, Client: 7, Seq: seq, Key: key, Value: []byte("v")})); err != nil {
+			t.Fatalf("propose %q on node %d: %v", key, l.ID(), err)
+		}
+	}
+	put(old, 1, "minority-write")
+
+	// The majority elects a successor and commits through it.
+	deadline := c.Now() + 15*time.Second
+	var successor *raft.Node
+	for c.Now() < deadline {
+		if l := c.Leader(); l != nil && l.ID() != old.ID() {
+			successor = l
+			break
+		}
+		c.Run(10 * time.Millisecond)
+	}
+	if successor == nil {
+		t.Fatal("majority never elected a successor")
+	}
+	put(successor, 2, "majority-write")
+	c.Run(3 * time.Second)
+
+	for id := raft.ID(1); id <= 5; id++ {
+		if _, ok := c.Store(id).Get("minority-write"); ok {
+			t.Fatalf("node %d applied the minority write during the split — double commit", id)
+		}
+	}
+	if _, ok := c.Store(successor.ID()).Get("majority-write"); !ok {
+		t.Fatal("majority side could not commit during the split")
+	}
+
+	// Heal: one history. The minority's uncommitted entry is overwritten,
+	// the majority's committed entry reaches everyone.
+	c.Network().PartitionGroups(minority, majority, false)
+	c.Run(5 * time.Second)
+	for id := raft.ID(1); id <= 5; id++ {
+		if _, ok := c.Store(id).Get("minority-write"); ok {
+			t.Fatalf("node %d surfaced the minority write after the heal", id)
+		}
+		if _, ok := c.Store(id).Get("majority-write"); !ok {
+			t.Fatalf("node %d is missing the majority write after the heal", id)
+		}
+	}
+	if err := c.StoresConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if l := c.Leader(); l == nil || l.Term() < successor.Term() {
+		t.Fatal("no post-heal leader at the majority's term")
+	}
+}

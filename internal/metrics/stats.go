@@ -246,6 +246,22 @@ func quantileSorted(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// of xs under the normal approximation (1.96·s/√n with the sample
+// standard deviation), or 0 with fewer than two samples. The sweep
+// engine reports it per grid cell over the per-repetition means, so a
+// campaign diff can tell a real regression from rep-to-rep noise.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return 1.96 * w.SampleStd() / math.Sqrt(float64(len(xs)))
+}
+
 // DurationsToMillis converts durations to float64 milliseconds, the unit
 // the paper reports everywhere.
 func DurationsToMillis(ds []time.Duration) []float64 {

@@ -355,3 +355,22 @@ func TestRenderCDFsAndSeries(t *testing.T) {
 		t.Fatal("no-series render should be empty")
 	}
 }
+
+func TestCI95(t *testing.T) {
+	if got := CI95(nil); got != 0 {
+		t.Fatalf("CI95(nil) = %v", got)
+	}
+	if got := CI95([]float64{5}); got != 0 {
+		t.Fatalf("CI95 of one sample = %v", got)
+	}
+	// Four samples with sample std 1: half-width = 1.96/sqrt(4) = 0.98.
+	xs := []float64{9, 10, 10, 11}
+	want := 1.96 * math.Sqrt(2.0/3.0) / 2
+	if got := CI95(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	// Constant samples: zero interval.
+	if got := CI95([]float64{3, 3, 3}); got != 0 {
+		t.Fatalf("CI95 of constants = %v", got)
+	}
+}

@@ -143,8 +143,18 @@ func EnvFor(spec scenario.Spec) (scenario.Env, error) {
 	return opts.ScenarioEnv(), nil
 }
 
-// Run realizes and executes one spec.
+// Run realizes and executes one spec on the default worker pool.
 func Run(spec scenario.Spec) (*scenario.Result, error) {
+	return RunWorkers(spec, 0)
+}
+
+// RunWorkers realizes and executes one spec with an explicit trial-runner
+// worker count (0 keeps the env default, cluster.TrialWorkers; 1 is fully
+// sequential). The sweep engine passes 1 so that grid cells — not the
+// trials inside a cell — are the unit of parallelism, avoiding nested
+// worker pools; by the RunShards contract the results are identical
+// either way.
+func RunWorkers(spec scenario.Spec, workers int) (*scenario.Result, error) {
 	// Membership specs grow an (N−1)-voter cluster; default the initial
 	// membership the way the legacy entry point always has.
 	if spec.Measure == scenario.MeasureMembership && spec.Topology.InitialMembers == 0 {
@@ -153,6 +163,9 @@ func Run(spec scenario.Spec) (*scenario.Result, error) {
 	env, err := EnvFor(spec)
 	if err != nil {
 		return nil, err
+	}
+	if workers > 0 {
+		env.Workers = workers
 	}
 	return scenario.Run(spec, env)
 }

@@ -186,6 +186,52 @@ func TestLossPulseDegradeSmoke(t *testing.T) {
 	}
 }
 
+func TestClockSkewFollowerSmoke(t *testing.T) {
+	spec := mustLookup(t, "clock-skew-follower")
+	res, err := Run(spec) // 60 s of sim time — already smoke-sized
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	// The fast clock must visibly fire premature timeouts...
+	if s.Timeouts == 0 {
+		t.Fatal("skewed follower never timed out — the fault had no effect")
+	}
+	// ...and pre-vote + leader stickiness must absorb every one of them:
+	// each campaign reverts on the next leader contact, no election, no
+	// out-of-service time (the §IV-D NTP-error story).
+	if s.Elections != 0 {
+		t.Fatalf("clock skew forced %d elections", s.Elections)
+	}
+	if s.OTS.Total() != 0 {
+		t.Fatalf("clock skew cost %.1fs of service", s.OTS.Total().Seconds())
+	}
+	if s.Reverts < s.Timeouts {
+		t.Fatalf("%d timeouts but only %d reverts — campaigns escalated", s.Timeouts, s.Reverts)
+	}
+}
+
+func TestSplitBrain23Smoke(t *testing.T) {
+	spec := mustLookup(t, "split-brain-2-3")
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	// For this seed the initial leader lands in the minority {1,2}: the
+	// majority must elect exactly one successor during the split, and the
+	// heal must not trigger another election (the stale side submits to
+	// the newer term instead of disrupting it).
+	if s.Elections != 1 {
+		t.Fatalf("split produced %d elections, want exactly 1 (majority successor)", s.Elections)
+	}
+	if s.Timeouts == 0 {
+		t.Fatal("nobody detected the split")
+	}
+	// The double-commit half of this scenario's claim is asserted at the
+	// store level in internal/cluster's TestSplitBrainNoDoubleCommit.
+}
+
 func TestPaperScenariosRealize(t *testing.T) {
 	// Every registry entry must realize into an executable env (variant,
 	// regions, profile all resolvable) without running the heavy ones.

@@ -33,6 +33,7 @@ type Cluster interface {
 	Pause(id raft.ID)
 	Resume(id raft.ID)
 	Paused(id raft.ID) bool
+	SetClockSkew(id raft.ID, offset time.Duration, drift float64)
 	Crash(id raft.ID)
 	Restart(id raft.ID)
 	PauseLeader() (raft.ID, time.Duration)

@@ -47,6 +47,17 @@ const (
 	// RTT/Jitter/Loss for Duration, then restores what it displaced —
 	// `tc qdisc replace` as a fault, not a profile.
 	FaultDegradeLinks FaultKind = "degrade-links"
+	// FaultClockSkew skews the election timer of the fixed node in
+	// Fault.Node: each armed timer delay is scaled by (1+Drift) and shifted
+	// by Offset, modelling NTP rate error and step error (the paper's §IV-D
+	// measurement caveat). Drift < 0 is a fast clock (timers fire early);
+	// Duration heals by restoring the true clock.
+	FaultClockSkew FaultKind = "clock-skew"
+	// FaultPartitionGroups cuts every link crossing between the 1-based
+	// node sets GroupA and GroupB in both directions — the classic
+	// split-brain injection (netsim.PartitionGroups) — and heals the cuts
+	// Duration later.
+	FaultPartitionGroups FaultKind = "partition-groups"
 )
 
 // Fault is one entry of the schedule. In failover trials only the first
@@ -69,6 +80,12 @@ type Fault struct {
 	RTT    Duration `json:"rtt,omitempty"`
 	Jitter Duration `json:"jitter,omitempty"`
 	Loss   float64  `json:"loss,omitempty"`
+	// Offset/Drift parameterize clock-skew (see FaultClockSkew).
+	Offset Duration `json:"offset,omitempty"`
+	Drift  float64  `json:"drift,omitempty"`
+	// GroupA/GroupB are the 1-based node sets of partition-groups.
+	GroupA []int `json:"group_a,omitempty"`
+	GroupB []int `json:"group_b,omitempty"`
 }
 
 // trialInjector reports whether the kind can drive a failover trial.
@@ -104,6 +121,30 @@ func (f Fault) validate() error {
 		}
 		if f.Duration <= 0 {
 			return fmt.Errorf("degrade-links needs a duration to restore after")
+		}
+	case FaultClockSkew:
+		if f.Node < 1 {
+			return fmt.Errorf("clock-skew needs a 1-based node")
+		}
+		if f.Offset == 0 && f.Drift == 0 {
+			return fmt.Errorf("clock-skew needs an offset and/or a drift")
+		}
+		if f.Drift <= -1 {
+			return fmt.Errorf("clock-skew drift %v would run the clock backwards (must exceed -1)", f.Drift)
+		}
+	case FaultPartitionGroups:
+		if len(f.GroupA) == 0 || len(f.GroupB) == 0 {
+			return fmt.Errorf("partition-groups needs two non-empty 1-based node groups")
+		}
+		seen := map[int]bool{}
+		for _, id := range append(append([]int(nil), f.GroupA...), f.GroupB...) {
+			if id < 1 {
+				return fmt.Errorf("partition-groups member %d is not 1-based", id)
+			}
+			if seen[id] {
+				return fmt.Errorf("partition-groups member %d appears twice", id)
+			}
+			seen[id] = true
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %q", f.Kind)
@@ -285,6 +326,21 @@ func fire(c Cluster, f Fault, occ int, lc *linkCuts) {
 			c.Crash(id)
 			heal(func() { c.Restart(id) })
 		}
+	case FaultClockSkew:
+		id := raft.ID(f.Node)
+		c.SetClockSkew(id, f.Offset.D(), f.Drift)
+		heal(func() { c.SetClockSkew(id, 0, 0) })
+	case FaultPartitionGroups:
+		cross := func(op func(from, to int)) {
+			for _, a := range f.GroupA {
+				for _, b := range f.GroupB {
+					op(a-1, b-1)
+					op(b-1, a-1)
+				}
+			}
+		}
+		cross(lc.cut)
+		heal(func() { cross(lc.heal) })
 	case FaultDegradeLinks:
 		nw := c.Network()
 		// Snapshot every directed link's own schedule so heterogeneous

@@ -27,10 +27,10 @@ func TestLinkCutsRefcountOverlap(t *testing.T) {
 		return delivered > before
 	}
 
-	lc.cutNode(2)     // fault A: node 3 (0-based 2) fully partitioned
-	lc.cut(3, 2)      // fault B: link 4→3 cut too
-	lc.cut(2, 3)      // ... and 3→4
-	lc.heal(3, 2)     // fault B heals first
+	lc.cutNode(2) // fault A: node 3 (0-based 2) fully partitioned
+	lc.cut(3, 2)  // fault B: link 4→3 cut too
+	lc.cut(2, 3)  // ... and 3→4
+	lc.heal(3, 2) // fault B heals first
 	lc.heal(2, 3)
 	if probe() {
 		t.Fatal("link-down heal reopened a link the node partition still holds cut")
@@ -38,6 +38,40 @@ func TestLinkCutsRefcountOverlap(t *testing.T) {
 	lc.healNode(2) // fault A heals: now the link really reopens
 	if !probe() {
 		t.Fatal("link stayed cut after every fault healed")
+	}
+}
+
+// TestFaultValidateNewKinds covers the clock-skew and partition-groups
+// validation rules.
+func TestFaultValidateNewKinds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"skew drift", Fault{Kind: FaultClockSkew, Node: 2, Drift: -0.5}, true},
+		{"skew offset", Fault{Kind: FaultClockSkew, Node: 2, Offset: Duration(time.Second)}, true},
+		{"skew no node", Fault{Kind: FaultClockSkew, Drift: 0.5}, false},
+		{"skew no effect", Fault{Kind: FaultClockSkew, Node: 2}, false},
+		{"skew clock backwards", Fault{Kind: FaultClockSkew, Node: 2, Drift: -1}, false},
+		{"groups ok", Fault{Kind: FaultPartitionGroups, GroupA: []int{1, 2}, GroupB: []int{3, 4, 5}}, true},
+		{"groups empty side", Fault{Kind: FaultPartitionGroups, GroupA: []int{1}}, false},
+		{"groups zero-based", Fault{Kind: FaultPartitionGroups, GroupA: []int{0}, GroupB: []int{1}}, false},
+		{"groups overlap", Fault{Kind: FaultPartitionGroups, GroupA: []int{1, 2}, GroupB: []int{2, 3}}, false},
+	} {
+		if err := tc.f.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	// Topology bounds: a group member beyond N is a spec-level error.
+	s := Spec{
+		Name: "oob", Measure: MeasureSeries, Topology: Topology{N: 3},
+		Network: Stable(time.Millisecond), Variant: VariantSpec{Name: "raft"},
+		Horizon: Duration(time.Second),
+		Faults:  []Fault{{Kind: FaultPartitionGroups, GroupA: []int{1}, GroupB: []int{4}}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("partition-groups member beyond N accepted")
 	}
 }
 

@@ -44,11 +44,14 @@ func Lookup(name string) (Spec, bool) {
 	if !ok {
 		return Spec{}, false
 	}
-	return s.clone(), true
+	return s.Clone(), true
 }
 
-// clone deep-copies the spec's pointer/slice sections.
-func (s Spec) clone() Spec {
+// Clone deep-copies the spec's pointer/slice sections, so a caller can
+// derive variations (grid cells, per-rep seeds) without aliasing the
+// original's schedule or workload. The sweep engine clones once per cell
+// and once per repetition.
+func (s Spec) Clone() Spec {
 	out := s
 	if s.Topology.Regions != nil {
 		out.Topology.Regions = append([]string(nil), s.Topology.Regions...)
@@ -58,6 +61,10 @@ func (s Spec) clone() Spec {
 	}
 	if s.Faults != nil {
 		out.Faults = append([]Fault(nil), s.Faults...)
+		for i := range out.Faults {
+			out.Faults[i].GroupA = append([]int(nil), out.Faults[i].GroupA...)
+			out.Faults[i].GroupB = append([]int(nil), out.Faults[i].GroupB...)
+		}
 	}
 	if s.Workload != nil {
 		w := *s.Workload
@@ -115,8 +122,8 @@ func init() {
 		Description: "Fig. 5: open-loop Poisson RPS ramp to 18k req/s without failures (Raft)",
 		Measure:     MeasureThroughput,
 		Topology:    n5, Network: Stable(100 * time.Millisecond), Variant: raftV,
-		Workload:    WorkloadFrom(paperRamp, 0),
-		Reps:        10, Seed: 21,
+		Workload: WorkloadFrom(paperRamp, 0),
+		Reps:     10, Seed: 21,
 	})
 	register(Spec{
 		Name:        "paper-rtt-gradual",
@@ -233,5 +240,30 @@ func init() {
 			Every: Duration(25 * time.Second), Count: 2, Duration: Duration(8 * time.Second),
 			RTT: Duration(100 * time.Millisecond), Jitter: Duration(2 * time.Millisecond), Loss: 0.25}},
 		Seed: 113, Horizon: Duration(60 * time.Second), CPUEvery: Duration(5 * time.Second),
+	})
+	register(Spec{
+		Name: "clock-skew-follower",
+		Description: "One follower's clock runs 20x fast for 30s (NTP error, §IV-D caveat): its " +
+			"election timer fires below the heartbeat interval, but pre-vote + leader " +
+			"stickiness must absorb the premature campaigns without an election",
+		Measure:  MeasureSeries,
+		Topology: n5, Network: Stable(100 * time.Millisecond), Variant: raftV,
+		// Node 3 is a follower for this seed (node 2 wins the first
+		// election); skewing the leader instead would skew its check-quorum
+		// sweep and abdicate it — a different, far louder failure.
+		Faults: []Fault{{Kind: FaultClockSkew, Node: 3, At: Duration(10 * time.Second),
+			Duration: Duration(30 * time.Second), Drift: -0.95}},
+		Seed: 127, Horizon: Duration(60 * time.Second), CPUEvery: Duration(5 * time.Second),
+	})
+	register(Spec{
+		Name: "split-brain-2-3",
+		Description: "Split-brain: nodes {1,2} are cut from {3,4,5} for 20s and healed; the " +
+			"majority side must keep (or regain) a leader and the minority must never " +
+			"commit — the no-double-commit assertion lives in the cluster tests",
+		Measure:  MeasureSeries,
+		Topology: n5, Network: Stable(100 * time.Millisecond), Variant: dynatune,
+		Faults: []Fault{{Kind: FaultPartitionGroups, At: Duration(10 * time.Second),
+			Duration: Duration(20 * time.Second), GroupA: []int{1, 2}, GroupB: []int{3, 4, 5}}},
+		Seed: 131, Horizon: Duration(60 * time.Second), CPUEvery: Duration(5 * time.Second),
 	})
 }

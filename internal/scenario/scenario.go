@@ -154,6 +154,30 @@ func Stable(rtt time.Duration) Net {
 	return NetFrom(netsim.Constant(netsim.Params{RTT: rtt, Jitter: 2 * time.Millisecond}))
 }
 
+// WithLoss returns a copy of the schedule with every segment's loss rate
+// replaced — the sweep engine's loss axis, applied uniformly so a grid
+// cell keeps the base scenario's RTT shape.
+func (n Net) WithLoss(loss float64) Net {
+	out := n
+	out.Segments = append([]Segment(nil), n.Segments...)
+	for i := range out.Segments {
+		out.Segments[i].Loss = loss
+	}
+	return out
+}
+
+// WithRTT returns a copy of the schedule with every segment's RTT
+// replaced — the sweep engine's rtt axis. Fluctuation scenarios whose
+// meaning is the RTT shape itself should not be swept on this axis.
+func (n Net) WithRTT(rtt Duration) Net {
+	out := n
+	out.Segments = append([]Segment(nil), n.Segments...)
+	for i := range out.Segments {
+		out.Segments[i].RTT = rtt
+	}
+	return out
+}
+
 // VariantSpec names the system under test. The bind layer realizes it
 // into a concrete tuner factory; the legacy wrappers carry their already-
 // constructed cluster.Variant through the Env and use only Name.
@@ -316,6 +340,11 @@ func (s Spec) Validate() error {
 			if f.From > n || f.To > n {
 				return fmt.Errorf("scenario %q: fault %d targets link %d→%d of %d nodes", s.Name, i, f.From, f.To, n)
 			}
+			for _, id := range append(append([]int(nil), f.GroupA...), f.GroupB...) {
+				if id > n {
+					return fmt.Errorf("scenario %q: fault %d partitions node %d of %d", s.Name, i, id, n)
+				}
+			}
 		}
 		if f.Kind.needsPersist() && !s.Topology.Persist {
 			return fmt.Errorf("scenario %q: fault %q needs topology.persist", s.Name, f.Kind)
@@ -327,10 +356,17 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: fault %q needs a duration (crash → restart delay); for a permanent outage use %q", s.Name, f.Kind, FaultPauseNode)
 		}
 	}
+	if n := len(s.Topology.Regions); n > 0 && s.Topology.N > 0 && n != s.Topology.N {
+		// One region per node; a mismatch would only surface as a panic
+		// when the testbed is built inside a trial worker.
+		return fmt.Errorf("scenario %q: %d regions for %d nodes", s.Name, n, s.Topology.N)
+	}
 	if s.Topology.Groups > 0 {
 		// The sharded testbed runs uniform co-deployed groups; sections it
 		// would silently drop are rejected instead.
 		switch {
+		case s.Measure != MeasureThroughput:
+			return fmt.Errorf("scenario %q: sharded topologies only run the throughput measure, not %q", s.Name, s.Measure)
 		case len(s.Topology.Regions) > 0:
 			return fmt.Errorf("scenario %q: geo regions are not supported for sharded topologies", s.Name)
 		case s.Topology.Persist:

@@ -112,16 +112,16 @@ func TestDurationForms(t *testing.T) {
 func TestSpecValidateRejectsNonsense(t *testing.T) {
 	cases := []Spec{
 		{Measure: "nope"},
-		{Measure: MeasureFailover},                                                           // no trials
-		{Measure: MeasureFailover, Trials: 1, Faults: []Fault{{Kind: FaultLinkDown}}},        // not a trial injector (and bad link)
-		{Measure: MeasureSeries},                                                             // no horizon
-		{Measure: MeasureThroughput},                                                         // no workload
-		{Measure: MeasureReads},                                                              // no probe
-		{Measure: MeasureMembership, Topology: Topology{N: 2}},                               // too small
-		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultCrashLeader}}},      // crash without persist
-		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultPauseNode}}},        // no node
+		{Measure: MeasureFailover}, // no trials
+		{Measure: MeasureFailover, Trials: 1, Faults: []Fault{{Kind: FaultLinkDown}}}, // not a trial injector (and bad link)
+		{Measure: MeasureSeries},                               // no horizon
+		{Measure: MeasureThroughput},                           // no workload
+		{Measure: MeasureReads},                                // no probe
+		{Measure: MeasureMembership, Topology: Topology{N: 2}}, // too small
+		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultCrashLeader}}},           // crash without persist
+		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultPauseNode}}},             // no node
 		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultPauseLeader, Count: 3}}}, // repeat without every
-		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultDegradeLinks}}},     // no rtt/duration
+		{Measure: MeasureSeries, Horizon: 1, Faults: []Fault{{Kind: FaultDegradeLinks}}},          // no rtt/duration
 		// Fault schedules a measure would silently ignore must be rejected.
 		{Measure: MeasureFailover, Trials: 1,
 			Faults: []Fault{{Kind: FaultPauseLeader}, {Kind: FaultPauseLeader, At: 1}}}, // >1 trial fault
@@ -146,6 +146,10 @@ func TestSpecValidateRejectsNonsense(t *testing.T) {
 			Faults: []Fault{{Kind: FaultPauseNode, Node: 7}}}, // node out of range
 		{Measure: MeasureSeries, Horizon: 1, Topology: Topology{N: 5},
 			Faults: []Fault{{Kind: FaultLinkDown, From: 1, To: 6}}}, // link endpoint out of range
+		{Measure: MeasureFailover, Trials: 1, Topology: Topology{N: 3, Groups: 2},
+			Faults: []Fault{{Kind: FaultPauseLeader}}}, // sharded topologies run throughput only
+		{Measure: MeasureFailover, Trials: 1,
+			Topology: Topology{N: 3, Regions: []string{"tokyo", "london", "california", "sydney", "sao-paulo"}}}, // 5 regions for 3 nodes
 	}
 	for i, s := range cases {
 		if err := s.Validate(); err == nil {

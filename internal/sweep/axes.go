@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
+)
+
+// The known axes. Each definition parses one operator-supplied value and
+// applies it to a cell's spec; anything a value makes unrunnable is
+// caught by the spec validation that follows in Cells.
+
+type def struct {
+	doc   string
+	apply func(spec *scenario.Spec, value string) error
+}
+
+var defs = map[string]def{
+	"n": {
+		doc: "cluster size (per-group size for sharded topologies)",
+		apply: func(spec *scenario.Spec, v string) error {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("axis n: %q is not a positive integer", v)
+			}
+			spec.Topology.N = n
+			if spec.Topology.Groups > 0 {
+				spec.Topology.NodesPerGroup = n
+			}
+			return nil
+		},
+	},
+	"loss": {
+		doc: "packet-loss rate on every link segment (geo topologies: the matrix loss)",
+		apply: func(spec *scenario.Spec, v string) error {
+			loss, err := strconv.ParseFloat(v, 64)
+			if err != nil || loss < 0 || loss >= 1 {
+				return fmt.Errorf("axis loss: %q is not a rate in [0, 1)", v)
+			}
+			if len(spec.Topology.Regions) > 0 {
+				spec.Topology.GeoLoss = loss
+				return nil
+			}
+			if len(spec.Network.Segments) == 0 {
+				// bind would fall back to its default profile: the cell
+				// would be labelled with a loss that was never applied.
+				return fmt.Errorf("axis loss: the base spec has no network segments to apply it to")
+			}
+			spec.Network = spec.Network.WithLoss(loss)
+			return nil
+		},
+	},
+	"rtt": {
+		doc: "RTT on every link segment, e.g. 50ms (not valid for geo topologies)",
+		apply: func(spec *scenario.Spec, v string) error {
+			rtt, err := time.ParseDuration(v)
+			if err != nil || rtt <= 0 {
+				return fmt.Errorf("axis rtt: %q is not a positive duration", v)
+			}
+			if len(spec.Topology.Regions) > 0 {
+				return fmt.Errorf("axis rtt: geo topologies take their RTTs from the region matrix")
+			}
+			if len(spec.Network.Segments) == 0 {
+				return fmt.Errorf("axis rtt: the base spec has no network segments to apply it to")
+			}
+			spec.Network = spec.Network.WithRTT(scenario.Duration(rtt))
+			return nil
+		},
+	},
+	"variant": {
+		doc: "system under test: raft | raft-low | dynatune | dynatune-ext | fix-k",
+		apply: func(spec *scenario.Spec, v string) error {
+			// bind owns the name registry; asking it keeps one source of
+			// truth (and accepts the display spellings spec files may use).
+			probe := spec.Variant
+			probe.Name = v
+			if _, err := bind.Variant(probe); err != nil {
+				return fmt.Errorf("axis variant: %w", err)
+			}
+			spec.Variant.Name = v
+			return nil
+		},
+	},
+	"shards": {
+		doc: "Raft group count (throughput scenarios; all values must be positive)",
+		apply: func(spec *scenario.Spec, v string) error {
+			g, err := strconv.Atoi(v)
+			if err != nil || g < 1 {
+				return fmt.Errorf("axis shards: %q is not a positive integer", v)
+			}
+			spec.Topology.Groups = g
+			if spec.Topology.NodesPerGroup == 0 {
+				spec.Topology.NodesPerGroup = spec.Topology.N
+			}
+			return nil
+		},
+	},
+	"scale": {
+		doc: "scenario.Scale fraction shrinking trials/horizon per cell, in (0, 1]",
+		apply: func(spec *scenario.Spec, v string) error {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return fmt.Errorf("axis scale: %q is not a fraction in (0, 1]", v)
+			}
+			*spec = scenario.Scale(*spec, f)
+			return nil
+		},
+	},
+}
+
+func axisDef(name string) (def, error) {
+	d, ok := defs[name]
+	if !ok {
+		return def{}, fmt.Errorf("sweep: unknown axis %q (known: %s)", name, strings.Join(AxisNames(), ", "))
+	}
+	return d, nil
+}
+
+// AxisNames lists the known axes in sorted order.
+func AxisNames() []string {
+	out := make([]string, 0, len(defs))
+	for n := range defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AxisDoc returns one axis's help line.
+func AxisDoc(name string) string { return defs[name].doc }

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+)
+
+// The baseline gate: diff a fresh campaign report against a prior one
+// and flag every cell metric whose mean moved the wrong way beyond a
+// relative threshold. This is the seed of perf gating — run a campaign
+// on main, store the JSON report, and any branch re-running the same
+// campaign fails loudly when a cell regresses.
+
+// Regression is one flagged cell metric.
+type Regression struct {
+	// Cell is the row identity ("n=3 loss=0.1").
+	Cell   string
+	Metric string
+	// Base and Cur are the two means; Delta is the relative change in the
+	// worse direction (0.25 = 25% worse than baseline).
+	Base, Cur, Delta float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (%.1f%% worse)", r.Cell, r.Metric, r.Base, r.Cur, r.Delta*100)
+}
+
+// Compare diffs cur against base cell by cell. Rows match on their axis
+// values; metrics match by name. threshold is the relative worsening of
+// a metric's mean that counts as a regression (0.1 = 10%). Cells or
+// metrics present on only one side are skipped — a grown grid must not
+// fail the gate — but mismatched axis sets are an error since no cell
+// could match.
+func Compare(cur, base *Report, threshold float64) ([]Regression, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("sweep: compare threshold must be positive, got %v", threshold)
+	}
+	if cur.Measure != "" && base.Measure != "" && cur.Measure != base.Measure {
+		return nil, fmt.Errorf("sweep: measure %q cannot gate against a %q baseline", cur.Measure, base.Measure)
+	}
+	if len(cur.Axes) != len(base.Axes) {
+		return nil, fmt.Errorf("sweep: axis sets differ (%d vs %d axes); reports are not comparable", len(cur.Axes), len(base.Axes))
+	}
+	for i := range cur.Axes {
+		if cur.Axes[i].Name != base.Axes[i].Name {
+			return nil, fmt.Errorf("sweep: axis %d is %q here but %q in the baseline", i, cur.Axes[i].Name, base.Axes[i].Name)
+		}
+	}
+	baseRows := make(map[string]Row, len(base.Rows))
+	for _, row := range base.Rows {
+		baseRows[row.Key(base.Axes)] = row
+	}
+	var regs []Regression
+	matched, compared := 0, 0
+	for _, row := range cur.Rows {
+		key := row.Key(cur.Axes)
+		b, ok := baseRows[key]
+		if !ok {
+			continue
+		}
+		matched++
+		baseMetrics := make(map[string]MetricSummary, len(b.Metrics))
+		for _, m := range b.Metrics {
+			baseMetrics[m.Name] = m
+		}
+		for _, m := range row.Metrics {
+			bm, ok := baseMetrics[m.Name]
+			if !ok {
+				continue
+			}
+			compared++
+			if math.Abs(bm.Mean) < 1e-12 {
+				// No relative scale. Only an absolute appearance of a
+				// lower-is-better metric (e.g. failed_trials 0 -> 3) counts.
+				if m.Better == BetterLower && m.Mean > 1e-12 {
+					regs = append(regs, Regression{Cell: key, Metric: m.Name, Base: bm.Mean, Cur: m.Mean, Delta: math.Inf(1)})
+				}
+				continue
+			}
+			rel := (m.Mean - bm.Mean) / math.Abs(bm.Mean)
+			worse := 0.0
+			switch m.Better {
+			case BetterLower:
+				worse = rel
+			case BetterHigher:
+				worse = -rel
+			default:
+				continue
+			}
+			if worse > threshold {
+				regs = append(regs, Regression{Cell: key, Metric: m.Name, Base: bm.Mean, Cur: m.Mean, Delta: worse})
+			}
+		}
+	}
+	// A gate that compared nothing must not pass: axis values match as the
+	// literal strings the operator typed (a respelled "0.05" vs "0.050"
+	// matches no cell), and disjoint metric sets compare no numbers.
+	if len(cur.Rows) > 0 {
+		if matched == 0 {
+			return nil, fmt.Errorf("sweep: no cell of this campaign matches the baseline")
+		}
+		if compared == 0 {
+			return nil, fmt.Errorf("sweep: matching cells share no metrics with the baseline")
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"fmt"
+
+	"dynatune/internal/scenario"
+)
+
+// Metric directions for the baseline gate: a regression is a mean moving
+// the wrong way beyond the threshold.
+const (
+	BetterLower  = "lower"
+	BetterHigher = "higher"
+)
+
+// metricDef is one headline metric of a measure: a stable column name, a
+// direction, and an extractor pulling that repetition's samples out of an
+// executed result. Sample-rich metrics (failover detection/OTS, read
+// latencies) contribute every per-trial sample, so the cell summary's
+// p50/p99 are over real distributions; scalar metrics contribute one
+// sample per repetition.
+type metricDef struct {
+	name    string
+	better  string
+	extract func(res *scenario.Result) []float64
+}
+
+func scalar(v float64) []float64 { return []float64{v} }
+
+// metricSet returns the measure's metric columns, fixed for the whole
+// campaign (every cell shares the base's measure, fault schedule, and
+// sharded-or-not shape, so the report's schema is stable). The spec must
+// be a realized cell spec, not the raw base: the shards axis may have
+// turned a single-group base sharded.
+func metricSet(spec scenario.Spec) ([]metricDef, error) {
+	switch spec.Measure {
+	case scenario.MeasureFailover:
+		if spec.TrialFault() == scenario.FaultTransferLeader {
+			return []metricDef{
+				{"handover_ms", BetterLower, func(r *scenario.Result) []float64 { return r.Failover.HandoverMs }},
+				{"failed_trials", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.Failover.FailedTrials)) }},
+			}, nil
+		}
+		return []metricDef{
+			{"detection_ms", BetterLower, func(r *scenario.Result) []float64 { return r.Failover.DetectionMs }},
+			{"ots_ms", BetterLower, func(r *scenario.Result) []float64 { return r.Failover.OTSMs }},
+			{"failed_trials", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.Failover.FailedTrials)) }},
+		}, nil
+	case scenario.MeasureSeries:
+		return []metricDef{
+			{"ots_total_s", BetterLower, func(r *scenario.Result) []float64 { return scalar(r.Series.OTS.Total().Seconds()) }},
+			{"elections", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.Series.Elections)) }},
+			{"timeouts", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.Series.Timeouts)) }},
+		}, nil
+	case scenario.MeasureThroughput:
+		if spec.Topology.Groups > 0 {
+			return []metricDef{
+				{"agg_rps", BetterHigher, func(r *scenario.Result) []float64 { return scalar(r.ShardRamps[0].AggThroughput) }},
+				{"peak_rps", BetterHigher, func(r *scenario.Result) []float64 { return scalar(r.ShardRamps[0].PeakThroughput) }},
+				{"p99_ms", BetterLower, func(r *scenario.Result) []float64 { return scalar(r.ShardRamps[0].P99Ms) }},
+				{"lost", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.ShardRamps[0].Lost)) }},
+			}, nil
+		}
+		return []metricDef{
+			{"peak_rps", BetterHigher, func(r *scenario.Result) []float64 {
+				peak := 0.0
+				for _, p := range r.Ramp.Points {
+					if p.ThroughputRS > peak {
+						peak = p.ThroughputRS
+					}
+				}
+				return scalar(peak)
+			}},
+			{"mean_latency_ms", BetterLower, func(r *scenario.Result) []float64 {
+				sum, n := 0.0, 0
+				for _, p := range r.Ramp.Points {
+					if p.LatencyMs > 0 {
+						sum += p.LatencyMs
+						n++
+					}
+				}
+				if n == 0 {
+					return scalar(0)
+				}
+				return scalar(sum / float64(n))
+			}},
+			{"lost", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.Ramp.Lost)) }},
+		}, nil
+	case scenario.MeasureReads:
+		return []metricDef{
+			{"read_ms", BetterLower, func(r *scenario.Result) []float64 { return r.Reads.LatencyMs }},
+			{"failed", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.Reads.Failed)) }},
+		}, nil
+	case scenario.MeasureMembership:
+		return []metricDef{
+			{"catchup_ms", BetterLower, func(r *scenario.Result) []float64 { return scalar(r.Membership.CatchupMs) }},
+			{"promote_ms", BetterLower, func(r *scenario.Result) []float64 { return scalar(r.Membership.PromoteMs) }},
+			{"post_failover_ots_ms", BetterLower, func(r *scenario.Result) []float64 { return scalar(r.Membership.PostFailoverOTSMs) }},
+		}, nil
+	}
+	return nil, fmt.Errorf("sweep: no metric set for measure %q", spec.Measure)
+}

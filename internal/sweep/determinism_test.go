@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dynatune/internal/scenario"
+)
+
+// TestCampaignDeterministicAcrossWorkers is the sweep engine's core
+// guarantee: a small 2×2 campaign must produce byte-identical CSV and
+// JSON whether the (cell, rep) units run on one worker or eight — unit
+// seeds derive from grid coordinates alone and rows merge in grid order.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	campaign := func(workers int) Campaign {
+		return Campaign{
+			Base: scenario.Spec{
+				Name:     "determinism",
+				Measure:  scenario.MeasureFailover,
+				Topology: scenario.Topology{N: 3},
+				Network:  scenario.Stable(100 * time.Millisecond),
+				Variant:  scenario.VariantSpec{Name: "raft"},
+				Faults:   []scenario.Fault{{Kind: scenario.FaultPauseLeader}},
+				Trials:   3, Settle: scenario.Duration(2 * time.Second),
+			},
+			Axes: []Axis{
+				{Name: "variant", Values: []string{"raft", "dynatune"}},
+				{Name: "loss", Values: []string{"0", "0.05"}},
+			},
+			Reps: 2, Seed: 7, Workers: workers,
+		}
+	}
+	emit := func(workers int) (csv, js []byte) {
+		t.Helper()
+		rep, err := Run(campaign(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cbuf, jbuf bytes.Buffer
+		if err := rep.WriteCSV(&cbuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&jbuf); err != nil {
+			t.Fatal(err)
+		}
+		return cbuf.Bytes(), jbuf.Bytes()
+	}
+
+	csv1, js1 := emit(1)
+	csv8, js8 := emit(8)
+	if !bytes.Equal(csv1, csv8) {
+		t.Fatalf("CSV diverged across worker counts:\n1 worker:\n%s\n8 workers:\n%s", csv1, csv8)
+	}
+	if !bytes.Equal(js1, js8) {
+		t.Fatal("JSON diverged across worker counts")
+	}
+	// And the report must have real content: 4 cells × 3 metrics of
+	// failover samples.
+	rep, err := Run(campaign(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rep.Rows))
+	}
+	// With variant swept, the header's base-variant field would mislabel
+	// half the rows; it must be cleared.
+	if rep.Variant != "" {
+		t.Fatalf("mixed-variant campaign labelled %q", rep.Variant)
+	}
+	for _, row := range rep.Rows {
+		if row.Metrics[0].Name != "detection_ms" || row.Metrics[0].Samples == 0 {
+			t.Fatalf("empty cell %v: %+v", row.Cell, row.Metrics[0])
+		}
+		// 3 trials × 2 reps pooled.
+		if row.Metrics[1].Name != "ots_ms" || row.Metrics[1].Samples != 6 {
+			t.Fatalf("cell %v pooled %d OTS samples, want 6", row.Cell, row.Metrics[1].Samples)
+		}
+		if row.Metrics[1].CI95 <= 0 {
+			t.Fatalf("cell %v has no CI over reps", row.Cell)
+		}
+	}
+}
+
+// TestRunReportsCellErrors: realization failures surface as campaign
+// errors with the cell named, before any simulation runs.
+func TestRunReportsCellErrors(t *testing.T) {
+	base := scenario.Spec{
+		Name:     "bad-variant",
+		Measure:  scenario.MeasureFailover,
+		Topology: scenario.Topology{N: 3},
+		Network:  scenario.Stable(100 * time.Millisecond),
+		Variant:  scenario.VariantSpec{Name: "raft", Estimator: "nope"},
+		Faults:   []scenario.Fault{{Kind: scenario.FaultPauseLeader}},
+		Trials:   1, Settle: scenario.Duration(time.Second),
+	}
+	base.Variant.Name = "dynatune" // estimator "nope" now matters at bind time
+	if _, err := Run(Campaign{Base: base, Axes: []Axis{{Name: "n", Values: []string{"3"}}}}); err == nil {
+		t.Fatal("unrealizable cell accepted")
+	}
+}

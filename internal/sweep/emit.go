@@ -1,0 +1,69 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// The emitters render a Report with fully deterministic bytes: rows in
+// grid order, metrics in measure order, floats through one shared
+// formatter — so re-running a campaign (any worker count) and diffing
+// the files is a valid determinism check, and baseline reports are
+// stable artifacts.
+
+// fnum renders a float compactly and deterministically (shortest
+// round-trip representation).
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV renders the report in long form: one row per (cell, metric),
+// with one column per axis. Schema:
+//
+//	scenario,<axis>...,metric,better,samples,mean,std,min,max,p50,p90,p99,ci95
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := []string{"scenario"}
+	for _, ax := range r.Axes {
+		head = append(head, ax.Name)
+	}
+	head = append(head, "metric", "better", "samples", "mean", "std", "min", "max", "p50", "p90", "p99", "ci95")
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, m := range row.Metrics {
+			rec := []string{r.Scenario}
+			rec = append(rec, row.Cell...)
+			rec = append(rec, m.Name, m.Better, strconv.Itoa(m.Samples),
+				fnum(m.Mean), fnum(m.Std), fnum(m.Min), fnum(m.Max),
+				fnum(m.P50), fnum(m.P90), fnum(m.P99), fnum(m.CI95))
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the full report (the format ReadReport loads and the
+// baseline gate diffs).
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadReport loads a JSON report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

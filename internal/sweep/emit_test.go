@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Scenario: "paper-elections",
+		Measure:  "failover",
+		Variant:  "dynatune",
+		Axes: []Axis{
+			{Name: "n", Values: []string{"3", "5"}},
+			{Name: "loss", Values: []string{"0"}},
+		},
+		Reps: 2,
+		Seed: 42,
+		Rows: []Row{
+			{Cell: []string{"3", "0"}, Metrics: []MetricSummary{
+				{Name: "detection_ms", Better: BetterLower, Samples: 4, Mean: 240.5, Std: 10.25,
+					Min: 228, Max: 251, P50: 241.5, P90: 250, P99: 250.75, CI95: 3.5},
+				{Name: "failed_trials", Better: BetterLower, Samples: 2},
+			}},
+			{Cell: []string{"5", "0"}, Metrics: []MetricSummary{
+				{Name: "detection_ms", Better: BetterLower, Samples: 4, Mean: 238, Std: 9,
+					Min: 230, Max: 250, P50: 236, P90: 247, P99: 249.5, CI95: 2},
+				{Name: "failed_trials", Better: BetterLower, Samples: 2},
+			}},
+		},
+	}
+}
+
+// TestWriteCSVGolden pins the emitter's exact bytes: the column schema
+// is an interface (README documents it) and determinism checks diff the
+// files, so any change here must be deliberate.
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"scenario,n,loss,metric,better,samples,mean,std,min,max,p50,p90,p99,ci95",
+		"paper-elections,3,0,detection_ms,lower,4,240.5,10.25,228,251,241.5,250,250.75,3.5",
+		"paper-elections,3,0,failed_trials,lower,2,0,0,0,0,0,0,0,0",
+		"paper-elections,5,0,detection_ms,lower,4,238,9,230,250,236,247,249.5,2",
+		"paper-elections,5,0,failed_trials,lower,2,0,0,0,0,0,0,0,0",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("CSV diverged:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONRoundTrip: a written report must load back identical — that is
+// the baseline gate's storage format.
+func TestJSONRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != rep.Scenario || got.Seed != rep.Seed || len(got.Rows) != len(rep.Rows) {
+		t.Fatalf("header diverged: %+v", got)
+	}
+	if got.Rows[0].Metrics[0] != rep.Rows[0].Metrics[0] {
+		t.Fatalf("metric diverged: %+v vs %+v", got.Rows[0].Metrics[0], rep.Rows[0].Metrics[0])
+	}
+	if got.Axes[0].Name != "n" || got.Rows[1].Cell[0] != "5" {
+		t.Fatalf("cells diverged: %+v", got.Rows[1])
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+
+	// Unchanged: no regressions.
+	regs, err := Compare(cur, base, 0.10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("clean compare: %v, %v", regs, err)
+	}
+
+	// detection_ms (lower is better) worsens 20% in cell n=5: flagged.
+	cur.Rows[1].Metrics[0].Mean = base.Rows[1].Metrics[0].Mean * 1.2
+	regs, err = Compare(cur, base, 0.10)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("regression compare: %v, %v", regs, err)
+	}
+	if regs[0].Cell != "n=5 loss=0" || regs[0].Metric != "detection_ms" {
+		t.Fatalf("wrong flag: %+v", regs[0])
+	}
+	if math.Abs(regs[0].Delta-0.2) > 1e-9 {
+		t.Fatalf("delta %v, want 0.2", regs[0].Delta)
+	}
+
+	// A 20% improvement must not be flagged.
+	cur.Rows[1].Metrics[0].Mean = base.Rows[1].Metrics[0].Mean * 0.8
+	if regs, _ = Compare(cur, base, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+
+	// failed_trials appearing from zero is a regression even without a
+	// relative scale.
+	cur = sampleReport()
+	cur.Rows[0].Metrics[1].Mean = 3
+	if regs, _ = Compare(cur, base, 0.10); len(regs) != 1 || !math.IsInf(regs[0].Delta, 1) {
+		t.Fatalf("zero-base regression missed: %v", regs)
+	}
+}
+
+func TestCompareDirectionHigher(t *testing.T) {
+	base := sampleReport()
+	base.Rows[0].Metrics[0] = MetricSummary{Name: "peak_rps", Better: BetterHigher, Mean: 1000}
+	cur := sampleReport()
+	cur.Rows[0].Metrics[0] = MetricSummary{Name: "peak_rps", Better: BetterHigher, Mean: 800}
+	regs, err := Compare(cur, base, 0.10)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("throughput drop not flagged: %v, %v", regs, err)
+	}
+	if math.Abs(regs[0].Delta-0.2) > 1e-9 {
+		t.Fatalf("delta %v, want 0.2", regs[0].Delta)
+	}
+}
+
+func TestCompareMismatchedAxes(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Axes = cur.Axes[:1]
+	if _, err := Compare(cur, base, 0.10); err == nil {
+		t.Fatal("mismatched axis sets accepted")
+	}
+	if _, err := Compare(sampleReport(), base, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+}
+
+// TestCompareSkipsUnmatchedCells: a grown grid gates only the shared
+// cells — but a gate where NOTHING matches must fail, not pass
+// vacuously (respelled axis values would otherwise compare nothing and
+// report success).
+func TestCompareSkipsUnmatchedCells(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Rows[1].Cell = []string{"9", "0"} // not in the baseline
+	cur.Rows[1].Metrics[0].Mean = 1e9
+	regs, err := Compare(cur, base, 0.10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("unmatched cell gated: %v, %v", regs, err)
+	}
+	cur.Rows[0].Cell = []string{"3", "0.000"} // now zero cells match
+	if _, err := Compare(cur, base, 0.10); err == nil {
+		t.Fatal("vacuous comparison (no matching cells) passed")
+	}
+	// Same vacuity rule one level down: cells that match but share no
+	// metric names compared nothing.
+	cur = sampleReport()
+	cur.Measure = base.Measure
+	for i := range cur.Rows {
+		for j := range cur.Rows[i].Metrics {
+			cur.Rows[i].Metrics[j].Name = "renamed_" + cur.Rows[i].Metrics[j].Name
+		}
+	}
+	if _, err := Compare(cur, base, 0.10); err == nil {
+		t.Fatal("vacuous comparison (no shared metrics) passed")
+	}
+	// And reports of different measures are not comparable at all.
+	cur = sampleReport()
+	cur.Measure = "reads"
+	if _, err := Compare(cur, base, 0.10); err == nil {
+		t.Fatal("cross-measure comparison accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"fmt"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/metrics"
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
+)
+
+// Report is one executed campaign — what the emitters render and the
+// baseline gate consumes.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Measure  string `json:"measure"`
+	Variant  string `json:"variant"`
+	Axes     []Axis `json:"axes"`
+	Reps     int    `json:"reps"`
+	Seed     int64  `json:"seed"`
+	Rows     []Row  `json:"rows"`
+}
+
+// Row is one grid cell's aggregate.
+type Row struct {
+	// Cell holds the axis values in campaign axis order.
+	Cell    []string        `json:"cell"`
+	Metrics []MetricSummary `json:"metrics"`
+}
+
+// Key renders the row's cell identity ("n=3 loss=0.1") against the
+// report's axes.
+func (r Row) Key(axes []Axis) string {
+	return Cell{Values: r.Cell}.Key(axes)
+}
+
+// MetricSummary is one metric's per-cell statistics: a metrics.Summary
+// over the samples pooled across repetitions, plus the 95% CI of the
+// per-rep means (0 with a single rep).
+type MetricSummary struct {
+	Name    string  `json:"name"`
+	Better  string  `json:"better"`
+	Samples int     `json:"samples"`
+	Mean    float64 `json:"mean"`
+	Std     float64 `json:"std"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	CI95    float64 `json:"ci95"`
+}
+
+// Run expands and executes the campaign. Every (cell, rep) unit runs the
+// cell's spec sequentially inside (bind.RunWorkers with one worker) on a
+// seed derived from the unit's grid coordinates, while the units
+// themselves fan out on cluster.RunSharded — the same runner, and the
+// same determinism contract, as the per-experiment trial shards.
+func Run(c Campaign) (*Report, error) {
+	cells, err := c.Cells()
+	if err != nil {
+		return nil, err
+	}
+	// Realize every cell's env up front so an unknown variant or region
+	// fails before any simulation runs.
+	for _, cell := range cells {
+		if _, err := bind.EnvFor(cell.Spec); err != nil {
+			return nil, fmt.Errorf("sweep: cell %s: %w", cell.Key(c.Axes), err)
+		}
+	}
+	mset, err := metricSet(cells[0].Spec)
+	if err != nil {
+		return nil, err
+	}
+	reps := c.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = cluster.TrialWorkers()
+	}
+
+	type unitOut struct {
+		samples [][]float64 // per metric
+		err     error
+	}
+	units := len(cells) * reps
+	outs := cluster.RunSharded(workers, units, func(u int) unitOut {
+		ci, rep := u/reps, u%reps
+		spec := cells[ci].Spec.Clone()
+		spec.Seed = UnitSeed(c.Seed, ci, rep)
+		if spec.Measure == scenario.MeasureThroughput {
+			// The campaign owns repetition; one ramp per unit.
+			spec.Reps = 1
+		}
+		res, err := bind.RunWorkers(spec, 1)
+		if err != nil {
+			return unitOut{err: fmt.Errorf("sweep: cell %s rep %d: %w", cells[ci].Key(c.Axes), rep, err)}
+		}
+		out := unitOut{samples: make([][]float64, len(mset))}
+		for m, def := range mset {
+			out.samples[m] = def.extract(res)
+		}
+		return out
+	})
+
+	rep := &Report{
+		Scenario: c.Base.Name,
+		Measure:  string(c.Base.Measure),
+		Variant:  c.Base.Variant.Name,
+		Axes:     c.Axes,
+		Reps:     reps,
+		Seed:     c.Seed,
+		Rows:     make([]Row, len(cells)),
+	}
+	for _, ax := range c.Axes {
+		if ax.Name == "variant" {
+			// The header field would mislabel a mixed-variant campaign;
+			// the axis column carries the truth per cell.
+			rep.Variant = ""
+			break
+		}
+	}
+	for ci, cell := range cells {
+		row := Row{Cell: cell.Values, Metrics: make([]MetricSummary, len(mset))}
+		for m, def := range mset {
+			var pooled []float64
+			repMeans := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				out := outs[ci*reps+r]
+				if out.err != nil {
+					return nil, out.err
+				}
+				s := out.samples[m]
+				pooled = append(pooled, s...)
+				if len(s) == 0 {
+					// A rep with no samples (e.g. every trial failed) has no
+					// mean; a fake 0 would corrupt the CI over reps.
+					continue
+				}
+				var w metrics.Welford
+				for _, x := range s {
+					w.Add(x)
+				}
+				repMeans = append(repMeans, w.Mean())
+			}
+			sum := metrics.Summarize(pooled)
+			row.Metrics[m] = MetricSummary{
+				Name: def.name, Better: def.better,
+				Samples: sum.N, Mean: sum.Mean, Std: sum.Std,
+				Min: sum.Min, Max: sum.Max,
+				P50: sum.P50, P90: sum.P90, P99: sum.P99,
+				CI95: metrics.CI95(repMeans),
+			}
+		}
+		rep.Rows[ci] = row
+	}
+	return rep, nil
+}

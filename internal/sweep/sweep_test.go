@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynatune/internal/scenario"
+)
+
+func baseSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:     "grid-base",
+		Measure:  scenario.MeasureFailover,
+		Topology: scenario.Topology{N: 5},
+		Network:  scenario.Stable(100 * time.Millisecond),
+		Variant:  scenario.VariantSpec{Name: "raft"},
+		Faults:   []scenario.Fault{{Kind: scenario.FaultPauseLeader}},
+		Trials:   4, Seed: 1, Settle: scenario.Duration(2 * time.Second),
+	}
+}
+
+// TestCellsCrossProductOrder pins the expansion order the emitters and
+// the baseline gate depend on: row-major, first axis slowest.
+func TestCellsCrossProductOrder(t *testing.T) {
+	c := Campaign{Base: baseSpec(), Axes: []Axis{
+		{Name: "n", Values: []string{"3", "5"}},
+		{Name: "loss", Values: []string{"0", "0.1"}},
+	}}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"3", "0"}, {"3", "0.1"}, {"5", "0"}, {"5", "0.1"}}
+	if len(cells) != len(want) {
+		t.Fatalf("%d cells, want %d", len(cells), len(want))
+	}
+	for i, cell := range cells {
+		if strings.Join(cell.Values, ",") != strings.Join(want[i], ",") {
+			t.Fatalf("cell %d is %v, want %v", i, cell.Values, want[i])
+		}
+	}
+	// Axis values must be applied to the specs, not just recorded.
+	if cells[0].Spec.Topology.N != 3 || cells[3].Spec.Topology.N != 5 {
+		t.Fatalf("n axis not applied: %d / %d", cells[0].Spec.Topology.N, cells[3].Spec.Topology.N)
+	}
+	if l := cells[1].Spec.Network.Segments[0].Loss; l != 0.1 {
+		t.Fatalf("loss axis not applied: %v", l)
+	}
+	if l := cells[2].Spec.Network.Segments[0].Loss; l != 0 {
+		t.Fatalf("loss leaked across cells: %v", l)
+	}
+	// The base spec must be untouched by expansion.
+	if b := c.Base; b.Topology.N != 5 || b.Network.Segments[0].Loss != 0 {
+		t.Fatalf("expansion mutated the base: %+v", b.Topology)
+	}
+}
+
+func TestCellsAxisValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		axes []Axis
+	}{
+		{"unknown axis", []Axis{{Name: "nope", Values: []string{"1"}}}},
+		{"duplicate axis", []Axis{{Name: "n", Values: []string{"3"}}, {Name: "n", Values: []string{"5"}}}},
+		{"no axes", nil},
+		{"empty values", []Axis{{Name: "n", Values: nil}}},
+		{"bad int", []Axis{{Name: "n", Values: []string{"three"}}}},
+		{"negative loss", []Axis{{Name: "loss", Values: []string{"-0.1"}}}},
+		{"loss of 1", []Axis{{Name: "loss", Values: []string{"1"}}}},
+		{"bad rtt", []Axis{{Name: "rtt", Values: []string{"50"}}}},
+		{"unknown variant", []Axis{{Name: "variant", Values: []string{"paxos"}}}},
+		{"zero shards", []Axis{{Name: "shards", Values: []string{"0"}}}},
+		{"scale beyond 1", []Axis{{Name: "scale", Values: []string{"2"}}}},
+	} {
+		if _, err := (Campaign{Base: baseSpec(), Axes: tc.axes}).Cells(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// TestCellsRejectsInvalidCellSpec pins that a grid point the engine
+// cannot run fails the campaign at expansion, not mid-run: n=2 cannot
+// hold a membership experiment, and a geo base rejects the rtt axis.
+func TestCellsRejectsInvalidCellSpec(t *testing.T) {
+	base := baseSpec()
+	base.Measure = scenario.MeasureMembership
+	base.Faults, base.Trials = nil, 0
+	base.Membership = &scenario.MembershipProbe{Preload: 10}
+	if _, err := (Campaign{Base: base, Axes: []Axis{{Name: "n", Values: []string{"5", "2"}}}}).Cells(); err == nil {
+		t.Fatal("membership cell with n=2 accepted")
+	}
+	geo := baseSpec()
+	geo.Topology.Regions = []string{"tokyo", "london", "california", "sydney", "sao-paulo"}
+	if _, err := (Campaign{Base: geo, Axes: []Axis{{Name: "rtt", Values: []string{"50ms"}}}}).Cells(); err == nil {
+		t.Fatal("rtt axis on a geo topology accepted")
+	}
+	// The n axis cannot re-place a geo topology's fixed region list…
+	if _, err := (Campaign{Base: geo, Axes: []Axis{{Name: "n", Values: []string{"3"}}}}).Cells(); err == nil {
+		t.Fatal("n axis mismatching the region count accepted")
+	}
+	// …and the shards axis cannot shard a measure only the single-group
+	// testbed runs. Both used to panic inside a trial worker instead.
+	if _, err := (Campaign{Base: baseSpec(), Axes: []Axis{{Name: "shards", Values: []string{"2"}}}}).Cells(); err == nil {
+		t.Fatal("shards axis on a failover scenario accepted")
+	}
+	// A spec with no network section would run bind's default profile no
+	// matter what loss/rtt value the cell is labelled with.
+	bare := baseSpec()
+	bare.Network = scenario.Net{}
+	for _, ax := range []Axis{{Name: "loss", Values: []string{"0.1"}}, {Name: "rtt", Values: []string{"50ms"}}} {
+		if _, err := (Campaign{Base: bare, Axes: []Axis{ax}}).Cells(); err == nil {
+			t.Fatalf("%s axis on a segmentless network accepted", ax.Name)
+		}
+	}
+}
+
+// TestVariantAxisDelegatesToBind: the axis must accept exactly what bind
+// accepts — including display spellings — instead of keeping a second
+// name list.
+func TestVariantAxisDelegatesToBind(t *testing.T) {
+	cells, err := (Campaign{Base: baseSpec(), Axes: []Axis{{Name: "variant", Values: []string{"Raft", "Dynatune"}}}}).Cells()
+	if err != nil {
+		t.Fatalf("display spellings rejected: %v", err)
+	}
+	if cells[0].Spec.Variant.Name != "Raft" {
+		t.Fatalf("variant not applied: %+v", cells[0].Spec.Variant)
+	}
+}
+
+func TestCellsMaxCellsGuard(t *testing.T) {
+	c := Campaign{Base: baseSpec(), Axes: []Axis{
+		{Name: "n", Values: []string{"3", "5", "7"}},
+		{Name: "loss", Values: []string{"0", "0.1", "0.2"}},
+	}, MaxCells: 8}
+	if _, err := c.Cells(); err == nil || !strings.Contains(err.Error(), "max-cells") {
+		t.Fatalf("9 cells passed a max of 8: %v", err)
+	}
+	c.MaxCells = 9
+	if _, err := c.Cells(); err != nil {
+		t.Fatalf("9 cells rejected at max 9: %v", err)
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	ax, err := ParseAxis("n=3,5")
+	if err != nil || ax.Name != "n" || len(ax.Values) != 2 {
+		t.Fatalf("ParseAxis: %+v, %v", ax, err)
+	}
+	for _, bad := range []string{"n", "=3", "n=", "n=3,,5"} {
+		if _, err := ParseAxis(bad); err == nil {
+			t.Errorf("ParseAxis(%q) accepted", bad)
+		}
+	}
+}
+
+// TestUnitSeedProperties: unit seeds must depend only on coordinates, be
+// distinct across neighbouring units, and never collapse to zero.
+func TestUnitSeedProperties(t *testing.T) {
+	seen := map[int64]bool{}
+	for cell := 0; cell < 8; cell++ {
+		for rep := 0; rep < 4; rep++ {
+			s := UnitSeed(42, cell, rep)
+			if s <= 0 {
+				t.Fatalf("seed(%d,%d) = %d", cell, rep, s)
+			}
+			if seen[s] {
+				t.Fatalf("seed collision at (%d,%d)", cell, rep)
+			}
+			seen[s] = true
+			if s != UnitSeed(42, cell, rep) {
+				t.Fatal("UnitSeed not a pure function")
+			}
+		}
+	}
+}
+
+// TestScaleAxisShrinksTrials: the scale axis applies scenario.Scale per
+// cell, so one campaign can sweep cost itself.
+func TestScaleAxisShrinksTrials(t *testing.T) {
+	base := baseSpec()
+	base.Trials = 100
+	cells, err := (Campaign{Base: base, Axes: []Axis{{Name: "scale", Values: []string{"1", "0.1"}}}}).Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Spec.Trials != 100 || cells[1].Spec.Trials != 10 {
+		t.Fatalf("trials: %d / %d", cells[0].Spec.Trials, cells[1].Spec.Trials)
+	}
+}
+
+// TestShardsAxisSetsNodesPerGroup pins that sweeping shard counts keeps
+// the base's per-group size.
+func TestShardsAxisSetsNodesPerGroup(t *testing.T) {
+	base := scenario.Spec{
+		Name:     "shard-base",
+		Measure:  scenario.MeasureThroughput,
+		Topology: scenario.Topology{N: 3},
+		Network:  scenario.Stable(20 * time.Millisecond),
+		Variant:  scenario.VariantSpec{Name: "raft"},
+		Workload: &scenario.Workload{StartRPS: 100, StepRPS: 0,
+			StepDuration: scenario.Duration(time.Second), Steps: 1, Keys: 64},
+		Seed: 1,
+	}
+	cells, err := (Campaign{Base: base, Axes: []Axis{{Name: "shards", Values: []string{"1", "4"}}}}).Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 4} {
+		if g := cells[i].Spec.Topology.Groups; g != want {
+			t.Fatalf("cell %d groups = %d, want %d", i, g, want)
+		}
+		if npg := cells[i].Spec.Topology.NodesPerGroup; npg != 3 {
+			t.Fatalf("cell %d nodes/group = %d, want 3", i, npg)
+		}
+	}
+}
