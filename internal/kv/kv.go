@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"dynatune/internal/raft"
@@ -200,6 +201,23 @@ func (s *Store) Dupes() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.dupes
+}
+
+// SortedKeys returns every key in ascending order. The shard layer's
+// migration drain iterates the store through this: a sorted export makes
+// the scan order — and therefore the batched-propose order, the log
+// contents, and every downstream measurement — a pure function of the
+// store state, where ranging the map directly would leak Go's randomized
+// map order into the simulation.
+func (s *Store) SortedKeys() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // Snapshot returns a deep copy of the data (testing and state-transfer

@@ -297,3 +297,26 @@ func TestApplySkipsConfChangeEntries(t *testing.T) {
 		t.Fatalf("applies = %d, want 2 (conf entry skipped)", got)
 	}
 }
+
+func TestSortedKeysIsSortedAndComplete(t *testing.T) {
+	s := NewStore()
+	var ents []raft.Entry
+	for i, k := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		ents = append(ents, raft.Entry{Index: uint64(i + 1), Term: 1, Type: raft.EntryNormal,
+			Data: Encode(Command{Op: OpPut, Client: 1, Seq: uint64(i + 1), Key: k, Value: []byte("v")})})
+	}
+	s.Apply(ents)
+	got := s.SortedKeys()
+	want := []string{"alpha", "beta", "mid", "omega", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("SortedKeys returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if n := len(NewStore().SortedKeys()); n != 0 {
+		t.Fatalf("empty store exported %d keys", n)
+	}
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"dynatune/internal/sim"
@@ -311,11 +312,30 @@ func (nw *Network[T]) recovery(p Params) time.Duration {
 	return r
 }
 
-// jitter returns a symmetric noise term, clamped so the one-way delay
-// never goes below half its nominal value.
+// paretoCap bounds the heavy-tailed extra delay: an unbounded draw could
+// strand a TCP stream's in-order floor minutes into the future, turning
+// one straggler into a permanent outage the middlebox model doesn't mean.
+const paretoCap = 5 * time.Second
+
+// jitter returns the per-packet delay-noise term: symmetric Gaussian
+// (clamped so the one-way delay never goes below half its nominal value)
+// for DistNormal, a one-sided Pareto excess for DistPareto.
 func (nw *Network[T]) jitter(p Params) time.Duration {
 	if p.Jitter <= 0 {
 		return 0
+	}
+	if p.Dist == DistPareto {
+		// Excess over zero with scale Jitter, shape Alpha: the median is
+		// Jitter·(2^(1/α)−1) ≈ sub-jitter, but the tail is polynomial.
+		u := nw.eng.Rand().Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		j := time.Duration(float64(p.Jitter) * (math.Pow(u, -1/p.Alpha) - 1))
+		if j > paretoCap {
+			j = paretoCap
+		}
+		return j
 	}
 	j := time.Duration(nw.eng.Rand().NormFloat64() * float64(p.Jitter))
 	if low := -p.RTT / 4; j < low {

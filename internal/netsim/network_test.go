@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -347,5 +348,79 @@ func TestPropertyTCPAlwaysInOrderNoLoss(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParetoDelayHeavyTail: DistPareto must keep the typical packet near
+// the nominal one-way delay while producing polynomial-tail stragglers a
+// Gaussian of the same scale essentially never shows.
+func TestParetoDelayHeavyTail(t *testing.T) {
+	p := Params{RTT: ms(100), Jitter: ms(10), Dist: DistPareto, Alpha: 1.5}
+	const sends = 4000
+	base := p.RTT / 2
+	// UDP delivery is unordered, so tag each packet with its index and
+	// recover the per-packet excess delay from its own send time.
+	eng := sim.NewEngine(7)
+	var delays []time.Duration
+	var nw *Network[int]
+	sendAt := make([]time.Duration, sends)
+	nw = New(eng, 2, Constant(p), func(to, msg int) {
+		delays = append(delays, eng.Now()-sendAt[msg]-base)
+	})
+	for i := 0; i < sends; i++ {
+		i := i
+		sendAt[i] = time.Duration(i) * ms(1)
+		eng.Schedule(sendAt[i], func() { nw.Send(0, 1, UDP, i) })
+	}
+	eng.Run(time.Hour)
+	if len(delays) != sends {
+		t.Fatalf("%d of %d delivered (no loss configured)", len(delays), sends)
+	}
+	over10x, negative := 0, 0
+	var maxExtra time.Duration
+	sorted := make([]float64, 0, sends)
+	for _, d := range delays {
+		if d < 0 {
+			negative++
+		}
+		if d > 10*p.Jitter {
+			over10x++
+		}
+		if d > maxExtra {
+			maxExtra = d
+		}
+		sorted = append(sorted, float64(d))
+	}
+	if negative > 0 {
+		t.Fatalf("%d packets arrived early — the Pareto excess must be one-sided", negative)
+	}
+	sort.Float64s(sorted)
+	med := time.Duration(sorted[len(sorted)/2])
+	// Median excess is Jitter·(2^(1/1.5)−1) ≈ 0.59·Jitter.
+	if med > 2*p.Jitter {
+		t.Fatalf("median excess %v implausibly large for scale %v", med, p.Jitter)
+	}
+	// The tail: with α=1.5, P(X > 10·scale) ≈ 11^-1.5 ≈ 2.7%; Gaussian
+	// 10σ events are nonexistent. Require a healthy straggler count.
+	if over10x < sends/200 {
+		t.Fatalf("only %d of %d packets exceeded 10× the scale — tail not heavy", over10x, sends)
+	}
+	if maxExtra > paretoCap {
+		t.Fatalf("excess %v above the cap %v", maxExtra, paretoCap)
+	}
+}
+
+func TestProfileValidatesPareto(t *testing.T) {
+	bad := Constant(Params{RTT: ms(50), Jitter: ms(5), Dist: DistPareto, Alpha: 1})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("alpha <= 1 accepted")
+	}
+	good := Constant(Params{RTT: ms(50), Jitter: ms(5), Dist: DistPareto, Alpha: 1.2})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid pareto rejected: %v", err)
+	}
+	unknown := Constant(Params{RTT: ms(50), Dist: DelayDist(9)})
+	if err := unknown.Validate(); err == nil {
+		t.Fatal("unknown dist accepted")
 	}
 }

@@ -27,16 +27,39 @@ import (
 	"time"
 )
 
+// DelayDist selects the per-packet delay-noise distribution of a link.
+type DelayDist uint8
+
+const (
+	// DistNormal is the default: symmetric Gaussian noise with standard
+	// deviation Jitter (netem's jitter model).
+	DistNormal DelayDist = iota
+	// DistPareto adds one-sided heavy-tailed extra delay: each packet is
+	// held for Jitter·(U^(-1/Alpha) − 1) — a Pareto excess with scale
+	// Jitter and shape Alpha — modelling a misbehaving middlebox whose
+	// queue occasionally strands packets for orders of magnitude longer
+	// than the median, rather than clean symmetric noise. Most packets see
+	// almost no extra delay; the tail produces multi-hundred-ms stragglers
+	// that defeat RTT estimators tuned on Gaussian jitter.
+	DistPareto
+)
+
 // Params are the instantaneous conditions of one directed link.
 type Params struct {
 	// RTT is the round-trip time of the link; the one-way delay is RTT/2.
 	RTT time.Duration
-	// Jitter is the standard deviation of symmetric per-packet delay noise.
+	// Jitter is the standard deviation of symmetric per-packet delay noise
+	// (DistNormal), or the Pareto scale of the excess delay (DistPareto).
 	Jitter time.Duration
 	// Loss is the per-packet loss probability in [0, 1].
 	Loss float64
 	// Dup is the per-packet duplication probability in [0, 1] (UDP only).
 	Dup float64
+	// Dist selects the delay-noise distribution (default DistNormal).
+	Dist DelayDist
+	// Alpha is the Pareto shape for DistPareto; must exceed 1 so the mean
+	// extra delay Jitter/(Alpha−1) is finite. Smaller alpha → heavier tail.
+	Alpha float64
 }
 
 // Segment is one piece of a piecewise-constant link schedule.
@@ -77,6 +100,18 @@ func (p Profile) Validate() error {
 		}
 		if s.Params.Dup < 0 || s.Params.Dup > 1 {
 			return fmt.Errorf("netsim: segment %d dup %v out of range", i, s.Params.Dup)
+		}
+		switch s.Params.Dist {
+		case DistNormal:
+		case DistPareto:
+			if s.Params.Alpha <= 1 {
+				return fmt.Errorf("netsim: segment %d pareto alpha %v must exceed 1 (finite mean)", i, s.Params.Alpha)
+			}
+			if s.Params.Jitter <= 0 {
+				return fmt.Errorf("netsim: segment %d pareto needs a positive jitter (the Pareto scale)", i)
+			}
+		default:
+			return fmt.Errorf("netsim: segment %d has unknown delay distribution %d", i, s.Params.Dist)
 		}
 	}
 	return nil

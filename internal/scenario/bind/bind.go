@@ -222,6 +222,28 @@ func Summarize(res *scenario.Result) string {
 		for i, r := range res.ShardRamps {
 			s += fmt.Sprintf("  rep %d: %d groups, agg %.0f req/s, peak %.0f, p99 %.0fms | lost %d pending %d\n",
 				i, r.Groups, r.AggThroughput, r.PeakThroughput, r.P99Ms, r.Lost, r.Pending)
+			if rb := r.Rebalance; rb != nil {
+				if rb.Unfinished {
+					s += "    rebalance UNFINISHED: a migration was still draining when the run ended\n"
+				}
+				for _, mv := range rb.Moves {
+					if mv.Skipped {
+						s += fmt.Sprintf("    rebalance %s g%d SKIPPED (an earlier move was still draining)\n", mv.Kind, mv.Group)
+						continue
+					}
+					if mv.Aborted {
+						s += fmt.Sprintf("    rebalance %s g%d ABORTED (no leader by the cutover deadline)\n", mv.Kind, mv.Group)
+						continue
+					}
+					s += fmt.Sprintf("    rebalance %s g%d epoch %d: moved %d/%d keys (%.1f%%, ≈1/(G+1)) in %.0fms drain + %.0fms cleanup, %d rounds\n",
+						mv.Kind, mv.Group, mv.Epoch, mv.MovedKeys, mv.TotalKeys, 100*mv.MovedFraction,
+						mv.CutoverMs-mv.StartMs, mv.DoneMs-mv.CutoverMs, mv.DrainRounds)
+				}
+				s += fmt.Sprintf("    latency p50/p99 ms: pre %.0f/%.0f (%d)  mid-move %.0f/%.0f (%d)  post %.0f/%.0f (%d)\n",
+					rb.Pre.P50Ms, rb.Pre.P99Ms, rb.Pre.Completed,
+					rb.Mid.P50Ms, rb.Mid.P99Ms, rb.Mid.Completed,
+					rb.Post.P50Ms, rb.Post.P99Ms, rb.Post.Completed)
+			}
 		}
 		return s
 	case res.Reads != nil:

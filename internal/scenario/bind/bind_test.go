@@ -326,3 +326,124 @@ func mustLookup(t *testing.T, name string) scenario.Spec {
 	}
 	return spec
 }
+
+// TestScaleOutUnderRampSmoke is the acceptance check for the live
+// rebalance path: the move must relocate ≈1/(G+1) of the keyspace (within
+// 20%), lose or double-apply nothing across the cutover, and record
+// mid-move completions in the phase buckets.
+func TestScaleOutUnderRampSmoke(t *testing.T) {
+	spec := mustLookup(t, "scale-out-under-ramp")
+	spec.Workload.Steps = 2 // smoke-size: 20s ramp, move fires at 12s
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardRamps) != 1 {
+		t.Fatalf("reps: %d", len(res.ShardRamps))
+	}
+	r := res.ShardRamps[0]
+	if r.Groups != 4 {
+		t.Fatalf("groups after scale-out: %d, want 4", r.Groups)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if r.Lost != 0 || r.ProposeErrors != 0 {
+		t.Fatalf("scale-out lost writes: lost=%d proposeErrors=%d", r.Lost, r.ProposeErrors)
+	}
+	if r.Pending != 0 {
+		t.Fatalf("%d arrivals stranded", r.Pending)
+	}
+	rb := r.Rebalance
+	if rb == nil || len(rb.Moves) != 1 {
+		t.Fatalf("rebalance report missing: %+v", rb)
+	}
+	mv := rb.Moves[0]
+	if mv.Kind != "add-group" || mv.Aborted {
+		t.Fatalf("unexpected move: %+v", mv)
+	}
+	// Moved-key fraction within 20% of 1/(G+1) = 1/4.
+	if mv.MovedFraction < 0.25*0.8 || mv.MovedFraction > 0.25*1.2 {
+		t.Fatalf("moved fraction %.3f outside 1/4 ±20%%", mv.MovedFraction)
+	}
+	if rb.Mid.Completed == 0 {
+		t.Fatal("no completions during the move — mid-move latency unmeasured")
+	}
+	if rb.Pre.Completed == 0 || rb.Post.Completed == 0 {
+		t.Fatalf("phase buckets incomplete: pre=%d post=%d", rb.Pre.Completed, rb.Post.Completed)
+	}
+	if rb.Mid.P99Ms <= 0 {
+		t.Fatal("mid-move p99 not recorded")
+	}
+}
+
+func TestScaleInUnderRampSmoke(t *testing.T) {
+	spec := mustLookup(t, "scale-in-under-ramp")
+	spec.Workload.Steps = 2
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.ShardRamps[0]
+	if r.Groups != 3 {
+		t.Fatalf("groups after scale-in: %d, want 3", r.Groups)
+	}
+	if r.Lost != 0 || r.Pending != 0 {
+		t.Fatalf("scale-in dropped traffic: lost=%d pending=%d", r.Lost, r.Pending)
+	}
+	rb := r.Rebalance
+	if rb == nil || len(rb.Moves) != 1 || rb.Moves[0].Kind != "remove-group" || rb.Moves[0].Aborted {
+		t.Fatalf("rebalance report: %+v", rb)
+	}
+	if f := rb.Moves[0].MovedFraction; f < 0.25*0.8 || f > 0.25*1.2 {
+		t.Fatalf("moved fraction %.3f outside 1/4 ±20%%", f)
+	}
+	if rb.Mid.Completed == 0 {
+		t.Fatal("no completions during the move")
+	}
+}
+
+// TestScaleOutDeterministicAcrossWorkers: the migration rides the shared
+// engine, so a rebalancing run must be identical for any trial-runner
+// worker count — the contract every report above it depends on.
+func TestScaleOutDeterministicAcrossWorkers(t *testing.T) {
+	spec := mustLookup(t, "scale-out-under-ramp")
+	spec.Workload.Steps = 2
+	spec.Reps = 2 // two independent engines, fanned across workers
+	run := func(workers int) *scenario.Result {
+		res, err := RunWorkers(spec, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	ja, err := json.Marshal(a.ShardRamps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.ShardRamps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("scale-out diverged across worker counts:\n1: %s\n8: %s", ja, jb)
+	}
+}
+
+func TestParetoMiddleboxSmoke(t *testing.T) {
+	spec := mustLookup(t, "pareto-middlebox")
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series
+	// The heavy tail must be visible to the protocol: premature timeouts
+	// (stragglers exceeding the tuned timeout) with no permanent outage.
+	if s.Timeouts == 0 {
+		t.Fatal("pareto stragglers never fired a timeout — the tail is invisible")
+	}
+	if s.OTS.Total() > 10*time.Second {
+		t.Fatalf("middlebox pulse cost %.1fs of service — worse than a crash", s.OTS.Total().Seconds())
+	}
+}

@@ -57,12 +57,21 @@ type LoadGen interface {
 	Pending() int
 }
 
-// MultiCluster is the sharded multi-Raft testbed (shard.Cluster).
+// MultiCluster is the sharded multi-Raft testbed (shard.Cluster). The
+// rebalance methods drive the dynamic group lifecycle: AddGroupLive and
+// RemoveGroupLive start an asynchronous drain → cutover → serve migration
+// on the shared engine (the rebalance fault kinds fire them mid-run), and
+// Rebalances reports the completed moves.
 type MultiCluster interface {
 	Start()
 	Run(d time.Duration)
 	WaitLeaders(timeout time.Duration) bool
 	Groups() int
+	Engine() *sim.Engine
+	AddGroupLive(deadline time.Duration) error
+	RemoveGroupLive(deadline time.Duration) error
+	Rebalancing() bool
+	Rebalances() []RebalanceStats
 }
 
 // MultiLoadGen is the keyed sharded generator (shard.LoadGen).
@@ -74,6 +83,78 @@ type MultiLoadGen interface {
 	ProposeErrors() uint64
 	Lost() uint64
 	Pending() int
+	// PhaseLatencies buckets the run's per-request latencies by rebalance
+	// phase (before the first move / during any move / after the last).
+	PhaseLatencies() (pre, mid, post PhaseLatency)
+}
+
+// PhaseLatency summarizes the completed requests of one rebalance phase.
+type PhaseLatency struct {
+	Completed int
+	P50Ms     float64
+	P99Ms     float64
+}
+
+// RebalanceStats records one completed (or aborted) group move — the
+// rebalance measurement hook's per-move output. Times are absolute
+// virtual-time marks in milliseconds (the engine clock, which starts 0 at
+// testbed construction — before settle and ramp start); durations like
+// CutoverMs−StartMs are what to compare across runs.
+type RebalanceStats struct {
+	// Kind is the fault kind that drove the move ("add-group" /
+	// "remove-group").
+	Kind string
+	// Group is the group that was added or removed.
+	Group int
+	// Epoch is the router epoch the move installed.
+	Epoch int
+	// StartMs/CutoverMs/DoneMs mark migration start, the routing flip
+	// (fence lift), and source-cleanup completion.
+	StartMs   float64
+	CutoverMs float64
+	DoneMs    float64
+	// MovedKeys / TotalKeys: keys streamed to their new owner vs the whole
+	// keyspace resident at drain time. MovedFraction is their ratio — the
+	// consistent-hash bound says ≈1/(G+1) for an add.
+	MovedKeys     int
+	TotalKeys     int
+	MovedFraction float64
+	// DrainRounds counts convergence passes of the drain scan (>1 means
+	// pre-fence writes were still landing during the first copy).
+	DrainRounds int
+	// Aborted is set when the new group missed the cutover deadline before
+	// electing a leader and the move was rolled back.
+	Aborted bool
+	// Skipped is set when the move never started because an earlier
+	// migration was still draining when it fired; Group is the id the move
+	// would have added or removed.
+	Skipped bool
+}
+
+// RebalanceReport is the rebalance measurement hook: per-move stats plus
+// the run's latency distribution split into pre/mid/post-move phases, so
+// a scenario exposes exactly what the move cost the tail.
+type RebalanceReport struct {
+	Moves []RebalanceStats
+	Pre   PhaseLatency
+	Mid   PhaseLatency
+	Post  PhaseLatency
+	// Unfinished is set when a migration was still in flight at the end
+	// of the run's grace window: Moves then misses that move, and the
+	// final topology is not what the fault schedule promised.
+	Unfinished bool
+}
+
+// MovesDone counts the moves that actually completed (neither skipped by
+// an overlapping migration nor aborted at the cutover deadline).
+func (r RebalanceReport) MovesDone() int {
+	n := 0
+	for _, mv := range r.Moves {
+		if !mv.Skipped && !mv.Aborted {
+			n++
+		}
+	}
+	return n
 }
 
 // Env supplies the concrete testbed constructors for one run. The legacy
@@ -262,6 +343,9 @@ type ShardRampResult struct {
 	// committing; Pending counts arrivals never proposed.
 	Lost    uint64
 	Pending int
+	// Rebalance carries the group-move measurement when the run's fault
+	// schedule included rebalance kinds (nil otherwise).
+	Rebalance *RebalanceReport
 }
 
 // ReadMode selects the linearizable-read path under test.

@@ -58,6 +58,15 @@ const (
 	// split-brain injection (netsim.PartitionGroups) — and heals the cuts
 	// Duration later.
 	FaultPartitionGroups FaultKind = "partition-groups"
+
+	// FaultAddGroup / FaultRemoveGroup are the rebalance kinds, valid only
+	// for sharded throughput runs: they fire MultiCluster.AddGroupLive /
+	// RemoveGroupLive, starting a live drain → cutover → serve migration
+	// (boot or decommission one Raft group and stream its keyspace share
+	// while the workload keeps arriving). Deadline bounds the cutover;
+	// remove-group always retires the highest-numbered group.
+	FaultAddGroup    FaultKind = "add-group"
+	FaultRemoveGroup FaultKind = "remove-group"
 )
 
 // Fault is one entry of the schedule. In failover trials only the first
@@ -76,10 +85,17 @@ type Fault struct {
 	// From/To are the 1-based endpoints of link faults.
 	From int `json:"from,omitempty"`
 	To   int `json:"to,omitempty"`
-	// Degraded link conditions for degrade-links.
+	// Degraded link conditions for degrade-links. Dist selects the delay
+	// noise: "" / "normal" is Gaussian jitter, "pareto" is heavy-tailed
+	// excess delay with shape Alpha (> 1) and scale Jitter — a misbehaving
+	// middlebox rather than clean loss.
 	RTT    Duration `json:"rtt,omitempty"`
 	Jitter Duration `json:"jitter,omitempty"`
 	Loss   float64  `json:"loss,omitempty"`
+	Dist   string   `json:"dist,omitempty"`
+	Alpha  float64  `json:"alpha,omitempty"`
+	// Deadline bounds a rebalance move's cutover (default 30s).
+	Deadline Duration `json:"deadline,omitempty"`
 	// Offset/Drift parameterize clock-skew (see FaultClockSkew).
 	Offset Duration `json:"offset,omitempty"`
 	Drift  float64  `json:"drift,omitempty"`
@@ -103,6 +119,11 @@ func (k FaultKind) needsPersist() bool {
 	return k == FaultCrashLeader || k == FaultCrashNode || k == FaultRollingRestart
 }
 
+// rebalance reports whether the kind drives the sharded group lifecycle.
+func (k FaultKind) rebalance() bool {
+	return k == FaultAddGroup || k == FaultRemoveGroup
+}
+
 func (f Fault) validate() error {
 	switch f.Kind {
 	case FaultPauseLeader, FaultPartitionLeader, FaultAsymPartitionLeader,
@@ -121,6 +142,25 @@ func (f Fault) validate() error {
 		}
 		if f.Duration <= 0 {
 			return fmt.Errorf("degrade-links needs a duration to restore after")
+		}
+		switch f.Dist {
+		case "", "normal":
+			if f.Alpha != 0 {
+				return fmt.Errorf("degrade-links alpha only applies to dist=pareto")
+			}
+		case "pareto":
+			if f.Alpha <= 1 {
+				return fmt.Errorf("degrade-links dist=pareto needs alpha > 1 (finite mean), got %v", f.Alpha)
+			}
+			if f.Jitter <= 0 {
+				return fmt.Errorf("degrade-links dist=pareto needs a jitter (the Pareto scale)")
+			}
+		default:
+			return fmt.Errorf("degrade-links: unknown dist %q (want normal or pareto)", f.Dist)
+		}
+	case FaultAddGroup, FaultRemoveGroup:
+		if f.Deadline < 0 {
+			return fmt.Errorf("%s deadline must not be negative", f.Kind)
 		}
 	case FaultClockSkew:
 		if f.Node < 1 {
@@ -252,6 +292,41 @@ func armFaults(c Cluster, start time.Duration, faults []Fault) {
 	}
 }
 
+// armShardFaults schedules a sharded run's rebalance faults on the
+// multi-cluster's shared engine, fire times relative to start. A move
+// that fires while an earlier one is still draining is skipped (the
+// lifecycle runs one migration at a time); schedule occurrences far
+// enough apart for the drain to converge.
+func armShardFaults(mc MultiCluster, start time.Duration, faults []Fault) {
+	eng := mc.Engine()
+	for _, f := range faults {
+		if !f.Kind.rebalance() {
+			continue // Validate rejects these for sharded runs already
+		}
+		f := f
+		for _, at := range f.occurrences() {
+			eng.Schedule(start+at, func() {
+				switch f.Kind {
+				case FaultAddGroup:
+					_ = mc.AddGroupLive(f.Deadline.D())
+				case FaultRemoveGroup:
+					_ = mc.RemoveGroupLive(f.Deadline.D())
+				}
+			})
+		}
+	}
+}
+
+// hasRebalance reports whether any fault drives the group lifecycle.
+func hasRebalance(faults []Fault) bool {
+	for _, f := range faults {
+		if f.Kind.rebalance() {
+			return true
+		}
+	}
+	return false
+}
+
 // fire injects one fault occurrence and, when the fault has a Duration,
 // schedules its heal.
 func fire(c Cluster, f Fault, occ int, lc *linkCuts) {
@@ -362,6 +437,7 @@ func fire(c Cluster, f Fault, occ int, lc *linkCuts) {
 		}
 		nw.SetAllProfiles(netsim.Constant(netsim.Params{
 			RTT: f.RTT.D(), Jitter: f.Jitter.D(), Loss: f.Loss,
+			Dist: parseDist(f.Dist), Alpha: f.Alpha,
 		}))
 		heal(func() {
 			for _, lp := range prev {

@@ -98,3 +98,88 @@ func TestLinkCutsAsymmetric(t *testing.T) {
 		t.Fatalf("inbound heal did not reopen: %d", got[0])
 	}
 }
+
+func TestFaultValidateRebalanceAndPareto(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"add-group", Fault{Kind: FaultAddGroup}, true},
+		{"add-group deadline", Fault{Kind: FaultAddGroup, Deadline: Duration(10 * time.Second)}, true},
+		{"remove-group", Fault{Kind: FaultRemoveGroup}, true},
+		{"negative deadline", Fault{Kind: FaultAddGroup, Deadline: Duration(-time.Second)}, false},
+		{"pareto ok", Fault{Kind: FaultDegradeLinks, RTT: Duration(100 * time.Millisecond),
+			Jitter: Duration(10 * time.Millisecond), Duration: Duration(5 * time.Second),
+			Dist: "pareto", Alpha: 1.5}, true},
+		{"pareto alpha too small", Fault{Kind: FaultDegradeLinks, RTT: Duration(100 * time.Millisecond),
+			Jitter: Duration(10 * time.Millisecond), Duration: Duration(5 * time.Second),
+			Dist: "pareto", Alpha: 1}, false},
+		{"pareto no jitter scale", Fault{Kind: FaultDegradeLinks, RTT: Duration(100 * time.Millisecond),
+			Duration: Duration(5 * time.Second), Dist: "pareto", Alpha: 1.5}, false},
+		{"unknown dist", Fault{Kind: FaultDegradeLinks, RTT: Duration(100 * time.Millisecond),
+			Duration: Duration(5 * time.Second), Dist: "cauchy"}, false},
+		{"alpha without pareto", Fault{Kind: FaultDegradeLinks, RTT: Duration(100 * time.Millisecond),
+			Duration: Duration(5 * time.Second), Alpha: 1.5}, false},
+	} {
+		if err := tc.f.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+
+	sharded := func(faults ...Fault) Spec {
+		return Spec{
+			Name: "reb", Measure: MeasureThroughput,
+			Topology: Topology{N: 3, Groups: 2, NodesPerGroup: 3},
+			Network:  Stable(time.Millisecond), Variant: VariantSpec{Name: "raft"},
+			Workload: &Workload{StartRPS: 100, StepDuration: Duration(time.Second), Steps: 1},
+			Faults:   faults,
+		}
+	}
+	if err := sharded(Fault{Kind: FaultAddGroup, At: Duration(500 * time.Millisecond)}).Validate(); err != nil {
+		t.Errorf("sharded add-group rejected: %v", err)
+	}
+	// A move scheduled at or past the ramp's end never fires.
+	if err := sharded(Fault{Kind: FaultAddGroup, At: Duration(time.Second)}).Validate(); err == nil {
+		t.Error("add-group firing after the ramp accepted")
+	}
+	// Non-rebalance faults still have no sharded injector.
+	if err := sharded(Fault{Kind: FaultPauseLeader}).Validate(); err == nil {
+		t.Error("sharded pause-leader accepted")
+	}
+	// Shrinking below one group is a spec bug.
+	if err := sharded(Fault{Kind: FaultRemoveGroup, Count: 2, Every: Duration(time.Second)}).Validate(); err == nil {
+		t.Error("remove-group below one group accepted")
+	}
+	// Rebalance kinds need a sharded topology.
+	single := Spec{
+		Name: "reb-single", Measure: MeasureThroughput, Topology: Topology{N: 3},
+		Network: Stable(time.Millisecond), Variant: VariantSpec{Name: "raft"},
+		Workload: &Workload{StartRPS: 100, StepDuration: Duration(time.Second), Steps: 1},
+		Faults:   []Fault{{Kind: FaultAddGroup}},
+	}
+	if err := single.Validate(); err == nil {
+		t.Error("add-group on a single-group topology accepted")
+	}
+	// Pareto segments in the network schedule validate at spec level too.
+	bad := sharded()
+	bad.Network.Segments[0].Dist = "pareto"
+	if err := bad.Validate(); err == nil {
+		t.Error("pareto segment with alpha<=1 accepted")
+	}
+	good := sharded()
+	good.Network.Segments[0].Dist = "pareto"
+	good.Network.Segments[0].Alpha = 2
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid pareto segment rejected: %v", err)
+	}
+	// A pareto segment with no jitter has no Pareto scale: every packet
+	// would silently see zero extra delay.
+	noScale := sharded()
+	noScale.Network.Segments[0].Dist = "pareto"
+	noScale.Network.Segments[0].Alpha = 2
+	noScale.Network.Segments[0].Jitter = 0
+	if err := noScale.Validate(); err == nil {
+		t.Error("pareto segment without a jitter scale accepted")
+	}
+}

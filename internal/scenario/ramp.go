@@ -98,8 +98,10 @@ func runShardRampReps(spec Spec, env Env) []ShardRampResult {
 }
 
 // runShardRamp runs one keyed open-loop ramp against a sharded cluster:
-// start all groups, wait for every leader, settle, drive the ramp, drain,
-// aggregate — the multi-group mirror of runRamp.
+// start all groups, wait for every leader, settle, arm the rebalance
+// schedule, drive the ramp, drain, aggregate — the multi-group mirror of
+// runRamp. A migration still draining when the ramp's tail ends gets a
+// bounded grace window to converge so the rebalance report is complete.
 func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampResult {
 	s, lg := env.NewMulti(seed, ramp)
 	s.Start()
@@ -107,8 +109,12 @@ func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampR
 		panic("shard: not all groups elected a leader")
 	}
 	s.Run(3 * time.Second) // settle + tuner warmup
+	armShardFaults(s, s.Engine().Now(), spec.Faults)
 	lg.Start()
 	s.Run(ramp.Duration() + 5*time.Second) // drain tail
+	for i := 0; i < 600 && s.Rebalancing(); i++ {
+		s.Run(100 * time.Millisecond)
+	}
 
 	res := ShardRampResult{
 		Groups:        s.Groups(),
@@ -123,6 +129,16 @@ func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampR
 	for _, p := range res.Points {
 		if p.ThroughputRS > res.PeakThroughput {
 			res.PeakThroughput = p.ThroughputRS
+		}
+	}
+	if hasRebalance(spec.Faults) {
+		pre, mid, post := lg.PhaseLatencies()
+		res.Rebalance = &RebalanceReport{
+			Moves: s.Rebalances(), Pre: pre, Mid: mid, Post: post,
+			// A migration outliving the grace window (only possible with a
+			// cutover deadline beyond it) is flagged rather than silently
+			// missing from Moves.
+			Unfinished: s.Rebalancing(),
 		}
 	}
 	return res

@@ -256,6 +256,49 @@ func init() {
 		Seed: 127, Horizon: Duration(60 * time.Second), CPUEvery: Duration(5 * time.Second),
 	})
 	register(Spec{
+		Name: "scale-out-under-ramp",
+		Description: "Live scale-out: a 4th Raft group boots mid-ramp and the consistent-hash " +
+			"ring moves ≈1/4 of the keyspace (drain → cutover → serve, writes fenced, reads " +
+			"dual-read); measures moved-key fraction and mid-move tail latency",
+		Measure:  MeasureThroughput,
+		Topology: Topology{N: 3, Groups: 3, NodesPerGroup: 3},
+		Network:  Stable(80 * time.Millisecond),
+		Variant:  dynatune,
+		Workload: &Workload{StartRPS: 1500, StepRPS: 500,
+			StepDuration: Duration(10 * time.Second), Steps: 4, Keys: 4096},
+		Faults: []Fault{{Kind: FaultAddGroup, At: Duration(12 * time.Second),
+			Deadline: Duration(15 * time.Second)}},
+		Reps: 1, Seed: 137,
+	})
+	register(Spec{
+		Name: "scale-in-under-ramp",
+		Description: "Live scale-in: the 4th Raft group retires mid-ramp, draining its ≈1/4 " +
+			"keyspace share to the survivors before its nodes are decommissioned; the " +
+			"remaining groups absorb the traffic",
+		Measure:  MeasureThroughput,
+		Topology: Topology{N: 3, Groups: 4, NodesPerGroup: 3},
+		Network:  Stable(80 * time.Millisecond),
+		Variant:  dynatune,
+		Workload: &Workload{StartRPS: 1500, StepRPS: 500,
+			StepDuration: Duration(10 * time.Second), Steps: 4, Keys: 4096},
+		Faults: []Fault{{Kind: FaultRemoveGroup, At: Duration(12 * time.Second),
+			Deadline: Duration(15 * time.Second)}},
+		Reps: 1, Seed: 139,
+	})
+	register(Spec{
+		Name: "pareto-middlebox",
+		Description: "A misbehaving middlebox: degrade-links swaps all links to heavy-tailed " +
+			"Pareto delay (alpha 1.5, scale 20ms) for 15s — the median barely moves but " +
+			"multi-hundred-ms stragglers defeat estimators tuned on Gaussian jitter",
+		Measure:  MeasureSeries,
+		Topology: n5, Network: Stable(100 * time.Millisecond), Variant: dynatune,
+		Faults: []Fault{{Kind: FaultDegradeLinks, At: Duration(15 * time.Second),
+			Duration: Duration(15 * time.Second),
+			RTT:      Duration(100 * time.Millisecond), Jitter: Duration(20 * time.Millisecond),
+			Dist: "pareto", Alpha: 1.5}},
+		Seed: 149, Horizon: Duration(45 * time.Second), CPUEvery: Duration(5 * time.Second),
+	})
+	register(Spec{
 		Name: "split-brain-2-3",
 		Description: "Split-brain: nodes {1,2} are cut from {3,4,5} for 20s and healed; the " +
 			"majority side must keep (or regain) a leader and the minority must never " +

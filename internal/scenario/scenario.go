@@ -108,13 +108,17 @@ type Topology struct {
 }
 
 // Segment is one piece of the piecewise-constant link schedule — the JSON
-// mirror of netsim.Segment.
+// mirror of netsim.Segment. Dist/Alpha select the delay-noise
+// distribution ("" / "normal" = Gaussian jitter, "pareto" = heavy-tailed
+// excess with shape Alpha, scale Jitter).
 type Segment struct {
 	Start  Duration `json:"start"`
 	RTT    Duration `json:"rtt"`
 	Jitter Duration `json:"jitter,omitempty"`
 	Loss   float64  `json:"loss,omitempty"`
 	Dup    float64  `json:"dup,omitempty"`
+	Dist   string   `json:"dist,omitempty"`
+	Alpha  float64  `json:"alpha,omitempty"`
 }
 
 // Net is the JSON mirror of netsim.Profile: the uniform all-links
@@ -124,12 +128,24 @@ type Net struct {
 	FlushOnChange bool      `json:"flush_on_change,omitempty"`
 }
 
+// parseDist maps a spec's delay-distribution name to the simulator's
+// enum. Validation (Fault.validate, Spec.Validate) whitelists the names
+// first, so by realization time anything not "pareto" is the normal
+// default — every Dist string in the package funnels through here.
+func parseDist(name string) netsim.DelayDist {
+	if name == "pareto" {
+		return netsim.DistPareto
+	}
+	return netsim.DistNormal
+}
+
 // Profile converts to the simulator's schedule.
 func (n Net) Profile() netsim.Profile {
 	segs := make([]netsim.Segment, len(n.Segments))
 	for i, s := range n.Segments {
 		segs[i] = netsim.Segment{Start: s.Start.D(), Params: netsim.Params{
 			RTT: s.RTT.D(), Jitter: s.Jitter.D(), Loss: s.Loss, Dup: s.Dup,
+			Dist: parseDist(s.Dist), Alpha: s.Alpha,
 		}}
 	}
 	return netsim.Profile{Segments: segs, FlushOnChange: n.FlushOnChange}
@@ -143,6 +159,10 @@ func NetFrom(p netsim.Profile) Net {
 		n.Segments[i] = Segment{
 			Start: Duration(s.Start), RTT: Duration(s.Params.RTT),
 			Jitter: Duration(s.Params.Jitter), Loss: s.Params.Loss, Dup: s.Params.Dup,
+			Alpha: s.Params.Alpha,
+		}
+		if s.Params.Dist == netsim.DistPareto {
+			n.Segments[i].Dist = "pareto"
 		}
 	}
 	return n
@@ -174,6 +194,18 @@ func (n Net) WithRTT(rtt Duration) Net {
 	out.Segments = append([]Segment(nil), n.Segments...)
 	for i := range out.Segments {
 		out.Segments[i].RTT = rtt
+	}
+	return out
+}
+
+// WithJitter returns a copy of the schedule with every segment's jitter
+// replaced — the sweep engine's jitter axis (the Gaussian sigma, or the
+// Pareto scale for dist=pareto segments).
+func (n Net) WithJitter(jitter Duration) Net {
+	out := n
+	out.Segments = append([]Segment(nil), n.Segments...)
+	for i := range out.Segments {
+		out.Segments[i].Jitter = jitter
 	}
 	return out
 }
@@ -304,8 +336,38 @@ func (s Spec) Validate() error {
 		if err := s.Workload.Ramp().Validate(); err != nil {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
-		if s.Topology.Groups > 0 && len(s.Faults) > 0 {
-			return fmt.Errorf("scenario %q: the sharded throughput runner does not inject faults yet; drop the fault schedule or use groups = 0", s.Name)
+		if s.Topology.Groups > 0 {
+			// The sharded runner injects only group-lifecycle faults; node
+			// and link faults have no group addressing in the DSL yet.
+			groups := s.Topology.Groups
+			for i, f := range s.Faults {
+				if !f.Kind.rebalance() {
+					return fmt.Errorf("scenario %q: fault %d: the sharded throughput runner injects only rebalance faults (%s/%s), not %q",
+						s.Name, i, FaultAddGroup, FaultRemoveGroup, f.Kind)
+				}
+				occ := f.Count
+				if occ < 1 {
+					occ = 1
+				}
+				if f.Kind == FaultAddGroup {
+					groups += occ
+				} else {
+					groups -= occ
+				}
+				if groups < 1 {
+					return fmt.Errorf("scenario %q: fault %d would shrink the deployment below one group", s.Name, i)
+				}
+				// A move scheduled past the ramp never fires (the run ends
+				// with the drain tail), yet hasRebalance would still stamp
+				// an all-zero rebalance report on the result — e.g. a scale
+				// axis shrinking the ramp after groups-delta pinned its At.
+				for _, at := range f.occurrences() {
+					if at >= s.Workload.Ramp().Duration() {
+						return fmt.Errorf("scenario %q: fault %d (%s) fires at %v, at or after the ramp ends (%v) — it would never run",
+							s.Name, i, f.Kind, at, s.Workload.Ramp().Duration())
+					}
+				}
+			}
 		}
 	case MeasureReads:
 		if s.Reads == nil || s.Reads.Reads <= 0 || s.Reads.Every <= 0 {
@@ -330,6 +392,9 @@ func (s Spec) Validate() error {
 	for i, f := range s.Faults {
 		if err := f.validate(); err != nil {
 			return fmt.Errorf("scenario %q: fault %d: %w", s.Name, i, err)
+		}
+		if f.Kind.rebalance() && s.Topology.Groups == 0 {
+			return fmt.Errorf("scenario %q: fault %d: %q needs a sharded topology (groups > 0)", s.Name, i, f.Kind)
 		}
 		// Bounds-check fixed targets against the topology: an out-of-range
 		// node would otherwise surface as an index panic at fire time.
@@ -360,6 +425,27 @@ func (s Spec) Validate() error {
 		// One region per node; a mismatch would only surface as a panic
 		// when the testbed is built inside a trial worker.
 		return fmt.Errorf("scenario %q: %d regions for %d nodes", s.Name, n, s.Topology.N)
+	}
+	// The distribution name is a string only this layer knows (Profile()
+	// would silently map an unknown one to normal); everything else —
+	// alpha/jitter coupling, loss and dup ranges, segment ordering — is
+	// netsim's validation, run here so a bad file-driven spec fails at
+	// Validate instead of panicking inside a trial worker.
+	for i, seg := range s.Network.Segments {
+		switch seg.Dist {
+		case "", "normal":
+			if seg.Alpha != 0 {
+				return fmt.Errorf("scenario %q: network segment %d: alpha only applies to dist=pareto", s.Name, i)
+			}
+		case "pareto":
+		default:
+			return fmt.Errorf("scenario %q: network segment %d: unknown dist %q (want normal or pareto)", s.Name, i, seg.Dist)
+		}
+	}
+	if len(s.Network.Segments) > 0 {
+		if err := s.Network.Profile().Validate(); err != nil {
+			return fmt.Errorf("scenario %q: network: %w", s.Name, err)
+		}
 	}
 	if s.Topology.Groups > 0 {
 		// The sharded testbed runs uniform co-deployed groups; sections it

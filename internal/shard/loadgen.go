@@ -34,15 +34,28 @@ type LoadGen struct {
 	// a re-scan and re-hash of every delayed arrival (quadratic at the
 	// benchmark's offered rates).
 	parked [][]arrival
+	// fenced holds arrivals whose keys a live migration is moving: they
+	// wait out the fence and re-route at cutover (by then under the new
+	// epoch's ring). Their queueing delay is the mid-move latency the
+	// rebalance scenarios measure.
+	fenced []arrival
 	// inflight tracks, per group, proposed-but-uncommitted requests with
 	// the shared term-checked tracker (see cluster.Inflight).
 	inflight []*cluster.Inflight
 
 	perStep []stepAgg
+	// phaseLats buckets every latency sample by rebalance phase: before
+	// the first move, during a move, after the last.
+	phaseLats [3][]float64
 
+	epoch         int // router epoch the parked assignments were made under
 	proposeErrors uint64
 	seq           uint64
 	base          time.Duration // virtual time of ramp t=0
+	// retiredLost / retiredInflight bank the counters of trackers whose
+	// group slot was reused by a later AddGroupLive.
+	retiredLost     uint64
+	retiredInflight int
 }
 
 type arrival struct {
@@ -109,6 +122,29 @@ func NewLoadGen(s *Cluster, ramp workload.Ramp, opts LoadOptions) *LoadGen {
 			lg.onApply(g, node, ents)
 		})
 	}
+	// Follow the group lifecycle: a group booted mid-run gets its own
+	// tracker and apply hook (before it starts), and an epoch flip marks
+	// every parked assignment stale so the next flush re-routes it.
+	s.OnGroupAdded(func(g GroupID) {
+		for len(lg.parked) <= int(g) {
+			lg.parked = append(lg.parked, nil)
+		}
+		for len(lg.inflight) <= int(g) {
+			lg.inflight = append(lg.inflight, nil)
+		}
+		lg.parked[g] = nil
+		// A reused slot's old tracker belongs to the retired group: bank
+		// its counters before replacing it, or the run's Lost/Inflight
+		// totals silently shrink — defeating the zero-lost-writes witness.
+		if old := lg.inflight[g]; old != nil {
+			lg.retiredLost += old.Lost()
+			lg.retiredInflight += old.Len()
+		}
+		lg.inflight[g] = cluster.NewInflight()
+		s.Group(g).SetOnApply(func(node raft.ID, ents []raft.Entry) {
+			lg.onApply(g, node, ents)
+		})
+	})
 	return lg
 }
 
@@ -138,10 +174,44 @@ func (lg *LoadGen) flush(base time.Duration) {
 	}
 	due, rest := cluster.SplitDue(lg.queue, now, func(a arrival) time.Duration { return a.at })
 	lg.queue = rest
+	// An epoch flip invalidates every parked group assignment (the group
+	// a parked arrival waited for may no longer own its key, or may no
+	// longer exist): reclaim them for re-routing ahead of the fresh
+	// arrivals. Flips are rare — once per migration — so the re-hash is
+	// paid only then.
+	if e := lg.s.Epoch(); e != lg.epoch {
+		lg.epoch = e
+		var reclaimed []arrival
+		for g := range lg.parked {
+			reclaimed = append(reclaimed, lg.parked[g]...)
+			lg.parked[g] = nil
+		}
+		due = append(reclaimed, due...)
+	}
+	// Fenced arrivals whose fence lifted re-enter routing, ahead of the
+	// fresh batch (they arrived earlier).
+	if len(lg.fenced) > 0 && !lg.s.Fenced(lg.fenced[0].key) {
+		still := lg.fenced[:0:0]
+		freed := make([]arrival, 0, len(lg.fenced))
+		for _, a := range lg.fenced {
+			if lg.s.Fenced(a.key) {
+				still = append(still, a)
+			} else {
+				freed = append(freed, a)
+			}
+		}
+		lg.fenced = still
+		due = append(freed, due...)
+	}
 	// Fan new arrivals out across groups (group order is deterministic);
-	// each key is hashed exactly once, even if its group is mid-election.
-	batches := make([][]arrival, lg.s.Groups())
+	// each key is hashed exactly once, even if its group is mid-election —
+	// unless a migration fences it, in which case it waits for cutover.
+	batches := make([][]arrival, lg.s.GroupSlots())
 	for _, a := range due {
+		if lg.s.Fenced(a.key) {
+			lg.fenced = append(lg.fenced, a)
+			continue
+		}
 		g := lg.s.router.Route(a.key)
 		batches[g] = append(batches[g], a)
 	}
@@ -161,6 +231,14 @@ func (lg *LoadGen) flush(base time.Duration) {
 // for the semantics).
 func (lg *LoadGen) onApply(g GroupID, node raft.ID, ents []raft.Entry) {
 	now := lg.s.eng.Now() - lg.base
+	// Phase of this apply instant: during any live move → mid; after the
+	// first completed move → post; otherwise pre.
+	phase := 0
+	if lg.s.Rebalancing() {
+		phase = 1
+	} else if len(lg.s.rebalances) > 0 {
+		phase = 2
+	}
 	lg.inflight[g].ResolveApplied(lg.s.Group(g).ApplyGate(), ents, func(at time.Duration) {
 		step := lg.ramp.StepOf(now)
 		if step < 0 || step >= len(lg.perStep) {
@@ -168,8 +246,21 @@ func (lg *LoadGen) onApply(g GroupID, node raft.ID, ents []raft.Entry) {
 		}
 		lat := (now - at) + lg.clientRTT
 		lg.perStep[step].completed++
-		lg.perStep[step].lats = append(lg.perStep[step].lats, float64(lat)/float64(time.Millisecond))
+		latMs := float64(lat) / float64(time.Millisecond)
+		lg.perStep[step].lats = append(lg.perStep[step].lats, latMs)
+		lg.phaseLats[phase] = append(lg.phaseLats[phase], latMs)
 	})
+}
+
+// PhaseLatencies summarizes the run's latencies bucketed by rebalance
+// phase — the scenario engine's rebalance measurement hook. With no
+// rebalance in the run everything lands in pre.
+func (lg *LoadGen) PhaseLatencies() (pre, mid, post scenario.PhaseLatency) {
+	sum := func(lats []float64) scenario.PhaseLatency {
+		s := metrics.Summarize(lats)
+		return scenario.PhaseLatency{Completed: len(lats), P50Ms: s.P50, P99Ms: s.P99}
+	}
+	return sum(lg.phaseLats[0]), sum(lg.phaseLats[1]), sum(lg.phaseLats[2])
 }
 
 // StepResult is the aggregated outcome for one ramp step across all
@@ -224,9 +315,9 @@ func (lg *LoadGen) ProposeErrors() uint64 { return lg.proposeErrors }
 
 // Lost returns how many proposed requests were overwritten by a newer
 // leader before committing (client would retry; the testbed just counts),
-// summed over groups.
+// summed over groups — including trackers retired with their group.
 func (lg *LoadGen) Lost() uint64 {
-	var n uint64
+	n := lg.retiredLost
 	for _, f := range lg.inflight {
 		n += f.Lost()
 	}
@@ -234,9 +325,9 @@ func (lg *LoadGen) Lost() uint64 {
 }
 
 // Inflight returns the number of requests proposed but not yet committed,
-// summed over groups.
+// summed over groups — including trackers retired with their group.
 func (lg *LoadGen) Inflight() int {
-	n := 0
+	n := lg.retiredInflight
 	for _, f := range lg.inflight {
 		n += f.Len()
 	}
@@ -244,11 +335,12 @@ func (lg *LoadGen) Inflight() int {
 }
 
 // Pending returns the number of arrivals accepted but never proposed —
-// still queued, or parked at a group whose election outlasted the run.
-// Without it, arrivals stuck behind a leaderless group would vanish from
-// every counter and read as capacity loss.
+// still queued, parked at a group whose election outlasted the run, or
+// fenced by a migration that outlasted it. Without it, arrivals stuck
+// behind a leaderless group would vanish from every counter and read as
+// capacity loss.
 func (lg *LoadGen) Pending() int {
-	n := len(lg.queue)
+	n := len(lg.queue) + len(lg.fenced)
 	for _, p := range lg.parked {
 		n += len(p)
 	}

@@ -1,0 +1,588 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/kv"
+	"dynatune/internal/raft"
+	"dynatune/internal/workload"
+)
+
+// seedKeys writes n keys with per-key values through the synchronous
+// client and returns them.
+func seedKeys(t *testing.T, s *Cluster, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mk-%05d", i)
+		if err := s.Put(keys[i], []byte("v-"+keys[i]), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// checkAll asserts every key reads back with its seeded value.
+func checkAll(t *testing.T, s *Cluster, keys []string, when string) {
+	t.Helper()
+	for _, k := range keys {
+		v, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("%s: Get(%q) missed", when, k)
+		}
+		if string(v) != "v-"+k {
+			t.Fatalf("%s: Get(%q) = %q, want %q", when, k, v, "v-"+k)
+		}
+	}
+}
+
+// runUntilMigrated drives the simulation until the live migration
+// finishes, reading every key at each step so any window where a
+// committed key is unreadable fails loudly.
+func runUntilMigrated(t *testing.T, s *Cluster, keys []string) {
+	t.Helper()
+	deadline := s.Now() + 60*time.Second
+	for s.Rebalancing() {
+		if s.Now() >= deadline {
+			t.Fatalf("migration did not finish within 60s (phase %d)", s.migr.phase)
+		}
+		s.Run(25 * time.Millisecond)
+		checkAll(t, s, keys, "mid-migration")
+	}
+}
+
+func TestAddGroupLiveMigratesItsShare(t *testing.T) {
+	s := New(Options{Groups: 3, NodesPerGroup: 3, Seed: 41, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 300)
+	s.Run(time.Second) // let followers catch up
+
+	if err := s.AddGroupLive(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Groups(); got != 4 {
+		t.Fatalf("Groups() = %d after AddGroupLive, want 4", got)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch %d, want 1", s.Epoch())
+	}
+	runUntilMigrated(t, s, keys)
+	checkAll(t, s, keys, "post-migration")
+
+	moves := s.Rebalances()
+	if len(moves) != 1 {
+		t.Fatalf("%d rebalances recorded, want 1", len(moves))
+	}
+	mv := moves[0]
+	if mv.Kind != "add-group" || mv.Group != 3 || mv.Aborted {
+		t.Fatalf("unexpected move record: %+v", mv)
+	}
+	if mv.TotalKeys != len(keys) {
+		t.Fatalf("move saw %d resident keys, want %d", mv.TotalKeys, len(keys))
+	}
+	// Consistent hashing moves ≈1/(G+1) = 1/4 of the keyspace onto the
+	// new group (wide bounds: 300 keys is a small sample).
+	if mv.MovedFraction < 0.10 || mv.MovedFraction > 0.45 {
+		t.Fatalf("moved fraction %.3f implausible for 3→4 groups (want ≈0.25)", mv.MovedFraction)
+	}
+	if mv.CutoverMs < mv.StartMs || mv.DoneMs < mv.CutoverMs || mv.DrainRounds < 1 {
+		t.Fatalf("incoherent move timeline: %+v", mv)
+	}
+
+	// Serve state: every key lives in exactly the group that owns it —
+	// the new group got its share, the sources were cleaned up, and no
+	// write was lost or double-applied across the cutover.
+	movedSeen := 0
+	for _, k := range keys {
+		owner := s.Router().Route(k)
+		if owner == 3 {
+			movedSeen++
+		}
+		for g := 0; g < s.Groups(); g++ {
+			st, ok := s.leaderStore(GroupID(g))
+			if !ok {
+				t.Fatalf("group %d leaderless at verification", g)
+			}
+			_, has := st.Get(k)
+			if has != (GroupID(g) == owner) {
+				t.Fatalf("key %q present=%v in group %d (owner %d)", k, has, g, owner)
+			}
+		}
+	}
+	if movedSeen != mv.MovedKeys {
+		t.Fatalf("router says %d keys moved, stats say %d", movedSeen, mv.MovedKeys)
+	}
+}
+
+func TestRemoveGroupLiveDrainsToSurvivors(t *testing.T) {
+	s := New(Options{Groups: 4, NodesPerGroup: 3, Seed: 43, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 300)
+	s.Run(time.Second)
+
+	if err := s.RemoveGroupLive(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Groups(); got != 3 {
+		t.Fatalf("Groups() = %d after RemoveGroupLive, want 3", got)
+	}
+	runUntilMigrated(t, s, keys)
+	checkAll(t, s, keys, "post-migration")
+
+	moves := s.Rebalances()
+	if len(moves) != 1 || moves[0].Kind != "remove-group" || moves[0].Group != 3 {
+		t.Fatalf("unexpected rebalance records: %+v", moves)
+	}
+	// The retired group's entire resident set moved: ≈1/4 of the keyspace.
+	if f := moves[0].MovedFraction; f < 0.10 || f > 0.45 {
+		t.Fatalf("moved fraction %.3f implausible for 4→3 groups (want ≈0.25)", f)
+	}
+	// Decommissioned: every node of the retired group is paused.
+	for i := 1; i <= 3; i++ {
+		if !s.Group(3).Paused(raft.ID(i)) {
+			t.Fatalf("retired group node %d still running", i)
+		}
+	}
+	// Survivors own everything.
+	for _, k := range keys {
+		if g := s.Router().Route(k); g == 3 {
+			t.Fatalf("key %q still routes to the removed group", k)
+		}
+	}
+}
+
+// TestMultiGetNeverStaleDuringMigration is the dual-read regression: a
+// moved key overwritten right after cutover must never read back as its
+// pre-move value while the source's stale copy still awaits cleanup.
+func TestMultiGetNeverStaleDuringMigration(t *testing.T) {
+	s := New(Options{Groups: 3, NodesPerGroup: 3, Seed: 47, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 200)
+	s.Run(time.Second)
+	if err := s.AddGroupLive(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// MultiGet must serve every committed key through the whole move
+	// (fallback to the previous-epoch owner covers not-yet-copied keys).
+	step := func() {
+		s.Run(10 * time.Millisecond)
+		got := s.MultiGet(keys...)
+		if len(got) != len(keys) {
+			t.Fatalf("MultiGet returned %d of %d keys mid-migration", len(got), len(keys))
+		}
+	}
+	for s.Rebalancing() && s.migr.phase <= phaseDrain {
+		step()
+	}
+	if !s.Rebalancing() {
+		t.Fatal("migration finished before the cleanup window was observed")
+	}
+
+	// Cutover happened: the fence is down but stale source copies may
+	// still exist. Overwrite every moved key and require MultiGet to
+	// return the new value from here on.
+	moved := []string{}
+	for _, k := range keys {
+		if s.Router().Route(k) == 3 {
+			moved = append(moved, k)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("no keys moved to the new group")
+	}
+	// Regression: post-cutover the destination is authoritative. Overwrite
+	// one moved key, then make the destination momentarily leaderless —
+	// the resulting miss must stay a miss, not fall back to the stale
+	// source copy still awaiting cleanup.
+	k0 := moved[0]
+	if err := s.Put(k0, []byte("new-"+k0), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rebalancing() { // cleanup pending → the stale source copy may still exist
+		lead := s.Group(3).Leader()
+		if lead == nil {
+			t.Fatal("destination leaderless right after a successful Put")
+		}
+		s.Group(3).Pause(lead.ID())
+		if v, ok := s.Get(k0); ok && string(v) == "v-"+k0 {
+			t.Fatalf("leaderless destination served the stale pre-move value of %q", k0)
+		}
+		if got := s.MultiGet(k0); string(got[k0]) == "v-"+k0 {
+			t.Fatalf("MultiGet served the stale pre-move value of %q", k0)
+		}
+		s.Group(3).Resume(lead.ID())
+	}
+	for _, k := range moved {
+		if err := s.Put(k, []byte("new-"+k), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		got := s.MultiGet(k)
+		if string(got[k]) != "new-"+k {
+			t.Fatalf("MultiGet(%q) = %q after post-cutover write, want %q (stale pre-move value?)", k, got[k], "new-"+k)
+		}
+	}
+	for i := 0; i < 1000 && s.Rebalancing(); i++ {
+		s.Run(25 * time.Millisecond)
+		for _, k := range moved {
+			got := s.MultiGet(k)
+			if string(got[k]) != "new-"+k {
+				t.Fatalf("MultiGet(%q) = %q during cleanup, want %q", k, got[k], "new-"+k)
+			}
+		}
+	}
+}
+
+// TestPutWaitsOutTheFence: a synchronous write to a key mid-move blocks
+// until cutover and then lands at the new owner — the mid-move write
+// latency the rebalance scenarios measure.
+func TestPutWaitsOutTheFence(t *testing.T) {
+	s := New(Options{Groups: 3, NodesPerGroup: 3, Seed: 53, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 100)
+	s.Run(time.Second)
+	if err := s.AddGroupLive(0); err != nil {
+		t.Fatal(err)
+	}
+	// Find a key the move fences.
+	var fenced string
+	for _, k := range keys {
+		if s.Fenced(k) {
+			fenced = k
+			break
+		}
+	}
+	if fenced == "" {
+		t.Fatal("no key fenced right after AddGroupLive")
+	}
+	before := s.Now()
+	if err := s.Put(fenced, []byte("during"), 60*time.Second); err != nil {
+		t.Fatalf("fenced Put failed: %v", err)
+	}
+	if s.Fenced(fenced) {
+		t.Fatal("Put returned while the key was still fenced")
+	}
+	if waited := s.Now() - before; waited <= 0 {
+		t.Fatalf("fenced Put waited %v, expected a positive mid-move delay", waited)
+	}
+	if v, ok := s.Get(fenced); !ok || string(v) != "during" {
+		t.Fatalf("post-fence write lost: %q %v", v, ok)
+	}
+	// And it landed at the new owner, not the old one.
+	owner := s.Router().Route(fenced)
+	if owner != 3 {
+		t.Fatalf("fenced key owner %d, want the new group 3", owner)
+	}
+}
+
+// TestAddGroupAbortsOnDeadline: a new group that cannot elect a leader
+// before the cutover deadline rolls the ring back and records an aborted
+// move; the deployment keeps serving on the old topology.
+func TestAddGroupAbortsOnDeadline(t *testing.T) {
+	s := New(Options{Groups: 2, NodesPerGroup: 3, Seed: 59, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 60)
+	// 1ms deadline: the first migration tick (5ms) finds it expired long
+	// before any election (~100ms+) can complete.
+	if err := s.AddGroupLive(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := s.Now() + 10*time.Second
+	for s.Rebalancing() && s.Now() < deadline {
+		s.Run(5 * time.Millisecond)
+	}
+	moves := s.Rebalances()
+	if len(moves) != 1 || !moves[0].Aborted {
+		t.Fatalf("expected one aborted move, got %+v", moves)
+	}
+	if got := s.Groups(); got != 2 {
+		t.Fatalf("Groups() = %d after abort, want 2 (ring rolled back)", got)
+	}
+	checkAll(t, s, keys, "post-abort")
+	if err := s.Put("post-abort", []byte("ok"), 10*time.Second); err != nil {
+		t.Fatalf("write after aborted move: %v", err)
+	}
+}
+
+// TestScaleOutUnderLoadLosesNothing drives the keyed open-loop generator
+// through a live scale-out: zero lost proposals, zero propose errors,
+// nothing left pending, and mid-move completions recorded in the phase
+// buckets.
+func TestScaleOutUnderLoadLosesNothing(t *testing.T) {
+	s := New(Options{Groups: 3, NodesPerGroup: 3, Seed: 61, Profile: fastProfile()})
+	ramp := workload.Ramp{StartRPS: 800, StepRPS: 0, StepDuration: time.Second, Steps: 6}
+	lg := NewLoadGen(s, ramp, LoadOptions{Keys: 1024})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	s.Run(2 * time.Second)
+	lg.Start()
+	s.Run(2 * time.Second)
+	if err := s.AddGroupLive(0); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(ramp.Duration() + 5*time.Second)
+	for i := 0; i < 600 && s.Rebalancing(); i++ {
+		s.Run(100 * time.Millisecond)
+	}
+	if s.Rebalancing() {
+		t.Fatal("migration never converged under load")
+	}
+	if lg.TotalCompleted() == 0 {
+		t.Fatal("no requests completed")
+	}
+	if lg.Lost() != 0 || lg.ProposeErrors() != 0 {
+		t.Fatalf("scale-out lost writes: lost=%d proposeErrors=%d", lg.Lost(), lg.ProposeErrors())
+	}
+	if p := lg.Pending(); p != 0 {
+		t.Fatalf("%d arrivals stranded after the move", p)
+	}
+	if lg.Inflight() != 0 {
+		t.Fatalf("%d requests still in flight after drain", lg.Inflight())
+	}
+	pre, mid, post := lg.PhaseLatencies()
+	if pre.Completed == 0 || post.Completed == 0 {
+		t.Fatalf("phase buckets empty: pre=%d mid=%d post=%d", pre.Completed, mid.Completed, post.Completed)
+	}
+	if mid.Completed == 0 {
+		t.Fatalf("no completions recorded during the move (did the migration run entirely between steps?)")
+	}
+	// The new group serves its share after the move.
+	st, ok := s.leaderStore(3)
+	if !ok {
+		t.Fatal("new group leaderless after the move")
+	}
+	if st.Len() == 0 {
+		t.Fatal("new group holds no keys after the move")
+	}
+	// Double-apply witness: the generator's idempotence table means a
+	// replayed command is counted, not applied; across a clean scale-out
+	// the client stream must not have produced any duplicates.
+	for g := 0; g < s.Groups(); g++ {
+		st, ok := s.leaderStore(GroupID(g))
+		if !ok {
+			t.Fatalf("group %d leaderless", g)
+		}
+		if d := st.Dupes(); d != 0 {
+			t.Fatalf("group %d suppressed %d duplicate client commands", g, d)
+		}
+	}
+}
+
+// TestSeedZeroIsDistinct: seed 0 must be an explicit seed, not an alias
+// of seed 1 (sweep campaigns derive unit seeds that can legitimately be
+// small).
+func TestSeedZeroIsDistinct(t *testing.T) {
+	s0 := New(Options{Groups: 2, NodesPerGroup: 3, Seed: 0, Profile: fastProfile()})
+	s1 := New(Options{Groups: 2, NodesPerGroup: 3, Seed: 1, Profile: fastProfile()})
+	if a, b := s0.Engine().Rand().Int63(), s1.Engine().Rand().Int63(); a == b {
+		t.Fatalf("seed 0 still aliases seed 1 (both drew %d)", a)
+	}
+}
+
+// TestLatePreFlipCommitSurvivesCutover stages the barrier race: a client
+// write accepted by the retiring group's leader just before the ring
+// flips is still sitting in that leader's CPU queue (behind a ~0.5s
+// backlog — long enough to outlast the drain's first convergence scans,
+// short enough not to depose the leader) when the migration starts. The
+// flip-time barrier queues behind it, so the drain must not cut over —
+// and decommission must not discard the source copy — until the late
+// write has applied and been streamed to its new owner.
+func TestLatePreFlipCommitSurvivesCutover(t *testing.T) {
+	s := New(Options{Groups: 2, NodesPerGroup: 3, Seed: 67, Profile: fastProfile(), Cost: inflatedCost()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 80)
+	s.Run(time.Second)
+
+	// A key the retiring group (1) owns; it moves to a survivor on flip.
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("late-%05d", i)
+		if s.Router().Route(k) == 1 {
+			key = k
+			break
+		}
+	}
+
+	// Jam the retiring leader's processor with ~0.5s of propose work,
+	// then queue the racing write behind it: without the barrier the
+	// drain converges (and the group is decommissioned) well before the
+	// write ever applies.
+	backlog := make([][]byte, 1250)
+	for i := range backlog {
+		backlog[i] = kv.Encode(kv.Command{Op: kv.OpNoop, Client: 9, Seq: uint64(i + 1)})
+	}
+	if !s.Group(1).LeaderProposeBatch(backlog, func(_, _ uint64, _ error) {}) {
+		t.Fatal("retiring group has no leader")
+	}
+	late := kv.Encode(kv.Command{Op: kv.OpPut, Client: 8, Seq: 1, Key: key, Value: []byte("late")})
+	if !s.Group(1).LeaderProposeBatch([][]byte{late}, func(_, _ uint64, _ error) {}) {
+		t.Fatal("retiring group has no leader for the late write")
+	}
+	if err := s.RemoveGroupLive(0); err != nil {
+		t.Fatal(err)
+	}
+	runUntilMigrated(t, s, keys)
+
+	if v, ok := s.Get(key); !ok || string(v) != "late" {
+		t.Fatalf("late pre-flip commit lost across the cutover: %q %v", v, ok)
+	}
+	owner := s.Router().Route(key)
+	if owner != 0 {
+		t.Fatalf("late key owner %d, want the surviving group 0", owner)
+	}
+	st, ok := s.leaderStore(owner)
+	if !ok {
+		t.Fatal("surviving group leaderless")
+	}
+	if v, has := st.Get(key); !has || string(v) != "late" {
+		t.Fatalf("late write never streamed to its new owner: %q %v", v, has)
+	}
+}
+
+// TestRemoveGroupAbortsOnDeadline: a drain that cannot cut over by the
+// deadline rolls the ring back — the retiring group keeps serving and no
+// key is lost or left fenced.
+func TestRemoveGroupAbortsOnDeadline(t *testing.T) {
+	s := New(Options{Groups: 3, NodesPerGroup: 3, Seed: 71, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 120)
+	s.Run(time.Second)
+	// 1ms deadline: the first drain tick (5ms) finds it expired before a
+	// single convergence scan can complete the move.
+	if err := s.RemoveGroupLive(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := s.Now() + 10*time.Second
+	for s.Rebalancing() && s.Now() < deadline {
+		s.Run(5 * time.Millisecond)
+	}
+	moves := s.Rebalances()
+	if len(moves) != 1 || !moves[0].Aborted || moves[0].Kind != "remove-group" {
+		t.Fatalf("expected one aborted remove, got %+v", moves)
+	}
+	if got := s.Groups(); got != 3 {
+		t.Fatalf("Groups() = %d after abort, want 3 (ring restored)", got)
+	}
+	checkAll(t, s, keys, "post-abort")
+	// The restored group still serves writes; nothing stays fenced.
+	for _, k := range keys {
+		if s.Fenced(k) {
+			t.Fatalf("key %q still fenced after abort", k)
+		}
+	}
+	var kept string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("kept-%04d", i)
+		if s.Router().Route(k) == 2 {
+			kept = k
+			break
+		}
+	}
+	if err := s.Put(kept, []byte("served"), 10*time.Second); err != nil {
+		t.Fatalf("restored group rejected a write: %v", err)
+	}
+}
+
+// TestAbortedRemoveStraysDoNotPoisonLaterAdd: an aborted remove leaves
+// duplicate key copies at the survivors; when the key's value then
+// changes and a later add-group moves it, the drain must stream only
+// from the authoritative previous-epoch owner — competing sources would
+// make the convergence scans oscillate between the two values forever.
+func TestAbortedRemoveStraysDoNotPoisonLaterAdd(t *testing.T) {
+	s := New(Options{Groups: 3, NodesPerGroup: 3, Seed: 73, Profile: fastProfile()})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	keys := seedKeys(t, s, 300)
+	s.Run(time.Second)
+
+	// Start a remove and abort it mid-drain: long enough for the first
+	// copy batches to land at the survivors, short of convergence.
+	if err := s.RemoveGroupLive(18 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for s.Rebalancing() {
+		s.Run(5 * time.Millisecond)
+	}
+	moves := s.Rebalances()
+	if len(moves) != 1 || !moves[0].Aborted {
+		t.Skipf("remove did not abort mid-drain with this timing (moves %+v); stray scenario not staged", moves)
+	}
+	// Let in-flight copy batches finish applying, then require real
+	// strays: keys resident in more than one group.
+	s.Run(time.Second)
+	strays := 0
+	for _, k := range keys {
+		holders := 0
+		for g := 0; g < s.Groups(); g++ {
+			st, ok := s.leaderStore(GroupID(g))
+			if !ok {
+				t.Fatalf("group %d leaderless", g)
+			}
+			if _, has := st.Get(k); has {
+				holders++
+			}
+		}
+		if holders > 1 {
+			strays++
+		}
+	}
+	if strays == 0 {
+		t.Skip("no duplicate copies survived the abort; stray scenario not staged")
+	}
+
+	// Overwrite every key at its (restored) owner: any stray copy at a
+	// survivor is now stale.
+	for _, k := range keys {
+		if err := s.Put(k, []byte("v2-"+k), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A later scale-out must converge and serve only the new values.
+	if err := s.AddGroupLive(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := s.Now() + 60*time.Second
+	for s.Rebalancing() {
+		if s.Now() >= deadline {
+			t.Fatalf("add-group drain never converged (stray-copy oscillation?), phase %d", s.migr.phase)
+		}
+		s.Run(25 * time.Millisecond)
+	}
+	adds := s.Rebalances()
+	if got := adds[len(adds)-1]; got.Kind != "add-group" || got.Aborted {
+		t.Fatalf("add-group did not complete: %+v", got)
+	}
+	for _, k := range keys {
+		v, ok := s.Get(k)
+		if !ok || string(v) != "v2-"+k {
+			t.Fatalf("Get(%q) = %q, %v after the move; stale stray served?", k, v, ok)
+		}
+	}
+}

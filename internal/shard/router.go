@@ -29,13 +29,26 @@ const DefaultReplicas = 256
 // Router maps keys onto groups with a consistent-hash ring (each group
 // contributes `replicas` virtual points; a key belongs to the first point
 // clockwise of its hash). The mapping is a pure function of (groups,
-// replicas): re-instantiating with the same shape yields the same routing,
-// and growing the group count moves only ≈1/(G+1) of the keyspace — the
-// property a future rebalancing PR relies on.
+// replicas): re-instantiating with the same shape yields the same routing.
+//
+// The ring is epoch-versioned: AddGroup and RemoveGroup install a new
+// ring and bump the epoch, keeping the displaced ring as the previous
+// epoch's view (RoutePrev). Because a group's virtual points depend only
+// on its id, growing the group count moves only ≈1/(G+1) of the keyspace
+// — all of it onto the new group — and shrinking moves exactly the
+// removed group's share onto the survivors; every other key routes
+// identically across the epoch boundary. The live-migration layer
+// (migrate.go) relies on both properties: the moved set is the fence, and
+// the previous ring is the dual-read fallback.
 type Router struct {
 	groups   int
 	replicas int
 	ring     []ringPoint // sorted by hash
+	epoch    int
+	// prev is the ring displaced by the last epoch bump (nil at epoch 0);
+	// prevGroups is its group count.
+	prev       []ringPoint
+	prevGroups int
 }
 
 type ringPoint struct {
@@ -53,15 +66,49 @@ func NewRouter(groups, replicas int) *Router {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
-	r := &Router{groups: groups, replicas: replicas, ring: make([]ringPoint, 0, groups*replicas)}
+	return &Router{groups: groups, replicas: replicas, ring: buildRing(groups, replicas)}
+}
+
+func buildRing(groups, replicas int) []ringPoint {
+	ring := make([]ringPoint, 0, groups*replicas)
 	for g := 0; g < groups; g++ {
 		for v := 0; v < replicas; v++ {
 			h := fnv1a(fmt.Sprintf("group-%d#%d", g, v))
-			r.ring = append(r.ring, ringPoint{hash: h, group: GroupID(g)})
+			ring = append(ring, ringPoint{hash: h, group: GroupID(g)})
 		}
 	}
-	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
-	return r
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	return ring
+}
+
+// Epoch returns the ring version: 0 at construction, +1 per Add/RemoveGroup.
+func (r *Router) Epoch() int { return r.epoch }
+
+// AddGroup installs a new ring with one more group and returns the new
+// group's id (always the next index). The displaced ring stays readable
+// via RoutePrev until the next epoch bump.
+func (r *Router) AddGroup() GroupID {
+	r.prev, r.prevGroups = r.ring, r.groups
+	r.groups++
+	r.ring = buildRing(r.groups, r.replicas)
+	r.epoch++
+	return GroupID(r.groups - 1)
+}
+
+// RemoveGroup installs a new ring without the given group. Only the
+// highest group id may be removed — group ids index the cluster's group
+// table, and removing from the middle would renumber live groups.
+func (r *Router) RemoveGroup(g GroupID) {
+	if int(g) != r.groups-1 {
+		panic(fmt.Sprintf("shard: RemoveGroup(%d) with %d groups — only the last group can be removed", g, r.groups))
+	}
+	if r.groups == 1 {
+		panic("shard: RemoveGroup would leave nothing to route to")
+	}
+	r.prev, r.prevGroups = r.ring, r.groups
+	r.groups--
+	r.ring = buildRing(r.groups, r.replicas)
+	r.epoch++
 }
 
 // fnv1a is the 64-bit FNV-1a hash with a splitmix64 finalizer, computed
@@ -86,14 +133,29 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
-// Route returns the group owning key.
+// Route returns the group owning key under the current epoch's ring.
 func (r *Router) Route(key string) GroupID {
+	return routeOn(r.ring, key)
+}
+
+// RoutePrev returns the key's owner under the previous epoch's ring; ok
+// is false at epoch 0, when no ring has been displaced yet. The dual-read
+// fallback uses it: a read that misses at the current owner during a
+// migration retries the owner the key is moving away from.
+func (r *Router) RoutePrev(key string) (GroupID, bool) {
+	if r.prev == nil {
+		return 0, false
+	}
+	return routeOn(r.prev, key), true
+}
+
+func routeOn(ring []ringPoint, key string) GroupID {
 	h := fnv1a(key)
-	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
-	if i == len(r.ring) {
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	if i == len(ring) {
 		i = 0 // wrap: past the last point belongs to the first
 	}
-	return r.ring[i].group
+	return ring[i].group
 }
 
 // Groups returns the number of groups on the ring.

@@ -108,3 +108,106 @@ func TestRouterPanicsOnNoGroups(t *testing.T) {
 	}()
 	NewRouter(0, 8)
 }
+
+// TestRouterEpochAddGroup is the live-rebalancing property pair: AddGroup
+// moves ≈1/(G+1) of a large key sample (all of it onto the new group),
+// and every unmoved key routes identically across the epoch boundary —
+// checked against the displaced ring itself via RoutePrev, not a fresh
+// router.
+func TestRouterEpochAddGroup(t *testing.T) {
+	r := NewRouter(4, 0)
+	if r.Epoch() != 0 {
+		t.Fatalf("fresh router at epoch %d", r.Epoch())
+	}
+	if _, ok := r.RoutePrev("x"); ok {
+		t.Fatal("epoch 0 has no previous ring")
+	}
+	keys := testKeys(20000)
+	before := make([]GroupID, len(keys))
+	for i, k := range keys {
+		before[i] = r.Route(k)
+	}
+	g := r.AddGroup()
+	if g != GroupID(4) || r.Groups() != 5 || r.Epoch() != 1 {
+		t.Fatalf("AddGroup → id %d, groups %d, epoch %d", g, r.Groups(), r.Epoch())
+	}
+	moved := 0
+	for i, k := range keys {
+		now := r.Route(k)
+		prev, ok := r.RoutePrev(k)
+		if !ok || prev != before[i] {
+			t.Fatalf("RoutePrev(%q) = %d,%v; the displaced ring said %d", k, prev, ok, before[i])
+		}
+		if now != before[i] {
+			moved++
+			if now != g {
+				t.Fatalf("key %q moved %d→%d instead of onto the new group", k, before[i], now)
+			}
+		}
+	}
+	// ≈1/(G+1) = 1/5 of the sample moves; ±20% of that expectation.
+	want := float64(len(keys)) / 5
+	if f := float64(moved); f < want*0.8 || f > want*1.2 {
+		t.Fatalf("AddGroup moved %d of %d keys; want %.0f ±20%%", moved, len(keys), want)
+	}
+}
+
+// TestRouterEpochRemoveGroup: removing the last group moves exactly its
+// resident share onto the survivors and leaves every other key in place;
+// the shrunk ring equals a fresh router of the smaller size.
+func TestRouterEpochRemoveGroup(t *testing.T) {
+	r := NewRouter(5, 0)
+	keys := testKeys(20000)
+	before := make([]GroupID, len(keys))
+	for i, k := range keys {
+		before[i] = r.Route(k)
+	}
+	r.RemoveGroup(4)
+	if r.Groups() != 4 || r.Epoch() != 1 {
+		t.Fatalf("RemoveGroup → groups %d, epoch %d", r.Groups(), r.Epoch())
+	}
+	fresh := NewRouter(4, 0)
+	moved := 0
+	for i, k := range keys {
+		now := r.Route(k)
+		if now != fresh.Route(k) {
+			t.Fatalf("shrunk ring disagrees with a fresh 4-group router on %q", k)
+		}
+		if before[i] == GroupID(4) {
+			moved++
+			if now == GroupID(4) {
+				t.Fatalf("key %q still routes to the removed group", k)
+			}
+		} else if now != before[i] {
+			t.Fatalf("key %q not owned by the removed group moved %d→%d", k, before[i], now)
+		}
+	}
+	want := float64(len(keys)) / 5
+	if f := float64(moved); f < want*0.8 || f > want*1.2 {
+		t.Fatalf("RemoveGroup moved %d of %d keys; want %.0f ±20%%", moved, len(keys), want)
+	}
+}
+
+func TestRouterRemoveGroupGuards(t *testing.T) {
+	r := NewRouter(3, 8)
+	for _, g := range []GroupID{0, 1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RemoveGroup(%d) of 3 groups did not panic", g)
+				}
+			}()
+			r.RemoveGroup(g)
+		}()
+	}
+	r.RemoveGroup(2)
+	r.RemoveGroup(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("removing the final group did not panic")
+			}
+		}()
+		r.RemoveGroup(0)
+	}()
+}

@@ -8,6 +8,7 @@ import (
 	"dynatune/internal/kv"
 	"dynatune/internal/netsim"
 	"dynatune/internal/raft"
+	"dynatune/internal/scenario"
 	"dynatune/internal/sim"
 )
 
@@ -39,9 +40,9 @@ func (o Options) withDefaults() Options {
 	if o.NodesPerGroup == 0 {
 		o.NodesPerGroup = 3
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
+	// Seed 0 is preserved as an explicit seed, consistent with the sweep
+	// layer's UnitSeed. (It used to alias seed 1, which silently folded
+	// seed-0 campaign cells onto their seed-1 neighbours.)
 	return o
 }
 
@@ -50,13 +51,28 @@ func (o Options) withDefaults() Options {
 // cluster.Cluster — own netsim mesh (same profile), own kv stores, own
 // tuners, own leader — so failures and tuning in one group never touch
 // another.
+//
+// The group set is dynamic: AddGroupLive / RemoveGroupLive (migrate.go)
+// grow or shrink it mid-run with a drain → cutover → serve migration.
+// Retired groups keep their slot in the group table (paused) so GroupIDs
+// stay stable; Groups() counts the serving groups, GroupSlots() the table.
 type Cluster struct {
 	opts   Options
 	eng    *sim.Engine
 	router *Router
 	groups []*cluster.Cluster
 
-	seq uint64 // client sequence for direct Puts
+	seq     uint64 // client sequence for direct Puts
+	migrSeq uint64 // migration-stream sequence (client migrClientID)
+
+	migr       *migration
+	rebalances []scenario.RebalanceStats
+
+	// onGroupAdded observers fire after a new group is built but before
+	// it starts (so a load generator can wire SetOnApply). Epoch flips
+	// have no callback: consumers poll Epoch(), which flips at most once
+	// per migration.
+	onGroupAdded []func(GroupID)
 }
 
 // shardClientID marks direct Put traffic in the kv idempotence table,
@@ -96,11 +112,25 @@ func (s *Cluster) Engine() *sim.Engine { return s.eng }
 // Router exposes the key→group mapping.
 func (s *Cluster) Router() *Router { return s.router }
 
-// Groups returns the number of Raft groups.
-func (s *Cluster) Groups() int { return len(s.groups) }
+// Epoch returns the router's ring version (bumped by every live move).
+func (s *Cluster) Epoch() int { return s.router.Epoch() }
+
+// Groups returns the number of serving Raft groups under the current
+// routing epoch.
+func (s *Cluster) Groups() int { return s.router.Groups() }
+
+// GroupSlots returns the size of the group table, including slots retired
+// by RemoveGroupLive; per-group bookkeeping (load generators) indexes by
+// slot so GroupIDs stay stable across the lifecycle.
+func (s *Cluster) GroupSlots() int { return len(s.groups) }
 
 // Group returns one group's underlying cluster.
 func (s *Cluster) Group(g GroupID) *cluster.Cluster { return s.groups[g] }
+
+// OnGroupAdded registers an observer of new groups, called after the
+// group is built but before it starts — the point where a load generator
+// must wire SetOnApply.
+func (s *Cluster) OnGroupAdded(fn func(GroupID)) { s.onGroupAdded = append(s.onGroupAdded, fn) }
 
 // Now returns virtual time.
 func (s *Cluster) Now() time.Duration { return s.eng.Now() }
@@ -111,10 +141,16 @@ func (s *Cluster) Run(d time.Duration) { s.eng.Run(s.eng.Now() + d) }
 // Leader returns group g's live leader, or nil.
 func (s *Cluster) Leader(g GroupID) *raft.Node { return s.groups[g].Leader() }
 
-// HasLeaders reports whether every group currently has a leader.
+// HasLeaders reports whether every serving group currently has a leader.
+// (A group still booting inside an add migration, or retired by a remove,
+// is not a serving group.)
 func (s *Cluster) HasLeaders() bool {
-	for _, c := range s.groups {
-		if c.Leader() == nil {
+	for g := 0; g < s.router.Groups(); g++ {
+		if s.migr != nil && s.migr.kind == "add-group" && s.migr.phase == phasePrepare &&
+			GroupID(g) == s.migr.target {
+			continue
+		}
+		if s.groups[g].Leader() == nil {
 			return false
 		}
 	}
@@ -135,8 +171,18 @@ func (s *Cluster) WaitLeaders(timeout time.Duration) bool {
 
 // Put routes key to its group, proposes the write on that group's leader
 // and advances the simulation until the command applies there (or timeout
-// elapses). It is the testbed's synchronous client call.
+// elapses). It is the testbed's synchronous client call. While the key is
+// fenced by a live migration the call waits for the cutover first — the
+// blocked span is exactly the mid-move write latency the rebalance
+// scenarios measure.
 func (s *Cluster) Put(key string, value []byte, timeout time.Duration) error {
+	deadline := s.eng.Now() + timeout
+	for s.Fenced(key) {
+		if s.eng.Now() >= deadline {
+			return fmt.Errorf("shard: key %q stayed fenced by a group migration for %v", key, timeout)
+		}
+		s.Run(time.Millisecond)
+	}
 	g := s.router.Route(key)
 	c := s.groups[g]
 	s.seq++
@@ -158,7 +204,6 @@ func (s *Cluster) Put(key string, value []byte, timeout time.Duration) error {
 	}) {
 		return fmt.Errorf("shard: group %d has no leader", g)
 	}
-	deadline := s.eng.Now() + timeout
 	for s.eng.Now() < deadline && !proposed {
 		s.Run(time.Millisecond)
 	}
@@ -193,10 +238,27 @@ func (s *Cluster) Put(key string, value []byte, timeout time.Duration) error {
 }
 
 // Get reads key from its group leader's store (leader-local reads, the
-// same consistency the single-group testbed serves). It returns false
-// when the key is absent or the group momentarily has no leader.
+// same consistency the single-group testbed serves). Before a migration's
+// cutover it dual-reads: a miss at the key's current owner falls back to
+// its previous-epoch owner, so a read can never miss a key that committed
+// before the move (the copy stream may simply not have reached it yet —
+// and the write fence guarantees the source copy is never stale). After
+// cutover the destination is authoritative and a miss stays a miss. It
+// returns false when the key is absent or the group momentarily has no
+// leader.
 func (s *Cluster) Get(key string) ([]byte, bool) {
-	g := s.router.Route(key)
+	if v, ok := s.getFrom(s.router.Route(key), key); ok {
+		return v, true
+	}
+	if s.dualReadActive() {
+		if pg, ok := s.router.RoutePrev(key); ok {
+			return s.getFrom(pg, key)
+		}
+	}
+	return nil, false
+}
+
+func (s *Cluster) getFrom(g GroupID, key string) ([]byte, bool) {
 	lead := s.groups[g].Leader()
 	if lead == nil {
 		return nil, false
@@ -205,7 +267,8 @@ func (s *Cluster) Get(key string) ([]byte, bool) {
 }
 
 // MultiGet is the cross-shard read path: it partitions keys by group and
-// reads each batch from that group's leader. The result is per-group
+// reads each batch from that group's leader, with the same per-key
+// dual-read fallback as Get during a migration. The result is per-group
 // leader-local consistent but is not a snapshot across groups — groups
 // commit independently, which is the price of sharding (and exactly what
 // a future cross-shard transaction PR would address). Missing keys are
@@ -214,13 +277,23 @@ func (s *Cluster) MultiGet(keys ...string) map[string][]byte {
 	out := make(map[string][]byte, len(keys))
 	for g, ks := range s.router.Partition(keys) {
 		lead := s.groups[g].Leader()
-		if lead == nil {
-			continue
+		var store *kv.Store
+		if lead != nil {
+			store = s.groups[g].Store(lead.ID())
 		}
-		store := s.groups[g].Store(lead.ID())
 		for _, k := range ks {
-			if v, ok := store.Get(k); ok {
-				out[k] = v
+			if store != nil {
+				if v, ok := store.Get(k); ok {
+					out[k] = v
+					continue
+				}
+			}
+			if s.dualReadActive() {
+				if pg, ok := s.router.RoutePrev(k); ok {
+					if v, ok := s.getFrom(pg, k); ok {
+						out[k] = v
+					}
+				}
 			}
 		}
 	}

@@ -111,6 +111,69 @@ var defs = map[string]def{
 			return nil
 		},
 	},
+	"jitter": {
+		doc: "delay jitter on every link segment, e.g. 5ms (not valid for geo topologies)",
+		apply: func(spec *scenario.Spec, v string) error {
+			j, err := time.ParseDuration(v)
+			if err != nil || j < 0 {
+				return fmt.Errorf("axis jitter: %q is not a non-negative duration", v)
+			}
+			if len(spec.Topology.Regions) > 0 {
+				return fmt.Errorf("axis jitter: geo topologies take jitter from geo_jitter_frac")
+			}
+			if len(spec.Network.Segments) == 0 {
+				return fmt.Errorf("axis jitter: the base spec has no network segments to apply it to")
+			}
+			spec.Network = spec.Network.WithJitter(scenario.Duration(j))
+			return nil
+		},
+	},
+	"zipf": {
+		doc: "Zipf exponent of the sharded loadgen's key sampler, > 1 (0 = uniform)",
+		apply: func(spec *scenario.Spec, v string) error {
+			z, err := strconv.ParseFloat(v, 64)
+			if err != nil || (z != 0 && z <= 1) {
+				return fmt.Errorf("axis zipf: %q is not 0 (uniform) or an exponent > 1", v)
+			}
+			if spec.Topology.Groups == 0 || spec.Workload == nil {
+				// Only the sharded generator samples keys; a single-group
+				// cell would be labelled with a skew that was never applied.
+				return fmt.Errorf("axis zipf: needs a sharded throughput base (the keyed generator)")
+			}
+			spec.Workload.Zipf = z
+			return nil
+		},
+	},
+	"groups-delta": {
+		doc: "live rebalance mid-ramp: +k adds k groups, -k removes k (sharded throughput)",
+		apply: func(spec *scenario.Spec, v string) error {
+			k, err := strconv.Atoi(v)
+			if err != nil || k == 0 {
+				return fmt.Errorf("axis groups-delta: %q is not a non-zero integer", v)
+			}
+			if spec.Topology.Groups == 0 || spec.Measure != scenario.MeasureThroughput || spec.Workload == nil {
+				return fmt.Errorf("axis groups-delta: needs a sharded throughput base")
+			}
+			kind := scenario.FaultAddGroup
+			count := k
+			if k < 0 {
+				kind, count = scenario.FaultRemoveGroup, -k
+			}
+			f := scenario.Fault{
+				Kind: kind, Count: count,
+				// Fire at mid-ramp so pre/mid/post phase buckets all fill;
+				// successive moves are spaced for the drain to converge
+				// (overlapping moves are skipped, not queued).
+				At:       scenario.Duration(spec.Workload.Ramp().Duration() / 2),
+				Deadline: scenario.Duration(15 * time.Second),
+			}
+			if count > 1 {
+				f.Every = scenario.Duration(10 * time.Second)
+			}
+			spec.Faults = append(spec.Faults, f)
+			return nil
+		},
+	},
 }
 
 func axisDef(name string) (def, error) {

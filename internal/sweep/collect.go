@@ -54,12 +54,56 @@ func metricSet(spec scenario.Spec) ([]metricDef, error) {
 		}, nil
 	case scenario.MeasureThroughput:
 		if spec.Topology.Groups > 0 {
-			return []metricDef{
+			defs := []metricDef{
 				{"agg_rps", BetterHigher, func(r *scenario.Result) []float64 { return scalar(r.ShardRamps[0].AggThroughput) }},
 				{"peak_rps", BetterHigher, func(r *scenario.Result) []float64 { return scalar(r.ShardRamps[0].PeakThroughput) }},
 				{"p99_ms", BetterLower, func(r *scenario.Result) []float64 { return scalar(r.ShardRamps[0].P99Ms) }},
 				{"lost", BetterLower, func(r *scenario.Result) []float64 { return scalar(float64(r.ShardRamps[0].Lost)) }},
-			}, nil
+			}
+			for _, f := range spec.Faults {
+				if f.Kind != scenario.FaultAddGroup && f.Kind != scenario.FaultRemoveGroup {
+					continue
+				}
+				// A rebalancing cell gains the move's headline columns: the
+				// keyspace fraction that moved and the mid-move tail. Every
+				// cell of such a campaign rebalances (the base spec or the
+				// groups-delta axis adds the fault to all of them), so the
+				// report schema stays stable.
+				defs = append(defs,
+					// moves_done distinguishes a cell that completed its whole
+					// rebalance schedule from one whose later moves were skipped
+					// (overlap) or aborted (deadline) — without it, a +2 cell
+					// that managed only one move would be indistinguishable in
+					// the report from a genuine +2 run.
+					metricDef{"moves_done", BetterHigher, func(r *scenario.Result) []float64 {
+						rb := r.ShardRamps[0].Rebalance
+						if rb == nil {
+							return scalar(0)
+						}
+						return scalar(float64(rb.MovesDone()))
+					}},
+					metricDef{"moved_frac", BetterLower, func(r *scenario.Result) []float64 {
+						rb := r.ShardRamps[0].Rebalance
+						if rb == nil {
+							return scalar(0)
+						}
+						var sum float64
+						for _, mv := range rb.Moves {
+							sum += mv.MovedFraction
+						}
+						return scalar(sum)
+					}},
+					metricDef{"mid_move_p99_ms", BetterLower, func(r *scenario.Result) []float64 {
+						rb := r.ShardRamps[0].Rebalance
+						if rb == nil {
+							return scalar(0)
+						}
+						return scalar(rb.Mid.P99Ms)
+					}},
+				)
+				break
+			}
+			return defs, nil
 		}
 		return []metricDef{
 			{"peak_rps", BetterHigher, func(r *scenario.Result) []float64 {

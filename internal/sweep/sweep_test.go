@@ -215,3 +215,100 @@ func TestShardsAxisSetsNodesPerGroup(t *testing.T) {
 		}
 	}
 }
+
+func shardedBaseSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:     "sharded-base",
+		Measure:  scenario.MeasureThroughput,
+		Topology: scenario.Topology{N: 3, Groups: 3, NodesPerGroup: 3},
+		Network:  scenario.Stable(80 * time.Millisecond),
+		Variant:  scenario.VariantSpec{Name: "raft"},
+		Workload: &scenario.Workload{StartRPS: 500, StepRPS: 0,
+			StepDuration: scenario.Duration(10 * time.Second), Steps: 4, Keys: 512},
+		Reps: 1, Seed: 1,
+	}
+}
+
+func TestJitterAxis(t *testing.T) {
+	c := Campaign{Base: baseSpec(), Axes: []Axis{{Name: "jitter", Values: []string{"1ms", "8ms"}}}}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := cells[1].Spec.Network.Segments[0].Jitter.D(); j != 8*time.Millisecond {
+		t.Fatalf("jitter axis not applied: %v", j)
+	}
+	if j := cells[0].Spec.Network.Segments[0].Jitter.D(); j != time.Millisecond {
+		t.Fatalf("jitter leaked across cells: %v", j)
+	}
+	// Geo topologies take jitter from the matrix: reject.
+	geo := baseSpec()
+	geo.Topology.Regions = []string{"tokyo", "london", "california", "sydney", "sao-paulo"}
+	geo.Network = scenario.Net{}
+	if _, err := (Campaign{Base: geo, Axes: []Axis{{Name: "jitter", Values: []string{"1ms"}}}}).Cells(); err == nil {
+		t.Fatal("jitter axis accepted a geo topology")
+	}
+}
+
+func TestZipfAxis(t *testing.T) {
+	c := Campaign{Base: shardedBaseSpec(), Axes: []Axis{{Name: "zipf", Values: []string{"0", "1.2", "2"}}}}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{0, 1.2, 2} {
+		if z := cells[i].Spec.Workload.Zipf; z != want {
+			t.Fatalf("cell %d zipf %v, want %v", i, z, want)
+		}
+	}
+	// Exponents in (0, 1] are invalid for the sampler; the axis must say
+	// so at expansion, not panic inside a worker.
+	if _, err := (Campaign{Base: shardedBaseSpec(), Axes: []Axis{{Name: "zipf", Values: []string{"0.9"}}}}).Cells(); err == nil {
+		t.Fatal("zipf axis accepted an exponent in (0, 1]")
+	}
+	// The keyed sampler exists only in the sharded generator.
+	single := baseSpec()
+	if _, err := (Campaign{Base: single, Axes: []Axis{{Name: "zipf", Values: []string{"1.5"}}}}).Cells(); err == nil {
+		t.Fatal("zipf axis accepted a non-sharded base")
+	}
+}
+
+func TestGroupsDeltaAxis(t *testing.T) {
+	c := Campaign{Base: shardedBaseSpec(), Axes: []Axis{{Name: "groups-delta", Values: []string{"+1", "-1"}}}}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := cells[0].Spec.Faults
+	if len(add) != 1 || add[0].Kind != scenario.FaultAddGroup {
+		t.Fatalf("+1 cell faults: %+v", add)
+	}
+	// Mid-ramp: the 40s ramp's midpoint.
+	if at := add[0].At.D(); at != 20*time.Second {
+		t.Fatalf("+1 fires at %v, want mid-ramp 20s", at)
+	}
+	rm := cells[1].Spec.Faults
+	if len(rm) != 1 || rm[0].Kind != scenario.FaultRemoveGroup {
+		t.Fatalf("-1 cell faults: %+v", rm)
+	}
+	// A delta that would shrink below one group fails cell validation.
+	if _, err := (Campaign{Base: shardedBaseSpec(), Axes: []Axis{{Name: "groups-delta", Values: []string{"-3"}}}}).Cells(); err == nil {
+		t.Fatal("groups-delta accepted shrinking below one group")
+	}
+	// Non-sharded bases have no group lifecycle.
+	if _, err := (Campaign{Base: baseSpec(), Axes: []Axis{{Name: "groups-delta", Values: []string{"+1"}}}}).Cells(); err == nil {
+		t.Fatal("groups-delta accepted a non-sharded base")
+	}
+	// The rebalancing cells carry the move's metric columns.
+	mset, err := metricSet(cells[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, d := range mset {
+		names[d.name] = true
+	}
+	if !names["moved_frac"] || !names["mid_move_p99_ms"] || !names["moves_done"] {
+		t.Fatalf("rebalance metrics missing from the sharded set: %v", names)
+	}
+}
