@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -54,6 +56,34 @@ type ScenarioWall struct {
 	WallMs float64 `json:"wall_ms"`
 }
 
+// GroupsPoint is one G of the multi-Raft groups-scaling curve: a fixed
+// open-loop ramp over a G-group consolidated deployment, with the
+// pre-consolidation per-group-mesh build run on the same profile for
+// comparison (up to -legacy-max). AggOpsPerSec is committed requests per
+// virtual second (capacity); OpsPerWallSec and EventsPerWallSec measure
+// the simulator itself — the quantity the consolidation exists to scale.
+type GroupsPoint struct {
+	Groups           int     `json:"groups"`
+	OfferedRPS       int     `json:"offered_rps"`
+	Completed        int     `json:"completed"`
+	AggOpsPerSec     float64 `json:"agg_ops_per_sec"`
+	WallMs           float64 `json:"wall_ms"`
+	OpsPerWallSec    float64 `json:"ops_per_wall_sec"`
+	EventsPerWallSec float64 `json:"events_per_wall_sec"`
+	// LogicalMsgs / WireMsgs: raft messages submitted vs envelopes that
+	// crossed the shared mesh; their ratio is the per-node-pair batching
+	// factor.
+	LogicalMsgs  uint64  `json:"logical_msgs"`
+	WireMsgs     uint64  `json:"wire_msgs"`
+	MsgReduction float64 `json:"msg_reduction"`
+	// Legacy* report the per-group-mesh build of the same point; Speedup
+	// is consolidated over legacy ops-per-wall-second. Zero when the
+	// legacy run was skipped (-legacy-max).
+	LegacyWallMs        float64 `json:"legacy_wall_ms,omitempty"`
+	LegacyOpsPerWallSec float64 `json:"legacy_ops_per_wall_sec,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
 // BenchReport is the BENCH.json schema: the per-PR perf trajectory record
 // CI uploads as an artifact.
 type BenchReport struct {
@@ -65,6 +95,120 @@ type BenchReport struct {
 	Figures       []FigureWall          `json:"figures"`
 	Parallel      ParallelTrials        `json:"parallel_trials"`
 	Scenarios     []ScenarioWall        `json:"scenario_runner"`
+	GroupsCurve   []GroupsPoint         `json:"groups_curve,omitempty"`
+}
+
+func parseGroupsList(csv string) []int {
+	var out []int
+	for _, tok := range strings.Split(csv, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		g, err := strconv.Atoi(tok)
+		if err != nil || g < 1 {
+			fmt.Fprintf(os.Stderr, "bench: -groups entry %q is not a positive integer\n", tok)
+			os.Exit(1)
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: -groups is empty")
+		os.Exit(1)
+	}
+	return out
+}
+
+// groupsRun is one raw execution of the curve workload.
+type groupsRun struct {
+	offered   int
+	completed int
+	virtual   time.Duration
+	wall      time.Duration
+	fired     uint64
+	logical   uint64
+	wire      uint64
+}
+
+// runGroupsRamp drives a fixed open-loop ramp over a G-group deployment:
+// the aggregate offered rate grows with G (300 req/s per group) up to a
+// cap, so small points measure scaling and large points measure the
+// simulator under heavy fan-out. Seeds and ramp are fixed — the only
+// variable across a curve is G and the transport build.
+func runGroupsRamp(groups int, perGroupMesh bool) groupsRun {
+	aggRPS := 300 * groups
+	if aggRPS > 8000 {
+		aggRPS = 8000
+	}
+	ramp := workload.Ramp{StartRPS: aggRPS, StepRPS: 0, StepDuration: 2 * time.Second, Steps: 3}
+	s := shard.New(shard.Options{
+		Groups: groups, NodesPerGroup: 3, Seed: 77,
+		Variant: cluster.VariantRaft(), Profile: stable100(),
+		PerGroupMesh: perGroupMesh,
+	})
+	lg := shard.NewLoadGen(s, ramp, shard.LoadOptions{Keys: 4096})
+	s.Start()
+	if !s.WaitLeaders(30 * time.Second) {
+		fmt.Fprintf(os.Stderr, "bench: groups-curve G=%d never elected all leaders\n", groups)
+		os.Exit(1)
+	}
+	s.Run(time.Second)
+	// Wall time covers the loaded window only: boot (G elections) and the
+	// pre-load settle second measure deployment spin-up, not sustained
+	// throughput, and at small ramps they would drown the signal.
+	start := time.Now()
+	f0 := s.Engine().Fired()
+	lg.Start()
+	s.Run(ramp.Duration() + 3*time.Second)
+	r := groupsRun{
+		offered:   aggRPS,
+		completed: lg.TotalCompleted(),
+		virtual:   ramp.Duration(),
+		wall:      time.Since(start),
+		fired:     s.Engine().Fired() - f0,
+	}
+	r.logical, r.wire = s.WireStats()
+	return r
+}
+
+// groupsReps is how many times each curve point runs; the minimum wall
+// time is kept. Virtual-time results are identical across reps (the
+// simulation is deterministic) — only the wall clock is noisy, and min
+// is its least-noise estimator.
+const groupsReps = 3
+
+// runGroupsBest runs one curve configuration groupsReps times and keeps
+// the rep with the lowest wall time.
+func runGroupsBest(groups int, perGroupMesh bool) groupsRun {
+	best := runGroupsRamp(groups, perGroupMesh)
+	for i := 1; i < groupsReps; i++ {
+		if r := runGroupsRamp(groups, perGroupMesh); r.wall < best.wall {
+			best = r
+		}
+	}
+	return best
+}
+
+// runGroupsPoint runs the consolidated build of one curve point.
+func runGroupsPoint(groups int) GroupsPoint {
+	r := runGroupsBest(groups, false)
+	pt := GroupsPoint{
+		Groups:       groups,
+		OfferedRPS:   r.offered,
+		Completed:    r.completed,
+		AggOpsPerSec: float64(r.completed) / r.virtual.Seconds(),
+		WallMs:       float64(r.wall) / float64(time.Millisecond),
+		LogicalMsgs:  r.logical,
+		WireMsgs:     r.wire,
+	}
+	if r.wall > 0 {
+		pt.OpsPerWallSec = float64(r.completed) / r.wall.Seconds()
+		pt.EventsPerWallSec = float64(r.fired) / r.wall.Seconds()
+	}
+	if r.wire > 0 {
+		pt.MsgReduction = float64(r.logical) / float64(r.wire)
+	}
+	return pt
 }
 
 func toMicro(r testing.BenchmarkResult) MicroBench {
@@ -83,6 +227,9 @@ func bench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonPath := fs.String("json", "", "write the report as JSON to this path (e.g. BENCH.json)")
 	trials := fs.Int("trials", 150, "election trials for the parallel-runner timing")
+	groupsCurve := fs.Bool("groups-curve", false, "run the multi-Raft groups-scaling curve")
+	groupsList := fs.String("groups", "1,2,4,8,16,32,64,128,256", "comma-separated group counts for -groups-curve")
+	legacyMax := fs.Int("legacy-max", 64, "largest G to also run on the per-group-mesh build for comparison")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	rep := BenchReport{
@@ -198,6 +345,31 @@ func bench(args []string) {
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
 		rep.Scenarios = append(rep.Scenarios, ScenarioWall{Name: sc.name, Scale: sc.scale, WallMs: ms})
 		fmt.Printf("  %-28s (x%.2f) %8.0f ms\n", sc.name, sc.scale, ms)
+	}
+
+	if *groupsCurve {
+		fmt.Println("== Multi-Raft groups-scaling curve (consolidated vs per-group-mesh) ==")
+		for _, g := range parseGroupsList(*groupsList) {
+			pt := runGroupsPoint(g)
+			if g <= *legacyMax {
+				lr := runGroupsBest(g, true)
+				pt.LegacyWallMs = float64(lr.wall) / float64(time.Millisecond)
+				if lr.wall > 0 {
+					pt.LegacyOpsPerWallSec = float64(lr.completed) / lr.wall.Seconds()
+				}
+				if pt.LegacyOpsPerWallSec > 0 {
+					pt.Speedup = pt.OpsPerWallSec / pt.LegacyOpsPerWallSec
+				}
+			}
+			rep.GroupsCurve = append(rep.GroupsCurve, pt)
+			fmt.Printf("  G=%-4d %7d ops (%6.0f ops/vs) wall %7.0f ms  %11.0f ev/s  msgs %9d→%8d (%4.1fx)",
+				pt.Groups, pt.Completed, pt.AggOpsPerSec, pt.WallMs, pt.EventsPerWallSec,
+				pt.LogicalMsgs, pt.WireMsgs, pt.MsgReduction)
+			if pt.Speedup > 0 {
+				fmt.Printf("  legacy %7.0f ms (%4.2fx)", pt.LegacyWallMs, pt.Speedup)
+			}
+			fmt.Println()
+		}
 	}
 
 	fmt.Println("== Parallel trial runner (workers vs 1, identical results required) ==")

@@ -127,6 +127,15 @@ type Options struct {
 	// crash/freeze class).
 	Persist bool
 
+	// Fabric, when set, attaches this cluster as one group of a
+	// consolidated multi-Raft deployment: instead of building a private
+	// netsim mesh and per-timer engine events, the group shares the
+	// fabric's physical mesh (envelope-multiplexed, per-node-pair batched)
+	// and per-node tick driver with every other attached group. Profile is
+	// ignored (the fabric owns the links) and Regions are unsupported. The
+	// engine must be the fabric's.
+	Fabric *Fabric
+
 	Cost CostModel
 }
 
@@ -153,9 +162,14 @@ func (o Options) withDefaults() Options {
 type Cluster struct {
 	opts Options
 	eng  *sim.Engine
-	net  *netsim.Network[raft.Message]
+	net  *netsim.Network[raft.Message] // nil when fabric-attached
 	rec  *trace.Recorder
 	cost CostModel
+
+	// fabric / fabricUID are set when this cluster is one group of a
+	// consolidated multi-Raft deployment (Options.Fabric).
+	fabric    *Fabric
+	fabricUID int
 
 	nodes      []*raft.Node
 	rts        []*nodeRT
@@ -191,14 +205,22 @@ func build(eng *sim.Engine, opts Options) *Cluster {
 		rec:  trace.NewRecorder(),
 		cost: opts.Cost,
 	}
-	c.net = netsim.New[raft.Message](c.eng, opts.N, opts.Profile, func(to int, m raft.Message) {
-		c.rts[to].deliver(m)
-	})
-	if len(opts.Regions) > 0 {
-		if len(opts.Regions) != opts.N {
-			panic(fmt.Sprintf("cluster: %d regions for %d nodes", len(opts.Regions), opts.N))
+	if opts.Fabric != nil {
+		if len(opts.Regions) > 0 {
+			panic("cluster: geo regions are per-link state; a fabric-attached group shares the physical mesh")
 		}
-		geo.ApplyToNetwork(c.net, opts.Regions, opts.GeoJitterFrac, opts.GeoLoss)
+		c.fabric = opts.Fabric
+		c.fabricUID = opts.Fabric.attach(c)
+	} else {
+		c.net = netsim.New[raft.Message](c.eng, opts.N, opts.Profile, func(to int, m raft.Message) {
+			c.rts[to].deliver(m)
+		})
+		if len(opts.Regions) > 0 {
+			if len(opts.Regions) != opts.N {
+				panic(fmt.Sprintf("cluster: %d regions for %d nodes", len(opts.Regions), opts.N))
+			}
+			geo.ApplyToNetwork(c.net, opts.Regions, opts.GeoJitterFrac, opts.GeoLoss)
+		}
 	}
 	c.rts = make([]*nodeRT, opts.N)
 	c.nodes = make([]*raft.Node, opts.N)
@@ -213,6 +235,11 @@ func build(eng *sim.Engine, opts Options) *Cluster {
 			timers:  map[timerKey]sim.Handle{},
 			tuned:   opts.Variant.Tuned,
 			hbClass: opts.Variant.HeartbeatClass,
+		}
+		if c.fabric != nil {
+			c.rts[i].fnode = c.fabric.nodes[i]
+			c.rts[i].fabUID = c.fabricUID
+			c.rts[i].initDrain()
 		}
 		if opts.Persist {
 			c.persisters[i] = storage.NewMemory()
@@ -303,8 +330,15 @@ func (c *Cluster) Engine() *sim.Engine { return c.eng }
 // the shard layer's) use it to complete in-flight requests.
 func (c *Cluster) SetOnApply(fn func(raft.ID, []raft.Entry)) { c.onApply = fn }
 
-// Network exposes the simulated mesh.
+// Network exposes the cluster's private simulated mesh. It is nil for a
+// fabric-attached group, whose traffic rides the shared physical mesh
+// (Fabric.Net) instead — fault injection there targets physical links
+// once, for every co-located group.
 func (c *Cluster) Network() *netsim.Network[raft.Message] { return c.net }
+
+// Fabric returns the consolidation fabric this cluster is attached to,
+// or nil for a standalone cluster.
+func (c *Cluster) Fabric() *Fabric { return c.fabric }
 
 // MaxApplied returns the highest applied index across the cluster's
 // nodes — the floor below which no fresh proposal can land (see
@@ -524,13 +558,22 @@ func (c *Cluster) KthSmallestRandomizedTimeout(k int) time.Duration {
 }
 
 // LeaderMeanHeartbeatInterval returns the mean of the leader's per-peer
-// heartbeat intervals (what Fig. 7a plots), or 0 if no leader.
+// heartbeat intervals (what Fig. 7a plots). It returns a documented zero
+// whenever there is no usable leader-side state to read — no elected
+// leader (mid-election, or every replica paused, as in a retired shard
+// group polled mid-consolidated-tick), or a leader whose tuner is being
+// rebuilt across a crash-restart — rather than touching nil runtime
+// state. Probes sample on a wall schedule, so a zero simply marks a
+// leaderless instant in the series.
 func (c *Cluster) LeaderMeanHeartbeatInterval() time.Duration {
 	l := c.Leader()
 	if l == nil {
 		return 0
 	}
 	tuner := c.tuners[l.ID()-1]
+	if tuner == nil {
+		return 0
+	}
 	var sum time.Duration
 	n := 0
 	for _, p := range c.peersOf(l.ID()) {
@@ -565,8 +608,12 @@ func (c *Cluster) CPUPercent(id raft.ID, window time.Duration) float64 {
 	return pct
 }
 
-// LinkRTT reports the nominal RTT currently in force between two nodes.
+// LinkRTT reports the nominal RTT currently in force between two nodes
+// (on the shared physical mesh when fabric-attached).
 func (c *Cluster) LinkRTT(a, b raft.ID) time.Duration {
+	if c.fabric != nil {
+		return c.fabric.net.Params(int(a-1), int(b-1)).RTT
+	}
 	return c.net.Params(int(a-1), int(b-1)).RTT
 }
 

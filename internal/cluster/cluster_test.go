@@ -302,3 +302,28 @@ func TestSnapshotCatchUpThroughKVStore(t *testing.T) {
 		t.Fatalf("applied %d vs %d", c.Store(follower).AppliedIndex(), c.Store(lead.ID()).AppliedIndex())
 	}
 }
+
+// TestLeaderMeanHeartbeatIntervalNoLeader pins the accessor's documented
+// zero: polled with no elected leader — before any election, and again
+// with every replica paused (a retired shard group sampled mid-tick) —
+// it must return 0 rather than touch nil runtime state.
+func TestLeaderMeanHeartbeatIntervalNoLeader(t *testing.T) {
+	c := New(Options{N: 3, Seed: 21, Variant: VariantDynatune(dynatune.Options{}), Profile: stableNet(50)})
+	c.Start()
+	if h := c.LeaderMeanHeartbeatInterval(); h != 0 {
+		t.Fatalf("pre-election mean h = %v, want documented 0", h)
+	}
+	if c.WaitLeader(30*time.Second) == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(2 * time.Second)
+	if h := c.LeaderMeanHeartbeatInterval(); h == 0 {
+		t.Fatal("steady-state mean h = 0 with an elected leader")
+	}
+	for id := raft.ID(1); id <= 3; id++ {
+		c.Pause(id)
+	}
+	if h := c.LeaderMeanHeartbeatInterval(); h != 0 {
+		t.Fatalf("all-paused mean h = %v, want documented 0", h)
+	}
+}

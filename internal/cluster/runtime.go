@@ -22,6 +22,14 @@ type nodeRT struct {
 
 	timers map[timerKey]sim.Handle
 
+	// fnode / fabUID route this runtime through the consolidation fabric
+	// when the cluster is one group of a multi-Raft deployment: sends go
+	// into the node's per-peer batches and timers into the node's
+	// consolidated tick table instead of the private mesh and per-timer
+	// engine events. Nil for a standalone cluster.
+	fnode  *fabricNode
+	fabUID int
+
 	// tuned enables the tuning-overhead cost components.
 	tuned bool
 	// hbClass is the delivery class for heartbeats and their responses
@@ -36,6 +44,17 @@ type nodeRT struct {
 	// failure detector, not a wholesale slowdown of the process.
 	skewOffset time.Duration
 	skewDrift  float64
+
+	// inbox stages fabric payloads queued behind a busy CPU (see
+	// deliverRun). One drain event at a time is armed; runs staged while
+	// it is pending just charge their CPU cost and ride the armed drain,
+	// so a busy burst costs one engine event and zero per-run closures.
+	// The drain/drop callbacks are built once at construction.
+	inbox      []raft.Message
+	inboxHead  int
+	drainArmed bool
+	drainFn    func()
+	dropFn     func()
 
 	// stats
 	msgsSent, msgsRecv uint64
@@ -64,6 +83,10 @@ func (rt *nodeRT) Send(m raft.Message) {
 	if m.Type == raft.MsgHeartbeat || m.Type == raft.MsgHeartbeatResp {
 		cls = rt.hbClass
 	}
+	if rt.fnode != nil {
+		rt.fnode.send(rt.fabUID, cls, m)
+		return
+	}
 	rt.c.net.Send(int(rt.id-1), int(m.To-1), cls, m)
 }
 
@@ -77,11 +100,67 @@ func (rt *nodeRT) deliver(m raft.Message) {
 	})
 }
 
-func (rt *nodeRT) SetTimer(kind raft.TimerKind, peer raft.ID, at time.Duration) {
-	key := timerKey{kind, peer}
-	if h, ok := rt.timers[key]; ok {
-		rt.c.eng.Cancel(h)
+// deliverRun is the fabric's receive path: one envelope's consecutive
+// same-group payloads, delivered together. When the node's CPU is idle
+// (and nothing is staged ahead) the run is stepped inside the caller's
+// event — the envelope sink — charging each message's receive cost
+// without per-message engine events or closures. Otherwise the payloads
+// are staged in the replica's reusable inbox: the first staged run arms
+// one drain event at the backlog's end, later runs charge their CPU cost
+// and ride it, so a busy burst costs one engine event total and the
+// envelope's slice is never retained.
+func (rt *nodeRT) deliverRun(run []netsim.GroupMsg[raft.Message]) {
+	if rt.paused {
+		return // frozen container: sockets overflow, packets die
 	}
+	rt.msgsRecv += uint64(len(run))
+	// The drainArmed check keeps FIFO order: a drain whose deadline has
+	// arrived but whose event has not yet fired must still step its
+	// staged payloads before anything newer runs inline.
+	if !rt.drainArmed && rt.proc.Backlog() == 0 {
+		for i := range run {
+			rt.proc.Charge(rt.c.cost.recvCost(run[i].Msg, rt.tuned))
+			rt.node.Step(run[i].Msg)
+		}
+		return
+	}
+	var total time.Duration
+	for i := range run {
+		total += rt.c.cost.recvCost(run[i].Msg, rt.tuned)
+		rt.inbox = append(rt.inbox, run[i].Msg)
+	}
+	if rt.drainArmed {
+		rt.proc.Charge(total)
+		return
+	}
+	rt.drainArmed = true
+	rt.proc.ExecNotify(total, rt.drainFn, rt.dropFn)
+}
+
+// initDrain builds the inbox drain callbacks (once, at cluster build).
+// drainFn steps everything staged; payloads that landed after the drain
+// was armed are processed here too — slightly earlier than their charged
+// CPU completion, the price of coalescing a burst into one event. dropFn
+// is the pause path: a frozen container's queued work is discarded.
+func (rt *nodeRT) initDrain() {
+	rt.drainFn = func() {
+		rt.drainArmed = false
+		for rt.inboxHead < len(rt.inbox) {
+			m := rt.inbox[rt.inboxHead]
+			rt.inboxHead++
+			rt.node.Step(m)
+		}
+		rt.inbox = rt.inbox[:0]
+		rt.inboxHead = 0
+	}
+	rt.dropFn = func() {
+		rt.drainArmed = false
+		rt.inbox = rt.inbox[:0]
+		rt.inboxHead = 0
+	}
+}
+
+func (rt *nodeRT) SetTimer(kind raft.TimerKind, peer raft.ID, at time.Duration) {
 	if kind == raft.TimerElection && (rt.skewDrift != 0 || rt.skewOffset != 0) {
 		now := rt.c.eng.Now()
 		d := at - now
@@ -93,6 +172,17 @@ func (rt *nodeRT) SetTimer(kind raft.TimerKind, peer raft.ID, at time.Duration) 
 			d = 0
 		}
 		at = now + d
+	}
+	if rt.fnode != nil {
+		// Consolidated path: the node's fabric driver owns the deadline
+		// (quantized onto the shared tick grid, after the skew transform
+		// above so a skewed clock still lands on the grid).
+		rt.fnode.setTimer(rt, kind, peer, at)
+		return
+	}
+	key := timerKey{kind, peer}
+	if h, ok := rt.timers[key]; ok {
+		rt.c.eng.Cancel(h)
 	}
 	rt.timers[key] = rt.c.eng.Schedule(at, func() {
 		delete(rt.timers, key)
@@ -106,6 +196,10 @@ func (rt *nodeRT) SetTimer(kind raft.TimerKind, peer raft.ID, at time.Duration) 
 }
 
 func (rt *nodeRT) CancelTimer(kind raft.TimerKind, peer raft.ID) {
+	if rt.fnode != nil {
+		rt.fnode.cancelTimer(rt.fabUID, kind, peer)
+		return
+	}
 	key := timerKey{kind, peer}
 	if h, ok := rt.timers[key]; ok {
 		rt.c.eng.Cancel(h)
@@ -131,6 +225,10 @@ func (rt *nodeRT) resume() {
 // dropTimers cancels and forgets every armed timer — a crashed process's
 // timers must never drive its successor.
 func (rt *nodeRT) dropTimers() {
+	if rt.fnode != nil {
+		rt.fnode.dropTimers(rt.fabUID)
+		return
+	}
 	for key, h := range rt.timers {
 		rt.c.eng.Cancel(h)
 		delete(rt.timers, key)

@@ -1,0 +1,55 @@
+package netsim
+
+// Envelope multiplexing for multi-Raft consolidation: when many Raft
+// groups are co-located on the same simulated nodes (the shard layer),
+// running one mesh per group would give every group its own link state —
+// G copies of the profile schedule, G tcpFloors per node pair, and one
+// wire packet per (group, message). A single Network[Envelope[T]] carries
+// every group's traffic instead: each directed node pair has exactly one
+// link (so a fault cuts the physical path once and every group riding it
+// is affected), and messages bound for the same peer within a delivery
+// window ship as one envelope of per-group payloads, unbatched on
+// arrival. This mirrors TiKV's multi-Raft transport, where all regions
+// on a store share one gRPC connection per peer store.
+
+// GroupMsg is one group-addressed payload inside an Envelope. Group is
+// the sender-side demux key — the shard fabric uses a monotonically
+// unique attach ID rather than a reusable slot index, so an envelope
+// still in flight when its group is decommissioned lands on the retired
+// (paused) group instead of whichever group later reuses the slot.
+type GroupMsg[T any] struct {
+	Group int
+	Msg   T
+}
+
+// Envelope is one simulated wire packet carrying a batch of per-group
+// messages between the same pair of physical nodes. Under TCP semantics
+// the whole envelope is one segment: it is lost, retransmitted and
+// ordered as a unit, exactly like a multiplexed stream's write.
+type Envelope[T any] struct {
+	Msgs []GroupMsg[T]
+
+	// Recycle marks the Msgs slice as returnable to the sender's pool once
+	// the receiver has demuxed it. Only exactly-once transports may set it:
+	// a TCP-class envelope is delivered at most once, while UDP duplication
+	// would hand the same slice to the sink twice and alias the pool.
+	Recycle bool
+}
+
+// TotalStats sums every directed link's counters — the mesh-wide wire
+// traffic. For an envelope-multiplexed mesh this counts envelopes, not
+// the logical messages inside them; comparing it against the sender's
+// logical count yields the batching factor.
+func (nw *Network[T]) TotalStats() Stats {
+	var total Stats
+	for _, l := range nw.links {
+		for cls := 0; cls < 2; cls++ {
+			total.Sent[cls] += l.stats.Sent[cls]
+			total.Delivered[cls] += l.stats.Delivered[cls]
+			total.Dropped[cls] += l.stats.Dropped[cls]
+		}
+		total.Retrans += l.stats.Retrans
+		total.Dups += l.stats.Dups
+	}
+	return total
+}

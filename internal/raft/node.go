@@ -158,6 +158,9 @@ type Node struct {
 
 	// leader bookkeeping
 	prs map[ID]*progress
+	// matchBuf is maybeCommit's reusable match-index scratch (hot on
+	// every append response; a per-call allocation shows up at scale).
+	matchBuf []uint64
 	// transferee is the pending leadership-transfer target (None if no
 	// transfer is in flight).
 	transferee ID

@@ -2,7 +2,6 @@ package raft
 
 import (
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -291,7 +290,7 @@ func (n *Node) handleHeartbeatResp(m Message) {
 // whether the commit index advanced. Only voters count: learner acks never
 // advance the commit point.
 func (n *Node) maybeCommit() bool {
-	matches := make([]uint64, 0, len(n.peers)+1)
+	matches := n.matchBuf[:0]
 	if n.isVoter() {
 		matches = append(matches, n.log.LastIndex())
 	}
@@ -300,10 +299,18 @@ func (n *Node) maybeCommit() bool {
 			matches = append(matches, pr.match)
 		}
 	}
+	n.matchBuf = matches
 	if len(matches) < n.quorum {
 		return false
 	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	// Insertion sort, descending: the slice is one entry per voter (a
+	// handful), and this runs on every append response — a per-call
+	// reflection-based sort is measurable at multi-Raft scale.
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j] > matches[j-1]; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
 	candidate := matches[n.quorum-1]
 	if candidate <= n.log.Committed() {
 		return false

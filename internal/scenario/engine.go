@@ -72,6 +72,11 @@ type MultiCluster interface {
 	RemoveGroupLive(deadline time.Duration) error
 	Rebalancing() bool
 	Rebalances() []RebalanceStats
+	// PhysLinks returns the consolidated deployment's shared physical
+	// mesh — the fault surface for link-level kinds in sharded runs: one
+	// cut affects every group riding the link. Nil when the deployment
+	// runs per-group meshes (link faults are then unsupported).
+	PhysLinks() *netsim.Network[netsim.Envelope[raft.Message]]
 }
 
 // MultiLoadGen is the keyed sharded generator (shard.LoadGen).

@@ -6,6 +6,7 @@ import (
 
 	"dynatune/internal/netsim"
 	"dynatune/internal/raft"
+	"dynatune/internal/sim"
 )
 
 // FaultKind names one injector.
@@ -124,6 +125,18 @@ func (k FaultKind) rebalance() bool {
 	return k == FaultAddGroup || k == FaultRemoveGroup
 }
 
+// shardLink reports whether the kind acts purely on physical links, so a
+// sharded run can inject it on the consolidated deployment's shared mesh
+// (one cut affects every group riding the link). Node/link indices in the
+// fault address physical nodes, 1..NodesPerGroup.
+func (k FaultKind) shardLink() bool {
+	switch k {
+	case FaultLinkDown, FaultPartitionNode, FaultPartitionGroups, FaultDegradeLinks:
+		return true
+	}
+	return false
+}
+
 func (f Fault) validate() error {
 	switch f.Kind {
 	case FaultPauseLeader, FaultPartitionLeader, FaultAsymPartitionLeader,
@@ -212,13 +225,20 @@ func (f Fault) occurrences() []time.Duration {
 	return out
 }
 
+// linkToggler is the slice of a netsim mesh the cut bookkeeping needs;
+// both a single-group Network[raft.Message] and the sharded fabric's
+// envelope-multiplexed mesh satisfy it.
+type linkToggler interface {
+	SetDown(from, to int, down bool)
+}
+
 // linkCuts refcounts directed-link cuts across one run's fault schedule,
 // so overlapping faults compose: a link stays down until every fault that
 // cut it has healed, instead of the first heal silently restoring a path
 // another fault still needs severed.
 type linkCuts struct {
 	n    int
-	nw   *netsim.Network[raft.Message]
+	nw   linkToggler
 	refs map[int]int // from*n+to → active cuts
 }
 
@@ -292,28 +312,110 @@ func armFaults(c Cluster, start time.Duration, faults []Fault) {
 	}
 }
 
-// armShardFaults schedules a sharded run's rebalance faults on the
-// multi-cluster's shared engine, fire times relative to start. A move
-// that fires while an earlier one is still draining is skipped (the
-// lifecycle runs one migration at a time); schedule occurrences far
-// enough apart for the drain to converge.
+// armShardFaults schedules a sharded run's faults on the multi-cluster's
+// shared engine, fire times relative to start. Rebalance kinds drive the
+// group lifecycle (a move firing while an earlier one is still draining
+// is skipped — the lifecycle runs one migration at a time; schedule
+// occurrences far enough apart for the drain to converge). Link-level
+// kinds cut the consolidated deployment's shared physical mesh once, so
+// every group riding the affected links feels the fault — the
+// consolidation contract that made them expressible here at all.
 func armShardFaults(mc MultiCluster, start time.Duration, faults []Fault) {
 	eng := mc.Engine()
+	var lc *linkCuts
 	for _, f := range faults {
-		if !f.Kind.rebalance() {
-			continue // Validate rejects these for sharded runs already
-		}
 		f := f
-		for _, at := range f.occurrences() {
-			eng.Schedule(start+at, func() {
-				switch f.Kind {
-				case FaultAddGroup:
-					_ = mc.AddGroupLive(f.Deadline.D())
-				case FaultRemoveGroup:
-					_ = mc.RemoveGroupLive(f.Deadline.D())
-				}
-			})
+		switch {
+		case f.Kind.rebalance():
+			for _, at := range f.occurrences() {
+				eng.Schedule(start+at, func() {
+					switch f.Kind {
+					case FaultAddGroup:
+						_ = mc.AddGroupLive(f.Deadline.D())
+					case FaultRemoveGroup:
+						_ = mc.RemoveGroupLive(f.Deadline.D())
+					}
+				})
+			}
+		case f.Kind.shardLink():
+			nw := mc.PhysLinks()
+			if nw == nil {
+				continue // per-group meshes: Validate rejects these specs
+			}
+			if lc == nil {
+				lc = &linkCuts{n: nw.N(), nw: nw, refs: map[int]int{}}
+			}
+			for _, at := range f.occurrences() {
+				eng.Schedule(start+at, func() { fireShardLink(eng, nw, f, lc) })
+			}
 		}
+	}
+}
+
+// fireShardLink injects one physical-link fault occurrence on the shared
+// mesh and, when the fault has a Duration, schedules its heal.
+func fireShardLink(eng *sim.Engine, nw *netsim.Network[netsim.Envelope[raft.Message]], f Fault, lc *linkCuts) {
+	heal := func(fn func()) {
+		if f.Duration > 0 {
+			eng.After(f.Duration.D(), fn)
+		}
+	}
+	switch f.Kind {
+	case FaultLinkDown:
+		lc.cut(f.From-1, f.To-1)
+		lc.cut(f.To-1, f.From-1)
+		heal(func() {
+			lc.heal(f.From-1, f.To-1)
+			lc.heal(f.To-1, f.From-1)
+		})
+	case FaultPartitionNode:
+		lc.cutNode(f.Node - 1)
+		heal(func() { lc.healNode(f.Node - 1) })
+	case FaultPartitionGroups:
+		cross := func(op func(from, to int)) {
+			for _, a := range f.GroupA {
+				for _, b := range f.GroupB {
+					op(a-1, b-1)
+					op(b-1, a-1)
+				}
+			}
+		}
+		cross(lc.cut)
+		heal(func() { cross(lc.heal) })
+	case FaultDegradeLinks:
+		degradeLinks(eng, nw, f)
+	}
+}
+
+// degradeLinks swaps every inter-node link's schedule for the fault's
+// conditions and restores exactly what it displaced Duration later. It is
+// generic over the mesh payload so the single-group runner and the
+// sharded shared mesh inject identically. Overlapping degrade pulses
+// restore last-writer-wins — schedule them disjoint.
+func degradeLinks[T any](eng *sim.Engine, nw *netsim.Network[T], f Fault) {
+	n := nw.N()
+	type linkProfile struct {
+		from, to int
+		p        netsim.Profile
+	}
+	prev := make([]linkProfile, 0, n*(n-1))
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from != to {
+				prev = append(prev, linkProfile{from, to, nw.ProfileOf(from, to)})
+			}
+		}
+	}
+	nw.SetAllProfiles(netsim.Constant(netsim.Params{
+		RTT: f.RTT.D(), Jitter: f.Jitter.D(), Loss: f.Loss,
+		Dist: parseDist(f.Dist), Alpha: f.Alpha,
+	}))
+	if f.Duration > 0 {
+		eng.After(f.Duration.D(), func() {
+			for _, lp := range prev {
+				nw.SetProfile(lp.from, lp.to, lp.p)
+			}
+		})
 	}
 }
 
@@ -417,32 +519,8 @@ func fire(c Cluster, f Fault, occ int, lc *linkCuts) {
 		cross(lc.cut)
 		heal(func() { cross(lc.heal) })
 	case FaultDegradeLinks:
-		nw := c.Network()
-		// Snapshot every directed link's own schedule so heterogeneous
-		// topologies (geo matrices) restore exactly; uniform profiles cost
-		// the same. Overlapping degrade pulses restore last-writer-wins —
-		// schedule them disjoint.
-		n := c.N()
-		type linkProfile struct {
-			from, to int
-			p        netsim.Profile
-		}
-		prev := make([]linkProfile, 0, n*(n-1))
-		for from := 0; from < n; from++ {
-			for to := 0; to < n; to++ {
-				if from != to {
-					prev = append(prev, linkProfile{from, to, nw.ProfileOf(from, to)})
-				}
-			}
-		}
-		nw.SetAllProfiles(netsim.Constant(netsim.Params{
-			RTT: f.RTT.D(), Jitter: f.Jitter.D(), Loss: f.Loss,
-			Dist: parseDist(f.Dist), Alpha: f.Alpha,
-		}))
-		heal(func() {
-			for _, lp := range prev {
-				nw.SetProfile(lp.from, lp.to, lp.p)
-			}
-		})
+		// Snapshots every directed link's own schedule so heterogeneous
+		// topologies (geo matrices) restore exactly.
+		degradeLinks(eng, c.Network(), f)
 	}
 }

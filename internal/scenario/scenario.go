@@ -337,12 +337,19 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 		if s.Topology.Groups > 0 {
-			// The sharded runner injects only group-lifecycle faults; node
-			// and link faults have no group addressing in the DSL yet.
+			// The sharded runner injects group-lifecycle faults and — since
+			// every group rides the consolidated deployment's shared
+			// physical mesh — link-level faults, whose node indices address
+			// physical nodes 1..NodesPerGroup (one cut affects every group
+			// on the link). Leader-chasing and process kinds still have no
+			// group addressing in the DSL.
 			groups := s.Topology.Groups
 			for i, f := range s.Faults {
-				if !f.Kind.rebalance() {
-					return fmt.Errorf("scenario %q: fault %d: the sharded throughput runner injects only rebalance faults (%s/%s), not %q",
+				switch {
+				case f.Kind.shardLink():
+					continue
+				case !f.Kind.rebalance():
+					return fmt.Errorf("scenario %q: fault %d: the sharded throughput runner injects rebalance faults (%s/%s) and physical-link faults, not %q",
 						s.Name, i, FaultAddGroup, FaultRemoveGroup, f.Kind)
 				}
 				occ := f.Count

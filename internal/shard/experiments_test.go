@@ -1,6 +1,9 @@
 package shard
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"testing"
 	"time"
 
@@ -19,17 +22,30 @@ func TestRunRampRepsDeterministicAcrossWorkers(t *testing.T) {
 		return RunRampReps(opts, ramp, LoadOptions{Keys: 256}, 3)
 	}
 	seq := run("1")
-	par := run("4")
-	if len(seq) != 3 || len(par) != 3 {
-		t.Fatalf("rep counts: %d vs %d", len(seq), len(par))
+	if len(seq) != 3 {
+		t.Fatalf("rep count: %d", len(seq))
 	}
 	for i := range seq {
-		if seq[i].Completed != par[i].Completed || seq[i].AggThroughput != par[i].AggThroughput ||
-			seq[i].P99Ms != par[i].P99Ms || seq[i].Lost != par[i].Lost {
-			t.Fatalf("rep %d diverged: %+v vs %+v", i, seq[i], par[i])
-		}
 		if seq[i].Completed == 0 {
 			t.Fatalf("rep %d completed nothing", i)
+		}
+	}
+	// Byte-identical, not merely field-equal: marshal the full result
+	// structs so any new field that diverges across worker counts fails
+	// here without a test edit.
+	golden, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"4", "8"} {
+		par := run(workers)
+		got, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(golden, got) {
+			t.Fatalf("workers=%s diverged from workers=1:\n  1: %s\n  %s: %s",
+				workers, golden, workers, got)
 		}
 	}
 	// Reps use distinct seeds, so at least one pair must differ.
@@ -41,5 +57,29 @@ func TestRunRampRepsDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if MeanAggThroughput(nil) != 0 {
 		t.Fatal("MeanAggThroughput(nil) != 0")
+	}
+}
+
+// TestSingleGroupRampGolden pins the G=1 sharded figure summary to exact
+// values. The consolidated fabric must not perturb single-group behavior:
+// any drift in this golden means the G=1 goldens over in internal/cluster
+// deserve a hard look before updating the strings here.
+func TestSingleGroupRampGolden(t *testing.T) {
+	ramp := workload.Ramp{StartRPS: 800, StepRPS: 0, StepDuration: time.Second, Steps: 2}
+	opts := Options{Groups: 1, NodesPerGroup: 3, Seed: 29, Variant: cluster.VariantRaft(), Profile: fastProfile()}
+	reps := RunRampReps(opts, ramp, LoadOptions{Keys: 256}, 2)
+	if len(reps) != 2 {
+		t.Fatalf("rep count %d", len(reps))
+	}
+	want := []string{
+		"groups=1 completed=1591 agg=795.500 peak=802.000 p99=115.858 lost=0 pending=0",
+		"groups=1 completed=1589 agg=794.500 peak=798.000 p99=116.235 lost=0 pending=0",
+	}
+	for i, r := range reps {
+		got := fmt.Sprintf("groups=%d completed=%d agg=%.3f peak=%.3f p99=%.3f lost=%d pending=%d",
+			r.Groups, r.Completed, r.AggThroughput, r.PeakThroughput, r.P99Ms, r.Lost, r.Pending)
+		if got != want[i] {
+			t.Errorf("rep %d summary drifted:\n got  %s\n want %s", i, got, want[i])
+		}
 	}
 }

@@ -48,6 +48,11 @@ type LoadGen struct {
 	// the first move, during a move, after the last.
 	phaseLats [3][]float64
 
+	// batchScratch is flush's per-group fan-out table, reused across
+	// flushes. Only the outer array is recycled: the inner slices are
+	// handed to ProposeParked, which may retain them as parked batches.
+	batchScratch [][]arrival
+
 	epoch         int // router epoch the parked assignments were made under
 	proposeErrors uint64
 	seq           uint64
@@ -206,7 +211,15 @@ func (lg *LoadGen) flush(base time.Duration) {
 	// Fan new arrivals out across groups (group order is deterministic);
 	// each key is hashed exactly once, even if its group is mid-election —
 	// unless a migration fences it, in which case it waits for cutover.
-	batches := make([][]arrival, lg.s.GroupSlots())
+	if n := lg.s.GroupSlots(); cap(lg.batchScratch) < n {
+		lg.batchScratch = make([][]arrival, n)
+	} else {
+		lg.batchScratch = lg.batchScratch[:n]
+		for i := range lg.batchScratch {
+			lg.batchScratch[i] = nil
+		}
+	}
+	batches := lg.batchScratch
 	for _, a := range due {
 		if lg.s.Fenced(a.key) {
 			lg.fenced = append(lg.fenced, a)

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"dynatune/internal/cluster"
 	"dynatune/internal/kv"
 	"dynatune/internal/raft"
 	"dynatune/internal/scenario"
@@ -120,16 +119,16 @@ func (s *Cluster) AddGroupLive(deadline time.Duration) error {
 		return fmt.Errorf("shard: a %s migration is already in progress", s.migr.kind)
 	}
 	g := s.router.AddGroup()
-	c := cluster.NewWithEngine(s.eng, cluster.Options{
-		N:       s.opts.NodesPerGroup,
-		Variant: s.opts.Variant,
-		Profile: s.opts.Profile,
-		Cost:    s.opts.Cost,
-	})
+	// The new group attaches to the consolidation fabric under a fresh
+	// UID: envelopes still in flight toward a previously retired tenant of
+	// this slot keep addressing the old (paused) group, never the new one.
+	c := s.newGroup()
 	if int(g) < len(s.groups) {
 		s.groups[g] = c // reuse a slot a previous RemoveGroupLive retired
+		s.retired[g] = false
 	} else {
 		s.groups = append(s.groups, c)
+		s.retired = append(s.retired, false)
 	}
 	for _, fn := range s.onGroupAdded {
 		fn(g) // observers wire SetOnApply before the group starts
@@ -621,7 +620,10 @@ func (s *Cluster) leaderStore(g GroupID) (*kv.Store, bool) {
 
 // pauseGroup freezes every node of a retired group — the decommission
 // model: the processes stop doing work but the slot remains reusable by a
-// later AddGroupLive.
+// later AddGroupLive. The slot is marked retired so leader scans skip it;
+// on the consolidated fabric the frozen runtimes also stop contributing
+// timers (their table entries die as spurious wakeups) and drop any
+// envelope payloads still in flight to them.
 func (s *Cluster) pauseGroup(g GroupID) {
 	c := s.groups[g]
 	for i := 1; i <= s.opts.NodesPerGroup; i++ {
@@ -629,4 +631,5 @@ func (s *Cluster) pauseGroup(g GroupID) {
 			c.Pause(raft.ID(i))
 		}
 	}
+	s.retired[g] = true
 }

@@ -31,6 +31,19 @@ type Options struct {
 	// Cost overrides the per-node CPU cost model (zero = calibrated
 	// default).
 	Cost cluster.CostModel
+
+	// PerGroupMesh disables the multi-Raft node consolidation: every
+	// group builds its own private netsim mesh, its own per-timer engine
+	// events, and ships one wire message per raft message — the
+	// pre-consolidation deployment, kept for A/B benchmarking
+	// (dynabench's -groups-curve reports both builds). The default
+	// (false) runs all groups over one shared physical mesh with
+	// consolidated per-node ticks and per-node-pair envelope batching.
+	PerGroupMesh bool
+	// Fabric tunes the consolidated transport (tick grids, batch
+	// window); zero fields take cluster.Fabric defaults. Ignored under
+	// PerGroupMesh.
+	Fabric cluster.FabricOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +75,16 @@ type Cluster struct {
 	router *Router
 	groups []*cluster.Cluster
 
+	// fabric is the consolidation layer all groups share (nil under
+	// Options.PerGroupMesh): one physical mesh, one tick driver per node,
+	// per-node-pair envelope batching.
+	fabric *cluster.Fabric
+
+	// retired marks group-table slots decommissioned by RemoveGroupLive
+	// (or an aborted add) and not since reused; lifecycle churn must not
+	// scan them as serving groups.
+	retired []bool
+
 	seq     uint64 // client sequence for direct Puts
 	migrSeq uint64 // migration-stream sequence (client migrClientID)
 
@@ -87,16 +110,27 @@ func New(opts Options) *Cluster {
 		eng:    sim.NewEngine(opts.Seed),
 		router: NewRouter(opts.Groups, opts.Replicas),
 	}
+	if !opts.PerGroupMesh {
+		s.fabric = cluster.NewFabric(s.eng, opts.NodesPerGroup, opts.Profile, opts.Fabric)
+	}
 	s.groups = make([]*cluster.Cluster, opts.Groups)
+	s.retired = make([]bool, opts.Groups)
 	for g := range s.groups {
-		s.groups[g] = cluster.NewWithEngine(s.eng, cluster.Options{
-			N:       opts.NodesPerGroup,
-			Variant: opts.Variant,
-			Profile: opts.Profile,
-			Cost:    opts.Cost,
-		})
+		s.groups[g] = s.newGroup()
 	}
 	return s
+}
+
+// newGroup builds one Raft group on the shared engine, attached to the
+// consolidation fabric unless the deployment runs per-group meshes.
+func (s *Cluster) newGroup() *cluster.Cluster {
+	return cluster.NewWithEngine(s.eng, cluster.Options{
+		N:       s.opts.NodesPerGroup,
+		Variant: s.opts.Variant,
+		Profile: s.opts.Profile,
+		Cost:    s.opts.Cost,
+		Fabric:  s.fabric,
+	})
 }
 
 // Start arms every node in every group; per-group elections follow.
@@ -138,8 +172,23 @@ func (s *Cluster) Now() time.Duration { return s.eng.Now() }
 // Run advances the whole deployment (all groups share the clock) by d.
 func (s *Cluster) Run(d time.Duration) { s.eng.Run(s.eng.Now() + d) }
 
-// Leader returns group g's live leader, or nil.
-func (s *Cluster) Leader(g GroupID) *raft.Node { return s.groups[g].Leader() }
+// Leader returns group g's live leader, or nil. A slot outside the group
+// table or retired by RemoveGroupLive has no leader by definition —
+// lifecycle churn (a prober holding a GroupID across a decommission) gets
+// nil instead of a scan of frozen runtimes.
+func (s *Cluster) Leader(g GroupID) *raft.Node {
+	if int(g) < 0 || int(g) >= len(s.groups) || s.retired[g] {
+		return nil
+	}
+	return s.groups[g].Leader()
+}
+
+// Retired reports whether group slot g was decommissioned by
+// RemoveGroupLive (or an aborted add migration) and not since reused by
+// AddGroupLive.
+func (s *Cluster) Retired(g GroupID) bool {
+	return int(g) >= 0 && int(g) < len(s.retired) && s.retired[g]
+}
 
 // HasLeaders reports whether every serving group currently has a leader.
 // (A group still booting inside an add migration, or retired by a remove,
@@ -148,6 +197,12 @@ func (s *Cluster) HasLeaders() bool {
 	for g := 0; g < s.router.Groups(); g++ {
 		if s.migr != nil && s.migr.kind == "add-group" && s.migr.phase == phasePrepare &&
 			GroupID(g) == s.migr.target {
+			continue
+		}
+		if s.retired[g] {
+			// Serving groups form a prefix of the table (removes retire the
+			// top slot, adds reuse it), so a retired slot below Groups()
+			// would be a lifecycle bug — but never scan one as serving.
 			continue
 		}
 		if s.groups[g].Leader() == nil {
@@ -298,6 +353,31 @@ func (s *Cluster) MultiGet(keys ...string) map[string][]byte {
 		}
 	}
 	return out
+}
+
+// PhysLinks exposes the consolidated deployment's shared physical mesh —
+// every group's traffic rides it, so one SetDown severs the path for all
+// of them. It is nil under Options.PerGroupMesh, where each group owns a
+// private mesh (Group(g).Network()).
+func (s *Cluster) PhysLinks() *netsim.Network[netsim.Envelope[raft.Message]] {
+	if s.fabric == nil {
+		return nil
+	}
+	return s.fabric.Net()
+}
+
+// WireStats reports the consolidated transport's message accounting:
+// logical is the number of raft messages submitted by senders (what a
+// per-group mesh would have put on the wire one-per-message), wire the
+// number of envelopes that actually crossed the shared mesh. Their ratio
+// is the per-node-pair batching factor. Both are zero under
+// Options.PerGroupMesh.
+func (s *Cluster) WireStats() (logical, wire uint64) {
+	if s.fabric == nil {
+		return 0, 0
+	}
+	st := s.fabric.Net().TotalStats()
+	return s.fabric.LogicalMessages(), st.Sent[netsim.TCP] + st.Sent[netsim.UDP]
 }
 
 // CompactAll compacts every node's log in every group.

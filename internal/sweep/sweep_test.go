@@ -312,3 +312,38 @@ func TestGroupsDeltaAxis(t *testing.T) {
 		t.Fatalf("rebalance metrics missing from the sharded set: %v", names)
 	}
 }
+
+// TestGroupsDeltaMovedFracOverSharedMesh actually executes a -1 cell —
+// a live remove-group rebalance whose traffic rides the consolidated
+// shared mesh — and sanity-checks the reported moved_frac: shrinking
+// 3 groups to 2 must move roughly a third of the keyspace, and exactly
+// one move must complete.
+func TestGroupsDeltaMovedFracOverSharedMesh(t *testing.T) {
+	base := shardedBaseSpec()
+	base.Workload = &scenario.Workload{StartRPS: 300, StepRPS: 0,
+		StepDuration: scenario.Duration(5 * time.Second), Steps: 2, Keys: 256}
+	rep, err := Run(Campaign{
+		Base: base,
+		Axes: []Axis{{Name: "groups-delta", Values: []string{"-1"}}},
+		Reps: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows: %d", len(rep.Rows))
+	}
+	got := map[string]MetricSummary{}
+	for _, m := range rep.Rows[0].Metrics {
+		got[m.Name] = m
+	}
+	if d := got["moves_done"]; d.Mean != 1 {
+		t.Fatalf("moves_done = %v, want exactly 1", d.Mean)
+	}
+	if f := got["moved_frac"]; f.Mean < 0.15 || f.Mean > 0.55 {
+		t.Fatalf("moved_frac = %v over shared mesh, implausible for 3->2 groups (want ~0.33)", f.Mean)
+	}
+	if p := got["mid_move_p99_ms"]; p.Mean <= 0 {
+		t.Fatalf("mid_move_p99_ms = %v, want positive while keys fence", p.Mean)
+	}
+}
