@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dynatune/internal/chaos"
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
+)
+
+// chaosCmd is the storm-mode front end: sample `-storms` seeded fault
+// schedules from a budget, run each on the sharded testbed with the
+// invariant suite armed, shrink every failure to a minimal reproducer,
+// and persist the reproducers under -out-dir. `-replay` instead runs one
+// previously persisted schedule (or any scenario spec file) and, when it
+// trips, shrinks and persists it — the triage loop for a failing storm.
+// Exit status is non-zero when any invariant tripped.
+func chaosCmd(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	budgetFile := fs.String("budget", "", "JSON fault budget (default: the built-in storm budget)")
+	storms := fs.Int("storms", 20, "independent storms to sample and run")
+	seed := fs.Int64("seed", 1, "campaign seed (storm i runs under StormSeed(seed, i))")
+	workers := fs.Int("workers", 0, "parallel storm workers (0 = DYNATUNE_TRIAL_WORKERS/GOMAXPROCS)")
+	outDir := fs.String("out-dir", "", "write shrunk reproducer specs into this directory")
+	replay := fs.String("replay", "", "run this spec file instead of sampling storms")
+	showBudget := fs.Bool("show-budget", false, "print the resolved budget as JSON and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dynabench chaos [-budget b.json] [-storms n] [-seed n] [-workers n] [-out-dir d] | -replay spec.json [-out-dir d]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	budget := chaos.DefaultBudget()
+	if *budgetFile != "" {
+		data, err := os.ReadFile(*budgetFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &budget); err != nil {
+			fmt.Fprintf(os.Stderr, "dynabench: %s: %v\n", *budgetFile, err)
+			os.Exit(1)
+		}
+	}
+	if *showBudget {
+		data, _ := json.MarshalIndent(budget, "", "  ")
+		fmt.Printf("%s\n", data)
+		return
+	}
+
+	if *replay != "" {
+		replaySpec(*replay, *workers, *outDir)
+		return
+	}
+
+	start := time.Now()
+	rep, err := chaos.RunStorms(budget, *storms, *seed, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+	for _, v := range rep.Verdicts {
+		if v.OK {
+			line := fmt.Sprintf("storm %3d seed %19d: OK   %d faults", v.Storm, v.Seed, v.Faults)
+			if r := v.Report; r != nil {
+				line += fmt.Sprintf(" | %d acked, %d probes, max unavail %.0fms", r.AckedWrites, r.Probes, r.MaxUnavailMs)
+			}
+			fmt.Println(line)
+			continue
+		}
+		fmt.Printf("storm %3d seed %19d: FAIL %d faults -> shrunk to %d (%d replays)\n",
+			v.Storm, v.Seed, v.Faults, v.ShrunkFaults, v.ShrinkRuns)
+		for _, viol := range v.Violations {
+			fmt.Printf("    %s: %s\n", viol.Invariant, viol.Detail)
+		}
+		if *outDir != "" {
+			path, err := chaos.WriteReproducer(*outDir, v)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dynabench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("    reproducer: %s\n", path)
+		}
+	}
+	fmt.Printf("chaos: %d storms, %d failed | wall time %.0f ms\n",
+		rep.Storms, rep.Failures, float64(time.Since(start))/float64(time.Millisecond))
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// replaySpec runs one schedule file deterministically and, on an
+// invariant trip, shrinks it and (with -out-dir) persists the minimal
+// reproducer.
+func replaySpec(path string, workers int, outDir string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+	var spec scenario.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "dynabench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	res, err := bind.RunWorkers(spec, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynabench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(bind.Summarize(res))
+	vs := res.Violations()
+	if len(vs) == 0 {
+		fmt.Printf("chaos replay: %s holds all invariants\n", path)
+		return
+	}
+	shrunk, shrunkVs, runs := chaos.Shrink(spec, 0)
+	fmt.Printf("chaos replay: %d violation(s); shrunk %d -> %d fault(s) in %d replays\n",
+		len(vs), len(spec.Faults), len(shrunk.Faults), runs)
+	for _, viol := range shrunkVs {
+		fmt.Printf("    still trips %s: %s\n", viol.Invariant, viol.Detail)
+	}
+	if outDir != "" {
+		p, err := chaos.WriteReproducer(outDir, chaos.Verdict{Seed: spec.Seed, Reproducer: &shrunk})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynabench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("    reproducer: %s\n", p)
+	}
+	os.Exit(1)
+}

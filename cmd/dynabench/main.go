@@ -23,6 +23,8 @@
 //	dynabench scenario -list | <name> [-scale 0.1] | -file spec.json
 //	dynabench sweep -scenario <name> -axis n=3,5 -axis loss=0,0.1 [-reps 2]
 //	                [-format csv|json] [-out report] [-baseline prior.json]
+//	dynabench chaos [-budget b.json] [-storms 20] [-seed 1] [-workers n]
+//	                [-out-dir repros] | -replay spec.json
 //	dynabench bench [-json BENCH.json] (sim-core microbenchmarks, per-figure
 //	                                    wall time, parallel-runner and
 //	                                    scenario-engine timing — the per-PR
@@ -80,6 +82,8 @@ func main() {
 		scenarioCmd(args)
 	case "sweep":
 		sweepCmd(args)
+	case "chaos":
+		chaosCmd(args)
 	case "bench":
 		bench(args)
 	case "all":
@@ -123,6 +127,8 @@ scenario engine:
   scenario  -list | <name> [-scale f] [-seed n] [-trials n] [-show] | -file spec.json
   sweep     parameter-grid campaign over one scenario: -axis n=3,5 -axis loss=0,0.1 ...
             emits CSV/JSON reports; -baseline gates against a prior report
+  chaos     seeded random fault-schedule search with invariant checking and
+            shrinking: -storms 20 -seed 1 [-budget b.json] [-out-dir d] | -replay spec.json
   bench     hot-path microbenchmarks + BENCH.json perf trajectory
   all       quick versions of everything
 `)

@@ -101,4 +101,8 @@ func scenarioCmd(args []string) {
 	}
 	fmt.Print(bind.Summarize(res))
 	fmt.Printf("  wall time %.0f ms\n", float64(time.Since(start))/float64(time.Millisecond))
+	if vs := res.Violations(); len(vs) > 0 {
+		fmt.Fprintf(os.Stderr, "dynabench: %d invariant violation(s)\n", len(vs))
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,202 @@
+// Package chaos is the storm-mode fault-schedule search: a seeded
+// generator samples timed fault schedules from a declarative budget,
+// compiles each sample into a scenario.Spec, runs it on the sharded
+// testbed with the standing invariant suite armed, and — on an invariant
+// trip — delta-debugs the schedule down to a minimal reproducer that
+// still fails, persisting it as a JSON spec loadable by
+// `dynabench scenario -file`. Everything downstream of a (budget, seed)
+// pair is deterministic: the schedule, the run verdicts, and the shrunk
+// reproducer are byte-identical for any worker count.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"dynatune/internal/scenario"
+)
+
+// Budget declares the sampling space of one storm campaign: the fixed
+// topology and workload every storm shares, and the fault-schedule
+// distribution the generator draws from.
+type Budget struct {
+	// Topology of every storm (defaults: 2 groups × 3 nodes, persisted
+	// stores so crash faults are in the kind pool).
+	Groups        int    `json:"groups,omitempty"`
+	NodesPerGroup int    `json:"nodes_per_group,omitempty"`
+	Variant       string `json:"variant,omitempty"`
+	Persist       bool   `json:"persist,omitempty"`
+
+	// Workload ramp driven under every storm.
+	RPS          int               `json:"rps,omitempty"`
+	StepRPS      int               `json:"step_rps,omitempty"`
+	Steps        int               `json:"steps,omitempty"`
+	StepDuration scenario.Duration `json:"step_duration,omitempty"`
+	Keys         int               `json:"keys,omitempty"`
+
+	// MinFaults..MaxFaults bounds the schedule length (inclusive).
+	MinFaults int `json:"min_faults,omitempty"`
+	MaxFaults int `json:"max_faults,omitempty"`
+
+	// Kinds weights the fault kinds the generator samples. Zero or missing
+	// weight removes a kind; an empty map means the default pool. Allowed
+	// keys: pause-node, crash-node, partition-node (all group-addressed),
+	// link-down, partition-groups, degrade-links.
+	Kinds map[string]float64 `json:"kinds,omitempty"`
+
+	// WindowFrac is the fraction of the ramp in which faults may fire
+	// (default 0.7: the tail stays clear so heals land inside the run).
+	WindowFrac float64 `json:"window_frac,omitempty"`
+	// MinDur..MaxDur bounds each fault's injected duration.
+	MinDur scenario.Duration `json:"min_dur,omitempty"`
+	MaxDur scenario.Duration `json:"max_dur,omitempty"`
+
+	// Rebalance is the probability a storm includes a live rebalance move
+	// (add-group, or remove-group when the topology has groups to spare);
+	// when one is included, half the faults are re-aimed to overlap its
+	// migration window.
+	Rebalance float64 `json:"rebalance,omitempty"`
+	// Reorder is the probability a degrade-links fault carries correlated
+	// reordering bursts.
+	Reorder float64 `json:"reorder,omitempty"`
+
+	// Invariants configures the standing suite (nil means suite defaults).
+	Invariants *scenario.Invariants `json:"invariants,omitempty"`
+}
+
+// DefaultBudget is the stock storm campaign: a small persisted two-group
+// deployment under a modest ramp, all fault kinds in play, frequent
+// rebalance overlap.
+func DefaultBudget() Budget {
+	return Budget{
+		Groups:        2,
+		NodesPerGroup: 3,
+		Variant:       "dynatune",
+		Persist:       true,
+		RPS:           100,
+		StepRPS:       20,
+		Steps:         4,
+		StepDuration:  scenario.Duration(2 * time.Second),
+		Keys:          512,
+		MinFaults:     2,
+		MaxFaults:     5,
+		WindowFrac:    0.7,
+		MinDur:        scenario.Duration(500 * time.Millisecond),
+		MaxDur:        scenario.Duration(2500 * time.Millisecond),
+		Rebalance:     0.5,
+		Reorder:       0.5,
+	}
+}
+
+// kindPool is the generator's default kind pool with weights; order is
+// fixed (never map iteration) so sampling is deterministic.
+var kindPool = []struct {
+	kind   scenario.FaultKind
+	weight float64
+}{
+	{scenario.FaultPauseNode, 3},
+	{scenario.FaultCrashNode, 2},
+	{scenario.FaultPartitionNode, 2},
+	{scenario.FaultLinkDown, 2},
+	{scenario.FaultPartitionGroups, 1},
+	{scenario.FaultDegradeLinks, 2},
+}
+
+// withDefaults fills the zero fields from DefaultBudget.
+func (b Budget) withDefaults() Budget {
+	d := DefaultBudget()
+	if b.Groups == 0 {
+		b.Groups = d.Groups
+	}
+	if b.NodesPerGroup == 0 {
+		b.NodesPerGroup = d.NodesPerGroup
+	}
+	if b.Variant == "" {
+		b.Variant = d.Variant
+	}
+	if b.RPS == 0 {
+		b.RPS = d.RPS
+	}
+	if b.Steps == 0 {
+		b.Steps = d.Steps
+	}
+	if b.StepDuration == 0 {
+		b.StepDuration = d.StepDuration
+	}
+	if b.Keys == 0 {
+		b.Keys = d.Keys
+	}
+	if b.MinFaults == 0 && b.MaxFaults == 0 {
+		b.MinFaults, b.MaxFaults = d.MinFaults, d.MaxFaults
+	}
+	if b.WindowFrac == 0 {
+		b.WindowFrac = d.WindowFrac
+	}
+	if b.MinDur == 0 {
+		b.MinDur = d.MinDur
+	}
+	if b.MaxDur == 0 {
+		b.MaxDur = d.MaxDur
+	}
+	return b
+}
+
+// Validate rejects budgets the generator cannot sample coherently.
+func (b Budget) Validate() error {
+	b = b.withDefaults()
+	if b.Groups < 1 || b.NodesPerGroup < 3 {
+		return fmt.Errorf("chaos: budget needs >= 1 group of >= 3 nodes, got %d x %d", b.Groups, b.NodesPerGroup)
+	}
+	if b.MinFaults < 0 || b.MaxFaults < b.MinFaults {
+		return fmt.Errorf("chaos: fault count bounds [%d,%d] are not a range", b.MinFaults, b.MaxFaults)
+	}
+	if b.WindowFrac <= 0 || b.WindowFrac > 1 {
+		return fmt.Errorf("chaos: window_frac %v must be in (0,1]", b.WindowFrac)
+	}
+	if b.MinDur <= 0 || b.MaxDur < b.MinDur {
+		return fmt.Errorf("chaos: duration bounds [%v,%v] are not a range", b.MinDur.D(), b.MaxDur.D())
+	}
+	if b.Rebalance < 0 || b.Rebalance > 1 || b.Reorder < 0 || b.Reorder > 1 {
+		return fmt.Errorf("chaos: rebalance/reorder are probabilities in [0,1]")
+	}
+	for k, w := range b.Kinds {
+		if w < 0 {
+			return fmt.Errorf("chaos: kind %q has negative weight %v", k, w)
+		}
+		known := false
+		for _, p := range kindPool {
+			if string(p.kind) == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("chaos: kind %q is not in the storm pool", k)
+		}
+	}
+	if !b.Persist && b.weightOf(scenario.FaultCrashNode) > 0 && b.Kinds != nil {
+		return fmt.Errorf("chaos: crash-node faults need persist: true (restart replays the durable store)")
+	}
+	return nil
+}
+
+// weightOf returns the sampling weight for one kind: the budget's
+// override when Kinds is set, the stock pool weight otherwise. Crash
+// faults silently drop out of the default pool on non-persisted budgets
+// (there is nothing to restart from).
+func (b Budget) weightOf(k scenario.FaultKind) float64 {
+	if k == scenario.FaultCrashNode && !b.Persist {
+		if b.Kinds == nil {
+			return 0
+		}
+	}
+	if b.Kinds != nil {
+		return b.Kinds[string(k)]
+	}
+	for _, p := range kindPool {
+		if p.kind == k {
+			return p.weight
+		}
+	}
+	return 0
+}

@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dynatune/internal/scenario"
+)
+
+// rng is the generator's own splitmix64 stream. The schedule must be a
+// pure function of (budget, seed) alone — independent of math/rand
+// global state, of the simulation engines, and of everything else in the
+// process — so the package carries its own generator instead of sharing
+// one.
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng { return &rng{s: uint64(seed)} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0,1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0,n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// dur returns a uniform draw in [lo,hi].
+func (r *rng) dur(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.float64()*float64(hi-lo))
+}
+
+// StormSeed derives storm i's seed from the campaign seed with a
+// splitmix-style mix, so consecutive storms get decorrelated streams and
+// the mapping is stable across worker counts (the storm index, not the
+// execution order, is the input).
+func StormSeed(base int64, storm int) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(storm+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z &^ (1 << 63)) // keep seeds positive for readable spec files
+}
+
+// Schedule samples one storm: a timed fault schedule drawn from the
+// budget, compiled into a runnable scenario.Spec with the invariant
+// suite armed. The spec is valid by construction (and verified — a
+// generator bug surfaces as an error here, not as a mystery downstream).
+func Schedule(b Budget, seed int64) (scenario.Spec, error) {
+	b = b.withDefaults()
+	if err := b.Validate(); err != nil {
+		return scenario.Spec{}, err
+	}
+	r := newRng(seed)
+	rampDur := time.Duration(b.Steps) * b.StepDuration.D()
+	window := time.Duration(b.WindowFrac * float64(rampDur))
+
+	var faults []scenario.Fault
+
+	// Rebalance first: its window is what the storm's faults overlap.
+	var rbAt, rbSpan time.Duration
+	hasRB := r.float64() < b.Rebalance
+	if hasRB {
+		kind := scenario.FaultAddGroup
+		if b.Groups > 1 && r.intn(2) == 1 {
+			kind = scenario.FaultRemoveGroup
+		}
+		// Fire in the first half of the window so the drain has room.
+		rbAt = r.dur(0, window/2)
+		rbSpan = window - rbAt
+		faults = append(faults, scenario.Fault{
+			Kind: kind,
+			At:   scenario.Duration(rbAt),
+		})
+	}
+
+	n := b.MinFaults + r.intn(b.MaxFaults-b.MinFaults+1)
+	degraded := false
+	for i := 0; i < n; i++ {
+		kind := b.sampleKind(r, degraded)
+		if kind == "" {
+			break // every weight zero: an (unusual but legal) empty pool
+		}
+		at := r.dur(0, window)
+		if hasRB && r.intn(2) == 0 {
+			// Overlap bias: half the faults land inside the migration window,
+			// where the interesting interleavings live.
+			at = rbAt + r.dur(0, rbSpan)
+		}
+		f := scenario.Fault{
+			Kind:     kind,
+			At:       scenario.Duration(at),
+			Duration: scenario.Duration(r.dur(b.MinDur.D(), b.MaxDur.D())),
+		}
+		switch kind {
+		case scenario.FaultPauseNode, scenario.FaultCrashNode, scenario.FaultPartitionNode:
+			// Group-addressed: the target is the group's leader at fire time.
+			f.Group = 1 + r.intn(b.Groups)
+		case scenario.FaultLinkDown:
+			f.From = 1 + r.intn(b.NodesPerGroup)
+			f.To = 1 + r.intn(b.NodesPerGroup-1)
+			if f.To >= f.From {
+				f.To++
+			}
+		case scenario.FaultPartitionGroups:
+			// Split the physical mesh: one minority node vs the rest.
+			lone := 1 + r.intn(b.NodesPerGroup)
+			f.GroupA = []int{lone}
+			for id := 1; id <= b.NodesPerGroup; id++ {
+				if id != lone {
+					f.GroupB = append(f.GroupB, id)
+				}
+			}
+		case scenario.FaultDegradeLinks:
+			degraded = true // at most one per storm: pulses must not overlap
+			f.RTT = scenario.Duration(r.dur(50*time.Millisecond, 250*time.Millisecond))
+			f.Jitter = scenario.Duration(f.RTT.D() / 5)
+			f.Loss = 0.3 * r.float64()
+			if r.float64() < b.Reorder {
+				f.Reorder = scenario.Duration(f.Duration.D() / 8)
+				f.ReorderEvery = scenario.Duration(f.Duration.D() / 4)
+			}
+		}
+		faults = append(faults, f)
+	}
+
+	// Chronological order: the schedule reads as a timeline, and the
+	// shrinker's drop-one passes stay stable.
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+
+	inv := scenario.Invariants{}
+	if b.Invariants != nil {
+		inv = *b.Invariants
+	}
+	spec := scenario.Spec{
+		Name:        fmt.Sprintf("chaos-storm-%d", seed),
+		Description: "sampled chaos-storm fault schedule",
+		Measure:     scenario.MeasureThroughput,
+		Topology: scenario.Topology{
+			N:             b.NodesPerGroup,
+			Groups:        b.Groups,
+			NodesPerGroup: b.NodesPerGroup,
+			Persist:       b.Persist,
+		},
+		Variant: scenario.VariantSpec{Name: b.Variant},
+		Workload: &scenario.Workload{
+			StartRPS:     b.RPS,
+			StepRPS:      b.StepRPS,
+			Steps:        b.Steps,
+			StepDuration: b.StepDuration,
+			Keys:         b.Keys,
+		},
+		Seed:       seed,
+		Faults:     faults,
+		Invariants: &inv,
+	}
+	if err := spec.Validate(); err != nil {
+		return scenario.Spec{}, fmt.Errorf("chaos: generated spec invalid (generator bug): %w", err)
+	}
+	return spec, nil
+}
+
+// sampleKind draws one fault kind by budget weight, in fixed pool order.
+// A second degrade-links is never drawn (its weight is redistributed):
+// overlapping degrade pulses restore last-writer-wins, which would leave
+// the mesh degraded past the heal.
+func (b Budget) sampleKind(r *rng, degraded bool) scenario.FaultKind {
+	total := 0.0
+	for _, p := range kindPool {
+		if degraded && p.kind == scenario.FaultDegradeLinks {
+			continue
+		}
+		total += b.weightOf(p.kind)
+	}
+	if total <= 0 {
+		return ""
+	}
+	x := r.float64() * total
+	for _, p := range kindPool {
+		if degraded && p.kind == scenario.FaultDegradeLinks {
+			continue
+		}
+		x -= b.weightOf(p.kind)
+		if x < 0 {
+			return p.kind
+		}
+	}
+	return kindPool[0].kind // float round-off: fall back to the first kind
+}

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynatune/internal/cluster"
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
+)
+
+// Verdict is one storm's outcome. When the storm tripped an invariant,
+// Reproducer holds the shrunk schedule (a complete runnable spec) and
+// ShrunkViolations what it still trips.
+type Verdict struct {
+	Storm int   `json:"storm"`
+	Seed  int64 `json:"seed"`
+	OK    bool  `json:"ok"`
+	// Faults is the sampled schedule length (before shrinking).
+	Faults int `json:"faults"`
+	// Report is the run's invariant report (first repetition).
+	Report *scenario.InvariantReport `json:"report,omitempty"`
+	// Violations are the original storm's invariant trips.
+	Violations []scenario.Violation `json:"violations,omitempty"`
+	// Reproducer is the shrunk minimal failing spec; ShrunkFaults its
+	// schedule length and ShrinkRuns how many replays the shrinker spent.
+	Reproducer       *scenario.Spec       `json:"reproducer,omitempty"`
+	ShrunkFaults     int                  `json:"shrunk_faults,omitempty"`
+	ShrinkRuns       int                  `json:"shrink_runs,omitempty"`
+	ShrunkViolations []scenario.Violation `json:"shrunk_violations,omitempty"`
+}
+
+// Report is one storm campaign's outcome, in storm order.
+type Report struct {
+	Budget   Budget    `json:"budget"`
+	BaseSeed int64     `json:"base_seed"`
+	Storms   int       `json:"storms"`
+	Failures int       `json:"failures"`
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// RunStorms samples and executes `storms` independent storms from the
+// budget, fanning them across `workers` (0 = cluster.TrialWorkers). Each
+// storm runs its simulation sequentially inside its own shard, so the
+// campaign report — verdicts, violations, shrunk reproducers — is
+// byte-identical for any worker count. A storm that trips an invariant
+// is shrunk in place before its verdict is recorded.
+func RunStorms(b Budget, storms int, baseSeed int64, workers int) (*Report, error) {
+	b = b.withDefaults()
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if storms < 1 {
+		storms = 1
+	}
+	if workers <= 0 {
+		workers = cluster.TrialWorkers()
+	}
+	type out struct {
+		v   Verdict
+		err error
+	}
+	outs := cluster.RunSharded(workers, storms, func(i int) out {
+		seed := StormSeed(baseSeed, i)
+		spec, err := Schedule(b, seed)
+		if err != nil {
+			return out{err: err}
+		}
+		res, err := bind.RunWorkers(spec, 1)
+		if err != nil {
+			return out{err: fmt.Errorf("chaos: storm %d (seed %d): %w", i, seed, err)}
+		}
+		v := Verdict{
+			Storm:      i,
+			Seed:       seed,
+			Faults:     len(spec.Faults),
+			Violations: res.Violations(),
+			OK:         len(res.Violations()) == 0,
+		}
+		if len(res.ShardRamps) > 0 {
+			v.Report = res.ShardRamps[0].Invariants
+		}
+		if !v.OK {
+			shrunk, vs, runs := Shrink(spec, defaultShrinkRuns)
+			v.Reproducer = &shrunk
+			v.ShrunkFaults = len(shrunk.Faults)
+			v.ShrinkRuns = runs
+			v.ShrunkViolations = vs
+		}
+		return out{v: v}
+	})
+	rep := &Report{Budget: b, BaseSeed: baseSeed, Storms: storms}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rep.Verdicts = append(rep.Verdicts, o.v)
+		if !o.v.OK {
+			rep.Failures++
+		}
+	}
+	return rep, nil
+}
+
+// Replay executes one spec (typically a persisted reproducer) and
+// returns its invariant violations.
+func Replay(spec scenario.Spec, workers int) ([]scenario.Violation, error) {
+	res, err := bind.RunWorkers(spec, workers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Violations(), nil
+}
+
+// WriteReproducer persists a verdict's shrunk spec under dir as a JSON
+// spec file runnable with `dynabench scenario -file` (and
+// `dynabench chaos -replay`). It returns the written path.
+func WriteReproducer(dir string, v Verdict) (string, error) {
+	if v.Reproducer == nil {
+		return "", fmt.Errorf("chaos: storm %d has no reproducer", v.Storm)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-repro-%d.json", v.Seed))
+	data, err := json.MarshalIndent(v.Reproducer, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

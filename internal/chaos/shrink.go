@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"time"
+
+	"dynatune/internal/scenario"
+	"dynatune/internal/scenario/bind"
+)
+
+// defaultShrinkRuns caps the replays one shrink may spend. Each replay
+// is a full simulated run; forty is enough for drop-to-fixpoint plus the
+// per-fault reductions on any schedule the default budget samples.
+const defaultShrinkRuns = 40
+
+// Shrink delta-debugs a failing storm down to a minimal schedule that
+// still trips an invariant, re-running candidates deterministically from
+// the spec's recorded seed. Three reduction passes, each to fixpoint
+// while the replay budget lasts:
+//
+//  1. drop whole faults (the classic ddmin step, one at a time — fault
+//     interactions in a schedule this short don't warrant the subset
+//     ladder);
+//  2. shorten surviving faults (halve durations, collapse repeats to a
+//     single occurrence);
+//  3. shrink partition-groups node sets toward the minimal cut.
+//
+// Every candidate is validated before running; an invalid mutation (a
+// reorder window outgrowing its halved duration, say) is skipped, not
+// fixed up. Returns the minimal failing spec, the violations it still
+// trips, and the replays spent. The input spec must itself fail — the
+// caller established that — so the result always fails too: a candidate
+// replacement is kept only when it still trips.
+func Shrink(spec scenario.Spec, maxRuns int) (scenario.Spec, []scenario.Violation, int) {
+	if maxRuns <= 0 {
+		maxRuns = defaultShrinkRuns
+	}
+	runs := 0
+	var lastVs []scenario.Violation
+	fails := func(s scenario.Spec) bool {
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		res, err := bind.RunWorkers(s, 1)
+		if err != nil {
+			return false
+		}
+		if vs := res.Violations(); len(vs) > 0 {
+			lastVs = vs
+			return true
+		}
+		return false
+	}
+
+	// Pass 1: drop faults to fixpoint.
+	for changed := true; changed && runs < maxRuns; {
+		changed = false
+		for i := 0; i < len(spec.Faults) && runs < maxRuns; i++ {
+			cand := withFaults(spec, dropAt(spec.Faults, i))
+			if fails(cand) {
+				spec = cand
+				changed = true
+				i-- // the slot now holds the next fault; retry it
+			}
+		}
+	}
+
+	// Pass 2: shorten what survived.
+	for changed := true; changed && runs < maxRuns; {
+		changed = false
+		for i := 0; i < len(spec.Faults) && runs < maxRuns; i++ {
+			for _, mut := range shortenings(spec.Faults[i]) {
+				fs := append([]scenario.Fault(nil), spec.Faults...)
+				fs[i] = mut
+				if cand := withFaults(spec, fs); fails(cand) {
+					spec = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: minimal partition cuts.
+	for changed := true; changed && runs < maxRuns; {
+		changed = false
+		for i := 0; i < len(spec.Faults) && runs < maxRuns; i++ {
+			f := spec.Faults[i]
+			if f.Kind != scenario.FaultPartitionGroups || len(f.GroupA)+len(f.GroupB) <= 2 {
+				continue
+			}
+			for _, mut := range shrinkCut(f) {
+				fs := append([]scenario.Fault(nil), spec.Faults...)
+				fs[i] = mut
+				if cand := withFaults(spec, fs); fails(cand) {
+					spec = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	if lastVs == nil {
+		// Budget exhausted before any candidate ran (or the caller handed
+		// us a passing spec): replay the original once for its violations.
+		if res, err := bind.RunWorkers(spec, 1); err == nil {
+			lastVs = res.Violations()
+		}
+	}
+	return spec, lastVs, runs
+}
+
+func withFaults(spec scenario.Spec, fs []scenario.Fault) scenario.Spec {
+	spec.Faults = fs
+	return spec
+}
+
+func dropAt(fs []scenario.Fault, i int) []scenario.Fault {
+	out := make([]scenario.Fault, 0, len(fs)-1)
+	out = append(out, fs[:i]...)
+	return append(out, fs[i+1:]...)
+}
+
+// shortenings proposes smaller variants of one fault, most aggressive
+// first. Reorder fields scale with the duration they are bounded by.
+func shortenings(f scenario.Fault) []scenario.Fault {
+	var out []scenario.Fault
+	if f.Count > 1 {
+		g := f
+		g.Count, g.Every = 0, 0
+		out = append(out, g)
+	}
+	if f.Duration.D() >= 200*time.Millisecond {
+		g := f
+		g.Duration = f.Duration / 2
+		if g.Reorder > 0 {
+			g.Reorder, g.ReorderEvery = f.Reorder/2, f.ReorderEvery/2
+		}
+		out = append(out, g)
+	}
+	if f.Reorder > 0 {
+		g := f
+		g.Reorder, g.ReorderEvery = 0, 0
+		out = append(out, g)
+	}
+	return out
+}
+
+// shrinkCut proposes partition-groups variants with one node removed
+// from whichever side can spare it.
+func shrinkCut(f scenario.Fault) []scenario.Fault {
+	var out []scenario.Fault
+	if len(f.GroupB) > 1 {
+		g := f
+		g.GroupB = append([]int(nil), f.GroupB[:len(f.GroupB)-1]...)
+		out = append(out, g)
+	}
+	if len(f.GroupA) > 1 {
+		g := f
+		g.GroupA = append([]int(nil), f.GroupA[:len(f.GroupA)-1]...)
+		out = append(out, g)
+	}
+	return out
+}

@@ -118,12 +118,23 @@ func (f *Inflight) Resolve(e raft.Entry) (at time.Duration, ok bool) {
 // follower drain at the next apply observation instead of stranding.
 // complete receives each resolved request's arrival time.
 func (f *Inflight) ResolveApplied(leaderApplied uint64, ents []raft.Entry, complete func(at time.Duration)) {
+	f.ResolveAppliedEntries(leaderApplied, ents, func(_ raft.Entry, at time.Duration) {
+		complete(at)
+	})
+}
+
+// ResolveAppliedEntries is ResolveApplied with the resolved entry handed
+// to the completion callback alongside the arrival time. Observers that
+// need to know *what* completed — the invariant checker decodes the
+// entry's command for its key and sequence — hook in here; callers that
+// only meter latency use ResolveApplied and never pay for the pass-through.
+func (f *Inflight) ResolveAppliedEntries(leaderApplied uint64, ents []raft.Entry, complete func(e raft.Entry, at time.Duration)) {
 	for _, e := range ents {
 		if e.Index > leaderApplied {
 			continue // resolved later, at the leader's own apply event
 		}
 		if at, ok := f.Resolve(e); ok {
-			complete(at)
+			complete(e, at)
 		}
 	}
 }

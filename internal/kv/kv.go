@@ -320,3 +320,24 @@ func (s *Store) Equal(other *Store) bool {
 	}
 	return true
 }
+
+// SeqValue encodes a client sequence number as an 8-byte big-endian
+// value. Load generators running under the invariant checker write these
+// instead of opaque payloads so a later read reveals *which* acked write
+// it observes — the staleness and durability invariants compare the
+// decoded sequence against the highest acked one for the key.
+func SeqValue(seq uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, seq)
+	return b
+}
+
+// SeqOf decodes a SeqValue-encoded value. It reports false for values of
+// any other shape (e.g. direct Puts or migration-copied fixtures), which
+// the invariant probes skip rather than misread.
+func SeqOf(v []byte) (uint64, bool) {
+	if len(v) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(v), true
+}

@@ -47,7 +47,15 @@ type link struct {
 	// segment may be handed to the application.
 	tcpFloor time.Duration
 	down     bool
-	stats    Stats
+	// reordering marks an open reorder window: packets crossing the link
+	// are held and released together, permuted, when the window closes
+	// (see ReorderWindow). reorderUntil is the window's current deadline.
+	reordering   bool
+	reorderUntil time.Duration
+	// key is the link's slot index (from*n+to), the handle into the
+	// network's generic reorder buffers.
+	key   int
+	stats Stats
 }
 
 // pending is one pooled in-flight delivery. Each pooled packet owns a
@@ -92,6 +100,12 @@ type Network[T any] struct {
 	// procDelta adds a tiny serialization delay to each delivery so that
 	// simultaneous sends do not produce exactly equal timestamps downstream.
 	seq time.Duration
+
+	// reorderBufs holds, per link index, the packets captured by an open
+	// reorder window (the link struct is payload-agnostic, so the generic
+	// buffers live here). Accessed only by link index — never iterated —
+	// so map order cannot leak into the simulation.
+	reorderBufs map[int][]T
 }
 
 // DefaultMinRTO mirrors Linux's TCP_RTO_MIN.
@@ -110,7 +124,7 @@ func New[T any](eng *sim.Engine, n int, profile Profile, sink func(to int, msg T
 		minRTO: DefaultMinRTO,
 	}
 	for i := range nw.links {
-		nw.links[i] = &link{profile: profile}
+		nw.links[i] = &link{profile: profile, key: i}
 	}
 	return nw
 }
@@ -284,7 +298,77 @@ func (nw *Network[T]) Send(from, to int, cls Class, msg T) {
 
 func (nw *Network[T]) deliver(l *link, cls Class, at time.Duration, to int, msg T) {
 	l.stats.Delivered[cls]++
+	if l.reordering {
+		// The middlebox model: packets entering the link during an open
+		// reorder window are buffered and released together — permuted —
+		// when the window closes, discarding the arrival order the delay
+		// draws above established. TCP's in-order floor still advanced in
+		// Send, so segments sent *after* the window can overtake held ones:
+		// exactly the cross-stream reordering the burst is meant to inject.
+		nw.reorderBufs[l.key] = append(nw.reorderBufs[l.key], msg)
+		return
+	}
 	nw.scheduleDelivery(at, to, msg)
+}
+
+// ReorderWindow opens (or extends) a reordering burst of length d on the
+// directed link from→to: every packet crossing the link while the window
+// is open is held, and when the window closes the held packets are
+// released in an order permuted under the engine's seeded RNG. This
+// models middlebox buffer-flush behavior — bursts of correlated
+// reordering rather than independent per-packet jitter.
+func (nw *Network[T]) ReorderWindow(from, to int, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l := nw.link(from, to)
+	until := nw.eng.Now() + d
+	if l.reordering {
+		if until > l.reorderUntil {
+			l.reorderUntil = until // the armed flush re-checks the deadline
+		}
+		return
+	}
+	if nw.reorderBufs == nil {
+		nw.reorderBufs = make(map[int][]T)
+	}
+	l.reordering = true
+	l.reorderUntil = until
+	nw.eng.Schedule(until, func() { nw.flushReorder(l, to) })
+}
+
+// ReorderAll opens a reordering burst on every inter-node link at once —
+// the correlated, mesh-wide flavor a congested fabric middlebox produces.
+func (nw *Network[T]) ReorderAll(d time.Duration) {
+	for from := 0; from < nw.n; from++ {
+		for to := 0; to < nw.n; to++ {
+			if from != to {
+				nw.ReorderWindow(from, to, d)
+			}
+		}
+	}
+}
+
+// flushReorder closes one link's reorder window, releasing the held
+// packets in a seed-permuted order with microsecond spacing.
+func (nw *Network[T]) flushReorder(l *link, to int) {
+	now := nw.eng.Now()
+	if now < l.reorderUntil {
+		// The window was extended after this flush was armed.
+		nw.eng.Schedule(l.reorderUntil, func() { nw.flushReorder(l, to) })
+		return
+	}
+	l.reordering = false
+	buf := nw.reorderBufs[l.key]
+	delete(nw.reorderBufs, l.key)
+	rng := nw.eng.Rand()
+	for i := len(buf) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	for i, msg := range buf {
+		nw.scheduleDelivery(now+time.Duration(i+1)*time.Microsecond, to, msg)
+	}
 }
 
 // scheduleDelivery queues (to, msg) for the sink at the given instant

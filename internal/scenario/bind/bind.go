@@ -124,11 +124,15 @@ func EnvFor(spec scenario.Spec) (scenario.Env, error) {
 			NodesPerGroup: npg,
 			Seed:          spec.Seed,
 			Variant:       v,
+			Persist:       spec.Topology.Persist,
 		}
 		if len(spec.Network.Segments) > 0 {
 			opts.Profile = spec.Network.Profile()
 		}
-		load := shard.LoadOptions{}
+		// An armed invariant suite needs sequence-bearing values to judge
+		// read freshness; plain runs keep the constant value so goldens stay
+		// byte-identical.
+		load := shard.LoadOptions{SeqValues: spec.Invariants != nil}
 		if w := spec.Workload; w != nil {
 			load.Keys = w.Keys
 			load.Zipf = w.Zipf
@@ -222,6 +226,19 @@ func Summarize(res *scenario.Result) string {
 		for i, r := range res.ShardRamps {
 			s += fmt.Sprintf("  rep %d: %d groups, agg %.0f req/s, peak %.0f, p99 %.0fms | lost %d pending %d\n",
 				i, r.Groups, r.AggThroughput, r.PeakThroughput, r.P99Ms, r.Lost, r.Pending)
+			if inv := r.Invariants; inv != nil {
+				if inv.OK() {
+					s += fmt.Sprintf("    invariants OK (%d acked writes, %d probes, max unavail %.0fms)\n",
+						inv.AckedWrites, inv.Probes, inv.MaxUnavailMs)
+				} else {
+					for _, v := range inv.Violations {
+						s += fmt.Sprintf("    INVARIANT VIOLATION %s: %s\n", v.Invariant, v.Detail)
+					}
+					if inv.Suppressed > 0 {
+						s += fmt.Sprintf("    ... and %d further violation(s) suppressed\n", inv.Suppressed)
+					}
+				}
+			}
 			if rb := r.Rebalance; rb != nil {
 				if rb.Unfinished {
 					s += "    rebalance UNFINISHED: a migration was still draining when the run ended\n"

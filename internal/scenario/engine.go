@@ -77,6 +77,32 @@ type MultiCluster interface {
 	// cut affects every group riding the link. Nil when the deployment
 	// runs per-group meshes (link faults are then unsupported).
 	PhysLinks() *netsim.Network[netsim.Envelope[raft.Message]]
+
+	// Group-addressed fault surface: the *-node kinds carrying a Group
+	// target resolve and act on one serving group's current leader.
+	// Group indices are 0-based serving slots (g < Groups()).
+	GroupLeader(g int) raft.ID
+	PauseGroupNode(g int, id raft.ID)
+	ResumeGroupNode(g int, id raft.ID)
+	GroupNodePaused(g int, id raft.ID) bool
+	CrashGroupNode(g int, id raft.ID)
+	RestartGroupNode(g int, id raft.ID)
+
+	// Invariant-checker probe surface (see invariant.go): per-group live
+	// replica stores for convergence and double-apply checks, and a read
+	// through the router's MultiGet path with a servability verdict.
+	GroupStores(g int) []StoreProbe
+	ProbeRead(key string) (v []byte, found, servable bool)
+}
+
+// StoreProbe is the read-only slice of a replica state machine the
+// invariant checker consumes; *kv.Store satisfies it. Keeping it an
+// interface here lets the checker's detectors be negative-tested against
+// deliberately-broken store wrappers without a simulation in the loop.
+type StoreProbe interface {
+	Get(key string) ([]byte, bool)
+	SortedKeys() []string
+	Dupes() uint64
 }
 
 // MultiLoadGen is the keyed sharded generator (shard.LoadGen).
@@ -91,6 +117,10 @@ type MultiLoadGen interface {
 	// PhaseLatencies buckets the run's per-request latencies by rebalance
 	// phase (before the first move / during any move / after the last).
 	PhaseLatencies() (pre, mid, post PhaseLatency)
+	// SetOnComplete registers an observer of every completed (acked)
+	// write — its key and the client sequence its value encodes. The
+	// invariant checker's ack feed; nil-safe to leave unset.
+	SetOnComplete(func(key string, seq uint64))
 }
 
 // PhaseLatency summarizes the completed requests of one rebalance phase.
@@ -351,6 +381,9 @@ type ShardRampResult struct {
 	// Rebalance carries the group-move measurement when the run's fault
 	// schedule included rebalance kinds (nil otherwise).
 	Rebalance *RebalanceReport
+	// Invariants carries the standing invariant suite's verdict when the
+	// spec armed it (nil otherwise).
+	Invariants *InvariantReport
 }
 
 // ReadMode selects the linearizable-read path under test.
@@ -421,6 +454,20 @@ type Result struct {
 	ShardRamps []ShardRampResult
 	Reads      *ReadsResult
 	Membership *MembershipResult
+}
+
+// Violations collects every invariant violation across the result's
+// repetitions (empty when the spec armed no invariant suite, or every
+// invariant held). The CLI and the chaos-storm search both treat a
+// non-empty return as a failed run.
+func (r *Result) Violations() []Violation {
+	var out []Violation
+	for i := range r.ShardRamps {
+		if inv := r.ShardRamps[i].Invariants; inv != nil {
+			out = append(out, inv.Violations...)
+		}
+	}
+	return out
 }
 
 // Run executes one spec against the environment's testbed.

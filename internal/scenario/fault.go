@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"dynatune/internal/netsim"
@@ -83,6 +84,13 @@ type Fault struct {
 	Duration Duration  `json:"duration,omitempty"`
 	// Node is the 1-based fixed target of the *-node kinds.
 	Node int `json:"node,omitempty"`
+	// Group (1-based) is the alternative target of the *-node kinds on
+	// sharded runs: instead of a fixed physical node, the fault resolves
+	// to that Raft group's current leader at fire time — so a storm can
+	// pause, crash, or partition the leader *inside* a moving group
+	// mid-migration. Exactly one of Node and Group must be set for
+	// pause-node / crash-node / partition-node.
+	Group int `json:"group,omitempty"`
 	// From/To are the 1-based endpoints of link faults.
 	From int `json:"from,omitempty"`
 	To   int `json:"to,omitempty"`
@@ -95,6 +103,15 @@ type Fault struct {
 	Loss   float64  `json:"loss,omitempty"`
 	Dist   string   `json:"dist,omitempty"`
 	Alpha  float64  `json:"alpha,omitempty"`
+	// Reorder adds correlated reordering bursts to degrade-links: while
+	// the degradation holds, burst windows of this length open on every
+	// link at Pareto-distributed intervals (scale ReorderEvery), and the
+	// packets crossing a link during a window are released in an order
+	// permuted under the run's seed — the middlebox buffer-flush behavior
+	// plain per-packet jitter can't produce. Both fields are required
+	// together.
+	Reorder      Duration `json:"reorder,omitempty"`
+	ReorderEvery Duration `json:"reorder_every,omitempty"`
 	// Deadline bounds a rebalance move's cutover (default 30s).
 	Deadline Duration `json:"deadline,omitempty"`
 	// Offset/Drift parameterize clock-skew (see FaultClockSkew).
@@ -125,6 +142,17 @@ func (k FaultKind) rebalance() bool {
 	return k == FaultAddGroup || k == FaultRemoveGroup
 }
 
+// groupAddressed reports whether the kind accepts Fault.Group targeting
+// (resolve the target as that group's leader at fire time, sharded runs
+// only).
+func (k FaultKind) groupAddressed() bool {
+	switch k {
+	case FaultPauseNode, FaultCrashNode, FaultPartitionNode:
+		return true
+	}
+	return false
+}
+
 // shardLink reports whether the kind acts purely on physical links, so a
 // sharded run can inject it on the consolidated deployment's shared mesh
 // (one cut affects every group riding the link). Node/link indices in the
@@ -142,8 +170,11 @@ func (f Fault) validate() error {
 	case FaultPauseLeader, FaultPartitionLeader, FaultAsymPartitionLeader,
 		FaultCrashLeader, FaultTransferLeader, FaultRollingRestart:
 	case FaultPauseNode, FaultCrashNode, FaultPartitionNode:
-		if f.Node < 1 {
-			return fmt.Errorf("%s needs a 1-based node", f.Kind)
+		if f.Node < 1 && f.Group < 1 {
+			return fmt.Errorf("%s needs a 1-based node or group target", f.Kind)
+		}
+		if f.Node >= 1 && f.Group >= 1 {
+			return fmt.Errorf("%s targets both node %d and group %d — pick one", f.Kind, f.Node, f.Group)
 		}
 	case FaultLinkDown:
 		if f.From < 1 || f.To < 1 || f.From == f.To {
@@ -170,6 +201,15 @@ func (f Fault) validate() error {
 			}
 		default:
 			return fmt.Errorf("degrade-links: unknown dist %q (want normal or pareto)", f.Dist)
+		}
+		if f.Reorder < 0 || f.ReorderEvery < 0 {
+			return fmt.Errorf("degrade-links reorder fields must not be negative")
+		}
+		if (f.Reorder > 0) != (f.ReorderEvery > 0) {
+			return fmt.Errorf("degrade-links reorder and reorder_every are required together")
+		}
+		if f.Reorder > 0 && f.Reorder.D() >= f.Duration.D() {
+			return fmt.Errorf("degrade-links reorder window %v must be shorter than the fault duration %v", f.Reorder.D(), f.Duration.D())
 		}
 	case FaultAddGroup, FaultRemoveGroup:
 		if f.Deadline < 0 {
@@ -207,6 +247,12 @@ func (f Fault) validate() error {
 	}
 	if f.Count < 0 {
 		return fmt.Errorf("negative count")
+	}
+	if f.Group != 0 && !f.Kind.groupAddressed() {
+		return fmt.Errorf("%s does not take a group target", f.Kind)
+	}
+	if (f.Reorder != 0 || f.ReorderEvery != 0) && f.Kind != FaultDegradeLinks {
+		return fmt.Errorf("%s does not take reorder bursts (degrade-links only)", f.Kind)
 	}
 	return nil
 }
@@ -323,9 +369,32 @@ func armFaults(c Cluster, start time.Duration, faults []Fault) {
 func armShardFaults(mc MultiCluster, start time.Duration, faults []Fault) {
 	eng := mc.Engine()
 	var lc *linkCuts
+	cutsFor := func() *linkCuts {
+		nw := mc.PhysLinks()
+		if nw == nil {
+			return nil
+		}
+		if lc == nil {
+			lc = &linkCuts{n: nw.N(), nw: nw, refs: map[int]int{}}
+		}
+		return lc
+	}
 	for _, f := range faults {
 		f := f
 		switch {
+		case f.Group > 0 && f.Kind.groupAddressed():
+			// Group-addressed process faults: the target is resolved as the
+			// group's leader at each fire instant, so the fault chases
+			// leadership — including into a group that is mid-migration.
+			var cuts *linkCuts
+			if f.Kind == FaultPartitionNode {
+				if cuts = cutsFor(); cuts == nil {
+					continue // per-group meshes: Validate rejects these specs
+				}
+			}
+			for _, at := range f.occurrences() {
+				eng.Schedule(start+at, func() { fireGroupFault(eng, mc, f, cuts) })
+			}
 		case f.Kind.rebalance():
 			for _, at := range f.occurrences() {
 				eng.Schedule(start+at, func() {
@@ -342,13 +411,53 @@ func armShardFaults(mc MultiCluster, start time.Duration, faults []Fault) {
 			if nw == nil {
 				continue // per-group meshes: Validate rejects these specs
 			}
-			if lc == nil {
-				lc = &linkCuts{n: nw.N(), nw: nw, refs: map[int]int{}}
-			}
+			cuts := cutsFor()
 			for _, at := range f.occurrences() {
-				eng.Schedule(start+at, func() { fireShardLink(eng, nw, f, lc) })
+				eng.Schedule(start+at, func() { fireShardLink(eng, nw, f, cuts) })
 			}
 		}
+	}
+}
+
+// fireGroupFault injects one group-addressed fault occurrence: the target
+// is the group's current leader. A retired slot, a leaderless election
+// window, or an already-frozen target skips the occurrence — there is
+// nothing meaningful to hit, and a storm schedule must stay injectable at
+// whatever state it finds.
+func fireGroupFault(eng *sim.Engine, mc MultiCluster, f Fault, lc *linkCuts) {
+	g := f.Group - 1
+	if g >= mc.Groups() {
+		return
+	}
+	lead := mc.GroupLeader(g)
+	if lead == 0 {
+		return
+	}
+	heal := func(fn func()) {
+		if f.Duration > 0 {
+			eng.After(f.Duration.D(), fn)
+		}
+	}
+	switch f.Kind {
+	case FaultPauseNode:
+		if mc.GroupNodePaused(g, lead) {
+			return
+		}
+		mc.PauseGroupNode(g, lead)
+		heal(func() { mc.ResumeGroupNode(g, lead) })
+	case FaultCrashNode:
+		if mc.GroupNodePaused(g, lead) {
+			return
+		}
+		mc.CrashGroupNode(g, lead)
+		heal(func() { mc.RestartGroupNode(g, lead) })
+	case FaultPartitionNode:
+		// The leader's group-local identity maps 1:1 onto a physical node
+		// of the consolidated mesh, so the cut severs that node — and with
+		// it every co-located group's replica, the consolidation blast
+		// radius a physical fault is meant to have.
+		lc.cutNode(int(lead) - 1)
+		heal(func() { lc.healNode(int(lead) - 1) })
 	}
 }
 
@@ -417,6 +526,45 @@ func degradeLinks[T any](eng *sim.Engine, nw *netsim.Network[T], f Fault) {
 			}
 		})
 	}
+	if f.Reorder > 0 {
+		reorderBursts(eng, nw, f)
+	}
+}
+
+// reorderShape is the Pareto shape of the gap between reorder bursts:
+// heavy-tailed enough that bursts cluster (one congestion episode spawns
+// several flushes close together, then a long quiet stretch) while
+// keeping a finite mean gap.
+const reorderShape = 1.5
+
+// reorderBursts runs degrade-links' correlated-reordering schedule: for
+// the fault's duration, mesh-wide reorder windows of length f.Reorder
+// open at Pareto-distributed intervals with scale f.ReorderEvery. All
+// draws come from the engine's RNG, so the burst times and the per-window
+// permutations are a pure function of the run's seed.
+func reorderBursts[T any](eng *sim.Engine, nw *netsim.Network[T], f Fault) {
+	end := eng.Now() + f.Duration.D()
+	var burst func()
+	burst = func() {
+		if eng.Now() >= end {
+			return
+		}
+		window := f.Reorder.D()
+		if left := end - eng.Now(); window > left {
+			window = left // never hold packets past the degradation's heal
+		}
+		nw.ReorderAll(window)
+		u := eng.Rand().Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		gap := time.Duration(float64(f.ReorderEvery.D()) * math.Pow(u, -1/reorderShape))
+		if gap > f.Duration.D() {
+			gap = f.Duration.D() // a tail draw past the fault just ends the schedule
+		}
+		eng.After(gap, burst)
+	}
+	burst()
 }
 
 // hasRebalance reports whether any fault drives the group lifecycle.

@@ -183,3 +183,95 @@ func TestFaultValidateRebalanceAndPareto(t *testing.T) {
 		t.Error("pareto segment without a jitter scale accepted")
 	}
 }
+
+// TestFaultValidateGroupAddressing covers the group-targeted form of the
+// *-node kinds: exactly one of node/group, sharded topologies only,
+// in-range group numbers.
+func TestFaultValidateGroupAddressing(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"pause by group", Fault{Kind: FaultPauseNode, Group: 1, Duration: Duration(time.Second)}, true},
+		{"crash by group", Fault{Kind: FaultCrashNode, Group: 2, Duration: Duration(time.Second)}, true},
+		{"partition by group", Fault{Kind: FaultPartitionNode, Group: 1, Duration: Duration(time.Second)}, true},
+		{"no target at all", Fault{Kind: FaultPauseNode}, false},
+		{"both node and group", Fault{Kind: FaultPauseNode, Node: 1, Group: 1}, false},
+		{"group on a non-node kind", Fault{Kind: FaultLinkDown, From: 1, To: 2, Group: 1}, false},
+		{"group on degrade-links", Fault{Kind: FaultDegradeLinks, RTT: Duration(time.Millisecond),
+			Duration: Duration(time.Second), Group: 1}, false},
+	} {
+		if err := tc.f.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+
+	sharded := func(faults ...Fault) Spec {
+		return Spec{
+			Name: "ga", Measure: MeasureThroughput,
+			Topology: Topology{N: 3, Groups: 2, NodesPerGroup: 3, Persist: true},
+			Network:  Stable(time.Millisecond), Variant: VariantSpec{Name: "raft"},
+			Workload: &Workload{StartRPS: 100, StepDuration: Duration(time.Second), Steps: 2},
+			Faults:   faults,
+		}
+	}
+	if err := sharded(Fault{Kind: FaultPauseNode, Group: 2, At: Duration(time.Second), Duration: Duration(500 * time.Millisecond)}).Validate(); err != nil {
+		t.Errorf("sharded group-addressed pause rejected: %v", err)
+	}
+	if err := sharded(Fault{Kind: FaultCrashNode, Group: 1, At: Duration(time.Second), Duration: Duration(500 * time.Millisecond)}).Validate(); err != nil {
+		t.Errorf("sharded group-addressed crash rejected: %v", err)
+	}
+	// A group beyond the initial table is a schedule bug, not a no-op.
+	if err := sharded(Fault{Kind: FaultPauseNode, Group: 3, At: Duration(time.Second)}).Validate(); err == nil {
+		t.Error("group target beyond the topology accepted")
+	}
+	// Crash restarts need persisted stores on the sharded testbed too.
+	noPersist := sharded(Fault{Kind: FaultCrashNode, Group: 1, At: Duration(time.Second)})
+	noPersist.Topology.Persist = false
+	if err := noPersist.Validate(); err == nil {
+		t.Error("sharded group-addressed crash without persist accepted")
+	}
+	// Group addressing is a sharded concept; single-group specs keep the
+	// fixed-node form.
+	single := Spec{
+		Name: "ga-single", Measure: MeasureSeries, Topology: Topology{N: 3},
+		Network: Stable(time.Millisecond), Variant: VariantSpec{Name: "raft"},
+		Horizon: Duration(time.Second),
+		Faults:  []Fault{{Kind: FaultPauseNode, Group: 1}},
+	}
+	if err := single.Validate(); err == nil {
+		t.Error("group-addressed fault on a single-group topology accepted")
+	}
+}
+
+// TestFaultValidateReorder covers the degrade-links reorder-burst fields.
+func TestFaultValidateReorder(t *testing.T) {
+	base := Fault{Kind: FaultDegradeLinks, RTT: Duration(50 * time.Millisecond), Duration: Duration(4 * time.Second)}
+	with := func(reorder, every time.Duration) Fault {
+		f := base
+		f.Reorder, f.ReorderEvery = Duration(reorder), Duration(every)
+		return f
+	}
+	for _, tc := range []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"no reorder", base, true},
+		{"reorder ok", with(200*time.Millisecond, time.Second), true},
+		{"window without interval", with(200*time.Millisecond, 0), false},
+		{"interval without window", with(0, time.Second), false},
+		{"negative window", with(-time.Millisecond, time.Second), false},
+		{"window swallows the fault", with(4*time.Second, time.Second), false},
+	} {
+		if err := tc.f.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	// Reorder fields are degrade-links-only.
+	stray := Fault{Kind: FaultPauseLeader, Reorder: Duration(time.Millisecond), ReorderEvery: Duration(time.Second)}
+	if err := stray.validate(); err == nil {
+		t.Error("reorder fields on pause-leader accepted")
+	}
+}

@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/kv"
+	"dynatune/internal/raft"
+	"dynatune/internal/sim"
+)
+
+// Negative tests for the invariant suite: each detector must trip when
+// pointed at a deliberately-broken target, and a faithful target must
+// trip nothing. No simulation in the loop — the fake target implements
+// the probe surface directly.
+
+type fakeStore struct {
+	m     map[string]uint64 // key → value seq
+	dupes uint64
+}
+
+func (s *fakeStore) Get(key string) ([]byte, bool) {
+	seq, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	return kv.SeqValue(seq), true
+}
+
+func (s *fakeStore) SortedKeys() []string {
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	// Deterministic order, as the real store guarantees.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s *fakeStore) Dupes() uint64 { return s.dupes }
+
+// fakeTarget is an invariantTarget whose read path serves straight from
+// acked: the per-test breakages override pieces of it.
+type fakeTarget struct {
+	leaderless bool
+	stores     [][]StoreProbe // per group
+	read       func(key string) (v []byte, found, servable bool)
+}
+
+func (t *fakeTarget) Groups() int { return len(t.stores) }
+
+func (t *fakeTarget) GroupLeader(g int) raft.ID {
+	if t.leaderless {
+		return 0
+	}
+	return 1
+}
+
+func (t *fakeTarget) GroupStores(g int) []StoreProbe { return t.stores[g] }
+
+func (t *fakeTarget) ProbeRead(key string) ([]byte, bool, bool) { return t.read(key) }
+
+// faithful builds a one-group target whose reads serve exactly the acked
+// sequences and whose two replicas agree.
+func faithful(acked map[string]uint64) *fakeTarget {
+	a := &fakeStore{m: acked}
+	b := &fakeStore{m: acked}
+	return &fakeTarget{
+		stores: [][]StoreProbe{{a, b}},
+		read: func(key string) ([]byte, bool, bool) {
+			seq, ok := acked[key]
+			if !ok {
+				return nil, false, true
+			}
+			return kv.SeqValue(seq), true, true
+		},
+	}
+}
+
+func checkerOver(t *fakeTarget) (*invariantChecker, *sim.Engine) {
+	eng := sim.NewEngine(1)
+	cfg := Invariants{Every: Duration(100 * time.Millisecond), MaxUnavail: Duration(200 * time.Millisecond)}
+	return newInvariantChecker(cfg, t, eng), eng
+}
+
+func hasViolation(rep *InvariantReport, invariant string) bool {
+	for _, v := range rep.Violations {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// run drives a full checker lifecycle: acks, armed probes for a second of
+// sim time, stop, report.
+func runChecker(c *invariantChecker, eng *sim.Engine, acked map[string]uint64) *InvariantReport {
+	for k, seq := range acked {
+		c.onComplete(k, seq)
+	}
+	c.arm()
+	eng.Run(eng.Now() + time.Second)
+	c.stop()
+	return c.report()
+}
+
+func ack3() map[string]uint64 {
+	return map[string]uint64{"alpha": 3, "beta": 7, "gamma": 2}
+}
+
+func TestInvariantsCleanTargetTripsNothing(t *testing.T) {
+	acked := ack3()
+	c, eng := checkerOver(faithful(acked))
+	rep := runChecker(c, eng, acked)
+	if !rep.OK() {
+		t.Fatalf("faithful target tripped invariants: %+v", rep.Violations)
+	}
+	if rep.AckedWrites != 3 {
+		t.Fatalf("AckedWrites = %d, want 3", rep.AckedWrites)
+	}
+	if rep.Probes == 0 {
+		t.Fatalf("armed checker issued no stale-read probes")
+	}
+	if len(rep.Checked) != len(invariantNames) {
+		t.Fatalf("Checked = %v, want all of %v", rep.Checked, invariantNames)
+	}
+}
+
+func TestInvariantDurabilityCatchesLostWrite(t *testing.T) {
+	acked := ack3()
+	tgt := faithful(acked)
+	inner := tgt.read
+	tgt.read = func(key string) ([]byte, bool, bool) {
+		if key == "beta" {
+			return nil, false, true // acked write vanished
+		}
+		return inner(key)
+	}
+	c, eng := checkerOver(tgt)
+	rep := runChecker(c, eng, acked)
+	if !hasViolation(rep, "durability") {
+		t.Fatalf("dropped acked write not caught: %+v", rep.Violations)
+	}
+}
+
+func TestInvariantDurabilityCatchesStaleSurvivor(t *testing.T) {
+	acked := ack3()
+	tgt := faithful(acked)
+	tgt.read = func(key string) ([]byte, bool, bool) {
+		return kv.SeqValue(1), true, true // every key rolled back to seq 1
+	}
+	c, eng := checkerOver(tgt)
+	rep := runChecker(c, eng, acked)
+	if !hasViolation(rep, "durability") {
+		t.Fatalf("rolled-back survivor not caught: %+v", rep.Violations)
+	}
+}
+
+func TestInvariantStaleReadCatchesOldValue(t *testing.T) {
+	acked := ack3()
+	tgt := faithful(acked)
+	tgt.read = func(key string) ([]byte, bool, bool) {
+		return kv.SeqValue(1), true, true
+	}
+	c, eng := checkerOver(tgt)
+	// Persistent staleness must survive the confirm re-check and be
+	// reported by the mid-run probes, not only the final sweep.
+	for k, seq := range acked {
+		c.onComplete(k, seq)
+	}
+	c.arm()
+	eng.Run(eng.Now() + 2*time.Second)
+	c.stop()
+	rep := c.report()
+	if !hasViolation(rep, "stale-read") {
+		t.Fatalf("persistently stale reads not caught mid-run: %+v", rep.Violations)
+	}
+}
+
+func TestInvariantStaleReadForgivesTransientApplyGap(t *testing.T) {
+	acked := ack3()
+	tgt := faithful(acked)
+	inner := tgt.read
+	healAt := 300 * time.Millisecond // shorter than confirmAfter
+	var eng *sim.Engine
+	tgt.read = func(key string) ([]byte, bool, bool) {
+		if eng.Now() < healAt {
+			return kv.SeqValue(1), true, true // briefly behind, then catches up
+		}
+		return inner(key)
+	}
+	c, e := checkerOver(tgt)
+	eng = e
+	rep := runChecker(c, eng, acked)
+	if hasViolation(rep, "stale-read") {
+		t.Fatalf("transient apply gap reported as staleness: %+v", rep.Violations)
+	}
+}
+
+func TestInvariantDoubleApplyCatchesDupes(t *testing.T) {
+	acked := ack3()
+	tgt := faithful(acked)
+	tgt.stores[0][1].(*fakeStore).dupes = 2
+	c, eng := checkerOver(tgt)
+	rep := runChecker(c, eng, acked)
+	if !hasViolation(rep, "double-apply") {
+		t.Fatalf("duplicate applies not caught: %+v", rep.Violations)
+	}
+}
+
+func TestInvariantConvergenceCatchesDivergedReplicas(t *testing.T) {
+	acked := ack3()
+	tgt := faithful(acked)
+	diverged := map[string]uint64{"alpha": 3, "beta": 7, "gamma": 99}
+	tgt.stores[0][1] = &fakeStore{m: diverged}
+	c, eng := checkerOver(tgt)
+	rep := runChecker(c, eng, acked)
+	if !hasViolation(rep, "convergence") {
+		t.Fatalf("diverged replicas not caught: %+v", rep.Violations)
+	}
+}
+
+func TestInvariantUnavailabilityCatchesLongOutage(t *testing.T) {
+	acked := ack3()
+	tgt := faithful(acked)
+	tgt.leaderless = true // a full second leaderless against a 200ms bound
+	c, eng := checkerOver(tgt)
+	rep := runChecker(c, eng, acked)
+	if !hasViolation(rep, "unavailability") {
+		t.Fatalf("leaderless span beyond the bound not caught: %+v", rep.Violations)
+	}
+	if rep.MaxUnavailMs < 500 {
+		t.Fatalf("MaxUnavailMs = %.0f, want the bulk of the 1s run", rep.MaxUnavailMs)
+	}
+}
+
+func TestInvariantViolationCapSuppresses(t *testing.T) {
+	// 20 lost keys against a 16-violation cap: detail for 16, the rest
+	// counted, OK still false.
+	acked := map[string]uint64{}
+	for i := 0; i < 20; i++ {
+		acked[string(rune('a'+i))] = uint64(i + 1)
+	}
+	tgt := faithful(acked)
+	tgt.read = func(key string) ([]byte, bool, bool) { return nil, false, true }
+	c, eng := checkerOver(tgt)
+	rep := runChecker(c, eng, acked)
+	if rep.OK() {
+		t.Fatalf("20 lost writes reported OK")
+	}
+	if len(rep.Violations) > maxViolations {
+		t.Fatalf("violation detail uncapped: %d entries", len(rep.Violations))
+	}
+	if rep.Suppressed == 0 {
+		t.Fatalf("overflow violations not counted as suppressed")
+	}
+}

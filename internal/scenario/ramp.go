@@ -110,6 +110,15 @@ func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampR
 	}
 	s.Run(3 * time.Second) // settle + tuner warmup
 	armShardFaults(s, s.Engine().Now(), spec.Faults)
+	var check *invariantChecker
+	if spec.Invariants != nil {
+		// Armed at ramp start, before the generator: the ack feed must be
+		// wired before the first proposal, and the probes must cover every
+		// fault and migration window of the measurement.
+		check = newInvariantChecker(*spec.Invariants, s, s.Engine())
+		lg.SetOnComplete(check.onComplete)
+		check.arm()
+	}
 	lg.Start()
 	s.Run(ramp.Duration() + 5*time.Second) // drain tail
 	for i := 0; i < 600 && s.Rebalancing(); i++ {
@@ -140,6 +149,14 @@ func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampR
 			// missing from Moves.
 			Unfinished: s.Rebalancing(),
 		}
+	}
+	if check != nil {
+		// Post-heal settle, then the final durability / double-apply /
+		// convergence sweep. Probes are stopped first so the settle window
+		// measures the system, not the checker.
+		check.stop()
+		s.Run(check.cfg.Settle.D())
+		res.Invariants = check.report()
 	}
 	return res
 }

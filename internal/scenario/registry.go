@@ -78,6 +78,10 @@ func (s Spec) Clone() Spec {
 		m := *s.Membership
 		out.Membership = &m
 	}
+	if s.Invariants != nil {
+		inv := *s.Invariants
+		out.Invariants = &inv
+	}
 	return out
 }
 

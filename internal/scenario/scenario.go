@@ -256,6 +256,45 @@ type MembershipProbe struct {
 	Preload int `json:"preload"`
 }
 
+// Invariants arms the standing invariant suite on sharded throughput
+// runs (the chaos-storm verdict layer). The knobs are part of the spec so
+// a persisted reproducer replays with exactly the invariant strength that
+// tripped — including a deliberately-weakened one in negative tests.
+// Arming it also switches the load generator to sequence-encoded values
+// (each write's payload reveals which acked write a later read observes).
+type Invariants struct {
+	// Every is the stale-read probe period (default 250ms): each probe
+	// samples acked keys and reads them through the router's MultiGet
+	// path, mid-migration dual-read window included.
+	Every Duration `json:"every,omitempty"`
+	// ProbeKeys is how many acked keys each probe samples (default 8).
+	ProbeKeys int `json:"probe_keys,omitempty"`
+	// MaxUnavail bounds any serving group's longest continuous leaderless
+	// span (default 15s — generous against detection + election under the
+	// storm budgets' fault windows).
+	MaxUnavail Duration `json:"max_unavail,omitempty"`
+	// Settle is the extra post-heal quiet period before the final
+	// durability / convergence sweep (default 3s).
+	Settle Duration `json:"settle,omitempty"`
+}
+
+// withDefaults fills the unset knobs.
+func (inv Invariants) withDefaults() Invariants {
+	if inv.Every <= 0 {
+		inv.Every = Duration(250 * time.Millisecond)
+	}
+	if inv.ProbeKeys <= 0 {
+		inv.ProbeKeys = 8
+	}
+	if inv.MaxUnavail <= 0 {
+		inv.MaxUnavail = Duration(15 * time.Second)
+	}
+	if inv.Settle <= 0 {
+		inv.Settle = Duration(3 * time.Second)
+	}
+	return inv
+}
+
 // Spec is one declarative experiment.
 type Spec struct {
 	Name        string `json:"name,omitempty"`
@@ -283,6 +322,10 @@ type Spec struct {
 
 	Reads      *ReadProbe       `json:"reads,omitempty"`
 	Membership *MembershipProbe `json:"membership,omitempty"`
+
+	// Invariants arms the standing invariant suite (sharded throughput
+	// runs only); nil runs without checking.
+	Invariants *Invariants `json:"invariants,omitempty"`
 }
 
 // Ramp converts the workload section to the generator's schedule.
@@ -337,19 +380,27 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 		if s.Topology.Groups > 0 {
-			// The sharded runner injects group-lifecycle faults and — since
-			// every group rides the consolidated deployment's shared
-			// physical mesh — link-level faults, whose node indices address
-			// physical nodes 1..NodesPerGroup (one cut affects every group
-			// on the link). Leader-chasing and process kinds still have no
-			// group addressing in the DSL.
+			// The sharded runner injects group-lifecycle faults, link-level
+			// faults (every group rides the consolidated deployment's shared
+			// physical mesh, so node indices address physical nodes
+			// 1..NodesPerGroup and one cut affects every co-located group),
+			// and group-addressed process faults (the *-node kinds carrying
+			// a Group target, resolved to that group's leader at fire time).
 			groups := s.Topology.Groups
 			for i, f := range s.Faults {
 				switch {
+				case f.Group > 0 && f.Kind.groupAddressed():
+					// Group addressing targets the initial group table; a
+					// group booted mid-run has no stable 1-based name a spec
+					// could mean.
+					if f.Group > s.Topology.Groups {
+						return fmt.Errorf("scenario %q: fault %d targets group %d of %d", s.Name, i, f.Group, s.Topology.Groups)
+					}
+					continue
 				case f.Kind.shardLink():
 					continue
 				case !f.Kind.rebalance():
-					return fmt.Errorf("scenario %q: fault %d: the sharded throughput runner injects rebalance faults (%s/%s) and physical-link faults, not %q",
+					return fmt.Errorf("scenario %q: fault %d: the sharded throughput runner injects rebalance faults (%s/%s), physical-link faults, and group-addressed process faults, not %q",
 						s.Name, i, FaultAddGroup, FaultRemoveGroup, f.Kind)
 				}
 				occ := f.Count
@@ -402,6 +453,9 @@ func (s Spec) Validate() error {
 		}
 		if f.Kind.rebalance() && s.Topology.Groups == 0 {
 			return fmt.Errorf("scenario %q: fault %d: %q needs a sharded topology (groups > 0)", s.Name, i, f.Kind)
+		}
+		if f.Group != 0 && s.Topology.Groups == 0 {
+			return fmt.Errorf("scenario %q: fault %d: group addressing needs a sharded topology (groups > 0)", s.Name, i)
 		}
 		// Bounds-check fixed targets against the topology: an out-of-range
 		// node would otherwise surface as an index panic at fire time.
@@ -462,11 +516,12 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: sharded topologies only run the throughput measure, not %q", s.Name, s.Measure)
 		case len(s.Topology.Regions) > 0:
 			return fmt.Errorf("scenario %q: geo regions are not supported for sharded topologies", s.Name)
-		case s.Topology.Persist:
-			return fmt.Errorf("scenario %q: persistence is not supported for sharded topologies", s.Name)
 		case s.Topology.InitialMembers != 0:
 			return fmt.Errorf("scenario %q: initial_members is not supported for sharded topologies", s.Name)
 		}
+	}
+	if s.Invariants != nil && s.Topology.Groups == 0 {
+		return fmt.Errorf("scenario %q: the invariant suite runs on sharded throughput runs only", s.Name)
 	}
 	return nil
 }

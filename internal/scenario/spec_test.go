@@ -140,8 +140,6 @@ func TestSpecValidateRejectsNonsense(t *testing.T) {
 			Faults: []Fault{{Kind: FaultRollingRestart, Every: 1, Count: 5}}}, // crash with no restart
 		{Measure: MeasureThroughput, Topology: Topology{N: 3, Groups: 4, Regions: []string{"tokyo", "london", "california"}},
 			Workload: &Workload{StartRPS: 1, Steps: 1, StepDuration: 1}}, // geo dropped by sharded testbed
-		{Measure: MeasureThroughput, Topology: Topology{N: 3, Groups: 4, Persist: true},
-			Workload: &Workload{StartRPS: 1, Steps: 1, StepDuration: 1}}, // persist dropped by sharded testbed
 		{Measure: MeasureSeries, Horizon: 1, Topology: Topology{N: 5},
 			Faults: []Fault{{Kind: FaultPauseNode, Node: 7}}}, // node out of range
 		{Measure: MeasureSeries, Horizon: 1, Topology: Topology{N: 5},

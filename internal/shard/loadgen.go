@@ -56,7 +56,11 @@ type LoadGen struct {
 	epoch         int // router epoch the parked assignments were made under
 	proposeErrors uint64
 	seq           uint64
-	base          time.Duration // virtual time of ramp t=0
+	seqValues     bool
+	// onComplete, when set, receives every completion's key and client
+	// sequence at the ack point — the invariant checker's feed.
+	onComplete func(key string, seq uint64)
+	base       time.Duration // virtual time of ramp t=0
 	// retiredLost / retiredInflight bank the counters of trackers whose
 	// group slot was reused by a later AddGroupLive.
 	retiredLost     uint64
@@ -85,6 +89,11 @@ type LoadOptions struct {
 	// ClientRTT is the client↔leader round trip added to every latency
 	// (default 100ms, as in the single-group generator usage).
 	ClientRTT time.Duration
+	// SeqValues makes every write carry its client sequence as the value
+	// (kv.SeqValue) instead of the constant placeholder, so reads can be
+	// compared for freshness. The invariant suite requires it; default off
+	// keeps existing scenario output byte-identical.
+	SeqValues bool
 }
 
 // NewLoadGen attaches a keyed load generator to a not-yet-started sharded
@@ -115,6 +124,7 @@ func NewLoadGen(s *Cluster, ramp workload.Ramp, opts LoadOptions) *LoadGen {
 		gen:       gen,
 		keys:      keys,
 		clientRTT: opts.ClientRTT,
+		seqValues: opts.SeqValues,
 		flushEach: time.Millisecond,
 		parked:    make([][]arrival, s.Groups()),
 		inflight:  make([]*cluster.Inflight, s.Groups()),
@@ -233,7 +243,11 @@ func (lg *LoadGen) flush(base time.Duration) {
 			func(a arrival) time.Duration { return a.at },
 			func(a arrival) []byte {
 				lg.seq++
-				return kv.Encode(kv.Command{Op: kv.OpPut, Client: 1, Seq: lg.seq, Key: a.key, Value: []byte("v")})
+				val := []byte("v")
+				if lg.seqValues {
+					val = kv.SeqValue(lg.seq)
+				}
+				return kv.Encode(kv.Command{Op: kv.OpPut, Client: 1, Seq: lg.seq, Key: a.key, Value: val})
 			},
 			&lg.proposeErrors)
 	}
@@ -252,7 +266,12 @@ func (lg *LoadGen) onApply(g GroupID, node raft.ID, ents []raft.Entry) {
 	} else if len(lg.s.rebalances) > 0 {
 		phase = 2
 	}
-	lg.inflight[g].ResolveApplied(lg.s.Group(g).ApplyGate(), ents, func(at time.Duration) {
+	lg.inflight[g].ResolveAppliedEntries(lg.s.Group(g).ApplyGate(), ents, func(e raft.Entry, at time.Duration) {
+		if lg.onComplete != nil {
+			if cmd, err := kv.Decode(e.Data); err == nil {
+				lg.onComplete(cmd.Key, cmd.Seq)
+			}
+		}
 		step := lg.ramp.StepOf(now)
 		if step < 0 || step >= len(lg.perStep) {
 			return
@@ -264,6 +283,13 @@ func (lg *LoadGen) onApply(g GroupID, node raft.ID, ents []raft.Entry) {
 		lg.phaseLats[phase] = append(lg.phaseLats[phase], latMs)
 	})
 }
+
+// SetOnComplete registers an ack observer: every completed request's key
+// and client sequence, at the instant the owning group's leader applied
+// it (the same gate the latency sample uses). Completions outside the
+// measured ramp window still feed it — the invariant checker's acked-set
+// must cover the drain tail, not just the scored steps.
+func (lg *LoadGen) SetOnComplete(fn func(key string, seq uint64)) { lg.onComplete = fn }
 
 // PhaseLatencies summarizes the run's latencies bucketed by rebalance
 // phase — the scenario engine's rebalance measurement hook. With no

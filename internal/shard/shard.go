@@ -31,6 +31,10 @@ type Options struct {
 	// Cost overrides the per-node CPU cost model (zero = calibrated
 	// default).
 	Cost cluster.CostModel
+	// Persist gives every node in every group a durable store, enabling
+	// crash faults (group-addressed crash-node) against sharded runs. The
+	// persister survives the crash; the rebuilt node replays from it.
+	Persist bool
 
 	// PerGroupMesh disables the multi-Raft node consolidation: every
 	// group builds its own private netsim mesh, its own per-timer engine
@@ -129,6 +133,7 @@ func (s *Cluster) newGroup() *cluster.Cluster {
 		Variant: s.opts.Variant,
 		Profile: s.opts.Profile,
 		Cost:    s.opts.Cost,
+		Persist: s.opts.Persist,
 		Fabric:  s.fabric,
 	})
 }
@@ -353,6 +358,107 @@ func (s *Cluster) MultiGet(keys ...string) map[string][]byte {
 		}
 	}
 	return out
+}
+
+// liveSlot reports whether g names a current, non-retired group slot.
+func (s *Cluster) liveSlot(g int) bool {
+	return g >= 0 && g < len(s.groups) && !s.retired[g]
+}
+
+// GroupLeader returns serving group g's current leader id, or 0 when the
+// slot is out of range, retired, or mid-election — the group-addressed
+// fault kinds' fire-time target resolution.
+func (s *Cluster) GroupLeader(g int) raft.ID {
+	if l := s.Leader(GroupID(g)); l != nil {
+		return l.ID()
+	}
+	return 0
+}
+
+// PauseGroupNode / ResumeGroupNode / CrashGroupNode / RestartGroupNode /
+// GroupNodePaused expose one group's process controls to the scenario
+// layer's group-addressed faults. Every call tolerates a slot retired
+// between fire and heal: a heal landing on a decommissioned group must
+// not wake its (deliberately frozen) nodes.
+func (s *Cluster) PauseGroupNode(g int, id raft.ID) {
+	if s.liveSlot(g) {
+		s.groups[g].Pause(id)
+	}
+}
+
+func (s *Cluster) ResumeGroupNode(g int, id raft.ID) {
+	if s.liveSlot(g) {
+		s.groups[g].Resume(id)
+	}
+}
+
+func (s *Cluster) GroupNodePaused(g int, id raft.ID) bool {
+	return !s.liveSlot(g) || s.groups[g].Paused(id)
+}
+
+func (s *Cluster) CrashGroupNode(g int, id raft.ID) {
+	if s.liveSlot(g) {
+		s.groups[g].Crash(id)
+	}
+}
+
+func (s *Cluster) RestartGroupNode(g int, id raft.ID) {
+	if s.liveSlot(g) {
+		s.groups[g].Restart(id)
+	}
+}
+
+// GroupStores returns group g's live (non-paused, non-crashed) replica
+// stores — the invariant checker's convergence and double-apply surface.
+func (s *Cluster) GroupStores(g int) []scenario.StoreProbe {
+	if !s.liveSlot(g) {
+		return nil
+	}
+	c := s.groups[g]
+	out := make([]scenario.StoreProbe, 0, c.N())
+	for id := raft.ID(1); int(id) <= c.N(); id++ {
+		if !c.Paused(id) {
+			out = append(out, c.Store(id))
+		}
+	}
+	return out
+}
+
+// ProbeRead reads key through the same owner-then-previous-owner path as
+// Get/MultiGet and additionally reports servability: whether some
+// responsible group could authoritatively answer. An unservable result
+// (every responsible side mid-election) tells the invariant checker to
+// skip the sample rather than score a miss it cannot trust.
+func (s *Cluster) ProbeRead(key string) (v []byte, found, servable bool) {
+	g := s.router.Route(key)
+	lead := s.Leader(g)
+	if lead != nil {
+		if v, ok := s.groups[g].Store(lead.ID()).Get(key); ok {
+			return v, true, true
+		}
+		if !s.dualReadActive() {
+			return nil, false, true // post-cutover the owner's miss is authoritative
+		}
+	}
+	if s.dualReadActive() {
+		pg, moved := s.router.RoutePrev(key)
+		if !moved {
+			// The key is not part of the live move; the owner's answer (or
+			// its leaderless silence) stands alone.
+			return nil, false, lead != nil
+		}
+		if plead := s.Leader(pg); plead != nil {
+			if v, ok := s.groups[pg].Store(plead.ID()).Get(key); ok {
+				return v, true, true
+			}
+			// Both responsible sides answered: an authoritative miss —
+			// unless the current owner was leaderless, in which case only
+			// the fallback spoke and a copy could be in flight toward the
+			// silent side.
+			return nil, false, lead != nil
+		}
+	}
+	return nil, false, false
 }
 
 // PhysLinks exposes the consolidated deployment's shared physical mesh —

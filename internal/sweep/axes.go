@@ -144,6 +144,67 @@ var defs = map[string]def{
 			return nil
 		},
 	},
+	"fault": {
+		doc: "override one scalar field of a scheduled fault: [<idx>.]<field>:<value>, field in duration|at|every|deadline|rtt|jitter|reorder|reorder_every|loss (e.g. duration:500ms or 1.loss:0.2)",
+		apply: func(spec *scenario.Spec, v string) error {
+			idx := 0
+			rest := v
+			// An optional leading "<idx>." picks the fault; the default is
+			// the first. The probe is unambiguous: a field name never parses
+			// as an integer.
+			if dot := strings.IndexByte(v, '.'); dot > 0 {
+				if i, err := strconv.Atoi(v[:dot]); err == nil {
+					idx, rest = i, v[dot+1:]
+				}
+			}
+			field, val, ok := strings.Cut(rest, ":")
+			if !ok {
+				return fmt.Errorf("axis fault: %q is not [<idx>.]<field>:<value>", v)
+			}
+			if len(spec.Faults) == 0 {
+				return fmt.Errorf("axis fault: the base spec schedules no faults to override")
+			}
+			if idx < 0 || idx >= len(spec.Faults) {
+				return fmt.Errorf("axis fault: index %d out of range (spec schedules %d fault(s))", idx, len(spec.Faults))
+			}
+			f := &spec.Faults[idx]
+			switch field {
+			case "loss":
+				loss, err := strconv.ParseFloat(val, 64)
+				if err != nil || loss < 0 || loss >= 1 {
+					return fmt.Errorf("axis fault: loss %q is not a rate in [0, 1)", val)
+				}
+				f.Loss = loss
+			case "duration", "at", "every", "deadline", "rtt", "jitter", "reorder", "reorder_every":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return fmt.Errorf("axis fault: %s %q is not a non-negative duration", field, val)
+				}
+				dd := scenario.Duration(d)
+				switch field {
+				case "duration":
+					f.Duration = dd
+				case "at":
+					f.At = dd
+				case "every":
+					f.Every = dd
+				case "deadline":
+					f.Deadline = dd
+				case "rtt":
+					f.RTT = dd
+				case "jitter":
+					f.Jitter = dd
+				case "reorder":
+					f.Reorder = dd
+				case "reorder_every":
+					f.ReorderEvery = dd
+				}
+			default:
+				return fmt.Errorf("axis fault: unknown field %q", field)
+			}
+			return nil
+		},
+	},
 	"groups-delta": {
 		doc: "live rebalance mid-ramp: +k adds k groups, -k removes k (sharded throughput)",
 		apply: func(spec *scenario.Spec, v string) error {

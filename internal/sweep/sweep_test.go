@@ -115,6 +115,69 @@ func TestCellsRejectsInvalidCellSpec(t *testing.T) {
 	}
 }
 
+// TestFaultAxis sweeps a scalar fault field across the grid and pins the
+// aliasing contract: each cell mutates its own clone of the schedule,
+// never the base's or a sibling's.
+func TestFaultAxis(t *testing.T) {
+	// Timed fault fields belong to series/throughput schedules, not
+	// failover trials — sweep them on a series base.
+	series := func() scenario.Spec {
+		s := baseSpec()
+		s.Measure, s.Trials = scenario.MeasureSeries, 0
+		s.Horizon = scenario.Duration(10 * time.Second)
+		s.Faults = []scenario.Fault{{Kind: scenario.FaultPauseLeader, At: scenario.Duration(time.Second)}}
+		return s
+	}
+	c := Campaign{Base: series(), Axes: []Axis{
+		{Name: "fault", Values: []string{"duration:500ms", "duration:2s"}},
+	}}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cells[0].Spec.Faults[0].Duration.D(); d != 500*time.Millisecond {
+		t.Fatalf("cell 0 duration %v, want 500ms", d)
+	}
+	if d := cells[1].Spec.Faults[0].Duration.D(); d != 2*time.Second {
+		t.Fatalf("cell 1 duration %v, want 2s", d)
+	}
+	if d := c.Base.Faults[0].Duration; d != 0 {
+		t.Fatalf("fault axis mutated the base schedule: %v", d)
+	}
+
+	// The "<idx>." prefix picks a later fault.
+	multi := series()
+	multi.Faults = append(multi.Faults, scenario.Fault{Kind: scenario.FaultPauseLeader, At: scenario.Duration(2 * time.Second)})
+	cells, err = (Campaign{Base: multi, Axes: []Axis{{Name: "fault", Values: []string{"1.duration:3s"}}}}).Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0, d1 := cells[0].Spec.Faults[0].Duration.D(), cells[0].Spec.Faults[1].Duration.D(); d0 != 0 || d1 != 3*time.Second {
+		t.Fatalf("indexed override applied %v/%v, want 0/3s", d0, d1)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		value string
+	}{
+		{"missing colon", "duration"},
+		{"unknown field", "nope:1s"},
+		{"index out of range", "7.duration:1s"},
+		{"negative duration", "duration:-1s"},
+		{"loss of 1", "loss:1"},
+		{"loss not a number", "loss:lots"},
+	} {
+		if _, err := (Campaign{Base: series(), Axes: []Axis{{Name: "fault", Values: []string{tc.value}}}}).Cells(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	bare := series()
+	bare.Faults = nil
+	if _, err := (Campaign{Base: bare, Axes: []Axis{{Name: "fault", Values: []string{"duration:1s"}}}}).Cells(); err == nil {
+		t.Error("fault axis on a faultless base accepted")
+	}
+}
+
 // TestVariantAxisDelegatesToBind: the axis must accept exactly what bind
 // accepts — including display spellings — instead of keeping a second
 // name list.
