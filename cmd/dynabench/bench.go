@@ -96,6 +96,7 @@ type BenchReport struct {
 	Parallel      ParallelTrials        `json:"parallel_trials"`
 	Scenarios     []ScenarioWall        `json:"scenario_runner"`
 	GroupsCurve   []GroupsPoint         `json:"groups_curve,omitempty"`
+	Compaction    *CompactionCurve      `json:"compaction_curve,omitempty"`
 }
 
 func parseGroupsList(csv string) []int {
@@ -228,6 +229,7 @@ func bench(args []string) {
 	jsonPath := fs.String("json", "", "write the report as JSON to this path (e.g. BENCH.json)")
 	trials := fs.Int("trials", 150, "election trials for the parallel-runner timing")
 	groupsCurve := fs.Bool("groups-curve", false, "run the multi-Raft groups-scaling curve")
+	compactionCurve := fs.Bool("compaction-curve", false, "run the log-compaction growth curve and migration-mode comparison")
 	groupsList := fs.String("groups", "1,2,4,8,16,32,64,128,256", "comma-separated group counts for -groups-curve")
 	legacyMax := fs.Int("legacy-max", 64, "largest G to also run on the per-group-mesh build for comparison")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
@@ -370,6 +372,11 @@ func bench(args []string) {
 			}
 			fmt.Println()
 		}
+	}
+
+	if *compactionCurve {
+		fmt.Println("== Compaction curve (bounded logs + snapshot-ship vs key-stream migration) ==")
+		rep.Compaction = runCompactionCurve()
 	}
 
 	fmt.Println("== Parallel trial runner (workers vs 1, identical results required) ==")

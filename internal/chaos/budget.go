@@ -26,6 +26,13 @@ type Budget struct {
 	NodesPerGroup int    `json:"nodes_per_group,omitempty"`
 	Variant       string `json:"variant,omitempty"`
 	Persist       bool   `json:"persist,omitempty"`
+	// Snapshot policy every group runs under (zero = unbounded logs):
+	// storms then cover the compaction×chaos seam — a crashed replica
+	// whose log the leader compacted away must catch up via streamed
+	// snapshot with the whole invariant suite watching.
+	SnapshotEvery  uint64 `json:"snapshot_every_entries,omitempty"`
+	SnapshotRetain uint64 `json:"snapshot_retain,omitempty"`
+	SnapshotChunk  int    `json:"snapshot_chunk,omitempty"`
 
 	// Workload ramp driven under every storm.
 	RPS          int               `json:"rps,omitempty"`
@@ -69,22 +76,25 @@ type Budget struct {
 // rebalance overlap.
 func DefaultBudget() Budget {
 	return Budget{
-		Groups:        2,
-		NodesPerGroup: 3,
-		Variant:       "dynatune",
-		Persist:       true,
-		RPS:           100,
-		StepRPS:       20,
-		Steps:         4,
-		StepDuration:  scenario.Duration(2 * time.Second),
-		Keys:          512,
-		MinFaults:     2,
-		MaxFaults:     5,
-		WindowFrac:    0.7,
-		MinDur:        scenario.Duration(500 * time.Millisecond),
-		MaxDur:        scenario.Duration(2500 * time.Millisecond),
-		Rebalance:     0.5,
-		Reorder:       0.5,
+		Groups:         2,
+		NodesPerGroup:  3,
+		Variant:        "dynatune",
+		Persist:        true,
+		SnapshotEvery:  256,
+		SnapshotRetain: 32,
+		SnapshotChunk:  4096,
+		RPS:            100,
+		StepRPS:        20,
+		Steps:          4,
+		StepDuration:   scenario.Duration(2 * time.Second),
+		Keys:           512,
+		MinFaults:      2,
+		MaxFaults:      5,
+		WindowFrac:     0.7,
+		MinDur:         scenario.Duration(500 * time.Millisecond),
+		MaxDur:         scenario.Duration(2500 * time.Millisecond),
+		Rebalance:      0.5,
+		Reorder:        0.5,
 	}
 }
 

@@ -160,6 +160,8 @@ func Schedule(b Budget, seed int64) (scenario.Spec, error) {
 			Groups:        b.Groups,
 			NodesPerGroup: b.NodesPerGroup,
 			Persist:       b.Persist,
+			SnapshotEvery: b.SnapshotEvery, SnapshotRetain: b.SnapshotRetain,
+			SnapshotChunk: b.SnapshotChunk,
 		},
 		Variant: scenario.VariantSpec{Name: b.Variant},
 		Workload: &scenario.Workload{

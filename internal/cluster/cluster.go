@@ -127,6 +127,16 @@ type Options struct {
 	// crash/freeze class).
 	Persist bool
 
+	// Snapshot is the automatic snapshot-at-index policy: when armed, each
+	// node snapshots its kv store and truncates the log whenever the live
+	// tail outgrows the policy's entry/byte thresholds. The zero value
+	// disables it, leaving compaction to explicit CompactAll calls (the
+	// pre-policy behaviour every golden was recorded under).
+	Snapshot raft.SnapshotPolicy
+	// SnapshotChunk bounds one streamed InstallSnapshot message's payload;
+	// 0 keeps the legacy single-envelope transfer.
+	SnapshotChunk int
+
 	// Fabric, when set, attaches this cluster as one group of a
 	// consolidated multi-Raft deployment: instead of building a private
 	// netsim mesh and per-timer engine events, the group shares the
@@ -286,6 +296,8 @@ func (c *Cluster) buildNode(i int, restored *raft.Restored) {
 		Restored:                          restored,
 		SuppressHeartbeatWhileReplicating: c.opts.Variant.SuppressHeartbeats,
 		ConsolidatedHeartbeats:            c.opts.Variant.ConsolidateTimers,
+		Snapshot:                          c.opts.Snapshot,
+		SnapshotChunk:                     c.opts.SnapshotChunk,
 		SnapshotData: func() []byte {
 			rt.proc.Charge(c.cost.SnapshotMarshal)
 			return store.MarshalSnapshot()
@@ -625,6 +637,44 @@ func (c *Cluster) CompactAll(keepLast uint64) {
 	for _, n := range c.nodes {
 		n.CompactLog(keepLast)
 	}
+}
+
+// LogStats summarizes the live Raft log footprint across a cluster's
+// running nodes — the observable the compaction policy is meant to bound.
+type LogStats struct {
+	// MaxEntries / MaxBytes are the largest per-node live log (worst
+	// replica), TotalBytes the sum over live replicas.
+	MaxEntries int
+	MaxBytes   uint64
+	TotalBytes uint64
+	// MinFirstIndex is the lowest compaction floor across live replicas
+	// (0 when no node has compacted yet).
+	MinFirstIndex uint64
+}
+
+// LogStatsNow samples the live log footprint, skipping paused/crashed
+// nodes (their volatile log is not memory the deployment is holding).
+func (c *Cluster) LogStatsNow() LogStats {
+	var ls LogStats
+	first := true
+	for i, n := range c.nodes {
+		if c.rts[i].paused {
+			continue
+		}
+		e, b, fi := n.LogEntries(), n.LogBytes(), n.FirstIndex()
+		if e > ls.MaxEntries {
+			ls.MaxEntries = e
+		}
+		if b > ls.MaxBytes {
+			ls.MaxBytes = b
+		}
+		ls.TotalBytes += b
+		if first || fi < ls.MinFirstIndex {
+			ls.MinFirstIndex = fi
+			first = false
+		}
+	}
+	return ls
 }
 
 // StoresConsistent verifies that every pair of stores agrees on the

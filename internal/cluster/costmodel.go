@@ -132,7 +132,9 @@ func (c CostModel) recvCost(m raft.Message, tuned bool) time.Duration {
 		return d
 	case raft.MsgApp:
 		return c.AppendRecv + time.Duration(len(m.Entries))*c.AppendRecvEntry
-	case raft.MsgAppResp:
+	case raft.MsgAppResp, raft.MsgSnapResp:
+		// A chunk ack costs the leader the same bookkeeping as an append
+		// ack; the next chunk's send is priced separately.
 		return c.AppendRespRecv
 	case raft.MsgVote, raft.MsgVoteResp, raft.MsgPreVote, raft.MsgPreVoteResp:
 		return c.VoteProc

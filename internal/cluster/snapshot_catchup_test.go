@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynatune/internal/raft"
+)
+
+// TestCrashRestartCatchesUpViaStreamedSnapshot is the persist-integration
+// proof for the snapshot policy: a follower crashes, the leader's policy
+// compacts past the follower's entire log while it is down, and the
+// restarted process — recovered from its durable snapshot + suffix — can
+// only catch up through a chunked streamed InstallSnapshot.
+func TestCrashRestartCatchesUpViaStreamedSnapshot(t *testing.T) {
+	c := New(Options{
+		N: 3, Seed: 10, Persist: true,
+		Snapshot:      raft.SnapshotPolicy{EveryEntries: 32, RetainEntries: 8},
+		SnapshotChunk: 256,
+	})
+	c.Start()
+	lead := c.WaitLeader(30 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader")
+	}
+	c.Run(time.Second)
+	lead = c.Leader()
+
+	cl := &putter{c: c, cli: 7}
+	for i := 0; i < 20; i++ {
+		cl.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	c.Run(2 * time.Second)
+
+	var victim raft.ID
+	for i := 1; i <= 3; i++ {
+		if raft.ID(i) != lead.ID() {
+			victim = raft.ID(i)
+			break
+		}
+	}
+	appliedBefore := c.Store(victim).AppliedIndex()
+	if appliedBefore == 0 {
+		t.Fatal("victim never applied anything")
+	}
+	c.Crash(victim)
+
+	// Commit far past the policy threshold while the victim is down, so
+	// the survivors' logs truncate beyond its durable state.
+	for i := 0; i < 150; i++ {
+		cl.Put(fmt.Sprintf("k%03d", 20+i), []byte(fmt.Sprintf("w%d", i)))
+		if i%16 == 15 {
+			c.Run(200 * time.Millisecond)
+		}
+	}
+	c.Run(2 * time.Second)
+	lead = c.Leader()
+	if lead == nil {
+		t.Fatal("lost the leader while the victim was down")
+	}
+	if lead.FirstIndex() <= appliedBefore {
+		t.Fatalf("leader first index %d never passed the victim's log (%d) — policy inactive?",
+			lead.FirstIndex(), appliedBefore)
+	}
+	// The policy must also be bounding the live logs themselves.
+	if n := lead.LogEntries(); n > 128 {
+		t.Fatalf("leader live log %d entries despite policy (every 32, retain 8)", n)
+	}
+
+	c.Restart(victim)
+	target := c.Store(lead.ID()).AppliedIndex()
+	deadline := c.Now() + 30*time.Second
+	for c.Now() < deadline && c.Store(victim).AppliedIndex() < target {
+		c.Run(100 * time.Millisecond)
+	}
+
+	// The restarted node cannot have replayed entry-by-entry — the leader
+	// no longer holds entries at its position — so a streamed snapshot
+	// carried it: its log floor must sit at or past the leader's.
+	if got := c.Node(victim).FirstIndex(); got <= appliedBefore {
+		t.Fatalf("victim first index %d; a snapshot install would have rebased it past %d",
+			got, appliedBefore)
+	}
+	if v, ok := c.Store(victim).Get("k169"); !ok || string(v) != "w149" {
+		t.Fatalf("victim missing post-crash writes: %q %v", v, ok)
+	}
+	if err := c.StoresConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}

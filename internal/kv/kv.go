@@ -24,6 +24,14 @@ const (
 	OpDelete
 	// OpNoop does nothing (useful for barriers/leases).
 	OpNoop
+	// OpInstallSpan merges a keyspan export (EncodeSpan) into the store —
+	// the bulk phase of snapshot-shipped shard migration: one replicated
+	// command installs a whole chunk of keys instead of one key each.
+	OpInstallSpan
+	// OpDeleteSpan removes every key named in a span payload (the values
+	// are ignored) — the cleanup counterpart of OpInstallSpan, retiring a
+	// migrated span's source copies in O(chunks) commands.
+	OpDeleteSpan
 )
 
 func (o Op) String() string {
@@ -34,6 +42,10 @@ func (o Op) String() string {
 		return "delete"
 	case OpNoop:
 		return "noop"
+	case OpInstallSpan:
+		return "install-span"
+	case OpDeleteSpan:
+		return "delete-span"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -74,7 +86,7 @@ func Decode(b []byte) (Command, error) {
 		return c, ErrCorrupt
 	}
 	c.Op = Op(b[0])
-	if c.Op < OpPut || c.Op > OpNoop {
+	if c.Op < OpPut || c.Op > OpDeleteSpan {
 		return c, fmt.Errorf("%w: bad op %d", ErrCorrupt, b[0])
 	}
 	c.Client = binary.BigEndian.Uint64(b[1:])
@@ -151,6 +163,22 @@ func (s *Store) Apply(ents []raft.Entry) {
 		case OpDelete:
 			delete(s.data, c.Key)
 		case OpNoop:
+		case OpInstallSpan:
+			pairs, err := DecodeSpan(c.Value)
+			if err != nil {
+				panic(fmt.Sprintf("kv: entry %d: span: %v", e.Index, err))
+			}
+			for _, p := range pairs {
+				s.data[p.Key] = p.Value
+			}
+		case OpDeleteSpan:
+			pairs, err := DecodeSpan(c.Value)
+			if err != nil {
+				panic(fmt.Sprintf("kv: entry %d: span: %v", e.Index, err))
+			}
+			for _, p := range pairs {
+				delete(s.data, p.Key)
+			}
 		}
 		s.applies++
 	}

@@ -1,0 +1,102 @@
+package kv
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Pair is one key/value in a span export.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// EncodeSpan serializes pairs as count(4) followed by length-prefixed
+// key/value pairs — the payload of an OpInstallSpan command. The chunk is
+// self-contained: each one can be applied independently and in any order
+// relative to its siblings (installing a pair twice is a no-op overwrite).
+func EncodeSpan(pairs []Pair) []byte {
+	size := 4
+	for _, p := range pairs {
+		size += 4 + len(p.Key) + 4 + len(p.Value)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Key)))
+		buf = append(buf, p.Key...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Value)))
+		buf = append(buf, p.Value...)
+	}
+	return buf
+}
+
+// DecodeSpan parses a chunk produced by EncodeSpan.
+func DecodeSpan(b []byte) ([]Pair, error) {
+	if len(b) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	pairs := make([]Pair, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return nil, ErrCorrupt
+		}
+		klen := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < klen+4 {
+			return nil, ErrCorrupt
+		}
+		k := string(b[:klen])
+		b = b[klen:]
+		vlen := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < vlen {
+			return nil, ErrCorrupt
+		}
+		pairs = append(pairs, Pair{Key: k, Value: append([]byte(nil), b[:vlen]...)})
+		b = b[vlen:]
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return pairs, nil
+}
+
+// SpanExport packs every key satisfying owned into byte-capped
+// EncodeSpan chunks, iterating in sorted key order so the chunking — and
+// everything replicated downstream of it — is a pure function of the
+// store state. maxBytes caps each chunk's encoded size; a single pair
+// larger than the cap still gets a chunk of its own. It returns the
+// chunks alongside the exported keys (for the caller's moved-set
+// bookkeeping).
+func (s *Store) SpanExport(owned func(string) bool, maxBytes int) (chunks [][]byte, keys []string) {
+	s.mu.RLock()
+	for k := range s.data {
+		if owned(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var cur []Pair
+	curBytes := 4
+	flush := func() {
+		if len(cur) > 0 {
+			chunks = append(chunks, EncodeSpan(cur))
+			cur, curBytes = nil, 4
+		}
+	}
+	for _, k := range keys {
+		v := s.data[k]
+		pb := 4 + len(k) + 4 + len(v)
+		if len(cur) > 0 && curBytes+pb > maxBytes {
+			flush()
+		}
+		cur = append(cur, Pair{Key: k, Value: append([]byte(nil), v...)})
+		curBytes += pb
+	}
+	s.mu.RUnlock()
+	flush()
+	return chunks, keys
+}

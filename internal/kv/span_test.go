@@ -1,0 +1,135 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+func TestSpanCodecRoundTrip(t *testing.T) {
+	pairs := []Pair{
+		{Key: "a", Value: []byte("1")},
+		{Key: "b/long/key", Value: nil},
+		{Key: "", Value: []byte{0xFF, 0x00}},
+	}
+	got, err := DecodeSpan(EncodeSpan(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, p := range pairs {
+		if got[i].Key != p.Key || !bytes.Equal(got[i].Value, p.Value) && !(len(got[i].Value) == 0 && len(p.Value) == 0) {
+			t.Fatalf("pair %d: %+v vs %+v", i, got[i], p)
+		}
+	}
+	if _, err := DecodeSpan(nil); err == nil {
+		t.Fatal("nil span decoded")
+	}
+	if _, err := DecodeSpan(append(EncodeSpan(pairs), 0x01)); err == nil {
+		t.Fatal("trailing junk decoded")
+	}
+	if _, err := DecodeSpan(EncodeSpan(pairs)[:7]); err == nil {
+		t.Fatal("truncated span decoded")
+	}
+}
+
+func TestSpanExportFiltersAndChunks(t *testing.T) {
+	s := NewStore()
+	var ents []raft.Entry
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		ents = append(ents, entry(uint64(i+1), Command{Op: OpPut, Client: 1, Seq: uint64(i + 1), Key: k, Value: []byte(strings.Repeat("v", 10))}))
+	}
+	s.Apply(ents)
+
+	owned := func(k string) bool { return k >= "k05" && k < "k15" }
+	chunks, keys := s.SpanExport(owned, 64)
+	if len(keys) != 10 {
+		t.Fatalf("keys = %d (%v)", len(keys), keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("expected multiple chunks under 64-byte cap, got %d", len(chunks))
+	}
+	for i, c := range chunks {
+		if len(c) > 64 {
+			t.Fatalf("chunk %d is %d bytes, exceeds cap", i, len(c))
+		}
+	}
+
+	// Installing every chunk into a fresh store reproduces exactly the
+	// owned span.
+	dst := NewStore()
+	idx := uint64(0)
+	for _, c := range chunks {
+		idx++
+		dst.Apply([]raft.Entry{entry(idx, Command{Op: OpInstallSpan, Client: 3, Seq: idx, Value: c})})
+	}
+	if dst.Len() != 10 {
+		t.Fatalf("dst len = %d", dst.Len())
+	}
+	for _, k := range keys {
+		want, _ := s.Get(k)
+		got, ok := dst.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %q: got %q ok=%v", k, got, ok)
+		}
+	}
+}
+
+func TestSpanExportOversizePairGetsOwnChunk(t *testing.T) {
+	s := NewStore()
+	s.Apply([]raft.Entry{
+		entry(1, Command{Op: OpPut, Client: 1, Seq: 1, Key: "big", Value: bytes.Repeat([]byte("x"), 500)}),
+		entry(2, Command{Op: OpPut, Client: 1, Seq: 2, Key: "small", Value: []byte("y")}),
+	})
+	chunks, keys := s.SpanExport(func(string) bool { return true }, 64)
+	if len(keys) != 2 || len(chunks) != 2 {
+		t.Fatalf("chunks=%d keys=%d", len(chunks), len(keys))
+	}
+}
+
+func TestSpanInstallIdempotent(t *testing.T) {
+	s := NewStore()
+	chunk := EncodeSpan([]Pair{{Key: "a", Value: []byte("1")}})
+	c := Command{Op: OpInstallSpan, Client: 3, Seq: 1, Value: chunk}
+	s.Apply([]raft.Entry{entry(1, c)})
+	s.Apply([]raft.Entry{entry(2, c)}) // retried at a later index
+	if s.Dupes() != 1 {
+		t.Fatalf("dupes = %d", s.Dupes())
+	}
+	if v, _ := s.Get("a"); string(v) != "1" {
+		t.Fatalf("a = %q", v)
+	}
+}
+
+func TestSpanExportDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := NewStore()
+		var ents []raft.Entry
+		for i := 0; i < 50; i++ {
+			ents = append(ents, entry(uint64(i+1), Command{Op: OpPut, Client: 1, Seq: uint64(i + 1), Key: fmt.Sprintf("key-%03d", i*7%50), Value: SeqValue(uint64(i))}))
+		}
+		s.Apply(ents)
+		return s
+	}
+	a, _ := build().SpanExport(func(string) bool { return true }, 128)
+	b, _ := build().SpanExport(func(string) bool { return true }, 128)
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("chunk %d differs", i)
+		}
+	}
+}

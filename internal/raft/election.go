@@ -132,6 +132,8 @@ func (n *Node) Step(m Message) {
 		n.handleHeartbeatResp(m)
 	case MsgSnap:
 		n.handleSnapshot(m)
+	case MsgSnapResp:
+		n.handleSnapResp(m)
 	case MsgTimeoutNow:
 		n.handleTimeoutNow(m)
 	}

@@ -12,6 +12,11 @@ type Log struct {
 	offset  uint64
 	entries []Entry
 
+	// bytes is the payload size of the retained real entries (the
+	// sentinel's data is always discarded), maintained incrementally so
+	// size-based compaction policies don't rescan the log.
+	bytes uint64
+
 	committed uint64
 	applied   uint64
 
@@ -49,6 +54,7 @@ func NewLogFromState(snapIndex, snapTerm uint64, entries []Entry) *Log {
 			panic(fmt.Sprintf("raft: restored entries not contiguous at %d (want %d)", e.Index, l.LastIndex()+1))
 		}
 		l.entries = append(l.entries, e)
+		l.bytes += uint64(len(e.Data))
 	}
 	return l
 }
@@ -103,6 +109,7 @@ func (l *Log) Append(term uint64, data ...[]byte) uint64 {
 	first := len(l.entries)
 	for _, d := range data {
 		l.entries = append(l.entries, Entry{Term: term, Index: l.LastIndex() + 1, Data: d})
+		l.bytes += uint64(len(d))
 	}
 	if l.obs != nil && len(l.entries) > first {
 		l.obs.Appended(l.entries[first:])
@@ -115,6 +122,7 @@ func (l *Log) Append(term uint64, data ...[]byte) uint64 {
 func (l *Log) AppendTyped(term uint64, typ EntryType, data []byte) uint64 {
 	e := Entry{Term: term, Index: l.LastIndex() + 1, Type: typ, Data: data}
 	l.entries = append(l.entries, e)
+	l.bytes += uint64(len(data))
 	if l.obs != nil {
 		l.obs.Appended(l.entries[len(l.entries)-1:])
 	}
@@ -148,6 +156,9 @@ func (l *Log) MaybeAppend(prevIndex, prevTerm uint64, entries []Entry) (uint64, 
 			l.truncateFrom(e.Index)
 		}
 		l.entries = append(l.entries, entries[i:]...)
+		for _, e := range entries[i:] {
+			l.bytes += uint64(len(e.Data))
+		}
 		if l.obs != nil {
 			l.obs.Appended(entries[i:])
 		}
@@ -159,6 +170,9 @@ func (l *Log) MaybeAppend(prevIndex, prevTerm uint64, entries []Entry) (uint64, 
 func (l *Log) truncateFrom(i uint64) {
 	if i <= l.offset {
 		panic(fmt.Sprintf("raft: truncate at compacted index %d (offset %d)", i, l.offset))
+	}
+	for _, e := range l.entries[i-l.offset:] {
+		l.bytes -= uint64(len(e.Data))
 	}
 	l.entries = l.entries[:i-l.offset]
 	if l.obs != nil {
@@ -229,6 +243,11 @@ func (l *Log) CompactTo(i uint64) {
 	if i <= l.offset {
 		return
 	}
+	// Everything through index i leaves the retained window — including
+	// the payload of the entry becoming the new sentinel.
+	for _, e := range l.entries[1 : i-l.offset+1] {
+		l.bytes -= uint64(len(e.Data))
+	}
 	keep := l.entries[i-l.offset:]
 	l.entries = append(make([]Entry, 0, len(keep)), keep...)
 	// entries[0] is now the entry at index i, acting as the sentinel: its
@@ -240,6 +259,9 @@ func (l *Log) CompactTo(i uint64) {
 // Len returns the number of real entries retained (excluding the sentinel).
 func (l *Log) Len() int { return len(l.entries) - 1 }
 
+// Bytes returns the payload size of the retained real entries.
+func (l *Log) Bytes() uint64 { return l.bytes }
+
 // RestoreSnapshot discards the entire log and re-bases it on a snapshot
 // whose last included entry is (index, term). Commit and apply indexes
 // jump to the snapshot point; the state machine must be restored
@@ -247,6 +269,7 @@ func (l *Log) Len() int { return len(l.entries) - 1 }
 func (l *Log) RestoreSnapshot(index, term uint64) {
 	l.offset = index
 	l.entries = []Entry{{Term: term, Index: index}}
+	l.bytes = 0
 	l.committed = index
 	l.applied = index
 }

@@ -70,6 +70,16 @@ type Config struct {
 	// is the snapshot's last included log index. Required when
 	// SnapshotData is set.
 	RestoreSnapshot func(data []byte, index uint64)
+
+	// SnapshotChunk caps the snapshot bytes carried per MsgSnap. Larger
+	// snapshots stream as a chunk sequence with offset/resume and one
+	// in-flight chunk per follower; 0 (the default) ships any snapshot in
+	// a single envelope, the legacy byte-compatible behaviour.
+	SnapshotChunk int
+	// Snapshot, when armed (any trigger non-zero), automatically
+	// snapshots the state machine and truncates the log as entries apply.
+	// Requires SnapshotData.
+	Snapshot SnapshotPolicy
 }
 
 func (c *Config) validate() error {
@@ -112,6 +122,10 @@ type progress struct {
 	// lastActive is the time of the most recent response; the lease-read
 	// path derives the check-quorum lease from it.
 	lastActive time.Duration
+	// snap is the in-flight chunked snapshot transfer to this follower
+	// (nil when none). Dying with the progress map on step-down is the
+	// term-change abort path.
+	snap *snapXfer
 }
 
 // Node is a single Raft participant. It is not safe for concurrent use:
@@ -140,6 +154,10 @@ type Node struct {
 	vote  ID
 	lead  ID
 	log   *Log
+
+	// pendingSnap is the partially received chunked snapshot (follower
+	// side); any role or term change discards it.
+	pendingSnap *inboundSnap
 
 	// randRatio is u in randomizedTimeout = Et·(1+u). Keeping u stable
 	// while Et is retuned makes randomizedTimeout track Et continuously
@@ -254,6 +272,16 @@ func (n *Node) Log() *Log { return n.log }
 
 // Quorum returns the majority size.
 func (n *Node) Quorum() int { return n.quorum }
+
+// FirstIndex returns the oldest retained log index (the compaction
+// floor) — observability for the snapshot/compaction policy.
+func (n *Node) FirstIndex() uint64 { return n.log.FirstIndex() }
+
+// LogEntries returns how many real entries the log currently retains.
+func (n *Node) LogEntries() int { return n.log.Len() }
+
+// LogBytes returns the payload size of the retained log entries.
+func (n *Node) LogBytes() uint64 { return n.log.Bytes() }
 
 // ElectionTimeoutBase returns the tuner's current Et.
 func (n *Node) ElectionTimeoutBase() time.Duration { return n.cfg.Tuner.ElectionTimeout() }
@@ -407,6 +435,7 @@ func (n *Node) becomeFollower(term uint64, lead ID) {
 	n.prs = nil
 	n.transferee = None
 	n.granted, n.refused = nil, nil
+	n.pendingSnap = nil
 	n.failPendingReads()
 	if lead != None {
 		n.lastLeaderContact = n.cfg.Runtime.Now()

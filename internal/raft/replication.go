@@ -110,29 +110,52 @@ func (n *Node) sendAppend(peer ID) {
 
 // sendSnapshot ships the state machine at the leader's applied index to a
 // peer that fell behind the compaction window. It reports whether a
-// snapshot was sent (false when snapshots are not configured).
+// snapshot was sent (false when snapshots are not configured). Snapshots
+// above Config.SnapshotChunk stream chunk by chunk (snapshot.go); at most
+// one transfer per follower is in flight, and while one is, this only
+// resends the current chunk after a stall — the flow control that keeps a
+// slow follower from being buried under retransmits.
 func (n *Node) sendSnapshot(peer ID) bool {
 	if n.cfg.SnapshotData == nil {
 		return false
+	}
+	pr := n.prs[peer]
+	if x := pr.snap; x != nil {
+		if n.cfg.Runtime.Now()-x.sentAt >= n.cfg.Tuner.ElectionTimeout() {
+			n.sendSnapChunk(x) // chunk or ack presumed lost: resume
+		}
+		return true
 	}
 	index := n.log.Applied()
 	term, ok := n.log.Term(index)
 	if !ok {
 		return false
 	}
-	n.send(Message{
-		Type:         MsgSnap,
-		To:           peer,
-		Term:         n.term,
-		Index:        index,
-		LogTerm:      term,
-		Snap:         n.cfg.SnapshotData(),
-		SnapVoters:   n.Voters(),
-		SnapLearners: n.Learners(),
-	})
-	// Optimistically assume installation; a rejection (or a normal ack)
-	// re-synchronizes progress.
-	n.prs[peer].next = index + 1
+	data := n.cfg.SnapshotData()
+	if n.cfg.SnapshotChunk <= 0 || len(data) <= n.cfg.SnapshotChunk {
+		n.send(Message{
+			Type:         MsgSnap,
+			To:           peer,
+			Term:         n.term,
+			Index:        index,
+			LogTerm:      term,
+			Snap:         data,
+			SnapVoters:   n.Voters(),
+			SnapLearners: n.Learners(),
+		})
+		// Optimistically assume installation; a rejection (or a normal
+		// ack) re-synchronizes progress.
+		pr.next = index + 1
+		return true
+	}
+	x := &snapXfer{
+		to: peer, index: index, term: term, data: data,
+		voters: n.Voters(), learners: n.Learners(),
+	}
+	pr.snap = x
+	n.sendSnapChunk(x)
+	// pr.next stays below the compaction floor until the install acks, so
+	// replication keeps routing here while the stream is in flight.
 	return true
 }
 
@@ -147,22 +170,42 @@ func (n *Node) handleSnapshot(m Message) {
 	n.resetElectionTimer()
 
 	if m.Index <= n.log.Committed() {
-		// Stale snapshot: we already have everything it contains.
+		// Stale snapshot: we already have everything it contains. The ack
+		// at our commit point also tells a streaming leader to drop the
+		// transfer (commit outran the snapshot mid-stream).
+		if n.pendingSnap != nil && n.pendingSnap.index <= n.log.Committed() {
+			n.pendingSnap = nil
+		}
 		n.send(Message{Type: MsgAppResp, To: m.From, Term: n.term, Index: n.log.Committed()})
 		return
 	}
-	n.log.RestoreSnapshot(m.Index, m.LogTerm)
-	if n.cfg.RestoreSnapshot != nil {
-		n.cfg.RestoreSnapshot(m.Snap, m.Index)
+	if m.SnapTotal == 0 {
+		// Legacy single-envelope install.
+		n.installSnapshot(m.From, m.Index, m.LogTerm, m.Snap, m.SnapVoters, m.SnapLearners)
+		return
 	}
-	if len(m.SnapVoters) > 0 {
-		n.adoptMembership(m.SnapVoters, m.SnapLearners)
+	// One chunk of a streamed transfer. Anything that doesn't match the
+	// reassembly buffer (new transfer, changed coordinates) restarts it;
+	// a chunk that isn't the next contiguous piece is answered with our
+	// actual byte position so the leader resumes from there.
+	ps := n.pendingSnap
+	if ps == nil || ps.from != m.From || ps.index != m.Index ||
+		ps.term != m.LogTerm || ps.total != m.SnapTotal {
+		ps = &inboundSnap{from: m.From, index: m.Index, term: m.LogTerm, total: m.SnapTotal}
+		n.pendingSnap = ps
 	}
-	n.persistSnapshot(Snapshot{
-		Index: m.Index, Term: m.LogTerm, Data: m.Snap,
-		Voters: n.Voters(), Learners: n.Learners(),
-	})
-	n.send(Message{Type: MsgAppResp, To: m.From, Term: n.term, Index: m.Index})
+	if m.SnapOffset != uint64(len(ps.buf)) {
+		n.send(Message{Type: MsgSnapResp, To: m.From, Term: n.term, Index: m.Index, Hint: uint64(len(ps.buf))})
+		return
+	}
+	ps.buf = append(ps.buf, m.Snap...)
+	if uint64(len(ps.buf)) < ps.total {
+		n.send(Message{Type: MsgSnapResp, To: m.From, Term: n.term, Index: m.Index, Hint: uint64(len(ps.buf))})
+		return
+	}
+	data := ps.buf
+	n.pendingSnap = nil
+	n.installSnapshot(m.From, m.Index, m.LogTerm, data, m.SnapVoters, m.SnapLearners)
 }
 
 func (n *Node) sendHeartbeat(peer ID) {
@@ -234,6 +277,11 @@ func (n *Node) handleAppendResp(m Message) {
 		}
 		n.sendAppend(m.From)
 		return
+	}
+	if x := pr.snap; x != nil && m.Index >= x.index {
+		// The streamed snapshot installed (or the follower's commit point
+		// outran it): the transfer is over either way.
+		pr.snap = nil
 	}
 	if m.Index > pr.match {
 		pr.match = m.Index
@@ -349,6 +397,7 @@ func (n *Node) commitTo(i uint64) {
 		n.cfg.Apply(ents)
 	}
 	n.notifyReadWaiters()
+	n.maybeAutoCompact()
 }
 
 // CompactLog discards applied entries older than keepLast entries behind

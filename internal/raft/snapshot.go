@@ -1,0 +1,140 @@
+package raft
+
+import "time"
+
+// Snapshot streaming and the automatic snapshot-at-index policy.
+//
+// A snapshot larger than Config.SnapshotChunk streams to a lagging
+// follower as a chunk sequence (Raft §7 InstallSnapshot, chunked as etcd
+// and TiKV do for multi-megabyte state machines): the leader keeps one
+// in-flight transfer per follower and clocks exactly one chunk on each
+// acknowledgement (MsgSnapResp), whose Hint carries the follower's byte
+// position — the authoritative resume point after a dropped chunk or a
+// dropped ack. The final chunk is acknowledged by a normal MsgAppResp at
+// the snapshot index, so from the progress-tracking side a completed
+// stream is indistinguishable from a legacy single-envelope install.
+//
+// Abort paths need no extra protocol: a leader stepping down discards its
+// progress map (and the per-follower transfer state with it), and a
+// follower clears its partial buffer on any role/term change — a later
+// retransmit restarts cleanly from offset 0.
+
+// SnapshotPolicy makes a node snapshot its state machine and truncate the
+// log automatically as entries apply. The zero value disables the policy
+// (compaction then only happens through explicit CompactLog calls).
+type SnapshotPolicy struct {
+	// EveryEntries triggers a snapshot when more than this many applied
+	// entries are retained below the apply point. 0 disables the trigger.
+	EveryEntries uint64
+	// EveryBytes triggers a snapshot when the retained entries' payload
+	// exceeds this size. 0 disables the trigger.
+	EveryBytes uint64
+	// RetainEntries is the retention floor: the log keeps this many
+	// entries behind the apply point so healthy-but-slow followers catch
+	// up from the log, and only truly lagging (or restarted) ones take
+	// the snapshot path.
+	RetainEntries uint64
+}
+
+// enabled reports whether any trigger is armed.
+func (p SnapshotPolicy) enabled() bool { return p.EveryEntries > 0 || p.EveryBytes > 0 }
+
+// snapXfer is the leader's state for one in-flight chunked transfer.
+type snapXfer struct {
+	to          ID
+	index, term uint64
+	data        []byte
+	voters      []ID
+	learners    []ID
+	// offset is the next byte to ship; advanced only by follower acks.
+	offset uint64
+	// sentAt timestamps the last chunk send; a transfer silent for a full
+	// election timeout is presumed dropped and the current chunk resent.
+	sentAt time.Duration
+}
+
+// inboundSnap is the follower's reassembly buffer for one transfer.
+type inboundSnap struct {
+	from        ID
+	index, term uint64
+	total       uint64
+	buf         []byte
+}
+
+// sendSnapChunk ships the transfer's current chunk.
+func (n *Node) sendSnapChunk(x *snapXfer) {
+	end := x.offset + uint64(n.cfg.SnapshotChunk)
+	if end > uint64(len(x.data)) {
+		end = uint64(len(x.data))
+	}
+	n.send(Message{
+		Type:         MsgSnap,
+		To:           x.to,
+		Term:         n.term,
+		Index:        x.index,
+		LogTerm:      x.term,
+		Snap:         x.data[x.offset:end],
+		SnapOffset:   x.offset,
+		SnapTotal:    uint64(len(x.data)),
+		SnapVoters:   x.voters,
+		SnapLearners: x.learners,
+	})
+	x.sentAt = n.cfg.Runtime.Now()
+}
+
+// handleSnapResp advances a chunked transfer on the leader: the follower
+// acknowledged bytes up to m.Hint, so ship the next chunk from there.
+func (n *Node) handleSnapResp(m Message) {
+	if n.state != StateLeader {
+		return
+	}
+	pr, ok := n.prs[m.From]
+	if !ok {
+		return
+	}
+	pr.recentActive = true
+	pr.lastActive = n.cfg.Runtime.Now()
+	x := pr.snap
+	if x == nil || m.Index != x.index {
+		return // ack for a transfer we already completed or abandoned
+	}
+	if m.Hint > uint64(len(x.data)) {
+		return // incoherent resume point; wait for the stall resend
+	}
+	x.offset = m.Hint
+	if x.offset >= uint64(len(x.data)) {
+		// Every byte is delivered; the install's MsgAppResp clears x.
+		return
+	}
+	n.sendSnapChunk(x)
+}
+
+// installSnapshot re-bases the follower on a complete snapshot and acks
+// it at the snapshot index (the same ack a fully caught-up append sends).
+func (n *Node) installSnapshot(from ID, index, term uint64, data []byte, voters, learners []ID) {
+	n.log.RestoreSnapshot(index, term)
+	if n.cfg.RestoreSnapshot != nil {
+		n.cfg.RestoreSnapshot(data, index)
+	}
+	if len(voters) > 0 {
+		n.adoptMembership(voters, learners)
+	}
+	n.persistSnapshot(Snapshot{
+		Index: index, Term: term, Data: data,
+		Voters: n.Voters(), Learners: n.Learners(),
+	})
+	n.send(Message{Type: MsgAppResp, To: from, Term: n.term, Index: index})
+}
+
+// maybeAutoCompact applies the snapshot policy after entries apply.
+func (n *Node) maybeAutoCompact() {
+	p := n.cfg.Snapshot
+	if !p.enabled() || n.cfg.SnapshotData == nil {
+		return
+	}
+	tail := n.log.Applied() - n.log.FirstIndex()
+	if (p.EveryEntries > 0 && tail > p.EveryEntries) ||
+		(p.EveryBytes > 0 && n.log.Bytes() > p.EveryBytes) {
+		n.CompactLog(p.RetainEntries)
+	}
+}

@@ -1,0 +1,399 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"dynatune/internal/netsim"
+	"dynatune/internal/sim"
+)
+
+// newChunkedSnapshotCluster is newSnapshotCluster with the streaming knobs
+// armed and a tap on every delivered message, so tests can assert the
+// transfer really went chunk by chunk.
+func newChunkedSnapshotCluster(opts clusterOpts, chunk int, policy SnapshotPolicy, tap func(Message)) (*testCluster, []*miniSM) {
+	c := &testCluster{eng: sim.NewEngine(opts.seed)}
+	c.net = netsim.New[Message](c.eng, opts.n, netsim.Constant(opts.params), func(to int, m Message) {
+		if tap != nil {
+			tap(m)
+		}
+		rt := c.rts[to]
+		if rt.down {
+			return
+		}
+		rt.node.Step(m)
+	})
+	peers := make([]ID, opts.n)
+	for i := range peers {
+		peers[i] = ID(i + 1)
+	}
+	sms := make([]*miniSM, opts.n)
+	for i := 0; i < opts.n; i++ {
+		rt := &testRuntime{
+			eng:     c.eng,
+			net:     c.net,
+			id:      ID(i + 1),
+			timers:  map[timerKey]sim.Handle{},
+			hbClass: opts.hbClass,
+		}
+		sm := &miniSM{}
+		sms[i] = sm
+		node, err := NewNode(Config{
+			ID:              ID(i + 1),
+			Peers:           peers,
+			Runtime:         rt,
+			Tuner:           opts.tuners(i),
+			Tracer:          recordTracer{c},
+			Apply:           sm.apply,
+			SnapshotData:    sm.snapshot,
+			RestoreSnapshot: sm.restore,
+			SnapshotChunk:   chunk,
+			Snapshot:        policy,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt.node = node
+		c.rts = append(c.rts, rt)
+		c.nodes = append(c.nodes, node)
+	}
+	for _, n := range c.nodes {
+		n.Start()
+	}
+	return c, sms
+}
+
+// TestChunkedSnapshotCatchUp: the 16-byte miniSM snapshot with a 4-byte
+// chunk size must cross as 4 chunks, and the restarted follower must end
+// up state-identical to the leader.
+func TestChunkedSnapshotCatchUp(t *testing.T) {
+	opts := defaultOpts()
+	chunks, whole := 0, 0
+	c, sms := newChunkedSnapshotCluster(opts, 4, SnapshotPolicy{}, func(m Message) {
+		if m.Type != MsgSnap {
+			return
+		}
+		if m.SnapTotal == 0 {
+			whole++
+			return
+		}
+		chunks++
+		if len(m.Snap) > 4 {
+			t.Errorf("chunk of %d bytes exceeds the 4-byte chunk size", len(m.Snap))
+		}
+	})
+	lead := c.waitLeader(10 * time.Second)
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			follower = n
+			break
+		}
+	}
+	c.crash(follower.ID())
+	for i := 0; i < 80; i++ {
+		if _, err := lead.Propose([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.run(time.Second)
+	lead.CompactLog(2)
+	c.restart(follower.ID())
+	c.run(5 * time.Second)
+
+	if whole != 0 {
+		t.Fatalf("%d single-envelope snapshots sent despite the chunk size", whole)
+	}
+	if chunks < 4 {
+		t.Fatalf("only %d snapshot chunks observed, want >= 4", chunks)
+	}
+	leadSM, folSM := sms[lead.ID()-1], sms[follower.ID()-1]
+	if folSM.sum != leadSM.sum || folSM.applied != leadSM.applied {
+		t.Fatalf("state machines diverged after streamed catch-up: follower (%d,%d) vs leader (%d,%d)",
+			folSM.applied, folSM.sum, leadSM.applied, leadSM.sum)
+	}
+	if err := c.checkCommittedPrefixAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkedSnapshotSurvivesLoss: with 20% message loss the stream's
+// stall-resend must still complete the transfer.
+func TestChunkedSnapshotSurvivesLoss(t *testing.T) {
+	opts := defaultOpts()
+	opts.params = netsim.Params{RTT: 10 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.2}
+	c, sms := newChunkedSnapshotCluster(opts, 4, SnapshotPolicy{}, nil)
+	lead := c.waitLeader(10 * time.Second)
+	if lead == nil {
+		t.Fatal("no leader under loss")
+	}
+	var follower *Node
+	for _, n := range c.nodes {
+		if n != lead {
+			follower = n
+			break
+		}
+	}
+	c.crash(follower.ID())
+	for i := 0; i < 60; i++ {
+		lead.Propose([]byte{byte(i)}) //nolint:errcheck // leader is established
+	}
+	c.run(2 * time.Second)
+	lead.CompactLog(0)
+	c.restart(follower.ID())
+	c.run(30 * time.Second)
+
+	leadSM, folSM := sms[lead.ID()-1], sms[follower.ID()-1]
+	if folSM.sum != leadSM.sum {
+		t.Fatalf("streamed catch-up under loss diverged: follower sum %d, leader sum %d", folSM.sum, leadSM.sum)
+	}
+}
+
+// TestChunkedSnapshotLeaderProtocol drives the leader side by hand: one
+// in-flight chunk, ack-clocked advance, duplicate acks answered by the
+// follower's authoritative position, and the final MsgAppResp clearing
+// the transfer.
+func TestChunkedSnapshotLeaderProtocol(t *testing.T) {
+	rt := newFakeRuntime()
+	sm := &miniSM{}
+	n, err := NewNode(Config{
+		ID:              1,
+		Peers:           []ID{1, 2, 3},
+		Runtime:         rt,
+		Tuner:           NewStaticTuner(time.Second, 100*time.Millisecond),
+		Apply:           sm.apply,
+		SnapshotData:    sm.snapshot,
+		RestoreSnapshot: sm.restore,
+		SnapshotChunk:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	rt.take()
+	electIsolated(t, n, rt)
+
+	// Commit and apply a few entries via peer 2's acks, then compact.
+	for i := 0; i < 10; i++ {
+		if _, err := n.Propose([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := n.log.LastIndex()
+	n.Step(Message{Type: MsgAppResp, From: 2, To: 1, Term: n.Term(), Index: last})
+	if n.log.Applied() != last {
+		t.Fatalf("applied %d, want %d", n.log.Applied(), last)
+	}
+	n.CompactLog(0)
+	if n.log.FirstIndex() != last {
+		t.Fatalf("first index %d after full compaction, want %d", n.log.FirstIndex(), last)
+	}
+	rt.take()
+
+	// Peer 3 rejects from far behind: the leader must open a stream (the
+	// 16-byte snapshot exceeds the 6-byte chunk).
+	n.Step(Message{Type: MsgAppResp, From: 3, To: 1, Term: n.Term(), Reject: true, Index: 1, Hint: 0})
+	chunk, ok := rt.lastOfType(MsgSnap)
+	if !ok || chunk.SnapTotal != 16 || chunk.SnapOffset != 0 || len(chunk.Snap) != 6 {
+		t.Fatalf("first chunk = %+v, %v", chunk, ok)
+	}
+	rt.take()
+
+	// No ack yet: replication traffic must not push more chunks (one in
+	// flight, stall timeout not reached).
+	n.Step(Message{Type: MsgHeartbeatResp, From: 3, To: 1, Term: n.Term()})
+	if m, ok := rt.lastOfType(MsgSnap); ok {
+		t.Fatalf("unacked transfer pushed another chunk: %+v", m)
+	}
+
+	// Ack clocks the next chunk from the follower's position.
+	n.Step(Message{Type: MsgSnapResp, From: 3, To: 1, Term: n.Term(), Index: chunk.Index, Hint: 6})
+	second, ok := rt.lastOfType(MsgSnap)
+	if !ok || second.SnapOffset != 6 || len(second.Snap) != 6 {
+		t.Fatalf("second chunk = %+v, %v", second, ok)
+	}
+	rt.take()
+
+	// A duplicate ack at a stale position resumes from that position.
+	n.Step(Message{Type: MsgSnapResp, From: 3, To: 1, Term: n.Term(), Index: chunk.Index, Hint: 6})
+	dup, ok := rt.lastOfType(MsgSnap)
+	if !ok || dup.SnapOffset != 6 {
+		t.Fatalf("resume after duplicate ack = %+v, %v", dup, ok)
+	}
+	rt.take()
+
+	n.Step(Message{Type: MsgSnapResp, From: 3, To: 1, Term: n.Term(), Index: chunk.Index, Hint: 12})
+	final, ok := rt.lastOfType(MsgSnap)
+	if !ok || final.SnapOffset != 12 || len(final.Snap) != 4 {
+		t.Fatalf("final chunk = %+v, %v", final, ok)
+	}
+
+	// The install ack closes the stream and restores normal progress.
+	n.Step(Message{Type: MsgAppResp, From: 3, To: 1, Term: n.Term(), Index: chunk.Index})
+	if n.prs[3].snap != nil {
+		t.Fatal("transfer state survived the install ack")
+	}
+	if n.prs[3].match != chunk.Index {
+		t.Fatalf("match %d after install, want %d", n.prs[3].match, chunk.Index)
+	}
+}
+
+// TestChunkedSnapshotFollowerProtocol drives the follower side by hand:
+// contiguous reassembly, duplicate and gap chunks answered with the
+// actual position, and a term change discarding the partial buffer.
+func TestChunkedSnapshotFollowerProtocol(t *testing.T) {
+	n, rt := newIsolatedNode(t, 1, []ID{1, 2, 3})
+	snap := []byte("0123456789abcdef")
+
+	chunkMsg := func(from ID, term uint64, off int) Message {
+		end := off + 4
+		if end > len(snap) {
+			end = len(snap)
+		}
+		return Message{
+			Type: MsgSnap, From: from, To: 1, Term: term,
+			Index: 10, LogTerm: term, Snap: snap[off:end],
+			SnapOffset: uint64(off), SnapTotal: uint64(len(snap)),
+		}
+	}
+
+	n.Step(chunkMsg(2, 1, 0))
+	resp, ok := rt.lastOfType(MsgSnapResp)
+	if !ok || resp.Hint != 4 || resp.Index != 10 {
+		t.Fatalf("first chunk ack = %+v, %v", resp, ok)
+	}
+	rt.take()
+
+	// Duplicate chunk: ack the real position, don't re-append.
+	n.Step(chunkMsg(2, 1, 0))
+	resp, _ = rt.lastOfType(MsgSnapResp)
+	if resp.Hint != 4 {
+		t.Fatalf("duplicate chunk ack hint = %d, want 4", resp.Hint)
+	}
+	rt.take()
+
+	// Gap (a dropped chunk): same answer.
+	n.Step(chunkMsg(2, 1, 12))
+	resp, _ = rt.lastOfType(MsgSnapResp)
+	if resp.Hint != 4 {
+		t.Fatalf("gap chunk ack hint = %d, want 4", resp.Hint)
+	}
+	rt.take()
+
+	// A term change mid-transfer discards the partial buffer.
+	n.Step(Message{Type: MsgHeartbeat, From: 3, To: 1, Term: 2})
+	if n.pendingSnap != nil {
+		t.Fatal("partial snapshot survived a term change")
+	}
+	rt.take()
+
+	// The new leader restarts the stream; a mid-stream chunk is answered
+	// with position 0 (start over), then a full contiguous pass installs.
+	n.Step(chunkMsg(3, 2, 4))
+	resp, _ = rt.lastOfType(MsgSnapResp)
+	if resp.Hint != 0 {
+		t.Fatalf("post-restart mid-stream chunk ack hint = %d, want 0", resp.Hint)
+	}
+	rt.take()
+	for off := 0; off < len(snap); off += 4 {
+		n.Step(chunkMsg(3, 2, off))
+	}
+	install, ok := rt.lastOfType(MsgAppResp)
+	if !ok || install.Index != 10 || install.Reject {
+		t.Fatalf("install ack = %+v, %v", install, ok)
+	}
+	if n.pendingSnap != nil {
+		t.Fatal("reassembly buffer survived the install")
+	}
+	if n.log.FirstIndex() != 10 || n.log.Committed() != 10 {
+		t.Fatalf("log not re-based: first=%d committed=%d", n.log.FirstIndex(), n.log.Committed())
+	}
+}
+
+// TestSnapshotPolicyBoundsLog: with the automatic policy armed, a long
+// proposal stream must keep every node's retained log at or under
+// EveryEntries and advance the compaction floor — no manual CompactLog.
+func TestSnapshotPolicyBoundsLog(t *testing.T) {
+	opts := defaultOpts()
+	policy := SnapshotPolicy{EveryEntries: 24, RetainEntries: 8}
+	c, sms := newChunkedSnapshotCluster(opts, 0, policy, nil)
+	lead := c.waitLeader(10 * time.Second)
+	for i := 0; i < 200; i++ {
+		if _, err := lead.Propose([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 19 {
+			c.run(200 * time.Millisecond)
+		}
+	}
+	c.run(2 * time.Second)
+	for _, n := range c.nodes {
+		if n.FirstIndex() == 0 {
+			t.Fatalf("node %d never compacted (first index 0, %d entries)", n.ID(), n.LogEntries())
+		}
+		if got := uint64(n.LogEntries()); got > policy.EveryEntries {
+			t.Fatalf("node %d retains %d entries, policy bound %d", n.ID(), got, policy.EveryEntries)
+		}
+	}
+	for i := 1; i < len(sms); i++ {
+		if sms[i].sum != sms[0].sum {
+			t.Fatalf("state machines diverged under the policy: node %d sum %d vs node 1 sum %d", i+1, sms[i].sum, sms[0].sum)
+		}
+	}
+}
+
+// TestSnapshotPolicyByteTrigger: the EveryBytes trigger compacts once the
+// retained payload crosses the bound.
+func TestSnapshotPolicyByteTrigger(t *testing.T) {
+	opts := defaultOpts()
+	policy := SnapshotPolicy{EveryBytes: 256, RetainEntries: 4}
+	c, _ := newChunkedSnapshotCluster(opts, 0, policy, nil)
+	lead := c.waitLeader(10 * time.Second)
+	payload := make([]byte, 32)
+	for i := 0; i < 40; i++ {
+		if _, err := lead.Propose(payload); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			c.run(200 * time.Millisecond)
+		}
+	}
+	c.run(2 * time.Second)
+	for _, n := range c.nodes {
+		if n.LogBytes() > policy.EveryBytes {
+			t.Fatalf("node %d retains %d log bytes, policy bound %d", n.ID(), n.LogBytes(), policy.EveryBytes)
+		}
+		if n.FirstIndex() == 0 {
+			t.Fatalf("node %d never compacted on the byte trigger", n.ID())
+		}
+	}
+}
+
+// TestLogBytesTracking pins the incremental byte accounting across every
+// mutation path: append, conflict truncation, compaction, restore.
+func TestLogBytesTracking(t *testing.T) {
+	l := NewLog()
+	l.Append(1, []byte("aa"), []byte("bbb"))
+	if l.Bytes() != 5 {
+		t.Fatalf("bytes after append = %d, want 5", l.Bytes())
+	}
+	// Conflicting suffix replacement: entry 2 is overwritten.
+	l.MaybeAppend(1, 1, []Entry{{Term: 2, Index: 2, Data: []byte("cccc")}})
+	if l.Bytes() != 6 {
+		t.Fatalf("bytes after conflict truncation = %d, want 6", l.Bytes())
+	}
+	l.CommitTo(2)
+	l.NextToApply()
+	l.CompactTo(1)
+	if l.Bytes() != 4 {
+		t.Fatalf("bytes after compaction = %d, want 4", l.Bytes())
+	}
+	l.RestoreSnapshot(10, 3)
+	if l.Bytes() != 0 {
+		t.Fatalf("bytes after restore = %d, want 0", l.Bytes())
+	}
+	rebuilt := NewLogFromState(5, 2, []Entry{{Term: 2, Index: 6, Data: []byte("dd")}})
+	if rebuilt.Bytes() != 2 {
+		t.Fatalf("bytes after rebuild = %d, want 2", rebuilt.Bytes())
+	}
+}

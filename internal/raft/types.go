@@ -78,6 +78,11 @@ const (
 	// voters' leases, moving leadership with near-zero out-of-service time
 	// for planned maintenance.
 	MsgTimeoutNow
+	// MsgSnapResp acknowledges one chunk of a streamed snapshot transfer
+	// (Hint carries the receiver's byte position — the resume point).
+	// The final chunk is acknowledged by a normal MsgAppResp at the
+	// snapshot index instead, exactly like a single-envelope install.
+	MsgSnapResp
 )
 
 func (m MsgType) String() string {
@@ -102,6 +107,8 @@ func (m MsgType) String() string {
 		return "MsgSnap"
 	case MsgTimeoutNow:
 		return "MsgTimeoutNow"
+	case MsgSnapResp:
+		return "MsgSnapResp"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(m))
 	}
@@ -201,9 +208,16 @@ type Message struct {
 	// LogTerm describe its last included entry. SnapVoters/SnapLearners
 	// carry the membership at that point — conf changes compacted into the
 	// snapshot are invisible in the log, so the receiver adopts these.
+	//
+	// Large snapshots stream as a chunk sequence: SnapTotal is the full
+	// snapshot size and SnapOffset the byte position of this chunk's Snap
+	// slice. SnapTotal == 0 marks the legacy single-envelope form (Snap is
+	// the whole snapshot).
 	Snap         []byte
 	SnapVoters   []ID
 	SnapLearners []ID
+	SnapOffset   uint64
+	SnapTotal    uint64
 }
 
 // TimerKind distinguishes the node's timers.

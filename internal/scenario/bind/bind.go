@@ -15,6 +15,7 @@ import (
 	"dynatune/internal/dynatune"
 	"dynatune/internal/geo"
 	"dynatune/internal/metrics"
+	"dynatune/internal/raft"
 	"dynatune/internal/scenario"
 	"dynatune/internal/shard"
 )
@@ -98,6 +99,12 @@ func ClusterOptions(spec scenario.Spec) (cluster.Options, error) {
 		GeoLoss:        spec.Topology.GeoLoss,
 		InitialMembers: spec.Topology.InitialMembers,
 		Persist:        spec.Topology.Persist,
+		Snapshot: raft.SnapshotPolicy{
+			EveryEntries:  spec.Topology.SnapshotEvery,
+			EveryBytes:    spec.Topology.SnapshotBytes,
+			RetainEntries: spec.Topology.SnapshotRetain,
+		},
+		SnapshotChunk: spec.Topology.SnapshotChunk,
 	}
 	if len(regs) == 0 && len(spec.Network.Segments) > 0 {
 		opts.Profile = spec.Network.Profile()
@@ -125,6 +132,12 @@ func EnvFor(spec scenario.Spec) (scenario.Env, error) {
 			Seed:          spec.Seed,
 			Variant:       v,
 			Persist:       spec.Topology.Persist,
+			Snapshot: raft.SnapshotPolicy{
+				EveryEntries:  spec.Topology.SnapshotEvery,
+				EveryBytes:    spec.Topology.SnapshotBytes,
+				RetainEntries: spec.Topology.SnapshotRetain,
+			},
+			SnapshotChunk: spec.Topology.SnapshotChunk,
 		}
 		if len(spec.Network.Segments) > 0 {
 			opts.Profile = spec.Network.Profile()
@@ -226,6 +239,10 @@ func Summarize(res *scenario.Result) string {
 		for i, r := range res.ShardRamps {
 			s += fmt.Sprintf("  rep %d: %d groups, agg %.0f req/s, peak %.0f, p99 %.0fms | lost %d pending %d\n",
 				i, r.Groups, r.AggThroughput, r.PeakThroughput, r.P99Ms, r.Lost, r.Pending)
+			if r.MaxLogEntries > 0 {
+				s += fmt.Sprintf("    peak live log: %d entries, %d bytes (worst replica)\n",
+					r.MaxLogEntries, r.MaxLogBytes)
+			}
 			if inv := r.Invariants; inv != nil {
 				if inv.OK() {
 					s += fmt.Sprintf("    invariants OK (%d acked writes, %d probes, max unavail %.0fms)\n",
@@ -255,6 +272,8 @@ func Summarize(res *scenario.Result) string {
 					s += fmt.Sprintf("    rebalance %s g%d epoch %d: moved %d/%d keys (%.1f%%, ≈1/(G+1)) in %.0fms drain + %.0fms cleanup, %d rounds\n",
 						mv.Kind, mv.Group, mv.Epoch, mv.MovedKeys, mv.TotalKeys, 100*mv.MovedFraction,
 						mv.CutoverMs-mv.StartMs, mv.DoneMs-mv.CutoverMs, mv.DrainRounds)
+					s += fmt.Sprintf("      %d bulk chunks, %d propose ops, %d propose errors\n",
+						mv.BulkChunks, mv.ProposeOps, mv.ProposeErrors)
 				}
 				s += fmt.Sprintf("    latency p50/p99 ms: pre %.0f/%.0f (%d)  mid-move %.0f/%.0f (%d)  post %.0f/%.0f (%d)\n",
 					rb.Pre.P50Ms, rb.Pre.P99Ms, rb.Pre.Completed,

@@ -403,6 +403,46 @@ func TestScaleInUnderRampSmoke(t *testing.T) {
 	}
 }
 
+// TestFollowerCatchupSnapshotSmoke runs the compaction × crash registry
+// scenario at smoke size: the snapshot policy must keep every group's
+// live log bounded even while a crashed node is down long enough for its
+// successor to compact past it, and the restarted node must converge
+// (snapshot catch-up) with the invariant suite green.
+func TestFollowerCatchupSnapshotSmoke(t *testing.T) {
+	spec := mustLookup(t, "follower-catchup-snapshot")
+	spec.Workload.Steps = 3 // 30s ramp covers crash at 8s + restart at 20s + catch-up
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardRamps) != 1 {
+		t.Fatalf("reps: %d", len(res.ShardRamps))
+	}
+	r := res.ShardRamps[0]
+	if r.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if r.Lost != 0 {
+		t.Fatalf("lost %d acked writes across the crash", r.Lost)
+	}
+	inv := r.Invariants
+	if inv == nil {
+		t.Fatal("invariant suite not armed")
+	}
+	if !inv.OK() {
+		t.Fatalf("invariant violations: %+v", inv.Violations)
+	}
+	// The policy (every 512, retain 64) must bound the worst replica's
+	// live log regardless of ramp length; 2× the threshold allows one
+	// trigger's worth of slack between applies.
+	if r.MaxLogEntries == 0 {
+		t.Fatal("log sampler recorded nothing")
+	}
+	if r.MaxLogEntries > 1024 {
+		t.Fatalf("live log reached %d entries; policy (512, retain 64) did not bound it", r.MaxLogEntries)
+	}
+}
+
 // TestScaleOutDeterministicAcrossWorkers: the migration rides the shared
 // engine, so a rebalancing run must be identical for any trial-runner
 // worker count — the contract every report above it depends on.

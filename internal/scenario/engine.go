@@ -93,6 +93,11 @@ type MultiCluster interface {
 	// through the router's MultiGet path with a servability verdict.
 	GroupStores(g int) []StoreProbe
 	ProbeRead(key string) (v []byte, found, servable bool)
+
+	// MaxLogStats samples the worst per-node live Raft log across serving
+	// groups — entries and bytes — the footprint the snapshot policy is
+	// meant to bound. The ramp samples it once a second.
+	MaxLogStats() (entries int, bytes uint64)
 }
 
 // StoreProbe is the read-only slice of a replica state machine the
@@ -157,6 +162,21 @@ type RebalanceStats struct {
 	// DrainRounds counts convergence passes of the drain scan (>1 means
 	// pre-fence writes were still landing during the first copy).
 	DrainRounds int
+	// BulkChunks counts span chunks replicated by the snapshot-shipped
+	// bulk phase (0 under key-stream migration, where every key is its
+	// own command).
+	BulkChunks int
+	// ProposeOps counts replicated commands the migration proposed in
+	// total — span installs, per-key copies, cleanup deletes and barriers.
+	// The snapshot-ship vs key-stream comparison is this number: the bulk
+	// phase turns O(moved keys) proposes into O(chunks).
+	ProposeOps int
+	// ProposeErrors counts migration proposes that failed (no leader, or
+	// an error reported by the propose callback). Failed batches are not
+	// retried in place — the next convergence scan re-copies what is
+	// actually missing — but the count must surface: a silent nonzero here
+	// once hid every such retry.
+	ProposeErrors int
 	// Aborted is set when the new group missed the cutover deadline before
 	// electing a leader and the move was rolled back.
 	Aborted bool
@@ -378,6 +398,12 @@ type ShardRampResult struct {
 	// committing; Pending counts arrivals never proposed.
 	Lost    uint64
 	Pending int
+	// MaxLogEntries / MaxLogBytes are the peak worst-replica live Raft log
+	// observed over the run (sampled once a second) — with a snapshot
+	// policy armed, MaxLogEntries stays bounded by the policy's threshold
+	// regardless of run length.
+	MaxLogEntries int
+	MaxLogBytes   uint64
 	// Rebalance carries the group-move measurement when the run's fault
 	// schedule included rebalance kinds (nil otherwise).
 	Rebalance *RebalanceReport

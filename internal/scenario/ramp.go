@@ -110,6 +110,24 @@ func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampR
 	}
 	s.Run(3 * time.Second) // settle + tuner warmup
 	armShardFaults(s, s.Engine().Now(), spec.Faults)
+	// Sample the worst-replica live log once a second for the run's peak:
+	// with a snapshot policy armed this stays bounded by the policy's
+	// threshold no matter how long the ramp runs. Read-only, so the
+	// sampler cannot perturb the simulation's determinism.
+	var peakLogEntries int
+	var peakLogBytes uint64
+	var sampleLogs func()
+	sampleLogs = func() {
+		e, b := s.MaxLogStats()
+		if e > peakLogEntries {
+			peakLogEntries = e
+		}
+		if b > peakLogBytes {
+			peakLogBytes = b
+		}
+		s.Engine().After(time.Second, sampleLogs)
+	}
+	sampleLogs()
 	var check *invariantChecker
 	if spec.Invariants != nil {
 		// Armed at ramp start, before the generator: the ack feed must be
@@ -133,6 +151,8 @@ func runShardRamp(spec Spec, env Env, ramp workload.Ramp, seed int64) ShardRampR
 		ProposeErrors: lg.ProposeErrors(),
 		Lost:          lg.Lost(),
 		Pending:       lg.Pending(),
+		MaxLogEntries: peakLogEntries,
+		MaxLogBytes:   peakLogBytes,
 	}
 	res.AggThroughput = float64(res.Completed) / ramp.Duration().Seconds()
 	for _, p := range res.Points {

@@ -290,6 +290,31 @@ func init() {
 		Reps: 1, Seed: 139,
 	})
 	register(Spec{
+		Name: "follower-catchup-snapshot",
+		Description: "Compaction × crash: the snapshot policy truncates group logs mid-ramp " +
+			"while group 1's leader crashes for 12s — long enough for its successor to " +
+			"compact past the crashed node's log — so the restarted node must catch up " +
+			"via a chunked streamed snapshot, under a degraded-links window, with the " +
+			"standing invariant suite green",
+		Measure: MeasureThroughput,
+		Topology: Topology{N: 3, Groups: 3, NodesPerGroup: 3, Persist: true,
+			SnapshotEvery: 512, SnapshotRetain: 64, SnapshotChunk: 4096},
+		Network: Stable(80 * time.Millisecond),
+		Variant: dynatune,
+		Workload: &Workload{StartRPS: 1500, StepRPS: 500,
+			StepDuration: Duration(10 * time.Second), Steps: 4, Keys: 4096},
+		Faults: []Fault{
+			{Kind: FaultCrashNode, Group: 1, At: Duration(8 * time.Second),
+				Duration: Duration(12 * time.Second)},
+			{Kind: FaultDegradeLinks, At: Duration(14 * time.Second),
+				Duration: Duration(6 * time.Second),
+				RTT:      Duration(120 * time.Millisecond),
+				Jitter:   Duration(4 * time.Millisecond), Loss: 0.05},
+		},
+		Invariants: &Invariants{},
+		Reps:       1, Seed: 151,
+	})
+	register(Spec{
 		Name: "pareto-middlebox",
 		Description: "A misbehaving middlebox: degrade-links swaps all links to heavy-tailed " +
 			"Pareto delay (alpha 1.5, scale 20ms) for 15s — the median barely moves but " +

@@ -105,6 +105,19 @@ type Topology struct {
 	InitialMembers int `json:"initial_members,omitempty"`
 	// Persist gives every node a durable store; required by crash faults.
 	Persist bool `json:"persist,omitempty"`
+	// SnapshotEvery / SnapshotBytes arm the automatic snapshot policy:
+	// every node snapshots its state machine and truncates its Raft log
+	// once the live tail exceeds this many entries (or bytes of entry
+	// payload). Zero leaves logs to explicit compaction only.
+	SnapshotEvery uint64 `json:"snapshot_every_entries,omitempty"`
+	SnapshotBytes uint64 `json:"snapshot_bytes,omitempty"`
+	// SnapshotRetain is the number of recent entries kept through an
+	// automatic truncation (slow followers within this window catch up by
+	// log, not snapshot).
+	SnapshotRetain uint64 `json:"snapshot_retain,omitempty"`
+	// SnapshotChunk bounds one streamed InstallSnapshot message's payload
+	// in bytes; 0 ships snapshots as a single envelope.
+	SnapshotChunk int `json:"snapshot_chunk,omitempty"`
 }
 
 // Segment is one piece of the piecewise-constant link schedule — the JSON

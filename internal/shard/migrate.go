@@ -25,10 +25,19 @@ import (
 //     falls back to its previous-epoch owner, so no read misses a key
 //     that committed before the move. (After cutover the destination is
 //     authoritative — see dualReadActive.)
-//   - The drain itself is a convergence loop: scan the source leader
-//     stores in sorted-key order (kv.SortedKeys — map order must never
-//     leak into the log), batch-propose the keys whose destination copy
-//     is missing or stale, wait for the batch to apply, re-scan. A scan
+//   - The bulk phase (snapshot-ship, the default) exports the moved span
+//     from each authoritative source leader's store as byte-capped
+//     chunks (kv.SpanExport) and replicates each chunk as a single
+//     OpInstallSpan command at its destination: O(chunks) consensus
+//     rounds for the resident span instead of O(keys).
+//     Options.MigrateKeyStream skips it, restoring the per-key protocol
+//     for A/B comparison (dynabench's migration bench runs both).
+//   - The drain itself is a convergence loop covering the delta the bulk
+//     export missed (pre-flip writes that were still queued at a source
+//     leader when the span was exported): scan the source leader stores
+//     in sorted-key order (kv.SortedKeys — map order must never leak
+//     into the log), batch-propose the keys whose destination copy is
+//     missing or stale, wait for the batch to apply, re-scan. A scan
 //     that finds nothing left to copy is the cutover: the fence lifts and
 //     parked writes flush to the new owners.
 //   - Serve/cleanup: stray copies at the old owners are deleted (add), or
@@ -48,7 +57,8 @@ const migrClientID = 3
 // Migration phases.
 const (
 	phasePrepare = iota // new group booting, waiting for its first leader
-	phaseDrain          // streaming moved keys to their new owners
+	phaseBulk           // snapshot-shipping the moved span as OpInstallSpan chunks
+	phaseDrain          // streaming the remaining delta to its new owners
 	phaseCleanup        // fence lifted; removing stale copies at the sources
 )
 
@@ -61,6 +71,10 @@ const (
 	// next convergence scan re-copies whatever is still missing (covers a
 	// destination leader dying with the batch unacknowledged).
 	migrWait = 2 * time.Second
+	// migrSpanBytes caps one OpInstallSpan chunk's encoded payload in the
+	// bulk phase. Each chunk is one replicated command, so this is the
+	// bulk phase's consensus-round granularity.
+	migrSpanBytes = 64 << 10
 	// DefaultCutoverDeadline bounds the move's cutover (prepare + drain)
 	// when the caller passes no deadline: a move that cannot flip serving
 	// to the new topology in time aborts and rolls the ring back.
@@ -96,10 +110,16 @@ type migration struct {
 	barriers  map[GroupID]uint64
 	barrierBy time.Duration // re-propose outstanding barriers after this
 
-	moved   map[string]bool // distinct keys streamed so far
-	rounds  int             // convergence scans run
-	scanned bool            // first scan done (TotalKeys fixed)
-	stats   scenario.RebalanceStats
+	moved    map[string]bool // distinct keys streamed so far
+	rounds   int             // convergence scans run
+	scanned  bool            // first scan done (TotalKeys fixed)
+	bulkDone bool            // bulk span export queued (it runs once)
+	// proposeErrs counts migration proposes that failed — a leaderless
+	// destination or an error surfaced by the propose callback. Copied to
+	// stats at finish/abort; callbacks landing after that mutate only the
+	// detached migration.
+	proposeErrs int
+	stats       scenario.RebalanceStats
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -176,7 +196,7 @@ func (s *Cluster) RemoveGroupLive(deadline time.Duration) error {
 	}
 	s.migr = &migration{
 		s: s, kind: "remove-group", target: g, deadline: now + deadline,
-		phase:    phaseDrain, // nothing to boot: straight to the drain
+		phase:    s.drainStartPhase(), // nothing to boot: ship (or drain) right away
 		waits:    map[GroupID]uint64{},
 		barriers: map[GroupID]uint64{},
 		moved:    map[string]bool{},
@@ -188,6 +208,17 @@ func (s *Cluster) RemoveGroupLive(deadline time.Duration) error {
 	s.migr.proposeBarriers(now)
 	s.eng.After(migrTick, s.tickMigration)
 	return nil
+}
+
+// drainStartPhase is the phase a migration enters once its topology is
+// ready (the booted group has a leader, or there was nothing to boot):
+// the snapshot-ship bulk phase by default, or straight to the per-key
+// drain under Options.MigrateKeyStream.
+func (s *Cluster) drainStartPhase() int {
+	if s.opts.MigrateKeyStream {
+		return phaseDrain
+	}
+	return phaseBulk
 }
 
 // sourceGroups lists the groups whose stores the migration drains: for an
@@ -214,7 +245,14 @@ func (m *migration) proposeBarrier(g GroupID) {
 	m.s.migrSeq++
 	seq := m.s.migrSeq
 	data := kv.Encode(kv.Command{Op: kv.OpNoop, Client: migrClientID, Seq: seq})
-	_ = m.s.groups[g].LeaderProposeBatch([][]byte{data}, func(_, _ uint64, _ error) {})
+	m.stats.ProposeOps++
+	if !m.s.groups[g].LeaderProposeBatch([][]byte{data}, func(_, _ uint64, err error) {
+		if err != nil {
+			m.proposeErrs++
+		}
+	}) {
+		m.proposeErrs++
+	}
 	m.barriers[g] = seq
 }
 
@@ -313,7 +351,15 @@ func (s *Cluster) tickMigration() {
 		if now >= m.deadline {
 			m.abort(now)
 		} else if s.groups[m.target].Leader() != nil {
-			m.phase = phaseDrain
+			m.phase = s.drainStartPhase()
+		}
+	case phaseBulk:
+		// The bulk phase sits inside the cutover window like the drain: a
+		// span ship that cannot finish in time aborts the move.
+		if now >= m.deadline {
+			m.abort(now)
+		} else {
+			m.bulkTick(now)
 		}
 	case phaseDrain:
 		// The deadline bounds the cutover (prepare + drain); a drain that
@@ -357,6 +403,7 @@ func (m *migration) abort(now time.Duration) {
 	// unrouted strays (see above) until a later move's cleanup.
 	m.stats.MovedKeys = len(m.moved)
 	m.stats.DrainRounds = m.rounds
+	m.stats.ProposeErrors = m.proposeErrs
 	m.stats.DoneMs = ms(now)
 	s.rebalances = append(s.rebalances, m.stats)
 	s.migr = nil
@@ -387,6 +434,115 @@ func (m *migration) confirmWaits(now time.Duration) bool {
 		}
 	}
 	return len(m.waits) > 0
+}
+
+// bulkTick drives the snapshot-ship phase: one span export per
+// (source, destination) pair, streamed as OpInstallSpan chunks through
+// the same batched propose + confirm path key copies use. When the last
+// chunk confirms, the drain covers only the delta. A chunk batch lost to
+// a destination leader change is not re-shipped: the wait times out and
+// the drain's per-key convergence scan re-copies whatever is actually
+// missing — correctness never depends on the bulk phase completing.
+func (m *migration) bulkTick(now time.Duration) {
+	if m.confirmWaits(now) {
+		return
+	}
+	if len(m.queue) > 0 {
+		m.stream(now)
+		return
+	}
+	if m.bulkDone {
+		m.phase = phaseDrain
+		return
+	}
+	if !m.scanBulk() {
+		return // a needed leader is missing; retry next tick
+	}
+	m.bulkDone = true
+	if len(m.queue) == 0 {
+		m.phase = phaseDrain // nothing resident in the moved span
+	}
+}
+
+// scanBulk exports the moved span from every authoritative source as
+// byte-capped OpInstallSpan chunks and queues them for streaming. It
+// runs at most once per migration; ok is false while a needed leader is
+// missing. The export pairs each source with the destination(s) the ring
+// assigns: for an add every source feeds the new group, for a remove the
+// retiring group feeds each survivor.
+func (m *migration) scanBulk() (ok bool) {
+	s := m.s
+	type job struct{ src, dst GroupID }
+	var jobs []job
+	if m.kind == "add-group" {
+		for g := 0; g < s.router.Groups(); g++ {
+			if GroupID(g) != m.target {
+				jobs = append(jobs, job{GroupID(g), m.target})
+			}
+		}
+	} else {
+		for g := 0; g < s.router.Groups(); g++ {
+			jobs = append(jobs, job{m.target, GroupID(g)})
+		}
+	}
+	// Check every needed leader before exporting anything, so a half-done
+	// pass is never queued twice.
+	for _, j := range jobs {
+		if _, ok := s.leaderStore(j.src); !ok {
+			return false
+		}
+		if _, ok := s.leaderStore(j.dst); !ok {
+			return false
+		}
+	}
+	// Fix the resident-keyspace denominator (MovedFraction) before any
+	// chunk lands: once shipped copies exist at the destinations, the
+	// drain scans' totals would double-count them.
+	if !m.scanned {
+		total := 0
+		if m.kind == "add-group" {
+			for g := 0; g < s.router.Groups(); g++ {
+				if GroupID(g) == m.target {
+					continue
+				}
+				st, _ := s.leaderStore(GroupID(g))
+				total += st.Len()
+			}
+		} else {
+			st, _ := s.leaderStore(m.target)
+			total = st.Len()
+			for g := 0; g < s.router.Groups(); g++ {
+				sg, _ := s.leaderStore(GroupID(g))
+				total += sg.Len()
+			}
+		}
+		m.scanned = true
+		m.stats.TotalKeys = total
+	}
+	for _, j := range jobs {
+		src, _ := s.leaderStore(j.src)
+		// The span is the keys this source authoritatively hands to this
+		// destination: owned by dst under the new ring, owned by src under
+		// the previous one (strays at non-authoritative holders are
+		// cleanup's problem, exactly as in the drain scan).
+		chunks, keys := src.SpanExport(func(k string) bool {
+			if s.router.Route(k) != j.dst {
+				return false
+			}
+			pg, moved := s.router.RoutePrev(k)
+			return moved && pg == j.src
+		}, migrSpanBytes)
+		for _, k := range keys {
+			m.moved[k] = true
+		}
+		for _, c := range chunks {
+			m.queue = append(m.queue, copyCmd{dst: j.dst, cmd: kv.Command{
+				Op: kv.OpInstallSpan, Client: migrClientID, Value: c,
+			}})
+		}
+		m.stats.BulkChunks += len(chunks)
+	}
+	return true
 }
 
 func (m *migration) drainTick(now time.Duration) {
@@ -538,8 +694,16 @@ func (m *migration) stream(now time.Duration) {
 	for _, dst := range order {
 		// A destination without a leader (or a propose that errors) is not
 		// retried here: its seqs burn, the wait times out, and the next
-		// convergence scan re-copies the still-missing keys.
-		_ = m.s.groups[dst].LeaderProposeBatch(byDst[dst], func(_, _ uint64, _ error) {})
+		// convergence scan re-copies the still-missing keys — but the
+		// failure is counted, never swallowed (RebalanceStats.ProposeErrors).
+		m.stats.ProposeOps += len(byDst[dst])
+		if !m.s.groups[dst].LeaderProposeBatch(byDst[dst], func(_, _ uint64, err error) {
+			if err != nil {
+				m.proposeErrs++
+			}
+		}) {
+			m.proposeErrs++
+		}
 		m.waits[dst] = lastSeq[dst]
 	}
 	m.waitBy = now + migrWait
@@ -572,7 +736,10 @@ func (m *migration) cleanupTick(now time.Duration) {
 		return
 	}
 	// add-group: delete every key a serving group still holds but no
-	// longer owns (the moved keys' source copies).
+	// longer owns (the moved keys' source copies). In snapshot-ship mode
+	// the stale keys retire as OpDeleteSpan chunks — the cleanup stays
+	// O(chunks) like the bulk phase — while key-stream mode pays one
+	// OpDelete per key, preserving the A/B comparison end to end.
 	clean := true
 	for g := 0; g < m.s.router.Groups(); g++ {
 		if GroupID(g) == m.target {
@@ -582,18 +749,51 @@ func (m *migration) cleanupTick(now time.Duration) {
 		if !ok {
 			return // retry next tick
 		}
+		var stale []string
 		for _, k := range st.SortedKeys() {
 			if m.s.router.Route(k) != GroupID(g) {
 				clean = false
+				stale = append(stale, k)
+			}
+		}
+		if m.s.opts.MigrateKeyStream {
+			for _, k := range stale {
 				m.queue = append(m.queue, copyCmd{dst: GroupID(g), cmd: kv.Command{
 					Op: kv.OpDelete, Client: migrClientID, Key: k,
 				}})
 			}
+			continue
+		}
+		for _, chunk := range spanDeleteChunks(stale, migrSpanBytes) {
+			m.queue = append(m.queue, copyCmd{dst: GroupID(g), cmd: kv.Command{
+				Op: kv.OpDeleteSpan, Client: migrClientID, Value: chunk,
+			}})
 		}
 	}
 	if clean {
 		m.finish(now)
 	}
+}
+
+// spanDeleteChunks packs keys into byte-capped OpDeleteSpan payloads
+// (span chunks with empty values), mirroring SpanExport's chunking.
+func spanDeleteChunks(keys []string, maxBytes int) [][]byte {
+	var chunks [][]byte
+	var pairs []kv.Pair
+	cur := 4
+	for _, k := range keys {
+		cost := 8 + len(k)
+		if len(pairs) > 0 && cur+cost > maxBytes {
+			chunks = append(chunks, kv.EncodeSpan(pairs))
+			pairs, cur = nil, 4
+		}
+		pairs = append(pairs, kv.Pair{Key: k})
+		cur += cost
+	}
+	if len(pairs) > 0 {
+		chunks = append(chunks, kv.EncodeSpan(pairs))
+	}
+	return chunks
 }
 
 // finish retires the migration: decommission for remove, stats recorded,
@@ -603,6 +803,7 @@ func (m *migration) finish(now time.Duration) {
 	if m.kind == "remove-group" {
 		s.pauseGroup(m.target)
 	}
+	m.stats.ProposeErrors = m.proposeErrs
 	m.stats.DoneMs = ms(now)
 	s.rebalances = append(s.rebalances, m.stats)
 	s.migr = nil

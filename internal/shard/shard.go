@@ -36,6 +36,22 @@ type Options struct {
 	// persister survives the crash; the rebuilt node replays from it.
 	Persist bool
 
+	// Snapshot arms the per-node automatic snapshot policy in every group:
+	// each node snapshots its kv store and truncates its log whenever the
+	// live tail outgrows the thresholds (see raft.SnapshotPolicy). Zero
+	// disables it.
+	Snapshot raft.SnapshotPolicy
+	// SnapshotChunk bounds one streamed InstallSnapshot message; 0 keeps
+	// single-envelope transfers.
+	SnapshotChunk int
+	// MigrateKeyStream reverts group migrations to the pre-snapshot-ship
+	// protocol that proposes every moved key as its own command. The
+	// default (false) bulk-ships the moved span as OpInstallSpan chunks —
+	// O(chunks) consensus rounds instead of O(keys) — and key-streams only
+	// the delta; kept as an A/B switch for dynabench's migration
+	// comparison.
+	MigrateKeyStream bool
+
 	// PerGroupMesh disables the multi-Raft node consolidation: every
 	// group builds its own private netsim mesh, its own per-timer engine
 	// events, and ships one wire message per raft message — the
@@ -129,12 +145,14 @@ func New(opts Options) *Cluster {
 // consolidation fabric unless the deployment runs per-group meshes.
 func (s *Cluster) newGroup() *cluster.Cluster {
 	return cluster.NewWithEngine(s.eng, cluster.Options{
-		N:       s.opts.NodesPerGroup,
-		Variant: s.opts.Variant,
-		Profile: s.opts.Profile,
-		Cost:    s.opts.Cost,
-		Persist: s.opts.Persist,
-		Fabric:  s.fabric,
+		N:             s.opts.NodesPerGroup,
+		Variant:       s.opts.Variant,
+		Profile:       s.opts.Profile,
+		Cost:          s.opts.Cost,
+		Persist:       s.opts.Persist,
+		Snapshot:      s.opts.Snapshot,
+		SnapshotChunk: s.opts.SnapshotChunk,
+		Fabric:        s.fabric,
 	})
 }
 
@@ -491,4 +509,24 @@ func (s *Cluster) CompactAll(keepLast uint64) {
 	for _, c := range s.groups {
 		c.CompactAll(keepLast)
 	}
+}
+
+// MaxLogStats samples the worst per-node live Raft log across serving
+// (non-retired) groups — the memory footprint the snapshot policy
+// bounds. Retired groups' frozen logs are excluded: their processes are
+// decommissioned, not resident.
+func (s *Cluster) MaxLogStats() (entries int, bytes uint64) {
+	for g, c := range s.groups {
+		if s.retired[g] {
+			continue
+		}
+		ls := c.LogStatsNow()
+		if ls.MaxEntries > entries {
+			entries = ls.MaxEntries
+		}
+		if ls.MaxBytes > bytes {
+			bytes = ls.MaxBytes
+		}
+	}
+	return entries, bytes
 }
