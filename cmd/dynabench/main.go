@@ -29,6 +29,9 @@
 //	                                    wall time, parallel-runner and
 //	                                    scenario-engine timing — the per-PR
 //	                                    perf trajectory record)
+//	dynabench load  [-conns 100000] [-groups 4] [-rate 5000] [-json BENCH.json]
+//	                (real-socket open-loop load harness against a loopback
+//	                fleet; sim-predicted vs measured p99)
 //	dynabench all   (quick versions of everything)
 package main
 
@@ -42,6 +45,7 @@ import (
 
 	"dynatune/internal/cluster"
 	"dynatune/internal/dynatune"
+	"dynatune/internal/loadharness"
 	"dynatune/internal/metrics"
 	"dynatune/internal/netsim"
 	"dynatune/internal/scenario"
@@ -86,6 +90,16 @@ func main() {
 		chaosCmd(args)
 	case "bench":
 		bench(args)
+	case "load":
+		loadCmd(args)
+	case "load-worker":
+		// Hidden: re-exec target for `load`'s process sharding — one
+		// process cannot hold 100k+ loopback conns under a low
+		// RLIMIT_NOFILE hard cap, so the harness splits itself.
+		if err := loadharness.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "load-worker:", err)
+			os.Exit(1)
+		}
 	case "all":
 		fig4([]string{"-trials", "300"})
 		fig5([]string{"-reps", "2"})
@@ -130,6 +144,10 @@ scenario engine:
   chaos     seeded random fault-schedule search with invariant checking and
             shrinking: -storms 20 -seed 1 [-budget b.json] [-out-dir d] | -replay spec.json
   bench     hot-path microbenchmarks + BENCH.json perf trajectory
+  load      real-socket open-loop load harness: boots a sharded loopback
+            fleet, ramps pipelined binary connections, reports the
+            closed-SLA profile and sim-predicted vs measured p99
+            (-conns 100000 -groups 4 -rate 5000 -json BENCH.json)
   all       quick versions of everything
 `)
 }

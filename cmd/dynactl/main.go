@@ -1,11 +1,14 @@
 // Command dynactl is the client for dynatuned nodes: get/put/delete keys
 // and inspect node status over the HTTP API, following leader hints on
-// misdirected writes.
+// misdirected writes. With -bin it speaks the pipelined binary protocol
+// (internal/wireclient) instead — get/put/ping against node or Front
+// binary endpoints, following in-protocol not-leader hints.
 //
 //	dynactl -endpoints 127.0.0.1:8101,127.0.0.1:8102 put color blue
 //	dynactl -endpoints 127.0.0.1:8101 get color
 //	dynactl -endpoints 127.0.0.1:8101,127.0.0.1:8102,127.0.0.1:8103 status
 //	dynactl -endpoints 127.0.0.1:8101 bench -n 1000
+//	dynactl -bin -endpoints 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103 put color blue
 package main
 
 import (
@@ -19,12 +22,14 @@ import (
 	"time"
 
 	"dynatune/internal/metrics"
+	"dynatune/internal/wireclient"
 )
 
 func main() {
 	endpoints := flag.String("endpoints", "127.0.0.1:8101", "comma-separated HTTP endpoints")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	consistency := flag.String("consistency", "local", "get consistency: local | linearizable | lease")
+	bin := flag.Bool("bin", false, "speak the binary protocol (endpoints are binary API addresses)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -32,6 +37,13 @@ func main() {
 		os.Exit(2)
 	}
 	eps := strings.Split(*endpoints, ",")
+	if *bin {
+		if err := binMain(eps, args, *consistency); err != nil {
+			fmt.Fprintln(os.Stderr, "dynactl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	client := &client{hc: &http.Client{Timeout: *timeout}, endpoints: eps}
 
 	var err error
@@ -59,8 +71,70 @@ func main() {
 	}
 }
 
+// binMain serves the -bin subcommands over a leader-following group
+// client: endpoints are treated as one group's member (or Front) binary
+// addresses.
+func binMain(eps, args []string, consistency string) error {
+	gc := wireclient.NewGroupClient(eps, wireclient.PoolConfig{Size: 1})
+	defer gc.Close()
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		req := wireclient.Request{Op: wireclient.OpGet, Key: args[1]}
+		if consistency == "local" {
+			req.Flags |= wireclient.FlagLocal
+		}
+		resp, err := gc.Call(&req)
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case wireclient.StatusOK:
+			fmt.Println(string(resp.Value))
+			return nil
+		case wireclient.StatusNotFound:
+			return fmt.Errorf("key not found")
+		default:
+			return fmt.Errorf("%s: %s", resp.Status, resp.Err)
+		}
+	case "put":
+		if len(args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		resp, err := gc.Call(&wireclient.Request{Op: wireclient.OpPut, Key: args[1], Value: []byte(args[2])})
+		if err != nil {
+			return err
+		}
+		if resp.Status != wireclient.StatusOK {
+			return fmt.Errorf("%s: %s", resp.Status, resp.Err)
+		}
+		fmt.Println("OK")
+		return nil
+	case "ping":
+		t0 := time.Now()
+		resp, err := gc.Call(&wireclient.Request{Op: wireclient.OpPing})
+		if err != nil {
+			return err
+		}
+		if resp.Status != wireclient.StatusOK {
+			return fmt.Errorf("%s: %s", resp.Status, resp.Err)
+		}
+		fmt.Printf("OK %.3fms\n", float64(time.Since(t0).Microseconds())/1000)
+		return nil
+	default:
+		usage()
+		os.Exit(2)
+		return nil
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dynactl [-endpoints host:port,...] [-consistency local|linearizable|lease] {get <key> | put <key> <value> | del <key> | status | bench [-n N]}`)
+	fmt.Fprintln(os.Stderr, `usage: dynactl [-endpoints host:port,...] [-consistency local|linearizable|lease] {get <key> | put <key> <value> | del <key> | status | bench [-n N]}
+       dynactl -bin [-endpoints host:port,...] {get <key> | put <key> <value> | ping}`)
 }
 
 func requireArgs(args []string, n int, fn func() error) error {

@@ -36,6 +36,7 @@ func main() {
 		id      = flag.Uint64("id", 0, "node ID (must appear in -cluster)")
 		cluster = flag.String("cluster", "", "comma-separated id=host:port pairs for every node")
 		httpA   = flag.String("http", "", "client API listen address (host:port)")
+		binA    = flag.String("bin", "", "binary client API listen address (host:port; the pipelined hot path)")
 		mode    = flag.String("mode", "dynatune", "dynatune | raft | raft-low | fixk")
 		et      = flag.Duration("et", dynatune.DefaultEt, "fallback/static election timeout")
 		hb      = flag.Duration("h", dynatune.DefaultH, "fallback/static heartbeat interval")
@@ -102,6 +103,7 @@ func main() {
 		Peers:      peers,
 		Listen:     peers[raft.ID(*id)],
 		HTTPListen: *httpA,
+		BinListen:  *binA,
 		Tuner:      tuner,
 		Persister:  persister,
 		Restored:   restored,
@@ -109,8 +111,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("dynatuned: %v", err)
 	}
-	log.Printf("dynatuned: node %d up; raft %s (tcp) / %s (udp); http %s; mode %s",
-		*id, s.Addrs().TCP, s.Addrs().UDP, s.HTTPAddr(), *mode)
+	log.Printf("dynatuned: node %d up; raft %s (tcp) / %s (udp); http %s; bin %s; mode %s",
+		*id, s.Addrs().TCP, s.Addrs().UDP, s.HTTPAddr(), s.BinAddr(), *mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,7 +1,8 @@
 // Real cluster: boots three in-process dynatuned nodes on loopback with
 // the genuine UDP/TCP transport and wall-clock timers, replicates a few
-// keys over HTTP, kills the leader, and times the wall-clock failover —
-// the non-simulated counterpart of the quickstart.
+// keys over HTTP, drives a pipelined workload through the binary Front,
+// kills the leader, and times the wall-clock failover — the non-simulated
+// counterpart of the quickstart.
 //
 //	go run ./examples/realcluster
 package main
@@ -11,6 +12,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"dynatune/internal/dynatune"
@@ -18,6 +20,7 @@ import (
 	"dynatune/internal/raft"
 	"dynatune/internal/server"
 	"dynatune/internal/transport"
+	"dynatune/internal/wireclient"
 )
 
 func main() {
@@ -48,6 +51,7 @@ func main() {
 			Peers:      addrs,
 			Listen:     addrs[id],
 			HTTPListen: "127.0.0.1:0",
+			BinListen:  "127.0.0.1:0",
 			Tuner:      mkTuner(),
 			// The demo kills a node, so suppress the transport's
 			// connection-refused drop logs.
@@ -72,6 +76,47 @@ func main() {
 		}
 	}
 	fmt.Println("replicated 5 keys through the real transport")
+
+	// Stand a sharded binary Front over the group (one group here) and
+	// pipeline a burst of puts and gets through ONE TCP connection: the
+	// requests coalesce into batched writes and complete out of order,
+	// demuxed by request id.
+	binAddrs := make([]string, 0, 3)
+	for id := raft.ID(1); id <= 3; id++ {
+		binAddrs = append(binAddrs, servers[id].BinAddr())
+	}
+	bf, err := server.StartBinFront("127.0.0.1:0", [][]string{binAddrs},
+		wireclient.PoolConfig{Size: 2}, log.New(io.Discard, "", 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bf.Close()
+	conn, err := wireclient.Dial(bf.Addr(), 2*time.Second, wireclient.ConnConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const burst = 200
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		req := wireclient.Request{Op: wireclient.OpPut,
+			Key: fmt.Sprintf("burst-%03d", i), Value: []byte("v")}
+		if i%2 == 1 {
+			req = wireclient.Request{Op: wireclient.OpGet, Key: fmt.Sprintf("burst-%03d", i-1)}
+		}
+		conn.Do(&req, func(resp wireclient.Response, err error) {
+			defer wg.Done()
+			if err != nil {
+				log.Fatalf("pipelined request: %v", err)
+			}
+		})
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	conn.Close()
+	fmt.Printf("pipelined %d binary requests on one connection in %v (%.0f req/s)\n",
+		burst, elapsed.Round(time.Millisecond), burst/elapsed.Seconds())
 
 	// Give the tuner a moment, then show what it measured on a follower.
 	time.Sleep(time.Second)

@@ -1,0 +1,649 @@
+package loadharness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynatune/internal/metrics"
+	"dynatune/internal/wireclient"
+)
+
+// Options configure one open-loop run against a binary Front.
+type Options struct {
+	// Addr is the binary Front address.
+	Addr string
+	// Conns is the peak concurrent connection count.
+	Conns int
+	// StartConns begins the ramp (default min(Conns, 10000)).
+	StartConns int
+	// Stages is the number of ramp steps from StartConns to Conns
+	// (default 4; 1 jumps straight to Conns).
+	Stages int
+	// StageDuration is the measured window per stage (default 5s).
+	StageDuration time.Duration
+	// Rate is the total target arrival rate (req/s) at peak; stages run
+	// at Rate scaled by their connection fraction (default 5000).
+	Rate float64
+	// WriteFrac is the fraction of puts (default 0.1).
+	WriteFrac float64
+	// Keys is the keyspace size (default 4096).
+	Keys int
+	// ValueBytes sizes put values (default 128).
+	ValueBytes int
+	// SLA is the closed-SLA threshold (default 100ms): each stage reports
+	// the fraction of requests answered within it.
+	SLA time.Duration
+	// DialParallel bounds concurrent dials while ramping (default 512).
+	DialParallel int
+	// CoalesceWindow tunes per-connection write coalescing (default
+	// wireclient.DefaultCoalesceWindow).
+	CoalesceWindow time.Duration
+	// Preload, when true, writes every key once before measuring so gets
+	// hit (default true via Run).
+	Preload bool
+	// SourceIPs lists local IPs to spread dials across. One source IP
+	// exhausts the ~28k-port ephemeral range against a single destination,
+	// so 100k+ connections need several; every 127.0.0.x is host-local on
+	// Linux without configuration. Empty auto-sizes from Conns.
+	SourceIPs []string
+	// FleetBins lists each group's member binary addresses (indexed by
+	// node ID-1). Worker processes use them to run a private BinFront of
+	// their own; empty makes workers dial Addr directly.
+	FleetBins [][]string
+	// WorkerCmd is the argv that re-execs this program into WorkerMain
+	// (e.g. {os.Executable(), "load-worker"}). When the connection count
+	// exceeds the per-process descriptor budget the run shards across
+	// that many worker processes; empty disables sharding, and an
+	// over-budget run fails loudly instead of dialing into the wall.
+	WorkerCmd []string
+	// WorkerEnv is appended to each worker's environment (tests use it to
+	// arm the helper-process trigger).
+	WorkerEnv []string
+	// MaxFDs overrides the probed descriptor budget (testing; 0 probes
+	// the real rlimit).
+	MaxFDs uint64
+	// Progress, if set, receives one line per stage.
+	Progress func(string)
+}
+
+func (o *Options) defaults() error {
+	if o.Addr == "" {
+		return fmt.Errorf("loadharness: need Addr")
+	}
+	if o.Conns <= 0 {
+		o.Conns = 10000
+	}
+	if o.StartConns <= 0 {
+		o.StartConns = 10000
+	}
+	if o.StartConns > o.Conns {
+		o.StartConns = o.Conns
+	}
+	if o.Stages <= 0 {
+		o.Stages = 4
+	}
+	if o.StartConns == o.Conns {
+		o.Stages = 1
+	}
+	if o.StageDuration <= 0 {
+		o.StageDuration = 5 * time.Second
+	}
+	if o.Rate <= 0 {
+		o.Rate = 5000
+	}
+	if o.WriteFrac < 0 || o.WriteFrac > 1 {
+		return fmt.Errorf("loadharness: WriteFrac %v out of [0,1]", o.WriteFrac)
+	}
+	if o.Keys <= 0 {
+		o.Keys = 4096
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 128
+	}
+	if o.SLA <= 0 {
+		o.SLA = 100 * time.Millisecond
+	}
+	if o.DialParallel <= 0 {
+		o.DialParallel = 512
+	}
+	if len(o.SourceIPs) == 0 {
+		// ~15k conns per source IP leaves headroom inside the default
+		// 32768–60999 ephemeral range.
+		n := o.Conns/15000 + 1
+		if n > 12 {
+			n = 12
+		}
+		for i := 0; i < n; i++ {
+			o.SourceIPs = append(o.SourceIPs, fmt.Sprintf("127.0.0.%d", i+1))
+		}
+	}
+	return nil
+}
+
+// StageResult is one ramp step's closed-SLA report.
+type StageResult struct {
+	Conns        int     `json:"conns"`
+	TargetRate   float64 `json:"target_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	Issued       uint64  `json:"issued"`
+	OK           uint64  `json:"ok"`
+	NotFound     uint64  `json:"not_found"`
+	Errors       uint64  `json:"errors"`
+	MeanMs       float64 `json:"mean_ms"`
+	P50Ms        float64 `json:"p50_ms"`
+	P90Ms        float64 `json:"p90_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	P999Ms       float64 `json:"p999_ms"`
+	SLAMs        float64 `json:"sla_ms"`
+	WithinSLA    uint64  `json:"within_sla"`
+	SLAFrac      float64 `json:"sla_frac"` // WithinSLA / Issued
+}
+
+// Result is a whole run.
+type Result struct {
+	Conns  int           `json:"conns"`
+	Stages []StageResult `json:"stages"`
+	Peak   StageResult   `json:"peak"` // last (full-concurrency) stage
+}
+
+// latRec collects latencies with low contention: callbacks hash onto
+// shards by connection index.
+type latRec struct {
+	mu   sync.Mutex
+	lats []float64 // milliseconds
+}
+
+const latShards = 16
+
+// fdSlack covers everything beyond the 2-fds-per-loopback-conn cost:
+// listeners, raft sockets, backend pools, epoll, stdio.
+const fdSlack = 4096
+
+// Run executes the staged open-loop ramp. Latency for each request is
+// measured from its *scheduled* arrival instant, not from when the
+// generator got around to sending it — the open-loop discipline that
+// keeps queueing delay visible.
+//
+// When the requested connection count exceeds what one process's
+// RLIMIT_NOFILE can hold (each loopback conn costs TWO descriptors when
+// both ends share a process), the run shards across WorkerCmd
+// subprocesses — fd limits are per-process — and fails loudly if no
+// WorkerCmd was provided rather than dialing into the wall.
+func Run(o Options) (*Result, error) {
+	if err := o.defaults(); err != nil {
+		return nil, err
+	}
+	need := uint64(o.Conns)*2 + fdSlack
+	limit := o.MaxFDs
+	if limit == 0 {
+		var err error
+		limit, err = RaiseFDLimit(need)
+		if err != nil {
+			return nil, fmt.Errorf("loadharness: fd limit: %w (need ~%d)", err, need)
+		}
+	}
+	if o.Preload {
+		if err := preload(o); err != nil {
+			return nil, err
+		}
+	}
+	if limit < need {
+		if len(o.WorkerCmd) > 0 {
+			return runSharded(o, limit)
+		}
+		return nil, fmt.Errorf("loadharness: %d connections need ~%d fds but the hard limit allows %d; set WorkerCmd to shard across processes",
+			o.Conns, need, limit)
+	}
+
+	var conns []*wireclient.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	res := &Result{Conns: o.Conns}
+	for stage := 0; stage < o.Stages; stage++ {
+		want := stageConns(o, stage)
+		var err error
+		conns, err = growConns(conns, want, o)
+		if err != nil {
+			return nil, err
+		}
+		rate := o.Rate * float64(want) / float64(o.Conns)
+		sr, lats := runStage(conns, rate, o)
+		finalizeStage(&sr, lats, o.StageDuration)
+		res.Stages = append(res.Stages, sr)
+		progressStage(o, stage, sr)
+	}
+	res.Peak = res.Stages[len(res.Stages)-1]
+	return res, nil
+}
+
+// stageConns is the ramp schedule: linear StartConns→Conns over Stages.
+func stageConns(o Options, stage int) int {
+	if o.Stages <= 1 {
+		return o.Conns
+	}
+	return o.StartConns + (o.Conns-o.StartConns)*stage/(o.Stages-1)
+}
+
+func progressStage(o Options, stage int, sr StageResult) {
+	if o.Progress == nil {
+		return
+	}
+	o.Progress(fmt.Sprintf("stage %d/%d: conns=%d rate=%.0f/s p50=%.2fms p99=%.2fms p999=%.2fms sla=%.4f err=%d",
+		stage+1, o.Stages, sr.Conns, sr.AchievedRate, sr.P50Ms, sr.P99Ms, sr.P999Ms, sr.SLAFrac, sr.Errors))
+}
+
+// growConns dials until len == want, with bounded parallelism.
+func growConns(conns []*wireclient.Conn, want int, o Options) ([]*wireclient.Conn, error) {
+	need := want - len(conns)
+	if need <= 0 {
+		return conns, nil
+	}
+	// Per-conn buffers stay small at harness scale: 100k connections at
+	// 64 KiB of bufio each would be 6 GB before the first request.
+	cfg := wireclient.ConnConfig{CoalesceWindow: o.CoalesceWindow, ReadBuffer: 4 << 10}
+	base := len(conns)
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, o.DialParallel)
+	var wg sync.WaitGroup
+	out := make([]*wireclient.Conn, need)
+	for i := 0; i < need; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c, err := dialFrom(o.SourceIPs[(base+i)%len(o.SourceIPs)], o.Addr, cfg)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, c := range out {
+		if c != nil {
+			conns = append(conns, c)
+		}
+	}
+	if firstErr != nil {
+		return conns, fmt.Errorf("loadharness: dial to %d conns: %w", want, firstErr)
+	}
+	return conns, nil
+}
+
+// dialFrom dials addr with an explicit local source IP, multiplying the
+// ephemeral-port space across SourceIPs.
+func dialFrom(srcIP, addr string, cfg wireclient.ConnConfig) (*wireclient.Conn, error) {
+	d := net.Dialer{Timeout: 10 * time.Second}
+	if ip := net.ParseIP(srcIP); ip != nil && srcIP != "127.0.0.1" {
+		d.LocalAddr = &net.TCPAddr{IP: ip}
+	}
+	nc, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return wireclient.NewConn(nc, cfg), nil
+}
+
+// runStage drives one open-loop measured window over the given conns,
+// returning the counts plus the raw latency samples so callers (the
+// single-process path and the worker protocol alike) can merge before
+// computing quantiles.
+func runStage(conns []*wireclient.Conn, rate float64, o Options) (StageResult, []float64) {
+	var (
+		issued    uint64
+		okN       atomic.Uint64
+		notFound  atomic.Uint64
+		errs      atomic.Uint64
+		inflight  atomic.Int64
+		withinSLA atomic.Uint64
+	)
+	recs := make([]latRec, latShards)
+	slaMs := float64(o.SLA) / float64(time.Millisecond)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	val := []byte(strings.Repeat("x", o.ValueBytes))
+
+	start := time.Now()
+	interval := float64(time.Second) / rate
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for now := range tick.C {
+		elapsed := now.Sub(start)
+		if elapsed >= o.StageDuration {
+			break
+		}
+		due := uint64(float64(elapsed) / interval)
+		for issued < due {
+			i := issued
+			issued++
+			// The request's ideal arrival instant on the open-loop clock.
+			sched := start.Add(time.Duration(float64(i) * interval))
+			conn := conns[int(i)%len(conns)]
+			key := fmt.Sprintf("lh-%06d", rng.Intn(o.Keys))
+			req := wireclient.Request{Op: wireclient.OpGet, Key: key}
+			if rng.Float64() < o.WriteFrac {
+				req = wireclient.Request{Op: wireclient.OpPut, Key: key, Value: val}
+			}
+			shard := &recs[int(i)%latShards]
+			inflight.Add(1)
+			conn.Do(&req, func(resp wireclient.Response, err error) {
+				defer inflight.Add(-1)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				switch resp.Status {
+				case wireclient.StatusOK:
+					okN.Add(1)
+				case wireclient.StatusNotFound:
+					notFound.Add(1)
+				default:
+					errs.Add(1)
+					return
+				}
+				ms := float64(time.Since(sched)) / float64(time.Millisecond)
+				if ms <= slaMs {
+					withinSLA.Add(1)
+				}
+				shard.mu.Lock()
+				shard.lats = append(shard.lats, ms)
+				shard.mu.Unlock()
+			})
+		}
+	}
+	// Grace period for stragglers; whatever is still pending counts as an
+	// SLA miss but not an error.
+	graceEnd := time.Now().Add(2 * o.SLA)
+	for inflight.Load() > 0 && time.Now().Before(graceEnd) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var lats []float64
+	for i := range recs {
+		recs[i].mu.Lock()
+		lats = append(lats, recs[i].lats...)
+		recs[i].mu.Unlock()
+	}
+	sr := StageResult{
+		Conns:      len(conns),
+		TargetRate: rate,
+		Issued:     issued,
+		OK:         okN.Load(),
+		NotFound:   notFound.Load(),
+		Errors:     errs.Load(),
+		SLAMs:      slaMs,
+		WithinSLA:  withinSLA.Load(),
+	}
+	return sr, lats
+}
+
+// finalizeStage fills the derived fields (quantiles, achieved rate, SLA
+// fraction) from merged raw samples.
+func finalizeStage(sr *StageResult, lats []float64, dur time.Duration) {
+	if sr.Issued > 0 {
+		sr.SLAFrac = float64(sr.WithinSLA) / float64(sr.Issued)
+	}
+	if len(lats) == 0 {
+		return
+	}
+	sum := metrics.Summarize(lats)
+	qs := metrics.Quantiles(lats, 0.5, 0.9, 0.99, 0.999)
+	sr.MeanMs, sr.P50Ms, sr.P90Ms, sr.P99Ms, sr.P999Ms = sum.Mean, qs[0], qs[1], qs[2], qs[3]
+	sr.AchievedRate = float64(len(lats)) / dur.Seconds()
+}
+
+// preload writes every key once through a small pooled client so the
+// measured phase reads hit.
+func preload(o Options) error {
+	cl := wireclient.NewClient([]string{o.Addr}, wireclient.PoolConfig{Size: 4})
+	defer cl.Close()
+	val := []byte(strings.Repeat("x", o.ValueBytes))
+	sem := make(chan struct{}, 64)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < o.Keys; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := cl.Put(fmt.Sprintf("lh-%06d", i), val); err != nil {
+				select {
+				case errc <- fmt.Errorf("loadharness: preload key %d: %w", i, err):
+				default:
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// CompareOptions configure the closed-loop binary-vs-HTTP shoot-out at
+// equal connection count.
+type CompareOptions struct {
+	BinAddr  string
+	HTTPAddr string // host:port of the HTTP Front
+	Conns    int    // per protocol (default 64)
+	Duration time.Duration
+	// Depth is the binary pipeline depth per connection (default 16);
+	// HTTP/1.1 is inherently 1 in-flight per connection.
+	Depth     int
+	Keys      int
+	WriteFrac float64
+}
+
+// CompareResult reports ops/s for both protocols over the same fleet.
+type CompareResult struct {
+	Conns         int     `json:"conns"`
+	BinOpsPerSec  float64 `json:"bin_ops_per_sec"`
+	HTTPOpsPerSec float64 `json:"http_ops_per_sec"`
+	Speedup       float64 `json:"speedup"` // bin / http
+	BinP99Ms      float64 `json:"bin_p99_ms"`
+	HTTPP99Ms     float64 `json:"http_p99_ms"`
+}
+
+// CompareProtocols runs the closed-loop comparison: same fleet, same
+// connection count, binary pipelined vs HTTP request-per-connection.
+func CompareProtocols(o CompareOptions) (*CompareResult, error) {
+	if o.Conns <= 0 {
+		o.Conns = 64
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Depth <= 0 {
+		o.Depth = 16
+	}
+	if o.Keys <= 0 {
+		o.Keys = 4096
+	}
+	if _, err := RaiseFDLimit(uint64(o.Conns*4 + 4096)); err != nil {
+		return nil, err
+	}
+	res := &CompareResult{Conns: o.Conns}
+
+	binOps, binP99, err := runBinClosed(o)
+	if err != nil {
+		return nil, fmt.Errorf("loadharness: binary side: %w", err)
+	}
+	res.BinOpsPerSec, res.BinP99Ms = binOps, binP99
+
+	httpOps, httpP99, err := runHTTPClosed(o)
+	if err != nil {
+		return nil, fmt.Errorf("loadharness: http side: %w", err)
+	}
+	res.HTTPOpsPerSec, res.HTTPP99Ms = httpOps, httpP99
+	if httpOps > 0 {
+		res.Speedup = binOps / httpOps
+	}
+	return res, nil
+}
+
+func runBinClosed(o CompareOptions) (opsPerSec, p99Ms float64, err error) {
+	conns := make([]*wireclient.Conn, o.Conns)
+	for i := range conns {
+		c, err := wireclient.Dial(o.BinAddr, 10*time.Second, wireclient.ConnConfig{})
+		if err != nil {
+			for _, p := range conns[:i] {
+				p.Close()
+			}
+			return 0, 0, err
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var ops atomic.Uint64
+	var errN atomic.Uint64
+	recs := make([]latRec, latShards)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for ci, c := range conns {
+		// Each connection keeps Depth requests in flight: the callback
+		// immediately issues the successor — closed-loop per slot.
+		for d := 0; d < o.Depth; d++ {
+			wg.Add(1)
+			seed := int64(ci*o.Depth + d)
+			go func(c *wireclient.Conn, shard *latRec, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					req := compareReq(rng, o)
+					t0 := time.Now()
+					resp, err := c.Call(&req)
+					if err != nil {
+						errN.Add(1)
+						return // conn dead; slot retires
+					}
+					if resp.Status == wireclient.StatusErr || resp.Status == wireclient.StatusNotLeader {
+						errN.Add(1)
+						continue
+					}
+					ops.Add(1)
+					ms := float64(time.Since(t0)) / float64(time.Millisecond)
+					shard.mu.Lock()
+					shard.lats = append(shard.lats, ms)
+					shard.mu.Unlock()
+				}
+			}(c, &recs[(ci*o.Depth+d)%latShards], seed)
+		}
+	}
+	time.Sleep(o.Duration)
+	close(stop)
+	wg.Wait()
+	return finishClosed(&ops, recs, o.Duration)
+}
+
+func runHTTPClosed(o CompareOptions) (opsPerSec, p99Ms float64, err error) {
+	var ops atomic.Uint64
+	recs := make([]latRec, latShards)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	base := "http://" + o.HTTPAddr
+	for ci := 0; ci < o.Conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			// One transport per worker pins exactly one TCP connection —
+			// the equal-connection-count ground rule.
+			tr := &http.Transport{MaxIdleConnsPerHost: 1, MaxConnsPerHost: 1}
+			client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+			defer tr.CloseIdleConnections()
+			rng := rand.New(rand.NewSource(int64(ci)))
+			shard := &recs[ci%latShards]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("lh-%06d", rng.Intn(o.Keys))
+				var (
+					resp *http.Response
+					err  error
+				)
+				t0 := time.Now()
+				if rng.Float64() < o.WriteFrac {
+					req, _ := http.NewRequest(http.MethodPut, base+"/kv/"+key, strings.NewReader("xxxxxxxx"))
+					resp, err = client.Do(req)
+				} else {
+					resp, err = client.Get(base + "/kv/" + key)
+				}
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					continue
+				}
+				ops.Add(1)
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				shard.mu.Lock()
+				shard.lats = append(shard.lats, ms)
+				shard.mu.Unlock()
+			}
+		}(ci)
+	}
+	time.Sleep(o.Duration)
+	close(stop)
+	wg.Wait()
+	return finishClosed(&ops, recs, o.Duration)
+}
+
+func compareReq(rng *rand.Rand, o CompareOptions) wireclient.Request {
+	key := fmt.Sprintf("lh-%06d", rng.Intn(o.Keys))
+	if rng.Float64() < o.WriteFrac {
+		return wireclient.Request{Op: wireclient.OpPut, Key: key, Value: []byte("xxxxxxxx")}
+	}
+	return wireclient.Request{Op: wireclient.OpGet, Key: key}
+}
+
+func finishClosed(ops *atomic.Uint64, recs []latRec, d time.Duration) (float64, float64, error) {
+	var lats []float64
+	for i := range recs {
+		recs[i].mu.Lock()
+		lats = append(lats, recs[i].lats...)
+		recs[i].mu.Unlock()
+	}
+	var p99 float64
+	if len(lats) > 0 {
+		p99 = metrics.Quantiles(lats, 0.99)[0]
+	}
+	return float64(ops.Load()) / d.Seconds(), p99, nil
+}

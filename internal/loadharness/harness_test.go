@@ -1,0 +1,177 @@
+package loadharness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dynatune/internal/wireclient"
+)
+
+// One tiny fleet, a handful of connections, one short stage: the smoke
+// test proves the whole path — fleet boot, preload, open-loop generation,
+// latency recording — without the load of a real run.
+func TestHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a raft fleet")
+	}
+	fleet, err := StartFleet(FleetConfig{Groups: 1, NodesPerGroup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Stop()
+
+	res, err := Run(Options{
+		Addr:          fleet.BinAddr,
+		Conns:         8,
+		StartConns:    8,
+		Stages:        1,
+		StageDuration: 2 * time.Second,
+		Rate:          200,
+		WriteFrac:     0.2,
+		Keys:          64,
+		ValueBytes:    32,
+		SLA:           time.Second,
+		Preload:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 1 {
+		t.Fatalf("stages: %d", len(res.Stages))
+	}
+	st := res.Stages[0]
+	if st.Conns != 8 {
+		t.Fatalf("conns: %d", st.Conns)
+	}
+	if st.Issued == 0 || st.OK == 0 {
+		t.Fatalf("no traffic flowed: issued=%d ok=%d", st.Issued, st.OK)
+	}
+	if st.Errors > st.Issued/10 {
+		t.Fatalf("error rate too high: %d/%d", st.Errors, st.Issued)
+	}
+	if st.P99Ms <= 0 || st.P50Ms <= 0 {
+		t.Fatalf("quantiles not recorded: p50=%.2f p99=%.2f", st.P50Ms, st.P99Ms)
+	}
+	if st.P999Ms < st.P99Ms || st.P99Ms < st.P50Ms {
+		t.Fatalf("quantiles not monotone: p50=%.2f p99=%.2f p999=%.2f", st.P50Ms, st.P99Ms, st.P999Ms)
+	}
+	if st.SLAFrac <= 0 || st.SLAFrac > 1 {
+		t.Fatalf("sla fraction out of range: %f", st.SLAFrac)
+	}
+}
+
+// TestHelperLoadWorker is not a test: it is the worker half of
+// TestShardedRunMergesWorkers, re-exec'd from the test binary with
+// -test.run pinning it and the env var arming it. os.Exit keeps the
+// framework's trailing "PASS" off the JSON protocol stream.
+func TestHelperLoadWorker(t *testing.T) {
+	if os.Getenv("LH_HELPER_WORKER") != "1" {
+		t.Skip("helper process for TestShardedRunMergesWorkers")
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "helper worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// A descriptor budget too small for the conn count must shard the run
+// across worker processes and still produce one coherent merged report
+// per stage.
+func TestShardedRunMergesWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a raft fleet and worker processes")
+	}
+	fleet, err := StartFleet(FleetConfig{Groups: 1, NodesPerGroup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Stop()
+
+	res, err := Run(Options{
+		Addr:          fleet.BinAddr,
+		FleetBins:     fleet.NodeBins,
+		Conns:         48,
+		StartConns:    24,
+		Stages:        2,
+		StageDuration: 1500 * time.Millisecond,
+		Rate:          300,
+		WriteFrac:     0.2,
+		Keys:          128,
+		ValueBytes:    32,
+		SLA:           time.Second,
+		Preload:       true,
+		// 16 conns per worker: 48 conns must fan out to 3 processes.
+		MaxFDs:    workerFDOverhead + 2*16,
+		WorkerCmd: []string{os.Args[0], "-test.run=TestHelperLoadWorker$"},
+		WorkerEnv: []string{"LH_HELPER_WORKER=1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("stages: %d", len(res.Stages))
+	}
+	if res.Stages[0].Conns != 24 || res.Peak.Conns != 48 {
+		t.Fatalf("merged conn counts wrong: stage0=%d peak=%d", res.Stages[0].Conns, res.Peak.Conns)
+	}
+	for i, st := range res.Stages {
+		if st.Issued == 0 || st.OK == 0 {
+			t.Fatalf("stage %d: no traffic flowed: issued=%d ok=%d", i, st.Issued, st.OK)
+		}
+		if st.Errors > st.Issued/10 {
+			t.Fatalf("stage %d: error rate too high: %d/%d", i, st.Errors, st.Issued)
+		}
+		if st.P99Ms <= 0 || st.P99Ms < st.P50Ms {
+			t.Fatalf("stage %d: merged quantiles wrong: p50=%.2f p99=%.2f", i, st.P50Ms, st.P99Ms)
+		}
+		if st.SLAFrac <= 0 || st.SLAFrac > 1 {
+			t.Fatalf("stage %d: sla fraction out of range: %f", i, st.SLAFrac)
+		}
+	}
+}
+
+// The preloaded keys must be readable through the front: a quick
+// correctness check that routing + preload agree.
+func TestFleetServesPreloadedKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a raft fleet")
+	}
+	fleet, err := StartFleet(FleetConfig{Groups: 2, NodesPerGroup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Stop()
+
+	o := Options{Addr: fleet.BinAddr, Keys: 16, ValueBytes: 8, Conns: 1, Preload: true}
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if err := preload(o); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	conns, err := growConns(nil, 1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 16; i++ {
+		req := wireclient.Request{Op: wireclient.OpGet, Key: fmt.Sprintf("lh-%06d", i)}
+		resp, err := conns[0].Call(&req)
+		if err != nil {
+			t.Fatalf("get key %d: %v", i, err)
+		}
+		if resp.Status != wireclient.StatusOK {
+			t.Fatalf("key %d: status %s", i, resp.Status)
+		}
+		if len(resp.Value) != o.ValueBytes {
+			t.Fatalf("key %d: %d-byte value, want %d", i, len(resp.Value), o.ValueBytes)
+		}
+	}
+}

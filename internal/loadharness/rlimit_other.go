@@ -1,0 +1,7 @@
+//go:build !unix
+
+package loadharness
+
+// RaiseFDLimit is a no-op where rlimits don't exist; the run proceeds on
+// whatever the platform allows.
+func RaiseFDLimit(want uint64) (uint64, error) { return want, nil }

@@ -1,0 +1,37 @@
+//go:build unix
+
+package loadharness
+
+import "syscall"
+
+// RaiseFDLimit lifts RLIMIT_NOFILE's soft limit to at least want
+// (bounded by the hard limit) and returns the resulting soft limit.
+// 100k loopback connections cost ~200k descriptors (both ends live in
+// this process when the fleet is in-process), far past typical defaults.
+func RaiseFDLimit(want uint64) (uint64, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	if lim.Cur >= want {
+		return lim.Cur, nil
+	}
+	if want > lim.Max {
+		// Root may raise the hard limit too (up to fs/nr_open); try, and
+		// fall back to the existing hard limit if refused.
+		try := lim
+		try.Cur, try.Max = want, want
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &try); err == nil {
+			return want, nil
+		}
+	}
+	target := want
+	if target > lim.Max {
+		target = lim.Max
+	}
+	lim.Cur = target
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	return lim.Cur, nil
+}

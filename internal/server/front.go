@@ -225,6 +225,50 @@ func (f *Front) handleMultiGet(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(out) //nolint:errcheck // best-effort response body
 }
 
+// probeLeader fans GET /status out to every member of group g in
+// parallel and returns the index of the member reporting itself leader.
+// It is forward()'s fallback when hint-following loops: the 421 hints can
+// all be stale after a leader change, but the new leader knows itself.
+func (f *Front) probeLeader(ctx context.Context, g shard.GroupID) (int, bool) {
+	members := f.groups[g]
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	type probe struct {
+		idx    int
+		leader bool
+	}
+	ch := make(chan probe, len(members))
+	for i, base := range members {
+		go func(i int, base string) {
+			req, err := http.NewRequestWithContext(cctx, http.MethodGet, base+"/status", nil)
+			if err != nil {
+				ch <- probe{i, false}
+				return
+			}
+			resp, err := f.client.Do(req)
+			if err != nil {
+				ch <- probe{i, false}
+				return
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			ch <- probe{i, err == nil && st.State == "leader"}
+		}(i, base)
+	}
+	for range members {
+		if p := <-ch; p.leader {
+			f.mu.Lock()
+			f.leader[g] = p.idx
+			f.mu.Unlock()
+			return p.idx, true
+		}
+	}
+	return 0, false
+}
+
 // retrySafe reports whether a failed attempt may be re-sent to another
 // member. Reads always can. Writes can only when the request provably
 // never reached a server — a dial failure — because the backend commands
@@ -265,6 +309,7 @@ func (f *Front) forward(ctx context.Context, g shard.GroupID, method, pathAndQue
 	// between each other while the real leader goes untried.
 	misdirected := make(map[int]bool, len(members))
 	backedOff := false
+	probed := false
 	// One pass over the members plus slack for leader-hint hops.
 	for attempt := 0; attempt < len(members)+2; attempt++ {
 		for n := 0; failed[idx%len(members)] && n < len(members); n++ {
@@ -307,7 +352,22 @@ func (f *Front) forward(ctx context.Context, g shard.GroupID, method, pathAndQue
 			misdirected[cur] = true
 			// Not the leader; follow the hint when present and not already
 			// known dead or known stale, else walk on.
-			if hint, err := strconv.Atoi(resp.Header.Get("X-Raft-Leader")); err == nil && hint >= 1 && hint <= len(members) && !failed[hint-1] && (!misdirected[hint-1] || hint-1 == cur) {
+			hint, hintErr := strconv.Atoi(resp.Header.Get("X-Raft-Leader"))
+			if hintErr == nil && (hint < 1 || hint > len(members) || (misdirected[hint-1] && hint-1 != cur)) && !probed {
+				// Redirect loop or dead-end hint: the cached leader view is
+				// stale on every member we've asked. Re-resolve once per
+				// call by probing the whole group's /status in parallel —
+				// the member that believes it is leader breaks the loop.
+				probed = true
+				if li, ok := f.probeLeader(ctx, g); ok {
+					delete(misdirected, li) // probe evidence beats stale 421s
+					delete(failed, li)
+					idx = li
+					lastErr = fmt.Errorf("group %d: no leader found", g)
+					continue
+				}
+			}
+			if hintErr == nil && hint >= 1 && hint <= len(members) && !failed[hint-1] && (!misdirected[hint-1] || hint-1 == cur) {
 				if hint-1 == cur {
 					// The member IS the leader but not ready to serve yet
 					// (fresh election: term no-op or lease still

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeMember is an HTTP stand-in for one group member with a scriptable
+// leader view, so redirect-loop scenarios are deterministic instead of
+// depending on real election timing.
+type fakeMember struct {
+	srv    *httptest.Server
+	state  atomic.Value // "leader" | "follower"
+	hint   atomic.Int64 // 1-based node id returned in X-Raft-Leader
+	kvHits atomic.Int64
+}
+
+func newFakeMember(t *testing.T, state string, hint int) *fakeMember {
+	t.Helper()
+	m := &fakeMember{}
+	m.state.Store(state)
+	m.hint.Store(int64(hint))
+	m.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/status":
+			fmt.Fprintf(w, `{"state":%q}`, m.state.Load())
+		case strings.HasPrefix(r.URL.Path, "/kv/"):
+			if m.state.Load() != "leader" {
+				w.Header().Set("X-Raft-Leader", fmt.Sprint(m.hint.Load()))
+				w.WriteHeader(http.StatusMisdirectedRequest)
+				return
+			}
+			m.kvHits.Add(1)
+			w.WriteHeader(http.StatusOK)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(m.srv.Close)
+	return m
+}
+
+// Two members with mutually stale hints must not trap the walk in a
+// redirect loop: the front probes /status once and lands on the real
+// leader, which neither stale hint pointed at.
+func TestFrontProbeBreaksRedirectLoop(t *testing.T) {
+	// Node 1 thinks node 2 leads; node 2 thinks node 1 leads; node 3 is the
+	// actual leader no hint mentions.
+	m1 := newFakeMember(t, "follower", 2)
+	m2 := newFakeMember(t, "follower", 1)
+	m3 := newFakeMember(t, "leader", 3)
+
+	f, err := NewFront([][]string{{m1.srv.URL, m2.srv.URL, m3.srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := httptest.NewServer(f)
+	defer fs.Close()
+
+	req, _ := http.NewRequest(http.MethodPut, fs.URL+"/kv/looped", strings.NewReader("v"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put through redirect loop: %s", resp.Status)
+	}
+	if m3.kvHits.Load() == 0 {
+		t.Fatal("leader never received the forwarded write")
+	}
+}
+
+// A hint pointing outside the member range (leader id 0: "no leader
+// known") must also fall through to the probe rather than walking blind.
+func TestFrontProbeOnDeadEndHint(t *testing.T) {
+	m1 := newFakeMember(t, "follower", 0)
+	m2 := newFakeMember(t, "follower", 0)
+	m3 := newFakeMember(t, "leader", 3)
+
+	f, err := NewFront([][]string{{m1.srv.URL, m2.srv.URL, m3.srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := httptest.NewServer(f)
+	defer fs.Close()
+
+	req, _ := http.NewRequest(http.MethodPut, fs.URL+"/kv/deadend", strings.NewReader("v"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put with dead-end hints: %s", resp.Status)
+	}
+}
+
+// Leadership moves between requests; the front must follow the fresh hint
+// to the new leader without a probe (the hint is valid, just new).
+func TestFrontFollowsHintAcrossLeaderChange(t *testing.T) {
+	m1 := newFakeMember(t, "leader", 1)
+	m2 := newFakeMember(t, "follower", 1)
+	m3 := newFakeMember(t, "follower", 1)
+
+	f, err := NewFront([][]string{{m1.srv.URL, m2.srv.URL, m3.srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := httptest.NewServer(f)
+	defer fs.Close()
+
+	put := func() int {
+		req, _ := http.NewRequest(http.MethodPut, fs.URL+"/kv/k", strings.NewReader("v"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(); code != http.StatusOK {
+		t.Fatalf("initial put: %d", code)
+	}
+	if m1.kvHits.Load() != 1 {
+		t.Fatalf("initial leader hits: %d", m1.kvHits.Load())
+	}
+
+	// Leader moves 1 → 3; node 1 knows and hints correctly.
+	m1.state.Store("follower")
+	m1.hint.Store(int64(3))
+	m2.hint.Store(int64(3))
+	m3.state.Store("leader")
+	m3.hint.Store(int64(3))
+
+	if code := put(); code != http.StatusOK {
+		t.Fatalf("post-change put: %d", code)
+	}
+	if m3.kvHits.Load() != 1 {
+		t.Fatalf("new leader hits: %d", m3.kvHits.Load())
+	}
+
+	// The front cached the new leader: the next put goes straight there.
+	base := m3.kvHits.Load()
+	if code := put(); code != http.StatusOK {
+		t.Fatalf("cached-leader put: %d", code)
+	}
+	if m3.kvHits.Load() != base+1 {
+		t.Fatal("front did not cache the new leader")
+	}
+}

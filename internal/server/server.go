@@ -32,6 +32,10 @@ type Config struct {
 	Listen transport.PeerAddr
 	// HTTPListen is the client API address (":0" for ephemeral).
 	HTTPListen string
+	// BinListen is the binary client API address ("" disables it). This
+	// is the hot serving path: pipelined length-prefixed requests over
+	// one connection (see internal/wireclient).
+	BinListen string
 	// Tuner for this node (static baseline or dynatune).
 	Tuner raft.Tuner
 	// Tracer is optional.
@@ -56,6 +60,7 @@ type Server struct {
 	tr    *transport.Transport
 	httpl net.Listener
 	hsrv  *http.Server
+	bsrv  *binServer
 
 	start time.Time
 
@@ -159,6 +164,18 @@ func Start(cfg Config) (*Server, error) {
 				lg.Printf("http: %v", err)
 			}
 		}()
+	}
+
+	if cfg.BinListen != "" {
+		bs, err := startBinServer(cfg.BinListen, s.handleBin, lg)
+		if err != nil {
+			if s.hsrv != nil {
+				s.hsrv.Close()
+			}
+			tr.Close()
+			return nil, err
+		}
+		s.bsrv = bs
 	}
 
 	s.wg.Add(1)
@@ -294,6 +311,18 @@ var ErrReadAborted = errors.New("server: read aborted by leadership change")
 // the quorum round when it still holds (etcd's default); the lease window
 // is the election timeout, i.e. the *tuned* Et under Dynatune.
 func (s *Server) GetLinearizable(key string, lease bool) ([]byte, bool, error) {
+	if err := s.readBarrier(lease); err != nil {
+		return nil, false, err
+	}
+	v, ok := s.store.Get(key)
+	return v, ok, nil
+}
+
+// readBarrier blocks until this node's leadership is confirmed past the
+// registration point (lease short-cut or full ReadIndex quorum round).
+// Local store reads issued after it returns carry the leader-local read
+// guarantee; the binary multiget amortizes one barrier over many keys.
+func (s *Server) readBarrier(lease bool) error {
 	errc := make(chan error, 1)
 	s.exec(func() {
 		cb := func(_ uint64, ok bool) {
@@ -317,15 +346,11 @@ func (s *Server) GetLinearizable(key string, lease bool) ([]byte, bool, error) {
 	})
 	select {
 	case err := <-errc:
-		if err != nil {
-			return nil, false, err
-		}
-		v, ok := s.store.Get(key)
-		return v, ok, nil
+		return err
 	case <-time.After(s.cfg.ProposeTimeout):
-		return nil, false, fmt.Errorf("server: linearizable read timed out after %v", s.cfg.ProposeTimeout)
+		return fmt.Errorf("server: linearizable read timed out after %v", s.cfg.ProposeTimeout)
 	case <-s.done:
-		return nil, false, errors.New("server: shut down")
+		return errors.New("server: shut down")
 	}
 }
 
@@ -361,6 +386,14 @@ func (s *Server) HTTPAddr() string {
 		return ""
 	}
 	return s.httpl.Addr().String()
+}
+
+// BinAddr returns the binary client API address ("" if disabled).
+func (s *Server) BinAddr() string {
+	if s.bsrv == nil {
+		return ""
+	}
+	return s.bsrv.addr()
 }
 
 // SetPeer updates a peer's transport addresses.
@@ -470,6 +503,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 // Stop shuts the server down. It is idempotent.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
+		if s.bsrv != nil {
+			s.bsrv.close() // graceful: drains in-flight binary requests
+		}
 		close(s.done)
 		if s.hsrv != nil {
 			s.hsrv.Close()

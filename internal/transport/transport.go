@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -63,10 +64,28 @@ type Transport struct {
 	drops uint64
 }
 
+const (
+	// outQueueMax bounds messages buffered per peer while its connection
+	// is being re-established; overflow drops the oldest first (raft
+	// prefers fresh state over stale retransmits).
+	outQueueMax = 256
+	// Redial pacing: capped exponential with jitter. The first retry is
+	// nearly immediate so transient breaks heal within a heartbeat; a
+	// peer that stays down costs one dial per dialBackoffMax, not a
+	// storm.
+	dialBackoffBase = 50 * time.Millisecond
+	dialBackoffMax  = 2 * time.Second
+)
+
 type outConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	to raft.ID
+
+	mu      sync.Mutex
+	c       net.Conn
+	w       *bufio.Writer
+	queue   []raft.Message // pending while disconnected
+	dialing bool           // a background redialer is running
+	closed  bool
 }
 
 // Start opens the listeners and begins serving. The returned transport
@@ -187,13 +206,7 @@ func (t *Transport) sendTCP(m raft.Message) {
 		t.drop(m, "no tcp address")
 		return
 	}
-	if err := oc.send(t, m); err != nil {
-		// One reconnect attempt per send: transient breaks heal on the
-		// next message, which is how etcd's stream transport behaves.
-		if err := oc.send(t, m); err != nil {
-			t.drop(m, err.Error())
-		}
-	}
+	oc.send(t, m)
 }
 
 func (t *Transport) conn(id raft.ID) *outConn {
@@ -204,44 +217,167 @@ func (t *Transport) conn(id raft.ID) *outConn {
 	}
 	oc, ok := t.conns[id]
 	if !ok {
-		oc = &outConn{}
+		oc = &outConn{to: id}
 		t.conns[id] = oc
 	}
 	return oc
 }
 
-func (oc *outConn) send(t *Transport, m raft.Message) error {
+// send writes m to the peer, dialing on first use. A write failure or a
+// failed dial no longer drops the message on the floor: it is queued
+// (bounded) and a background redialer re-establishes the connection with
+// capped exponential backoff, flushing the queue on success.
+func (oc *outConn) send(t *Transport, m raft.Message) {
 	oc.mu.Lock()
 	defer oc.mu.Unlock()
+	if oc.closed {
+		t.drop(m, "conn closed")
+		return
+	}
 	if oc.c == nil {
-		t.mu.Lock()
-		pa := t.peers[m.To]
-		t.mu.Unlock()
-		c, err := net.DialTimeout("tcp", pa.TCP, t.cfg.DialTimeout)
-		if err != nil {
-			return err
+		if oc.dialing {
+			oc.enqueueLocked(t, m)
+			return
 		}
-		if tc, ok := c.(*net.TCPConn); ok {
-			tc.SetNoDelay(true)
+		// Fast path: dial synchronously so a healthy peer costs no
+		// goroutine handoff. On failure, hand off to the redialer.
+		if err := oc.dialLocked(t); err != nil {
+			oc.enqueueLocked(t, m)
+			oc.spawnRedialLocked(t)
+			return
 		}
-		oc.c = c
-		oc.w = bufio.NewWriter(c)
 	}
+	if err := oc.writeLocked(m); err != nil {
+		oc.resetLocked()
+		oc.enqueueLocked(t, m)
+		if !oc.dialing {
+			oc.spawnRedialLocked(t)
+		}
+	}
+}
+
+// spawnRedialLocked starts the background redialer unless the transport
+// is already shutting down (a wg.Add racing wg.Wait would panic);
+// oc.mu held.
+func (oc *outConn) spawnRedialLocked(t *Transport) {
+	select {
+	case <-t.done:
+		oc.queue = nil
+		return
+	default:
+	}
+	oc.dialing = true
+	t.wg.Add(1)
+	go oc.redial(t)
+}
+
+func (oc *outConn) writeLocked(m raft.Message) error {
 	if err := wire.WriteFrame(oc.w, m); err != nil {
-		oc.resetLocked()
 		return err
 	}
-	if err := oc.w.Flush(); err != nil {
-		oc.resetLocked()
+	return oc.w.Flush()
+}
+
+// dialLocked connects to the peer; oc.mu held.
+func (oc *outConn) dialLocked(t *Transport) error {
+	t.mu.Lock()
+	pa := t.peers[oc.to]
+	t.mu.Unlock()
+	c, err := net.DialTimeout("tcp", pa.TCP, t.cfg.DialTimeout)
+	if err != nil {
 		return err
 	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	oc.c = c
+	oc.w = bufio.NewWriter(c)
 	return nil
+}
+
+// enqueueLocked buffers m for delivery after reconnect, evicting the
+// oldest message when the queue is full; oc.mu held.
+func (oc *outConn) enqueueLocked(t *Transport, m raft.Message) {
+	if len(oc.queue) >= outQueueMax {
+		dropped := oc.queue[0]
+		oc.queue = append(oc.queue[:0], oc.queue[1:]...)
+		t.drop(dropped, "reconnect queue full")
+	}
+	oc.queue = append(oc.queue, m)
+}
+
+// redial re-establishes the connection with capped exponential backoff
+// plus jitter, then flushes the queued messages in order. It exits when
+// the connection is up, the outConn is closed, or the transport shuts
+// down (queued messages are then dropped — raft retransmits).
+func (oc *outConn) redial(t *Transport) {
+	defer t.wg.Done()
+	for fails := 1; ; fails++ {
+		d := dialBackoffBase << (fails - 1)
+		if fails > 16 || d > dialBackoffMax || d <= 0 {
+			d = dialBackoffMax
+		}
+		// Jitter over [d/2, d): desynchronizes peers redialing a node
+		// that just restarted.
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		select {
+		case <-time.After(d):
+		case <-t.done:
+			oc.dropQueue(t, "transport closed")
+			return
+		}
+		oc.mu.Lock()
+		if oc.closed {
+			oc.mu.Unlock()
+			return
+		}
+		if oc.c == nil {
+			if err := oc.dialLocked(t); err != nil {
+				oc.mu.Unlock()
+				continue
+			}
+		}
+		// Connected: flush the queue. A mid-flush write error resets the
+		// connection and the loop resumes dialing with the remainder.
+		for len(oc.queue) > 0 {
+			m := oc.queue[0]
+			if err := oc.writeLocked(m); err != nil {
+				oc.resetLocked()
+				break
+			}
+			oc.queue = append(oc.queue[:0], oc.queue[1:]...)
+		}
+		if oc.c != nil {
+			oc.dialing = false
+			if len(oc.queue) == 0 {
+				oc.queue = nil
+			}
+			oc.mu.Unlock()
+			return
+		}
+		oc.mu.Unlock()
+	}
+}
+
+func (oc *outConn) dropQueue(t *Transport, why string) {
+	oc.mu.Lock()
+	q := oc.queue
+	oc.queue = nil
+	oc.dialing = false
+	oc.mu.Unlock()
+	for _, m := range q {
+		t.drop(m, why)
+	}
 }
 
 func (oc *outConn) close() {
 	oc.mu.Lock()
-	defer oc.mu.Unlock()
+	oc.closed = true
+	q := oc.queue
+	oc.queue = nil
 	oc.resetLocked()
+	oc.mu.Unlock()
+	_ = q // queued messages die with the conn; raft retransmits
 }
 
 func (oc *outConn) resetLocked() {

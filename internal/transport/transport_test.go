@@ -168,11 +168,15 @@ func TestSendAfterBrokenConnRecovers(t *testing.T) {
 	t1, t2, _, in2 := pairUp(t)
 	t1.Send(raft.Message{Type: raft.MsgApp, From: 1, To: 2, Term: 1})
 	recvOne(t, in2)
-	// Kill t1's outbound conn under it; the next send must reconnect.
+	// Break t1's outbound socket under it (close() would retire the conn
+	// permanently — that is SetPeer/Close territory); the next send hits a
+	// write error, queues, and the redialer must deliver it.
 	t1.mu.Lock()
 	oc := t1.conns[2]
 	t1.mu.Unlock()
-	oc.close()
+	oc.mu.Lock()
+	oc.c.Close()
+	oc.mu.Unlock()
 	t1.Send(raft.Message{Type: raft.MsgApp, From: 1, To: 2, Term: 2})
 	got := recvOne(t, in2)
 	if got.Term != 2 {

@@ -1,0 +1,53 @@
+package wire
+
+import "sync"
+
+// Size-classed byte-buffer pools shared by the wire codec, the transport,
+// and the binary client protocol (internal/wireclient): frame encode and
+// decode scratch cycles through here instead of the garbage collector.
+// Classes are powers of two from 512 B up to MaxFrame; a request for more
+// than MaxFrame falls through to a plain allocation (such buffers are
+// rejected by the framers anyway, so pooling them would only pin memory).
+
+const (
+	minPoolClass = 9  // 512 B
+	maxPoolClass = 26 // 64 MiB == MaxFrame
+)
+
+var bufPools [maxPoolClass - minPoolClass + 1]sync.Pool
+
+func poolClass(n int) int {
+	c := minPoolClass
+	for n > 1<<c {
+		c++
+	}
+	return c
+}
+
+// GetBuf returns a zero-length buffer with capacity ≥ n from the pool.
+func GetBuf(n int) []byte {
+	if n > MaxFrame {
+		return make([]byte, 0, n)
+	}
+	c := poolClass(n)
+	if v := bufPools[c-minPoolClass].Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, 1<<c)
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. The caller must not use b
+// afterwards. Buffers of foreign sizes (grown past their class, or larger
+// than MaxFrame) are dropped rather than poisoning a class with the wrong
+// capacity.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minPoolClass || c > MaxFrame {
+		return
+	}
+	cls := poolClass(c)
+	if 1<<cls != c {
+		return // not an exact class size: grown or foreign
+	}
+	bufPools[cls-minPoolClass].Put(b[:0]) //nolint:staticcheck // slice header boxing is fine here
+}

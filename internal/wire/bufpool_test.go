@@ -1,0 +1,39 @@
+package wire
+
+import "testing"
+
+func TestBufPoolClasses(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 4096, 1 << 20} {
+		b := GetBuf(n)
+		if len(b) != 0 {
+			t.Fatalf("GetBuf(%d) len = %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("GetBuf(%d) cap = %d", n, cap(b))
+		}
+		PutBuf(b)
+	}
+}
+
+func TestBufPoolReuse(t *testing.T) {
+	b := GetBuf(1024)
+	b = append(b, "marker"...)
+	PutBuf(b)
+	// The next same-class Get must come back zero-length regardless of
+	// whether it is the recycled buffer.
+	b2 := GetBuf(1024)
+	if len(b2) != 0 {
+		t.Fatalf("recycled buffer len = %d", len(b2))
+	}
+	PutBuf(b2)
+}
+
+func TestBufPoolOversize(t *testing.T) {
+	b := GetBuf(MaxFrame + 1)
+	if cap(b) < MaxFrame+1 {
+		t.Fatalf("oversize cap = %d", cap(b))
+	}
+	PutBuf(b) // must not panic, silently dropped
+	// Grown-out-of-class buffers are dropped, not pooled.
+	PutBuf(make([]byte, 0, 777))
+}

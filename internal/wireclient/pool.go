@@ -1,0 +1,146 @@
+package wireclient
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PoolConfig tunes a connection pool.
+type PoolConfig struct {
+	// Size is how many connections to keep per address (default 2). A
+	// pipelined connection carries many concurrent requests, so small
+	// pools saturate loopback; raise for high-RTT links.
+	Size int
+	// DialTimeout bounds each connect attempt (default 2s).
+	DialTimeout time.Duration
+	// Conn configures each pooled connection.
+	Conn ConnConfig
+	// BackoffBase/BackoffMax shape redial pacing after a failed dial:
+	// capped exponential with full jitter (defaults 20ms / 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (c *PoolConfig) defaults() {
+	if c.Size <= 0 {
+		c.Size = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 20 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+}
+
+// Pool maintains a fixed set of pipelined connections to one address,
+// handing them out round-robin. Dead connections are redialed lazily with
+// capped exponential backoff, so a crashed server costs at most one
+// failed attempt per backoff interval rather than a dial storm.
+type Pool struct {
+	addr string
+	cfg  PoolConfig
+
+	next  atomic.Uint64
+	slots []poolSlot
+
+	closed atomic.Bool
+}
+
+type poolSlot struct {
+	mu       sync.Mutex
+	conn     *Conn
+	fails    int
+	notUntil time.Time // no dial attempts before this instant
+}
+
+// NewPool creates a pool for addr; connections are dialed on first use.
+func NewPool(addr string, cfg PoolConfig) *Pool {
+	cfg.defaults()
+	return &Pool{addr: addr, cfg: cfg, slots: make([]poolSlot, cfg.Size)}
+}
+
+// Addr returns the pooled address.
+func (p *Pool) Addr() string { return p.addr }
+
+// Get returns a live connection, dialing if the chosen slot is empty or
+// dead. During a backoff window it fails fast instead of dialing.
+func (p *Pool) Get() (*Conn, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := &p.slots[p.next.Add(1)%uint64(len(p.slots))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil && s.conn.Err() == nil {
+		return s.conn, nil
+	}
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	if now := time.Now(); now.Before(s.notUntil) {
+		return nil, fmt.Errorf("wireclient: %s dial backoff (%v left)", p.addr, s.notUntil.Sub(now).Round(time.Millisecond))
+	}
+	c, err := Dial(p.addr, p.cfg.DialTimeout, p.cfg.Conn)
+	if err != nil {
+		s.fails++
+		s.notUntil = time.Now().Add(backoff(p.cfg.BackoffBase, p.cfg.BackoffMax, s.fails))
+		return nil, err
+	}
+	s.fails = 0
+	s.notUntil = time.Time{}
+	s.conn = c
+	return c, nil
+}
+
+// Do issues req on a pooled connection.
+func (p *Pool) Do(r *Request, cb func(Response, error)) {
+	c, err := p.Get()
+	if err != nil {
+		cb(Response{}, err)
+		return
+	}
+	c.Do(r, cb)
+}
+
+// Call issues req on a pooled connection and waits.
+func (p *Pool) Call(r *Request) (Response, error) {
+	c, err := p.Get()
+	if err != nil {
+		return Response{}, err
+	}
+	return c.Call(r)
+}
+
+// Close tears down every pooled connection.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		s.mu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+			s.conn = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// backoff is capped exponential with full jitter: uniform over
+// (0, min(max, base·2^(fails-1))].
+func backoff(base, max time.Duration, fails int) time.Duration {
+	d := base << (fails - 1)
+	if fails > 20 || d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
