@@ -1,0 +1,80 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OpBatch payload codec. A batch is the server-side group-commit unit:
+// several independent client commands replicated as ONE raft entry. The
+// payload holds count(4) followed by length-prefixed Encode() blobs, so
+// decoding a batch reuses the single-command codec unchanged and a
+// decode→re-encode round trip is byte-identical (the fuzz target's
+// canonical-form check). Batches never nest — an inner OpBatch is a
+// protocol error, not recursion.
+
+// EncodeOps serializes cmds as an OpBatch payload.
+func EncodeOps(cmds []Command) []byte {
+	size := 4
+	encs := make([][]byte, len(cmds))
+	for i, c := range cmds {
+		encs[i] = Encode(c)
+		size += 4 + len(encs[i])
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(cmds)))
+	for _, e := range encs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e)))
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// DecodeOps parses an OpBatch payload produced by EncodeOps. Nested
+// batches are rejected.
+func DecodeOps(b []byte) ([]Command, error) {
+	if len(b) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint64(n)*5 > uint64(len(b)) { // each sub costs ≥ 4(len)+1 bytes
+		return nil, fmt.Errorf("%w: batch count %d exceeds payload", ErrCorrupt, n)
+	}
+	cmds := make([]Command, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return nil, ErrCorrupt
+		}
+		clen := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint64(len(b)) < uint64(clen) {
+			return nil, ErrCorrupt
+		}
+		c, err := Decode(b[:clen])
+		if err != nil {
+			return nil, fmt.Errorf("batch command %d: %w", i, err)
+		}
+		if c.Op == OpBatch {
+			return nil, fmt.Errorf("%w: nested batch", ErrCorrupt)
+		}
+		cmds = append(cmds, c)
+		b = b[clen:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	return cmds, nil
+}
+
+// BatchCommand wraps cmds into one OpBatch command ready for Encode. The
+// outer Client/Seq stay zero — idempotence lives on the inner commands.
+// It panics on a nested batch, which is a programming error, not data.
+func BatchCommand(cmds []Command) Command {
+	for _, c := range cmds {
+		if c.Op == OpBatch {
+			panic("kv: nested OpBatch")
+		}
+	}
+	return Command{Op: OpBatch, Value: EncodeOps(cmds)}
+}

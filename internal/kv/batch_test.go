@@ -1,0 +1,146 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"dynatune/internal/raft"
+)
+
+func batchEntry(t *testing.T, index uint64, cmds ...Command) raft.Entry {
+	t.Helper()
+	return raft.Entry{Index: index, Type: raft.EntryNormal, Data: Encode(BatchCommand(cmds))}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	cmds := []Command{
+		{Op: OpPut, Client: 1, Seq: 1, Key: "a", Value: []byte("va")},
+		{Op: OpDelete, Client: 2, Seq: 7, Key: "b"},
+		{Op: OpPut, Key: "c", Value: nil}, // no idempotence pair
+		{Op: OpNoop},
+	}
+	enc := EncodeOps(cmds)
+	got, err := DecodeOps(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cmds) {
+		t.Fatalf("decoded %d commands, want %d", len(got), len(cmds))
+	}
+	for i := range cmds {
+		if got[i].Op != cmds[i].Op || got[i].Client != cmds[i].Client ||
+			got[i].Seq != cmds[i].Seq || got[i].Key != cmds[i].Key ||
+			!bytes.Equal(got[i].Value, cmds[i].Value) {
+			t.Fatalf("command %d: got %+v want %+v", i, got[i], cmds[i])
+		}
+	}
+	if re := EncodeOps(got); !bytes.Equal(re, enc) {
+		t.Fatal("re-encode is not canonical")
+	}
+}
+
+func TestBatchApplyInOrder(t *testing.T) {
+	s := NewStore()
+	s.Apply([]raft.Entry{batchEntry(t, 1,
+		Command{Op: OpPut, Client: 1, Seq: 1, Key: "k", Value: []byte("first")},
+		Command{Op: OpPut, Client: 2, Seq: 1, Key: "k", Value: []byte("second")},
+		Command{Op: OpPut, Client: 3, Seq: 1, Key: "other", Value: []byte("x")},
+	)})
+	if v, _ := s.Get("k"); string(v) != "second" {
+		t.Fatalf("k = %q, want the later sub-command to win", v)
+	}
+	if got := s.Applies(); got != 3 {
+		t.Fatalf("applies = %d, want one per sub-command (3)", got)
+	}
+	if s.AppliedIndex() != 1 {
+		t.Fatalf("applied index = %d", s.AppliedIndex())
+	}
+}
+
+func TestBatchIdempotence(t *testing.T) {
+	s := NewStore()
+	// Client 1's seq 1 lands alone first.
+	s.Apply([]raft.Entry{{Index: 1, Type: raft.EntryNormal,
+		Data: Encode(Command{Op: OpPut, Client: 1, Seq: 1, Key: "a", Value: []byte("v1")})}})
+	// A retried batch carries the duplicate beside a fresh command: only
+	// the fresh one applies.
+	s.Apply([]raft.Entry{batchEntry(t, 2,
+		Command{Op: OpPut, Client: 1, Seq: 1, Key: "a", Value: []byte("stale")},
+		Command{Op: OpPut, Client: 1, Seq: 2, Key: "b", Value: []byte("v2")},
+	)})
+	if v, _ := s.Get("a"); string(v) != "v1" {
+		t.Fatalf("a = %q, duplicate sub-command applied", v)
+	}
+	if v, _ := s.Get("b"); string(v) != "v2" {
+		t.Fatalf("b = %q", v)
+	}
+	if s.Dupes() != 1 {
+		t.Fatalf("dupes = %d, want 1", s.Dupes())
+	}
+	// The whole batch replicated again (a new entry after a leader change
+	// raced a client retry): every sub-command dedupes.
+	s.Apply([]raft.Entry{batchEntry(t, 3,
+		Command{Op: OpPut, Client: 1, Seq: 1, Key: "a", Value: []byte("stale")},
+		Command{Op: OpPut, Client: 1, Seq: 2, Key: "b", Value: []byte("stale")},
+	)})
+	if v, _ := s.Get("b"); string(v) != "v2" {
+		t.Fatalf("b = %q after replay", v)
+	}
+	if s.Dupes() != 3 {
+		t.Fatalf("dupes = %d, want 3", s.Dupes())
+	}
+	if s.LastSeq(1) != 2 {
+		t.Fatalf("lastSeq = %d", s.LastSeq(1))
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	nested := EncodeOps([]Command{{Op: OpPut, Key: "k", Value: []byte("v")}})
+	cases := map[string][]byte{
+		"short":          {0, 0, 1},
+		"count overflow": {255, 255, 255, 255},
+		"trailing bytes": append(EncodeOps(nil), 0xff),
+		"truncated sub":  EncodeOps([]Command{{Op: OpPut, Key: "k"}})[:10],
+		"nested batch":   EncodeOps([]Command{{Op: OpBatch, Value: nested}}),
+	}
+	for name, b := range cases {
+		if _, err := DecodeOps(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestBatchCommandPanicsOnNesting(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nested batch")
+		}
+	}()
+	inner := BatchCommand([]Command{{Op: OpNoop}})
+	BatchCommand([]Command{inner})
+}
+
+// FuzzDecodeOps guards the group-commit payload codec the same way the
+// wire codecs are fuzzed: arbitrary bytes must never panic, and anything
+// that decodes must re-encode byte-identically (canonical form).
+func FuzzDecodeOps(f *testing.F) {
+	f.Add(EncodeOps(nil))
+	f.Add(EncodeOps([]Command{{Op: OpPut, Client: 3, Seq: 9, Key: "k", Value: []byte("v")}}))
+	f.Add(EncodeOps([]Command{
+		{Op: OpPut, Client: 1, Seq: 1, Key: "a", Value: []byte("va")},
+		{Op: OpDelete, Client: 2, Seq: 2, Key: "b"},
+		{Op: OpNoop},
+	}))
+	f.Add(EncodeOps([]Command{{Op: OpInstallSpan, Value: EncodeSpan([]Pair{{Key: "s", Value: []byte("v")}})}}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cmds, err := DecodeOps(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeOps(cmds), b) {
+			t.Fatalf("decode→encode not canonical for %x", b)
+		}
+	})
+}

@@ -32,6 +32,14 @@ const (
 	// are ignored) — the cleanup counterpart of OpInstallSpan, retiring a
 	// migrated span's source copies in O(chunks) commands.
 	OpDeleteSpan
+	// OpBatch carries several independent client commands in one
+	// replicated entry — the server-side group-commit unit. The Value
+	// holds an EncodeOps payload; each inner command keeps its own
+	// (Client, Seq) pair, so the idempotence table dedupes retried
+	// sub-commands exactly as if they had been replicated one entry each.
+	// The outer command's Client/Seq are ignored (encode them as zero).
+	// Batches never nest: DecodeOps rejects an inner OpBatch.
+	OpBatch
 )
 
 func (o Op) String() string {
@@ -46,6 +54,8 @@ func (o Op) String() string {
 		return "install-span"
 	case OpDeleteSpan:
 		return "delete-span"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -86,7 +96,7 @@ func Decode(b []byte) (Command, error) {
 		return c, ErrCorrupt
 	}
 	c.Op = Op(b[0])
-	if c.Op < OpPut || c.Op > OpDeleteSpan {
+	if c.Op < OpPut || c.Op > OpBatch {
 		return c, fmt.Errorf("%w: bad op %d", ErrCorrupt, b[0])
 	}
 	c.Client = binary.BigEndian.Uint64(b[1:])
@@ -150,38 +160,56 @@ func (s *Store) Apply(ents []raft.Entry) {
 		if err != nil {
 			panic(fmt.Sprintf("kv: entry %d: %v", e.Index, err))
 		}
-		if c.Client != 0 && c.Seq != 0 && c.Seq <= s.lastSeq[c.Client] {
-			s.dupes++
+		if c.Op == OpBatch {
+			// A group-commit entry: each inner command applies — and
+			// dedupes — independently, exactly as if replicated alone.
+			cmds, err := DecodeOps(c.Value)
+			if err != nil {
+				panic(fmt.Sprintf("kv: entry %d: batch: %v", e.Index, err))
+			}
+			for _, sub := range cmds {
+				s.applyCmd(e.Index, sub)
+			}
 			continue
 		}
-		if c.Client != 0 {
-			s.lastSeq[c.Client] = c.Seq
-		}
-		switch c.Op {
-		case OpPut:
-			s.data[c.Key] = c.Value
-		case OpDelete:
-			delete(s.data, c.Key)
-		case OpNoop:
-		case OpInstallSpan:
-			pairs, err := DecodeSpan(c.Value)
-			if err != nil {
-				panic(fmt.Sprintf("kv: entry %d: span: %v", e.Index, err))
-			}
-			for _, p := range pairs {
-				s.data[p.Key] = p.Value
-			}
-		case OpDeleteSpan:
-			pairs, err := DecodeSpan(c.Value)
-			if err != nil {
-				panic(fmt.Sprintf("kv: entry %d: span: %v", e.Index, err))
-			}
-			for _, p := range pairs {
-				delete(s.data, p.Key)
-			}
-		}
-		s.applies++
+		s.applyCmd(e.Index, c)
 	}
+}
+
+// applyCmd applies one non-batch command under s.mu, running the
+// per-client idempotence check first.
+func (s *Store) applyCmd(index uint64, c Command) {
+	if c.Client != 0 && c.Seq != 0 && c.Seq <= s.lastSeq[c.Client] {
+		s.dupes++
+		return
+	}
+	if c.Client != 0 {
+		s.lastSeq[c.Client] = c.Seq
+	}
+	switch c.Op {
+	case OpPut:
+		s.data[c.Key] = c.Value
+	case OpDelete:
+		delete(s.data, c.Key)
+	case OpNoop:
+	case OpInstallSpan:
+		pairs, err := DecodeSpan(c.Value)
+		if err != nil {
+			panic(fmt.Sprintf("kv: entry %d: span: %v", index, err))
+		}
+		for _, p := range pairs {
+			s.data[p.Key] = p.Value
+		}
+	case OpDeleteSpan:
+		pairs, err := DecodeSpan(c.Value)
+		if err != nil {
+			panic(fmt.Sprintf("kv: entry %d: span: %v", index, err))
+		}
+		for _, p := range pairs {
+			delete(s.data, p.Key)
+		}
+	}
+	s.applies++
 }
 
 // LastSeq returns the highest applied sequence for client (0 when the

@@ -34,6 +34,9 @@ type FleetConfig struct {
 	// Logger receives node logs (default: discard — 100k-conn runs drown
 	// stdout otherwise).
 	Logger *log.Logger
+	// BatchWindow enables server-side group commit on every node (see
+	// server.Config.BatchWindow). Zero leaves batching off.
+	BatchWindow time.Duration
 }
 
 // Fleet is a running loopback deployment: G groups of real servers, a
@@ -71,7 +74,7 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	binURLs := make([][]string, cfg.Groups)
 	httpURLs := make([][]string, cfg.Groups)
 	for g := 0; g < cfg.Groups; g++ {
-		srvs, err := startGroup(cfg.NodesPerGroup, cfg.Tuner, lg)
+		srvs, err := startGroup(cfg.NodesPerGroup, cfg.Tuner, lg, cfg.BatchWindow)
 		if err != nil {
 			f.Stop()
 			return nil, fmt.Errorf("loadharness: group %d: %w", g, err)
@@ -116,6 +119,29 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	return f, nil
 }
 
+// BatchStats aggregates every node's group-commit counters (in a healthy
+// fleet only leaders propose, so this sums the per-group leaders).
+func (f *Fleet) BatchStats() server.BatchStats {
+	var agg server.BatchStats
+	for _, srvs := range f.Servers {
+		for _, s := range srvs {
+			st := s.BatchStats()
+			agg.ClientOps += st.ClientOps
+			agg.Entries += st.Entries
+			agg.Ops += st.Ops
+			agg.Batches += st.Batches
+			agg.FlushWindow += st.FlushWindow
+			agg.FlushOps += st.FlushOps
+			agg.FlushBytes += st.FlushBytes
+			agg.FlushDrain += st.FlushDrain
+			if st.MaxDepth > agg.MaxDepth {
+				agg.MaxDepth = st.MaxDepth
+			}
+		}
+	}
+	return agg
+}
+
 // Stop tears the whole fleet down.
 func (f *Fleet) Stop() {
 	if f.hsrv != nil {
@@ -134,7 +160,7 @@ func (f *Fleet) Stop() {
 }
 
 // startGroup boots one n-node Raft group on loopback ephemeral ports.
-func startGroup(n int, mkTuner func() raft.Tuner, lg *log.Logger) ([]*server.Server, error) {
+func startGroup(n int, mkTuner func() raft.Tuner, lg *log.Logger, batchWindow time.Duration) ([]*server.Server, error) {
 	peers := map[raft.ID]transport.PeerAddr{}
 	for i := 1; i <= n; i++ {
 		tcp, err := reservePort("tcp")
@@ -154,9 +180,10 @@ func startGroup(n int, mkTuner func() raft.Tuner, lg *log.Logger) ([]*server.Ser
 			Peers:      peers,
 			Listen:     peers[raft.ID(i)],
 			HTTPListen: "127.0.0.1:0",
-			BinListen:  "127.0.0.1:0",
-			Tuner:      mkTuner(),
-			Logger:     lg,
+			BinListen:   "127.0.0.1:0",
+			Tuner:       mkTuner(),
+			Logger:      lg,
+			BatchWindow: batchWindow,
 		})
 		if err != nil {
 			for _, p := range srvs {

@@ -1,0 +1,52 @@
+package loadharness
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitCompareSmall runs a tiny batched-vs-per-request sweep
+// and checks the invariants the BENCH section relies on: per-request
+// mode proposes one entry per put (amp 1.0), batched mode proposes
+// fewer, and both modes move real traffic.
+func TestGroupCommitCompareSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two fleets")
+	}
+	res, err := RunGroupCommitCompare(GroupCommitOptions{
+		Conns:    32,
+		Depth:    2,
+		Duration: 1500 * time.Millisecond,
+		Procs:    []int{runtime.GOMAXPROCS(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	byMode := map[string]GroupCommitRow{}
+	for _, r := range res.Rows {
+		byMode[r.Mode] = r
+		if r.OpsPerSec <= 0 || r.ClientPuts == 0 {
+			t.Fatalf("%s moved no traffic: %+v", r.Mode, r)
+		}
+	}
+	pr, ok := byMode["per_request"]
+	if !ok {
+		t.Fatal("no per_request row")
+	}
+	if pr.ProposeAmp < 0.999 || pr.ProposeAmp > 1.001 {
+		t.Fatalf("per-request amp = %.4f, want 1.0 (one entry per put)", pr.ProposeAmp)
+	}
+	ba, ok := byMode["batched"]
+	if !ok {
+		t.Fatal("no batched row")
+	}
+	if ba.ProposeAmp >= 1.0 {
+		t.Fatalf("batched amp = %.4f, batching had no effect", ba.ProposeAmp)
+	}
+	t.Logf("per-request %.0f ops/s vs batched %.0f ops/s (amp %.3f, mean batch %.1f)",
+		pr.OpsPerSec, ba.OpsPerSec, ba.ProposeAmp, ba.MeanBatch)
+}

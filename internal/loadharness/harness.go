@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +71,15 @@ type Options struct {
 	// MaxFDs overrides the probed descriptor budget (testing; 0 probes
 	// the real rlimit).
 	MaxFDs uint64
+	// PinCores pins each load-worker process to its own CPU (round-robin)
+	// when the machine has more than one, so generators stop migrating
+	// across the cores the fleet needs. No-op on a single-core host or a
+	// non-Linux build.
+	PinCores bool
+	// CPUProfile, when set, writes a CPU profile of this process covering
+	// the peak (final) stage to the given path. In a sharded run the
+	// parent hosts the fleet, so the profile captures the serving path.
+	CPUProfile string
 	// Progress, if set, receives one line per stage.
 	Progress func(string)
 }
@@ -144,6 +155,9 @@ type StageResult struct {
 	SLAMs        float64 `json:"sla_ms"`
 	WithinSLA    uint64  `json:"within_sla"`
 	SLAFrac      float64 `json:"sla_frac"` // WithinSLA / Issued
+	// CoreUtil is each CPU's busy fraction over the measured window
+	// (/proc/stat delta; omitted off-Linux).
+	CoreUtil []float64 `json:"core_util,omitempty"`
 }
 
 // Result is a whole run.
@@ -218,13 +232,40 @@ func Run(o Options) (*Result, error) {
 			return nil, err
 		}
 		rate := o.Rate * float64(want) / float64(o.Conns)
+		stopProf, err := profileStage(o, stage)
+		if err != nil {
+			return nil, err
+		}
+		before := sampleCPU()
 		sr, lats := runStage(conns, rate, o)
+		sr.CoreUtil = cpuUtil(before, sampleCPU())
+		stopProf()
 		finalizeStage(&sr, lats, o.StageDuration)
 		res.Stages = append(res.Stages, sr)
 		progressStage(o, stage, sr)
 	}
 	res.Peak = res.Stages[len(res.Stages)-1]
 	return res, nil
+}
+
+// profileStage starts the requested CPU profile when stage is the peak
+// (final) one; the returned func stops and flushes it.
+func profileStage(o Options, stage int) (func(), error) {
+	if o.CPUProfile == "" || stage != o.Stages-1 {
+		return func() {}, nil
+	}
+	f, err := os.Create(o.CPUProfile)
+	if err != nil {
+		return nil, fmt.Errorf("loadharness: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("loadharness: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
 }
 
 // stageConns is the ramp schedule: linear StartConns→Conns over Stages.

@@ -1,0 +1,114 @@
+//go:build linux
+
+package loadharness
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"unsafe"
+)
+
+// Core pinning and per-core utilization, Linux only. Worker processes
+// pin themselves to one core each (round-robin assignment from the
+// parent) so the load generators stop migrating across the cores the
+// fleet needs, and the parent samples /proc/stat around each measured
+// window to report how busy every core actually was. Both are
+// best-effort: a container that masks the syscall or mounts no /proc
+// degrades to the unpinned behavior, not an error.
+
+// pinToCore binds every current thread of this process to one CPU.
+// Threads spawned later inherit their creator's mask, so calling this
+// early in a worker's life covers the runtime's pool too.
+func pinToCore(core int) error {
+	if core < 0 {
+		return nil
+	}
+	var mask [16]uint64 // room for 1024 CPUs
+	if core >= len(mask)*64 {
+		return fmt.Errorf("loadharness: core %d out of range", core)
+	}
+	mask[core/64] |= 1 << (core % 64)
+	tasks, err := os.ReadDir("/proc/self/task")
+	if err != nil {
+		return err
+	}
+	for _, t := range tasks {
+		tid, err := strconv.Atoi(t.Name())
+		if err != nil {
+			continue
+		}
+		_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+			uintptr(tid), uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+		if errno != 0 && errno != syscall.ESRCH { // a thread may exit mid-walk
+			return fmt.Errorf("loadharness: sched_setaffinity tid %d core %d: %v", tid, core, errno)
+		}
+	}
+	return nil
+}
+
+// cpuSample is one /proc/stat reading: cumulative idle and total jiffies
+// per core, in core order.
+type cpuSample struct {
+	idle  []uint64
+	total []uint64
+}
+
+// sampleCPU reads the per-core counters; nil when /proc is unreadable.
+func sampleCPU() *cpuSample {
+	f, err := os.Open("/proc/stat")
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	s := &cpuSample{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Per-core lines are "cpuN ..."; the aggregate "cpu" line is skipped.
+		if len(fields) < 5 || !strings.HasPrefix(fields[0], "cpu") || fields[0] == "cpu" {
+			continue
+		}
+		var idle, total uint64
+		for i, fld := range fields[1:] {
+			v, err := strconv.ParseUint(fld, 10, 64)
+			if err != nil {
+				break
+			}
+			total += v
+			if i == 3 || i == 4 { // idle + iowait
+				idle += v
+			}
+		}
+		s.idle = append(s.idle, idle)
+		s.total = append(s.total, total)
+	}
+	if len(s.total) == 0 {
+		return nil
+	}
+	return s
+}
+
+// cpuUtil converts two samples into per-core busy fractions.
+func cpuUtil(before, after *cpuSample) []float64 {
+	if before == nil || after == nil {
+		return nil
+	}
+	n := len(before.total)
+	if len(after.total) < n {
+		n = len(after.total)
+	}
+	util := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dt := after.total[i] - before.total[i]
+		if dt == 0 {
+			continue
+		}
+		di := after.idle[i] - before.idle[i]
+		util[i] = 1 - float64(di)/float64(dt)
+	}
+	return util
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package loadharness
+
+// Non-Linux stubs: no affinity syscall, no /proc — pinning is a no-op
+// and stages simply omit core utilization.
+
+func pinToCore(core int) error { return nil }
+
+type cpuSample struct{}
+
+func sampleCPU() *cpuSample { return nil }
+
+func cpuUtil(before, after *cpuSample) []float64 { return nil }

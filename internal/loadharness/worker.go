@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"runtime"
 	"time"
 
 	"dynatune/internal/server"
@@ -41,6 +42,8 @@ type workerInit struct {
 	SLA          time.Duration `json:"sla"`
 	Coalesce     time.Duration `json:"coalesce"`
 	DialParallel int           `json:"dial_parallel"`
+	// Core pins the worker process to one CPU (-1 leaves it unpinned).
+	Core int `json:"core"`
 }
 
 type workerHello struct {
@@ -76,6 +79,14 @@ func WorkerMain(r io.Reader, w io.Writer) error {
 	var init workerInit
 	if err := dec.Decode(&init); err != nil {
 		return fmt.Errorf("loadharness worker: init: %w", err)
+	}
+	if init.Core >= 0 {
+		// Pin before spawning connection goroutines so every runtime
+		// thread inherits the mask. Best effort: a masked syscall only
+		// costs the pinning, not the run.
+		if err := pinToCore(init.Core); err != nil {
+			fmt.Fprintf(os.Stderr, "loadharness worker: pin to core %d: %v\n", init.Core, err)
+		}
 	}
 	o := Options{
 		Addr:           init.Addr,
@@ -157,7 +168,7 @@ type workerProc struct {
 	dec *json.Decoder
 }
 
-func startWorker(o Options) (*workerProc, error) {
+func startWorker(o Options, core int) (*workerProc, error) {
 	c := exec.Command(o.WorkerCmd[0], o.WorkerCmd[1:]...) //nolint:gosec // argv comes from our own caller
 	c.Env = append(os.Environ(), o.WorkerEnv...)
 	c.Stderr = os.Stderr
@@ -177,6 +188,7 @@ func startWorker(o Options) (*workerProc, error) {
 		Addr: o.Addr, FleetBins: o.FleetBins,
 		WriteFrac: o.WriteFrac, Keys: o.Keys, ValueBytes: o.ValueBytes,
 		SLA: o.SLA, Coalesce: o.CoalesceWindow, DialParallel: o.DialParallel,
+		Core: core,
 	}); err != nil {
 		w.stop()
 		return nil, err
@@ -235,6 +247,14 @@ func runSharded(o Options, fdLimit uint64) (*Result, error) {
 		o.Progress(fmt.Sprintf("fd limit %d < ~%d needed: sharding %d conns across %d workers (private fronts, ≤%d conns each)",
 			fdLimit, uint64(o.Conns)*2+fdSlack, o.Conns, nw, per))
 	}
+	// Pin workers round-robin when the machine has cores to spread over;
+	// on one core pinning would just serialize the generators behind the
+	// fleet, so it stays off.
+	cores := runtime.NumCPU()
+	pin := o.PinCores && cores > 1
+	if o.PinCores && !pin && o.Progress != nil {
+		o.Progress("core pinning requested but only 1 CPU is available; skipping")
+	}
 	ws := make([]*workerProc, 0, nw)
 	defer func() {
 		for _, w := range ws {
@@ -242,7 +262,11 @@ func runSharded(o Options, fdLimit uint64) (*Result, error) {
 		}
 	}()
 	for i := 0; i < nw; i++ {
-		w, err := startWorker(o)
+		core := -1
+		if pin {
+			core = i % cores
+		}
+		w, err := startWorker(o, core)
 		if err != nil {
 			return nil, fmt.Errorf("loadharness: worker %d: %w", i, err)
 		}
@@ -269,6 +293,11 @@ func runSharded(o Options, fdLimit uint64) (*Result, error) {
 			}
 		}
 
+		stopProf, err := profileStage(o, stage)
+		if err != nil {
+			return nil, err
+		}
+		before := sampleCPU()
 		for i, w := range ws {
 			r := rate * float64(targets[i]) / float64(want)
 			if err := w.send(workerCmd{Op: "run", Rate: r, Dur: o.StageDuration}); err != nil {
@@ -290,6 +319,8 @@ func runSharded(o Options, fdLimit uint64) (*Result, error) {
 			merged.WithinSLA += rep.Stage.WithinSLA
 			lats = append(lats, rep.Lats...)
 		}
+		merged.CoreUtil = cpuUtil(before, sampleCPU())
+		stopProf()
 		finalizeStage(&merged, lats, o.StageDuration)
 		res.Stages = append(res.Stages, merged)
 		progressStage(o, stage, merged)

@@ -1,0 +1,237 @@
+package batcher
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynatune/internal/kv"
+)
+
+type flushRec struct {
+	mu      sync.Mutex
+	batches [][]Op
+	reasons []FlushReason
+}
+
+func (f *flushRec) flush(ops []Op, reason FlushReason) {
+	f.mu.Lock()
+	f.batches = append(f.batches, ops)
+	f.reasons = append(f.reasons, reason)
+	f.mu.Unlock()
+}
+
+func (f *flushRec) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		f.mu.Lock()
+		got := len(f.batches)
+		f.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d batches after 2s, want %d", got, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func put(key string) kv.Command {
+	return kv.Command{Op: kv.OpPut, Key: key, Value: []byte("v")}
+}
+
+func TestWindowFlushCoalesces(t *testing.T) {
+	rec := &flushRec{}
+	b := New(Config{Window: 2 * time.Millisecond, Flush: rec.flush})
+	for i := 0; i < 5; i++ {
+		b.Add(put(fmt.Sprintf("k%d", i)), NewWaiter())
+	}
+	rec.wait(t, 1)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.batches) != 1 || len(rec.batches[0]) != 5 {
+		t.Fatalf("batches = %d (first depth %d), want one batch of 5", len(rec.batches), len(rec.batches[0]))
+	}
+	if rec.reasons[0] != FlushWindow {
+		t.Fatalf("reason = %v, want window", rec.reasons[0])
+	}
+	if got := b.Stats(); got.Ops != 5 || got.Batches != 1 || got.MaxDepth != 5 || got.FlushWindow != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestOpsCapFlushesEarly(t *testing.T) {
+	rec := &flushRec{}
+	b := New(Config{Window: time.Hour, MaxOps: 3, Flush: rec.flush})
+	for i := 0; i < 7; i++ {
+		b.Add(put(fmt.Sprintf("k%d", i)), NewWaiter())
+	}
+	rec.wait(t, 2) // 7 ops, cap 3: two full batches, one op still queued
+	rec.mu.Lock()
+	if len(rec.batches[0]) != 3 || len(rec.batches[1]) != 3 {
+		t.Fatalf("batch depths = %d, %d", len(rec.batches[0]), len(rec.batches[1]))
+	}
+	if rec.reasons[0] != FlushOps {
+		t.Fatalf("reason = %v", rec.reasons[0])
+	}
+	rec.mu.Unlock()
+	b.Drain(nil)
+	rec.wait(t, 3)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.batches[2]) != 1 || rec.reasons[2] != FlushDrain {
+		t.Fatalf("drain batch depth %d reason %v", len(rec.batches[2]), rec.reasons[2])
+	}
+}
+
+func TestBytesCapFlushesEarly(t *testing.T) {
+	rec := &flushRec{}
+	b := New(Config{Window: time.Hour, MaxBytes: 100, Flush: rec.flush})
+	big := kv.Command{Op: kv.OpPut, Key: "k", Value: make([]byte, 80)}
+	b.Add(big, NewWaiter())
+	b.Add(big, NewWaiter())
+	rec.wait(t, 1)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.reasons[0] != FlushBytes {
+		t.Fatalf("reason = %v, want bytes", rec.reasons[0])
+	}
+}
+
+func TestDrainWithErrorAbortsAndCloses(t *testing.T) {
+	rec := &flushRec{}
+	b := New(Config{Window: time.Hour, Flush: rec.flush})
+	w1 := NewWaiter()
+	b.Add(put("a"), w1)
+	boom := errors.New("leadership lost")
+	b.Drain(boom)
+	select {
+	case err := <-w1.C():
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued waiter never resolved on drain")
+	}
+	// Post-close Adds resolve immediately with the drain error.
+	w2 := NewWaiter()
+	b.Add(put("b"), w2)
+	select {
+	case err := <-w2.C():
+		if !errors.Is(err, boom) {
+			t.Fatalf("post-close err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("post-close Add never resolved")
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.batches) != 0 {
+		t.Fatal("aborted batch must not reach Flush")
+	}
+}
+
+func TestConcurrentAddAccountsEveryOp(t *testing.T) {
+	var flushed atomic.Uint64
+	b := New(Config{Window: 200 * time.Microsecond, MaxOps: 16, Flush: func(ops []Op, _ FlushReason) {
+		flushed.Add(uint64(len(ops)))
+		for _, op := range ops {
+			op.W.Resolve(nil)
+		}
+	}})
+	const gs, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w := NewWaiter()
+				b.Add(put(fmt.Sprintf("g%d-%d", g, i)), w)
+				<-w.C()
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Drain(nil)
+	if got := flushed.Load(); got != gs*per {
+		t.Fatalf("flushed %d ops, want %d", got, gs*per)
+	}
+	st := b.Stats()
+	if st.Ops != gs*per {
+		t.Fatalf("stats.Ops = %d", st.Ops)
+	}
+	if st.Batches == 0 || st.Batches > st.Ops {
+		t.Fatalf("stats.Batches = %d", st.Batches)
+	}
+}
+
+func TestWaiterResolveOnce(t *testing.T) {
+	w := NewWaiter()
+	if !w.Resolve(nil) {
+		t.Fatal("first resolve lost")
+	}
+	if w.Resolve(errors.New("late")) {
+		t.Fatal("second resolve won")
+	}
+	if err := <-w.C(); err != nil {
+		t.Fatalf("delivered %v, want the first resolution", err)
+	}
+	if !w.Resolved() {
+		t.Fatal("not marked resolved")
+	}
+}
+
+func TestDeadlineHeapExpiresInOrder(t *testing.T) {
+	var h DeadlineHeap
+	base := time.Now()
+	errTO := errors.New("timed out")
+	ws := make([]*Waiter, 5)
+	// Push out of order; expiry must honor deadline order.
+	for _, i := range []int{3, 0, 4, 1, 2} {
+		ws[i] = NewWaiter()
+		h.Push(ws[i], base.Add(time.Duration(i)*time.Millisecond), errTO)
+	}
+	if next := h.Next(); !next.Equal(base) {
+		t.Fatalf("next = %v, want base", next)
+	}
+	// Expire through 2ms: waiters 0..2 time out, 3..4 stay.
+	next := h.Expire(base.Add(2 * time.Millisecond))
+	if !next.Equal(base.Add(3 * time.Millisecond)) {
+		t.Fatalf("next after expire = %v", next)
+	}
+	for i := 0; i < 3; i++ {
+		if !ws[i].Resolved() {
+			t.Fatalf("waiter %d not expired", i)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if ws[i].Resolved() {
+			t.Fatalf("waiter %d expired early", i)
+		}
+	}
+	// Resolve 3 early: the sweep reclaims it without delivering a timeout,
+	// and the next deadline is 4's.
+	ws[3].Resolve(nil)
+	if next := h.Expire(base.Add(2 * time.Millisecond)); !next.Equal(base.Add(4 * time.Millisecond)) {
+		t.Fatalf("next after early resolve = %v", next)
+	}
+	if err := <-ws[3].C(); err != nil {
+		t.Fatalf("early-resolved waiter got %v", err)
+	}
+	// Drain the rest.
+	if next := h.Expire(base.Add(time.Minute)); !next.IsZero() {
+		t.Fatalf("non-zero next on empty heap: %v", next)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if err := <-ws[4].C(); !errors.Is(err, errTO) {
+		t.Fatalf("expired waiter got %v", err)
+	}
+}

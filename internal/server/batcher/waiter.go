@@ -1,0 +1,129 @@
+package batcher
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Waiter is a resolve-once completion slot. The client goroutine blocks
+// on C(); the commit path, abort path, and deadline sweeper all race to
+// Resolve and exactly the first wins — later calls are no-ops, so a
+// waiter can sit in the deadline heap after its commit resolved it
+// without anyone caring (lazy deletion).
+type Waiter struct {
+	done atomic.Bool
+	ch   chan error
+}
+
+// NewWaiter allocates a waiter.
+func NewWaiter() *Waiter {
+	return &Waiter{ch: make(chan error, 1)}
+}
+
+// Resolve delivers err (nil = success) if no one beat us to it; it
+// reports whether this call won.
+func (w *Waiter) Resolve(err error) bool {
+	if !w.done.CompareAndSwap(false, true) {
+		return false
+	}
+	w.ch <- err // buffered: never blocks
+	return true
+}
+
+// Resolved reports whether the waiter already resolved.
+func (w *Waiter) Resolved() bool { return w.done.Load() }
+
+// C is the completion channel: exactly one value ever arrives.
+func (w *Waiter) C() <-chan error { return w.ch }
+
+// DeadlineHeap is the shared timeout structure replacing one
+// `time.After` per in-flight request: a min-heap of (deadline, waiter,
+// error) owned by a single goroutine (the server's event loop), swept by
+// ONE timer armed to the earliest deadline. Resolved waiters are deleted
+// lazily — Resolve is idempotent, so expiring them is a no-op.
+type DeadlineHeap struct {
+	items []deadlineItem
+}
+
+type deadlineItem struct {
+	at  time.Time
+	w   *Waiter
+	err error // delivered on expiry (distinguishes propose vs read timeouts)
+}
+
+// Len returns the live item count (including lazily-deleted ones).
+func (h *DeadlineHeap) Len() int { return len(h.items) }
+
+// Push registers w to resolve with err at time at.
+func (h *DeadlineHeap) Push(w *Waiter, at time.Time, err error) {
+	h.items = append(h.items, deadlineItem{at: at, w: w, err: err})
+	h.up(len(h.items) - 1)
+}
+
+// Next returns the earliest deadline (zero time when empty).
+func (h *DeadlineHeap) Next() time.Time {
+	if len(h.items) == 0 {
+		return time.Time{}
+	}
+	return h.items[0].at
+}
+
+// Expire resolves every unresolved waiter whose deadline is ≤ now with
+// its registered error, drops already-resolved heads for free, and
+// returns the next pending deadline (zero when the heap emptied).
+func (h *DeadlineHeap) Expire(now time.Time) time.Time {
+	for len(h.items) > 0 {
+		head := h.items[0]
+		if head.at.After(now) {
+			if !head.w.Resolved() {
+				return head.at
+			}
+			h.pop() // early-resolved head: reclaim without waiting it out
+			continue
+		}
+		head.w.Resolve(head.err) // no-op if already resolved
+		h.pop()
+	}
+	return time.Time{}
+}
+
+// pop removes the head (h non-empty).
+func (h *DeadlineHeap) pop() {
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items[n] = deadlineItem{}
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+}
+
+func (h *DeadlineHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].at.Before(h.items[parent].at) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *DeadlineHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.items[l].at.Before(h.items[min].at) {
+			min = l
+		}
+		if r < n && h.items[r].at.Before(h.items[min].at) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}

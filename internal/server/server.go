@@ -17,9 +17,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynatune/internal/kv"
+	"dynatune/internal/server/batcher"
 	"dynatune/internal/raft"
 	"dynatune/internal/transport"
 )
@@ -44,6 +46,17 @@ type Config struct {
 	Logger *log.Logger
 	// ProposeTimeout bounds how long a PUT waits for commit (default 5s).
 	ProposeTimeout time.Duration
+	// BatchWindow enables server-side group commit on the propose path:
+	// concurrent commands arriving within the window coalesce into ONE
+	// multi-op raft entry (kv.OpBatch), cutting per-entry replication
+	// cost under load. Zero disables batching — every Propose is its own
+	// entry, as before.
+	BatchWindow time.Duration
+	// BatchMaxOps / BatchMaxBytes flush a batch before the window when it
+	// fills (defaults batcher.DefaultMaxOps / DefaultMaxBytes). Only used
+	// when BatchWindow > 0.
+	BatchMaxOps   int
+	BatchMaxBytes int
 	// Persister, when set, makes the node's term/vote/log durable
 	// (typically a *storage.WAL); Restored resumes from a previous run's
 	// recovered state. Both nil for a volatile node.
@@ -70,10 +83,29 @@ type Server struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// bat, when non-nil, group-commits Propose calls (Config.BatchWindow).
+	bat *batcher.Batcher
+	// errProposeTO / errReadTO are the preallocated timeout errors the
+	// deadline heap delivers — no per-request error or timer allocation.
+	errProposeTO error
+	errReadTO    error
+
+	// Propose-amplification counters: client commands accepted vs raft
+	// entries proposed for them. Written on the loop, read anywhere.
+	clientOps atomic.Uint64
+	entries   atomic.Uint64
+
 	// loop-owned state
 	timers  map[timerKey]*time.Timer
 	rng     *rand.Rand
-	pending map[uint64]chan error // log index → commit waiter
+	pending map[uint64][]*batcher.Waiter // log index → commit waiters (batch order)
+	// dheap + dtimer replace one time.After per in-flight request: every
+	// waiter's deadline sits in ONE heap swept by ONE reused timer. All
+	// deadlines are now+ProposeTimeout, so they are pushed in monotone
+	// order and the timer only re-arms when the heap drains.
+	dheap    batcher.DeadlineHeap
+	dtimer   *time.Timer
+	dtimerAt time.Time
 }
 
 type timerKey struct {
@@ -94,15 +126,29 @@ func Start(cfg Config) (*Server, error) {
 		lg = log.New(log.Writer(), fmt.Sprintf("node[%d] ", cfg.ID), log.LstdFlags|log.Lmicroseconds)
 	}
 	s := &Server{
-		cfg:     cfg,
-		lg:      lg,
-		store:   kv.NewStore(),
-		start:   time.Now(),
-		events:  make(chan func(), 4096),
-		done:    make(chan struct{}),
-		timers:  map[timerKey]*time.Timer{},
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(cfg.ID)<<32)),
-		pending: map[uint64]chan error{},
+		cfg:          cfg,
+		lg:           lg,
+		store:        kv.NewStore(),
+		start:        time.Now(),
+		events:       make(chan func(), 4096),
+		done:         make(chan struct{}),
+		timers:       map[timerKey]*time.Timer{},
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(cfg.ID)<<32)),
+		pending:      map[uint64][]*batcher.Waiter{},
+		errProposeTO: fmt.Errorf("server: propose timed out after %v", cfg.ProposeTimeout),
+		errReadTO:    fmt.Errorf("server: linearizable read timed out after %v", cfg.ProposeTimeout),
+	}
+	s.dtimer = time.AfterFunc(time.Hour, func() { s.exec(s.sweepDeadlines) })
+	s.dtimer.Stop()
+	if cfg.BatchWindow > 0 {
+		s.bat = batcher.New(batcher.Config{
+			Window:   cfg.BatchWindow,
+			MaxOps:   cfg.BatchMaxOps,
+			MaxBytes: cfg.BatchMaxBytes,
+			Flush: func(ops []batcher.Op, _ batcher.FlushReason) {
+				s.exec(func() { s.proposeOps(ops) })
+			},
+		})
 	}
 
 	tr, err := transport.Start(transport.Config{
@@ -200,6 +246,11 @@ func (s *Server) loop() {
 		select {
 		case fn := <-s.events:
 			fn()
+			// Any event may carry the message that costs us leadership
+			// (higher-term vote or append). Fail in-flight proposals
+			// immediately so no batch waits out its full ProposeTimeout
+			// on an entry the new leader may overwrite.
+			s.abortIfNotLeader()
 		case <-compact.C:
 			s.node.CompactLog(1024)
 		case <-s.done:
@@ -210,11 +261,103 @@ func (s *Server) loop() {
 
 func (s *Server) onApply(ents []raft.Entry) {
 	s.store.Apply(ents)
+	// Resolve in index order; within a batch entry, waiters were
+	// registered in op order and all committed together.
 	for _, e := range ents {
-		if ch, ok := s.pending[e.Index]; ok {
+		if ws, ok := s.pending[e.Index]; ok {
 			delete(s.pending, e.Index)
-			ch <- nil
+			for _, w := range ws {
+				w.Resolve(nil)
+			}
 		}
+	}
+}
+
+// errProposalAborted unwraps to raft.ErrNotLeader so every client path
+// (421 + leader hint, wire NOT_LEADER status) retries against the new
+// leader; the per-command idempotence table absorbs the retry if the
+// aborted entry commits anyway.
+var errProposalAborted = fmt.Errorf("%w: proposal aborted by leadership change", raft.ErrNotLeader)
+
+// abortIfNotLeader fails every registered commit waiter once this node
+// is no longer leader (loop goroutine). Entries it proposed may still
+// commit under the new leader — clients retry and dedupe — but they may
+// equally be overwritten, so waiting is pointless either way.
+func (s *Server) abortIfNotLeader() {
+	if len(s.pending) == 0 || s.node.State() == raft.StateLeader {
+		return
+	}
+	n := 0
+	for idx, ws := range s.pending {
+		delete(s.pending, idx)
+		for _, w := range ws {
+			w.Resolve(errProposalAborted)
+			n++
+		}
+	}
+	s.lg.Printf("aborted %d in-flight proposal(s) on leadership change", n)
+}
+
+// proposeOps replicates a finished batch as one raft entry (loop
+// goroutine). A single op skips the OpBatch wrapper entirely, so an idle
+// server's entries are byte-identical to the unbatched build and the
+// amplification counters stay honest.
+func (s *Server) proposeOps(ops []batcher.Op) {
+	var data []byte
+	if len(ops) == 1 {
+		data = kv.Encode(ops[0].Cmd)
+	} else {
+		cmds := make([]kv.Command, len(ops))
+		for i := range ops {
+			cmds[i] = ops[i].Cmd
+		}
+		data = kv.Encode(kv.BatchCommand(cmds))
+	}
+	idx, err := s.node.Propose(data)
+	if err != nil {
+		for _, op := range ops {
+			op.W.Resolve(err)
+		}
+		return
+	}
+	s.clientOps.Add(uint64(len(ops)))
+	s.entries.Add(1)
+	if s.store.AppliedIndex() >= idx {
+		// Single-node clusters commit (and apply) synchronously inside
+		// Propose — the entry is already durable before we could register
+		// a waiter for it.
+		for _, op := range ops {
+			op.W.Resolve(nil)
+		}
+		return
+	}
+	ws := make([]*batcher.Waiter, len(ops))
+	at := time.Now().Add(s.cfg.ProposeTimeout)
+	for i, op := range ops {
+		ws[i] = op.W
+		s.dheap.Push(op.W, at, s.errProposeTO)
+	}
+	s.pending[idx] = ws
+	s.armDeadline(at)
+}
+
+// armDeadline makes sure the sweep timer fires by at (loop goroutine).
+// Deadlines arrive in monotone order, so an armed timer is already early
+// enough and Reset is rare.
+func (s *Server) armDeadline(at time.Time) {
+	if !s.dtimerAt.IsZero() && !at.Before(s.dtimerAt) {
+		return
+	}
+	s.dtimerAt = at
+	s.dtimer.Reset(time.Until(at))
+}
+
+// sweepDeadlines expires due waiters and re-arms for the next deadline
+// (loop goroutine, via dtimer).
+func (s *Server) sweepDeadlines() {
+	s.dtimerAt = time.Time{}
+	if next := s.dheap.Expire(time.Now()); !next.IsZero() {
+		s.armDeadline(next)
 	}
 }
 
@@ -274,26 +417,56 @@ type Status struct {
 	Applied   uint64  `json:"applied"`
 	EtMs      float64 `json:"et_ms"`
 	RandTOMs  float64 `json:"randomized_timeout_ms"`
+	// GroupCommit reports propose batching (entries vs client commands,
+	// batch depths, flush reasons).
+	GroupCommit BatchStats `json:"group_commit"`
 }
 
-// Propose replicates a command and waits for it to commit locally.
+// BatchStats reports group-commit activity on the propose path.
+type BatchStats struct {
+	batcher.Stats
+	// ClientOps counts commands accepted into the propose path; Entries
+	// counts raft entries proposed for them. Their ratio is the propose
+	// amplification — 1.0 unbatched, pushed below 1 by group commit.
+	ClientOps uint64 `json:"client_ops"`
+	Entries   uint64 `json:"entries"`
+}
+
+// ProposeAmp is raft entries per client command (0 when idle).
+func (b BatchStats) ProposeAmp() float64 {
+	if b.ClientOps == 0 {
+		return 0
+	}
+	return float64(b.Entries) / float64(b.ClientOps)
+}
+
+// BatchStats snapshots the group-commit counters.
+func (s *Server) BatchStats() BatchStats {
+	st := BatchStats{ClientOps: s.clientOps.Load(), Entries: s.entries.Load()}
+	if s.bat != nil {
+		st.Stats = s.bat.Stats()
+	}
+	return st
+}
+
+// errShutdown is what in-flight requests see when Stop wins the race.
+var errShutdown = errors.New("server: shut down")
+
+// Propose replicates a command and waits for it to commit locally. With
+// BatchWindow set it joins the open group-commit batch; either way the
+// timeout comes from the shared deadline heap, not a per-call timer.
 func (s *Server) Propose(cmd kv.Command) error {
-	errc := make(chan error, 1)
-	s.exec(func() {
-		idx, err := s.node.Propose(kv.Encode(cmd))
-		if err != nil {
-			errc <- err
-			return
-		}
-		s.pending[idx] = errc
-	})
+	w := batcher.NewWaiter()
+	if s.bat != nil {
+		s.bat.Add(cmd, w)
+	} else {
+		s.exec(func() { s.proposeOps([]batcher.Op{{Cmd: cmd, W: w}}) })
+	}
 	select {
-	case err := <-errc:
+	case err := <-w.C():
 		return err
-	case <-time.After(s.cfg.ProposeTimeout):
-		return fmt.Errorf("server: propose timed out after %v", s.cfg.ProposeTimeout)
 	case <-s.done:
-		return errors.New("server: shut down")
+		return errShutdown
 	}
 }
 
@@ -323,13 +496,13 @@ func (s *Server) GetLinearizable(key string, lease bool) ([]byte, bool, error) {
 // Local store reads issued after it returns carry the leader-local read
 // guarantee; the binary multiget amortizes one barrier over many keys.
 func (s *Server) readBarrier(lease bool) error {
-	errc := make(chan error, 1)
+	w := batcher.NewWaiter()
 	s.exec(func() {
 		cb := func(_ uint64, ok bool) {
 			if ok {
-				errc <- nil
+				w.Resolve(nil)
 			} else {
-				errc <- ErrReadAborted
+				w.Resolve(ErrReadAborted)
 			}
 		}
 		var err error
@@ -341,16 +514,18 @@ func (s *Server) readBarrier(lease bool) error {
 			err = s.node.ReadIndex(cb)
 		}
 		if err != nil {
-			errc <- err
+			w.Resolve(err)
+			return
 		}
+		at := time.Now().Add(s.cfg.ProposeTimeout)
+		s.dheap.Push(w, at, s.errReadTO)
+		s.armDeadline(at)
 	})
 	select {
-	case err := <-errc:
+	case err := <-w.C():
 		return err
-	case <-time.After(s.cfg.ProposeTimeout):
-		return fmt.Errorf("server: linearizable read timed out after %v", s.cfg.ProposeTimeout)
 	case <-s.done:
-		return errors.New("server: shut down")
+		return errShutdown
 	}
 }
 
@@ -365,8 +540,9 @@ func (s *Server) Status() Status {
 			Leader:    s.node.Lead(),
 			Committed: s.node.Log().Committed(),
 			Applied:   s.node.Log().Applied(),
-			EtMs:      float64(s.node.ElectionTimeoutBase()) / float64(time.Millisecond),
-			RandTOMs:  float64(s.node.RandomizedTimeout()) / float64(time.Millisecond),
+			EtMs:        float64(s.node.ElectionTimeoutBase()) / float64(time.Millisecond),
+			RandTOMs:    float64(s.node.RandomizedTimeout()) / float64(time.Millisecond),
+			GroupCommit: s.BatchStats(),
 		}
 	})
 	select {
@@ -506,6 +682,11 @@ func (s *Server) Stop() {
 		if s.bsrv != nil {
 			s.bsrv.close() // graceful: drains in-flight binary requests
 		}
+		if s.bat != nil {
+			// Close the batcher: queued and future Adds fail fast instead
+			// of sitting in a window no one will flush.
+			s.bat.Drain(errShutdown)
+		}
 		close(s.done)
 		if s.hsrv != nil {
 			s.hsrv.Close()
@@ -513,6 +694,7 @@ func (s *Server) Stop() {
 		s.tr.Close()
 		s.wg.Wait()
 		// Stop loop-owned timers; the loop has exited, so this is safe.
+		s.dtimer.Stop()
 		for _, t := range s.timers {
 			t.Stop()
 		}

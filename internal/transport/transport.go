@@ -65,10 +65,13 @@ type Transport struct {
 }
 
 const (
-	// outQueueMax bounds messages buffered per peer while its connection
-	// is being re-established; overflow drops the oldest first (raft
-	// prefers fresh state over stale retransmits).
-	outQueueMax = 256
+	// outQueueMax bounds the per-peer send queue. Sends never touch the
+	// socket: they enqueue and a per-peer writer goroutine drains the
+	// queue in bursts, so the queue buffers the healthy path as well as
+	// reconnect windows. Overflow drops the oldest first (raft prefers
+	// fresh state over stale retransmits, and retransmits anything that
+	// mattered).
+	outQueueMax = 4096
 	// Redial pacing: capped exponential with jitter. The first retry is
 	// nearly immediate so transient breaks heal within a heartbeat; a
 	// peer that stays down costs one dial per dialBackoffMax, not a
@@ -78,13 +81,14 @@ const (
 )
 
 type outConn struct {
-	to raft.ID
+	to     raft.ID
+	notify chan struct{} // cap 1; kicks the writer goroutine
 
 	mu      sync.Mutex
 	c       net.Conn
 	w       *bufio.Writer
-	queue   []raft.Message // pending while disconnected
-	dialing bool           // a background redialer is running
+	queue   []raft.Message
+	running bool // writer goroutine alive
 	closed  bool
 }
 
@@ -217,145 +221,174 @@ func (t *Transport) conn(id raft.ID) *outConn {
 	}
 	oc, ok := t.conns[id]
 	if !ok {
-		oc = &outConn{to: id}
+		oc = &outConn{to: id, notify: make(chan struct{}, 1)}
 		t.conns[id] = oc
 	}
 	return oc
 }
 
-// send writes m to the peer, dialing on first use. A write failure or a
-// failed dial no longer drops the message on the floor: it is queued
-// (bounded) and a background redialer re-establishes the connection with
-// capped exponential backoff, flushing the queue on success.
+// send enqueues m for the peer's writer goroutine and returns without
+// touching the network. Raft event loops call Send synchronously from
+// broadcastAppend; if that write could block on a full TCP buffer while
+// the peer's loop was blocked writing back to us, the two nodes would
+// deadlock with full socket buffers in both directions. All socket I/O
+// (dial, write, flush, backoff) therefore lives on the per-peer writer,
+// and callers only ever pay an enqueue.
 func (oc *outConn) send(t *Transport, m raft.Message) {
 	oc.mu.Lock()
-	defer oc.mu.Unlock()
 	if oc.closed {
+		oc.mu.Unlock()
 		t.drop(m, "conn closed")
 		return
 	}
-	if oc.c == nil {
-		if oc.dialing {
-			oc.enqueueLocked(t, m)
+	oc.enqueueLocked(t, m)
+	if !oc.running {
+		// Don't start a writer while the transport is shutting down: a
+		// wg.Add racing wg.Wait would panic, and the queue dies with the
+		// transport anyway.
+		select {
+		case <-t.done:
+			oc.queue = nil
+			oc.mu.Unlock()
 			return
+		default:
 		}
-		// Fast path: dial synchronously so a healthy peer costs no
-		// goroutine handoff. On failure, hand off to the redialer.
-		if err := oc.dialLocked(t); err != nil {
-			oc.enqueueLocked(t, m)
-			oc.spawnRedialLocked(t)
-			return
-		}
+		oc.running = true
+		t.wg.Add(1)
+		go oc.writeLoop(t)
 	}
-	if err := oc.writeLocked(m); err != nil {
-		oc.resetLocked()
-		oc.enqueueLocked(t, m)
-		if !oc.dialing {
-			oc.spawnRedialLocked(t)
-		}
-	}
-}
-
-// spawnRedialLocked starts the background redialer unless the transport
-// is already shutting down (a wg.Add racing wg.Wait would panic);
-// oc.mu held.
-func (oc *outConn) spawnRedialLocked(t *Transport) {
+	oc.mu.Unlock()
 	select {
-	case <-t.done:
-		oc.queue = nil
-		return
+	case oc.notify <- struct{}{}:
 	default:
 	}
-	oc.dialing = true
-	t.wg.Add(1)
-	go oc.redial(t)
 }
 
-func (oc *outConn) writeLocked(m raft.Message) error {
-	if err := wire.WriteFrame(oc.w, m); err != nil {
-		return err
-	}
-	return oc.w.Flush()
-}
-
-// dialLocked connects to the peer; oc.mu held.
-func (oc *outConn) dialLocked(t *Transport) error {
-	t.mu.Lock()
-	pa := t.peers[oc.to]
-	t.mu.Unlock()
-	c, err := net.DialTimeout("tcp", pa.TCP, t.cfg.DialTimeout)
-	if err != nil {
-		return err
-	}
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	oc.c = c
-	oc.w = bufio.NewWriter(c)
-	return nil
-}
-
-// enqueueLocked buffers m for delivery after reconnect, evicting the
-// oldest message when the queue is full; oc.mu held.
+// enqueueLocked buffers m for the writer, evicting the oldest message
+// when the queue is full; oc.mu held.
 func (oc *outConn) enqueueLocked(t *Transport, m raft.Message) {
 	if len(oc.queue) >= outQueueMax {
 		dropped := oc.queue[0]
 		oc.queue = append(oc.queue[:0], oc.queue[1:]...)
-		t.drop(dropped, "reconnect queue full")
+		t.drop(dropped, "send queue full")
 	}
 	oc.queue = append(oc.queue, m)
 }
 
-// redial re-establishes the connection with capped exponential backoff
-// plus jitter, then flushes the queued messages in order. It exits when
-// the connection is up, the outConn is closed, or the transport shuts
-// down (queued messages are then dropped — raft retransmits).
-func (oc *outConn) redial(t *Transport) {
+// writeLoop owns the peer's socket: it dials with capped exponential
+// backoff, drains the queue in bursts (one Flush per burst, not per
+// frame), and on a write error requeues the unsent tail for the next
+// connection. It exits when the outConn is closed or the transport
+// shuts down.
+func (oc *outConn) writeLoop(t *Transport) {
 	defer t.wg.Done()
-	for fails := 1; ; fails++ {
-		d := dialBackoffBase << (fails - 1)
-		if fails > 16 || d > dialBackoffMax || d <= 0 {
-			d = dialBackoffMax
-		}
-		// Jitter over [d/2, d): desynchronizes peers redialing a node
-		// that just restarted.
-		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-		select {
-		case <-time.After(d):
-		case <-t.done:
-			oc.dropQueue(t, "transport closed")
-			return
-		}
+	fails := 0
+	for {
 		oc.mu.Lock()
 		if oc.closed {
 			oc.mu.Unlock()
 			return
 		}
+		if len(oc.queue) == 0 {
+			oc.mu.Unlock()
+			select {
+			case <-oc.notify:
+				continue
+			case <-t.done:
+				oc.dropQueue(t, "transport closed")
+				return
+			}
+		}
 		if oc.c == nil {
-			if err := oc.dialLocked(t); err != nil {
-				oc.mu.Unlock()
+			oc.mu.Unlock()
+			c, err := t.dial(oc.to)
+			if err != nil {
+				fails++
+				if !backoffWait(t, fails) {
+					oc.dropQueue(t, "transport closed")
+					return
+				}
 				continue
 			}
+			fails = 0
+			oc.mu.Lock()
+			if oc.closed {
+				oc.mu.Unlock()
+				c.Close()
+				return
+			}
+			oc.c = c
+			oc.w = bufio.NewWriter(c)
+			oc.mu.Unlock()
+			continue
 		}
-		// Connected: flush the queue. A mid-flush write error resets the
-		// connection and the loop resumes dialing with the remainder.
-		for len(oc.queue) > 0 {
-			m := oc.queue[0]
-			if err := oc.writeLocked(m); err != nil {
-				oc.resetLocked()
+		// Detach the queued burst and write it without holding mu, so a
+		// slow or blocked socket never blocks senders.
+		burst := oc.queue
+		oc.queue = nil
+		c, w := oc.c, oc.w
+		oc.mu.Unlock()
+
+		var werr error
+		for _, m := range burst {
+			if werr = wire.WriteFrame(w, m); werr != nil {
 				break
 			}
-			oc.queue = append(oc.queue[:0], oc.queue[1:]...)
 		}
-		if oc.c != nil {
-			oc.dialing = false
-			if len(oc.queue) == 0 {
-				oc.queue = nil
+		if werr == nil {
+			werr = w.Flush()
+		}
+		if werr == nil {
+			continue
+		}
+		// Requeue the whole burst ahead of anything enqueued during the
+		// write: a failed flush leaves no way to tell which frames hit
+		// the wire, and raft tolerates the resulting duplicates but not
+		// a systematically dropped tail.
+		oc.mu.Lock()
+		if oc.c == c {
+			oc.resetLocked()
+		}
+		oc.queue = append(burst, oc.queue...)
+		if over := len(oc.queue) - outQueueMax; over > 0 {
+			for _, m := range oc.queue[:over] {
+				t.drop(m, "send queue full")
 			}
-			oc.mu.Unlock()
-			return
+			oc.queue = oc.queue[over:]
 		}
 		oc.mu.Unlock()
+	}
+}
+
+// dial connects to a peer by id (no locks held across the dial).
+func (t *Transport) dial(id raft.ID) (net.Conn, error) {
+	t.mu.Lock()
+	pa := t.peers[id]
+	t.mu.Unlock()
+	c, err := net.DialTimeout("tcp", pa.TCP, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+// backoffWait sleeps the capped-exponential redial delay with jitter
+// over [d/2, d) (desynchronizes peers redialing a node that just
+// restarted); it returns false when the transport shut down mid-wait.
+func backoffWait(t *Transport, fails int) bool {
+	d := dialBackoffBase << (fails - 1)
+	if fails > 16 || d > dialBackoffMax || d <= 0 {
+		d = dialBackoffMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	select {
+	case <-time.After(d):
+		return true
+	case <-t.done:
+		return false
 	}
 }
 
@@ -363,7 +396,6 @@ func (oc *outConn) dropQueue(t *Transport, why string) {
 	oc.mu.Lock()
 	q := oc.queue
 	oc.queue = nil
-	oc.dialing = false
 	oc.mu.Unlock()
 	for _, m := range q {
 		t.drop(m, why)
@@ -373,11 +405,13 @@ func (oc *outConn) dropQueue(t *Transport, why string) {
 func (oc *outConn) close() {
 	oc.mu.Lock()
 	oc.closed = true
-	q := oc.queue
-	oc.queue = nil
+	oc.queue = nil // queued messages die with the conn; raft retransmits
 	oc.resetLocked()
 	oc.mu.Unlock()
-	_ = q // queued messages die with the conn; raft retransmits
+	select {
+	case oc.notify <- struct{}{}: // wake the writer so it can exit
+	default:
+	}
 }
 
 func (oc *outConn) resetLocked() {
